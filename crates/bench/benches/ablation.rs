@@ -1,0 +1,49 @@
+//! Criterion bench for the §IV ablations: each optimisation applied in
+//! isolation to plain GHC-6.9 (sumEuler, 8 cores).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rph_core::prelude::*;
+use rph_workloads::SumEuler;
+use std::time::Duration;
+
+const N: i64 = 4_000;
+const CORES: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let w = SumEuler::new(N);
+    let expect = w.expected();
+    let plain = GphConfig::ghc69_plain(CORES);
+    let variants: Vec<(&str, GphConfig)> = vec![
+        ("plain", plain.clone()),
+        ("only big allocation area", plain.clone().with_big_alloc_area()),
+        ("only improved GC sync", plain.clone().with_improved_gc_sync()),
+        ("only work stealing", plain.clone().with_work_stealing()),
+        ("only eager black-holing", plain.clone().with_eager_blackholing()),
+    ];
+    let mut g = c.benchmark_group("ablation_sumeuler");
+    g.sample_size(10);
+    for (label, cfg) in variants {
+        let w = w.clone();
+        g.bench_function(label, move |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let m = w.run_gph(cfg.clone().without_trace()).expect("gph");
+                    assert_eq!(m.value, expect);
+                    total += Duration::from_nanos(m.elapsed);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    // Deterministic samples have zero variance, which crashes the
+    // plotters backend — disable plot generation.
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

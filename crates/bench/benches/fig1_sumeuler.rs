@@ -1,0 +1,56 @@
+//! Criterion bench for Fig. 1: the sumEuler optimisation ladder.
+//!
+//! The quantity of interest is the *virtual* runtime of the simulated
+//! 8-core machine, so each bench feeds criterion the virtual
+//! nanoseconds via `iter_custom` — criterion's report then reads
+//! directly in the paper's units. Runs are deterministic, so variance
+//! is ~0; criterion is used for its reporting and regression tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rph_bench::{five_versions, Version};
+use rph_workloads::SumEuler;
+use std::time::Duration;
+
+const N: i64 = 4_000;
+const CAPS: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let w = SumEuler::new(N);
+    let expected = w.expected();
+    let mut g = c.benchmark_group("fig1_sumeuler");
+    g.sample_size(10);
+    for version in five_versions(CAPS) {
+        let label = version.label().to_string();
+        g.bench_function(&label, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let elapsed = match &version {
+                        Version::Gph(_, cfg) => {
+                            let m = w.run_gph(cfg.clone().without_trace()).expect("gph");
+                            assert_eq!(m.value, expected);
+                            m.elapsed
+                        }
+                        Version::Eden(_, cfg) => {
+                            let m = w.run_eden(cfg.clone().without_trace()).expect("eden");
+                            assert_eq!(m.value, expected);
+                            m.elapsed
+                        }
+                    };
+                    total += Duration::from_nanos(elapsed);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    // Deterministic samples have zero variance, which crashes the
+    // plotters backend — disable plot generation.
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

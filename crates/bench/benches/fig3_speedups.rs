@@ -1,0 +1,86 @@
+//! Criterion bench for Fig. 3: sumEuler and matmul virtual runtimes at
+//! 1, 8 and 16 cores for the plain, fully-optimised and Eden versions
+//! (the full sweep lives in the `fig3_*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rph_core::prelude::*;
+use rph_workloads::{MatMul, SumEuler};
+use std::time::Duration;
+
+fn virtual_time(c: &mut Criterion) {
+    let se = SumEuler::new(4_000);
+    let se_expect = se.expected();
+    let mm = MatMul::new(240, 10);
+    let mm_expect = mm.expected();
+
+    let mut g = c.benchmark_group("fig3_speedups");
+    g.sample_size(10);
+    for cores in [1usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("sumeuler_gph_steal", cores), &cores, |b, &cores| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cfg = GphConfig::ghc69_plain(cores)
+                        .with_big_alloc_area()
+                        .with_improved_gc_sync()
+                        .with_work_stealing()
+                        .without_trace();
+                    let m = se.run_gph(cfg).expect("gph");
+                    assert_eq!(m.value, se_expect);
+                    total += Duration::from_nanos(m.elapsed);
+                }
+                total
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sumeuler_eden", cores), &cores, |b, &cores| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let m = se.run_eden(EdenConfig::new(cores).without_trace()).expect("eden");
+                    assert_eq!(m.value, se_expect);
+                    total += Duration::from_nanos(m.elapsed);
+                }
+                total
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("matmul_gph_steal", cores), &cores, |b, &cores| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cfg = GphConfig::ghc69_plain(cores)
+                        .with_big_alloc_area()
+                        .with_improved_gc_sync()
+                        .with_work_stealing()
+                        .without_trace();
+                    let m = mm.run_gph(cfg).expect("gph");
+                    assert_eq!(m.value, mm_expect);
+                    total += Duration::from_nanos(m.elapsed);
+                }
+                total
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("matmul_eden_cannon", cores), &cores, |b, &cores| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let g2 = ((cores as f64).sqrt().ceil() as usize).clamp(1, 4);
+                    let w = MatMul::new(240, g2);
+                    let m = w
+                        .run_eden(EdenConfig::oversubscribed(g2 * g2 + 1, cores).without_trace())
+                        .expect("eden");
+                    assert_eq!(m.value, w.expected());
+                    total += Duration::from_nanos(m.elapsed);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = virtual_time
+}
+criterion_main!(benches);

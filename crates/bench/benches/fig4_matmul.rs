@@ -1,0 +1,58 @@
+//! Criterion bench for Fig. 4: matmul on 8 cores — GpH ladder vs Eden
+//! Cannon with and without PE oversubscription.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rph_core::prelude::*;
+use rph_workloads::MatMul;
+use std::time::Duration;
+
+const N: usize = 240;
+const CORES: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_matmul");
+    g.sample_size(10);
+    let gw = MatMul::new(N, 10);
+    let expect = gw.expected();
+    for (label, cfg) in GphConfig::fig1_ladder(CORES) {
+        let gw = gw.clone();
+        g.bench_function(label, move |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let m = gw.run_gph(cfg.clone().without_trace()).expect("gph");
+                    assert_eq!(m.value, expect);
+                    total += Duration::from_nanos(m.elapsed);
+                }
+                total
+            })
+        });
+    }
+    for (grid, pes) in [(3usize, 9usize), (4, 17)] {
+        let w = MatMul::new(N, grid);
+        let we = w.expected();
+        g.bench_function(format!("Eden Cannon {grid}x{grid} on {pes} virtual PEs"), move |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let m = w
+                        .run_eden(EdenConfig::oversubscribed(pes, CORES).without_trace())
+                        .expect("eden");
+                    assert_eq!(m.value, we);
+                    total += Duration::from_nanos(m.elapsed);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    // Deterministic samples have zero variance, which crashes the
+    // plotters backend — disable plot generation.
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

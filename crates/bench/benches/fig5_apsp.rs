@@ -1,0 +1,68 @@
+//! Criterion bench for Fig. 5: shortest paths on 8 cores — the
+//! black-holing × spark-policy matrix plus the Eden ring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rph_core::prelude::*;
+use rph_workloads::Apsp;
+use std::time::Duration;
+
+const N: usize = 128;
+const CORES: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let w = Apsp::new(N);
+    let expect = w.expected();
+    let mut g = c.benchmark_group("fig5_apsp");
+    g.sample_size(10);
+    let variants = [
+        ("GpH lazy BH, push", BlackHoling::Lazy, SparkPolicy::Push),
+        ("GpH lazy BH, steal", BlackHoling::Lazy, SparkPolicy::Steal),
+        ("GpH eager BH, push", BlackHoling::Eager, SparkPolicy::Push),
+        ("GpH eager BH, steal", BlackHoling::Eager, SparkPolicy::Steal),
+    ];
+    for (label, bh, policy) in variants {
+        let w = w.clone();
+        g.bench_function(label, move |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut cfg = GphConfig::ghc69_plain(CORES)
+                        .with_big_alloc_area()
+                        .with_improved_gc_sync()
+                        .without_trace();
+                    cfg.black_holing = bh;
+                    cfg.spark_policy = policy;
+                    if policy == SparkPolicy::Steal {
+                        cfg.spark_exec = SparkExec::SparkThread;
+                    }
+                    let m = w.run_gph(cfg).expect("gph");
+                    assert_eq!(m.value, expect);
+                    total += Duration::from_nanos(m.elapsed);
+                }
+                total
+            })
+        });
+    }
+    let w2 = w.clone();
+    g.bench_function("Eden ring", move |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let m = w2.run_eden(EdenConfig::new(CORES).without_trace()).expect("eden");
+                assert_eq!(m.value, expect);
+                total += Duration::from_nanos(m.elapsed);
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    // Deterministic samples have zero variance, which crashes the
+    // plotters backend — disable plot generation.
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 1: "Parallel runtimes of the sumEuler program for [1..15000]"
+//! on the 8-core machine — the optimisation-ladder table.
+//!
+//! ```text
+//! cargo run -p rph-bench --release --bin fig1_sumeuler_table [--quick]
+//! ```
+
+use rph_bench::*;
+use rph_core::prelude::*;
+use rph_workloads::SumEuler;
+
+fn main() {
+    let n = sum_euler_n();
+    let caps = INTEL_CORES;
+    let w = SumEuler::new(n);
+    let expected = w.expected();
+    println!("Fig. 1 — sumEuler [1..{n}] on {caps} cores (paper: 2.75 / 2.58 / 2.44 / 2.30 / 2.24 sec.)\n");
+
+    let mut table = TextTable::new(&["Program version and runtime system", "Runtime", "GCs", "sparks stolen/pushed"]);
+    let mut prev = u64::MAX;
+    let mut ladder_monotone = true;
+    for version in five_versions(caps) {
+        let (elapsed, gcs, dist) = match &version {
+            Version::Gph(_, cfg) => {
+                let m = w.run_gph(cfg.clone().without_trace()).expect("gph run");
+                check(&m, expected, version.label());
+                let s = m.gph_stats.unwrap();
+                (m.elapsed, s.gcs, format!("{}/{}", s.sparks_stolen, s.sparks_pushed))
+            }
+            Version::Eden(_, cfg) => {
+                let m = w.run_eden(cfg.clone().without_trace()).expect("eden run");
+                check(&m, expected, version.label());
+                (m.elapsed, m.eden_stats.unwrap().local_gcs, "-".to_string())
+            }
+        };
+        if elapsed > prev {
+            ladder_monotone = false;
+        }
+        prev = elapsed;
+        table.row(&[version.label().to_string(), secs(elapsed), gcs.to_string(), dist]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    println!(
+        "shape check: ladder monotone decreasing (plain ≥ … ≥ Eden): {}",
+        if ladder_monotone { "YES" } else { "NO" }
+    );
+    write_artifact("fig1_sumeuler_table.csv", &table.to_csv());
+    write_artifact("fig1_sumeuler_table.txt", &rendered);
+}

@@ -1,0 +1,73 @@
+//! Fig. 3 (right): "Relative speedup for the matrix program" on the
+//! 16-core AMD machine. GpH versions spark a 10×10 block grid; the
+//! Eden version runs Cannon's algorithm on the largest square torus
+//! that fits the core count (paper: 2000×2000 elements; default here
+//! 960×960, which preserves the shape — pass `--quick` for 240).
+//!
+//! ```text
+//! cargo run -p rph-bench --release --bin fig3_speedup_matmul [--quick]
+//! ```
+
+use rph_bench::*;
+use rph_core::compare::SpeedupSeries;
+use rph_core::prelude::*;
+use rph_workloads::MatMul;
+
+fn main() {
+    let n = matmul_speedup_n();
+    let cores = sweep_cores();
+    let w = MatMul::new(n, 10);
+    let expected = w.expected();
+    println!("Fig. 3 right — {n}×{n} matrix multiplication relative speedups, 1–{} cores\n", AMD_CORES);
+
+    let mut series: Vec<SpeedupSeries> = Vec::new();
+    for version in five_versions(AMD_CORES) {
+        let label = version.label().to_string();
+        let s = SpeedupSeries::measure(&label, &cores, |c| match &version {
+            Version::Gph(_, cfg) => {
+                let mut cfg = cfg.clone().without_trace();
+                cfg.caps = c;
+                let m = w.run_gph(cfg).expect("gph run");
+                check(&m, expected, &label);
+                m.elapsed
+            }
+            Version::Eden(..) => {
+                // Cannon on a ⌈√c⌉ × ⌈√c⌉ torus: like the paper, the
+                // g²+1 virtual PEs may exceed the physical cores (9
+                // PEs on 8 cores) — the OS time-slices them.
+                let g = ((c as f64).sqrt().ceil() as usize).clamp(1, 4);
+                let we = MatMul::new(n, g);
+                let m = we
+                    .run_eden(EdenConfig::oversubscribed(g * g + 1, c).without_trace())
+                    .expect("eden run");
+                check(&m, we.expected(), &label);
+                m.elapsed
+            }
+        });
+        series.push(s);
+    }
+
+    // Reuse the fig3 renderer (duplicated locally: binaries are
+    // independent).
+    let mut header: Vec<String> = vec!["cores".to_string()];
+    header.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for &c in &cores {
+        let mut row = vec![c.to_string()];
+        for s in &series {
+            let base = s.one_core().expect("1-core point");
+            let sp = rph_core::compare::relative_speedup(base, s.at(c).expect("point"));
+            row.push(format!("{sp:.2}"));
+        }
+        table.row(&row);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    let chart_series: Vec<(String, Vec<(usize, f64)>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), s.speedups(s.one_core().unwrap())))
+        .collect();
+    println!("{}", rph_core::compare::render_chart(&chart_series, 16));
+    write_artifact("fig3_matmul_speedup.csv", &table.to_csv());
+}

@@ -1,0 +1,79 @@
+//! Fig. 3 (left): "Relative speedup for sumEuler" on the 16-core AMD
+//! machine — five versions swept over 1–16 cores. Speedups are
+//! *relative* (each version against its own one-core time), as the
+//! paper reports "for fairness".
+//!
+//! ```text
+//! cargo run -p rph-bench --release --bin fig3_speedup_sumeuler [--quick]
+//! ```
+
+use rph_bench::*;
+use rph_core::compare::SpeedupSeries;
+use rph_core::prelude::*;
+use rph_workloads::SumEuler;
+
+fn main() {
+    let n = sum_euler_n();
+    let cores = sweep_cores();
+    let w = SumEuler::new(n);
+    let expected = w.expected();
+    println!("Fig. 3 left — sumEuler [1..{n}] relative speedups, 1–{} cores\n", AMD_CORES);
+
+    let mut series: Vec<SpeedupSeries> = Vec::new();
+    for version in five_versions(AMD_CORES) {
+        let label = version.label().to_string();
+        let s = SpeedupSeries::measure(&label, &cores, |c| match &version {
+            Version::Gph(_, cfg) => {
+                let mut cfg = cfg.clone().without_trace();
+                cfg.caps = c;
+                let m = w.run_gph(cfg).expect("gph run");
+                check(&m, expected, &label);
+                m.elapsed
+            }
+            Version::Eden(..) => {
+                let m = w.run_eden(EdenConfig::new(c).without_trace()).expect("eden run");
+                check(&m, expected, &label);
+                m.elapsed
+            }
+        });
+        series.push(s);
+    }
+
+    print_speedup_table("fig3_sumeuler", &cores, &series);
+}
+
+/// Shared renderer for the speedup figures.
+pub fn print_speedup_table(name: &str, cores: &[usize], series: &[SpeedupSeries]) {
+    let mut header: Vec<String> = vec!["cores".to_string()];
+    header.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for &c in cores {
+        let mut row = vec![c.to_string()];
+        for s in series {
+            let base = s.one_core().expect("1-core point");
+            let sp = rph_core::compare::relative_speedup(base, s.at(c).expect("point"));
+            row.push(format!("{sp:.2}"));
+        }
+        table.row(&row);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    let chart_series: Vec<(String, Vec<(usize, f64)>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), s.speedups(s.one_core().unwrap())))
+        .collect();
+    println!("{}", rph_core::compare::render_chart(&chart_series, 16));
+    write_artifact(&format!("{name}_speedup.csv"), &table.to_csv());
+
+    // Absolute virtual runtimes, for EXPERIMENTS.md.
+    let mut abs = TextTable::new(&header_refs);
+    for &c in cores {
+        let mut row = vec![c.to_string()];
+        for s in series {
+            row.push(format!("{:.3}", s.at(c).unwrap() as f64 / 1e9));
+        }
+        abs.row(&row);
+    }
+    write_artifact(&format!("{name}_runtimes_sec.csv"), &abs.to_csv());
+}

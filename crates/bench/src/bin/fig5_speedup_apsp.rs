@@ -1,0 +1,106 @@
+//! Fig. 5: "Relative speedup for shortest-paths program (400 nodes)"
+//! on the 16-core AMD machine — the workload where eager black-holing
+//! decides whether the shared-heap model scales at all.
+//!
+//! Versions, as in the paper's figure: GpH with {lazy, eager}
+//! black-holing × {push, work-stealing} spark distribution, plus the
+//! Eden ring.
+//!
+//! ```text
+//! cargo run -p rph-bench --release --bin fig5_speedup_apsp [--quick]
+//! ```
+
+use rph_bench::*;
+use rph_core::compare::{flattens, SpeedupSeries};
+use rph_core::prelude::*;
+use rph_workloads::Apsp;
+
+fn main() {
+    let n = apsp_n();
+    let cores = sweep_cores();
+    let w = Apsp::new(n);
+    let expected = w.expected();
+    println!("Fig. 5 — shortest paths ({n} nodes) relative speedups, 1–{} cores\n", AMD_CORES);
+
+    let gph_cfg = |c: usize, bh: BlackHoling, policy: SparkPolicy| {
+        let mut cfg = GphConfig::ghc69_plain(c)
+            .with_big_alloc_area()
+            .with_improved_gc_sync()
+            .without_trace();
+        cfg.black_holing = bh;
+        cfg.spark_policy = policy;
+        if policy == SparkPolicy::Steal {
+            cfg.spark_exec = SparkExec::SparkThread;
+        }
+        cfg
+    };
+
+    let gph_versions = [
+        ("GpH lazy BH, push", BlackHoling::Lazy, SparkPolicy::Push),
+        ("GpH lazy BH, work stealing", BlackHoling::Lazy, SparkPolicy::Steal),
+        ("GpH eager BH, push", BlackHoling::Eager, SparkPolicy::Push),
+        ("GpH eager BH, work stealing", BlackHoling::Eager, SparkPolicy::Steal),
+    ];
+
+    let mut series: Vec<SpeedupSeries> = Vec::new();
+    for (label, bh, policy) in gph_versions {
+        series.push(SpeedupSeries::measure(label, &cores, |c| {
+            let m = w.run_gph(gph_cfg(c, bh, policy)).expect("gph run");
+            check(&m, expected, label);
+            m.elapsed
+        }));
+    }
+    series.push(SpeedupSeries::measure("Eden ring", &cores, |c| {
+        let m = w.run_eden(EdenConfig::new(c).without_trace()).expect("eden run");
+        check(&m, expected, "Eden ring");
+        m.elapsed
+    }));
+
+    let mut header: Vec<String> = vec!["cores".to_string()];
+    header.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for &c in &cores {
+        let mut row = vec![c.to_string()];
+        for s in &series {
+            let base = s.one_core().expect("1-core point");
+            row.push(format!("{:.2}", rph_core::compare::relative_speedup(base, s.at(c).unwrap())));
+        }
+        table.row(&row);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    let chart_series: Vec<(String, Vec<(usize, f64)>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), s.speedups(s.one_core().unwrap())))
+        .collect();
+    println!("{}", rph_core::compare::render_chart(&chart_series, 16));
+    write_artifact("fig5_apsp_speedup.csv", &table.to_csv());
+
+    // Shape checks from the paper's text.
+    let sp = |i: usize| -> Vec<(usize, f64)> {
+        let base = series[i].one_core().unwrap();
+        series[i].speedups(base)
+    };
+    let lazy_steal = sp(1);
+    let eager_steal = sp(3);
+    let eden = sp(4);
+    let last = cores.len() - 1;
+    println!("shape checks:");
+    println!(
+        "  Eden keeps scaling (best speedup at max cores):        {}",
+        yes(eden[last].1 >= eager_steal[last].1 && eden[last].1 > 2.0)
+    );
+    println!(
+        "  GpH with lazy black-holing flattens out:               {}",
+        yes(flattens(&lazy_steal, 0.15) || lazy_steal[last].1 < 2.0)
+    );
+    println!(
+        "  eager black-holing beats lazy (work stealing, max):    {}",
+        yes(eager_steal[last].1 > lazy_steal[last].1)
+    );
+}
+
+fn yes(b: bool) -> &'static str {
+    if b { "YES" } else { "NO" }
+}

@@ -1,0 +1,146 @@
+//! # rph-bench — regenerating every table and figure of the paper
+//!
+//! One binary per table/figure (run with `--release`):
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Fig. 1 — sumEuler runtimes table | `fig1_sumeuler_table` |
+//! | Fig. 2 — sumEuler runtime traces | `fig2_sumeuler_traces` |
+//! | Fig. 3 left — sumEuler speedups 1–16 cores | `fig3_speedup_sumeuler` |
+//! | Fig. 3 right — matmul speedups 1–16 cores | `fig3_speedup_matmul` |
+//! | Fig. 4 — matmul traces incl. PE oversubscription | `fig4_matmul_traces` |
+//! | Fig. 5 — shortest-paths speedups | `fig5_speedup_apsp` |
+//! | §IV ablations — each optimisation in isolation | `ablation_ladder` |
+//! | cost-model robustness | `ablation_costs` |
+//!
+//! Every binary accepts `--quick` for a reduced problem size (used by
+//! CI and the criterion benches) and writes machine-readable CSV next
+//! to its textual output under `target/paper-figures/`.
+//!
+//! The criterion benches (`cargo bench -p rph-bench`) report the same
+//! quantities through criterion's statistics machinery: since the
+//! metric of interest is *virtual* time (the simulated multicore's
+//! clock), each bench uses `iter_custom` to feed criterion the virtual
+//! nanoseconds of the run — so criterion's output reads in the paper's
+//! units directly. Runs are deterministic; criterion's variance
+//! estimates show ~0.
+
+use rph_core::prelude::*;
+use rph_workloads::Measured;
+use std::path::PathBuf;
+
+/// The per-figure output directory (`target/paper-figures`).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/paper-figures");
+    std::fs::create_dir_all(&dir).expect("create figure output dir");
+    dir
+}
+
+/// Write an artifact file and tell the user.
+pub fn write_artifact(name: &str, contents: &str) {
+    let path = out_dir().join(name);
+    std::fs::write(&path, contents).expect("write artifact");
+    println!("[wrote {}]", path.display());
+}
+
+/// True when `--quick` was passed (reduced sizes).
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The paper's machines: the Intel 8-core (Figs. 1, 2, 4) and the AMD
+/// 16-core (Figs. 3, 5).
+pub const INTEL_CORES: usize = 8;
+pub const AMD_CORES: usize = 16;
+
+/// Core counts swept for the speedup figures.
+pub fn sweep_cores() -> Vec<usize> {
+    vec![1, 2, 4, 6, 8, 12, 16]
+}
+
+/// sumEuler problem size (Fig. 1/2/3: `[1..15000]`).
+pub fn sum_euler_n() -> i64 {
+    if quick() { 2_000 } else { 15_000 }
+}
+
+/// Matrix size for the Fig. 4 traces (paper: 1000×1000).
+pub fn matmul_traces_n() -> usize {
+    if quick() { 240 } else { 960 }
+}
+
+/// Matrix size for the Fig. 3 speedups (paper: 2000×2000; the default
+/// here is reduced — pass nothing for 960, which preserves the shape).
+pub fn matmul_speedup_n() -> usize {
+    if quick() { 240 } else { 960 }
+}
+
+/// APSP graph size (Fig. 5: 400 nodes).
+pub fn apsp_n() -> usize {
+    if quick() { 96 } else { 400 }
+}
+
+/// Label + configuration for the four GpH ladder versions plus Eden —
+/// the five "versions" of Figs. 1–4.
+pub fn five_versions(caps: usize) -> Vec<Version> {
+    let mut out: Vec<Version> = GphConfig::fig1_ladder(caps)
+        .into_iter()
+        .map(|(name, cfg)| Version::Gph(name.to_string(), cfg))
+        .collect();
+    out.push(Version::Eden(
+        format!("Eden, {caps} PEs running under PVM"),
+        EdenConfig::new(caps),
+    ));
+    out
+}
+
+/// A runnable configuration of either runtime.
+pub enum Version {
+    Gph(String, GphConfig),
+    Eden(String, EdenConfig),
+}
+
+impl Version {
+    pub fn label(&self) -> &str {
+        match self {
+            Version::Gph(l, _) | Version::Eden(l, _) => l,
+        }
+    }
+}
+
+/// Format virtual work units as seconds, like the paper's tables.
+pub fn secs(units: rph_trace::Time) -> String {
+    format!("{:.2} sec.", units as f64 / 1e9)
+}
+
+/// Format virtual work units as milliseconds.
+pub fn millis(units: rph_trace::Time) -> String {
+    format!("{:.1} ms", units as f64 / 1e6)
+}
+
+/// Panic with a clear message if a run returned the wrong value —
+/// every figure regeneration double-checks results against the plain
+/// Rust oracle.
+pub fn check(m: &Measured, expected: i64, what: &str) {
+    assert_eq!(m.value, expected, "{what}: wrong result — reproduction bug");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_five_and_ladder_ordered() {
+        let v = five_versions(8);
+        assert_eq!(v.len(), 5);
+        assert!(v[0].label().contains("plain"));
+        assert!(v[3].label().contains("work stealing"));
+        assert!(v[4].label().contains("Eden"));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(2_750_000_000), "2.75 sec.");
+        assert_eq!(millis(1_500_000), "1.5 ms");
+    }
+}

@@ -1,0 +1,88 @@
+//! Real-wall-time microbenchmarks of the Chase–Lev deque (the one data
+//! structure in this reproduction measured in *host* time, since it is
+//! real lock-free code): owner-only throughput and a contended
+//! owner+thief scenario, with crossbeam-deque as the reference point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rph_deque::chase_lev::{self, Steal};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const OPS: u64 = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chase_lev");
+    g.throughput(criterion::Throughput::Elements(OPS));
+
+    g.bench_function("owner_push_pop/rph", |b| {
+        b.iter(|| {
+            let (w, _s) = chase_lev::new::<u64>(64);
+            for i in 0..OPS {
+                w.push(i);
+            }
+            let mut sum = 0u64;
+            while let Some(v) = w.pop() {
+                sum += v;
+            }
+            assert_eq!(sum, OPS * (OPS - 1) / 2);
+        })
+    });
+
+    g.bench_function("owner_push_pop/crossbeam", |b| {
+        b.iter(|| {
+            let w = crossbeam::deque::Worker::new_lifo();
+            for i in 0..OPS {
+                w.push(i);
+            }
+            let mut sum = 0u64;
+            while let Some(v) = w.pop() {
+                sum += v;
+            }
+            assert_eq!(sum, OPS * (OPS - 1) / 2);
+        })
+    });
+
+    g.bench_function("push_while_one_thief/rph", |b| {
+        b.iter(|| {
+            let (w, s) = chase_lev::new::<u64>(64);
+            let done = Arc::new(AtomicBool::new(false));
+            let thief = {
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0u64;
+                    loop {
+                        match s.steal() {
+                            Steal::Success(_) => got += 1,
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    got
+                })
+            };
+            for i in 0..OPS {
+                w.push(i);
+            }
+            let mut mine = 0u64;
+            while w.pop().is_some() {
+                mine += 1;
+            }
+            done.store(true, Ordering::Release);
+            let stolen = thief.join().unwrap();
+            assert_eq!(mine + stolen, OPS);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,462 @@
+//! A dynamic circular work-stealing deque (Chase & Lev, SPAA 2005),
+//! with the C11 memory orderings of Lê et al., "Correct and Efficient
+//! Work-Stealing for Weak Memory Models" (PPoPP 2013).
+//!
+//! One [`Worker`] (the owning capability) pushes and pops at the
+//! *bottom*; any number of [`Stealer`]s take from the *top*. The only
+//! contended synchronisation is a single compare-and-swap on `top`, and
+//! only when the deque is nearly empty or a steal races another steal —
+//! the property the paper relies on: work-pulling "eliminates any
+//! hand-shaking when sharing work".
+//!
+//! Elements are machine words stored in `AtomicU64` slots (see
+//! [`crate::word::Word`]), so the algorithm's benign races (a thief
+//! reads a slot, then validates with a CAS that may fail) are ordinary
+//! relaxed atomic accesses — no undefined behaviour, no `MaybeUninit`.
+//!
+//! The buffer grows geometrically when full. Retired buffers are kept
+//! alive until every handle is dropped (an epoch-free reclamation
+//! strategy that trades a bounded amount of memory — the sum of smaller
+//! power-of-two buffers, i.e. less than one final buffer — for
+//! simplicity and provable safety).
+
+use crate::word::Word;
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; retrying may succeed.
+    Retry,
+    /// Stole an element.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Unwrap a `Success`, panicking otherwise (test helper).
+    pub fn success(self) -> T {
+        match self {
+            Steal::Success(v) => v,
+            Steal::Empty => panic!("steal: empty"),
+            Steal::Retry => panic!("steal: retry"),
+        }
+    }
+}
+
+/// Fixed-size circular buffer of atomic word slots.
+struct Buffer {
+    slots: Box<[AtomicU64]>,
+    /// `slots.len() - 1`; length is a power of two.
+    mask: usize,
+}
+
+impl Buffer {
+    fn new(cap: usize) -> Box<Buffer> {
+        debug_assert!(cap.is_power_of_two());
+        Box::new(Buffer {
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap - 1,
+        })
+    }
+
+    #[inline]
+    fn read(&self, i: i64) -> u64 {
+        self.slots[i as usize & self.mask].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn write(&self, i: i64, v: u64) {
+        self.slots[i as usize & self.mask].store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// State shared between the worker and its stealers.
+struct Inner {
+    top: AtomicI64,
+    bottom: AtomicI64,
+    buffer: AtomicPtr<Buffer>,
+    /// Buffers replaced by growth; freed when the last handle drops.
+    retired: parking_lot::Mutex<Vec<*mut Buffer>>,
+}
+
+// SAFETY: all shared access to `buffer`/slots is via atomics; `retired`
+// is mutex-protected. Raw pointers are only freed once, at drop.
+unsafe impl Send for Inner {}
+unsafe impl Sync for Inner {}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // SAFETY: we have exclusive access (last Arc dropped). Every
+        // pointer in `retired` plus the live buffer was created by
+        // `Box::into_raw` and is freed exactly once here.
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+            for p in self.retired.lock().drain(..) {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+/// Owner handle: push and pop at the bottom. Not `Clone` — exactly one
+/// owner exists, which is what makes the owner's operations cheap.
+pub struct Worker<T: Word> {
+    inner: Arc<Inner>,
+    _not_sync: PhantomData<*mut ()>, // !Sync: single-owner discipline
+    _elem: PhantomData<T>,
+}
+
+// SAFETY: the worker can move between threads (it is the unique owner);
+// it just cannot be shared (`!Sync` via PhantomData<*mut ()>).
+unsafe impl<T: Word + Send> Send for Worker<T> {}
+
+/// Thief handle: steal from the top. Cheap to clone.
+pub struct Stealer<T: Word> {
+    inner: Arc<Inner>,
+    _elem: PhantomData<T>,
+}
+
+unsafe impl<T: Word + Send> Send for Stealer<T> {}
+unsafe impl<T: Word + Send> Sync for Stealer<T> {}
+
+impl<T: Word> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner), _elem: PhantomData }
+    }
+}
+
+/// Create a deque with the given initial capacity (rounded up to a power
+/// of two, minimum 4).
+pub fn new<T: Word>(initial_cap: usize) -> (Worker<T>, Stealer<T>) {
+    let cap = initial_cap.max(4).next_power_of_two();
+    let inner = Arc::new(Inner {
+        top: AtomicI64::new(0),
+        bottom: AtomicI64::new(0),
+        buffer: AtomicPtr::new(Box::into_raw(Buffer::new(cap))),
+        retired: parking_lot::Mutex::new(Vec::new()),
+    });
+    (
+        Worker { inner: Arc::clone(&inner), _not_sync: PhantomData, _elem: PhantomData },
+        Stealer { inner, _elem: PhantomData },
+    )
+}
+
+impl<T: Word> Worker<T> {
+    /// Push an element at the bottom (owner end).
+    pub fn push(&self, value: T) {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        // SAFETY: only the owner mutates `buffer`, and the pointer is
+        // valid until Inner::drop.
+        let mut buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+        if b - t >= buf.cap() as i64 {
+            buf = self.grow(buf, t, b);
+        }
+        buf.write(b, value.to_u64());
+        fence(Ordering::Release);
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pop an element from the bottom (owner end, LIFO). Returns `None`
+    /// when the deque is empty (or the last element was stolen first).
+    pub fn pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: pointer valid until Inner::drop; only owner swaps it.
+        let buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Non-empty as observed.
+            let v = T::from_u64(buf.read(b));
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(v)
+                } else {
+                    None
+                }
+            } else {
+                Some(v)
+            }
+        } else {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Number of elements currently in the deque (approximate under
+    /// concurrent steals; exact when quiescent).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True when [`Self::len`] is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner), _elem: PhantomData }
+    }
+
+    /// Grow the buffer to twice its size, copying live elements.
+    #[cold]
+    fn grow<'a>(&'a self, old: &'a Buffer, t: i64, b: i64) -> &'a Buffer {
+        let new = Buffer::new(old.cap() * 2);
+        for i in t..b {
+            new.write(i, old.read(i));
+        }
+        let new_ptr = Box::into_raw(new);
+        let old_ptr = self.inner.buffer.swap(new_ptr, Ordering::Release);
+        self.inner.retired.lock().push(old_ptr);
+        // SAFETY: just created, freed only at Inner::drop.
+        unsafe { &*new_ptr }
+    }
+}
+
+impl<T: Word> Stealer<T> {
+    /// Attempt to steal the oldest element (top end, FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read the element *before* the validating CAS. The read may be
+        // stale if we lose the race, but then the CAS fails and the
+        // value is discarded — the benign race of the algorithm, here an
+        // ordinary relaxed atomic load.
+        // SAFETY: buffer pointer is valid until Inner::drop; growth
+        // retires (does not free) old buffers, so even a stale pointer
+        // read stays dereferenceable.
+        let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
+        let v = T::from_u64(buf.read(t));
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(v)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Steal with bounded retries, returning `None` on `Empty` or when
+    /// retries are exhausted.
+    pub fn steal_retry(&self, max_retries: usize) -> Option<T> {
+        for _ in 0..=max_retries {
+            match self.steal() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+        None
+    }
+
+    /// Approximate number of elements.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True when [`Self::len`] is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let (w, s) = new::<u64>(4);
+        for i in 0..6u64 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.pop(), Some(5)); // owner: newest first
+        assert_eq!(s.steal().success(), 0); // thief: oldest first
+        assert_eq!(s.steal().success(), 1);
+        assert_eq!(w.pop(), Some(4));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let (w, s) = new::<u64>(4);
+        for i in 0..1000u64 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(s.steal().success(), i);
+        }
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn interleaved_push_pop_steal_single_thread() {
+        let (w, s) = new::<u64>(8);
+        let mut seen = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..4 {
+                w.push(round * 4 + i);
+            }
+            if let Some(v) = w.pop() {
+                seen.push(v);
+            }
+            if let Steal::Success(v) = s.steal() {
+                seen.push(v);
+            }
+        }
+        while let Some(v) = w.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stress_one_owner_many_thieves() {
+        // Every pushed element is received exactly once, across 3 thief
+        // threads and an owner that pops half the time.
+        const N: u64 = 20_000;
+        let (w, s) = new::<u64>(16);
+        let stop = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let s = s.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if stop.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        let mut owner_got = Vec::new();
+        for i in 0..N {
+            w.push(i);
+            if i % 2 == 0 {
+                if let Some(v) = w.pop() {
+                    owner_got.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            owner_got.push(v);
+        }
+        stop.store(1, Ordering::Release);
+        let mut all = owner_got;
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        // Drain anything left after thieves observed Empty before final pops.
+        all.sort_unstable();
+        assert_eq!(all.len(), N as usize, "lost or duplicated elements");
+        for (i, v) in all.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn stress_growth_under_contention() {
+        // Grow repeatedly while thieves are active.
+        const N: u64 = 50_000;
+        let (w, s) = new::<u64>(4);
+        let done = Arc::new(AtomicI64::new(0));
+        let thief = {
+            let s = s.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                let mut count = 0u64;
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            sum += v;
+                            count += 1;
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                (sum, count)
+            })
+        };
+        let mut own_sum = 0u64;
+        let mut own_count = 0u64;
+        for i in 0..N {
+            w.push(i);
+        }
+        while let Some(v) = w.pop() {
+            own_sum += v;
+            own_count += 1;
+        }
+        done.store(1, Ordering::Release);
+        let (thief_sum, thief_count) = thief.join().unwrap();
+        assert_eq!(own_count + thief_count, N);
+        assert_eq!(own_sum + thief_sum, N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn empty_pop_on_fresh_deque() {
+        let (w, s) = new::<u32>(4);
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+        assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn steal_retry_helper() {
+        let (w, s) = new::<u64>(4);
+        assert_eq!(s.steal_retry(3), None);
+        w.push(9);
+        assert_eq!(s.steal_retry(3), Some(9));
+    }
+}

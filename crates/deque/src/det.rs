@@ -1,0 +1,168 @@
+//! Deterministic spark-pool deque used inside the discrete-event
+//! simulator.
+//!
+//! Semantically identical to the Chase–Lev deque (owner LIFO at the
+//! bottom, thieves FIFO at the top) but sequential, so simulation runs
+//! are exactly reproducible. It additionally models GHC's *bounded*
+//! spark pool: when the pool is full, a newly created spark is dropped
+//! (counted as an overflow), exactly like GHC's `newSpark` primitive.
+
+use std::collections::VecDeque;
+
+/// A bounded, deterministic work-stealing deque.
+#[derive(Debug, Clone)]
+pub struct DetDeque<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    overflowed: u64,
+}
+
+impl<T> DetDeque<T> {
+    /// A deque holding at most `capacity` elements (GHC's default spark
+    /// pool size is 4096 entries per capability).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "spark pool capacity must be positive");
+        DetDeque { items: VecDeque::new(), capacity, overflowed: 0 }
+    }
+
+    /// Push at the bottom (owner end). Returns `false` and drops the
+    /// element if the pool is full — the overflow is counted.
+    pub fn push(&mut self, value: T) -> bool {
+        if self.items.len() >= self.capacity {
+            self.overflowed += 1;
+            return false;
+        }
+        self.items.push_back(value);
+        true
+    }
+
+    /// Pop from the bottom (owner end, LIFO — newest first).
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_back()
+    }
+
+    /// Steal from the top (thief end, FIFO — oldest first).
+    pub fn steal(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of sparks dropped due to pool overflow so far.
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterate the queued elements, oldest (steal end) first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Retain only elements satisfying the predicate — used by the GpH
+    /// runtime to prune fizzled sparks during GC, like GHC's
+    /// `pruneSparkQueue`.
+    pub fn retain(&mut self, f: impl FnMut(&T) -> bool) {
+        self.items.retain(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_lifo_thief_fifo() {
+        let mut d = DetDeque::new(16);
+        for i in 0..5 {
+            assert!(d.push(i));
+        }
+        assert_eq!(d.pop(), Some(4));
+        assert_eq!(d.steal(), Some(0));
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn overflow_drops_new_sparks() {
+        let mut d = DetDeque::new(2);
+        assert!(d.push(1));
+        assert!(d.push(2));
+        assert!(!d.push(3));
+        assert!(!d.push(4));
+        assert_eq!(d.overflowed(), 2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.steal(), Some(1)); // oldest survives; newest dropped
+    }
+
+    #[test]
+    fn retain_prunes() {
+        let mut d = DetDeque::new(8);
+        for i in 0..6 {
+            d.push(i);
+        }
+        d.retain(|&x| x % 2 == 0);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.steal(), Some(0));
+        assert_eq!(d.pop(), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = DetDeque::<u32>::new(0);
+    }
+
+    /// The deterministic deque and the Chase–Lev deque agree on any
+    /// single-threaded operation sequence (the concurrent behaviour is
+    /// covered by the stress tests in `chase_lev`).
+    #[test]
+    fn agrees_with_chase_lev_sequentially() {
+        use crate::chase_lev::{self, Steal};
+        let (w, s) = chase_lev::new::<u64>(4);
+        let mut d = DetDeque::new(usize::MAX >> 1);
+        let mut x = 1u64;
+        for step in 0..10_000u64 {
+            // Simple deterministic op mix.
+            match (step * 2654435761) % 4 {
+                0 | 1 => {
+                    w.push(x);
+                    d.push(x);
+                    x += 1;
+                }
+                2 => {
+                    let a = w.pop();
+                    let b = d.pop();
+                    assert_eq!(a, b, "pop mismatch at step {step}");
+                }
+                _ => {
+                    let a = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        _ => None,
+                    };
+                    let b = d.steal();
+                    assert_eq!(a, b, "steal mismatch at step {step}");
+                }
+            }
+            assert_eq!(w.len(), d.len());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # rph-deque — work-stealing deques for spark pools
+//!
+//! Section IV.A.2 of the paper replaces GHC's scheduler-driven spark
+//! *pushing* with a work-*stealing* scheme: "the spark pool is
+//! implemented using a lock-free work-stealing queue \[Chase & Lev,
+//! SPAA'05\], and idle capabilities can steal sparks from the spark
+//! pools of other capabilities".
+//!
+//! This crate provides both halves needed by the reproduction:
+//!
+//! * [`chase_lev`] — a from-scratch implementation of the Chase–Lev
+//!   dynamic circular work-stealing deque with real atomics, the data
+//!   structure the optimised GHC runtime uses. It is exercised by
+//!   real-OS-thread stress tests and property tests. Elements are
+//!   machine words (see [`word::Word`]), which is exactly what GHC
+//!   stores in spark pools (closure pointers) and keeps every racy
+//!   access a genuine atomic access (no undefined behaviour).
+//! * [`det`] — a deterministic sequential deque with the same
+//!   owner-LIFO / thief-FIFO discipline plus GHC's bounded spark-pool
+//!   semantics (overflowing sparks are dropped). The discrete-event
+//!   simulator uses this variant so whole-program runs are exactly
+//!   reproducible, while charging the Chase–Lev cost model (steal
+//!   attempts, CAS retries) in virtual time.
+//!
+//! Both expose the same three operations with the same semantics:
+//! `push` (owner, bottom end), `pop` (owner, bottom end — LIFO, newest
+//! spark first, which favours locality), and `steal` (thief, top end —
+//! FIFO, oldest spark first, which favours large stolen subtrees).
+
+pub mod chase_lev;
+pub mod det;
+pub mod word;
+
+pub use chase_lev::{Steal, Stealer, Worker};
+pub use det::DetDeque;
+pub use word::Word;

@@ -1,0 +1,98 @@
+//! Machine-word element trait for the lock-free deque.
+//!
+//! The Chase–Lev buffer stores elements in `AtomicU64` slots so that the
+//! deliberately racy reads of the algorithm (a thief may read a slot
+//! that loses its validating CAS) are ordinary atomic operations instead
+//! of undefined-behaviour data races. GHC's spark pools store closure
+//! pointers — single machine words — so this costs no generality for
+//! the reproduction.
+
+/// Types that round-trip losslessly through a `u64`.
+///
+/// # Safety-adjacent contract
+/// `from_u64(to_u64(x)) == x` must hold for every value `x`. The deque
+/// relies on this for correctness (not memory safety).
+pub trait Word: Copy {
+    fn to_u64(self) -> u64;
+    fn from_u64(w: u64) -> Self;
+}
+
+impl Word for u64 {
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_u64(w: u64) -> Self {
+        w
+    }
+}
+
+impl Word for u32 {
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_u64(w: u64) -> Self {
+        w as u32
+    }
+}
+
+impl Word for usize {
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_u64(w: u64) -> Self {
+        w as usize
+    }
+}
+
+impl Word for i64 {
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_u64(w: u64) -> Self {
+        w as i64
+    }
+}
+
+/// Derive [`Word`] for a newtype wrapper around a word type, e.g.
+/// `word_newtype!(NodeRef, u64)`.
+#[macro_export]
+macro_rules! word_newtype {
+    ($ty:ty, $inner:ty) => {
+        impl $crate::word::Word for $ty {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                <$inner as $crate::word::Word>::to_u64(self.0)
+            }
+            #[inline]
+            fn from_u64(w: u64) -> Self {
+                Self(<$inner as $crate::word::Word>::from_u64(w))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Ref(u32);
+    word_newtype!(Ref, u32);
+
+    #[test]
+    fn roundtrips() {
+        assert_eq!(u64::from_u64(42u64.to_u64()), 42);
+        assert_eq!(u32::from_u64(7u32.to_u64()), 7);
+        assert_eq!(usize::from_u64(99usize.to_u64()), 99);
+        assert_eq!(i64::from_u64((-3i64).to_u64()), -3);
+        assert_eq!(Ref::from_u64(Ref(5).to_u64()), Ref(5));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the Chase–Lev deque: sequential equivalence with
+//! a model, and real-thread linearisability-style checks (no element
+//! lost, none duplicated) under random operation mixes.
+
+use proptest::prelude::*;
+use rph_deque::chase_lev::{self, Steal};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u64),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Single-threaded: the lock-free deque behaves exactly like a
+    /// VecDeque model (owner at the back, thief at the front).
+    #[test]
+    fn sequential_model_equivalence(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let (w, s) = chase_lev::new::<u64>(4);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(x) => {
+                    w.push(x);
+                    model.push_back(x);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), model.pop_back());
+                }
+                Op::Steal => {
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => unreachable!("no contention single-threaded"),
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+        }
+    }
+
+    /// Multi-threaded: for random thief counts and push volumes, every
+    /// pushed element is received exactly once across owner and
+    /// thieves.
+    #[test]
+    fn concurrent_no_loss_no_duplication(
+        n in 1_000u64..8_000,
+        thieves in 1usize..4,
+        pop_every in 1u64..5,
+    ) {
+        let (w, s) = chase_lev::new::<u64>(8);
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..thieves {
+            let s = s.clone();
+            let done = done.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(std::sync::atomic::Ordering::Acquire) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        let mut mine = Vec::new();
+        for i in 0..n {
+            w.push(i);
+            if i % pop_every == 0 {
+                if let Some(v) = w.pop() {
+                    mine.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        done.store(true, std::sync::atomic::Ordering::Release);
+        for h in handles {
+            mine.extend(h.join().unwrap());
+        }
+        mine.sort_unstable();
+        let expect: Vec<u64> = (0..n).collect();
+        prop_assert_eq!(mine, expect);
+    }
+}
+
+/// Cross-check against crossbeam's battle-tested implementation on a
+/// random interleaving script (single-threaded semantics must agree).
+#[test]
+fn agrees_with_crossbeam_deque() {
+    use crossbeam::deque as cb;
+    let (w, s) = chase_lev::new::<u64>(4);
+    let cw = cb::Worker::new_lifo();
+    let cs = cw.stealer();
+    let mut x = 0u64;
+    for step in 0..20_000u64 {
+        match (step * 2654435761) % 5 {
+            0..=2 => {
+                w.push(x);
+                cw.push(x);
+                x += 1;
+            }
+            3 => {
+                let a = w.pop();
+                let b = cw.pop();
+                assert_eq!(a, b, "pop divergence at step {step}");
+            }
+            _ => {
+                let a = match s.steal() {
+                    Steal::Success(v) => Some(v),
+                    _ => None,
+                };
+                let b = match cs.steal() {
+                    cb::Steal::Success(v) => Some(v),
+                    _ => None,
+                };
+                assert_eq!(a, b, "steal divergence at step {step}");
+            }
+        }
+    }
+}

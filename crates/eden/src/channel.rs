@@ -1,0 +1,73 @@
+//! Channels, communication modes, and endpoints.
+
+/// A globally unique channel identifier. The parent allocates channel
+/// ids before spawning, which lets skeletons wire arbitrary process
+/// topologies (ring, torus) by telling one child to send directly to a
+/// sibling's input channel — Eden's "dynamic channels".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChanId(pub u64);
+
+impl std::fmt::Display for ChanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Where a message goes: a channel on a PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    pub pe: u32,
+    pub chan: ChanId,
+}
+
+/// How a value travels over a channel — Eden's overloaded `Trans`
+/// communication semantics (§II.A):
+///
+/// * `Single`: reduce to normal form, send in one message.
+/// * `Stream`: a top-level list is evaluated and sent element by
+///   element (each element itself in normal form).
+///
+/// Tuples are not a `CommMode`: a tuple-valued process output gets one
+/// independent channel (and sender thread) *per component*, each with
+/// its own mode — that is handled by the spawn API, mirroring how
+/// Eden's `Trans` instances create a thread per tuple component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommMode {
+    Single,
+    Stream,
+}
+
+/// Receiver-side state of a channel.
+#[derive(Debug, Clone, Copy)]
+pub enum ChanState {
+    /// A single value will arrive and overwrite this placeholder.
+    Single { placeholder: rph_heap::NodeRef },
+    /// A stream: `tail` is the placeholder for the not-yet-received
+    /// rest of the list; each `StreamItem` conses onto it and rolls the
+    /// placeholder forward.
+    Stream { tail: rph_heap::NodeRef },
+}
+
+impl ChanState {
+    /// The placeholder node currently representing future data.
+    pub fn placeholder(&self) -> rph_heap::NodeRef {
+        match self {
+            ChanState::Single { placeholder } => *placeholder,
+            ChanState::Stream { tail } => *tail,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_eq() {
+        assert_eq!(ChanId(4).to_string(), "ch4");
+        assert_eq!(
+            Endpoint { pe: 1, chan: ChanId(2) },
+            Endpoint { pe: 1, chan: ChanId(2) }
+        );
+    }
+}

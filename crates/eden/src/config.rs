@@ -1,0 +1,84 @@
+//! Eden runtime configuration.
+
+use rph_heap::AllocArea;
+use rph_sim::Costs;
+
+/// Configuration of an Eden run.
+#[derive(Debug, Clone)]
+pub struct EdenConfig {
+    /// Number of virtual PEs (PVM "virtual machines"). May exceed
+    /// `cores` — the paper's Fig. 4 d/e run 9 and 17 PEs on 8 cores.
+    pub pes: usize,
+    /// Number of physical cores the OS schedules PEs onto.
+    pub cores: usize,
+    /// Per-PE allocation area in words. Same GHC default as the
+    /// shared-heap runtime; each PE collects independently.
+    pub alloc_area_words: u64,
+    /// Allocation checkpoint quantum in words.
+    pub checkpoint_words: u64,
+    /// Overhead cost model (message latency, GC, OS quanta, …).
+    pub costs: Costs,
+    /// Simulator slice bound (virtual time a PE advances per
+    /// dispatch; also the OS-quantum granularity interacts with this).
+    pub sim_slice: u64,
+    /// Thread time slice within a PE (GHC `-C`): how long one thread
+    /// (e.g. a process-output sender) may run before the scheduler
+    /// rotates to the next runnable thread. Stream pipelining depends
+    /// on senders interleaving at this granularity.
+    pub time_slice: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record a full event trace.
+    pub trace: bool,
+}
+
+impl EdenConfig {
+    /// `pes` virtual PEs on the same number of cores — the standard
+    /// configuration (Fig. 1's "8 PEs running under PVM").
+    pub fn new(pes: usize) -> Self {
+        EdenConfig {
+            pes,
+            cores: pes,
+            alloc_area_words: AllocArea::DEFAULT_AREA_WORDS,
+            checkpoint_words: AllocArea::DEFAULT_CHECKPOINT_WORDS,
+            costs: Costs::default(),
+            sim_slice: 100_000,
+            time_slice: 10_000,
+            seed: 0x9E37,
+            trace: true,
+        }
+    }
+
+    /// Oversubscribed: `pes` virtual PEs time-sliced onto `cores`
+    /// cores (Fig. 4 d/e).
+    pub fn oversubscribed(pes: usize, cores: usize) -> Self {
+        let mut c = Self::new(pes);
+        c.cores = cores;
+        c
+    }
+
+    pub fn without_trace(mut self) -> Self {
+        self.trace = false;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = EdenConfig::new(8);
+        assert_eq!((c.pes, c.cores), (8, 8));
+        let o = EdenConfig::oversubscribed(17, 8).without_trace().with_seed(3);
+        assert_eq!((o.pes, o.cores), (17, 8));
+        assert!(!o.trace);
+        assert_eq!(o.seed, 3);
+    }
+}

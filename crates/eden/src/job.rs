@@ -1,0 +1,154 @@
+//! Thread jobs: what a PE thread does with the values it evaluates.
+//!
+//! Eden processes communicate through dedicated *sender threads*: one
+//! per output channel (one per tuple component), plus sender threads in
+//! the parent for process inputs. A sender normalises its value and
+//! transmits it according to the channel's [`CommMode`]; stream senders
+//! alternate between forcing the next spine cell and deep-forcing the
+//! element to send.
+
+use crate::channel::{ChanId, Endpoint};
+use crate::packet::Packet;
+use rph_heap::{Heap, NodeRef};
+use rph_trace::Time;
+
+/// A message on the wire.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Instantiate a process (delivered to the target PE).
+    Spawn {
+        f: rph_heap::ScId,
+        inputs: Vec<(ChanId, crate::channel::CommMode)>,
+        outputs: Vec<(crate::channel::CommMode, Endpoint)>,
+    },
+    /// A complete single value for a channel.
+    Value { chan: ChanId, packet: Packet },
+    /// One stream element.
+    StreamItem { chan: ChanId, packet: Packet },
+    /// End of stream.
+    StreamEnd { chan: ChanId },
+}
+
+impl Msg {
+    /// Payload size in words (headers are charged via latency).
+    pub fn words(&self) -> u64 {
+        match self {
+            Msg::Value { packet, .. } | Msg::StreamItem { packet, .. } => packet.words(),
+            Msg::Spawn { .. } | Msg::StreamEnd { .. } => 0,
+        }
+    }
+
+    /// Short tag for tracing.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Msg::Spawn { .. } => "spawn",
+            Msg::Value { .. } => "value",
+            Msg::StreamItem { .. } => "stream-item",
+            Msg::StreamEnd { .. } => "stream-end",
+        }
+    }
+}
+
+/// Phase of a stream sender.
+#[derive(Debug, Clone, Copy)]
+pub enum StreamPhase {
+    /// Forcing the next spine cell to WHNF (is it `Cons` or `Nil`?).
+    Spine,
+    /// Deep-forcing the current head; `tail` is the rest of the spine.
+    Head { tail: NodeRef },
+}
+
+/// What a thread is for.
+pub enum Job {
+    /// The program's main thread (PE 0); its result ends the run.
+    Main,
+    /// Normalise the machine's target and send it in one message.
+    SendSingle { dest: Endpoint },
+    /// Send the machine's target as a stream, element by element.
+    SendStream { dest: Endpoint, phase: StreamPhase },
+    /// Native coordination logic (e.g. the master of `masterWorker`);
+    /// has no abstract machine — it reacts to channel data directly.
+    Native(Box<dyn NativeLogic>),
+}
+
+impl Job {
+    /// Roots held by the job itself (beyond the machine's).
+    pub fn push_roots(&self, out: &mut Vec<NodeRef>) {
+        match self {
+            Job::SendStream { phase: StreamPhase::Head { tail }, .. } => out.push(*tail),
+            Job::Native(n) => n.push_roots(out),
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Job::Main => write!(f, "Main"),
+            Job::SendSingle { dest } => write!(f, "SendSingle({}→{})", dest.pe, dest.chan),
+            Job::SendStream { dest, phase } => {
+                write!(f, "SendStream({}→{}, {phase:?})", dest.pe, dest.chan)
+            }
+            Job::Native(_) => write!(f, "Native"),
+        }
+    }
+}
+
+/// Outcome of a native step.
+pub enum NativeStep {
+    /// Re-run this native once any of these nodes is in WHNF (message
+    /// deliveries update placeholders, making them WHNF).
+    Wait(Vec<NodeRef>),
+    /// The native is finished.
+    Done,
+}
+
+/// Context handed to native logic: heap access plus outgoing sends.
+pub struct NativeCtx<'a> {
+    pub heap: &'a mut Heap,
+    pub now: Time,
+    /// Work units to charge for this step (natives add their own
+    /// processing cost here).
+    pub cost: u64,
+    /// Messages to transmit after the step (the runtime charges send
+    /// costs and latency).
+    pub outgoing: Vec<(Endpoint, Msg)>,
+    /// Threads unblocked by heap updates the native performed (e.g.
+    /// filling a result placeholder); the runtime requeues them.
+    pub woken: Vec<rph_trace::ThreadId>,
+}
+
+impl<'a> NativeCtx<'a> {
+    /// Pack `node` (must be in normal form) and queue it as a single
+    /// value to `dest`.
+    pub fn send_single(&mut self, dest: Endpoint, node: NodeRef) -> Result<(), String> {
+        let packet = crate::packet::pack(self.heap, node).map_err(|e| e.to_string())?;
+        self.outgoing.push((dest, Msg::Value { chan: dest.chan, packet }));
+        Ok(())
+    }
+
+    /// Pack `node` and queue it as one stream element to `dest`.
+    pub fn send_stream_item(&mut self, dest: Endpoint, node: NodeRef) -> Result<(), String> {
+        let packet = crate::packet::pack(self.heap, node).map_err(|e| e.to_string())?;
+        self.outgoing.push((dest, Msg::StreamItem { chan: dest.chan, packet }));
+        Ok(())
+    }
+
+    /// Queue end-of-stream to `dest`.
+    pub fn send_stream_end(&mut self, dest: Endpoint) {
+        self.outgoing.push((dest, Msg::StreamEnd { chan: dest.chan }));
+    }
+}
+
+/// Coordination logic that runs natively on a PE (the counterpart of
+/// Eden's IO-monadic "more basic internals \[providing\] more explicit
+/// control", §II.A.1). Used by the `masterWorker` skeleton's master.
+pub trait NativeLogic: Send {
+    /// Called when first scheduled and again whenever a node from the
+    /// last [`NativeStep::Wait`] set has become WHNF.
+    fn step(&mut self, ctx: &mut NativeCtx<'_>) -> Result<NativeStep, String>;
+
+    /// GC roots this logic holds.
+    fn push_roots(&self, out: &mut Vec<NodeRef>);
+}

@@ -1,0 +1,77 @@
+//! # rph-eden — the distributed-heap Eden runtime
+//!
+//! The simulated counterpart of the Eden implementation the paper runs
+//! on multicore machines (§III.B): every *processing element* (PE) is a
+//! complete sequential runtime with its **own private heap and its own
+//! independent garbage collector**; PEs are connected by a
+//! message-passing middleware (the paper uses PVM mapped onto shared
+//! memory), and may be more numerous than the physical cores (the
+//! OS time-slices them — Fig. 4 runs 9 and 17 virtual PEs on 8 cores).
+//!
+//! Eden semantics implemented here (§II.A):
+//!
+//! * **Processes** are instantiated eagerly on remote PEs and
+//!   communicate *fully evaluated* data through channels — all values
+//!   are reduced to normal form before sending.
+//! * **Top-level lists are streams**: sent element by element.
+//! * **Tuple components** are evaluated and sent by independent
+//!   concurrent sender threads, each on its own channel.
+//! * Inputs to a process are evaluated *in the parent* by concurrent
+//!   sender threads.
+//! * Receivers allocate **placeholders** in their heap "which will be
+//!   replaced by arriving message data" — here literally black holes
+//!   that message delivery updates, waking blocked threads.
+//!
+//! The skeleton layer ([`skeletons`]) provides the paper's `parMap`,
+//! `parMapReduce`, `parReduce`, `masterWorker`, `ring` and `torus`
+//! (Cannon) skeletons on top of the raw process/channel API, mirroring
+//! how Eden's skeleton library is "implemented as a Haskell module on
+//! top of these more basic primitives".
+//!
+//! # Example
+//!
+//! `parMap` of a kernel over eight inputs on four PEs:
+//!
+//! ```
+//! use rph_eden::{EdenConfig, EdenRuntime, install_support, skeletons};
+//! use rph_machine::{prelude, ProgramBuilder, KernelOut};
+//! use rph_machine::ir::*;
+//! use rph_heap::{NodeRef, Value};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let pre = prelude::install(&mut b);
+//! let support = install_support(&mut b);
+//! let work = b.kernel("work", 1, |heap, args| {
+//!     let x = heap.expect_value(args[0]).expect_int();
+//!     KernelOut { result: heap.alloc_value(Value::Int(x + 1)),
+//!                 cost: 50_000, transient_words: 100 }
+//! });
+//! let program = b.build();
+//!
+//! let mut rt = EdenRuntime::new(program, support, EdenConfig::new(4));
+//! let inputs: Vec<NodeRef> = (1..=8).map(|x| rt.heap_mut(0).int(x)).collect();
+//! let outs = skeletons::par_map(&mut rt, work, &inputs);
+//! let list = skeletons::list_of(rt.heap_mut(0), &outs);
+//! let entry = rt.heap_mut(0).alloc_thunk(pre.sum, vec![list]);
+//! let out = rt.run(entry).unwrap();
+//! assert_eq!(rt.heap(0).expect_value(out.result).expect_int(),
+//!            (1..=8).map(|x| x + 1).sum::<i64>());
+//! assert_eq!(out.stats.processes, 8);
+//! ```
+
+pub mod channel;
+#[cfg(test)]
+mod eden_tests;
+pub mod config;
+pub mod job;
+pub mod packet;
+pub mod pe;
+pub mod runtime;
+pub mod skeletons;
+pub mod support;
+
+pub use channel::{ChanId, CommMode, Endpoint};
+pub use config::EdenConfig;
+pub use packet::Packet;
+pub use runtime::{EdenRuntime, EdenStats, ProcSpec, RunOutcome};
+pub use support::{install_support, EdenSupport};

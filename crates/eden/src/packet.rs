@@ -1,0 +1,259 @@
+//! Serialised normal-form subgraphs: the payload of Eden messages.
+//!
+//! A [`Packet`] is a heap-independent representation of a normal-form
+//! value graph ("computation subgraph structures, serialised into one
+//! or more packets", §III.B). Packing flattens the subgraph with
+//! sharing preserved; unpacking allocates it into the receiving PE's
+//! private heap. Supercombinator ids travel verbatim — the program
+//! table is replicated on every PE, exactly like the compiled code
+//! segment of a real Eden binary.
+
+use rph_heap::{Cell, Heap, HeapError, NodeRef, ScId, Value};
+use std::collections::HashMap;
+
+/// One serialised cell. Indices refer to [`Packet::cells`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PCell {
+    Int(i64),
+    Double(f64),
+    Bool(bool),
+    Unit,
+    Nil,
+    Cons(u32, u32),
+    Tuple(Box<[u32]>),
+    DArray(Box<[f64]>),
+    Pap { sc: ScId, args: Box<[u32]> },
+}
+
+/// A serialised normal-form subgraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Cells in an order where children precede parents (packing is a
+    /// post-order traversal), so unpacking is a single forward pass.
+    cells: Vec<PCell>,
+    /// Index of the root cell.
+    root: u32,
+    /// Serialised size in heap words (drives transmission cost).
+    words: u64,
+}
+
+impl Packet {
+    /// Serialised size in words.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Number of distinct cells (sharing collapses duplicates).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True for a packet with no cells (never produced by `pack`).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Serialise the normal-form subgraph rooted at `root`.
+///
+/// Fails with [`HeapError::NotNormalForm`] if any reachable cell is an
+/// unevaluated thunk or a black hole — the sender must normalise first.
+pub fn pack(heap: &Heap, root: NodeRef) -> Result<Packet, HeapError> {
+    let mut cells = Vec::new();
+    let mut memo: HashMap<NodeRef, u32> = HashMap::new();
+    let mut words = 0u64;
+    let root_idx = pack_rec(heap, heap.resolve(root), &mut cells, &mut memo, &mut words)?;
+    Ok(Packet { cells, root: root_idx, words })
+}
+
+fn pack_rec(
+    heap: &Heap,
+    r: NodeRef,
+    cells: &mut Vec<PCell>,
+    memo: &mut HashMap<NodeRef, u32>,
+    words: &mut u64,
+) -> Result<u32, HeapError> {
+    let r = heap.resolve(r);
+    if let Some(&idx) = memo.get(&r) {
+        return Ok(idx);
+    }
+    let value = match heap.get(r) {
+        Cell::Value(v) => v,
+        Cell::Thunk { .. } | Cell::BlackHole { .. } => return Err(HeapError::NotNormalForm(r)),
+        Cell::Free => return Err(HeapError::UseAfterFree(r)),
+        Cell::Ind(_) => unreachable!("resolved"),
+    };
+    *words += value.words();
+    let pcell = match value {
+        Value::Int(i) => PCell::Int(*i),
+        Value::Double(d) => PCell::Double(*d),
+        Value::Bool(b) => PCell::Bool(*b),
+        Value::Unit => PCell::Unit,
+        Value::Nil => PCell::Nil,
+        Value::DArray(xs) => PCell::DArray(xs.clone()),
+        Value::Cons(h, t) => {
+            // Iterative over the spine to keep Rust stack depth O(1)
+            // in list length: collect the spine first.
+            let (h, t) = (*h, *t);
+            let mut spine = vec![(r, h)];
+            let mut tail = t;
+            let tail_idx = loop {
+                let tr = heap.resolve(tail);
+                if let Some(&idx) = memo.get(&tr) {
+                    break idx;
+                }
+                match heap.get(tr) {
+                    Cell::Value(Value::Cons(h2, t2)) => {
+                        spine.push((tr, *h2));
+                        tail = *t2;
+                    }
+                    Cell::Value(_) => break pack_rec(heap, tr, cells, memo, words)?,
+                    Cell::Thunk { .. } | Cell::BlackHole { .. } => {
+                        return Err(HeapError::NotNormalForm(tr))
+                    }
+                    Cell::Free => return Err(HeapError::UseAfterFree(tr)),
+                    Cell::Ind(_) => unreachable!(),
+                }
+            };
+            let mut tail_idx = tail_idx;
+            // Count the extra spine cells' words (the first cons was
+            // already counted above).
+            *words += 3 * (spine.len() as u64 - 1);
+            while let Some((node, head)) = spine.pop() {
+                let h_idx = pack_rec(heap, head, cells, memo, words)?;
+                cells.push(PCell::Cons(h_idx, tail_idx));
+                let idx = (cells.len() - 1) as u32;
+                memo.insert(node, idx);
+                tail_idx = idx;
+            }
+            return Ok(tail_idx);
+        }
+        Value::Tuple(fields) => {
+            let idxs: Box<[u32]> = fields
+                .iter()
+                .map(|f| pack_rec(heap, *f, cells, memo, words))
+                .collect::<Result<_, _>>()?;
+            PCell::Tuple(idxs)
+        }
+        Value::Pap { sc, args } => {
+            let idxs: Box<[u32]> = args
+                .iter()
+                .map(|a| pack_rec(heap, *a, cells, memo, words))
+                .collect::<Result<_, _>>()?;
+            PCell::Pap { sc: *sc, args: idxs }
+        }
+    };
+    cells.push(pcell);
+    let idx = (cells.len() - 1) as u32;
+    memo.insert(r, idx);
+    Ok(idx)
+}
+
+/// Allocate the packet's subgraph into `heap`, returning the root.
+pub fn unpack(packet: &Packet, heap: &mut Heap) -> NodeRef {
+    let mut nodes: Vec<NodeRef> = Vec::with_capacity(packet.cells.len());
+    for cell in &packet.cells {
+        let v = match cell {
+            PCell::Int(i) => Value::Int(*i),
+            PCell::Double(d) => Value::Double(*d),
+            PCell::Bool(b) => Value::Bool(*b),
+            PCell::Unit => Value::Unit,
+            PCell::Nil => Value::Nil,
+            PCell::DArray(xs) => Value::DArray(xs.clone()),
+            PCell::Cons(h, t) => Value::Cons(nodes[*h as usize], nodes[*t as usize]),
+            PCell::Tuple(fs) => {
+                Value::Tuple(fs.iter().map(|f| nodes[*f as usize]).collect())
+            }
+            PCell::Pap { sc, args } => Value::Pap {
+                sc: *sc,
+                args: args.iter().map(|a| nodes[*a as usize]).collect(),
+            },
+        };
+        nodes.push(heap.alloc_value(v));
+    }
+    nodes[packet.root as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rph_machine::reference::{alloc_int_list, read_int_list};
+
+    #[test]
+    fn roundtrip_list() {
+        let mut src = Heap::new();
+        let xs = alloc_int_list(&mut src, &[1, 2, 3, 4]);
+        let p = pack(&src, xs).unwrap();
+        let mut dst = Heap::new();
+        let r = unpack(&p, &mut dst);
+        assert_eq!(read_int_list(&dst, r), vec![1, 2, 3, 4]);
+        // 4 cons (3w) + 4 ints (2w) + nil (2w) = 22 words.
+        assert_eq!(p.words(), 22);
+    }
+
+    #[test]
+    fn roundtrip_long_list_no_stack_overflow() {
+        let mut src = Heap::new();
+        let data: Vec<i64> = (0..50_000).collect();
+        let xs = alloc_int_list(&mut src, &data);
+        let p = pack(&src, xs).unwrap();
+        let mut dst = Heap::new();
+        let r = unpack(&p, &mut dst);
+        assert_eq!(read_int_list(&dst, r), data);
+    }
+
+    #[test]
+    fn sharing_preserved_and_counted_once() {
+        let mut src = Heap::new();
+        let arr = src.alloc_value(Value::DArray(vec![7.0; 50].into()));
+        let t = src.alloc_value(Value::Tuple(vec![arr, arr].into()));
+        let p = pack(&src, t).unwrap();
+        assert_eq!(p.len(), 2, "array packed once");
+        assert_eq!(p.words(), 3 + 52);
+        let mut dst = Heap::new();
+        let r = unpack(&p, &mut dst);
+        match dst.expect_value(r) {
+            Value::Tuple(fs) => assert_eq!(fs[0], fs[1], "sharing survives"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn thunks_rejected() {
+        let mut src = Heap::new();
+        let t = src.alloc_thunk(ScId(0), vec![]);
+        let nil = src.alloc_value(Value::Nil);
+        let cons = src.alloc_value(Value::Cons(t, nil));
+        assert!(matches!(pack(&src, cons), Err(HeapError::NotNormalForm(_))));
+    }
+
+    #[test]
+    fn pap_crosses_heaps() {
+        let mut src = Heap::new();
+        let x = src.int(5);
+        let f = src.alloc_value(Value::Pap { sc: ScId(3), args: vec![x].into() });
+        let p = pack(&src, f).unwrap();
+        let mut dst = Heap::new();
+        let r = unpack(&p, &mut dst);
+        match dst.expect_value(r) {
+            Value::Pap { sc, args } => {
+                assert_eq!(*sc, ScId(3));
+                assert_eq!(dst.expect_value(args[0]).expect_int(), 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn indirections_resolved() {
+        let mut src = Heap::new();
+        let v = src.int(9);
+        let t = src.alloc_thunk(ScId(0), vec![]);
+        src.claim_thunk(t, true);
+        src.update(t, v);
+        let p = pack(&src, t).unwrap();
+        let mut dst = Heap::new();
+        let r = unpack(&p, &mut dst);
+        assert_eq!(dst.expect_value(r).expect_int(), 9);
+    }
+}

@@ -1,0 +1,189 @@
+//! One processing element: a complete sequential runtime with a
+//! private heap.
+
+use crate::channel::{ChanId, ChanState};
+use crate::job::{Job, Msg, NativeLogic};
+use rph_heap::gc::Collector;
+use rph_heap::{AllocArea, Cell, Heap, NodeRef};
+use rph_machine::Machine;
+use rph_sim::EventQueue;
+use rph_trace::{State, ThreadId, Time};
+use std::collections::{HashMap, VecDeque};
+
+/// A machine-driven thread on a PE.
+pub struct EdenTso {
+    pub machine: Machine,
+    pub job: Job,
+    /// When this thread was last installed (time-slice accounting).
+    pub started: Time,
+}
+
+/// A native (machine-less) coordination thread.
+pub struct NativeTso {
+    pub tid: ThreadId,
+    pub logic: Box<dyn NativeLogic>,
+}
+
+/// One processing element.
+pub struct Pe {
+    pub id: u32,
+    pub clock: Time,
+    pub heap: Heap,
+    pub collector: Collector,
+    pub area: AllocArea,
+    /// Runnable machine threads.
+    pub run_q: VecDeque<EdenTso>,
+    pub current: Option<EdenTso>,
+    /// Threads blocked on placeholders / local black holes.
+    pub blocked: HashMap<ThreadId, EdenTso>,
+    /// Native threads ready to step.
+    pub natives_ready: VecDeque<NativeTso>,
+    /// Native threads waiting for any of their nodes to become WHNF.
+    pub natives_waiting: Vec<(NativeTso, Vec<NodeRef>)>,
+    /// Receiver-side channel registry.
+    pub chans: HashMap<ChanId, ChanState>,
+    /// Incoming messages, ordered by delivery time.
+    pub inbox: EventQueue<Msg>,
+    /// Extra GC roots pinned by the runtime / skeletons.
+    pub pinned: Vec<NodeRef>,
+    /// Last traced state.
+    pub last_state: Option<State>,
+}
+
+impl Pe {
+    pub fn new(id: u32, area_words: u64, checkpoint_words: u64) -> Self {
+        Pe {
+            id,
+            clock: 0,
+            heap: Heap::new(),
+            collector: Collector::new(),
+            area: AllocArea::new(area_words, checkpoint_words),
+            run_q: VecDeque::new(),
+            current: None,
+            blocked: HashMap::new(),
+            natives_ready: VecDeque::new(),
+            natives_waiting: Vec::new(),
+            chans: HashMap::new(),
+            inbox: EventQueue::new(),
+            pinned: Vec::new(),
+            last_state: None,
+        }
+    }
+
+    /// Does this PE have something it could run right now (ignoring
+    /// undelivered messages)?
+    pub fn has_runnable(&self) -> bool {
+        self.current.is_some() || !self.run_q.is_empty() || !self.natives_ready.is_empty()
+    }
+
+    /// The earliest virtual time at which this PE can make progress:
+    /// its clock if it has runnable work, else the next inbox delivery
+    /// (clamped below by its clock), else `None` (fully quiescent).
+    pub fn ready_time(&self) -> Option<Time> {
+        if self.has_runnable() {
+            Some(self.clock)
+        } else {
+            self.inbox.peek_time().map(|t| t.max(self.clock))
+        }
+    }
+
+    /// Allocate a fresh placeholder (an empty black hole a message
+    /// delivery will update).
+    pub fn alloc_placeholder(&mut self) -> NodeRef {
+        self.heap.alloc(Cell::BlackHole { blocked: Vec::new() })
+    }
+
+    /// Wake native threads whose wait set now contains a WHNF node.
+    pub fn wake_natives(&mut self) {
+        let heap = &self.heap;
+        let mut i = 0;
+        while i < self.natives_waiting.len() {
+            let any_ready = self.natives_waiting[i]
+                .1
+                .iter()
+                .any(|r| heap.whnf(*r).is_some());
+            if any_ready {
+                let (tso, _) = self.natives_waiting.swap_remove(i);
+                self.natives_ready.push_back(tso);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// All GC roots of this PE.
+    pub fn collect_roots(&self) -> Vec<NodeRef> {
+        let mut roots = self.pinned.clone();
+        if let Some(t) = &self.current {
+            t.machine.push_roots(&mut roots);
+            t.job.push_roots(&mut roots);
+        }
+        for t in &self.run_q {
+            t.machine.push_roots(&mut roots);
+            t.job.push_roots(&mut roots);
+        }
+        for t in self.blocked.values() {
+            t.machine.push_roots(&mut roots);
+            t.job.push_roots(&mut roots);
+        }
+        for n in &self.natives_ready {
+            n.logic.push_roots(&mut roots);
+        }
+        for (n, waits) in &self.natives_waiting {
+            n.logic.push_roots(&mut roots);
+            roots.extend_from_slice(waits);
+        }
+        for st in self.chans.values() {
+            roots.push(st.placeholder());
+        }
+        roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_time_logic() {
+        let mut pe = Pe::new(0, 1 << 20, 512);
+        assert_eq!(pe.ready_time(), None);
+        pe.inbox.push(500, Msg::StreamEnd { chan: ChanId(0) });
+        assert_eq!(pe.ready_time(), Some(500));
+        pe.clock = 900;
+        assert_eq!(pe.ready_time(), Some(900), "clamped by clock");
+        pe.run_q.push_back(EdenTso {
+            machine: Machine::enter(ThreadId(1), {
+                // a dummy node
+                pe.heap.int(0)
+            }),
+            job: Job::Main,
+            started: 0,
+        });
+        assert_eq!(pe.ready_time(), Some(900));
+        assert!(pe.has_runnable());
+    }
+
+    #[test]
+    fn placeholder_is_blackhole_and_updatable() {
+        let mut pe = Pe::new(0, 1 << 20, 512);
+        let p = pe.alloc_placeholder();
+        assert!(pe.heap.whnf(p).is_none());
+        let v = pe.heap.int(42);
+        let rep = pe.heap.update(p, v);
+        assert!(!rep.duplicate);
+        assert_eq!(pe.heap.expect_value(p).expect_int(), 42);
+    }
+
+    #[test]
+    fn roots_include_channels_and_pins() {
+        let mut pe = Pe::new(0, 1 << 20, 512);
+        let p = pe.alloc_placeholder();
+        pe.chans.insert(ChanId(1), ChanState::Single { placeholder: p });
+        let x = pe.heap.int(7);
+        pe.pinned.push(x);
+        let roots = pe.collect_roots();
+        assert!(roots.contains(&p));
+        assert!(roots.contains(&x));
+    }
+}

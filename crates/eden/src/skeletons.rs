@@ -1,0 +1,523 @@
+//! Algorithmic and topology skeletons (§II.A of the paper).
+//!
+//! Each skeleton is a coordination pattern built on the raw
+//! process/channel API, exactly as Eden's skeleton library is "a
+//! Haskell module on top of these more basic primitives". Worker
+//! functions are supercombinators of the program being run; the
+//! skeleton spawns processes, wires channels (including child-to-child
+//! channels for the `ring` and `torus` topologies) and returns the
+//! node(s) on PE 0 through which the parent consumes the results.
+
+use crate::channel::{ChanId, CommMode, Endpoint};
+use crate::job::{NativeCtx, NativeLogic, NativeStep};
+use crate::runtime::{EdenRuntime, ProcSpec};
+use rph_heap::{Heap, NodeRef, ScId, Value};
+
+/// Round-robin placement, starting next to the parent (Eden's default
+/// `instantiateAt 0`): process `k` runs on PE `(k + 1) mod pes`.
+pub fn place(k: usize, pes: usize) -> usize {
+    (k + 1) % pes
+}
+
+/// Build a cons list from already-allocated nodes.
+pub fn list_of(heap: &mut Heap, nodes: &[NodeRef]) -> NodeRef {
+    let mut tail = heap.alloc_value(Value::Nil);
+    for &n in nodes.iter().rev() {
+        tail = heap.alloc_value(Value::Cons(n, tail));
+    }
+    tail
+}
+
+/// `parMap f xs`: one process per input, results as placeholders on
+/// PE 0 in input order. `f` has arity 1; inputs and outputs travel as
+/// single (normal-form) messages.
+pub fn par_map(rt: &mut EdenRuntime, f: ScId, inputs: &[NodeRef]) -> Vec<NodeRef> {
+    let pes = rt.num_pes();
+    let mut outs = Vec::with_capacity(inputs.len());
+    for (k, &x) in inputs.iter().enumerate() {
+        let target = place(k, pes);
+        let (out_chan, out_node) = rt.new_channel(0, CommMode::Single);
+        let in_chan = rt.fresh_chan();
+        rt.spawn(
+            target,
+            ProcSpec {
+                f,
+                inputs: vec![(in_chan, CommMode::Single)],
+                outputs: vec![(CommMode::Single, Endpoint { pe: 0, chan: out_chan })],
+            },
+        );
+        rt.send_value_from(0, Endpoint { pe: target as u32, chan: in_chan }, x, CommMode::Single);
+        outs.push(out_node);
+    }
+    outs
+}
+
+/// `parMap` + a parent-side combine: returns `combine [f x | x <- xs]`
+/// as a node on PE 0 (`combine` has arity 1 and takes the list of
+/// per-process results). This is the shape of `parReduce`:
+/// `parReduce f z xs = foldl' f z (parMap (foldl' f z) (splitIntoN n xs))`.
+pub fn par_map_fold(rt: &mut EdenRuntime, f: ScId, combine: ScId, inputs: &[NodeRef]) -> NodeRef {
+    let outs = par_map(rt, f, inputs);
+    let heap = rt.heap_mut(0);
+    let list = list_of(heap, &outs);
+    heap.alloc_thunk(combine, vec![list])
+}
+
+/// `parMapReduce` (§II.A): mapper processes turn each input chunk into
+/// key–value pairs and pre-reduce locally (the MapReduce "combiner");
+/// the parent merges the per-process partials with `merge` (arity 1,
+/// taking the list of partial results). Returns the merged node on
+/// PE 0.
+pub fn par_map_reduce(rt: &mut EdenRuntime, mapper: ScId, merge: ScId, chunks: &[NodeRef]) -> NodeRef {
+    par_map_fold(rt, mapper, merge, chunks)
+}
+
+/// `masterWorker f prefetch tasks`: a master on PE 0 feeds a dynamic
+/// bag of tasks to `n_workers` worker processes over task streams,
+/// sending a new task whenever a result comes back (with `prefetch`
+/// tasks in flight per worker initially). Results arrive in completion
+/// order. `worker_map` has arity 1 and must map `f` over its task
+/// stream lazily (e.g. `\ts -> map f ts`), so one task is processed per
+/// arriving stream element.
+///
+/// Task nodes must already be in normal form (they are packed directly
+/// by the master).
+///
+/// Returns the placeholder on PE 0 that the master fills with the list
+/// of results when every worker is done.
+pub fn master_worker(
+    rt: &mut EdenRuntime,
+    worker_map: ScId,
+    n_workers: usize,
+    prefetch: usize,
+    tasks: &[NodeRef],
+) -> NodeRef {
+    assert!(n_workers >= 1, "need at least one worker");
+    assert!(prefetch >= 1, "need a prefetch of at least one");
+    let pes = rt.num_pes();
+    let mut task_dests = Vec::with_capacity(n_workers);
+    let mut cursors = Vec::with_capacity(n_workers);
+    for w in 0..n_workers {
+        let target = place(w, pes);
+        let (res_chan, res_node) = rt.new_channel(0, CommMode::Stream);
+        let task_chan = rt.fresh_chan();
+        rt.spawn(
+            target,
+            ProcSpec {
+                f: worker_map,
+                inputs: vec![(task_chan, CommMode::Stream)],
+                outputs: vec![(CommMode::Stream, Endpoint { pe: 0, chan: res_chan })],
+            },
+        );
+        task_dests.push(Endpoint { pe: target as u32, chan: task_chan });
+        cursors.push(res_node);
+    }
+    let result_placeholder = rt.alloc_placeholder(0);
+    rt.pin_root(0, result_placeholder);
+    let master = Master {
+        pending: tasks.iter().rev().copied().collect(),
+        task_dests,
+        cursors,
+        input_ended: vec![false; n_workers],
+        stream_done: vec![false; n_workers],
+        collected: Vec::new(),
+        result_placeholder,
+        started: false,
+        prefetch,
+    };
+    // Task nodes must survive until sent.
+    for &t in tasks {
+        rt.pin_root(0, t);
+    }
+    rt.start_native(0, Box::new(master));
+    result_placeholder
+}
+
+/// The master's coordination logic.
+struct Master {
+    /// Tasks not yet sent (top of the Vec is the next task).
+    pending: Vec<NodeRef>,
+    task_dests: Vec<Endpoint>,
+    /// Read position in each worker's result stream.
+    cursors: Vec<NodeRef>,
+    input_ended: Vec<bool>,
+    stream_done: Vec<bool>,
+    collected: Vec<NodeRef>,
+    result_placeholder: NodeRef,
+    started: bool,
+    prefetch: usize,
+}
+
+impl Master {
+    fn feed(&mut self, w: usize, ctx: &mut NativeCtx<'_>) -> Result<(), String> {
+        if let Some(task) = self.pending.pop() {
+            ctx.cost += 500;
+            ctx.send_stream_item(self.task_dests[w], task)?;
+        } else if !self.input_ended[w] {
+            self.input_ended[w] = true;
+            ctx.cost += 200;
+            ctx.send_stream_end(self.task_dests[w]);
+        }
+        Ok(())
+    }
+}
+
+impl NativeLogic for Master {
+    fn step(&mut self, ctx: &mut NativeCtx<'_>) -> Result<NativeStep, String> {
+        if !self.started {
+            self.started = true;
+            for w in 0..self.task_dests.len() {
+                for _ in 0..self.prefetch {
+                    self.feed(w, ctx)?;
+                }
+            }
+        }
+        // Drain every result stream as far as it has materialised.
+        for w in 0..self.cursors.len() {
+            loop {
+                if self.stream_done[w] {
+                    break;
+                }
+                match ctx.heap.whnf(self.cursors[w]).cloned() {
+                    Some(Value::Cons(h, t)) => {
+                        self.collected.push(h);
+                        self.cursors[w] = t;
+                        ctx.cost += 300;
+                        self.feed(w, ctx)?;
+                    }
+                    Some(Value::Nil) => {
+                        self.stream_done[w] = true;
+                    }
+                    Some(other) => {
+                        return Err(format!("master: result stream yielded {other:?}"))
+                    }
+                    None => break, // not yet arrived
+                }
+            }
+        }
+        if self.stream_done.iter().all(|&d| d) {
+            let list = list_of(ctx.heap, &self.collected);
+            let rep = ctx.heap.update(self.result_placeholder, list);
+            ctx.woken.extend(rep.woken);
+            return Ok(NativeStep::Done);
+        }
+        let waits: Vec<NodeRef> = self
+            .cursors
+            .iter()
+            .zip(&self.stream_done)
+            .filter(|(_, done)| !**done)
+            .map(|(c, _)| *c)
+            .collect();
+        Ok(NativeStep::Wait(waits))
+    }
+
+    fn push_roots(&self, out: &mut Vec<NodeRef>) {
+        out.extend_from_slice(&self.pending);
+        out.extend_from_slice(&self.cursors);
+        out.extend_from_slice(&self.collected);
+        out.push(self.result_placeholder);
+    }
+}
+
+/// `ring` topology skeleton (§II.A): `n` processes connected in a
+/// directed cycle. Process `k` receives `(input_k, ring_in_k)` and
+/// produces `(output_k, ring_out_k)`, where `ring_out_k` feeds
+/// `ring_in_{(k+1) mod n}` *directly* (child-to-child channels, not
+/// through the parent). `node_f` has arity 2 — `\input ringIn ->
+/// (output, ringOut)` — inputs travel as single messages, ring traffic
+/// as streams. Returns the `n` output placeholders on PE 0.
+pub fn ring(rt: &mut EdenRuntime, node_f: ScId, inputs: &[NodeRef]) -> Vec<NodeRef> {
+    let n = inputs.len();
+    assert!(n >= 1, "ring of zero processes");
+    let pes = rt.num_pes();
+    // Pre-allocate every ring channel id and every placement so each
+    // process knows its successor's endpoint at spawn time.
+    let ring_chans: Vec<ChanId> = (0..n).map(|_| rt.fresh_chan()).collect();
+    let targets: Vec<usize> = (0..n).map(|k| place(k, pes)).collect();
+    let mut outs = Vec::with_capacity(n);
+    for (k, &x) in inputs.iter().enumerate() {
+        let succ = (k + 1) % n;
+        let (out_chan, out_node) = rt.new_channel(0, CommMode::Single);
+        let in_chan = rt.fresh_chan();
+        rt.spawn(
+            targets[k],
+            ProcSpec {
+                f: node_f,
+                inputs: vec![(in_chan, CommMode::Single), (ring_chans[k], CommMode::Stream)],
+                outputs: vec![
+                    (CommMode::Single, Endpoint { pe: 0, chan: out_chan }),
+                    (
+                        CommMode::Stream,
+                        Endpoint { pe: targets[succ] as u32, chan: ring_chans[succ] },
+                    ),
+                ],
+            },
+        );
+        rt.send_value_from(
+            0,
+            Endpoint { pe: targets[k] as u32, chan: in_chan },
+            x,
+            CommMode::Single,
+        );
+        outs.push(out_node);
+    }
+    outs
+}
+
+/// `torus` topology skeleton: an `n × n` grid of processes for
+/// Cannon's algorithm. Process `(i,j)` receives `(init_ij, rowIn,
+/// colIn)` and produces `(result_ij, rowOut, colOut)`; `rowOut` feeds
+/// the *left* neighbour `(i, j-1)` and `colOut` the *upper* neighbour
+/// `(i-1, j)` (the shift directions of Cannon's algorithm). `node_f`
+/// has arity 3. Returns the `n·n` result placeholders on PE 0 in
+/// row-major order.
+pub fn torus(rt: &mut EdenRuntime, node_f: ScId, n: usize, inits: &[NodeRef]) -> Vec<NodeRef> {
+    assert_eq!(inits.len(), n * n, "torus needs n² init values");
+    let pes = rt.num_pes();
+    let at = |i: usize, j: usize| i * n + j;
+    let row_chans: Vec<ChanId> = (0..n * n).map(|_| rt.fresh_chan()).collect();
+    let col_chans: Vec<ChanId> = (0..n * n).map(|_| rt.fresh_chan()).collect();
+    let targets: Vec<usize> = (0..n * n).map(|k| place(k, pes)).collect();
+    let mut outs = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let k = at(i, j);
+            let left = at(i, (j + n - 1) % n);
+            let up = at((i + n - 1) % n, j);
+            let (out_chan, out_node) = rt.new_channel(0, CommMode::Single);
+            let in_chan = rt.fresh_chan();
+            rt.spawn(
+                targets[k],
+                ProcSpec {
+                    f: node_f,
+                    inputs: vec![
+                        (in_chan, CommMode::Single),
+                        (row_chans[k], CommMode::Stream),
+                        (col_chans[k], CommMode::Stream),
+                    ],
+                    outputs: vec![
+                        (CommMode::Single, Endpoint { pe: 0, chan: out_chan }),
+                        (
+                            CommMode::Stream,
+                            Endpoint { pe: targets[left] as u32, chan: row_chans[left] },
+                        ),
+                        (
+                            CommMode::Stream,
+                            Endpoint { pe: targets[up] as u32, chan: col_chans[up] },
+                        ),
+                    ],
+                },
+            );
+            rt.send_value_from(
+                0,
+                Endpoint { pe: targets[k] as u32, chan: in_chan },
+                inits[k],
+                CommMode::Single,
+            );
+            outs.push(out_node);
+        }
+    }
+    outs
+}
+
+/// The paper's *full* `masterWorker` signature (§II.A):
+/// `masterWorker :: (a -> ([a], b)) -> [a] -> [b]` — every processed
+/// task may generate *new* tasks ("a large, and dynamically changing,
+/// set of irregularly-sized tasks"; with a cutoff in `f` this is
+/// backtracking / branch-and-bound).
+///
+/// `worker_map` has arity 1 and must lazily map `f` over its task
+/// stream, where `f task` evaluates to a 2-tuple `(newTasks, result)`
+/// in normal form. The master feeds new tasks back into the bag and
+/// finishes when the bag is empty and nothing is in flight.
+///
+/// Returns the placeholder on PE 0 that receives the list of all
+/// results (completion order).
+pub fn master_worker_dyn(
+    rt: &mut EdenRuntime,
+    worker_map: ScId,
+    n_workers: usize,
+    prefetch: usize,
+    initial: &[NodeRef],
+) -> NodeRef {
+    assert!(n_workers >= 1 && prefetch >= 1);
+    let pes = rt.num_pes();
+    let mut task_dests = Vec::with_capacity(n_workers);
+    let mut cursors = Vec::with_capacity(n_workers);
+    for w in 0..n_workers {
+        let target = place(w, pes);
+        let (res_chan, res_node) = rt.new_channel(0, CommMode::Stream);
+        let task_chan = rt.fresh_chan();
+        rt.spawn(
+            target,
+            ProcSpec {
+                f: worker_map,
+                inputs: vec![(task_chan, CommMode::Stream)],
+                outputs: vec![(CommMode::Stream, Endpoint { pe: 0, chan: res_chan })],
+            },
+        );
+        task_dests.push(Endpoint { pe: target as u32, chan: task_chan });
+        cursors.push(res_node);
+    }
+    let result_placeholder = rt.alloc_placeholder(0);
+    rt.pin_root(0, result_placeholder);
+    for &t in initial {
+        rt.pin_root(0, t);
+    }
+    rt.start_native(
+        0,
+        Box::new(DynMaster {
+            pending: initial.iter().rev().copied().collect(),
+            task_dests,
+            cursors,
+            outstanding: vec![0; n_workers],
+            input_ended: vec![false; n_workers],
+            stream_done: vec![false; n_workers],
+            collected: Vec::new(),
+            result_placeholder,
+            prefetch,
+        }),
+    );
+    result_placeholder
+}
+
+struct DynMaster {
+    pending: Vec<NodeRef>,
+    task_dests: Vec<Endpoint>,
+    cursors: Vec<NodeRef>,
+    /// Tasks sent to each worker whose results have not come back.
+    outstanding: Vec<usize>,
+    input_ended: Vec<bool>,
+    stream_done: Vec<bool>,
+    collected: Vec<NodeRef>,
+    result_placeholder: NodeRef,
+    prefetch: usize,
+}
+
+impl DynMaster {
+    fn total_outstanding(&self) -> usize {
+        self.outstanding.iter().sum()
+    }
+}
+
+impl NativeLogic for DynMaster {
+    fn step(&mut self, ctx: &mut NativeCtx<'_>) -> Result<NativeStep, String> {
+        // Drain arrived results, harvesting generated tasks.
+        for w in 0..self.cursors.len() {
+            loop {
+                if self.stream_done[w] {
+                    break;
+                }
+                match ctx.heap.whnf(self.cursors[w]).cloned() {
+                    Some(Value::Cons(h, t)) => {
+                        let hr = ctx.heap.resolve(h);
+                        let (new_tasks, result) = match ctx.heap.whnf(hr) {
+                            Some(Value::Tuple(fs)) if fs.len() == 2 => (fs[0], fs[1]),
+                            other => {
+                                return Err(format!(
+                                    "dynamic master: expected (newTasks, result), got {other:?}"
+                                ))
+                            }
+                        };
+                        // Walk the (normal-form) new-task list.
+                        let mut cur = ctx.heap.resolve(new_tasks);
+                        loop {
+                            match ctx.heap.whnf(cur).cloned() {
+                                Some(Value::Nil) => break,
+                                Some(Value::Cons(task, rest)) => {
+                                    self.pending.push(task);
+                                    cur = ctx.heap.resolve(rest);
+                                }
+                                other => {
+                                    return Err(format!(
+                                        "dynamic master: bad task list {other:?}"
+                                    ))
+                                }
+                            }
+                        }
+                        self.collected.push(result);
+                        self.outstanding[w] -= 1;
+                        self.cursors[w] = t;
+                        ctx.cost += 400;
+                    }
+                    Some(Value::Nil) => self.stream_done[w] = true,
+                    Some(other) => {
+                        return Err(format!("dynamic master: result stream {other:?}"))
+                    }
+                    None => break,
+                }
+            }
+        }
+        // Distribute the bag, keeping ≤ prefetch tasks per worker in
+        // flight.
+        loop {
+            let mut progressed = false;
+            for w in 0..self.task_dests.len() {
+                if self.input_ended[w] || self.outstanding[w] >= self.prefetch {
+                    continue;
+                }
+                if let Some(task) = self.pending.pop() {
+                    ctx.cost += 500;
+                    ctx.send_stream_item(self.task_dests[w], task)?;
+                    self.outstanding[w] += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // Termination: bag empty and nothing in flight ⇒ close inputs.
+        if self.pending.is_empty() && self.total_outstanding() == 0 {
+            for w in 0..self.task_dests.len() {
+                if !self.input_ended[w] {
+                    self.input_ended[w] = true;
+                    ctx.cost += 200;
+                    ctx.send_stream_end(self.task_dests[w]);
+                }
+            }
+        }
+        if self.stream_done.iter().all(|&d| d) {
+            let list = list_of(ctx.heap, &self.collected);
+            let rep = ctx.heap.update(self.result_placeholder, list);
+            ctx.woken.extend(rep.woken);
+            return Ok(NativeStep::Done);
+        }
+        let waits: Vec<NodeRef> = self
+            .cursors
+            .iter()
+            .zip(&self.stream_done)
+            .filter(|(_, d)| !**d)
+            .map(|(c, _)| *c)
+            .collect();
+        Ok(NativeStep::Wait(waits))
+    }
+
+    fn push_roots(&self, out: &mut Vec<NodeRef>) {
+        out.extend_from_slice(&self.pending);
+        out.extend_from_slice(&self.cursors);
+        out.extend_from_slice(&self.collected);
+        out.push(self.result_placeholder);
+    }
+}
+
+/// `parReduce f ntr list` (§II.A): parallel reduction. The list (given
+/// as pre-split sublist nodes, like the paper's `splitIntoN noPE`) is
+/// folded remotely — one process per sublist running `fold_sc` (arity
+/// 1: sublist → partial) — and the partials are combined at the parent
+/// with `combine_sc` (arity 1: partial list → result).
+///
+/// This is exactly the paper's implementation shape:
+/// ```text
+/// parReduce f ntr list = foldl' f ntr rs
+///   where rs = spawn (repeat (process (foldl' f ntr))) ls
+///         ls = splitIntoN noPE list
+/// ```
+pub fn par_reduce(
+    rt: &mut EdenRuntime,
+    fold_sc: ScId,
+    combine_sc: ScId,
+    sublists: &[NodeRef],
+) -> NodeRef {
+    par_map_fold(rt, fold_sc, combine_sc, sublists)
+}

@@ -1,0 +1,84 @@
+//! Program-side support for Eden: tuple selectors.
+//!
+//! A process whose result is an `n`-tuple gets one sender thread per
+//! component; each sender evaluates `$sel_k_n result`, which forces the
+//! tuple to WHNF (shared across the senders through the PE's heap) and
+//! projects its component. Programs run under the Eden runtime must
+//! install this module into their [`ProgramBuilder`].
+
+use rph_heap::ScId;
+use rph_machine::ir::{atom, case_tuple, v};
+use rph_machine::ProgramBuilder;
+
+/// Maximum tuple width supported by process outputs.
+pub const MAX_TUPLE: usize = 4;
+
+/// Ids of the installed selectors: `sel[n-2][k]` projects component
+/// `k` (0-based) of an `n`-tuple, for `n` in `2..=MAX_TUPLE`.
+#[derive(Debug, Clone, Copy)]
+pub struct EdenSupport {
+    sel: [[ScId; MAX_TUPLE]; MAX_TUPLE - 1],
+}
+
+impl EdenSupport {
+    /// The selector for component `k` (0-based) of an `n`-tuple.
+    pub fn selector(&self, n: usize, k: usize) -> ScId {
+        assert!((2..=MAX_TUPLE).contains(&n), "tuple width {n} unsupported");
+        assert!(k < n, "component {k} of {n}-tuple");
+        self.sel[n - 2][k]
+    }
+}
+
+/// Name of a selector supercombinator.
+pub fn selector_name(n: usize, k: usize) -> String {
+    format!("$sel_{k}_{n}")
+}
+
+/// Install the selectors into a program under construction.
+pub fn install_support(b: &mut ProgramBuilder) -> EdenSupport {
+    let mut sel = [[ScId(u32::MAX); MAX_TUPLE]; MAX_TUPLE - 1];
+    for n in 2..=MAX_TUPLE {
+        for k in 0..n {
+            // $sel_k_n t = case t of (x0..x_{n-1}) -> x_k
+            // frame after case: [t, x0..x_{n-1}]
+            sel[n - 2][k] = b.def(
+                &selector_name(n, k),
+                1,
+                case_tuple(atom(v(0)), n, atom(v(1 + k))),
+            );
+        }
+    }
+    EdenSupport { sel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rph_heap::{Heap, Value};
+    use rph_machine::reference::run_seq;
+
+    #[test]
+    fn selectors_project() {
+        let mut b = ProgramBuilder::new();
+        let sup = install_support(&mut b);
+        let prog = b.build();
+        let mut heap = Heap::new();
+        let a = heap.int(10);
+        let c = heap.int(30);
+        let bb = heap.int(20);
+        let t = heap.alloc_value(Value::Tuple(vec![a, bb, c].into()));
+        for (k, expect) in [(0, 10), (1, 20), (2, 30)] {
+            let e = heap.alloc_thunk(sup.selector(3, k), vec![t]);
+            let (r, _) = run_seq(&prog, &mut heap, e);
+            assert_eq!(heap.expect_value(r).expect_int(), expect, "sel {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn wide_tuples_rejected() {
+        let mut b = ProgramBuilder::new();
+        let sup = install_support(&mut b);
+        let _ = sup.selector(9, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! # rph-gph — the shared-heap GpH runtime
+//!
+//! The simulated counterpart of GHC's threaded runtime as studied in
+//! the paper (§III.A, §IV.A): `N` *capabilities* share one graph heap;
+//! `par` records *sparks*; the scheduler converts sparks to lightweight
+//! threads; allocation is per-capability with stop-the-world garbage
+//! collection.
+//!
+//! Every optimisation the paper evaluates is a configuration switch
+//! ([`GphConfig`]), so each of Fig. 1's rows and Fig. 5's curves is one
+//! config:
+//!
+//! | paper change (§IV.A) | flag |
+//! |---|---|
+//! | bigger allocation areas | [`GphConfig::alloc_area_words`] |
+//! | improved GC barrier synchronisation | [`GphConfig::gc_sync_improved`] |
+//! | work-stealing spark distribution (Chase–Lev) | [`SparkPolicy::Steal`] |
+//! | eager vs lazy black-holing | [`BlackHoling`] |
+//! | one spark thread per capability | [`SparkExec::SparkThread`] |
+//!
+//! The runtime is a deterministic discrete-event simulation: each
+//! capability has a virtual clock; the capability with the smallest
+//! clock advances next; mutator cost comes from the abstract machine's
+//! accounting and every scheduler/GC overhead from [`rph_sim::Costs`].
+//!
+//! # Example
+//!
+//! `par`/`seq` over a list of kernel calls, on 4 capabilities with the
+//! paper's fully optimised runtime:
+//!
+//! ```
+//! use rph_gph::{GphConfig, GphRuntime};
+//! use rph_machine::{prelude, ProgramBuilder, KernelOut};
+//! use rph_machine::ir::*;
+//! use rph_heap::Value;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let pre = prelude::install(&mut b);
+//! let work = b.kernel("work", 1, |heap, args| {
+//!     let x = heap.expect_value(args[0]).expect_int();
+//!     KernelOut { result: heap.alloc_value(Value::Int(x * x)),
+//!                 cost: 100_000, transient_words: 500 }
+//! });
+//! // main n = let xs = map work [1..n] in sparkList xs `seq` sum xs
+//! let main = b.def("main", 1, let_(
+//!     vec![
+//!         pap(work, vec![]),
+//!         thunk(pre.enum_from_to, vec![int(1), v(0)]),
+//!         thunk(pre.map, vec![v(1), v(2)]),
+//!         thunk(pre.spark_list, vec![v(3)]),
+//!     ],
+//!     seq(atom(v(4)), app(pre.sum, vec![v(3)])),
+//! ));
+//! let program = b.build();
+//!
+//! let cfg = GphConfig::ghc69_plain(4)
+//!     .with_big_alloc_area()
+//!     .with_improved_gc_sync()
+//!     .with_work_stealing();
+//! let mut rt = GphRuntime::new(program, cfg);
+//! let out = rt.run(|heap| {
+//!     let n = heap.int(16);
+//!     heap.alloc_thunk(main, vec![n])
+//! }).unwrap();
+//! assert_eq!(rt.heap().expect_value(out.result).expect_int(),
+//!            (1..=16).map(|x| x * x).sum::<i64>());
+//! assert!(out.stats.sparks_created == 16);
+//! ```
+
+pub mod config;
+#[cfg(test)]
+mod runtime_tests;
+pub mod runtime;
+pub mod stats;
+pub mod strategies;
+
+pub use config::{BlackHoling, GcModel, GphConfig, SparkExec, SparkPolicy};
+pub use runtime::{GphRuntime, RunOutcome};
+pub use stats::GphStats;
+pub use strategies::{install as install_strategies, Strategies};

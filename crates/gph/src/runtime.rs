@@ -1,0 +1,683 @@
+//! The GpH runtime: capabilities, spark scheduling, and the
+//! stop-the-world GC barrier, as a deterministic discrete-event
+//! simulation.
+//!
+//! The event loop always advances the capability with the smallest
+//! virtual clock, so cross-capability interactions (steals, pushes,
+//! wake-ups, the GC barrier) are causally consistent to within one
+//! simulator slice ([`crate::GphConfig::sim_slice`], default 100 µs).
+
+use crate::config::{BlackHoling, GcModel, GphConfig, SparkExec, SparkPolicy};
+use crate::stats::GphStats;
+use rph_deque::DetDeque;
+use rph_heap::gc::Collector;
+use rph_heap::{Heap, NodeRef};
+use rph_machine::{Machine, Program, RunCtx, StopReason};
+use rph_sim::DetRng;
+use rph_trace::{CapId, EventKind, State, ThreadId, Time, Tracer};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A lightweight thread (GHC: TSO).
+struct Tso {
+    machine: Machine,
+    /// True for the dedicated spark-running thread of §IV.A.4.
+    spark_thread: bool,
+    /// When this thread last started running (time-slice accounting).
+    started: Time,
+}
+
+/// One capability: a virtual core with its own allocation area, run
+/// queue and spark pool, sharing the program-wide heap.
+struct Cap {
+    id: CapId,
+    clock: Time,
+    area: rph_heap::AllocArea,
+    run_q: VecDeque<Tso>,
+    current: Option<Tso>,
+    sparks: DetDeque<NodeRef>,
+    /// `Some(t)`: parked at the GC barrier since `t`.
+    stopped_for_gc: Option<Time>,
+    /// Last traced state (to emit transitions only).
+    last_state: Option<State>,
+    /// Local collections since the last global one (semi-distributed
+    /// heap model).
+    locals_since_global: u32,
+}
+
+impl Cap {
+    fn has_local_work(&self) -> bool {
+        self.current.is_some() || !self.run_q.is_empty()
+    }
+}
+
+/// An in-flight stop-the-world request.
+struct GcPhase {
+    request_time: Time,
+}
+
+/// Result of a completed run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The WHNF result of the main thread.
+    pub result: NodeRef,
+    /// Virtual makespan: the main capability's clock at main-thread
+    /// completion (GHC exits when `main` finishes).
+    pub elapsed: Time,
+    /// Runtime counters.
+    pub stats: GphStats,
+    /// The event trace (empty if tracing was disabled).
+    pub tracer: Tracer,
+}
+
+/// The shared-heap GpH runtime.
+pub struct GphRuntime {
+    program: Arc<Program>,
+    config: GphConfig,
+    heap: Heap,
+    collector: Collector,
+    caps: Vec<Cap>,
+    /// Threads blocked on black holes, by thread id.
+    blocked: HashMap<ThreadId, Tso>,
+    tracer: Tracer,
+    rng: DetRng,
+    stats: GphStats,
+    next_tid: u64,
+    gc: Option<GcPhase>,
+    /// Extra GC roots (the entry node, and anything a caller pins).
+    extra_roots: Vec<NodeRef>,
+}
+
+impl GphRuntime {
+    pub fn new(program: Arc<Program>, config: GphConfig) -> Self {
+        assert!(config.caps >= 1, "need at least one capability");
+        let caps = (0..config.caps)
+            .map(|i| Cap {
+                id: CapId(i as u32),
+                clock: 0,
+                area: rph_heap::AllocArea::new(config.alloc_area_words, config.checkpoint_words),
+                run_q: VecDeque::new(),
+                current: None,
+                sparks: DetDeque::new(config.spark_pool_cap),
+                stopped_for_gc: None,
+                last_state: None,
+                locals_since_global: 0,
+            })
+            .collect();
+        let tracer = if config.trace {
+            Tracer::new(config.caps)
+        } else {
+            Tracer::disabled(config.caps)
+        };
+        GphRuntime {
+            program,
+            heap: Heap::new(),
+            collector: Collector::new(),
+            caps,
+            blocked: HashMap::new(),
+            tracer,
+            rng: DetRng::new(config.seed),
+            stats: GphStats::default(),
+            next_tid: 0,
+            gc: None,
+            extra_roots: Vec::new(),
+            config,
+        }
+    }
+
+    /// The shared heap (for building entry graphs and reading results).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Mutable heap access for building the entry graph.
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Pin an extra GC root for the duration of the run.
+    pub fn pin_root(&mut self, r: NodeRef) {
+        self.extra_roots.push(r);
+    }
+
+    /// Run the program: build the entry graph with `build`, then force
+    /// it to WHNF on capability 0 as the main thread, scheduling sparks
+    /// across all capabilities until main finishes.
+    pub fn run(&mut self, build: impl FnOnce(&mut Heap) -> NodeRef) -> Result<RunOutcome, String> {
+        let entry = build(&mut self.heap);
+        self.extra_roots.push(entry);
+        let main_tid = self.fresh_tid();
+        let main = Tso {
+            machine: Machine::enter(main_tid, entry),
+            spark_thread: false,
+            started: 0,
+        };
+        self.stats.threads_created += 1;
+        self.tracer
+            .record(CapId(0), 0, EventKind::ThreadCreated { thread: main_tid });
+        self.caps[0].run_q.push_back(main);
+
+        loop {
+            // Complete a pending GC once every capability is parked.
+            if self.gc.is_some() && self.caps.iter().all(|c| c.stopped_for_gc.is_some()) {
+                self.perform_gc();
+                continue;
+            }
+            // Advance the lowest-clock capability that is not parked.
+            let Some(idx) = self
+                .caps
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.stopped_for_gc.is_none())
+                .min_by_key(|(i, c)| (c.clock, *i))
+                .map(|(i, _)| i)
+            else {
+                return Err("all capabilities parked with no GC pending".into());
+            };
+            if let Some(result) = self.advance(idx, main_tid)? {
+                let elapsed = self.caps[idx].clock;
+                // Close the trace: every capability goes idle at its
+                // current clock, and the main capability's end time
+                // dominates the timeline.
+                for i in 0..self.caps.len() {
+                    let t = self.caps[i].clock.max(elapsed);
+                    self.caps[i].clock = t;
+                    self.set_state(i, State::Idle);
+                }
+                let tracer = std::mem::replace(&mut self.tracer, Tracer::disabled(0));
+                return Ok(RunOutcome {
+                    result,
+                    elapsed,
+                    stats: self.stats.clone(),
+                    tracer,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event-loop pieces
+    // ------------------------------------------------------------------
+
+    /// Advance one capability. Returns `Some(result)` when the main
+    /// thread finished.
+    fn advance(&mut self, idx: usize, main_tid: ThreadId) -> Result<Option<NodeRef>, String> {
+        // If a GC is pending and this capability has no running thread,
+        // it parks at the barrier immediately (idle capabilities yield
+        // straight away; only mutating threads delay to a checkpoint).
+        if self.gc.is_some() && self.caps[idx].current.is_none() {
+            self.park_for_gc(idx);
+            return Ok(None);
+        }
+
+        if self.caps[idx].current.is_none() && !self.ensure_work(idx) {
+            // Idle: wait for pushes, wakes or new sparks.
+            self.set_state(idx, State::Idle);
+            self.caps[idx].clock += self.config.costs.idle_backoff;
+            return Ok(None);
+        }
+
+        // Run the current thread for one simulator slice.
+        self.set_state(idx, State::Running);
+        let cap = &mut self.caps[idx];
+        let mut tso = cap.current.take().expect("ensured above");
+        let mut ctx = RunCtx::new(
+            &self.program,
+            &mut self.heap,
+            &mut cap.area,
+            self.config.black_holing == BlackHoling::Eager,
+        );
+        let slice = tso.machine.run(&mut ctx, self.config.sim_slice);
+        let sparks = std::mem::take(&mut ctx.sparks);
+        let woken = std::mem::take(&mut ctx.woken);
+        let dups = std::mem::take(&mut ctx.duplicate_work);
+        drop(ctx);
+        self.caps[idx].clock += slice.cost;
+        let now = self.caps[idx].clock;
+
+        // Sparks created in this slice go to the local pool.
+        for s in sparks {
+            self.stats.sparks_created += 1;
+            if self.caps[idx].sparks.push(s) {
+                self.tracer.record(self.caps[idx].id, now, EventKind::SparkCreated);
+            } else {
+                self.stats.sparks_overflowed += 1;
+                self.tracer.record(self.caps[idx].id, now, EventKind::SparkOverflow);
+            }
+        }
+        // Threads unblocked by updates move to this capability's queue.
+        for tid in woken {
+            if let Some(mut w) = self.blocked.remove(&tid) {
+                w.machine.wake();
+                w.started = now;
+                self.tracer
+                    .record(self.caps[idx].id, now, EventKind::WokenFromBlackHole { thread: tid });
+                self.caps[idx].run_q.push_back(w);
+            }
+        }
+        for wasted in dups {
+            self.stats.duplicate_evals += 1;
+            self.stats.duplicate_work_wasted += wasted;
+            self.tracer
+                .record(self.caps[idx].id, now, EventKind::DuplicateWork { wasted });
+        }
+        // Updates may have woken a batch of threads onto this
+        // capability; both GHC runtimes push surplus threads to idle
+        // capabilities actively (§IV.A.2).
+        self.balance_threads(idx);
+
+        match slice.stop {
+            StopReason::FuelExhausted | StopReason::Sparked => {
+                // Not a scheduling point; keep the thread installed.
+                // (`Sparked` just flushed fresh sparks to the pool so
+                // thieves can see them promptly.)
+                self.caps[idx].current = Some(tso);
+            }
+            StopReason::Checkpoint => {
+                self.caps[idx].current = Some(tso);
+                self.scheduler_checkpoint(idx);
+            }
+            StopReason::Blocked(node) => {
+                let tid = tso.machine.tid();
+                self.stats.blackhole_blocks += 1;
+                self.tracer
+                    .record(self.caps[idx].id, now, EventKind::BlockedOnBlackHole { thread: tid });
+                // Suspension is a context switch: under lazy black-holing
+                // the suspended stack's thunks are marked now.
+                if self.config.black_holing == BlackHoling::Lazy {
+                    tso.machine.blackhole_update_frames(&mut self.heap);
+                }
+                self.heap.block_on(node, tid);
+                self.blocked.insert(tid, tso);
+                self.caps[idx].clock += self.config.costs.ctx_switch;
+                self.stats.ctx_switches += 1;
+                if self.caps[idx].run_q.is_empty() {
+                    self.set_state(idx, State::Blocked);
+                }
+            }
+            StopReason::Finished(result) => {
+                let tid = tso.machine.tid();
+                self.tracer
+                    .record(self.caps[idx].id, now, EventKind::ThreadFinished { thread: tid });
+                if tid == main_tid {
+                    return Ok(Some(result));
+                }
+                // §IV.A.4: a spark thread keeps running sparks unless
+                // higher-priority threads are waiting.
+                if tso.spark_thread
+                    && self.config.spark_exec == SparkExec::SparkThread
+                    && self.caps[idx].run_q.is_empty()
+                {
+                    if let Some(node) = self.obtain_spark(idx) {
+                        self.caps[idx].clock += self.config.costs.spark_fetch;
+                        tso.machine = Machine::enter(tid, node);
+                        tso.started = self.caps[idx].clock;
+                        self.caps[idx].current = Some(tso);
+                    }
+                }
+                // Otherwise the thread simply dies.
+            }
+            StopReason::Error(e) => return Err(e),
+        }
+        Ok(None)
+    }
+
+    /// Give the capability something to run. Returns false if idle.
+    fn ensure_work(&mut self, idx: usize) -> bool {
+        debug_assert!(self.caps[idx].current.is_none());
+        if self.ensure_work_from_queue(idx) {
+            return true;
+        }
+        if self.config.thread_stealing
+            && self.config.spark_policy == SparkPolicy::Steal
+            && self.caps.len() > 1
+            && self.all_spark_pools_empty()
+            && self.steal_thread(idx)
+        {
+            // The stolen thread is installed by the run-queue branch on
+            // the next visit.
+            return self.ensure_work_from_queue(idx);
+        }
+        if let Some(node) = self.obtain_spark(idx) {
+            let cost = self.config.costs.thread_create;
+            self.caps[idx].clock += cost;
+            let tid = self.fresh_tid();
+            self.stats.threads_created += 1;
+            let now = self.caps[idx].clock;
+            self.tracer
+                .record(self.caps[idx].id, now, EventKind::ThreadCreated { thread: tid });
+            let tso = Tso {
+                machine: Machine::enter(tid, node),
+                spark_thread: self.config.spark_exec == SparkExec::SparkThread,
+                started: now,
+            };
+            self.caps[idx].current = Some(tso);
+            return true;
+        }
+        false
+    }
+
+    /// Take a runnable spark: from the local pool first, then (under
+    /// the stealing policy) from random victims. Fizzled sparks are
+    /// discarded on the way.
+    fn obtain_spark(&mut self, idx: usize) -> Option<NodeRef> {
+        // Local pool: the owner takes the newest spark (bottom end).
+        while let Some(s) = self.caps[idx].sparks.pop() {
+            if self.heap.whnf(s).is_none() {
+                self.stats.sparks_run_local += 1;
+                let now = self.caps[idx].clock;
+                self.tracer.record(self.caps[idx].id, now, EventKind::SparkRunLocal);
+                return Some(s);
+            }
+            self.stats.sparks_fizzled += 1;
+            let now = self.caps[idx].clock;
+            self.tracer.record(self.caps[idx].id, now, EventKind::SparkFizzled);
+        }
+        if self.config.spark_policy != SparkPolicy::Steal || self.caps.len() < 2 {
+            return None;
+        }
+        // Steal: up to caps-1 random victim probes, each costing a
+        // cache-line bounce.
+        for _ in 0..self.caps.len() - 1 {
+            let victim = self.rng.pick_other(self.caps.len(), idx);
+            self.caps[idx].clock += self.config.costs.steal_attempt;
+            while let Some(s) = self.caps[victim].sparks.steal() {
+                if self.heap.whnf(s).is_none() {
+                    self.stats.sparks_stolen += 1;
+                    let now = self.caps[idx].clock;
+                    self.tracer.record(
+                        self.caps[idx].id,
+                        now,
+                        EventKind::SparkAcquired { victim: CapId(victim as u32), pushed: false },
+                    );
+                    return Some(s);
+                }
+                self.stats.sparks_fizzled += 1;
+            }
+            self.stats.steal_failures += 1;
+        }
+        None
+    }
+
+    /// Actions a thread takes when it notices the context-switch /
+    /// GC-request flags at an allocation checkpoint.
+    fn scheduler_checkpoint(&mut self, idx: usize) {
+        // 1. Our allocation area is exhausted: collect. Under the
+        // stop-the-world model this requests the global barrier; under
+        // the semi-distributed model (§VI future work) the capability
+        // collects its own nursery locally, and only every n-th local
+        // collection escalates to a global one.
+        if self.caps[idx].area.needs_gc() && self.gc.is_none() {
+            match self.config.gc_model {
+                GcModel::StopTheWorld => {
+                    self.tracer
+                        .record(self.caps[idx].id, self.caps[idx].clock, EventKind::GcRequest);
+                    self.gc = Some(GcPhase { request_time: self.caps[idx].clock });
+                }
+                GcModel::SemiDistributed { global_every } => {
+                    if self.caps[idx].locals_since_global + 1 >= global_every {
+                        self.caps[idx].locals_since_global = 0;
+                        self.tracer
+                            .record(self.caps[idx].id, self.caps[idx].clock, EventKind::GcRequest);
+                        self.gc = Some(GcPhase { request_time: self.caps[idx].clock });
+                    } else {
+                        self.local_gc(idx);
+                    }
+                }
+            }
+        }
+        // 2. Join a pending barrier.
+        if self.gc.is_some() {
+            self.park_for_gc(idx);
+            return;
+        }
+        // 3. Time-slice expiry: the thread returns to the scheduler
+        // (GHC's timer-driven yield). `threadPaused` scans its stack —
+        // this is when lazy black-holing actually marks the frames of
+        // a *running* thread — and the scheduler rotates the run queue
+        // if other threads wait.
+        let cap = &mut self.caps[idx];
+        let expired = cap
+            .current
+            .as_ref()
+            .map(|t| cap.clock - t.started >= self.config.time_slice)
+            .unwrap_or(false);
+        if expired {
+            let mut tso = cap.current.take().expect("checked");
+            if self.config.black_holing == BlackHoling::Lazy {
+                tso.machine.blackhole_update_frames(&mut self.heap);
+            }
+            self.caps[idx].clock += self.config.costs.ctx_switch;
+            self.stats.ctx_switches += 1;
+            if self.caps[idx].run_q.is_empty() {
+                // Nobody waiting: resume the same thread with a fresh
+                // slice.
+                tso.started = self.caps[idx].clock;
+                self.caps[idx].current = Some(tso);
+            } else {
+                self.caps[idx].run_q.push_back(tso);
+                // Next thread installed by ensure_work on the next visit.
+            }
+        }
+        // 4. Surplus threads are pushed to idle capabilities under
+        // both policies.
+        self.balance_threads(idx);
+        // 5. Push-model work distribution: GHC 6.8's `schedulePushWork`
+        // runs whenever the scheduler does — i.e. at the pushing
+        // capability's scheduling points, not when the *idle* side
+        // wants work; that asymmetry is the delay §IV.A.2 criticises.
+        if self.config.spark_policy == SparkPolicy::Push {
+            self.push_work(idx);
+        }
+    }
+
+    /// Push surplus runnable threads to idle capabilities (both
+    /// runtimes do this actively; only *spark* distribution differs
+    /// between the push and steal policies).
+    fn balance_threads(&mut self, idx: usize) {
+        // Keep one runnable thread for ourselves when nothing is
+        // installed; everything beyond that is surplus.
+        let keep = usize::from(self.caps[idx].current.is_none());
+        for j in 0..self.caps.len() {
+            if j == idx || self.caps[idx].run_q.len() <= keep {
+                if self.caps[idx].run_q.len() <= keep {
+                    break;
+                }
+                continue;
+            }
+            let idle = self.caps[j].current.is_none()
+                && self.caps[j].run_q.is_empty()
+                && self.caps[j].stopped_for_gc.is_none();
+            if !idle {
+                continue;
+            }
+            if let Some(tso) = self.caps[idx].run_q.pop_back() {
+                self.caps[idx].clock += self.config.costs.thread_migrate;
+                self.stats.threads_migrated += 1;
+                self.caps[j].run_q.push_back(tso);
+            }
+        }
+    }
+
+    /// Install the next queued thread, if any.
+    fn ensure_work_from_queue(&mut self, idx: usize) -> bool {
+        if let Some(mut tso) = self.caps[idx].run_q.pop_front() {
+            self.caps[idx].clock += self.config.costs.ctx_switch;
+            self.stats.ctx_switches += 1;
+            tso.started = self.caps[idx].clock;
+            self.caps[idx].current = Some(tso);
+            return true;
+        }
+        false
+    }
+
+    fn all_spark_pools_empty(&self) -> bool {
+        self.caps.iter().all(|c| c.sparks.is_empty())
+    }
+
+    /// A local nursery collection (semi-distributed heap model): no
+    /// barrier, no other capability involved. Only the nursery's
+    /// survivors are evacuated to the shared heap; the real mark–sweep
+    /// of shared data happens at the periodic global collections.
+    fn local_gc(&mut self, idx: usize) {
+        let survivors = (self.heap.live_words() / self.caps.len() as u64)
+            .min(self.config.alloc_area_words);
+        let pause = self.config.costs.gc_pause_local(survivors);
+        self.set_state(idx, State::Gc);
+        self.caps[idx].clock += pause;
+        self.caps[idx].area.reset_after_gc();
+        self.caps[idx].locals_since_global += 1;
+        self.stats.local_gcs += 1;
+        self.set_state(idx, State::Running);
+    }
+
+    /// Steal a runnable thread from another capability (future-work
+    /// extension of the pulling scheme).
+    fn steal_thread(&mut self, idx: usize) -> bool {
+        for _ in 0..self.caps.len() - 1 {
+            let victim = self.rng.pick_other(self.caps.len(), idx);
+            self.caps[idx].clock += self.config.costs.steal_attempt;
+            // Take the oldest queued thread; never the one installed.
+            if let Some(tso) = self.caps[victim].run_q.pop_front() {
+                self.caps[idx].clock += self.config.costs.thread_migrate;
+                self.stats.threads_stolen += 1;
+                self.caps[idx].run_q.push_back(tso);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Push surplus sparks to idle capabilities (one each).
+    fn push_work(&mut self, idx: usize) {
+        for j in 0..self.caps.len() {
+            if j == idx {
+                continue;
+            }
+            if self.caps[idx].sparks.len() <= 1 {
+                break; // keep one for ourselves
+            }
+            let idle = !self.caps[j].has_local_work()
+                && self.caps[j].sparks.is_empty()
+                && self.caps[j].stopped_for_gc.is_none();
+            if !idle {
+                continue;
+            }
+            // Hand over the oldest spark (FIFO end). The event is
+            // recorded on the donor's row (the recipient may be behind
+            // in virtual time and discovers the spark when it next
+            // polls for work).
+            if let Some(s) = self.caps[idx].sparks.steal() {
+                self.caps[idx].clock += self.config.costs.steal_attempt; // handshake cost
+                let now = self.caps[idx].clock;
+                self.caps[j].sparks.push(s);
+                self.stats.sparks_pushed += 1;
+                self.tracer.record(
+                    self.caps[idx].id,
+                    now,
+                    EventKind::SparkAcquired { victim: CapId(j as u32), pushed: true },
+                );
+            }
+        }
+    }
+
+    /// Park a capability at the GC barrier.
+    fn park_for_gc(&mut self, idx: usize) {
+        let request_time = self.gc.as_ref().expect("gc pending").request_time;
+        // The barrier can complete no earlier than the request; idle
+        // capabilities whose clocks lag jump forward to it.
+        let t = self.caps[idx].clock.max(request_time);
+        self.caps[idx].clock = t;
+        self.caps[idx].stopped_for_gc = Some(t);
+        // Suspended mutator: lazy black-holing scan.
+        if self.config.black_holing == BlackHoling::Lazy {
+            if let Some(tso) = &self.caps[idx].current {
+                tso.machine.blackhole_update_frames(&mut self.heap);
+            }
+        }
+        self.set_state(idx, State::Gc);
+    }
+
+    /// All capabilities parked: run the collector and charge the pause.
+    fn perform_gc(&mut self) {
+        let barrier_end = self
+            .caps
+            .iter()
+            .map(|c| c.stopped_for_gc.expect("all parked"))
+            .max()
+            .expect("caps non-empty");
+
+        // Real mark–sweep over the real graph.
+        let mut roots: Vec<NodeRef> = self.extra_roots.clone();
+        for cap in &self.caps {
+            if let Some(t) = &cap.current {
+                t.machine.push_roots(&mut roots);
+            }
+            for t in &cap.run_q {
+                t.machine.push_roots(&mut roots);
+            }
+            roots.extend(cap.sparks.iter().copied());
+        }
+        for t in self.blocked.values() {
+            t.machine.push_roots(&mut roots);
+        }
+        let res = self.collector.collect(&mut self.heap, roots);
+
+        let copy_words = self.config.costs.gc_copy_words(
+            self.stats.gcs,
+            res.live_words,
+            self.config.alloc_area_words * self.caps.len() as u64,
+        );
+        let pause = self.config.costs.gc_pause(
+            self.caps.len(),
+            self.config.gc_sync_improved,
+            copy_words,
+        );
+        let end = barrier_end + pause;
+        self.stats.gcs += 1;
+        self.stats.last_live_words = res.live_words;
+        self.stats.collected_words += res.collected_words;
+        self.tracer.record(
+            CapId(0),
+            barrier_end,
+            EventKind::GcStart,
+        );
+
+        // Prune fizzled sparks, GHC-style, while the world is stopped.
+        let heap = &self.heap;
+        for cap in &mut self.caps {
+            cap.sparks.retain(|r| heap.whnf(*r).is_none());
+        }
+
+        for idx in 0..self.caps.len() {
+            let stopped_at = self.caps[idx].stopped_for_gc.take().expect("parked");
+            self.stats.gc_stopped_time += end - stopped_at;
+            self.caps[idx].clock = end;
+            self.caps[idx].area.reset_after_gc();
+            // A global collection covers every nursery: local-collection
+            // counters start over (semi-distributed model).
+            self.caps[idx].locals_since_global = 0;
+            self.set_state(idx, State::Runnable);
+        }
+        self.tracer.record(
+            CapId(0),
+            end,
+            EventKind::GcDone { live_words: res.live_words, collected_words: res.collected_words },
+        );
+        self.gc = None;
+    }
+
+    fn set_state(&mut self, idx: usize, state: State) {
+        if self.caps[idx].last_state != Some(state) {
+            self.caps[idx].last_state = Some(state);
+            self.tracer.state(self.caps[idx].id, self.caps[idx].clock, state);
+        }
+    }
+
+    fn fresh_tid(&mut self) -> ThreadId {
+        let t = ThreadId(self.next_tid);
+        self.next_tid += 1;
+        t
+    }
+}

@@ -1,0 +1,450 @@
+//! Runtime tests: result correctness across the whole configuration
+//! matrix, determinism, and the qualitative effects the paper reports
+//! (stealing beats pushing; bigger nurseries mean fewer GCs; eager
+//! black-holing suppresses duplicate evaluation; spark threads create
+//! fewer threads).
+
+use crate::config::{BlackHoling, GphConfig, SparkExec, SparkPolicy};
+use crate::runtime::GphRuntime;
+use rph_heap::{Heap, NodeRef, Value};
+use rph_machine::prelude::{self, Prelude};
+use rph_machine::program::{KernelOut, Program, ProgramBuilder};
+use rph_machine::ir::*;
+use rph_trace::State;
+use std::sync::Arc;
+
+/// Test program: `sum (map work [1..n])` with `work` a kernel of
+/// `cost_per_item` work units and `alloc_per_item` words of transient
+/// allocation, parallelised by sparking every element (deep).
+struct Fixture {
+    program: Arc<Program>,
+    #[allow(dead_code)]
+    pre: Prelude,
+    main: rph_heap::ScId,
+}
+
+fn fixture(cost_per_item: u64, alloc_per_item: u64) -> Fixture {
+    let mut b = ProgramBuilder::new();
+    let pre = prelude::install(&mut b);
+    let work = b.kernel("work", 1, move |heap, args| {
+        let x = heap.expect_value(args[0]).expect_int();
+        KernelOut {
+            result: heap.alloc_value(Value::Int(x * 2)),
+            cost: cost_per_item,
+            transient_words: alloc_per_item,
+        }
+    });
+    // main n = let xs = map work [1..n]
+    //          in  sparkList xs `seq` sum xs
+    // frame: [n]
+    let main = b.def(
+        "main",
+        1,
+        let_(
+            vec![
+                pap(work, vec![]),                         // [1] work as a value
+                thunk(pre.enum_from_to, vec![int(1), v(0)]), // [2] [1..n]
+                thunk(pre.map, vec![v(1), v(2)]),          // [3] map work [1..n]
+                thunk(pre.spark_list, vec![v(3)]),         // [4] sparker
+            ],
+            seq(atom(v(4)), app(pre.sum, vec![v(3)])),
+        ),
+    );
+    Fixture { program: b.build(), pre, main }
+}
+
+fn entry(f: &Fixture, heap: &mut Heap, n: i64) -> NodeRef {
+    let nn = heap.int(n);
+    heap.alloc_thunk(f.main, vec![nn])
+}
+
+fn expected(n: i64) -> i64 {
+    (1..=n).map(|x| x * 2).sum()
+}
+
+fn run_with(config: GphConfig, n: i64, cost: u64, alloc: u64) -> (i64, crate::runtime::RunOutcome) {
+    let f = fixture(cost, alloc);
+    let mut rt = GphRuntime::new(f.program.clone(), config);
+    let out = rt.run(|heap| entry(&f, heap, n)).expect("run failed");
+    let v = rt.heap().expect_value(out.result).expect_int();
+    (v, out)
+}
+
+#[test]
+fn correct_result_across_config_matrix() {
+    for caps in [1, 2, 4, 8] {
+        for policy in [SparkPolicy::Push, SparkPolicy::Steal] {
+            for bh in [BlackHoling::Lazy, BlackHoling::Eager] {
+                for exec in [SparkExec::ThreadPerSpark, SparkExec::SparkThread] {
+                    let mut c = GphConfig::ghc69_plain(caps).without_trace();
+                    c.spark_policy = policy;
+                    c.black_holing = bh;
+                    c.spark_exec = exec;
+                    let (v, _) = run_with(c, 40, 100_000, 2_000);
+                    assert_eq!(
+                        v,
+                        expected(40),
+                        "caps={caps} policy={policy:?} bh={bh:?} exec={exec:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_same_seed_same_everything() {
+    let c = GphConfig::ghc69_plain(4).with_work_stealing();
+    let (v1, o1) = run_with(c.clone(), 50, 80_000, 1_000);
+    let (v2, o2) = run_with(c, 50, 80_000, 1_000);
+    assert_eq!(v1, v2);
+    assert_eq!(o1.elapsed, o2.elapsed);
+    assert_eq!(o1.stats, o2.stats);
+    assert_eq!(o1.tracer.merged(), o2.tracer.merged());
+}
+
+#[test]
+fn parallelism_gives_speedup_with_stealing() {
+    let base = GphConfig::ghc69_plain(1).with_work_stealing().without_trace();
+    let (_, o1) = run_with(base, 64, 400_000, 1_000);
+    let par = GphConfig::ghc69_plain(8).with_work_stealing().without_trace();
+    let (_, o8) = run_with(par, 64, 400_000, 1_000);
+    let speedup = o1.elapsed as f64 / o8.elapsed as f64;
+    assert!(speedup > 4.0, "8-cap stealing speedup only {speedup:.2}");
+}
+
+#[test]
+fn stealing_beats_pushing() {
+    // Fine-grained sparks make the push scheduler's polling delay
+    // visible (§IV.A.2).
+    let mut push = GphConfig::ghc69_plain(8).with_big_alloc_area().without_trace();
+    push.spark_policy = SparkPolicy::Push;
+    let (_, op) = run_with(push, 96, 150_000, 500);
+    let steal = GphConfig::ghc69_plain(8)
+        .with_big_alloc_area()
+        .with_work_stealing()
+        .without_trace();
+    let (_, os) = run_with(steal, 96, 150_000, 500);
+    assert!(
+        os.elapsed < op.elapsed,
+        "steal {} !< push {}",
+        os.elapsed,
+        op.elapsed
+    );
+    assert!(os.stats.sparks_stolen > 0);
+    assert!(op.stats.sparks_pushed > 0);
+}
+
+#[test]
+fn big_allocation_area_reduces_gc_count() {
+    let small = GphConfig::ghc69_plain(4).without_trace();
+    let (_, o_small) = run_with(small, 64, 100_000, 30_000);
+    let big = GphConfig::ghc69_plain(4).with_big_alloc_area().without_trace();
+    let (_, o_big) = run_with(big, 64, 100_000, 30_000);
+    assert!(
+        o_big.stats.gcs < o_small.stats.gcs,
+        "big area gcs {} !< small area gcs {}",
+        o_big.stats.gcs,
+        o_small.stats.gcs
+    );
+    assert!(o_big.elapsed < o_small.elapsed, "fewer GCs should run faster");
+}
+
+#[test]
+fn improved_gc_sync_reduces_runtime_with_many_gcs() {
+    // Single capability: the schedule is identical apart from the
+    // barrier cost, so the comparison is exact. (The multi-capability
+    // effect is measured by the Fig. 1 benchmark, where scheduling
+    // feedback legitimately changes GC counts between configs.)
+    let orig = GphConfig::ghc69_plain(1).without_trace();
+    let (_, o1) = run_with(orig, 64, 100_000, 30_000);
+    let impr = GphConfig::ghc69_plain(1).with_improved_gc_sync().without_trace();
+    let (_, o2) = run_with(impr, 64, 100_000, 30_000);
+    assert!(o1.stats.gcs > 0);
+    assert_eq!(o1.stats.gcs, o2.stats.gcs, "same single-cap schedule");
+    assert!(o2.elapsed < o1.elapsed, "improved {} !< original {}", o2.elapsed, o1.elapsed);
+}
+
+#[test]
+fn spark_thread_mode_creates_fewer_threads() {
+    let mut per_spark = GphConfig::ghc69_plain(4).with_big_alloc_area().without_trace();
+    per_spark.spark_policy = SparkPolicy::Steal;
+    per_spark.spark_exec = SparkExec::ThreadPerSpark;
+    let (_, o1) = run_with(per_spark, 64, 100_000, 500);
+    let mut spark_thread = GphConfig::ghc69_plain(4).with_big_alloc_area().without_trace();
+    spark_thread.spark_policy = SparkPolicy::Steal;
+    spark_thread.spark_exec = SparkExec::SparkThread;
+    let (_, o2) = run_with(spark_thread, 64, 100_000, 500);
+    assert!(
+        o2.stats.threads_created < o1.stats.threads_created,
+        "spark-thread {} !< thread-per-spark {}",
+        o2.stats.threads_created,
+        o1.stats.threads_created
+    );
+}
+
+#[test]
+fn gc_happens_and_reclaims() {
+    let (v, o) = run_with(GphConfig::ghc69_plain(2).without_trace(), 48, 50_000, 20_000);
+    assert_eq!(v, expected(48));
+    assert!(o.stats.gcs > 0, "expected collections");
+    assert!(o.stats.collected_words > 0);
+}
+
+#[test]
+fn trace_is_well_formed_and_shows_gc() {
+    let (_, o) = run_with(GphConfig::ghc69_plain(2), 48, 50_000, 20_000);
+    let tl = rph_trace::Timeline::from_tracer(&o.tracer);
+    tl.check_well_formed().unwrap();
+    assert!(tl.mean_fraction(State::Gc) > 0.0, "GC time visible in trace");
+    assert!(tl.mean_fraction(State::Running) > 0.1);
+}
+
+#[test]
+fn one_cap_run_has_no_steals_or_pushes() {
+    let c = GphConfig::ghc69_plain(1).with_work_stealing().without_trace();
+    let (v, o) = run_with(c, 20, 50_000, 500);
+    assert_eq!(v, expected(20));
+    assert_eq!(o.stats.sparks_stolen, 0);
+    assert_eq!(o.stats.sparks_pushed, 0);
+}
+
+/// Shared-data workload: every sparked task forces the same shared
+/// thunk *and* does private work. Under lazy black-holing the shared
+/// computation is duplicated by concurrent forcers, displacing useful
+/// work; eager black-holing blocks the second forcers, whose
+/// capabilities pick up other sparks instead (§IV.A.3 / Fig. 5's
+/// mechanism).
+#[test]
+fn eager_blackholing_prevents_duplicate_shared_work() {
+    fn build_shared(bh: BlackHoling) -> (i64, crate::runtime::RunOutcome) {
+        let mut b = ProgramBuilder::new();
+        let pre = prelude::install(&mut b);
+        let heavy = b.kernel("heavy", 1, |heap, args| {
+            let x = heap.expect_value(args[0]).expect_int();
+            KernelOut {
+                result: heap.alloc_value(Value::Int(x + 1000)),
+                cost: 3_000_000, // 3 ms: a big shared computation
+                transient_words: 100,
+            }
+        });
+        let own_work = b.kernel("ownWork", 1, |heap, args| {
+            let x = heap.expect_value(args[0]).expect_int();
+            KernelOut {
+                result: heap.alloc_value(Value::Int(x)),
+                cost: 1_000_000, // 1 ms private work per task
+                transient_words: 100,
+            }
+        });
+        // useShared s i = ownWork i + s     frame: [s, i]
+        // Private work first, then the shared thunk: under eager BH a
+        // blocked task's capability has other tasks' private work to
+        // run; under lazy BH the capability duplicates `heavy` instead.
+        let use_shared = b.def(
+            "useShared",
+            2,
+            let_(
+                vec![thunk(own_work, vec![v(1)])], // [2]
+                prim(rph_machine::PrimOp::Add, vec![v(2), v(0)]),
+            ),
+        );
+        // main k = let s = heavy 1
+        //              xs = map (useShared s) [1..k]
+        //          in sparkList xs `seq` sum xs
+        let main = b.def(
+            "main",
+            1,
+            let_(
+                vec![
+                    thunk(heavy, vec![int(1)]),                  // [1] shared s
+                    pap(use_shared, vec![v(1)]),                 // [2] (useShared s)
+                    thunk(pre.enum_from_to, vec![int(1), v(0)]), // [3]
+                    thunk(pre.map, vec![v(2), v(3)]),            // [4]
+                    thunk(pre.spark_list, vec![v(4)]),           // [5]
+                ],
+                seq(atom(v(5)), app(pre.sum, vec![v(4)])),
+            ),
+        );
+        let program = b.build();
+        let mut c = GphConfig::ghc69_plain(4).with_big_alloc_area().with_work_stealing();
+        c.black_holing = bh;
+        c = c.without_trace();
+        let mut rt = GphRuntime::new(program, c);
+        let out = rt
+            .run(|heap| {
+                let k = heap.int(32);
+                heap.alloc_thunk(main, vec![k])
+            })
+            .unwrap();
+        let v = rt.heap().expect_value(out.result).expect_int();
+        (v, out)
+    }
+    let (v_lazy, lazy) = build_shared(BlackHoling::Lazy);
+    let (v_eager, eager) = build_shared(BlackHoling::Eager);
+    let expect: i64 = (1..=32).map(|i| 1001 + i).sum();
+    assert_eq!(v_lazy, expect);
+    assert_eq!(v_eager, expect);
+    assert!(
+        lazy.stats.duplicate_evals > 0,
+        "lazy BH must duplicate the shared computation"
+    );
+    assert_eq!(eager.stats.duplicate_evals, 0, "eager BH prevents duplication");
+    assert!(eager.stats.blackhole_blocks > 0, "eager BH blocks second forcers");
+    assert!(
+        eager.elapsed < lazy.elapsed,
+        "eager {} !< lazy {} when work is shared",
+        eager.elapsed,
+        lazy.elapsed
+    );
+}
+
+/// §VI future work: the semi-distributed heap model must produce the
+/// same results and collect mostly locally, cutting stop-the-world
+/// count roughly by its `global_every` factor.
+#[test]
+fn semi_distributed_heap_reduces_global_collections() {
+    let stw = GphConfig::ghc69_plain(8).without_trace();
+    let (v1, o1) = run_with(stw, 64, 100_000, 30_000);
+    let semi = GphConfig::ghc69_plain(8)
+        .with_semi_distributed_heap(8)
+        .without_trace();
+    let (v2, o2) = run_with(semi, 64, 100_000, 30_000);
+    assert_eq!(v1, v2);
+    let s1 = &o1.stats;
+    let s2 = &o2.stats;
+    assert!(s1.gcs > 0);
+    assert!(
+        s2.gcs * 4 <= s1.gcs,
+        "global GCs should drop sharply: {} vs {}",
+        s2.gcs,
+        s1.gcs
+    );
+    assert!(s2.local_gcs > 0, "local collections must happen");
+    assert!(
+        o2.elapsed < o1.elapsed,
+        "semi-distributed {} !< stop-the-world {}",
+        o2.elapsed,
+        o1.elapsed
+    );
+}
+
+/// §IV.A.2 future work: thread stealing lets idle capabilities pull
+/// runnable threads when there are no sparks left to steal.
+#[test]
+fn thread_stealing_pulls_queued_threads() {
+    // Shared thunk: all tasks block on it; the waker accumulates the
+    // woken threads. With thread stealing, idle capabilities pull them.
+    let mut b = ProgramBuilder::new();
+    let pre = prelude::install(&mut b);
+    let heavy = b.kernel("heavy", 1, |heap, args| {
+        let x = heap.expect_value(args[0]).expect_int();
+        KernelOut {
+            result: heap.alloc_value(Value::Int(x + 100)),
+            cost: 2_000_000,
+            transient_words: 100,
+        }
+    });
+    let own = b.kernel("own", 1, |heap, args| {
+        let x = heap.expect_value(args[0]).expect_int();
+        KernelOut {
+            result: heap.alloc_value(Value::Int(x)),
+            cost: 1_000_000,
+            transient_words: 100,
+        }
+    });
+    // task s i = s + own i  (forces the shared thunk FIRST, so every
+    // task blocks until it resolves; the post-wake work is the part
+    // thread stealing can spread).
+    let task = b.def(
+        "task",
+        2,
+        let_(
+            vec![thunk(own, vec![v(1)])],
+            prim(rph_machine::PrimOp::Add, vec![v(0), v(2)]),
+        ),
+    );
+    let main = b.def(
+        "main",
+        1,
+        let_(
+            vec![
+                thunk(heavy, vec![int(1)]),
+                pap(task, vec![v(1)]),
+                thunk(pre.enum_from_to, vec![int(1), v(0)]),
+                thunk(pre.map, vec![v(2), v(3)]),
+                thunk(pre.spark_list, vec![v(4)]),
+            ],
+            seq(atom(v(5)), app(pre.sum, vec![v(4)])),
+        ),
+    );
+    let program = b.build();
+    let run = |steal_threads: bool| {
+        let mut c = GphConfig::ghc69_plain(8)
+            .with_big_alloc_area()
+            .with_work_stealing()
+            .with_eager_blackholing()
+            .without_trace();
+        if steal_threads {
+            c = c.with_thread_stealing();
+        }
+        let mut rt = GphRuntime::new(program.clone(), c);
+        let out = rt
+            .run(|heap| {
+                let k = heap.int(24);
+                heap.alloc_thunk(main, vec![k])
+            })
+            .unwrap();
+        let v = rt.heap().expect_value(out.result).expect_int();
+        assert_eq!(v, (1..=24).map(|i| 101 + i).sum::<i64>());
+        out
+    };
+    let without = run(false);
+    let with = run(true);
+    assert!(with.stats.threads_stolen > 0, "expected thread steals");
+    assert!(
+        with.elapsed <= without.elapsed,
+        "thread stealing should not hurt: {} vs {}",
+        with.elapsed,
+        without.elapsed
+    );
+}
+
+/// Failure injection: a program error (division by zero) inside a
+/// sparked computation surfaces as `Err` from the run, never as a
+/// panic or a wrong answer.
+#[test]
+fn program_errors_propagate_from_parallel_code() {
+    let mut b = ProgramBuilder::new();
+    let pre = prelude::install(&mut b);
+    // poison x = x / 0
+    let poison = b.def(
+        "poison",
+        1,
+        prim(rph_machine::PrimOp::Div, vec![v(0), int(0)]),
+    );
+    let main = b.def(
+        "main",
+        1,
+        let_(
+            vec![
+                pap(poison, vec![]),
+                thunk(pre.enum_from_to, vec![int(1), v(0)]),
+                thunk(pre.map, vec![v(1), v(2)]),
+                thunk(pre.spark_list, vec![v(3)]),
+            ],
+            seq(atom(v(4)), app(pre.sum, vec![v(3)])),
+        ),
+    );
+    let program = b.build();
+    let mut rt = GphRuntime::new(
+        program,
+        GphConfig::ghc69_plain(4).with_work_stealing().without_trace(),
+    );
+    let err = rt
+        .run(|heap| {
+            let n = heap.int(8);
+            heap.alloc_thunk(main, vec![n])
+        })
+        .unwrap_err();
+    assert!(err.contains("division"), "got: {err}");
+}

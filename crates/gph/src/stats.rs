@@ -1,0 +1,51 @@
+//! Aggregated per-run statistics for the GpH runtime.
+
+use rph_trace::Time;
+
+/// Counters accumulated by [`crate::GphRuntime`] during a run (cheaper
+/// than deriving everything from the event trace, and available even
+/// with tracing disabled).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GphStats {
+    /// Sparks recorded by `par`.
+    pub sparks_created: u64,
+    /// Sparks dropped because a pool was full.
+    pub sparks_overflowed: u64,
+    /// Sparks converted to work on their own capability.
+    pub sparks_run_local: u64,
+    /// Sparks obtained by stealing.
+    pub sparks_stolen: u64,
+    /// Sparks pushed to idle capabilities by the push-model scheduler.
+    pub sparks_pushed: u64,
+    /// Sparks found already evaluated when converted (fizzled).
+    pub sparks_fizzled: u64,
+    /// Failed steal attempts.
+    pub steal_failures: u64,
+    /// Lightweight threads created.
+    pub threads_created: u64,
+    /// Threads that blocked on black holes.
+    pub blackhole_blocks: u64,
+    /// Duplicate evaluations detected (lazy black-holing).
+    pub duplicate_evals: u64,
+    /// Virtual time wasted in duplicate evaluation.
+    pub duplicate_work_wasted: Time,
+    /// Stop-the-world collections.
+    pub gcs: u64,
+    /// Total virtual time all capabilities spent stopped for GC
+    /// (barrier wait + collection), summed over capabilities.
+    pub gc_stopped_time: Time,
+    /// Live words after the last collection.
+    pub last_live_words: u64,
+    /// Total words reclaimed.
+    pub collected_words: u64,
+    /// Context switches performed.
+    pub ctx_switches: u64,
+    /// Surplus runnable threads pushed to idle capabilities.
+    pub threads_migrated: u64,
+    /// Runnable threads stolen by idle capabilities (the §IV.A.2
+    /// future-work extension; 0 unless `thread_stealing` is on).
+    pub threads_stolen: u64,
+    /// Independent local nursery collections (semi-distributed heap
+    /// model only).
+    pub local_gcs: u64,
+}

@@ -1,0 +1,262 @@
+//! Evaluation strategies (§II.B of the paper).
+//!
+//! "By using normal higher-order functional programming, higher-level
+//! parallel programming constructs can be defined just from these two
+//! simple primitive constructs \[`par` and `seq`\]." This module is the
+//! reproduction's `Control.Parallel.Strategies`: strategy
+//! supercombinators built from `par`/`seq`, composable exactly like the
+//! paper's examples —
+//!
+//! ```text
+//! parList :: Strategy a -> Strategy [a]
+//! parList s []     = ()
+//! parList s (x:xs) = s x `par` parList s xs
+//! ```
+//!
+//! A strategy here is a supercombinator of arity 1 whose result is
+//! forced for effect (`()`-like); applying one with [`Strategies::using`]
+//! mirrors Haskell's ``xs `using` strat``.
+
+use rph_heap::ScId;
+use rph_machine::ir::*;
+use rph_machine::prelude::Prelude;
+use rph_machine::{PrimOp, ProgramBuilder};
+
+/// Installed strategy supercombinators.
+#[derive(Debug, Clone, Copy)]
+pub struct Strategies {
+    /// `rwhnf x`: reduce to weak head normal form (the identity
+    /// strategy plus forcing).
+    pub rwhnf: ScId,
+    /// `rnf x`: reduce to full normal form.
+    pub rnf: ScId,
+    /// `parList s xs`: spark `s x` for every element.
+    /// Applied via [`Self::using`]; `s` is a strategy value (`Pap`).
+    pub par_list: ScId,
+    /// `parListWhnf xs = parList rwhnf xs` (the common case, saving a
+    /// `Pap` allocation).
+    pub par_list_whnf: ScId,
+    /// `parListRnf xs = parList rnf xs` — the paper's `parList rnf`,
+    /// used by its sumEuler.
+    pub par_list_rnf: ScId,
+    /// `parListChunk n s xs`: split into chunks of `n` and spark the
+    /// strategy over each chunk's *whole* contents (spine and
+    /// elements) — coarser grains for fine-grained lists.
+    pub par_list_chunk: ScId,
+    /// `seqList s xs`: apply `s` to every element *sequentially*
+    /// (no sparks — the sequential counterpart for calibration).
+    pub seq_list: ScId,
+    /// ``using x strat = strat x `seq` x``.
+    pub using: ScId,
+}
+
+/// Install the strategies into a program under construction (requires
+/// the prelude for `chunk` and `deepSeq`).
+pub fn install(b: &mut ProgramBuilder, pre: &Prelude) -> Strategies {
+    // rwhnf x = x `seq` ()            frame: [x]
+    let rwhnf = b.def("rwhnf", 1, seq(atom(v(0)), atom(unit())));
+
+    // rnf x = deepseq x `seq` ()
+    let rnf = b.def(
+        "rnf",
+        1,
+        seq(prim(PrimOp::DeepSeq, vec![v(0)]), atom(unit())),
+    );
+
+    // parList s xs = case xs of
+    //   []     -> ()
+    //   (y:ys) -> (s y) `par` parList s ys     frame: [s, xs | y, ys]
+    let par_list = b.declare("parList", 2);
+    b.define(
+        par_list,
+        case_list(
+            atom(v(1)),
+            atom(unit()),
+            let_(
+                vec![thunk_app(v(0), vec![v(2)])], // [4] s y
+                par(v(4), app(par_list, vec![v(0), v(3)])),
+            ),
+        ),
+    );
+
+    // parListWhnf xs = parList rwhnf xs
+    let par_list_whnf = b.def(
+        "parListWhnf",
+        1,
+        let_(vec![pap(rwhnf, vec![])], app(par_list, vec![v(1), v(0)])),
+    );
+
+    // parListRnf xs = parList rnf xs
+    let par_list_rnf = b.def(
+        "parListRnf",
+        1,
+        let_(vec![pap(rnf, vec![])], app(par_list, vec![v(1), v(0)])),
+    );
+
+    // parListChunk n s xs = parList (seqList s) (chunk n xs)
+    //                                  frame: [n, s, xs]
+    let seq_list = b.declare("seqList", 2);
+    // seqList s xs = case xs of [] -> (); (y:ys) -> (s y) `seq` seqList s ys
+    b.define(
+        seq_list,
+        case_list(
+            atom(v(1)),
+            atom(unit()),
+            let_(
+                vec![thunk_app(v(0), vec![v(2)])], // [4] s y
+                seq(atom(v(4)), app(seq_list, vec![v(0), v(3)])),
+            ),
+        ),
+    );
+    let par_list_chunk = b.def(
+        "parListChunk",
+        3,
+        let_(
+            vec![
+                thunk(pre.chunk, vec![v(0), v(2)]), // [3] chunk n xs
+                pap(seq_list, vec![v(1)]),          // [4] seqList s
+            ],
+            app(par_list, vec![v(4), v(3)]),
+        ),
+    );
+
+    // using x strat = (strat x) `seq` x        frame: [x, strat]
+    let using = b.def(
+        "using",
+        2,
+        let_(
+            vec![thunk_app(v(1), vec![v(0)])], // [2] strat x
+            seq(atom(v(2)), atom(v(0))),
+        ),
+    );
+
+    Strategies {
+        rwhnf,
+        rnf,
+        par_list,
+        par_list_whnf,
+        par_list_rnf,
+        par_list_chunk,
+        seq_list,
+        using,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GphConfig;
+    use crate::runtime::GphRuntime;
+    use rph_heap::{Heap, NodeRef, Value};
+    use rph_machine::prelude;
+    use rph_machine::program::{KernelOut, Program};
+    use rph_machine::reference::alloc_int_list;
+    use std::sync::Arc;
+
+    struct Fix {
+        program: Arc<Program>,
+        pre: prelude::Prelude,
+        strat: Strategies,
+        work: ScId,
+    }
+
+    fn fix() -> Fix {
+        let mut b = ProgramBuilder::new();
+        let pre = prelude::install(&mut b);
+        let strat = install(&mut b, &pre);
+        let work = b.kernel("work", 1, |heap, args| {
+            let x = heap.expect_value(args[0]).expect_int();
+            KernelOut {
+                result: heap.alloc_value(Value::Int(x * 3)),
+                cost: 200_000,
+                transient_words: 1_000,
+            }
+        });
+        Fix { program: b.build(), pre, strat, work }
+    }
+
+    /// Run `sum (map work [1..n] `using` strat_expr)` and return
+    /// (value, sparks created).
+    fn run_using(f: &Fix, n: i64, build_strat: impl FnOnce(&mut Heap) -> NodeRef) -> (i64, u64) {
+        let mut rt = GphRuntime::new(
+            f.program.clone(),
+            GphConfig::ghc69_plain(4).with_work_stealing().without_trace(),
+        );
+        let (pre, work, using) = (f.pre, f.work, f.strat.using);
+        let out = rt
+            .run(move |heap| {
+                let data: Vec<i64> = (1..=n).collect();
+                let xs = alloc_int_list(heap, &data);
+                let wp = heap.alloc_value(Value::Pap { sc: work, args: Box::new([]) });
+                let mapped = heap.alloc_thunk(pre.map, vec![wp, xs]);
+                let strat = build_strat(heap);
+                let used = heap.alloc_thunk(using, vec![mapped, strat]);
+                heap.alloc_thunk(pre.sum, vec![used])
+            })
+            .unwrap();
+        let value = rt.heap().expect_value(out.result).expect_int();
+        (value, out.stats.sparks_created)
+    }
+
+    #[test]
+    fn par_list_whnf_sparks_every_element() {
+        let f = fix();
+        let strat_sc = f.strat.par_list_whnf;
+        let (v, sparks) = run_using(&f, 20, |heap| {
+            heap.alloc_value(Value::Pap { sc: strat_sc, args: Box::new([]) })
+        });
+        assert_eq!(v, (1..=20).map(|x| x * 3).sum::<i64>());
+        assert_eq!(sparks, 20, "one spark per element");
+    }
+
+    #[test]
+    fn par_list_rnf_matches_whnf_on_flat_lists() {
+        let f = fix();
+        let rnf_sc = f.strat.par_list_rnf;
+        let (v, sparks) = run_using(&f, 12, |heap| {
+            heap.alloc_value(Value::Pap { sc: rnf_sc, args: Box::new([]) })
+        });
+        assert_eq!(v, (1..=12).map(|x| x * 3).sum::<i64>());
+        assert_eq!(sparks, 12);
+    }
+
+    #[test]
+    fn par_list_chunk_sparks_one_per_chunk() {
+        let f = fix();
+        let (chunk_sc, rwhnf_sc) = (f.strat.par_list_chunk, f.strat.rwhnf);
+        // strat = \xs -> parListChunk 5 rwhnf xs, as a partial application.
+        let (v, sparks) = run_using(&f, 20, |heap| {
+            let five = heap.int(5);
+            let rw = heap.alloc_value(Value::Pap { sc: rwhnf_sc, args: Box::new([]) });
+            heap.alloc_value(Value::Pap { sc: chunk_sc, args: vec![five, rw].into() })
+        });
+        assert_eq!(v, (1..=20).map(|x| x * 3).sum::<i64>());
+        assert_eq!(sparks, 4, "20 elements / chunks of 5");
+    }
+
+    #[test]
+    fn seq_list_creates_no_sparks() {
+        let f = fix();
+        let (seq_sc, rwhnf_sc) = (f.strat.seq_list, f.strat.rwhnf);
+        let (v, sparks) = run_using(&f, 10, |heap| {
+            let rw = heap.alloc_value(Value::Pap { sc: rwhnf_sc, args: Box::new([]) });
+            heap.alloc_value(Value::Pap { sc: seq_sc, args: vec![rw].into() })
+        });
+        assert_eq!(v, (1..=10).map(|x| x * 3).sum::<i64>());
+        assert_eq!(sparks, 0);
+    }
+
+    #[test]
+    fn custom_strategy_composition() {
+        // End-users "can easily define tailor-made strategies": spark
+        // only every element's rnf via parList (the generic one).
+        let f = fix();
+        let (par_list, rnf) = (f.strat.par_list, f.strat.rnf);
+        let (v, sparks) = run_using(&f, 8, |heap| {
+            let r = heap.alloc_value(Value::Pap { sc: rnf, args: Box::new([]) });
+            heap.alloc_value(Value::Pap { sc: par_list, args: vec![r].into() })
+        });
+        assert_eq!(v, (1..=8).map(|x| x * 3).sum::<i64>());
+        assert_eq!(sparks, 8);
+    }
+}

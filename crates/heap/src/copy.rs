@@ -1,0 +1,204 @@
+//! Deep copy of normal-form subgraphs between heaps — the serialisation
+//! step of Eden's message passing.
+//!
+//! Eden reduces all communicated data to *normal form* before sending
+//! (§II.A: "All values are reduced to normal form prior to sending"),
+//! then ships "computation subgraph structures, serialised into one or
+//! more packets" (§III.B). This module implements exactly that: a
+//! sharing-preserving deep copy of a fully evaluated subgraph from one
+//! heap into another. Meeting a thunk or black hole is an error — the
+//! sender must have normalised first (the middleware in `rph-eden`
+//! drives that evaluation).
+
+use crate::heap::{Heap, HeapError};
+use crate::noderef::NodeRef;
+use crate::value::Value;
+use crate::cell::Cell;
+use std::collections::HashMap;
+
+/// Copy the normal-form subgraph rooted at `root` from `src` into
+/// `dst`, preserving sharing (a DAG stays a DAG; the copy allocates one
+/// node per *distinct* source node). Returns the root in `dst` and the
+/// number of words copied (the serialised message size).
+pub fn copy_subgraph(src: &Heap, root: NodeRef, dst: &mut Heap) -> Result<(NodeRef, u64), HeapError> {
+    let mut memo: HashMap<NodeRef, NodeRef> = HashMap::new();
+    let mut words = 0u64;
+    let r = copy_rec(src, src.resolve(root), dst, &mut memo, &mut words)?;
+    Ok((r, words))
+}
+
+fn copy_rec(
+    src: &Heap,
+    r: NodeRef,
+    dst: &mut Heap,
+    memo: &mut HashMap<NodeRef, NodeRef>,
+    words: &mut u64,
+) -> Result<NodeRef, HeapError> {
+    let r = src.resolve(r);
+    if let Some(&copied) = memo.get(&r) {
+        return Ok(copied);
+    }
+    let value = match src.get(r) {
+        Cell::Value(v) => v.clone(),
+        Cell::Thunk { .. } | Cell::BlackHole { .. } => return Err(HeapError::NotNormalForm(r)),
+        Cell::Free => return Err(HeapError::UseAfterFree(r)),
+        Cell::Ind(_) => unreachable!("resolve() returned an Ind"),
+    };
+    // Normal-form data is acyclic, so structural recursion terminates;
+    // sharing is preserved through the memo table. Recursion depth is
+    // bounded by list length for cons spines, so long lists are copied
+    // iteratively below.
+    let copied = match value {
+        Value::Cons(h, t) => {
+            // Iterative spine copy to avoid O(list length) Rust stack.
+            let mut spine = vec![(r, h)];
+            let mut tail_ref = t;
+            let tail_node = loop {
+                let tr = src.resolve(tail_ref);
+                if let Some(&copied) = memo.get(&tr) {
+                    break copied;
+                }
+                match src.get(tr) {
+                    Cell::Value(Value::Cons(h2, t2)) => {
+                        spine.push((tr, *h2));
+                        tail_ref = *t2;
+                    }
+                    Cell::Value(_) => {
+                        break copy_rec(src, tr, dst, memo, words)?;
+                    }
+                    Cell::Thunk { .. } | Cell::BlackHole { .. } => {
+                        return Err(HeapError::NotNormalForm(tr))
+                    }
+                    Cell::Free => return Err(HeapError::UseAfterFree(tr)),
+                    Cell::Ind(_) => unreachable!(),
+                }
+            };
+            let mut tail = tail_node;
+            while let Some((src_node, head)) = spine.pop() {
+                let head_copy = copy_rec(src, head, dst, memo, words)?;
+                let v = Value::Cons(head_copy, tail);
+                *words += v.words();
+                tail = dst.alloc_value(v);
+                memo.insert(src_node, tail);
+            }
+            tail
+        }
+        Value::Tuple(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for f in fields.iter() {
+                out.push(copy_rec(src, *f, dst, memo, words)?);
+            }
+            let v = Value::Tuple(out.into());
+            *words += v.words();
+            let n = dst.alloc_value(v);
+            memo.insert(r, n);
+            n
+        }
+        Value::Pap { sc, args } => {
+            let mut out = Vec::with_capacity(args.len());
+            for a in args.iter() {
+                out.push(copy_rec(src, *a, dst, memo, words)?);
+            }
+            let v = Value::Pap { sc, args: out.into() };
+            *words += v.words();
+            let n = dst.alloc_value(v);
+            memo.insert(r, n);
+            n
+        }
+        atomic => {
+            *words += atomic.words();
+            let n = dst.alloc_value(atomic);
+            memo.insert(r, n);
+            n
+        }
+    };
+    Ok(copied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noderef::ScId;
+
+    fn list(h: &mut Heap, xs: &[i64]) -> NodeRef {
+        let mut tail = h.alloc_value(Value::Nil);
+        for &x in xs.iter().rev() {
+            let head = h.int(x);
+            tail = h.alloc_value(Value::Cons(head, tail));
+        }
+        tail
+    }
+
+    fn to_vec(h: &Heap, mut r: NodeRef) -> Vec<i64> {
+        let mut out = Vec::new();
+        loop {
+            match h.expect_value(r) {
+                Value::Nil => return out,
+                Value::Cons(hd, tl) => {
+                    out.push(h.expect_value(*hd).expect_int());
+                    r = *tl;
+                }
+                other => panic!("not a list: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn copies_lists() {
+        let mut src = Heap::new();
+        let xs = list(&mut src, &[1, 2, 3]);
+        let mut dst = Heap::new();
+        let (copied, words) = copy_subgraph(&src, xs, &mut dst).unwrap();
+        assert_eq!(to_vec(&dst, copied), vec![1, 2, 3]);
+        // 3 cons (3w each) + 3 ints (2w) + nil (2w) = 17 words.
+        assert_eq!(words, 17);
+    }
+
+    #[test]
+    fn copies_long_lists_without_stack_overflow() {
+        let mut src = Heap::new();
+        let xs: Vec<i64> = (0..100_000).collect();
+        let l = list(&mut src, &xs);
+        let mut dst = Heap::new();
+        let (copied, _) = copy_subgraph(&src, l, &mut dst).unwrap();
+        assert_eq!(to_vec(&dst, copied).len(), 100_000);
+    }
+
+    #[test]
+    fn preserves_sharing() {
+        let mut src = Heap::new();
+        let shared = src.alloc_value(Value::DArray(vec![1.0; 100].into()));
+        let t = src.alloc_value(Value::Tuple(vec![shared, shared].into()));
+        let mut dst = Heap::new();
+        let (copied, words) = copy_subgraph(&src, t, &mut dst).unwrap();
+        // The shared array is copied once: tuple (3w) + array (102w).
+        assert_eq!(words, 105);
+        match dst.expect_value(copied) {
+            Value::Tuple(fs) => assert_eq!(dst.resolve(fs[0]), dst.resolve(fs[1])),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_thunks() {
+        let mut src = Heap::new();
+        let t = src.alloc_thunk(ScId(0), vec![]);
+        let mut dst = Heap::new();
+        assert!(matches!(
+            copy_subgraph(&src, t, &mut dst),
+            Err(HeapError::NotNormalForm(_))
+        ));
+    }
+
+    #[test]
+    fn resolves_indirections_while_copying() {
+        let mut src = Heap::new();
+        let v = src.int(9);
+        let t = src.alloc_thunk(ScId(0), vec![]);
+        src.claim_thunk(t, true);
+        src.update(t, v);
+        let mut dst = Heap::new();
+        let (copied, _) = copy_subgraph(&src, t, &mut dst).unwrap();
+        assert_eq!(dst.expect_value(copied).expect_int(), 9);
+    }
+}

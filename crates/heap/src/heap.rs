@@ -1,0 +1,394 @@
+//! The arena heap: allocation, indirection chasing, thunk entry and
+//! update transitions.
+
+use crate::cell::Cell;
+use crate::noderef::{NodeRef, ScId};
+use crate::value::Value;
+use rph_trace::ThreadId;
+
+/// Errors surfaced by heap operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapError {
+    /// An operation required normal-form data but met a thunk or black
+    /// hole (e.g. Eden serialisation of unevaluated data).
+    NotNormalForm(NodeRef),
+    /// A freed cell was dereferenced — a runtime bug caught loudly.
+    UseAfterFree(NodeRef),
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::NotNormalForm(r) => write!(f, "node {r} is not in normal form"),
+            HeapError::UseAfterFree(r) => write!(f, "use after free of node {r}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Outcome of entering a thunk via [`Heap::claim_thunk`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Claim {
+    /// The caller now evaluates the thunk; here are its contents.
+    /// Under eager black-holing the cell is already a `BlackHole`;
+    /// under lazy black-holing it is still a `Thunk` (and another
+    /// thread may claim it too — duplicate evaluation).
+    Run { sc: ScId, args: Box<[NodeRef]> },
+    /// The cell is already a value; no evaluation needed.
+    Whnf,
+    /// The cell is a black hole: someone else is evaluating it. The
+    /// caller should block.
+    Busy,
+}
+
+/// Cumulative allocation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Total words ever allocated as real graph nodes.
+    pub allocated_words: u64,
+    /// Total transient words charged by kernels (never materialised).
+    pub charged_words: u64,
+    /// Number of node allocations.
+    pub allocations: u64,
+    /// Number of thunk updates performed.
+    pub updates: u64,
+    /// Number of updates that found the node already updated
+    /// (duplicate evaluation under lazy black-holing).
+    pub duplicate_updates: u64,
+}
+
+/// A graph-reduction heap. One per program in GpH (shared by all
+/// capabilities), one per PE in Eden.
+#[derive(Debug, Default)]
+pub struct Heap {
+    cells: Vec<Cell>,
+    free: Vec<u32>,
+    /// Words occupied by live (non-`Free`) cells.
+    live_words: u64,
+    stats: HeapStats,
+}
+
+impl Heap {
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Number of live (non-free) cells.
+    pub fn live_cells(&self) -> usize {
+        self.cells.len() - self.free.len()
+    }
+
+    /// Words occupied by live cells.
+    pub fn live_words(&self) -> u64 {
+        self.live_words
+    }
+
+    /// Arena capacity (live + freed slots).
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Charge transient allocation: `words` a Haskell mutator would
+    /// have allocated and immediately discarded (list spines inside
+    /// kernels). Affects GC *frequency* via the caller's
+    /// [`crate::AllocArea`], not GC cost (copying GC only pays for live
+    /// data).
+    pub fn charge_transient(&mut self, words: u64) {
+        self.stats.charged_words += words;
+    }
+
+    /// Allocate a cell, reusing a freed slot when available.
+    pub fn alloc(&mut self, cell: Cell) -> NodeRef {
+        let words = cell.words();
+        self.live_words += words;
+        self.stats.allocated_words += words;
+        self.stats.allocations += 1;
+        if let Some(idx) = self.free.pop() {
+            self.cells[idx as usize] = cell;
+            NodeRef(idx)
+        } else {
+            let idx = u32::try_from(self.cells.len()).expect("heap exceeds 2^32 cells");
+            self.cells.push(cell);
+            NodeRef(idx)
+        }
+    }
+
+    /// Allocate a WHNF value node.
+    pub fn alloc_value(&mut self, v: Value) -> NodeRef {
+        self.alloc(Cell::Value(v))
+    }
+
+    /// Allocate an integer node.
+    pub fn int(&mut self, i: i64) -> NodeRef {
+        self.alloc_value(Value::Int(i))
+    }
+
+    /// Allocate a thunk node: the suspended application `sc args`.
+    pub fn alloc_thunk(&mut self, sc: ScId, args: impl Into<Box<[NodeRef]>>) -> NodeRef {
+        self.alloc(Cell::Thunk { sc, args: args.into() })
+    }
+
+    /// Read a cell (without resolving indirections).
+    #[inline]
+    pub fn get(&self, r: NodeRef) -> &Cell {
+        &self.cells[r.index()]
+    }
+
+    /// Follow `Ind` chains to the underlying cell.
+    #[inline]
+    pub fn resolve(&self, mut r: NodeRef) -> NodeRef {
+        loop {
+            match &self.cells[r.index()] {
+                Cell::Ind(next) => r = *next,
+                _ => return r,
+            }
+        }
+    }
+
+    /// The value of `r` if it is (after indirections) in WHNF.
+    pub fn whnf(&self, r: NodeRef) -> Option<&Value> {
+        match self.get(self.resolve(r)) {
+            Cell::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value of `r`, panicking if unevaluated (test/kernel helper
+    /// for places where evaluation is known to have happened).
+    pub fn expect_value(&self, r: NodeRef) -> &Value {
+        self.whnf(r)
+            .unwrap_or_else(|| panic!("node {r} expected in WHNF, found {:?}", self.get(self.resolve(r))))
+    }
+
+    /// Enter the (resolved) node `r` for evaluation.
+    ///
+    /// With `eager_blackhole` the thunk is atomically overwritten by a
+    /// `BlackHole` so any second entrant gets [`Claim::Busy`]. Without
+    /// it (GHC's lazy black-holing) the thunk is left in place — a
+    /// second thread entering before the next context switch will also
+    /// get [`Claim::Run`] and duplicate the work (paper §IV.A.3).
+    pub fn claim_thunk(&mut self, r: NodeRef, eager_blackhole: bool) -> Claim {
+        let r = self.resolve(r);
+        match &self.cells[r.index()] {
+            Cell::Value(_) => Claim::Whnf,
+            Cell::BlackHole { .. } => Claim::Busy,
+            Cell::Thunk { sc, args } => {
+                let (sc, args) = (*sc, args.clone());
+                if eager_blackhole {
+                    self.blackhole(r);
+                }
+                Claim::Run { sc, args }
+            }
+            Cell::Ind(_) => unreachable!("resolve() returned an Ind"),
+            Cell::Free => panic!("{}", HeapError::UseAfterFree(r)),
+        }
+    }
+
+    /// Overwrite a thunk with a black hole (used directly by lazy
+    /// black-holing at context-switch time). No-op unless the cell is a
+    /// thunk.
+    pub fn blackhole(&mut self, r: NodeRef) -> bool {
+        let r = self.resolve(r);
+        let cell = &mut self.cells[r.index()];
+        if let Cell::Thunk { .. } = cell {
+            let old = cell.words();
+            *cell = Cell::BlackHole { blocked: Vec::new() };
+            // Black hole overwrites in place; live words shrink to the
+            // 2-word header.
+            self.live_words = self.live_words - old + 2;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record `thread` as blocked on black hole `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is not a black hole — the scheduler must only
+    /// block threads on cells it has just observed as busy.
+    pub fn block_on(&mut self, r: NodeRef, thread: ThreadId) {
+        let r = self.resolve(r);
+        match &mut self.cells[r.index()] {
+            Cell::BlackHole { blocked } => blocked.push(thread),
+            other => panic!("block_on: node {r} is {other:?}, not a black hole"),
+        }
+    }
+
+    /// Update node `r` with its computed result `result` (a node in
+    /// WHNF). Returns the threads to wake. If another thread already
+    /// updated `r` (lazy black-holing duplicate), the update is dropped
+    /// and `duplicate` is flagged in the returned report.
+    pub fn update(&mut self, r: NodeRef, result: NodeRef) -> UpdateReport {
+        let r = self.resolve(r);
+        let result = self.resolve(result);
+        if r == result {
+            // Updating a node with itself (already evaluated in place).
+            self.stats.updates += 1;
+            return UpdateReport { woken: Vec::new(), duplicate: false };
+        }
+        let cell = &mut self.cells[r.index()];
+        match cell {
+            Cell::BlackHole { blocked } => {
+                let woken = std::mem::take(blocked);
+                let old = 2;
+                *cell = Cell::Ind(result);
+                self.live_words = self.live_words - old + 2;
+                self.stats.updates += 1;
+                UpdateReport { woken, duplicate: false }
+            }
+            Cell::Thunk { .. } => {
+                // Lazy black-holing: nobody blocked, overwrite quietly.
+                let old = cell.words();
+                *cell = Cell::Ind(result);
+                self.live_words = self.live_words - old + 2;
+                self.stats.updates += 1;
+                UpdateReport { woken: Vec::new(), duplicate: false }
+            }
+            Cell::Value(_) | Cell::Ind(_) => {
+                // Someone beat us to it: duplicate evaluation detected.
+                self.stats.updates += 1;
+                self.stats.duplicate_updates += 1;
+                UpdateReport { woken: Vec::new(), duplicate: true }
+            }
+            Cell::Free => panic!("{}", HeapError::UseAfterFree(r)),
+        }
+    }
+
+    // ----- internal access for the collector -----
+
+    pub(crate) fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    pub(crate) fn free_cell(&mut self, idx: usize) {
+        let words = self.cells[idx].words();
+        self.live_words -= words;
+        self.cells[idx] = Cell::Free;
+        self.free.push(idx as u32);
+    }
+
+    /// Test helper: is the slot freed?
+    pub fn is_free(&self, r: NodeRef) -> bool {
+        matches!(self.get(r), Cell::Free)
+    }
+}
+
+/// Result of [`Heap::update`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateReport {
+    /// Threads that were blocked on the updated black hole.
+    pub woken: Vec<ThreadId>,
+    /// True if the node had already been updated by another thread.
+    pub duplicate: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_read() {
+        let mut h = Heap::new();
+        let a = h.int(42);
+        assert_eq!(h.expect_value(a).expect_int(), 42);
+        assert_eq!(h.live_cells(), 1);
+        assert_eq!(h.live_words(), 2);
+    }
+
+    #[test]
+    fn resolve_chases_ind_chains() {
+        let mut h = Heap::new();
+        let v = h.int(7);
+        let i1 = h.alloc(Cell::Ind(v));
+        let i2 = h.alloc(Cell::Ind(i1));
+        assert_eq!(h.resolve(i2), v);
+        assert_eq!(h.whnf(i2), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn eager_claim_blackholes() {
+        let mut h = Heap::new();
+        let t = h.alloc_thunk(ScId(0), vec![]);
+        match h.claim_thunk(t, true) {
+            Claim::Run { sc, .. } => assert_eq!(sc, ScId(0)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(h.claim_thunk(t, true), Claim::Busy);
+    }
+
+    #[test]
+    fn lazy_claim_allows_duplicates() {
+        let mut h = Heap::new();
+        let t = h.alloc_thunk(ScId(0), vec![]);
+        assert!(matches!(h.claim_thunk(t, false), Claim::Run { .. }));
+        // Second entrant also gets to run — the duplicated work window.
+        assert!(matches!(h.claim_thunk(t, false), Claim::Run { .. }));
+    }
+
+    #[test]
+    fn update_wakes_blocked_threads() {
+        let mut h = Heap::new();
+        let t = h.alloc_thunk(ScId(0), vec![]);
+        h.claim_thunk(t, true);
+        h.block_on(t, ThreadId(1));
+        h.block_on(t, ThreadId(2));
+        let v = h.int(99);
+        let rep = h.update(t, v);
+        assert_eq!(rep.woken, vec![ThreadId(1), ThreadId(2)]);
+        assert!(!rep.duplicate);
+        assert_eq!(h.expect_value(t).expect_int(), 99);
+    }
+
+    #[test]
+    fn duplicate_update_detected() {
+        let mut h = Heap::new();
+        let t = h.alloc_thunk(ScId(0), vec![]);
+        // Two threads claim lazily.
+        h.claim_thunk(t, false);
+        h.claim_thunk(t, false);
+        let v1 = h.int(1);
+        let v2 = h.int(1);
+        assert!(!h.update(t, v1).duplicate);
+        assert!(h.update(t, v2).duplicate);
+        assert_eq!(h.stats().duplicate_updates, 1);
+        assert_eq!(h.expect_value(t).expect_int(), 1);
+    }
+
+    #[test]
+    fn claim_whnf_short_circuits() {
+        let mut h = Heap::new();
+        let v = h.int(5);
+        assert_eq!(h.claim_thunk(v, true), Claim::Whnf);
+    }
+
+    #[test]
+    fn update_self_is_noop() {
+        let mut h = Heap::new();
+        let v = h.int(5);
+        let rep = h.update(v, v);
+        assert!(rep.woken.is_empty() && !rep.duplicate);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a black hole")]
+    fn block_on_value_panics() {
+        let mut h = Heap::new();
+        let v = h.int(5);
+        h.block_on(v, ThreadId(0));
+    }
+
+    #[test]
+    fn charge_transient_tracks_stats() {
+        let mut h = Heap::new();
+        h.charge_transient(1000);
+        assert_eq!(h.stats().charged_words, 1000);
+        assert_eq!(h.live_words(), 0);
+    }
+}

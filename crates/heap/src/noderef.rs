@@ -1,0 +1,63 @@
+//! Heap node references and supercombinator identifiers.
+
+use rph_deque::word_newtype;
+
+/// A reference to a heap cell: an index into the owning [`crate::Heap`]'s
+/// arena. `NodeRef`s are meaningful only relative to one heap — Eden PEs
+/// have disjoint heaps and exchange data by deep copy, never by sharing
+/// a `NodeRef` (that is the point of the distributed-heap model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeRef(pub u32);
+
+word_newtype!(NodeRef, u32);
+
+impl NodeRef {
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a supercombinator (a compiled top-level function) in
+/// the program's supercombinator table. The heap stores `ScId`s inside
+/// thunks; the abstract machine (`rph-machine`) owns the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScId(pub u32);
+
+impl ScId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ScId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sc{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rph_deque::Word;
+
+    #[test]
+    fn noderef_is_a_deque_word() {
+        let r = NodeRef(123);
+        assert_eq!(NodeRef::from_u64(r.to_u64()), r);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeRef(7).to_string(), "n7");
+        assert_eq!(ScId(2).to_string(), "sc2");
+    }
+}

@@ -1,0 +1,151 @@
+//! Weak-head-normal-form values.
+
+use crate::noderef::{NodeRef, ScId};
+
+/// A value in weak head normal form (WHNF). Constructor fields are
+/// `NodeRef`s and may themselves still be thunks — that is lazy
+/// evaluation: `Cons` of an unevaluated head is a perfectly good WHNF.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Machine integer.
+    Int(i64),
+    /// Double-precision float.
+    Double(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Unit `()`.
+    Unit,
+    /// Empty list `[]`.
+    Nil,
+    /// List cell `x : xs`.
+    Cons(NodeRef, NodeRef),
+    /// Tuple of two or more components.
+    Tuple(Box<[NodeRef]>),
+    /// A dense array of unboxed doubles — matrix blocks and distance
+    /// rows in the paper's workloads. (GHC would use `UArray Double`.)
+    DArray(Box<[f64]>),
+    /// A partial application: supercombinator `sc` applied to fewer
+    /// arguments than its arity (a PAP in GHC terms).
+    Pap { sc: ScId, args: Box<[NodeRef]> },
+}
+
+impl Value {
+    /// Heap size of this value in words, following the usual
+    /// header + payload closure layout (one header word; one word per
+    /// field; arrays are one word per element plus a length word).
+    pub fn words(&self) -> u64 {
+        match self {
+            Value::Int(_) | Value::Double(_) | Value::Bool(_) | Value::Unit | Value::Nil => 2,
+            Value::Cons(_, _) => 3,
+            Value::Tuple(fields) => 1 + fields.len() as u64,
+            Value::DArray(xs) => 2 + xs.len() as u64,
+            Value::Pap { args, .. } => 2 + args.len() as u64,
+        }
+    }
+
+    /// Collect the `NodeRef` fields of this value into `out`, for GC
+    /// marking and subgraph copying (allocation-free via the caller's
+    /// reusable buffer).
+    pub fn push_children(&self, out: &mut Vec<NodeRef>) {
+        match self {
+            Value::Cons(h, t) => {
+                out.push(*h);
+                out.push(*t);
+            }
+            Value::Tuple(fields) => out.extend_from_slice(fields),
+            Value::Pap { args, .. } => out.extend_from_slice(args),
+            _ => {}
+        }
+    }
+
+    /// True if this value has no `NodeRef` children (fully evaluated by
+    /// construction).
+    pub fn is_atomic(&self) -> bool {
+        matches!(
+            self,
+            Value::Int(_)
+                | Value::Double(_)
+                | Value::Bool(_)
+                | Value::Unit
+                | Value::Nil
+                | Value::DArray(_)
+        )
+    }
+
+    /// Extract an `Int`, panicking with a clear message otherwise.
+    pub fn expect_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// Extract a `Double` (accepting `Int` via promotion).
+    pub fn expect_double(&self) -> f64 {
+        match self {
+            Value::Double(d) => *d,
+            Value::Int(i) => *i as f64,
+            other => panic!("expected Double, got {other:?}"),
+        }
+    }
+
+    /// Extract a `Bool`.
+    pub fn expect_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+
+    /// Extract a `DArray` slice.
+    pub fn expect_darray(&self) -> &[f64] {
+        match self {
+            Value::DArray(xs) => xs,
+            other => panic!("expected DArray, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_sizes() {
+        assert_eq!(Value::Int(1).words(), 2);
+        assert_eq!(Value::Cons(NodeRef(0), NodeRef(1)).words(), 3);
+        assert_eq!(Value::Tuple(vec![NodeRef(0); 3].into()).words(), 4);
+        assert_eq!(Value::DArray(vec![0.0; 10].into()).words(), 12);
+    }
+
+    #[test]
+    fn children_collection() {
+        let mut buf = Vec::new();
+        Value::Cons(NodeRef(1), NodeRef(2)).push_children(&mut buf);
+        assert_eq!(buf, vec![NodeRef(1), NodeRef(2)]);
+        buf.clear();
+        Value::Int(3).push_children(&mut buf);
+        assert!(buf.is_empty());
+        buf.clear();
+        Value::Pap { sc: ScId(0), args: vec![NodeRef(9)].into() }.push_children(&mut buf);
+        assert_eq!(buf, vec![NodeRef(9)]);
+    }
+
+    #[test]
+    fn atomic_classification() {
+        assert!(Value::Int(0).is_atomic());
+        assert!(Value::DArray(vec![].into()).is_atomic());
+        assert!(!Value::Cons(NodeRef(0), NodeRef(0)).is_atomic());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn expect_int_panics_on_bool() {
+        Value::Bool(true).expect_int();
+    }
+
+    #[test]
+    fn double_promotion() {
+        assert_eq!(Value::Int(3).expect_double(), 3.0);
+    }
+}

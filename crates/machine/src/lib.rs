@@ -1,0 +1,49 @@
+//! # rph-machine — the lazy abstract machine (the "GHC stand-in")
+//!
+//! Both Haskell dialects in the paper execute on GHC's STG machine: a
+//! graph reducer that enters closures, pushes update frames, and reaches
+//! safepoints at allocation checkpoints. The reproduction needs exactly
+//! that shape — an evaluator whose state is *explicit data*, so the
+//! discrete-event simulator can suspend a thread at a checkpoint, block
+//! it on a black hole, and resume it later, the way GHC's scheduler
+//! suspends TSOs.
+//!
+//! The pieces:
+//!
+//! * [`ir`] — a small lazy functional core language in A-normal form:
+//!   arguments are atoms, every thunk is allocated by an explicit
+//!   `let`, `case` forces to WHNF, `par`/`seq` are the GpH coordination
+//!   primitives. This mirrors GHC's STG language, and makes allocation
+//!   — the driver of the paper's GC phenomena — syntactically visible.
+//! * [`program`] — supercombinator table. A supercombinator body is
+//!   either core-language IR or a native *kernel* (a Rust function that
+//!   computes an inner loop such as Euler's totient or a matrix block
+//!   product, charging its true cost and allocation). Kernels model
+//!   GHC-compiled arithmetic loops: real results, real operation counts,
+//!   no interpretive overhead in the simulator's hot paths.
+//! * [`primop`] — strict primitive operations (arithmetic, comparison,
+//!   list/tuple probes, `deepseq`).
+//! * [`machine`] — the evaluator: explicit code/environment/continuation
+//!   state, cost and allocation accounting per slice, eager or lazy
+//!   black-holing (lazy black-holing walks the update frames at context
+//!   switch, exactly like GHC — §IV.A.3 of the paper), spark collection
+//!   for `par`.
+//! * [`reference`] — an independent big-step interpreter used by
+//!   property tests as the semantic oracle for the machine.
+//! * [`prelude`] — list functions (`map`, `foldl`, `sum`, `enumFromTo`,
+//!   `splitAtN`, …) written in the core language, shared by workloads.
+
+pub mod ir;
+pub mod machine;
+#[cfg(test)]
+mod machine_tests;
+pub mod prelude;
+pub mod primop;
+pub mod program;
+pub mod reference;
+
+pub use ir::{Alts, Atom, Expr, LetRhs, Lit, E};
+pub use machine::{Machine, MachineStatus, RunCtx, Slice, StopReason};
+pub use primop::PrimOp;
+pub use program::{Kernel, KernelOut, Program, ProgramBuilder, Sc, ScBody};
+pub use rph_heap::{Heap, NodeRef, ScId, Value};

@@ -1,0 +1,475 @@
+//! The standard prelude: list functions written in the core language.
+//!
+//! These mirror the Haskell functions the paper's programs are built
+//! from (`map`, `foldl'`, `sum`, `splitIntoN`-style chunking, …), so
+//! workloads read like their Haskell originals and exercise the lazy
+//! machinery (thunks, updates, sharing) rather than bypassing it.
+//!
+//! Each definition documents its environment frame: a supercombinator
+//! body starts with its arguments in slots `0..arity`; `let` and `case`
+//! binders extend the frame in order of introduction.
+
+use crate::ir::*;
+use crate::program::ProgramBuilder;
+use crate::primop::PrimOp;
+use rph_heap::ScId;
+
+/// Name of the n-ary dynamic apply combinator (`$apply1`…): the
+/// supercombinator behind [`LetRhs::ThunkApp`].
+pub fn apply_name(n: usize) -> String {
+    format!("$apply{n}")
+}
+
+/// Identifiers of the installed prelude functions.
+#[derive(Debug, Clone, Copy)]
+pub struct Prelude {
+    /// `$apply1..$apply4`: apply a function value to 1–4 arguments.
+    pub apply: [ScId; 4],
+    /// `inc x = x + 1`
+    pub inc: ScId,
+    /// `dec x = x - 1`
+    pub dec: ScId,
+    /// `add a b = a + b`
+    pub add: ScId,
+    /// `enumFromTo lo hi = [lo..hi]` (lazy)
+    pub enum_from_to: ScId,
+    /// `map f xs`
+    pub map: ScId,
+    /// `foldl' f z xs` (strict accumulator)
+    pub foldl: ScId,
+    /// `sum xs = foldl' (+) 0 xs`
+    pub sum: ScId,
+    /// `length xs`
+    pub length: ScId,
+    /// `lengthAcc n xs`
+    pub length_acc: ScId,
+    /// `append xs ys`
+    pub append: ScId,
+    /// `take n xs`
+    pub take: ScId,
+    /// `drop n xs`
+    pub drop: ScId,
+    /// `chunk k xs` — split into sublists of `k` (the paper's
+    /// "variants of splitting the input into sublists")
+    pub chunk: ScId,
+    /// `zipWith f xs ys`
+    pub zip_with: ScId,
+    /// `replicate n x`
+    pub replicate: ScId,
+    /// `concat xss`
+    pub concat: ScId,
+    /// `last xs` (partial: ⊥ on [])
+    pub last: ScId,
+    /// `filter p xs`
+    pub filter: ScId,
+    /// `reverse xs` (strict accumulator)
+    pub reverse: ScId,
+    /// `elem x xs`
+    pub elem: ScId,
+    /// `maximum xs` (partial: ⊥ on [])
+    pub maximum: ScId,
+    /// `sparkList xs`: spark every element (WHNF), return `()` —
+    /// the engine of `parList rwhnf`.
+    pub spark_list: ScId,
+    /// `sparkListDeep xs`: spark `deepseq` of every element, return
+    /// `()` — the engine of `parList rnf`.
+    pub spark_list_deep: ScId,
+    /// `deepSeqSc x = deepseq x` (forces to NF, returns x)
+    pub deep_seq: ScId,
+}
+
+/// Install the prelude into a program under construction.
+pub fn install(b: &mut ProgramBuilder) -> Prelude {
+    // --- dynamic apply combinators -----------------------------------
+    // $applyN f a1..aN = f a1..aN          frame: [f, a1..aN]
+    let apply = [1usize, 2, 3, 4].map(|n| {
+        b.def(
+            &apply_name(n),
+            n + 1,
+            app_var(v(0), (1..=n).map(v).collect()),
+        )
+    });
+
+    // inc x = x + 1                         frame: [x]
+    let inc = b.def("inc", 1, prim(PrimOp::Add, vec![v(0), int(1)]));
+    // dec x = x - 1
+    let dec = b.def("dec", 1, prim(PrimOp::Sub, vec![v(0), int(1)]));
+    // add a b = a + b
+    let add = b.def("add", 2, prim(PrimOp::Add, vec![v(0), v(1)]));
+
+    // enumFromTo lo hi                      frame: [lo, hi]
+    //   | lo > hi   = []
+    //   | otherwise = lo : enumFromTo (lo+1) hi
+    let enum_from_to = b.declare("enumFromTo", 2);
+    b.define(
+        enum_from_to,
+        if_(
+            prim(PrimOp::Gt, vec![v(0), v(1)]),
+            let_(vec![LetRhs::Nil], atom(v(2))),
+            let_(
+                vec![
+                    thunk(inc, vec![v(0)]),              // [2] lo+1
+                    thunk(enum_from_to, vec![v(2), v(1)]), // [3] tail
+                    LetRhs::Cons(v(0), v(3)),            // [4]
+                ],
+                atom(v(4)),
+            ),
+        ),
+    );
+
+    // map f xs                              frame: [f, xs]
+    let map = b.declare("map", 2);
+    b.define(
+        map,
+        case_list(
+            atom(v(1)),
+            let_(vec![LetRhs::Nil], atom(v(2))),
+            // cons: frame [f, xs, y, ys]
+            let_(
+                vec![
+                    thunk_app(v(0), vec![v(2)]),   // [4] f y
+                    thunk(map, vec![v(0), v(3)]),  // [5] map f ys
+                    LetRhs::Cons(v(4), v(5)),      // [6]
+                ],
+                atom(v(6)),
+            ),
+        ),
+    );
+
+    // foldl' f z xs                         frame: [f, z, xs]
+    let foldl = b.declare("foldl'", 3);
+    b.define(
+        foldl,
+        case_list(
+            atom(v(2)),
+            atom(v(1)),
+            // cons: frame [f, z, xs, y, ys]
+            let_(
+                vec![thunk_app(v(0), vec![v(1), v(3)])], // [5] f z y
+                seq(atom(v(5)), app(foldl, vec![v(0), v(5), v(4)])),
+            ),
+        ),
+    );
+
+    // sum xs = foldl' add 0 xs              frame: [xs]
+    let sum = b.def(
+        "sum",
+        1,
+        let_(
+            vec![pap(add, vec![])], // [1] the (+) function value
+            app(foldl, vec![v(1), int(0), v(0)]),
+        ),
+    );
+
+    // lengthAcc n xs                        frame: [n, xs]
+    let length_acc = b.declare("lengthAcc", 2);
+    b.define(
+        length_acc,
+        case_list(
+            atom(v(1)),
+            atom(v(0)),
+            // cons: frame [n, xs, y, ys]
+            let_(
+                vec![thunk(inc, vec![v(0)])], // [4] n+1
+                seq(atom(v(4)), app(length_acc, vec![v(4), v(3)])),
+            ),
+        ),
+    );
+    // length xs = lengthAcc 0 xs
+    let length = b.def("length", 1, app(length_acc, vec![int(0), v(0)]));
+
+    // append xs ys                          frame: [xs, ys]
+    let append = b.declare("append", 2);
+    b.define(
+        append,
+        case_list(
+            atom(v(0)),
+            atom(v(1)),
+            // cons: frame [xs, ys, h, t]
+            let_(
+                vec![
+                    thunk(append, vec![v(3), v(1)]), // [4]
+                    LetRhs::Cons(v(2), v(4)),        // [5]
+                ],
+                atom(v(5)),
+            ),
+        ),
+    );
+
+    // take n xs                             frame: [n, xs]
+    let take = b.declare("take", 2);
+    b.define(
+        take,
+        if_(
+            prim(PrimOp::Le, vec![v(0), int(0)]),
+            let_(vec![LetRhs::Nil], atom(v(2))),
+            case_list(
+                atom(v(1)),
+                let_(vec![LetRhs::Nil], atom(v(2))),
+                // cons: frame [n, xs, h, t]
+                let_(
+                    vec![
+                        thunk(dec, vec![v(0)]),          // [4] n-1
+                        thunk(take, vec![v(4), v(3)]),   // [5]
+                        LetRhs::Cons(v(2), v(5)),        // [6]
+                    ],
+                    atom(v(6)),
+                ),
+            ),
+        ),
+    );
+
+    // drop n xs                             frame: [n, xs]
+    let drop = b.declare("drop", 2);
+    b.define(
+        drop,
+        if_(
+            prim(PrimOp::Le, vec![v(0), int(0)]),
+            atom(v(1)),
+            case_list(
+                atom(v(1)),
+                let_(vec![LetRhs::Nil], atom(v(2))),
+                // cons: frame [n, xs, h, t]
+                let_(
+                    vec![thunk(dec, vec![v(0)])], // [4] n-1
+                    app(drop, vec![v(4), v(3)]),
+                ),
+            ),
+        ),
+    );
+
+    // chunk k xs                            frame: [k, xs]
+    //   chunk k [] = []
+    //   chunk k xs = take k xs : chunk k (drop k xs)
+    let chunk = b.declare("chunk", 2);
+    b.define(
+        chunk,
+        case_list(
+            atom(v(1)),
+            let_(vec![LetRhs::Nil], atom(v(2))),
+            // cons: frame [k, xs, h, t] — xs itself is still v(1)
+            let_(
+                vec![
+                    thunk(take, vec![v(0), v(1)]),  // [4] take k xs
+                    thunk(drop, vec![v(0), v(1)]),  // [5] drop k xs
+                    thunk(chunk, vec![v(0), v(5)]), // [6] chunk k rest
+                    LetRhs::Cons(v(4), v(6)),       // [7]
+                ],
+                atom(v(7)),
+            ),
+        ),
+    );
+
+    // zipWith f xs ys                       frame: [f, xs, ys]
+    let zip_with = b.declare("zipWith", 3);
+    b.define(
+        zip_with,
+        case_list(
+            atom(v(1)),
+            let_(vec![LetRhs::Nil], atom(v(3))),
+            // cons: frame [f, xs, ys, x, xs']
+            case_list(
+                atom(v(2)),
+                let_(vec![LetRhs::Nil], atom(v(5))),
+                // cons: frame [f, xs, ys, x, xs', y, ys']
+                let_(
+                    vec![
+                        thunk_app(v(0), vec![v(3), v(5)]),        // [7] f x y
+                        thunk(zip_with, vec![v(0), v(4), v(6)]), // [8]
+                        LetRhs::Cons(v(7), v(8)),                 // [9]
+                    ],
+                    atom(v(9)),
+                ),
+            ),
+        ),
+    );
+
+    // replicate n x                         frame: [n, x]
+    let replicate = b.declare("replicate", 2);
+    b.define(
+        replicate,
+        if_(
+            prim(PrimOp::Le, vec![v(0), int(0)]),
+            let_(vec![LetRhs::Nil], atom(v(2))),
+            let_(
+                vec![
+                    thunk(dec, vec![v(0)]),               // [2]
+                    thunk(replicate, vec![v(2), v(1)]),   // [3]
+                    LetRhs::Cons(v(1), v(3)),             // [4]
+                ],
+                atom(v(4)),
+            ),
+        ),
+    );
+
+    // concat xss                            frame: [xss]
+    let concat = b.declare("concat", 1);
+    b.define(
+        concat,
+        case_list(
+            atom(v(0)),
+            let_(vec![LetRhs::Nil], atom(v(1))),
+            // cons: frame [xss, ys, yss]
+            let_(
+                vec![thunk(concat, vec![v(2)])], // [3]
+                app(append, vec![v(1), v(3)]),
+            ),
+        ),
+    );
+
+    // filter p xs                          frame: [p, xs]
+    let filter = b.declare("filter", 2);
+    b.define(
+        filter,
+        case_list(
+            atom(v(1)),
+            let_(vec![LetRhs::Nil], atom(v(2))),
+            // cons: frame [p, xs, y, ys]
+            let_(
+                vec![thunk(filter, vec![v(0), v(3)])], // [4] filter p ys
+                if_(
+                    app_var(v(0), vec![v(2)]),
+                    let_(vec![LetRhs::Cons(v(2), v(4))], atom(v(5))),
+                    atom(v(4)),
+                ),
+            ),
+        ),
+    );
+
+    // reverseAcc acc xs                    frame: [acc, xs]
+    let reverse_acc = b.declare("reverseAcc", 2);
+    b.define(
+        reverse_acc,
+        case_list(
+            atom(v(1)),
+            atom(v(0)),
+            // cons: frame [acc, xs, y, ys]
+            let_(
+                vec![LetRhs::Cons(v(2), v(0))], // [4] y : acc
+                app(reverse_acc, vec![v(4), v(3)]),
+            ),
+        ),
+    );
+    // reverse xs = reverseAcc [] xs
+    let reverse = b.def(
+        "reverse",
+        1,
+        let_(vec![LetRhs::Nil], app(reverse_acc, vec![v(1), v(0)])),
+    );
+
+    // elem x xs                             frame: [x, xs]
+    let elem = b.declare("elem", 2);
+    b.define(
+        elem,
+        case_list(
+            atom(v(1)),
+            atom(boolean(false)),
+            // cons: frame [x, xs, y, ys]
+            if_(
+                prim(PrimOp::Eq, vec![v(0), v(2)]),
+                atom(boolean(true)),
+                app(elem, vec![v(0), v(3)]),
+            ),
+        ),
+    );
+
+    // max2 a b = max a b
+    let max2 = b.def("max2", 2, prim(PrimOp::Max, vec![v(0), v(1)]));
+    // maximumAcc m xs                       frame: [m, xs]
+    let maximum_acc = b.declare("maximumAcc", 2);
+    b.define(
+        maximum_acc,
+        case_list(
+            atom(v(1)),
+            atom(v(0)),
+            // cons: frame [m, xs, y, ys]
+            let_(
+                vec![thunk(max2, vec![v(0), v(2)])], // [4] max m y
+                seq(atom(v(4)), app(maximum_acc, vec![v(4), v(3)])),
+            ),
+        ),
+    );
+    // maximum xs = case xs of (y:ys) -> maximumAcc y ys  (⊥ on [])
+    let maximum = b.def(
+        "maximum",
+        1,
+        case_list(
+            atom(v(0)),
+            prim(PrimOp::Div, vec![int(1), int(0)]), // ⊥ on []
+            app(maximum_acc, vec![v(1), v(2)]),
+        ),
+    );
+
+    // last xs                               frame: [xs]
+    let last = b.declare("last", 1);
+    b.define(
+        last,
+        case_list(
+            atom(v(0)),
+            // `last []` is ⊥ in Haskell; calling it is a program bug.
+            prim(PrimOp::Div, vec![int(1), int(0)]),
+            // cons: frame [xs, h, t]
+            case_list(atom(v(2)), atom(v(1)), app(last, vec![v(2)])),
+        ),
+    );
+
+    // sparkList xs: par each element to WHNF, return ()
+    //                                       frame: [xs]
+    let spark_list = b.declare("sparkList", 1);
+    b.define(
+        spark_list,
+        case_list(
+            atom(v(0)),
+            atom(unit()),
+            // cons: frame [xs, y, ys]
+            par(v(1), app(spark_list, vec![v(2)])),
+        ),
+    );
+
+    // deepSeqSc x = deepseq x (forces NF, returns x)
+    let deep_seq = b.def("deepSeqSc", 1, prim(PrimOp::DeepSeq, vec![v(0)]));
+
+    // sparkListDeep xs: par (deepseq y) for each element, return ().
+    //                                       frame: [xs]
+    let spark_list_deep = b.declare("sparkListDeep", 1);
+    b.define(
+        spark_list_deep,
+        case_list(
+            atom(v(0)),
+            atom(unit()),
+            // cons: frame [xs, y, ys]
+            let_(
+                vec![thunk(deep_seq, vec![v(1)])], // [3] deepseq y
+                par(v(3), app(spark_list_deep, vec![v(2)])),
+            ),
+        ),
+    );
+
+    Prelude {
+        apply,
+        inc,
+        dec,
+        add,
+        enum_from_to,
+        map,
+        foldl,
+        sum,
+        length,
+        length_acc,
+        append,
+        take,
+        drop,
+        chunk,
+        zip_with,
+        replicate,
+        concat,
+        last,
+        filter,
+        reverse,
+        elem,
+        maximum,
+        spark_list,
+        spark_list_deep,
+        deep_seq,
+    }
+}

@@ -1,0 +1,244 @@
+//! Strict primitive operations.
+//!
+//! Primops force all their operands to WHNF before applying (the
+//! machine arranges that), compute natively, and cost a small constant
+//! number of work units. Anything with data-dependent cost (totients,
+//! block products, row relaxations) is a *kernel* supercombinator
+//! instead, so its cost can be charged from its actual operation count.
+
+use rph_heap::Value;
+
+/// The primitive operations of the core language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    // Arithmetic (Int, or Double with promotion).
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Min,
+    Max,
+    Neg,
+    // Comparison (yields Bool).
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    // Boolean.
+    And,
+    Or,
+    Not,
+    // Conversions.
+    IntToDouble,
+    // Dense arrays.
+    DArrayLen,
+    DArrayIndex,
+    /// Force the operand to full normal form (transitively). Evaluated
+    /// by the machine itself (it needs to drive evaluation of
+    /// subthunks); listed here so strategies can mention it.
+    DeepSeq,
+}
+
+/// Errors from primitive application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimError {
+    /// Operand count mismatch.
+    Arity { op: PrimOp, expected: usize, got: usize },
+    /// Operand of the wrong shape.
+    Type { op: PrimOp, got: String },
+    /// Integer division by zero.
+    DivideByZero,
+    /// Array index out of bounds.
+    Bounds { len: usize, index: i64 },
+}
+
+impl std::fmt::Display for PrimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrimError::Arity { op, expected, got } => {
+                write!(f, "{op:?}: expected {expected} operands, got {got}")
+            }
+            PrimError::Type { op, got } => write!(f, "{op:?}: bad operand {got}"),
+            PrimError::DivideByZero => write!(f, "integer division by zero"),
+            PrimError::Bounds { len, index } => {
+                write!(f, "array index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrimError {}
+
+impl PrimOp {
+    /// Number of operands.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Neg | PrimOp::Not | PrimOp::IntToDouble | PrimOp::DArrayLen | PrimOp::DeepSeq => 1,
+            _ => 2,
+        }
+    }
+
+    /// Cost in work units (nominal ~1 ns machine operations; division
+    /// is dearer, like the hardware it models).
+    pub fn cost(self) -> u64 {
+        match self {
+            PrimOp::Div | PrimOp::Mod => 20,
+            PrimOp::DArrayIndex => 2,
+            _ => 1,
+        }
+    }
+}
+
+fn type_err(op: PrimOp, v: &Value) -> PrimError {
+    PrimError::Type { op, got: format!("{v:?}") }
+}
+
+/// Apply `op` to WHNF operands. `DeepSeq` is *not* handled here (the
+/// machine interprets it); calling it is a program bug.
+pub fn apply_prim(op: PrimOp, args: &[&Value]) -> Result<Value, PrimError> {
+    if args.len() != op.arity() {
+        return Err(PrimError::Arity { op, expected: op.arity(), got: args.len() });
+    }
+    use PrimOp::*;
+    use Value::*;
+    let r = match (op, args) {
+        (Add, [Int(a), Int(b)]) => Int(a.wrapping_add(*b)),
+        (Sub, [Int(a), Int(b)]) => Int(a.wrapping_sub(*b)),
+        (Mul, [Int(a), Int(b)]) => Int(a.wrapping_mul(*b)),
+        (Div, [Int(_), Int(0)]) => return Err(PrimError::DivideByZero),
+        (Div, [Int(a), Int(b)]) => Int(a.div_euclid(*b)),
+        (Mod, [Int(_), Int(0)]) => return Err(PrimError::DivideByZero),
+        (Mod, [Int(a), Int(b)]) => Int(a.rem_euclid(*b)),
+        (Min, [Int(a), Int(b)]) => Int(*a.min(b)),
+        (Max, [Int(a), Int(b)]) => Int(*a.max(b)),
+        (Neg, [Int(a)]) => Int(-a),
+
+        (Add, [a, b]) if is_num(a) && is_num(b) => Double(d(a) + d(b)),
+        (Sub, [a, b]) if is_num(a) && is_num(b) => Double(d(a) - d(b)),
+        (Mul, [a, b]) if is_num(a) && is_num(b) => Double(d(a) * d(b)),
+        (Div, [a, b]) if is_num(a) && is_num(b) => Double(d(a) / d(b)),
+        (Min, [a, b]) if is_num(a) && is_num(b) => Double(d(a).min(d(b))),
+        (Max, [a, b]) if is_num(a) && is_num(b) => Double(d(a).max(d(b))),
+        (Neg, [a]) if is_num(a) => Double(-d(a)),
+
+        (Eq, [Int(a), Int(b)]) => Bool(a == b),
+        (Ne, [Int(a), Int(b)]) => Bool(a != b),
+        (Lt, [Int(a), Int(b)]) => Bool(a < b),
+        (Le, [Int(a), Int(b)]) => Bool(a <= b),
+        (Gt, [Int(a), Int(b)]) => Bool(a > b),
+        (Ge, [Int(a), Int(b)]) => Bool(a >= b),
+        (Eq, [Bool(a), Bool(b)]) => Bool(a == b),
+        (Eq, [a, b]) if is_num(a) && is_num(b) => Bool(d(a) == d(b)),
+        (Ne, [a, b]) if is_num(a) && is_num(b) => Bool(d(a) != d(b)),
+        (Lt, [a, b]) if is_num(a) && is_num(b) => Bool(d(a) < d(b)),
+        (Le, [a, b]) if is_num(a) && is_num(b) => Bool(d(a) <= d(b)),
+        (Gt, [a, b]) if is_num(a) && is_num(b) => Bool(d(a) > d(b)),
+        (Ge, [a, b]) if is_num(a) && is_num(b) => Bool(d(a) >= d(b)),
+
+        (And, [Bool(a), Bool(b)]) => Bool(*a && *b),
+        (Or, [Bool(a), Bool(b)]) => Bool(*a || *b),
+        (Not, [Bool(a)]) => Bool(!a),
+
+        (IntToDouble, [Int(a)]) => Double(*a as f64),
+
+        (DArrayLen, [DArray(xs)]) => Int(xs.len() as i64),
+        (DArrayIndex, [DArray(xs), Int(i)]) => {
+            let idx = *i;
+            if idx < 0 || idx as usize >= xs.len() {
+                return Err(PrimError::Bounds { len: xs.len(), index: idx });
+            }
+            Double(xs[idx as usize])
+        }
+
+        (DeepSeq, _) => unreachable!("DeepSeq is interpreted by the machine"),
+        (op, [a]) => return Err(type_err(op, a)),
+        (op, [a, _]) => return Err(type_err(op, a)),
+        _ => unreachable!("arity checked above"),
+    };
+    Ok(r)
+}
+
+fn is_num(v: &Value) -> bool {
+    matches!(v, Value::Int(_) | Value::Double(_))
+}
+
+fn d(v: &Value) -> f64 {
+    v.expect_double()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_arithmetic() {
+        assert_eq!(apply_prim(PrimOp::Add, &[&Value::Int(2), &Value::Int(3)]), Ok(Value::Int(5)));
+        assert_eq!(apply_prim(PrimOp::Mod, &[&Value::Int(7), &Value::Int(3)]), Ok(Value::Int(1)));
+        assert_eq!(
+            apply_prim(PrimOp::Mod, &[&Value::Int(-7), &Value::Int(3)]),
+            Ok(Value::Int(2)),
+            "Haskell mod is Euclidean"
+        );
+        assert_eq!(
+            apply_prim(PrimOp::Div, &[&Value::Int(1), &Value::Int(0)]),
+            Err(PrimError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn mixed_promotes_to_double() {
+        assert_eq!(
+            apply_prim(PrimOp::Add, &[&Value::Int(1), &Value::Double(0.5)]),
+            Ok(Value::Double(1.5))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::Lt, &[&Value::Double(1.0), &Value::Int(2)]),
+            Ok(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(apply_prim(PrimOp::Le, &[&Value::Int(3), &Value::Int(3)]), Ok(Value::Bool(true)));
+        assert_eq!(
+            apply_prim(PrimOp::And, &[&Value::Bool(true), &Value::Bool(false)]),
+            Ok(Value::Bool(false))
+        );
+        assert_eq!(apply_prim(PrimOp::Not, &[&Value::Bool(false)]), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn arrays() {
+        let arr = Value::DArray(vec![1.0, 2.0, 3.0].into());
+        assert_eq!(apply_prim(PrimOp::DArrayLen, &[&arr]), Ok(Value::Int(3)));
+        assert_eq!(
+            apply_prim(PrimOp::DArrayIndex, &[&arr, &Value::Int(1)]),
+            Ok(Value::Double(2.0))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::DArrayIndex, &[&arr, &Value::Int(5)]),
+            Err(PrimError::Bounds { len: 3, index: 5 })
+        );
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        assert!(matches!(
+            apply_prim(PrimOp::Add, &[&Value::Int(1)]),
+            Err(PrimError::Arity { .. })
+        ));
+        assert!(matches!(
+            apply_prim(PrimOp::Add, &[&Value::Bool(true), &Value::Int(1)]),
+            Err(PrimError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn costs() {
+        assert_eq!(PrimOp::Add.cost(), 1);
+        assert!(PrimOp::Div.cost() > PrimOp::Add.cost());
+    }
+}

@@ -1,0 +1,213 @@
+//! Supercombinator tables: the compiled program.
+
+use crate::ir::E;
+use rph_heap::{Heap, NodeRef, ScId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of running a native kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelOut {
+    /// The WHNF result (the kernel allocates it into the heap).
+    pub result: NodeRef,
+    /// Work units consumed, derived from the kernel's actual operation
+    /// count (e.g. gcd iterations executed, multiply–adds performed).
+    pub cost: u64,
+    /// Transient allocation in words: the short-lived cons-cell churn
+    /// the equivalent Haskell code would have produced. Drives GC
+    /// *frequency* via the allocation area without materialising nodes
+    /// (a copying collector never touches dead data).
+    pub transient_words: u64,
+}
+
+/// A native kernel: Rust code standing in for a GHC-compiled inner
+/// loop. Receives the heap and its (already WHNF-forced, indirection-
+/// resolved) arguments.
+pub type KernelFn = dyn Fn(&mut Heap, &[NodeRef]) -> KernelOut + Send + Sync;
+
+/// Shared kernel handle.
+pub type Kernel = Arc<KernelFn>;
+
+/// A supercombinator body.
+#[derive(Clone)]
+pub enum ScBody {
+    /// Core-language IR, interpreted lazily by the machine.
+    Expr(E),
+    /// A native kernel, strict in all arguments.
+    Kernel(Kernel),
+}
+
+impl std::fmt::Debug for ScBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScBody::Expr(e) => write!(f, "Expr({e:?})"),
+            ScBody::Kernel(_) => write!(f, "Kernel(<native>)"),
+        }
+    }
+}
+
+/// A top-level function.
+#[derive(Debug, Clone)]
+pub struct Sc {
+    pub name: String,
+    pub arity: usize,
+    pub body: ScBody,
+}
+
+/// An immutable compiled program: the supercombinator table.
+#[derive(Debug, Default)]
+pub struct Program {
+    scs: Vec<Sc>,
+    by_name: HashMap<String, ScId>,
+}
+
+impl Program {
+    /// Look up a supercombinator.
+    #[inline]
+    pub fn sc(&self, id: ScId) -> &Sc {
+        &self.scs[id.index()]
+    }
+
+    /// Find a supercombinator by name.
+    pub fn lookup(&self, name: &str) -> Option<ScId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of supercombinators.
+    pub fn len(&self) -> usize {
+        self.scs.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scs.is_empty()
+    }
+
+    /// Iterate over `(id, sc)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ScId, &Sc)> {
+        self.scs.iter().enumerate().map(|(i, sc)| (ScId(i as u32), sc))
+    }
+}
+
+/// Incremental program construction with forward references (recursive
+/// and mutually recursive supercombinators declare first, define later).
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    scs: Vec<(String, usize, Option<ScBody>)>,
+    by_name: HashMap<String, ScId>,
+}
+
+impl ProgramBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a supercombinator, returning its id for use in bodies
+    /// (including its own — recursion).
+    pub fn declare(&mut self, name: &str, arity: usize) -> ScId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate supercombinator name {name:?}"
+        );
+        let id = ScId(self.scs.len() as u32);
+        self.scs.push((name.to_string(), arity, None));
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Attach an IR body to a declared supercombinator.
+    pub fn define(&mut self, id: ScId, body: E) {
+        let slot = &mut self.scs[id.index()];
+        assert!(slot.2.is_none(), "supercombinator {:?} defined twice", slot.0);
+        if let Some(max) = body.max_var() {
+            // Environment slots beyond the arguments come from lets and
+            // case binders; a static bound is not computable here, but a
+            // body referring to vars with an empty environment of any
+            // size would still need *some* argument when arity is zero.
+            let _ = max; // full scoping is validated dynamically by the machine
+        }
+        slot.2 = Some(ScBody::Expr(body));
+    }
+
+    /// Declare-and-define in one step.
+    pub fn def(&mut self, name: &str, arity: usize, body: E) -> ScId {
+        let id = self.declare(name, arity);
+        self.define(id, body);
+        id
+    }
+
+    /// Declare-and-define a native kernel (strict in all arguments).
+    pub fn kernel(
+        &mut self,
+        name: &str,
+        arity: usize,
+        f: impl Fn(&mut Heap, &[NodeRef]) -> KernelOut + Send + Sync + 'static,
+    ) -> ScId {
+        let id = self.declare(name, arity);
+        self.scs[id.index()].2 = Some(ScBody::Kernel(Arc::new(f)));
+        id
+    }
+
+    /// Finish. Panics if any declared supercombinator lacks a body —
+    /// an incomplete program is a build bug, not a runtime condition.
+    pub fn build(self) -> Arc<Program> {
+        let scs = self
+            .scs
+            .into_iter()
+            .map(|(name, arity, body)| Sc {
+                body: body.unwrap_or_else(|| panic!("supercombinator {name:?} declared but never defined")),
+                name,
+                arity,
+            })
+            .collect();
+        Arc::new(Program { scs, by_name: self.by_name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{app, atom, v};
+    use rph_heap::Value;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = ProgramBuilder::new();
+        let f = b.declare("f", 1);
+        let g = b.def("g", 1, app(f, vec![v(0)]));
+        b.define(f, atom(v(0)));
+        let p = b.build();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.lookup("f"), Some(f));
+        assert_eq!(p.sc(g).name, "g");
+        assert_eq!(p.sc(f).arity, 1);
+    }
+
+    #[test]
+    fn kernels_register() {
+        let mut b = ProgramBuilder::new();
+        let k = b.kernel("answer", 0, |heap, _args| KernelOut {
+            result: heap.alloc_value(Value::Int(42)),
+            cost: 1,
+            transient_words: 0,
+        });
+        let p = b.build();
+        assert!(matches!(p.sc(k).body, ScBody::Kernel(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but never defined")]
+    fn undeclared_body_panics_at_build() {
+        let mut b = ProgramBuilder::new();
+        b.declare("f", 1);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate supercombinator")]
+    fn duplicate_names_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.declare("f", 1);
+        b.declare("f", 2);
+    }
+}

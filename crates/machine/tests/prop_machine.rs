@@ -1,0 +1,249 @@
+//! Property tests: the explicit-state machine agrees with the big-step
+//! reference interpreter and with a plain-Rust model on randomly
+//! composed list pipelines.
+
+use proptest::prelude::*;
+use rph_heap::{Heap, NodeRef, Value};
+use rph_machine::prelude::{self, Prelude};
+use rph_machine::reference::{alloc_int_list, force_deep, read_int_list, run_seq_deep};
+use rph_machine::{Program, ProgramBuilder};
+use std::sync::Arc;
+
+/// One pipeline stage, mirrored in Rust.
+#[derive(Debug, Clone)]
+enum Stage {
+    MapInc,
+    Take(i64),
+    Drop(i64),
+    /// `append xs xs` — exercises sharing (both arguments are the same
+    /// graph node).
+    AppendSelf,
+    /// `concat (chunk k xs)` — the identity, via nested lists.
+    ChunkConcat(i64),
+    /// `append (drop h) (take h)` with `h = len/2` — a rotation, with
+    /// the input node referenced twice.
+    Rotate,
+}
+
+fn stage_strategy() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        Just(Stage::MapInc),
+        (0i64..20).prop_map(Stage::Take),
+        (0i64..20).prop_map(Stage::Drop),
+        Just(Stage::AppendSelf),
+        (1i64..6).prop_map(Stage::ChunkConcat),
+        Just(Stage::Rotate),
+    ]
+}
+
+/// Apply one stage to the Rust-side model.
+fn model(stage: &Stage, xs: Vec<i64>) -> Vec<i64> {
+    match stage {
+        Stage::MapInc => xs.into_iter().map(|x| x + 1).collect(),
+        Stage::Take(k) => xs.into_iter().take((*k).max(0) as usize).collect(),
+        Stage::Drop(k) => xs.into_iter().skip((*k).max(0) as usize).collect(),
+        Stage::AppendSelf => {
+            let mut out = xs.clone();
+            out.extend(xs);
+            out
+        }
+        Stage::ChunkConcat(_) => xs,
+        Stage::Rotate => {
+            let h = xs.len() / 2;
+            let mut out = xs[h..].to_vec();
+            out.extend_from_slice(&xs[..h]);
+            out
+        }
+    }
+}
+
+/// Apply one stage to the graph (the split point of `Rotate` comes from
+/// the model-tracked length, but the list manipulation itself is done
+/// by the lazy program).
+fn apply_stage(
+    pre: &Prelude,
+    heap: &mut Heap,
+    stage: &Stage,
+    xs: NodeRef,
+    len: usize,
+) -> NodeRef {
+    match stage {
+        Stage::MapInc => {
+            let f = heap.alloc_value(Value::Pap { sc: pre.inc, args: Box::new([]) });
+            heap.alloc_thunk(pre.map, vec![f, xs])
+        }
+        Stage::Take(k) => {
+            let kk = heap.int(*k);
+            heap.alloc_thunk(pre.take, vec![kk, xs])
+        }
+        Stage::Drop(k) => {
+            let kk = heap.int(*k);
+            heap.alloc_thunk(pre.drop, vec![kk, xs])
+        }
+        Stage::AppendSelf => heap.alloc_thunk(pre.append, vec![xs, xs]),
+        Stage::ChunkConcat(k) => {
+            let kk = heap.int(*k);
+            let chunked = heap.alloc_thunk(pre.chunk, vec![kk, xs]);
+            heap.alloc_thunk(pre.concat, vec![chunked])
+        }
+        Stage::Rotate => {
+            let h = (len / 2) as i64;
+            let k1 = heap.int(h);
+            let k2 = heap.int(h);
+            let dropped = heap.alloc_thunk(pre.drop, vec![k1, xs]);
+            let taken = heap.alloc_thunk(pre.take, vec![k2, xs]);
+            heap.alloc_thunk(pre.append, vec![dropped, taken])
+        }
+    }
+}
+
+/// Build the whole pipeline in a heap, returning the output node and
+/// the model's expected result.
+fn build(pre: &Prelude, heap: &mut Heap, xs: &[i64], stages: &[Stage]) -> (NodeRef, Vec<i64>) {
+    let mut node = alloc_int_list(heap, xs);
+    let mut tracked = xs.to_vec();
+    for s in stages {
+        node = apply_stage(pre, heap, s, node, tracked.len());
+        tracked = model(s, tracked);
+    }
+    (node, tracked)
+}
+
+fn with_prelude() -> (Arc<Program>, Prelude) {
+    let mut b = ProgramBuilder::new();
+    let p = prelude::install(&mut b);
+    (b.build(), p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// machine == reference == Rust model on random pipelines.
+    #[test]
+    fn machine_matches_reference_and_model(
+        xs in proptest::collection::vec(-100i64..100, 0..25),
+        stages in proptest::collection::vec(stage_strategy(), 0..5),
+    ) {
+        let (prog, pre) = with_prelude();
+
+        // Explicit-state machine.
+        let mut heap_m = Heap::new();
+        let (node, expect) = build(&pre, &mut heap_m, &xs, &stages);
+        let (r, _) = run_seq_deep(&prog, &mut heap_m, node);
+        prop_assert_eq!(read_int_list(&heap_m, r), expect.clone());
+
+        // Reference interpreter, fresh heap, same construction.
+        let mut heap_r = Heap::new();
+        let (node, expect2) = build(&pre, &mut heap_r, &xs, &stages);
+        prop_assert_eq!(&expect2, &expect);
+        let r = force_deep(&prog, &mut heap_r, node).expect("reference eval");
+        prop_assert_eq!(read_int_list(&heap_r, r), expect);
+    }
+
+    /// sum, length and last agree with Rust folds for any list.
+    #[test]
+    fn folds_agree(xs in proptest::collection::vec(-1000i64..1000, 0..40)) {
+        let (prog, pre) = with_prelude();
+        let mut heap = Heap::new();
+        let l = alloc_int_list(&mut heap, &xs);
+        let s = heap.alloc_thunk(pre.sum, vec![l]);
+        let (r, _) = run_seq_deep(&prog, &mut heap, s);
+        prop_assert_eq!(heap.expect_value(r).expect_int(), xs.iter().sum::<i64>());
+
+        let mut heap = Heap::new();
+        let l = alloc_int_list(&mut heap, &xs);
+        let n = heap.alloc_thunk(pre.length, vec![l]);
+        let (r, _) = run_seq_deep(&prog, &mut heap, n);
+        prop_assert_eq!(heap.expect_value(r).expect_int(), xs.len() as i64);
+
+        if let Some(&lst) = xs.last() {
+            let mut heap = Heap::new();
+            let l = alloc_int_list(&mut heap, &xs);
+            let e = heap.alloc_thunk(pre.last, vec![l]);
+            let (r, _) = run_seq_deep(&prog, &mut heap, e);
+            prop_assert_eq!(heap.expect_value(r).expect_int(), lst);
+        }
+    }
+
+    /// zipWith add agrees with the Rust zip for any pair of lists.
+    #[test]
+    fn zip_with_agrees(
+        a in proptest::collection::vec(-100i64..100, 0..30),
+        b in proptest::collection::vec(-100i64..100, 0..30),
+    ) {
+        let (prog, pre) = with_prelude();
+        let mut heap = Heap::new();
+        let la = alloc_int_list(&mut heap, &a);
+        let lb = alloc_int_list(&mut heap, &b);
+        let f = heap.alloc_value(Value::Pap { sc: pre.add, args: Box::new([]) });
+        let z = heap.alloc_thunk(pre.zip_with, vec![f, la, lb]);
+        let (r, _) = run_seq_deep(&prog, &mut heap, z);
+        let expect: Vec<i64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        prop_assert_eq!(read_int_list(&heap, r), expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// filter, reverse, elem and maximum agree with their Rust models.
+    #[test]
+    fn filter_reverse_elem_maximum_agree(
+        xs in proptest::collection::vec(-50i64..50, 0..30),
+        needle in -50i64..50,
+    ) {
+        let (prog, pre) = with_prelude();
+
+        // reverse
+        let mut heap = Heap::new();
+        let l = alloc_int_list(&mut heap, &xs);
+        let r = heap.alloc_thunk(pre.reverse, vec![l]);
+        let (out, _) = run_seq_deep(&prog, &mut heap, r);
+        let mut expect = xs.clone();
+        expect.reverse();
+        prop_assert_eq!(read_int_list(&heap, out), expect);
+
+        // elem
+        let mut heap = Heap::new();
+        let l = alloc_int_list(&mut heap, &xs);
+        let x = heap.int(needle);
+        let e = heap.alloc_thunk(pre.elem, vec![x, l]);
+        let (out, _) = run_seq_deep(&prog, &mut heap, e);
+        prop_assert_eq!(
+            heap.expect_value(out).expect_bool(),
+            xs.contains(&needle)
+        );
+
+        // maximum (non-empty only)
+        if !xs.is_empty() {
+            let mut heap = Heap::new();
+            let l = alloc_int_list(&mut heap, &xs);
+            let m = heap.alloc_thunk(pre.maximum, vec![l]);
+            let (out, _) = run_seq_deep(&prog, &mut heap, m);
+            prop_assert_eq!(
+                heap.expect_value(out).expect_int(),
+                *xs.iter().max().unwrap()
+            );
+        }
+    }
+
+    /// filter with a real predicate supercombinator.
+    #[test]
+    fn filter_agrees(xs in proptest::collection::vec(-50i64..50, 0..30), lim in -50i64..50) {
+        use rph_machine::ir::*;
+        use rph_machine::PrimOp;
+        let mut b = ProgramBuilder::new();
+        let pre = prelude::install(&mut b);
+        // bigger lim x = x > lim
+        let bigger = b.def("bigger", 2, prim(PrimOp::Gt, vec![v(1), v(0)]));
+        let prog = b.build();
+        let mut heap = Heap::new();
+        let l = alloc_int_list(&mut heap, &xs);
+        let limn = heap.int(lim);
+        let p = heap.alloc_value(Value::Pap { sc: bigger, args: vec![limn].into() });
+        let f = heap.alloc_thunk(pre.filter, vec![p, l]);
+        let (out, _) = run_seq_deep(&prog, &mut heap, f);
+        let expect: Vec<i64> = xs.iter().copied().filter(|&x| x > lim).collect();
+        prop_assert_eq!(read_int_list(&heap, out), expect);
+    }
+}

@@ -1,0 +1,205 @@
+//! The calibrated cost model. One work unit ≈ 1 ns of mutator time on
+//! the paper's ~2 GHz machines (so 1 µs = 1 000 units, 1 ms = 10⁶).
+//!
+//! Values are chosen to be *mechanistically* plausible for 2009-era
+//! GHC + PVM on Linux and are the single place to recalibrate; the
+//! reproduction targets the paper's effect *shapes* (who wins, by
+//! roughly what factor, where crossovers fall), which are robust to
+//! moderate changes in these constants — the ablation bench
+//! `ablation_costs` in `rph-bench` quantifies that robustness.
+
+/// All runtime-overhead constants, in work units (≈ ns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Costs {
+    // ----- garbage collection (shared heap, §IV.A.1) -----
+    /// Fixed cost of any stop-the-world collection (scan static roots,
+    /// swap nurseries): tens of microseconds in GHC 6.x.
+    pub gc_fixed: u64,
+    /// Per-capability handshake under the *original* synchronisation:
+    /// the requesting capability waits for each other capability to
+    /// acknowledge via polling, serialised (GHC 6.8 `grabCapability`
+    /// loop).
+    pub gc_sync_per_cap_original: u64,
+    /// Per-capability cost under the *improved* barrier (atomic
+    /// broadcast + condition variable).
+    pub gc_sync_per_cap_improved: u64,
+    /// Copy cost per live word (the generational copying collector
+    /// only pays for live data).
+    pub gc_per_live_word: u64,
+    /// Every n-th collection is a *major* one that copies the whole
+    /// live graph; the others are minor collections whose copy work is
+    /// bounded by the nursery (long-lived data has been promoted out
+    /// of it — GHC's generational behaviour).
+    pub gc_major_every: u64,
+    /// Cost per capability to resume mutation after GC.
+    pub gc_wakeup_per_cap: u64,
+
+    // ----- scheduling (shared heap) -----
+    /// A capability context switch (save/restore, scheduler loop).
+    pub ctx_switch: u64,
+    /// Creating a lightweight thread for a spark (§IV.A.4: "a certain
+    /// amount of overhead associated with this thread creation").
+    pub thread_create: u64,
+    /// Taking a spark from the local pool.
+    pub spark_fetch: u64,
+    /// One failed or successful remote steal attempt (cache-line
+    /// transfer + CAS, §IV.A.2).
+    pub steal_attempt: u64,
+    /// How often the *push*-model scheduler polls for idle capabilities
+    /// to offload surplus work to (GHC 6.8's `schedulePushWork` runs
+    /// only when the scheduler does — the delay the paper criticises).
+    pub push_poll_interval: u64,
+    /// Migrating a runnable thread to another capability. Both the
+    /// baseline and the optimised runtime push surplus *threads*
+    /// actively (§IV.A.2: "surplus threads are still pushed actively
+    /// to other capabilities").
+    pub thread_migrate: u64,
+    /// How long an idle capability waits before re-checking for work
+    /// when there is nothing to steal (condition-variable sleep).
+    pub idle_backoff: u64,
+
+    // ----- messaging (distributed heap / Eden) -----
+    /// One-way latency of a message through the PVM-over-shared-memory
+    /// middleware (the paper's transport).
+    pub msg_latency: u64,
+    /// Serialisation + copy cost per word of payload, paid by the
+    /// sender (packing) and charged again on the receiver (unpacking)
+    /// at half rate.
+    pub msg_per_word: u64,
+    /// Cost of instantiating a remote process (spawn message, heap
+    /// setup on the target PE). PEs themselves are pre-forked PVM
+    /// virtual machines at program startup; instantiation is only a
+    /// message plus bookkeeping.
+    pub process_instantiate: u64,
+
+    // ----- OS scheduling of virtual PEs (oversubscription) -----
+    /// Time slice the OS gives a virtual PE when PEs > cores.
+    pub os_quantum: u64,
+    /// OS context-switch cost between virtual PEs on a core.
+    pub os_ctx_switch: u64,
+}
+
+impl Default for Costs {
+    fn default() -> Self {
+        Costs {
+            // 50 µs fixed + copy at ~1 ns/word; the original handshake
+            // costs ~20 µs/cap (polling, serialised), the improved
+            // barrier ~4 µs/cap.
+            gc_fixed: 15_000,
+            gc_sync_per_cap_original: 20_000,
+            gc_sync_per_cap_improved: 4_000,
+            gc_per_live_word: 1,
+            gc_major_every: 10,
+            gc_wakeup_per_cap: 1_000,
+
+            // GHC's lightweight (green) threads: switching and
+            // creating are sub-microsecond; spark operations are a
+            // few cache accesses.
+            ctx_switch: 400,
+            thread_create: 1_500,
+            spark_fetch: 300,
+            steal_attempt: 600,
+            // The 6.8 scheduler redistributes work roughly once per
+            // scheduler pass: model a 0.5 ms polling period.
+            push_poll_interval: 500_000,
+            thread_migrate: 800,
+            // Idle capabilities sleep on a condition variable and are
+            // signalled when work appears: microseconds, not tens.
+            idle_backoff: 5_000,
+
+            // PVM over shared memory: ~20 µs latency, ~2 ns/word copy
+            // each way.
+            msg_latency: 20_000,
+            msg_per_word: 2,
+            process_instantiate: 30_000,
+
+            // Linux-era 2009: ~4 ms quantum, ~5 µs OS context switch.
+            os_quantum: 4_000_000,
+            os_ctx_switch: 5_000,
+        }
+    }
+}
+
+impl Costs {
+    /// Cost of the stop-the-world synchronisation for `caps`
+    /// capabilities under the selected barrier implementation.
+    pub fn gc_sync(&self, caps: usize, improved: bool) -> u64 {
+        let per = if improved { self.gc_sync_per_cap_improved } else { self.gc_sync_per_cap_original };
+        per * caps as u64
+    }
+
+    /// Copy work of collection number `seq` (0-based) with `live_words`
+    /// reachable and `nursery_words` of allocation area: minor
+    /// collections only evacuate nursery survivors (bounded by the
+    /// nursery itself — promoted data is not touched); every
+    /// [`Self::gc_major_every`]-th collection is major and copies the
+    /// whole live graph.
+    pub fn gc_copy_words(&self, seq: u64, live_words: u64, nursery_words: u64) -> u64 {
+        if self.gc_major_every > 0 && (seq + 1).is_multiple_of(self.gc_major_every) {
+            live_words
+        } else {
+            live_words.min(nursery_words)
+        }
+    }
+
+    /// Total pause cost of a stop-the-world collection that copied
+    /// `copy_words` (see [`Self::gc_copy_words`]): sync + fixed + copy
+    /// plus wakeup. The collector itself is single-threaded, as in GHC
+    /// 6.8 — the paper's reference 29 (the parallel collector) is
+    /// "still stop-the-world".
+    pub fn gc_pause(&self, caps: usize, improved: bool, copy_words: u64) -> u64 {
+        self.gc_sync(caps, improved)
+            + self.gc_fixed
+            + copy_words * self.gc_per_live_word
+            + self.gc_wakeup_per_cap * caps as u64
+    }
+
+    /// Pause cost of an *independent* per-PE collection (distributed
+    /// heap): no cross-PE synchronisation at all — the paper's
+    /// "garbage collection is perfectly scalable in the
+    /// distributed-heap model".
+    pub fn gc_pause_local(&self, copy_words: u64) -> u64 {
+        self.gc_fixed + copy_words * self.gc_per_live_word
+    }
+
+    /// Sender-side cost of transmitting `words`.
+    pub fn msg_send_cost(&self, words: u64) -> u64 {
+        self.msg_per_word * words
+    }
+
+    /// Receiver-side cost of unpacking `words`.
+    pub fn msg_recv_cost(&self, words: u64) -> u64 {
+        (self.msg_per_word * words) / 2
+    }
+
+    /// Delivery time of a message sent at `now` with `words` payload.
+    pub fn msg_delivery(&self, now: u64, words: u64) -> u64 {
+        now + self.msg_latency + self.msg_send_cost(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improved_sync_is_cheaper() {
+        let c = Costs::default();
+        assert!(c.gc_sync(8, true) < c.gc_sync(8, false));
+    }
+
+    #[test]
+    fn gc_pause_scales_with_caps_and_live_data() {
+        let c = Costs::default();
+        assert!(c.gc_pause(16, false, 1000) > c.gc_pause(8, false, 1000));
+        assert!(c.gc_pause(8, false, 1_000_000) > c.gc_pause(8, false, 1000));
+        assert!(c.gc_pause_local(1000) < c.gc_pause(1, false, 1000));
+    }
+
+    #[test]
+    fn message_costs() {
+        let c = Costs::default();
+        assert_eq!(c.msg_delivery(100, 0), 100 + c.msg_latency);
+        assert!(c.msg_recv_cost(1000) < c.msg_send_cost(1000));
+    }
+}

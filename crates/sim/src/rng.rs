@@ -1,0 +1,103 @@
+//! Deterministic random numbers (splitmix64).
+//!
+//! The runtimes must be reproducible: given the same configuration and
+//! seed, a run produces bit-identical traces. GHC's work-stealing picks
+//! victims pseudo-randomly; we draw those choices from this generator.
+
+/// A splitmix64 generator — tiny, fast, and statistically solid for
+/// scheduling decisions (not cryptography).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n`. `n` must be positive.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range(0)");
+        // Rejection-free multiply-shift (Lemire); bias negligible for
+        // scheduling purposes at n << 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniformly random index in `0..n` different from `exclude`
+    /// (used to pick steal victims other than yourself). `n` must be
+    /// at least 2 when `exclude < n`.
+    pub fn pick_other(&mut self, n: usize, exclude: usize) -> usize {
+        assert!(n >= 2 || exclude >= n, "no other element to pick");
+        loop {
+            let i = self.gen_range(n as u64) as usize;
+            if i != exclude {
+                return i;
+            }
+        }
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let mut r = DetRng::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let x = r.gen_range(8) as usize;
+            assert!(x < 8);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn pick_other_never_self() {
+        let mut r = DetRng::new(3);
+        for _ in 0..200 {
+            assert_ne!(r.pick_other(4, 2), 2);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(9);
+        for _ in 0..100 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

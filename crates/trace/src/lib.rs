@@ -1,0 +1,36 @@
+//! # rph-trace — runtime tracing and trace visualisation
+//!
+//! The ICPP 2009 paper stresses "the importance of adequate tools for
+//! parallel profiling": the authors instrumented the threaded GHC runtime
+//! and used the EdenTV visualiser to render per-capability activity
+//! timelines (Figures 2 and 4 of the paper). This crate is the analogue
+//! for the Rust reproduction:
+//!
+//! * [`Tracer`] collects time-stamped [`Event`]s per capability / PE,
+//! * [`timeline::Timeline`] folds state-change events into activity
+//!   intervals (Running / Runnable / Blocked / Idle / GC — the paper's
+//!   green / yellow / red / blue colours),
+//! * [`render`] renders an ASCII-art timeline (one row per capability)
+//!   and machine-readable CSV, and
+//! * [`stats`] computes summary statistics (state fractions, GC counts,
+//!   spark and message counters) used in EXPERIMENTS.md.
+//!
+//! Time is virtual: a [`Time`] is a number of simulated *work units*
+//! (nominally ~1 ns of mutator work each). The crate is independent of
+//! the heap, the abstract machine and both runtimes; capabilities are
+//! identified by plain [`CapId`] integers so the same tooling serves the
+//! shared-heap GpH runtime and the distributed-heap Eden runtime.
+
+pub mod event;
+pub mod render;
+pub mod stats;
+pub mod svg;
+pub mod timeline;
+pub mod tracer;
+
+pub use event::{CapId, Event, EventKind, State, ThreadId, Time};
+pub use render::{render_csv, render_timeline, RenderOptions};
+pub use stats::{Counters, TraceStats};
+pub use svg::render_svg;
+pub use timeline::{Interval, Timeline};
+pub use tracer::Tracer;

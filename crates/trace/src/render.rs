@@ -1,0 +1,175 @@
+//! Rendering timelines as terminal "trace diagrams" and CSV.
+//!
+//! The ASCII renderer regenerates the information content of the paper's
+//! Fig. 2 and Fig. 4 EdenTV screenshots: one row per capability, time on
+//! the x-axis, activity encoded per column. With ANSI colour enabled the
+//! colours match the paper's legend (green = running, yellow = runnable,
+//! red = blocked, blue = idle; GC is shown magenta since the barrier is
+//! what the paper investigates).
+
+use crate::event::{State, Time};
+use crate::timeline::Timeline;
+use std::fmt::Write as _;
+
+/// Options for [`render_timeline`].
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Number of character columns for the time axis.
+    pub width: usize,
+    /// Emit ANSI colour codes.
+    pub color: bool,
+    /// Include the legend and time axis.
+    pub legend: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { width: 100, color: false, legend: true }
+    }
+}
+
+fn ansi(state: State) -> &'static str {
+    match state {
+        State::Running => "\x1b[42m",     // green background
+        State::Runnable => "\x1b[43m",    // yellow
+        State::Blocked => "\x1b[41m",     // red
+        State::Idle => "\x1b[44m",        // blue
+        State::Gc => "\x1b[45m",          // magenta
+        State::Descheduled => "\x1b[100m", // grey
+    }
+}
+
+const ANSI_RESET: &str = "\x1b[0m";
+
+/// Pick the state that dominates (occupies most of) a time window.
+fn dominant_state(tl: &Timeline, cap: usize, lo: Time, hi: Time) -> State {
+    let row = &tl.rows[cap];
+    let mut acc: [(State, Time); 6] = State::ALL.map(|s| (s, 0));
+    let start = row.partition_point(|iv| iv.end <= lo);
+    for iv in &row[start..] {
+        if iv.start >= hi {
+            break;
+        }
+        let o_lo = iv.start.max(lo);
+        let o_hi = iv.end.min(hi);
+        if o_hi > o_lo {
+            let slot = acc.iter_mut().find(|(s, _)| *s == iv.state).unwrap();
+            slot.1 += o_hi - o_lo;
+        }
+    }
+    acc.iter().max_by_key(|(_, t)| *t).map(|(s, _)| *s).unwrap_or(State::Idle)
+}
+
+/// Render a per-capability activity timeline as lines of text.
+pub fn render_timeline(tl: &Timeline, opts: &RenderOptions) -> String {
+    let mut out = String::new();
+    if tl.end_time == 0 || tl.rows.is_empty() {
+        return "(empty trace)\n".to_string();
+    }
+    let w = opts.width.max(1);
+    for (cap, _) in tl.rows.iter().enumerate() {
+        let _ = write!(out, "cap{cap:>3} |");
+        let mut last_color: Option<State> = None;
+        for col in 0..w {
+            let lo = tl.end_time * col as Time / w as Time;
+            let hi = (tl.end_time * (col as Time + 1) / w as Time).max(lo + 1);
+            let s = dominant_state(tl, cap, lo, hi.min(tl.end_time));
+            if opts.color
+                && last_color != Some(s) {
+                    out.push_str(ansi(s));
+                    last_color = Some(s);
+                }
+            out.push(s.glyph());
+        }
+        if opts.color {
+            out.push_str(ANSI_RESET);
+        }
+        out.push_str("|\n");
+    }
+    if opts.legend {
+        let _ = writeln!(
+            out,
+            "time 0 .. {} units ({} per column)",
+            tl.end_time,
+            tl.end_time / w as Time
+        );
+        let mut leg = String::from("legend: ");
+        for s in State::ALL {
+            let _ = write!(leg, "{}={} ", s.glyph(), s.name());
+        }
+        let _ = writeln!(out, "{}", leg.trim_end());
+    }
+    out
+}
+
+/// Render the timeline intervals as CSV (`cap,start,end,state`), the
+/// machine-readable counterpart of the trace diagrams.
+pub fn render_csv(tl: &Timeline) -> String {
+    let mut out = String::from("cap,start,end,state\n");
+    for (cap, row) in tl.rows.iter().enumerate() {
+        for iv in row {
+            let _ = writeln!(out, "{cap},{},{},{}", iv.start, iv.end, iv.state.name());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CapId;
+    use crate::tracer::Tracer;
+
+    fn sample() -> Timeline {
+        let mut t = Tracer::new(2);
+        t.state(CapId(0), 0, State::Running);
+        t.state(CapId(1), 0, State::Idle);
+        t.state(CapId(1), 50, State::Running);
+        t.state(CapId(0), 100, State::Idle);
+        Timeline::from_tracer(&t)
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let s = render_timeline(&sample(), &RenderOptions { width: 10, color: false, legend: true });
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("cap  0 |##########|"), "got: {}", lines[0]);
+        assert!(lines[1].contains("|.....#####|"), "got: {}", lines[1]);
+        assert!(lines[2].starts_with("time 0 .. 100"));
+    }
+
+    #[test]
+    fn color_render_contains_ansi() {
+        let s = render_timeline(&sample(), &RenderOptions { width: 4, color: true, legend: false });
+        assert!(s.contains("\x1b[42m"));
+        assert!(s.contains(ANSI_RESET));
+    }
+
+    #[test]
+    fn csv_roundtrip_fields() {
+        let csv = render_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("cap,start,end,state"));
+        assert_eq!(lines.next(), Some("0,0,100,running"));
+        assert_eq!(lines.next(), Some("1,0,50,idle"));
+        assert_eq!(lines.next(), Some("1,50,100,running"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let tl = Timeline::from_tracer(&Tracer::new(0));
+        assert_eq!(render_timeline(&tl, &RenderOptions::default()), "(empty trace)\n");
+    }
+
+    #[test]
+    fn dominant_state_picks_majority() {
+        let mut t = Tracer::new(1);
+        t.state(CapId(0), 0, State::Gc);
+        t.state(CapId(0), 9, State::Running);
+        t.state(CapId(0), 10, State::Running);
+        let tl = Timeline::from_tracer(&t);
+        // One column covering [0,10): GC dominates 9:1.
+        let s = render_timeline(&tl, &RenderOptions { width: 1, color: false, legend: false });
+        assert!(s.contains("|G|"), "got {s}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Summary statistics over a trace: counters and state fractions.
+
+use crate::event::{EventKind, State, Time};
+use crate::timeline::Timeline;
+use crate::tracer::Tracer;
+use std::fmt;
+
+/// Aggregated event counters for a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    pub sparks_created: u64,
+    pub sparks_run_local: u64,
+    pub sparks_stolen: u64,
+    pub sparks_pushed: u64,
+    pub sparks_fizzled: u64,
+    pub sparks_overflowed: u64,
+    pub threads_created: u64,
+    pub blackhole_blocks: u64,
+    pub duplicate_work_events: u64,
+    /// Total virtual time wasted in duplicate evaluation.
+    pub duplicate_work_wasted: Time,
+    pub gcs: u64,
+    pub gc_live_words_last: u64,
+    pub gc_collected_words: u64,
+    pub messages_sent: u64,
+    pub message_words: u64,
+    pub processes_instantiated: u64,
+}
+
+impl Counters {
+    /// Derive counters from a recorded trace.
+    pub fn from_tracer(tracer: &Tracer) -> Self {
+        let mut c = Counters::default();
+        for cap in 0..tracer.caps() {
+            for ev in tracer.events_for(crate::event::CapId(cap as u32)) {
+                match &ev.kind {
+                    EventKind::SparkCreated => c.sparks_created += 1,
+                    EventKind::SparkRunLocal => c.sparks_run_local += 1,
+                    EventKind::SparkAcquired { pushed, .. } => {
+                        if *pushed {
+                            c.sparks_pushed += 1;
+                        } else {
+                            c.sparks_stolen += 1;
+                        }
+                    }
+                    EventKind::SparkFizzled => c.sparks_fizzled += 1,
+                    EventKind::SparkOverflow => c.sparks_overflowed += 1,
+                    EventKind::ThreadCreated { .. } => c.threads_created += 1,
+                    EventKind::BlockedOnBlackHole { .. } => c.blackhole_blocks += 1,
+                    EventKind::DuplicateWork { wasted } => {
+                        c.duplicate_work_events += 1;
+                        c.duplicate_work_wasted += *wasted;
+                    }
+                    EventKind::GcDone { live_words, collected_words } => {
+                        c.gcs += 1;
+                        c.gc_live_words_last = *live_words;
+                        c.gc_collected_words += *collected_words;
+                    }
+                    EventKind::MsgSend { words, .. } => {
+                        c.messages_sent += 1;
+                        c.message_words += *words;
+                    }
+                    EventKind::ProcessInstantiated { .. } => c.processes_instantiated += 1,
+                    _ => {}
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Full per-run statistics: counters plus mean state fractions.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    pub counters: Counters,
+    /// Mean fraction of the run the capabilities spent in each state,
+    /// in [`State::ALL`] order.
+    pub state_fractions: [(State, f64); 6],
+    pub end_time: Time,
+    pub caps: usize,
+}
+
+impl TraceStats {
+    pub fn from_tracer(tracer: &Tracer) -> Self {
+        let tl = Timeline::from_tracer(tracer);
+        Self::from_parts(tracer, &tl)
+    }
+
+    pub fn from_parts(tracer: &Tracer, tl: &Timeline) -> Self {
+        TraceStats {
+            counters: Counters::from_tracer(tracer),
+            state_fractions: State::ALL.map(|s| (s, tl.mean_fraction(s))),
+            end_time: tl.end_time,
+            caps: tracer.caps(),
+        }
+    }
+
+    /// Mean fraction spent in `state`.
+    pub fn fraction(&self, state: State) -> f64 {
+        self.state_fractions
+            .iter()
+            .find(|(s, _)| *s == state)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0)
+    }
+
+    /// Mutator utilisation: mean running fraction.
+    pub fn utilisation(&self) -> f64 {
+        self.fraction(State::Running)
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run: {} caps, {} units", self.caps, self.end_time)?;
+        write!(f, "activity:")?;
+        for (s, frac) in self.state_fractions {
+            if frac > 0.0 {
+                write!(f, " {}={:.1}%", s.name(), frac * 100.0)?;
+            }
+        }
+        writeln!(f)?;
+        let c = &self.counters;
+        writeln!(
+            f,
+            "sparks: created={} run-local={} stolen={} pushed={} fizzled={}",
+            c.sparks_created, c.sparks_run_local, c.sparks_stolen, c.sparks_pushed, c.sparks_fizzled
+        )?;
+        writeln!(
+            f,
+            "gc: count={} collected={}w | threads={} bh-blocks={} dup-work={} ({} wasted)",
+            c.gcs,
+            c.gc_collected_words,
+            c.threads_created,
+            c.blackhole_blocks,
+            c.duplicate_work_events,
+            c.duplicate_work_wasted
+        )?;
+        if c.messages_sent > 0 {
+            writeln!(
+                f,
+                "messages: sent={} words={} processes={}",
+                c.messages_sent, c.message_words, c.processes_instantiated
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CapId;
+
+    #[test]
+    fn counters_aggregate() {
+        let mut t = Tracer::new(2);
+        t.record(CapId(0), 0, EventKind::SparkCreated);
+        t.record(CapId(0), 1, EventKind::SparkCreated);
+        t.record(CapId(1), 2, EventKind::SparkAcquired { victim: CapId(0), pushed: false });
+        t.record(CapId(1), 3, EventKind::SparkAcquired { victim: CapId(0), pushed: true });
+        t.record(CapId(1), 4, EventKind::DuplicateWork { wasted: 100 });
+        t.record(CapId(0), 5, EventKind::GcDone { live_words: 10, collected_words: 90 });
+        t.record(CapId(0), 6, EventKind::GcDone { live_words: 20, collected_words: 80 });
+        t.record(CapId(0), 7, EventKind::MsgSend { to: CapId(1), words: 64, tag: "data" });
+        let c = Counters::from_tracer(&t);
+        assert_eq!(c.sparks_created, 2);
+        assert_eq!(c.sparks_stolen, 1);
+        assert_eq!(c.sparks_pushed, 1);
+        assert_eq!(c.duplicate_work_wasted, 100);
+        assert_eq!(c.gcs, 2);
+        assert_eq!(c.gc_live_words_last, 20);
+        assert_eq!(c.gc_collected_words, 170);
+        assert_eq!(c.message_words, 64);
+    }
+
+    #[test]
+    fn stats_fractions_and_display() {
+        let mut t = Tracer::new(1);
+        t.state(CapId(0), 0, State::Running);
+        t.state(CapId(0), 80, State::Gc);
+        t.state(CapId(0), 100, State::Idle); // end marker
+        let st = TraceStats::from_tracer(&t);
+        assert!((st.utilisation() - 0.8).abs() < 1e-12);
+        assert!((st.fraction(State::Gc) - 0.2).abs() < 1e-12);
+        let text = st.to_string();
+        assert!(text.contains("running=80.0%"), "got {text}");
+    }
+}

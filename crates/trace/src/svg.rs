@@ -1,0 +1,124 @@
+//! SVG rendering of activity timelines — the closest analogue of the
+//! paper's EdenTV screenshots (Figs. 2 and 4): one coloured bar per
+//! capability, time left to right, using the paper's colour legend
+//! (green running, yellow runnable, red blocked, blue idle; GC in
+//! magenta, descheduled in grey).
+
+use crate::event::State;
+use crate::timeline::Timeline;
+use std::fmt::Write as _;
+
+fn fill(state: State) -> &'static str {
+    match state {
+        State::Running => "#2e8b57",
+        State::Runnable => "#e6c229",
+        State::Blocked => "#c0392b",
+        State::Idle => "#2a6f97",
+        State::Gc => "#8e44ad",
+        State::Descheduled => "#9aa0a6",
+    }
+}
+
+/// Render the timeline as a standalone SVG document.
+///
+/// `width` is the drawing width in pixels; each capability gets a
+/// `row_height`-pixel bar with a small gap, plus a time axis at the
+/// bottom.
+pub fn render_svg(tl: &Timeline, width: u32, row_height: u32) -> String {
+    let caps = tl.rows.len() as u32;
+    let gap = 4u32;
+    let label_w = 56u32;
+    let axis_h = 22u32;
+    let h = caps * (row_height + gap) + axis_h + gap;
+    let w = label_w + width + 10;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" font-family="monospace" font-size="11">"#
+    );
+    let _ = writeln!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    if tl.end_time == 0 {
+        let _ = writeln!(out, r#"<text x="4" y="14">(empty trace)</text></svg>"#);
+        return out;
+    }
+    let xscale = width as f64 / tl.end_time as f64;
+    for (cap, row) in tl.rows.iter().enumerate() {
+        let y = cap as u32 * (row_height + gap) + gap;
+        let _ = writeln!(
+            out,
+            r#"<text x="2" y="{}">cap{cap}</text>"#,
+            y + row_height / 2 + 4
+        );
+        for iv in row {
+            let x = label_w as f64 + iv.start as f64 * xscale;
+            let iw = (iv.len() as f64 * xscale).max(0.2);
+            let _ = writeln!(
+                out,
+                r#"<rect x="{x:.2}" y="{y}" width="{iw:.2}" height="{row_height}" fill="{}"><title>{}: {}..{}</title></rect>"#,
+                fill(iv.state),
+                iv.state.name(),
+                iv.start,
+                iv.end
+            );
+        }
+    }
+    // Time axis with 5 ticks.
+    let axis_y = caps * (row_height + gap) + gap + 12;
+    for t in 0..=4u32 {
+        let frac = t as f64 / 4.0;
+        let x = label_w as f64 + frac * width as f64;
+        let time = (tl.end_time as f64 * frac) as u64;
+        let _ = writeln!(
+            out,
+            r#"<text x="{x:.0}" y="{axis_y}" text-anchor="middle">{:.1}ms</text>"#,
+            time as f64 / 1e6
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CapId;
+    use crate::tracer::Tracer;
+
+    fn sample() -> Timeline {
+        let mut t = Tracer::new(2);
+        t.state(CapId(0), 0, State::Running);
+        t.state(CapId(0), 60, State::Gc);
+        t.state(CapId(1), 0, State::Idle);
+        t.state(CapId(0), 100, State::Idle);
+        Timeline::from_tracer(&t)
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = render_svg(&sample(), 400, 14);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("cap0"));
+        assert!(svg.contains("cap1"));
+        assert!(svg.contains(fill(State::Running)));
+        assert!(svg.contains(fill(State::Gc)));
+        // Two rows of rects plus labels and axis.
+        assert!(svg.matches("<rect").count() >= 4);
+    }
+
+    #[test]
+    fn empty_timeline_is_valid_svg() {
+        let tl = Timeline::from_tracer(&Tracer::new(0));
+        let svg = render_svg(&tl, 100, 10);
+        assert!(svg.contains("empty trace"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn distinct_states_get_distinct_colours() {
+        let mut seen = std::collections::HashSet::new();
+        for s in State::ALL {
+            assert!(seen.insert(fill(s)), "colour reused for {s:?}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Folding state-change events into per-capability activity intervals.
+
+use crate::event::{CapId, EventKind, State, Time};
+use crate::tracer::Tracer;
+
+/// A maximal span of time during which a capability stayed in one state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    pub start: Time,
+    pub end: Time,
+    pub state: State,
+}
+
+impl Interval {
+    /// Duration of the interval.
+    pub fn len(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// True for zero-length intervals.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Per-capability activity intervals for a whole run — the data behind
+/// the paper's Fig. 2 / Fig. 4 trace diagrams.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// `rows[c]` is the interval sequence of capability `c`, contiguous
+    /// and non-overlapping, covering `[first event, end_time]`.
+    pub rows: Vec<Vec<Interval>>,
+    /// End of the observed run.
+    pub end_time: Time,
+}
+
+impl Timeline {
+    /// Build a timeline from a tracer's state-change events.
+    ///
+    /// Capabilities that emitted no state changes get a single
+    /// [`State::Idle`] interval covering the whole run. Zero-length
+    /// intervals (several state changes at the same instant) are elided,
+    /// keeping only the last state at each instant.
+    pub fn from_tracer(tracer: &Tracer) -> Self {
+        let end_time = tracer.end_time();
+        let rows = (0..tracer.caps())
+            .map(|c| Self::row(tracer, CapId(c as u32), end_time))
+            .collect();
+        Timeline { rows, end_time }
+    }
+
+    fn row(tracer: &Tracer, cap: CapId, end_time: Time) -> Vec<Interval> {
+        let mut out: Vec<Interval> = Vec::new();
+        let mut cur: Option<(Time, State)> = None;
+        for ev in tracer.events_for(cap) {
+            if let EventKind::StateChange { state } = ev.kind {
+                if let Some((start, prev)) = cur {
+                    if ev.time > start {
+                        out.push(Interval { start, end: ev.time, state: prev });
+                    }
+                }
+                cur = Some((ev.time, state));
+            }
+        }
+        match cur {
+            Some((start, state)) if end_time > start => {
+                out.push(Interval { start, end: end_time, state });
+            }
+            Some(_) => {}
+            None => {
+                if end_time > 0 {
+                    out.push(Interval { start: 0, end: end_time, state: State::Idle });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total time capability `cap` spent in `state`.
+    pub fn time_in(&self, cap: CapId, state: State) -> Time {
+        self.rows[cap.index()]
+            .iter()
+            .filter(|iv| iv.state == state)
+            .map(Interval::len)
+            .sum()
+    }
+
+    /// Fraction of the run capability `cap` spent in `state` (0..=1).
+    pub fn fraction_in(&self, cap: CapId, state: State) -> f64 {
+        if self.end_time == 0 {
+            return 0.0;
+        }
+        self.time_in(cap, state) as f64 / self.end_time as f64
+    }
+
+    /// Mean over all capabilities of [`Self::fraction_in`].
+    pub fn mean_fraction(&self, state: State) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        (0..self.rows.len())
+            .map(|c| self.fraction_in(CapId(c as u32), state))
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// The state of `cap` at time `t` (the interval containing `t`),
+    /// or `None` if `t` falls outside the observed run.
+    pub fn state_at(&self, cap: CapId, t: Time) -> Option<State> {
+        let row = &self.rows[cap.index()];
+        let idx = row.partition_point(|iv| iv.end <= t);
+        row.get(idx).filter(|iv| iv.start <= t).map(|iv| iv.state)
+    }
+
+    /// Check structural invariants: intervals are contiguous, ordered,
+    /// and non-empty. Used by integration tests.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        for (c, row) in self.rows.iter().enumerate() {
+            let mut prev_end: Option<Time> = None;
+            for iv in row {
+                if iv.is_empty() {
+                    return Err(format!("cap{c}: empty interval at {}", iv.start));
+                }
+                if let Some(pe) = prev_end {
+                    if iv.start != pe {
+                        return Err(format!(
+                            "cap{c}: gap/overlap at {} (prev ended {pe})",
+                            iv.start
+                        ));
+                    }
+                }
+                prev_end = Some(iv.end);
+            }
+            if let Some(pe) = prev_end {
+                if pe != self.end_time {
+                    return Err(format!(
+                        "cap{c}: last interval ends {pe}, run ends {}",
+                        self.end_time
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tracer {
+        let mut t = Tracer::new(2);
+        t.state(CapId(0), 0, State::Running);
+        t.state(CapId(0), 40, State::Gc);
+        t.state(CapId(0), 50, State::Running);
+        t.state(CapId(1), 0, State::Idle);
+        t.state(CapId(1), 30, State::Running);
+        t.state(CapId(0), 100, State::Idle); // sets end_time = 100
+        t
+    }
+
+    #[test]
+    fn builds_contiguous_rows() {
+        let tl = Timeline::from_tracer(&sample());
+        tl.check_well_formed().unwrap();
+        assert_eq!(tl.end_time, 100);
+        assert_eq!(tl.rows[0].len(), 3); // trailing Idle interval is zero-length, elided
+        assert_eq!(tl.time_in(CapId(0), State::Running), 90);
+        assert_eq!(tl.time_in(CapId(0), State::Gc), 10);
+        assert_eq!(tl.time_in(CapId(1), State::Idle), 30);
+        assert_eq!(tl.time_in(CapId(1), State::Running), 70);
+    }
+
+    #[test]
+    fn fractions() {
+        let tl = Timeline::from_tracer(&sample());
+        assert!((tl.fraction_in(CapId(0), State::Running) - 0.9).abs() < 1e-12);
+        assert!((tl.mean_fraction(State::Running) - (0.9 + 0.7) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_at_lookup() {
+        let tl = Timeline::from_tracer(&sample());
+        assert_eq!(tl.state_at(CapId(0), 0), Some(State::Running));
+        assert_eq!(tl.state_at(CapId(0), 45), Some(State::Gc));
+        assert_eq!(tl.state_at(CapId(0), 50), Some(State::Running));
+        assert_eq!(tl.state_at(CapId(1), 99), Some(State::Running));
+        assert_eq!(tl.state_at(CapId(1), 100), None);
+    }
+
+    #[test]
+    fn capability_without_events_is_idle() {
+        let mut t = Tracer::new(2);
+        t.state(CapId(0), 0, State::Running);
+        t.state(CapId(0), 10, State::Idle);
+        let tl = Timeline::from_tracer(&t);
+        tl.check_well_formed().unwrap();
+        assert_eq!(tl.rows[1], vec![Interval { start: 0, end: 10, state: State::Idle }]);
+    }
+
+    #[test]
+    fn same_instant_changes_keep_last() {
+        let mut t = Tracer::new(1);
+        t.state(CapId(0), 0, State::Running);
+        t.state(CapId(0), 5, State::Gc);
+        t.state(CapId(0), 5, State::Runnable);
+        t.state(CapId(0), 9, State::Idle);
+        t.state(CapId(0), 10, State::Idle);
+        let tl = Timeline::from_tracer(&t);
+        tl.check_well_formed().unwrap();
+        assert_eq!(tl.state_at(CapId(0), 5), Some(State::Runnable));
+        assert_eq!(tl.time_in(CapId(0), State::Gc), 0);
+    }
+}

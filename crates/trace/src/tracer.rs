@@ -1,0 +1,143 @@
+//! Event collection.
+
+use crate::event::{CapId, Event, EventKind, State, Time};
+
+/// Collects events for a whole run.
+///
+/// The tracer is deliberately simple: one growable buffer per capability,
+/// appended in (per-capability) time order. The simulated runtimes are
+/// single-OS-threaded, so no synchronisation is needed; the real-thread
+/// stress tests in `rph-deque` do their own bookkeeping.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    /// Per-capability event buffers, indexed by `CapId::index()`.
+    buffers: Vec<Vec<Event>>,
+    /// Whether event collection is enabled. When disabled, only the
+    /// cheap counters in `stats` (maintained by the runtimes themselves)
+    /// are available. Tracing is enabled by default.
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A tracer for `caps` capabilities with event collection on.
+    pub fn new(caps: usize) -> Self {
+        Tracer {
+            buffers: (0..caps).map(|_| Vec::new()).collect(),
+            enabled: true,
+        }
+    }
+
+    /// A tracer that drops all events (counters still work).
+    pub fn disabled(caps: usize) -> Self {
+        let mut t = Self::new(caps);
+        t.enabled = false;
+        t
+    }
+
+    /// Number of capabilities this tracer covers.
+    pub fn caps(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Record `kind` happening on `cap` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `cap` is out of range, or (in debug builds) if time runs
+    /// backwards within a capability — per-capability monotonicity is an
+    /// invariant the simulator relies on.
+    #[inline]
+    pub fn record(&mut self, cap: CapId, time: Time, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let buf = &mut self.buffers[cap.index()];
+        debug_assert!(
+            buf.last().is_none_or(|e| e.time <= time),
+            "time went backwards on {cap}: {} -> {time}",
+            buf.last().unwrap().time
+        );
+        buf.push(Event { time, cap, kind });
+    }
+
+    /// Convenience: record a state change.
+    #[inline]
+    pub fn state(&mut self, cap: CapId, time: Time, state: State) {
+        self.record(cap, time, EventKind::StateChange { state });
+    }
+
+    /// Events of one capability, in time order.
+    pub fn events_for(&self, cap: CapId) -> &[Event] {
+        &self.buffers[cap.index()]
+    }
+
+    /// All events of all capabilities, merged into global time order
+    /// (stable: ties broken by capability id).
+    pub fn merged(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = self.buffers.iter().flatten().cloned().collect();
+        all.sort_by_key(|e| (e.time, e.cap));
+        all
+    }
+
+    /// Total number of recorded events.
+    pub fn len(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The largest timestamp recorded, or 0 for an empty trace.
+    pub fn end_time(&self) -> Time {
+        self.buffers
+            .iter()
+            .filter_map(|b| b.last().map(|e| e.time))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_merges() {
+        let mut t = Tracer::new(2);
+        t.state(CapId(0), 0, State::Running);
+        t.state(CapId(1), 5, State::Idle);
+        t.state(CapId(0), 10, State::Gc);
+        let m = t.merged();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].cap, CapId(0));
+        assert_eq!(m[1].cap, CapId(1));
+        assert_eq!(m[2].time, 10);
+        assert_eq!(t.end_time(), 10);
+        assert_eq!(t.events_for(CapId(1)).len(), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_drops_events() {
+        let mut t = Tracer::disabled(1);
+        t.state(CapId(0), 1, State::Running);
+        assert!(t.is_empty());
+        assert_eq!(t.end_time(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_cap_panics() {
+        let mut t = Tracer::new(1);
+        t.state(CapId(7), 0, State::Running);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time went backwards")]
+    fn backwards_time_panics_in_debug() {
+        let mut t = Tracer::new(1);
+        t.state(CapId(0), 10, State::Running);
+        t.state(CapId(0), 5, State::Idle);
+    }
+}

@@ -1,0 +1,233 @@
+//! Native compute kernels shared by the workloads.
+//!
+//! Kernels really compute (gcd-based totients, floating block products,
+//! min-plus row relaxations) and report costs derived from their actual
+//! operation counts, plus the transient allocation the equivalent
+//! Haskell inner loop would have produced (list spines and boxed
+//! intermediates that a copying collector never pays to copy but that
+//! fill the allocation area).
+
+/// Cost of one gcd loop iteration (one Euclidean `mod` step).
+pub const C_GCD_ITER: u64 = 22;
+/// Per-candidate loop overhead in `phi` (list element, filter test).
+pub const C_PHI_CANDIDATE: u64 = 12;
+/// Transient words a Haskell `phi` allocates per candidate
+/// (enumeration cons + filter machinery).
+pub const W_PHI_CANDIDATE: u64 = 5;
+/// Cost of one fused multiply-add in the block product.
+pub const C_FMA: u64 = 1;
+/// Cost of one min-plus relaxation step (add + compare + select).
+pub const C_MINPLUS: u64 = 3;
+
+/// gcd with an iteration count (Euclidean algorithm, the inner loop of
+/// the naïve `relprime`).
+#[inline]
+pub fn gcd_counted(mut a: i64, mut b: i64, iters: &mut u64) -> i64 {
+    while b != 0 {
+        *iters += 1;
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Euler's totient, computed naïvely exactly like the paper's
+/// `phi n = length (filter (relprime n) [1..n-1])`.
+/// Returns `(phi(k), cost, transient_words)`.
+pub fn phi_counted(k: i64) -> (i64, u64, u64) {
+    let mut iters = 0u64;
+    let mut count = 0i64;
+    for j in 1..k {
+        if gcd_counted(j, k, &mut iters) == 1 {
+            count += 1;
+        }
+    }
+    let candidates = (k - 1).max(0) as u64;
+    (
+        count,
+        iters * C_GCD_ITER + candidates * C_PHI_CANDIDATE,
+        candidates * W_PHI_CANDIDATE,
+    )
+}
+
+/// Memoised [`phi_counted`]: benchmark sweeps evaluate the same
+/// totients across dozens of configurations; the value (and its true
+/// cost accounting) is computed honestly once per `k` and cached for
+/// the life of the process.
+pub fn phi_cached(k: i64) -> (i64, u64, u64) {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<i64, (i64, u64, u64)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().unwrap().get(&k) {
+        return *hit;
+    }
+    let computed = phi_counted(k);
+    cache.lock().unwrap().insert(k, computed);
+    computed
+}
+
+/// `sum (map phi [lo..hi])` with cost accounting.
+pub fn sum_phi_range(lo: i64, hi: i64) -> (i64, u64, u64) {
+    let mut total = 0i64;
+    let mut cost = 0u64;
+    let mut words = 0u64;
+    for k in lo..=hi {
+        let (p, c, w) = phi_cached(k);
+        total += p;
+        cost += c;
+        words += w;
+    }
+    (total, cost, words)
+}
+
+/// Dense `s×s` block multiply-accumulate: `acc + a·b` (row-major).
+/// Returns the new block and the flop count ×[`C_FMA`].
+pub fn block_mul_acc(acc: &[f64], a: &[f64], b: &[f64], s: usize) -> (Vec<f64>, u64) {
+    assert_eq!(acc.len(), s * s);
+    assert_eq!(a.len(), s * s);
+    assert_eq!(b.len(), s * s);
+    let mut out = acc.to_vec();
+    for i in 0..s {
+        for k in 0..s {
+            let aik = a[i * s + k];
+            let row = &b[k * s..(k + 1) * s];
+            let orow = &mut out[i * s..(i + 1) * s];
+            for j in 0..s {
+                orow[j] += aik * row[j];
+            }
+        }
+    }
+    (out, (s * s * s) as u64 * 2 * C_FMA)
+}
+
+/// One Floyd–Warshall relaxation of `row_i` by pivot row `row_k`
+/// (pivot index `k`, 0-based): `d[t] = min(d[t], d[k] + row_k[t])`.
+/// Returns the new row and the cost.
+pub fn min_plus_update(row_i: &[f64], row_k: &[f64], k: usize) -> (Vec<f64>, u64) {
+    assert_eq!(row_i.len(), row_k.len());
+    let dik = row_i[k];
+    let mut out = Vec::with_capacity(row_i.len());
+    for (t, &d) in row_i.iter().enumerate() {
+        let via = dik + row_k[t];
+        out.push(if via < d { via } else { d });
+    }
+    (out, row_i.len() as u64 * C_MINPLUS)
+}
+
+/// Plain-Rust Floyd–Warshall: the APSP oracle.
+pub fn floyd_warshall(dist: &mut [Vec<f64>]) {
+    let n = dist.len();
+    for k in 0..n {
+        for i in 0..n {
+            let dik = dist[i][k];
+            if !dik.is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let via = dik + dist[k][j];
+                if via < dist[i][j] {
+                    dist[i][j] = via;
+                }
+            }
+        }
+    }
+}
+
+/// Plain-Rust dense matmul oracle (row-major `n×n`).
+pub fn matmul_oracle(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Plain-Rust sumEuler oracle.
+pub fn sum_euler_oracle(n: i64) -> i64 {
+    (1..=n).map(|k| phi_counted(k).0).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_small_values() {
+        // φ(1)=0 (by the paper's definition: |{j < 1}| = 0),
+        // φ(2)=1, φ(6)=2, φ(10)=4, φ(12)=4.
+        assert_eq!(phi_counted(1).0, 0);
+        assert_eq!(phi_counted(2).0, 1);
+        assert_eq!(phi_counted(6).0, 2);
+        assert_eq!(phi_counted(10).0, 4);
+        assert_eq!(phi_counted(12).0, 4);
+    }
+
+    #[test]
+    fn phi_of_prime_is_p_minus_1() {
+        for p in [2i64, 3, 5, 7, 11, 13, 97] {
+            assert_eq!(phi_counted(p).0, p - 1);
+        }
+    }
+
+    #[test]
+    fn phi_costs_grow_with_k() {
+        let (_, c1, w1) = phi_counted(100);
+        let (_, c2, w2) = phi_counted(1000);
+        assert!(c2 > c1 * 5);
+        assert!(w2 > w1 * 5);
+    }
+
+    #[test]
+    fn sum_phi_range_splits_consistently() {
+        let (whole, _, _) = sum_phi_range(1, 100);
+        let (a, _, _) = sum_phi_range(1, 40);
+        let (b, _, _) = sum_phi_range(41, 100);
+        assert_eq!(whole, a + b);
+        assert_eq!(whole, sum_euler_oracle(100));
+    }
+
+    #[test]
+    fn block_mul_matches_oracle() {
+        let s = 4;
+        let a: Vec<f64> = (0..s * s).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..s * s).map(|i| (i % 5) as f64 - 2.0).collect();
+        let zero = vec![0.0; s * s];
+        let (c, cost) = block_mul_acc(&zero, &a, &b, s);
+        assert_eq!(c, matmul_oracle(&a, &b, s));
+        assert_eq!(cost, (s * s * s) as u64 * 2 * C_FMA);
+        // Accumulation: acc + a·b.
+        let (c2, _) = block_mul_acc(&c, &a, &b, s);
+        let double: Vec<f64> = c.iter().map(|x| x * 2.0).collect();
+        assert_eq!(c2, double);
+    }
+
+    #[test]
+    fn min_plus_matches_floyd_warshall_step() {
+        let inf = f64::INFINITY;
+        let mut d = vec![
+            vec![0.0, 3.0, inf],
+            vec![3.0, 0.0, 1.0],
+            vec![inf, 1.0, 0.0],
+        ];
+        // Relax row 0 by pivot row 1.
+        let (r0, _) = min_plus_update(&d[0], &d[1], 1);
+        assert_eq!(r0, vec![0.0, 3.0, 4.0]);
+        floyd_warshall(&mut d);
+        assert_eq!(d[0], vec![0.0, 3.0, 4.0]);
+        assert_eq!(d[2], vec![4.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn gcd_counts_iterations() {
+        let mut it = 0;
+        assert_eq!(gcd_counted(48, 18, &mut it), 6);
+        assert!(it >= 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! N-queens by distributed backtracking — the workload class the paper
+//! names for its `masterWorker` skeleton: "a group of worker processes
+//! that collectively process a large, and dynamically changing, set of
+//! irregularly-sized tasks … It can implement a parallel map,
+//! backtracking, and branch-and-bound".
+//!
+//! A task is a partial placement (columns of the queens placed so far,
+//! most recent first). A worker *expands* a task: below the spawn
+//! depth it emits one child task per safe column (and no result);
+//! at the spawn depth it solves the remaining subtree sequentially and
+//! returns its solution count. The master feeds generated tasks back
+//! into the bag — the paper's full
+//! `masterWorker :: (a -> ([a], b)) -> [a] -> [b]` shape.
+//!
+//! The GpH version sparks one subtree per depth-`spawn_depth` prefix
+//! (`parList rnf` over subtree counts), the usual semi-explicit
+//! formulation.
+
+use crate::Measured;
+use rph_eden::{skeletons, EdenConfig, EdenRuntime};
+use rph_gph::{GphConfig, GphRuntime};
+use rph_heap::{Heap, NodeRef, ScId, Value};
+use rph_machine::ir::*;
+use rph_machine::prelude::{self, Prelude};
+use rph_machine::program::{KernelOut, Program, ProgramBuilder};
+use rph_machine::reference;
+use std::sync::Arc;
+
+/// The N-queens benchmark.
+#[derive(Debug, Clone)]
+pub struct NQueens {
+    /// Board size.
+    pub n: usize,
+    /// Depth at which subtrees are solved sequentially (tasks above it
+    /// are expanded into child tasks).
+    pub spawn_depth: usize,
+}
+
+struct Prog {
+    program: Arc<Program>,
+    support: rph_eden::EdenSupport,
+    pre: Prelude,
+    /// Kernel: expand a task into `(newTasks, count)`.
+    #[allow(dead_code)] // referenced via the worker body that closes over it
+    expand: ScId,
+    /// Kernel: solve a whole subtree sequentially (GpH tasks).
+    solve: ScId,
+    /// Worker: `\tasks -> map expand tasks`.
+    worker_map: ScId,
+    /// GpH driver: spark every task, then fold.
+    gph_drive: ScId,
+}
+
+/// Is placing a queen at `col` safe against `placed` (most recent
+/// first)?
+fn safe(placed: &[i64], col: i64) -> bool {
+    for (i, &c) in placed.iter().enumerate() {
+        let d = (i + 1) as i64;
+        if c == col || (c - col).abs() == d {
+            return false;
+        }
+    }
+    true
+}
+
+/// Sequential backtracking count from a partial placement; also
+/// returns the number of nodes visited (the kernel's true cost basis).
+fn count_from(placed: &mut Vec<i64>, n: usize, visited: &mut u64) -> u64 {
+    *visited += 1;
+    if placed.len() == n {
+        return 1;
+    }
+    let mut total = 0;
+    for col in 0..n as i64 {
+        if safe(placed, col) {
+            placed.insert(0, col);
+            total += count_from(placed, n, visited);
+            placed.remove(0);
+        }
+    }
+    total
+}
+
+fn read_placement(heap: &Heap, mut r: NodeRef) -> Vec<i64> {
+    let mut out = Vec::new();
+    loop {
+        match heap.expect_value(heap.resolve(r)) {
+            Value::Nil => return out,
+            Value::Cons(h, t) => {
+                out.push(heap.expect_value(heap.resolve(*h)).expect_int());
+                r = *t;
+            }
+            other => panic!("placement list expected, got {other:?}"),
+        }
+    }
+}
+
+fn alloc_placement(heap: &mut Heap, placed: &[i64]) -> NodeRef {
+    let mut tail = heap.alloc_value(Value::Nil);
+    for &c in placed.iter().rev() {
+        let h = heap.int(c);
+        tail = heap.alloc_value(Value::Cons(h, tail));
+    }
+    tail
+}
+
+impl NQueens {
+    pub fn new(n: usize) -> Self {
+        NQueens { n, spawn_depth: 3.min(n) }
+    }
+
+    pub fn with_spawn_depth(mut self, d: usize) -> Self {
+        self.spawn_depth = d.min(self.n);
+        self
+    }
+
+    /// Plain-Rust oracle.
+    pub fn expected(&self) -> i64 {
+        let mut v = 0;
+        count_from(&mut Vec::new(), self.n, &mut v) as i64
+    }
+
+    fn program(&self) -> Prog {
+        let n = self.n;
+        let depth = self.spawn_depth;
+        let mut b = ProgramBuilder::new();
+        let pre = prelude::install(&mut b);
+        let support = rph_eden::install_support(&mut b);
+        // expand task -> (newTasks, count)
+        let expand = b.kernel("nqExpand", 1, move |heap, args| {
+            let placed = read_placement(heap, args[0]);
+            if placed.len() >= depth {
+                // Solve the subtree sequentially.
+                let mut p = placed.clone();
+                let mut visited = 0u64;
+                let total = count_from(&mut p, n, &mut visited);
+                let nil = heap.alloc_value(Value::Nil);
+                let cnt = heap.alloc_value(Value::Int(total as i64));
+                KernelOut {
+                    result: heap.alloc_value(Value::Tuple(vec![nil, cnt].into())),
+                    cost: visited * 40,
+                    transient_words: visited * 6,
+                }
+            } else {
+                // Expand one level.
+                let mut children = Vec::new();
+                for col in 0..n as i64 {
+                    if safe(&placed, col) {
+                        let mut child = placed.clone();
+                        child.insert(0, col);
+                        children.push(alloc_placement(heap, &child));
+                    }
+                }
+                let list = skeletons::list_of(heap, &children);
+                let zero = heap.alloc_value(Value::Int(0));
+                KernelOut {
+                    result: heap.alloc_value(Value::Tuple(vec![list, zero].into())),
+                    cost: (n as u64) * 30,
+                    transient_words: (n as u64) * 4,
+                }
+            }
+        });
+        // solve task -> count (whole subtree; the GpH spark unit)
+        let solve = b.kernel("nqSolve", 1, move |heap, args| {
+            let mut placed = read_placement(heap, args[0]);
+            let mut visited = 0u64;
+            let total = count_from(&mut placed, n, &mut visited);
+            KernelOut {
+                result: heap.alloc_value(Value::Int(total as i64)),
+                cost: visited * 40,
+                transient_words: visited * 6,
+            }
+        });
+        let worker_map = b.def(
+            "nqWorker",
+            1,
+            let_(vec![pap(expand, vec![])], app(pre.map, vec![v(1), v(0)])),
+        );
+        // gphDrive tasks = sparkList tasks `seq` sum tasks
+        let gph_drive = b.def(
+            "nqGphDrive",
+            1,
+            seq(app(pre.spark_list, vec![v(0)]), app(pre.sum, vec![v(0)])),
+        );
+        Prog { program: b.build(), support, pre, expand, solve, worker_map, gph_drive }
+    }
+
+    /// All depth-`spawn_depth` prefixes (the GpH spark units).
+    fn prefixes(&self) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        let mut stack = vec![Vec::new()];
+        while let Some(p) = stack.pop() {
+            if p.len() == self.spawn_depth {
+                out.push(p);
+                continue;
+            }
+            for col in 0..self.n as i64 {
+                if safe(&p, col) {
+                    let mut child = p.clone();
+                    child.insert(0, col);
+                    stack.push(child);
+                }
+            }
+        }
+        out
+    }
+
+    /// Eden dynamic `masterWorker` run: start from the single empty
+    /// placement, let the bag grow.
+    pub fn run_eden_master_worker(
+        &self,
+        config: EdenConfig,
+        prefetch: usize,
+    ) -> Result<Measured, String> {
+        let p = self.program();
+        let workers = (config.pes - 1).max(1);
+        let mut rt = EdenRuntime::new(p.program.clone(), p.support, config);
+        let root = alloc_placement(rt.heap_mut(0), &[]);
+        let results = skeletons::master_worker_dyn(&mut rt, p.worker_map, workers, prefetch, &[root]);
+        let entry = rt.heap_mut(0).alloc_thunk(p.pre.sum, vec![results]);
+        let out = rt.run(entry)?;
+        let value = rt.heap(0).expect_value(out.result).expect_int();
+        Ok(Measured {
+            value,
+            elapsed: out.elapsed,
+            tracer: out.tracer,
+            gph_stats: None,
+            eden_stats: Some(out.stats),
+        })
+    }
+
+    /// GpH run: spark one `nqSolve` per depth-`spawn_depth` prefix.
+    pub fn run_gph(&self, config: GphConfig) -> Result<Measured, String> {
+        let p = self.program();
+        let prefixes = self.prefixes();
+        let mut rt = GphRuntime::new(p.program.clone(), config);
+        let (solve, gph_drive) = (p.solve, p.gph_drive);
+        let out = rt.run(move |heap| {
+            let tasks: Vec<NodeRef> = prefixes
+                .iter()
+                .map(|pf| {
+                    let t = alloc_placement(heap, pf);
+                    heap.alloc_thunk(solve, vec![t])
+                })
+                .collect();
+            let list = crate::sum_euler::list_of(heap, &tasks);
+            heap.alloc_thunk(gph_drive, vec![list])
+        })?;
+        let value = rt.heap().expect_value(out.result).expect_int();
+        Ok(Measured {
+            value,
+            elapsed: out.elapsed,
+            tracer: out.tracer,
+            gph_stats: Some(out.stats),
+            eden_stats: None,
+        })
+    }
+
+    /// Sequential baseline.
+    pub fn run_seq(&self) -> Measured {
+        let p = self.program();
+        let mut heap = Heap::new();
+        let root = alloc_placement(&mut heap, &[]);
+        let entry = heap.alloc_thunk(p.solve, vec![root]);
+        let (r, cost) = reference::run_seq(&p.program, &mut heap, entry);
+        Measured {
+            value: heap.expect_value(r).expect_int(),
+            elapsed: cost,
+            tracer: rph_trace::Tracer::disabled(0),
+            gph_stats: None,
+            eden_stats: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_matches_known_counts() {
+        // OEIS A000170.
+        for (n, expect) in [(4usize, 2i64), (5, 10), (6, 4), (7, 40), (8, 92)] {
+            assert_eq!(NQueens::new(n).expected(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn eden_dynamic_master_worker_counts_solutions() {
+        let w = NQueens::new(8).with_spawn_depth(2);
+        let m = w
+            .run_eden_master_worker(EdenConfig::new(4).without_trace(), 2)
+            .unwrap();
+        assert_eq!(m.value, 92);
+        assert!(m.eden_stats.as_ref().unwrap().messages > 20, "tasks flowed dynamically");
+    }
+
+    #[test]
+    fn gph_sparked_subtrees_count_solutions() {
+        let w = NQueens::new(8).with_spawn_depth(2);
+        let m = w
+            .run_gph(GphConfig::ghc69_plain(4).with_work_stealing().without_trace())
+            .unwrap();
+        assert_eq!(m.value, 92);
+        assert!(m.gph_stats.as_ref().unwrap().sparks_created > 10);
+    }
+
+    #[test]
+    fn seq_matches_and_parallel_is_faster() {
+        // n = 11 gives ~20 ms of virtual work — enough to dominate the
+        // coordination overheads.
+        let w = NQueens::new(11).with_spawn_depth(3);
+        let seq = w.run_seq();
+        assert_eq!(seq.value, 2680);
+        let eden = w
+            .run_eden_master_worker(EdenConfig::new(8).without_trace(), 2)
+            .unwrap();
+        assert_eq!(eden.value, 2680);
+        assert!(
+            eden.elapsed < seq.elapsed / 2,
+            "eden {} !< seq/2 {}",
+            eden.elapsed,
+            seq.elapsed / 2
+        );
+        let gph = w
+            .run_gph(GphConfig::ghc69_plain(8).with_work_stealing().without_trace())
+            .unwrap();
+        assert_eq!(gph.value, 2680);
+        assert!(gph.elapsed < seq.elapsed / 2);
+    }
+
+    #[test]
+    fn deeper_spawn_depth_means_more_smaller_tasks() {
+        let shallow = NQueens::new(8).with_spawn_depth(1);
+        let deep = NQueens::new(8).with_spawn_depth(3);
+        assert!(deep.prefixes().len() > shallow.prefixes().len());
+        // Both still correct.
+        let m1 = shallow
+            .run_eden_master_worker(EdenConfig::new(3).without_trace(), 1)
+            .unwrap();
+        let m2 = deep
+            .run_eden_master_worker(EdenConfig::new(3).without_trace(), 1)
+            .unwrap();
+        assert_eq!(m1.value, 92);
+        assert_eq!(m2.value, 92);
+    }
+}

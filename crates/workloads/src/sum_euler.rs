@@ -1,0 +1,543 @@
+//! sumEuler: `sum (map phi [1..n])` (§V, "a simple map-reduce
+//! operation") — Fig. 1 (runtimes), Fig. 2 (traces), Fig. 3 left
+//! (speedups).
+//!
+//! * **GpH**: the input range is split into chunks; a spark is created
+//!   per chunk sum (`parList rnf` over the sublist sums); the main
+//!   thread then folds the chunk sums.
+//! * **Eden**: the ready-made `parMapReduce` skeleton with one process
+//!   per PE. Elements are distributed round-robin (Eden's `unshuffle`,
+//!   the standard static decomposition for `parMap`-style skeletons),
+//!   which stripes the φ(k) ∝ k cost gradient evenly; the residual
+//!   static imbalance is the paper's "sub-optimal static load
+//!   balance".
+//! * Optionally, the result is checked by "a second sequential
+//!   computation, that is obvious at the end of each trace" (Fig. 2):
+//!   a sequential naive recomputation of a *slice* of the work (the
+//!   heaviest ~6 %: the top of the k-range for GpH, the last stripe
+//!   for Eden), compared against the corresponding parallel partials.
+//!   (A full sequential recomputation would take 8× the parallel phase
+//!   and visibly does not in the paper's traces; the harnesses
+//!   additionally validate every full result against a plain-Rust
+//!   oracle.)
+
+use crate::kernels;
+use crate::Measured;
+use rph_eden::{skeletons, EdenConfig, EdenRuntime};
+use rph_gph::{GphConfig, GphRuntime};
+use rph_heap::{Heap, NodeRef, ScId, Value};
+use rph_machine::ir::*;
+use rph_machine::prelude::{self, Prelude};
+use rph_machine::program::{KernelOut, Program, ProgramBuilder};
+use rph_machine::reference;
+use std::sync::Arc;
+
+/// The sumEuler benchmark.
+#[derive(Debug, Clone)]
+pub struct SumEuler {
+    /// Upper limit: `sum (map phi [1..n])`.
+    pub n: i64,
+    /// GpH chunk size (spark granularity).
+    pub chunk_size: i64,
+    /// Append the sequential check phase (visible in Fig. 2 traces).
+    pub check: bool,
+}
+
+struct Prog {
+    program: Arc<Program>,
+    support: rph_eden::EdenSupport,
+    #[allow(dead_code)]
+    pre: Prelude,
+    /// Kernel `phiRange lo hi = sum (map phi [lo..hi])`.
+    phi_range: ScId,
+    /// `phiStrideT (start,stride,n)` — tupled stripe worker for the
+    /// skeleton.
+    phi_stride_t: ScId,
+    /// `sumList xs = sum xs`.
+    sum_list: ScId,
+    /// masterWorker worker: `\tasks -> map phiStrideT tasks`.
+    map_phi_ranges: ScId,
+    /// GpH driver: `\chunks -> sparkList chunks `seq` sum chunks`.
+    gph_main: ScId,
+    /// GpH driver with the sequential check phase.
+    gph_main_check: ScId,
+    /// Check wrapper: `\res chk -> if res == chk then res else -1`.
+    #[allow(dead_code)] // kept as a reusable helper for custom drivers
+    check_eq: ScId,
+    /// Eden check driver.
+    eden_check: ScId,
+}
+
+impl SumEuler {
+    pub fn new(n: i64) -> Self {
+        SumEuler { n, chunk_size: (n / 150).max(1), check: false }
+    }
+
+    pub fn with_check(mut self) -> Self {
+        self.check = true;
+        self
+    }
+
+    pub fn with_chunk_size(mut self, c: i64) -> Self {
+        self.chunk_size = c.max(1);
+        self
+    }
+
+    /// Direct Rust oracle.
+    pub fn expected(&self) -> i64 {
+        kernels::sum_euler_oracle(self.n)
+    }
+
+    fn program(&self) -> Prog {
+        let mut b = ProgramBuilder::new();
+        let pre = prelude::install(&mut b);
+        let support = rph_eden::install_support(&mut b);
+        let phi_range = b.kernel("phiRange", 2, |heap, args| {
+            let lo = heap.expect_value(args[0]).expect_int();
+            let hi = heap.expect_value(args[1]).expect_int();
+            let (sum, cost, words) = kernels::sum_phi_range(lo, hi);
+            KernelOut {
+                result: heap.alloc_value(Value::Int(sum)),
+                cost,
+                transient_words: words,
+            }
+        });
+        // phiStride kernel: sum phi(k) for k = start, start+stride ... <= n
+        // (Eden's unshuffle decomposition: process j takes the stripe
+        // k ≡ j (mod noPE)).
+        let phi_stride = b.kernel("phiStride", 3, |heap, args| {
+            let start = heap.expect_value(args[0]).expect_int();
+            let stride = heap.expect_value(args[1]).expect_int();
+            let n = heap.expect_value(args[2]).expect_int();
+            let mut total = 0i64;
+            let mut cost = 0u64;
+            let mut words = 0u64;
+            let mut k = start;
+            while k <= n {
+                let (p, c, w) = crate::kernels::phi_cached(k);
+                total += p;
+                cost += c;
+                words += w;
+                k += stride;
+            }
+            KernelOut {
+                result: heap.alloc_value(Value::Int(total)),
+                cost,
+                transient_words: words,
+            }
+        });
+        // phiStrideT p = case p of (start, stride, n) -> phiStride ...
+        let phi_stride_t = b.def(
+            "phiStrideT",
+            1,
+            case_tuple(atom(v(0)), 3, app(phi_stride, vec![v(1), v(2), v(3)])),
+        );
+        let sum_list = b.def("sumList", 1, app(pre.sum, vec![v(0)]));
+        // mapPhiRanges ts = map phiStrideT ts — a masterWorker worker:
+        // lazily maps the task stream, one result per arriving task.
+        let map_phi_ranges = b.def(
+            "mapPhiRanges",
+            1,
+            let_(
+                vec![pap(phi_stride_t, vec![])],
+                app(pre.map, vec![v(1), v(0)]),
+            ),
+        );
+        // gphMain chunks = sparkList chunks `seq` sum chunks
+        let gph_main = b.def(
+            "gphMain",
+            1,
+            seq(app(pre.spark_list, vec![v(0)]), app(pre.sum, vec![v(0)])),
+        );
+        // gphMainCheck chunks tailChunks chk:
+        //   the parallel sum, then the sequential check phase — the
+        //   tail chunks' (already evaluated) values re-folded and
+        //   compared against a fresh naive recomputation `chk` of the
+        //   same range.                     frame: [chunks, tail, chk]
+        let gph_main_check = b.def(
+            "gphMainCheck",
+            3,
+            seq(
+                app(pre.spark_list, vec![v(0)]),
+                let_(
+                    vec![thunk(pre.sum, vec![v(0)])], // [3] parallel sum
+                    seq(
+                        atom(v(3)),
+                        let_(
+                            vec![thunk(pre.sum, vec![v(1)])], // [4] tail re-fold
+                            if_(
+                                prim(rph_machine::PrimOp::Eq, vec![v(4), v(2)]),
+                                atom(v(3)),
+                                atom(int(-1)),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        // edenCheck merged last chk = merged `seq`
+        //   (if last == chk then merged else -1)
+        let eden_check = b.def(
+            "edenCheck",
+            3,
+            seq(
+                atom(v(0)),
+                if_(
+                    prim(rph_machine::PrimOp::Eq, vec![v(1), v(2)]),
+                    atom(v(0)),
+                    atom(int(-1)),
+                ),
+            ),
+        );
+        // checkEq res chk = if res == chk then res else -1
+        let check_eq = b.def(
+            "checkEq",
+            2,
+            if_(
+                prim(rph_machine::PrimOp::Eq, vec![v(0), v(1)]),
+                atom(v(0)),
+                atom(int(-1)),
+            ),
+        );
+        Prog { program: b.build(), support, pre, phi_range, phi_stride_t, sum_list, map_phi_ranges, gph_main, gph_main_check, check_eq, eden_check }
+    }
+
+    /// The chunk ranges `[(lo, hi)]` for a given chunk size.
+    fn ranges(&self, chunk: i64) -> Vec<(i64, i64)> {
+        let mut out = Vec::new();
+        let mut lo = 1;
+        while lo <= self.n {
+            let hi = (lo + chunk - 1).min(self.n);
+            out.push((lo, hi));
+            lo = hi + 1;
+        }
+        out
+    }
+
+    fn alloc_chunk_thunks(&self, p: &Prog, heap: &mut Heap, chunk: i64) -> Vec<NodeRef> {
+        self.ranges(chunk)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let l = heap.int(lo);
+                let h = heap.int(hi);
+                heap.alloc_thunk(p.phi_range, vec![l, h])
+            })
+            .collect()
+    }
+
+    /// Shared-heap GpH run.
+    pub fn run_gph(&self, config: GphConfig) -> Result<Measured, String> {
+        let p = self.program();
+        let mut rt = GphRuntime::new(p.program.clone(), config);
+        let n = self.n;
+        let check = self.check;
+        let chunk = self.chunk_size;
+        let this = self.clone();
+        let out = rt.run(|heap| {
+            let chunks = this.alloc_chunk_thunks(&p, heap, chunk);
+            let list = list_of(heap, &chunks);
+            if check {
+                // The check range: the chunks whose lower bound is in
+                // the top ~3 % of [1..n] — about 6 % of the total work
+                // (φ(k) ∝ k), recomputed naively and sequentially.
+                let cutoff = n - n * 3 / 100;
+                let ranges = this.ranges(chunk);
+                let first_tail = ranges.iter().position(|(lo, _)| *lo > cutoff).unwrap_or(ranges.len() - 1);
+                let tail_nodes = &chunks[first_tail..];
+                let tail_list = list_of(heap, tail_nodes);
+                let lo = heap.int(ranges[first_tail].0);
+                let nn = heap.int(n);
+                let chk = heap.alloc_thunk(p.phi_range, vec![lo, nn]);
+                heap.alloc_thunk(p.gph_main_check, vec![list, tail_list, chk])
+            } else {
+                heap.alloc_thunk(p.gph_main, vec![list])
+            }
+        })?;
+        let value = rt.heap().expect_value(out.result).expect_int();
+        Ok(Measured {
+            value,
+            elapsed: out.elapsed,
+            tracer: out.tracer,
+            gph_stats: Some(out.stats),
+            eden_stats: None,
+        })
+    }
+
+    /// Distributed-heap Eden run: `parMapReduce` with one process per
+    /// PE over contiguous ranges (static split, like `splitIntoN noPE`).
+    pub fn run_eden(&self, config: EdenConfig) -> Result<Measured, String> {
+        let p = self.program();
+        let pes = config.pes;
+        let mut rt = EdenRuntime::new(p.program.clone(), p.support, config);
+        // unshuffle noPE: process j takes the stripe k ≡ j+1 (mod noPE).
+        let stripes: Vec<NodeRef> = (0..pes as i64)
+            .map(|j| {
+                let heap = rt.heap_mut(0);
+                let s = heap.int(j + 1);
+                let st = heap.int(pes as i64);
+                let nn = heap.int(self.n);
+                heap.alloc_value(Value::Tuple(vec![s, st, nn].into()))
+            })
+            .collect();
+        let entry = if self.check {
+            // The stripes cover [1..cutoff] on the worker PEs; the
+            // heaviest ~3 % of the range ([cutoff+1..n], about 6 % of
+            // the work) is computed by the *parent* concurrently, and
+            // the check phase re-verifies that slice with a fresh
+            // sequential recomputation — the same shape as the GpH
+            // check.
+            let cutoff = self.n - self.n * 3 / 100;
+            // With the parent computing the tail slice, the stripes go
+            // to the other PEs only (round-robin placement starts at
+            // PE 1, so `pes - 1` stripe processes leave PE 0 free for
+            // the parent's share).
+            let nstripes = (pes - 1).max(1) as i64;
+            let tasks: Vec<NodeRef> = (0..nstripes)
+                .map(|j| {
+                    let heap = rt.heap_mut(0);
+                    let s = heap.int(j + 1);
+                    let st = heap.int(nstripes);
+                    let nn = heap.int(cutoff);
+                    heap.alloc_value(Value::Tuple(vec![s, st, nn].into()))
+                })
+                .collect();
+            let outs = skeletons::par_map(&mut rt, p.phi_stride_t, &tasks);
+            let heap = rt.heap_mut(0);
+            let lo = heap.int(cutoff + 1);
+            let nn = heap.int(self.n);
+            // Parent-side tail: first in the fold, so the parent works
+            // on it while the worker partials are still in flight.
+            let tail_local = heap.alloc_thunk(p.phi_range, vec![lo, nn]);
+            let mut all = vec![tail_local];
+            all.extend(outs);
+            let list = list_of(heap, &all);
+            let merged = heap.alloc_thunk(p.sum_list, vec![list]);
+            let lo2 = heap.int(cutoff + 1);
+            let nn2 = heap.int(self.n);
+            let chk = heap.alloc_thunk(p.phi_range, vec![lo2, nn2]);
+            heap.alloc_thunk(p.eden_check, vec![merged, tail_local, chk])
+        } else {
+            skeletons::par_map_reduce(&mut rt, p.phi_stride_t, p.sum_list, &stripes)
+        };
+        let out = rt.run(entry)?;
+        let value = rt.heap(0).expect_value(out.result).expect_int();
+        Ok(Measured {
+            value,
+            elapsed: out.elapsed,
+            tracer: out.tracer,
+            gph_stats: None,
+            eden_stats: Some(out.stats),
+        })
+    }
+
+    /// Distributed-heap Eden run with the `masterWorker` skeleton
+    /// (§II.A): the master feeds fine-grained range tasks to worker
+    /// processes dynamically — the skeleton for "a large, and
+    /// dynamically changing, set of irregularly-sized tasks" (φ(k)'s
+    /// cost gradient makes sumEuler's chunks exactly that).
+    pub fn run_eden_master_worker(
+        &self,
+        config: EdenConfig,
+        prefetch: usize,
+    ) -> Result<Measured, String> {
+        let p = self.program();
+        let workers = (config.pes - 1).max(1);
+        let mut rt = EdenRuntime::new(p.program.clone(), p.support, config);
+        // Fine-grained contiguous range tasks, like the GpH chunks;
+        // tasks are (lo, stride=1, hi) triples in normal form.
+        let tasks: Vec<NodeRef> = self
+            .ranges(self.chunk_size)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let heap = rt.heap_mut(0);
+                let l = heap.int(lo);
+                let st = heap.int(1);
+                let h = heap.int(hi);
+                heap.alloc_value(Value::Tuple(vec![l, st, h].into()))
+            })
+            .collect();
+        let results = skeletons::master_worker(&mut rt, p.map_phi_ranges, workers, prefetch, &tasks);
+        let entry = rt.heap_mut(0).alloc_thunk(p.sum_list, vec![results]);
+        let out = rt.run(entry)?;
+        let value = rt.heap(0).expect_value(out.result).expect_int();
+        Ok(Measured {
+            value,
+            elapsed: out.elapsed,
+            tracer: out.tracer,
+            gph_stats: None,
+            eden_stats: Some(out.stats),
+        })
+    }
+
+    /// Distributed-heap Eden run with a deliberately naive *contiguous*
+    /// static split (`splitIntoN`): the "sub-optimal static load
+    /// balance" the paper attributes to its Fig. 2(e) Eden run — the
+    /// last PE gets the heaviest k's.
+    pub fn run_eden_contiguous(&self, config: EdenConfig) -> Result<Measured, String> {
+        let p = self.program();
+        let pes = config.pes;
+        let mut rt = EdenRuntime::new(p.program.clone(), p.support, config);
+        let per = (self.n + pes as i64 - 1) / pes as i64;
+        let tasks: Vec<NodeRef> = self
+            .ranges(per.max(1))
+            .into_iter()
+            .map(|(lo, hi)| {
+                let heap = rt.heap_mut(0);
+                let l = heap.int(lo);
+                let st = heap.int(1);
+                let h = heap.int(hi);
+                heap.alloc_value(Value::Tuple(vec![l, st, h].into()))
+            })
+            .collect();
+        let merged = skeletons::par_map_reduce(&mut rt, p.phi_stride_t, p.sum_list, &tasks);
+        let out = rt.run(merged)?;
+        let value = rt.heap(0).expect_value(out.result).expect_int();
+        Ok(Measured {
+            value,
+            elapsed: out.elapsed,
+            tracer: out.tracer,
+            gph_stats: None,
+            eden_stats: Some(out.stats),
+        })
+    }
+
+    /// Sequential baseline on the abstract machine (one core, no GC).
+    pub fn run_seq(&self) -> Measured {
+        let p = self.program();
+        let mut heap = Heap::new();
+        let one = heap.int(1);
+        let nn = heap.int(self.n);
+        let entry = heap.alloc_thunk(p.phi_range, vec![one, nn]);
+        let (r, cost) = reference::run_seq(&p.program, &mut heap, entry);
+        Measured {
+            value: heap.expect_value(r).expect_int(),
+            elapsed: cost,
+            tracer: rph_trace::Tracer::disabled(0),
+            gph_stats: None,
+            eden_stats: None,
+        }
+    }
+}
+
+/// Build a cons list from nodes (shared helper).
+pub(crate) fn list_of(heap: &mut Heap, nodes: &[NodeRef]) -> NodeRef {
+    let mut tail = heap.alloc_value(Value::Nil);
+    for &n in nodes.iter().rev() {
+        tail = heap.alloc_value(Value::Cons(n, tail));
+    }
+    tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: i64 = 300; // keep debug-build tests quick
+
+    #[test]
+    fn gph_matches_oracle_across_ladder() {
+        let w = SumEuler::new(N).with_chunk_size(20);
+        let expect = w.expected();
+        for (name, cfg) in GphConfig::fig1_ladder(4) {
+            let m = w.run_gph(cfg.without_trace()).unwrap();
+            assert_eq!(m.value, expect, "{name}");
+            assert!(m.elapsed > 0);
+        }
+    }
+
+    #[test]
+    fn eden_matches_oracle() {
+        let w = SumEuler::new(N);
+        let m = w.run_eden(EdenConfig::new(4).without_trace()).unwrap();
+        assert_eq!(m.value, w.expected());
+        assert_eq!(m.eden_stats.unwrap().processes, 4);
+    }
+
+    #[test]
+    fn seq_matches_oracle_and_is_slower_than_parallel() {
+        let w = SumEuler::new(N).with_chunk_size(20);
+        let seq = w.run_seq();
+        assert_eq!(seq.value, w.expected());
+        let par = w
+            .run_gph(GphConfig::ghc69_plain(8).with_work_stealing().without_trace())
+            .unwrap();
+        assert!(
+            par.elapsed < seq.elapsed,
+            "8 caps {} !< seq {}",
+            par.elapsed,
+            seq.elapsed
+        );
+    }
+
+    #[test]
+    fn check_phase_detects_nothing_wrong_and_extends_trace() {
+        let w = SumEuler::new(120).with_chunk_size(10).with_check();
+        let m = w.run_gph(GphConfig::ghc69_plain(2).without_trace()).unwrap();
+        assert_eq!(m.value, w.expected(), "check must agree");
+        let plain = SumEuler::new(120).with_chunk_size(10);
+        let m2 = plain.run_gph(GphConfig::ghc69_plain(2).without_trace()).unwrap();
+        assert!(m.elapsed > m2.elapsed, "the check phase adds sequential time");
+    }
+
+    #[test]
+    fn eden_check_works_too() {
+        let w = SumEuler::new(120).with_check();
+        let m = w.run_eden(EdenConfig::new(2).without_trace()).unwrap();
+        assert_eq!(m.value, w.expected());
+    }
+
+    #[test]
+    fn ranges_cover_exactly() {
+        let w = SumEuler::new(100).with_chunk_size(7);
+        let rs = w.ranges(7);
+        assert_eq!(rs.first().unwrap().0, 1);
+        assert_eq!(rs.last().unwrap().1, 100);
+        let total: i64 = rs.iter().map(|(lo, hi)| hi - lo + 1).sum();
+        assert_eq!(total, 100);
+        for w2 in rs.windows(2) {
+            assert_eq!(w2[0].1 + 1, w2[1].0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod decomposition_tests {
+    use super::*;
+
+    #[test]
+    fn master_worker_matches_oracle_and_balances() {
+        let w = SumEuler::new(400).with_chunk_size(10);
+        let m = w
+            .run_eden_master_worker(EdenConfig::new(4).without_trace(), 2)
+            .unwrap();
+        assert_eq!(m.value, w.expected());
+        assert_eq!(m.eden_stats.as_ref().unwrap().processes, 3, "pes - 1 workers");
+    }
+
+    #[test]
+    fn contiguous_split_is_slower_than_striped_and_master_worker() {
+        // φ(k) ∝ k: a contiguous split loads the last PE with ~2× the
+        // mean work; striping and dynamic distribution both fix it.
+        let w = SumEuler::new(600).with_chunk_size(10);
+        let contiguous = w.run_eden_contiguous(EdenConfig::new(4).without_trace()).unwrap();
+        let striped = w.run_eden(EdenConfig::new(4).without_trace()).unwrap();
+        let mw = w
+            .run_eden_master_worker(EdenConfig::new(4).without_trace(), 2)
+            .unwrap();
+        assert_eq!(contiguous.value, w.expected());
+        assert_eq!(striped.value, w.expected());
+        assert_eq!(mw.value, w.expected());
+        assert!(
+            striped.elapsed < contiguous.elapsed,
+            "striped {} !< contiguous {}",
+            striped.elapsed,
+            contiguous.elapsed
+        );
+        assert!(
+            mw.elapsed < contiguous.elapsed,
+            "masterWorker {} !< contiguous {}",
+            mw.elapsed,
+            contiguous.elapsed
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests at the workload level: for random problem sizes,
+//! granularities, capability counts, seeds and scheduling policies,
+//! the parallel runs agree with the plain-Rust oracles.
+
+use proptest::prelude::*;
+use rph_eden::EdenConfig;
+use rph_gph::{BlackHoling, GphConfig, SparkExec, SparkPolicy};
+use rph_workloads::{Apsp, MatMul, NQueens, SumEuler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sum_euler_any_config_matches_oracle(
+        n in 20i64..150,
+        chunk in 1i64..40,
+        caps in 1usize..6,
+        seed in 0u64..1000,
+        steal in any::<bool>(),
+        eager in any::<bool>(),
+        spark_thread in any::<bool>(),
+        big_area in any::<bool>(),
+    ) {
+        let w = SumEuler::new(n).with_chunk_size(chunk);
+        let mut cfg = GphConfig::ghc69_plain(caps).without_trace().with_seed(seed);
+        cfg.spark_policy = if steal { SparkPolicy::Steal } else { SparkPolicy::Push };
+        cfg.black_holing = if eager { BlackHoling::Eager } else { BlackHoling::Lazy };
+        cfg.spark_exec = if spark_thread { SparkExec::SparkThread } else { SparkExec::ThreadPerSpark };
+        if big_area {
+            cfg = cfg.with_big_alloc_area();
+        }
+        let m = w.run_gph(cfg).unwrap();
+        prop_assert_eq!(m.value, w.expected());
+
+        let e = w.run_eden(EdenConfig::new(caps).without_trace().with_seed(seed)).unwrap();
+        prop_assert_eq!(e.value, w.expected());
+    }
+
+    #[test]
+    fn matmul_any_grid_matches_oracle(
+        base in 1usize..6,
+        grid in 1usize..4,
+        caps in 1usize..5,
+        oversub in any::<bool>(),
+    ) {
+        let n = grid * base * 4; // always divisible by the grid
+        let w = MatMul::new(n, grid);
+        let m = w
+            .run_gph(GphConfig::ghc69_plain(caps).with_work_stealing().without_trace())
+            .unwrap();
+        prop_assert_eq!(m.value, w.expected());
+        let pes = if oversub { grid * grid + 1 } else { (grid * grid).max(caps) };
+        let e = w
+            .run_eden(EdenConfig::oversubscribed(pes, caps).without_trace())
+            .unwrap();
+        prop_assert_eq!(e.value, w.expected());
+    }
+
+    #[test]
+    fn apsp_any_size_matches_oracle(
+        n in 6usize..36,
+        pes in 1usize..5,
+        density in 100u64..900,
+        seed in 0u64..100,
+        eager in any::<bool>(),
+    ) {
+        let mut w = Apsp::new(n);
+        w.density_millis = density;
+        w.seed = seed;
+        let mut cfg = GphConfig::ghc69_plain(pes).with_work_stealing().without_trace();
+        if eager {
+            cfg = cfg.with_eager_blackholing();
+        }
+        let m = w.run_gph(cfg).unwrap();
+        prop_assert_eq!(m.value, w.expected());
+        let e = w.run_eden(EdenConfig::new(pes).without_trace()).unwrap();
+        prop_assert_eq!(e.value, w.expected());
+    }
+
+    #[test]
+    fn nqueens_any_depth_matches_oracle(
+        n in 5usize..8,
+        depth in 1usize..4,
+        pes in 2usize..5,
+        prefetch in 1usize..4,
+    ) {
+        let w = NQueens::new(n).with_spawn_depth(depth);
+        let m = w
+            .run_eden_master_worker(EdenConfig::new(pes).without_trace(), prefetch)
+            .unwrap();
+        prop_assert_eq!(m.value, w.expected());
+        let g = w
+            .run_gph(GphConfig::ghc69_plain(pes).with_work_stealing().without_trace())
+            .unwrap();
+        prop_assert_eq!(g.value, w.expected());
+    }
+}

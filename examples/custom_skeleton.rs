@@ -1,0 +1,102 @@
+//! Building your own skeleton from the raw process/channel API — the
+//! paper's point that "Eden skeleton implementations are still amenable
+//! to customisation" (§II.A.1), unlike sealed imperative libraries.
+//!
+//! We build a *pipeline* skeleton (not in the paper's list): a chain of
+//! processes, each transforming a stream and feeding the next stage
+//! directly (child-to-child channels), with only the last stage
+//! reporting to the parent.
+//!
+//! ```text
+//! cargo run --release --example custom_skeleton
+//! ```
+
+use rph::eden::channel::{ChanId, CommMode, Endpoint};
+use rph::eden::runtime::ProcSpec;
+use rph::eden::skeletons::list_of;
+use rph::machine::ir::*;
+use rph::machine::prelude as hs;
+use rph::machine::reference::read_int_list;
+use rph::machine::ProgramBuilder;
+use rph::prelude::*;
+
+/// `pipeline rt stages input`: spawn one process per stage function;
+/// stage k's output stream feeds stage k+1's input stream; the last
+/// stage streams to the parent. Returns the result-stream node on PE 0.
+fn pipeline(rt: &mut EdenRuntime, stages: &[ScId], input: NodeRef) -> NodeRef {
+    assert!(!stages.is_empty());
+    let pes = rt.num_pes();
+    // Input channel of every stage, allocated up front so stage k can
+    // point its output at stage k+1 before anything is spawned.
+    let in_chans: Vec<ChanId> = stages.iter().map(|_| rt.fresh_chan()).collect();
+    let placement: Vec<usize> = (0..stages.len()).map(|k| (k + 1) % pes).collect();
+    let (final_chan, final_node) = rt.new_channel(0, CommMode::Stream);
+    for (k, &f) in stages.iter().enumerate() {
+        let dest = if k + 1 < stages.len() {
+            Endpoint { pe: placement[k + 1] as u32, chan: in_chans[k + 1] }
+        } else {
+            Endpoint { pe: 0, chan: final_chan }
+        };
+        rt.spawn(
+            placement[k],
+            ProcSpec {
+                f,
+                inputs: vec![(in_chans[k], CommMode::Stream)],
+                outputs: vec![(CommMode::Stream, dest)],
+            },
+        );
+    }
+    // Feed the first stage from the parent.
+    rt.send_value_from(
+        0,
+        Endpoint { pe: placement[0] as u32, chan: in_chans[0] },
+        input,
+        CommMode::Stream,
+    );
+    final_node
+}
+
+fn main() {
+    let mut b = ProgramBuilder::new();
+    let pre = hs::install(&mut b);
+    let support = rph::eden::install_support(&mut b);
+    // Three stages: map (+1), map (*2) via add-to-self, map square.
+    let double = b.def("double", 1, prim(rph::machine::PrimOp::Add, vec![v(0), v(0)]));
+    let square = b.def("square", 1, prim(rph::machine::PrimOp::Mul, vec![v(0), v(0)]));
+    let stage = |b: &mut ProgramBuilder, name: &str, f: ScId, pre: &hs::Prelude| {
+        // \xs -> map f xs
+        b.def(
+            name,
+            1,
+            let_(vec![pap(f, vec![])], app(pre.map, vec![v(1), v(0)])),
+        )
+    };
+    let s1 = stage(&mut b, "stageInc", pre.inc, &pre);
+    let s2 = stage(&mut b, "stageDouble", double, &pre);
+    let s3 = stage(&mut b, "stageSquare", square, &pre);
+    let program = b.build();
+
+    let mut rt = EdenRuntime::new(program, support, EdenConfig::new(4));
+    let input: Vec<NodeRef> = (1..=10).map(|x| rt.heap_mut(0).int(x)).collect();
+    let input_list = list_of(rt.heap_mut(0), &input);
+    let result_stream = pipeline(&mut rt, &[s1, s2, s3], input_list);
+    // Force the whole stream: deepseq it.
+    let entry = {
+        let heap = rt.heap_mut(0);
+        heap.alloc_thunk(pre.deep_seq, vec![result_stream])
+    };
+    let out = rt.run(entry).expect("pipeline run");
+    let got = read_int_list(rt.heap(0), out.result);
+    let expect: Vec<i64> = (1..=10).map(|x| ((x + 1) * 2i64).pow(2)).collect();
+    assert_eq!(got, expect);
+    println!("pipeline(inc → double → square) over [1..10] = {got:?}");
+    println!(
+        "{} processes, {} messages, {:.3} ms virtual",
+        out.stats.processes,
+        out.stats.messages,
+        out.elapsed as f64 / 1e6
+    );
+    println!("\nStage activity:");
+    let tl = Timeline::from_tracer(&out.tracer);
+    print!("{}", render_timeline(&tl, &RenderOptions { width: 80, color: false, legend: true }));
+}

@@ -1,0 +1,63 @@
+//! N-queens with a *dynamic* bag of tasks — the paper's full
+//! `masterWorker :: (a -> ([a], b)) -> [a] -> [b]` skeleton, where a
+//! worker's answer can contain new tasks ("it can implement a parallel
+//! map, backtracking, and branch-and-bound").
+//!
+//! The master starts with one task (the empty board); workers expand
+//! placements level by level until the spawn depth, then count the
+//! remaining subtree sequentially. Compare against the GpH version
+//! that sparks a fixed set of subtrees.
+//!
+//! ```text
+//! cargo run --release --example nqueens_bag_of_tasks -- [n] [cores]
+//! # defaults: n = 12, cores = 8
+//! ```
+
+use rph::prelude::*;
+use rph::workloads::NQueens;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    let cores: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    let w = NQueens::new(n).with_spawn_depth(3);
+    let expect = w.expected();
+    let seq = w.run_seq();
+    println!(
+        "{n}-queens: {expect} solutions; sequential baseline {:.2} ms\n",
+        seq.elapsed as f64 / 1e6
+    );
+
+    let mut table = TextTable::new(&["version", "runtime", "speedup", "notes"]);
+    for prefetch in [1usize, 2, 4] {
+        let m = w
+            .run_eden_master_worker(EdenConfig::new(cores).without_trace(), prefetch)
+            .expect("eden masterWorker");
+        assert_eq!(m.value, expect);
+        let s = m.eden_stats.as_ref().unwrap();
+        table.row(&[
+            format!("Eden masterWorker (prefetch {prefetch})"),
+            format!("{:.2} ms", m.elapsed as f64 / 1e6),
+            format!("{:.2}", seq.elapsed as f64 / m.elapsed as f64),
+            format!("{} messages, dynamic bag", s.messages),
+        ]);
+    }
+    let m = w
+        .run_gph(
+            GphConfig::ghc69_plain(cores)
+                .with_big_alloc_area()
+                .with_work_stealing()
+                .without_trace(),
+        )
+        .expect("gph");
+    assert_eq!(m.value, expect);
+    let s = m.gph_stats.as_ref().unwrap();
+    table.row(&[
+        "GpH sparked subtrees".to_string(),
+        format!("{:.2} ms", m.elapsed as f64 / 1e6),
+        format!("{:.2}", seq.elapsed as f64 / m.elapsed as f64),
+        format!("{} sparks, {} stolen", s.sparks_created, s.sparks_stolen),
+    ]);
+    println!("{}", table.render());
+}

@@ -1,0 +1,97 @@
+//! Quickstart: write a small lazy functional program, run it on both
+//! runtime models, and look at a trace.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rph::machine::ir::*;
+use rph::machine::prelude as hs;
+use rph::machine::ProgramBuilder;
+use rph::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A program in the lazy core language:
+    //      main n = let xs = map heavy [1..n]
+    //               in  sparkList xs `seq` sum xs
+    //    where `heavy` is a native kernel (standing in for a
+    //    GHC-compiled inner loop) costing 0.5 ms of virtual time each.
+    // ------------------------------------------------------------------
+    let mut b = ProgramBuilder::new();
+    let pre = hs::install(&mut b);
+    let support = rph::eden::install_support(&mut b); // tuple selectors for Eden
+    let heavy = b.kernel("heavy", 1, |heap, args| {
+        let x = heap.expect_value(args[0]).expect_int();
+        rph::machine::KernelOut {
+            result: heap.alloc_value(Value::Int(x * x)),
+            cost: 500_000,          // 0.5 ms of work
+            transient_words: 5_000, // plus some allocation churn
+        }
+    });
+    let main = b.def(
+        "main",
+        1,
+        let_(
+            vec![
+                pap(heavy, vec![]),                          // [1]
+                thunk(pre.enum_from_to, vec![int(1), v(0)]), // [2] [1..n]
+                thunk(pre.map, vec![v(1), v(2)]),            // [3]
+                thunk(pre.spark_list, vec![v(3)]),           // [4]
+            ],
+            seq(atom(v(4)), app(pre.sum, vec![v(3)])),
+        ),
+    );
+    let program = b.build();
+    let n = 64i64;
+    let expect: i64 = (1..=n).map(|x| x * x).sum();
+
+    // ------------------------------------------------------------------
+    // 2. Shared heap (GpH): 8 capabilities, the paper's optimised
+    //    configuration (big nursery + improved barrier + work stealing).
+    // ------------------------------------------------------------------
+    let mut gph = GphRuntime::new(
+        program.clone(),
+        GphConfig::ghc69_plain(8)
+            .with_big_alloc_area()
+            .with_improved_gc_sync()
+            .with_work_stealing(),
+    );
+    let out = gph
+        .run(|heap| {
+            let nn = heap.int(n);
+            heap.alloc_thunk(main, vec![nn])
+        })
+        .expect("gph run");
+    let v = gph.heap().expect_value(out.result).expect_int();
+    assert_eq!(v, expect);
+    println!("GpH (8 capabilities): result {v}, {:.3} ms virtual", out.elapsed as f64 / 1e6);
+    println!(
+        "  sparks: {} created, {} stolen, {} fizzled; {} GCs",
+        out.stats.sparks_created, out.stats.sparks_stolen, out.stats.sparks_fizzled, out.stats.gcs
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Distributed heap (Eden): parMap over 8 PEs.
+    // ------------------------------------------------------------------
+    let mut eden = EdenRuntime::new(program.clone(), support, EdenConfig::new(8));
+    let inputs: Vec<NodeRef> = (1..=n).map(|x| eden.heap_mut(0).int(x)).collect();
+    let outs = rph::eden::skeletons::par_map(&mut eden, heavy, &inputs);
+    let list = rph::eden::skeletons::list_of(eden.heap_mut(0), &outs);
+    let entry = eden.heap_mut(0).alloc_thunk(pre.sum, vec![list]);
+    let out = eden.run(entry).expect("eden run");
+    let v = eden.heap(0).expect_value(out.result).expect_int();
+    assert_eq!(v, expect);
+    println!("Eden (8 PEs):         result {v}, {:.3} ms virtual", out.elapsed as f64 / 1e6);
+    println!(
+        "  {} processes, {} messages ({} words)",
+        out.stats.processes, out.stats.messages, out.stats.message_words
+    );
+
+    // ------------------------------------------------------------------
+    // 4. The trace diagram (the reproduction's EdenTV).
+    // ------------------------------------------------------------------
+    let tl = Timeline::from_tracer(&out.tracer);
+    println!("\nEden activity timeline:");
+    print!("{}", render_timeline(&tl, &RenderOptions { width: 90, color: false, legend: true }));
+}

@@ -1,0 +1,63 @@
+//! The paper's sumEuler experiment, interactively sized.
+//!
+//! Runs the Fig. 1 optimisation ladder (four GpH configurations plus
+//! Eden) and prints each configuration's runtime, GC count and an
+//! activity trace — Figs. 1 and 2 in one program.
+//!
+//! ```text
+//! cargo run --release --example sum_euler -- [n] [caps]
+//! # defaults: n = 15000 (the paper's size), caps = 8
+//! ```
+
+use rph::prelude::*;
+use rph::workloads::SumEuler;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: i64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(15_000);
+    let caps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    let workload = SumEuler::new(n).with_check();
+    let expect = workload.expected();
+    println!("sumEuler [1..{n}] on {caps} cores (with the sequential check phase)\n");
+
+    let mut table = TextTable::new(&["Program version and runtime system", "Runtime", "GCs"]);
+    let mut traces: Vec<(String, Tracer)> = Vec::new();
+
+    for (name, cfg) in GphConfig::fig1_ladder(caps) {
+        let m = workload.run_gph(cfg).expect("gph run");
+        assert_eq!(m.value, expect, "{name}: wrong answer");
+        let stats = m.gph_stats.as_ref().unwrap();
+        table.row(&[
+            name.to_string(),
+            format!("{:.2} sec.", m.elapsed as f64 / 1e9),
+            stats.gcs.to_string(),
+        ]);
+        traces.push((name.to_string(), m.tracer));
+    }
+    let m = workload.run_eden(EdenConfig::new(caps)).expect("eden run");
+    assert_eq!(m.value, expect, "eden: wrong answer");
+    table.row(&[
+        format!("Eden, {caps} PEs running under PVM"),
+        format!("{:.2} sec.", m.elapsed as f64 / 1e9),
+        m.eden_stats.as_ref().unwrap().local_gcs.to_string(),
+    ]);
+    traces.push(("Eden".to_string(), m.tracer));
+
+    println!("{}", table.render());
+
+    println!("Runtime traces (cf. the paper's Fig. 2; note the sequential");
+    println!("check at the end of each trace):\n");
+    for (name, tracer) in traces {
+        let tl = Timeline::from_tracer(&tracer);
+        println!("--- {name}");
+        print!("{}", render_timeline(&tl, &RenderOptions { width: 100, color: false, legend: false }));
+        let st = TraceStats::from_parts(&tracer, &tl);
+        println!(
+            "    running {:.0}%  gc {:.1}%  idle {:.1}%\n",
+            st.utilisation() * 100.0,
+            st.fraction(rph::trace::State::Gc) * 100.0,
+            st.fraction(rph::trace::State::Idle) * 100.0
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! # rph — parallel Haskell runtimes in Rust
+//!
+//! Umbrella crate of the reproduction of Berthold, Marlow, Hammond &
+//! Al Zain, *Comparing and Optimising Parallel Haskell Implementations
+//! for Multicore Machines* (ICPP 2009). See `rph_core` for the system
+//! layers and `rph_workloads` for the paper's three benchmark
+//! applications. The runnable figure/table reproductions live in the
+//! `rph-bench` crate (`cargo run -p rph-bench --release --bin <figN…>`).
+
+pub use rph_core as core;
+pub use rph_core::{compare, deque, eden, gph, heap, machine, prelude, sim, table, trace};
+pub use rph_workloads as workloads;

@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: whole workloads through both
+//! runtimes, trace invariants, determinism, and the paper's headline
+//! effects at test scale.
+
+use rph::prelude::*;
+use rph::workloads::{Apsp, MatMul, SumEuler};
+
+const SE_N: i64 = 400;
+
+#[test]
+fn sum_euler_all_five_versions_agree_with_oracle() {
+    let w = SumEuler::new(SE_N).with_chunk_size(25);
+    let expect = w.expected();
+    for (name, cfg) in GphConfig::fig1_ladder(8) {
+        let m = w.run_gph(cfg.without_trace()).unwrap();
+        assert_eq!(m.value, expect, "{name}");
+    }
+    let m = w.run_eden(EdenConfig::new(8).without_trace()).unwrap();
+    assert_eq!(m.value, expect, "eden");
+}
+
+#[test]
+fn sum_euler_parallel_beats_sequential_on_both_models() {
+    let w = SumEuler::new(SE_N).with_chunk_size(25);
+    let seq = w.run_seq();
+    assert_eq!(seq.value, w.expected());
+    let gph = w
+        .run_gph(
+            GphConfig::ghc69_plain(8)
+                .with_big_alloc_area()
+                .with_improved_gc_sync()
+                .with_work_stealing()
+                .without_trace(),
+        )
+        .unwrap();
+    let eden = w.run_eden(EdenConfig::new(8).without_trace()).unwrap();
+    assert!(gph.elapsed < seq.elapsed / 3, "gph {} vs seq {}", gph.elapsed, seq.elapsed);
+    assert!(eden.elapsed < seq.elapsed / 3, "eden {} vs seq {}", eden.elapsed, seq.elapsed);
+}
+
+#[test]
+fn matmul_both_models_match_oracle_including_oversubscription() {
+    let w = MatMul::new(48, 4);
+    let expect = w.expected();
+    let gph = w
+        .run_gph(GphConfig::ghc69_plain(4).with_work_stealing().without_trace())
+        .unwrap();
+    assert_eq!(gph.value, expect);
+    // 17 virtual PEs on 4 cores: oversubscribed Cannon.
+    let eden = w
+        .run_eden(EdenConfig::oversubscribed(17, 4).without_trace())
+        .unwrap();
+    assert_eq!(eden.value, expect);
+}
+
+#[test]
+fn apsp_both_models_match_oracle() {
+    let w = Apsp::new(40);
+    let expect = w.expected();
+    let gph = w
+        .run_gph(
+            GphConfig::ghc69_plain(4)
+                .with_work_stealing()
+                .with_eager_blackholing()
+                .without_trace(),
+        )
+        .unwrap();
+    assert_eq!(gph.value, expect);
+    let eden = w.run_eden(EdenConfig::new(4).without_trace()).unwrap();
+    assert_eq!(eden.value, expect);
+}
+
+#[test]
+fn traces_are_well_formed_for_all_workloads() {
+    let m = SumEuler::new(200).run_gph(GphConfig::ghc69_plain(4)).unwrap();
+    let tl = Timeline::from_tracer(&m.tracer);
+    tl.check_well_formed().unwrap();
+    assert!(tl.mean_fraction(rph::trace::State::Running) > 0.0);
+
+    let m = MatMul::new(24, 2).run_eden(EdenConfig::new(4)).unwrap();
+    let tl = Timeline::from_tracer(&m.tracer);
+    tl.check_well_formed().unwrap();
+    let counters = rph::trace::Counters::from_tracer(&m.tracer);
+    assert!(counters.messages_sent > 0);
+    assert_eq!(counters.processes_instantiated, 4);
+}
+
+#[test]
+fn whole_workload_runs_are_deterministic() {
+    let w = SumEuler::new(300).with_chunk_size(20);
+    let cfg = GphConfig::ghc69_plain(6).with_work_stealing();
+    let a = w.run_gph(cfg.clone()).unwrap();
+    let b = w.run_gph(cfg).unwrap();
+    assert_eq!(a.value, b.value);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.tracer.merged(), b.tracer.merged());
+
+    let a = w.run_eden(EdenConfig::new(6)).unwrap();
+    let b = w.run_eden(EdenConfig::new(6)).unwrap();
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.tracer.merged(), b.tracer.merged());
+}
+
+#[test]
+fn big_allocation_area_reduces_gcs_at_workload_level() {
+    let w = SumEuler::new(SE_N).with_chunk_size(25);
+    let small = w.run_gph(GphConfig::ghc69_plain(4).without_trace()).unwrap();
+    let big = w
+        .run_gph(GphConfig::ghc69_plain(4).with_big_alloc_area().without_trace())
+        .unwrap();
+    assert!(
+        big.gph_stats.as_ref().unwrap().gcs * 4 < small.gph_stats.as_ref().unwrap().gcs,
+        "expected far fewer GCs with the big area"
+    );
+}
+
+#[test]
+fn eden_gc_is_local_no_global_barrier() {
+    // One PE allocating heavily must not stop the others: total GC time
+    // summed across PEs stays far below elapsed × PEs.
+    let w = SumEuler::new(SE_N);
+    let m = w.run_eden(EdenConfig::new(4).without_trace()).unwrap();
+    let s = m.eden_stats.as_ref().unwrap();
+    assert!(s.local_gcs > 0);
+    assert!(
+        s.gc_time < m.elapsed * 4 / 2,
+        "local GC should not look like a global barrier"
+    );
+}
+
+#[test]
+fn check_phase_validates_parallel_result() {
+    let w = SumEuler::new(150).with_check();
+    let m = w
+        .run_gph(GphConfig::ghc69_plain(4).with_work_stealing().without_trace())
+        .unwrap();
+    // If the parallel and sequential results disagreed the program
+    // would return -1.
+    assert_eq!(m.value, w.expected());
+}
+
+#[test]
+fn spark_counters_are_consistent() {
+    let w = SumEuler::new(SE_N).with_chunk_size(10);
+    let m = w
+        .run_gph(GphConfig::ghc69_plain(8).with_work_stealing().without_trace())
+        .unwrap();
+    let s = m.gph_stats.as_ref().unwrap();
+    // Everything converted, fizzled, pushed or stolen never exceeds
+    // what was created.
+    assert!(
+        s.sparks_run_local + s.sparks_stolen + s.sparks_fizzled
+            <= s.sparks_created + s.sparks_pushed,
+        "spark bookkeeping out of balance: {s:?}"
+    );
+    assert!(s.sparks_created >= 40);
+}
