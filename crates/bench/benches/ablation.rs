@@ -15,10 +15,19 @@ fn bench(c: &mut Criterion) {
     let plain = GphConfig::ghc69_plain(CORES);
     let variants: Vec<(&str, GphConfig)> = vec![
         ("plain", plain.clone()),
-        ("only big allocation area", plain.clone().with_big_alloc_area()),
-        ("only improved GC sync", plain.clone().with_improved_gc_sync()),
+        (
+            "only big allocation area",
+            plain.clone().with_big_alloc_area(),
+        ),
+        (
+            "only improved GC sync",
+            plain.clone().with_improved_gc_sync(),
+        ),
         ("only work stealing", plain.clone().with_work_stealing()),
-        ("only eager black-holing", plain.clone().with_eager_blackholing()),
+        (
+            "only eager black-holing",
+            plain.clone().with_eager_blackholing(),
+        ),
     ];
     let mut g = c.benchmark_group("ablation_sumeuler");
     g.sample_size(10);

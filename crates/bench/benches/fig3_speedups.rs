@@ -16,64 +16,84 @@ fn virtual_time(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_speedups");
     g.sample_size(10);
     for cores in [1usize, 8, 16] {
-        g.bench_with_input(BenchmarkId::new("sumeuler_gph_steal", cores), &cores, |b, &cores| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let cfg = GphConfig::ghc69_plain(cores)
-                        .with_big_alloc_area()
-                        .with_improved_gc_sync()
-                        .with_work_stealing()
-                        .without_trace();
-                    let m = se.run_gph(cfg).expect("gph");
-                    assert_eq!(m.value, se_expect);
-                    total += Duration::from_nanos(m.elapsed);
-                }
-                total
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("sumeuler_eden", cores), &cores, |b, &cores| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let m = se.run_eden(EdenConfig::new(cores).without_trace()).expect("eden");
-                    assert_eq!(m.value, se_expect);
-                    total += Duration::from_nanos(m.elapsed);
-                }
-                total
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("matmul_gph_steal", cores), &cores, |b, &cores| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let cfg = GphConfig::ghc69_plain(cores)
-                        .with_big_alloc_area()
-                        .with_improved_gc_sync()
-                        .with_work_stealing()
-                        .without_trace();
-                    let m = mm.run_gph(cfg).expect("gph");
-                    assert_eq!(m.value, mm_expect);
-                    total += Duration::from_nanos(m.elapsed);
-                }
-                total
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("matmul_eden_cannon", cores), &cores, |b, &cores| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let g2 = ((cores as f64).sqrt().ceil() as usize).clamp(1, 4);
-                    let w = MatMul::new(240, g2);
-                    let m = w
-                        .run_eden(EdenConfig::oversubscribed(g2 * g2 + 1, cores).without_trace())
-                        .expect("eden");
-                    assert_eq!(m.value, w.expected());
-                    total += Duration::from_nanos(m.elapsed);
-                }
-                total
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sumeuler_gph_steal", cores),
+            &cores,
+            |b, &cores| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let cfg = GphConfig::ghc69_plain(cores)
+                            .with_big_alloc_area()
+                            .with_improved_gc_sync()
+                            .with_work_stealing()
+                            .without_trace();
+                        let m = se.run_gph(cfg).expect("gph");
+                        assert_eq!(m.value, se_expect);
+                        total += Duration::from_nanos(m.elapsed);
+                    }
+                    total
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sumeuler_eden", cores),
+            &cores,
+            |b, &cores| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let m = se
+                            .run_eden(EdenConfig::new(cores).without_trace())
+                            .expect("eden");
+                        assert_eq!(m.value, se_expect);
+                        total += Duration::from_nanos(m.elapsed);
+                    }
+                    total
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("matmul_gph_steal", cores),
+            &cores,
+            |b, &cores| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let cfg = GphConfig::ghc69_plain(cores)
+                            .with_big_alloc_area()
+                            .with_improved_gc_sync()
+                            .with_work_stealing()
+                            .without_trace();
+                        let m = mm.run_gph(cfg).expect("gph");
+                        assert_eq!(m.value, mm_expect);
+                        total += Duration::from_nanos(m.elapsed);
+                    }
+                    total
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("matmul_eden_cannon", cores),
+            &cores,
+            |b, &cores| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let g2 = ((cores as f64).sqrt().ceil() as usize).clamp(1, 4);
+                        let w = MatMul::new(240, g2);
+                        let m = w
+                            .run_eden(
+                                EdenConfig::oversubscribed(g2 * g2 + 1, cores).without_trace(),
+                            )
+                            .expect("eden");
+                        assert_eq!(m.value, w.expected());
+                        total += Duration::from_nanos(m.elapsed);
+                    }
+                    total
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -31,19 +31,22 @@ fn bench(c: &mut Criterion) {
     for (grid, pes) in [(3usize, 9usize), (4, 17)] {
         let w = MatMul::new(N, grid);
         let we = w.expected();
-        g.bench_function(format!("Eden Cannon {grid}x{grid} on {pes} virtual PEs"), move |b| {
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    let m = w
-                        .run_eden(EdenConfig::oversubscribed(pes, CORES).without_trace())
-                        .expect("eden");
-                    assert_eq!(m.value, we);
-                    total += Duration::from_nanos(m.elapsed);
-                }
-                total
-            })
-        });
+        g.bench_function(
+            format!("Eden Cannon {grid}x{grid} on {pes} virtual PEs"),
+            move |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let m = w
+                            .run_eden(EdenConfig::oversubscribed(pes, CORES).without_trace())
+                            .expect("eden");
+                        assert_eq!(m.value, we);
+                        total += Duration::from_nanos(m.elapsed);
+                    }
+                    total
+                })
+            },
+        );
     }
     g.finish();
 }

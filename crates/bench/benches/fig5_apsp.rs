@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
         ("GpH lazy BH, push", BlackHoling::Lazy, SparkPolicy::Push),
         ("GpH lazy BH, steal", BlackHoling::Lazy, SparkPolicy::Steal),
         ("GpH eager BH, push", BlackHoling::Eager, SparkPolicy::Push),
-        ("GpH eager BH, steal", BlackHoling::Eager, SparkPolicy::Steal),
+        (
+            "GpH eager BH, steal",
+            BlackHoling::Eager,
+            SparkPolicy::Steal,
+        ),
     ];
     for (label, bh, policy) in variants {
         let w = w.clone();
@@ -48,7 +52,9 @@ fn bench(c: &mut Criterion) {
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for _ in 0..iters {
-                let m = w2.run_eden(EdenConfig::new(CORES).without_trace()).expect("eden");
+                let m = w2
+                    .run_eden(EdenConfig::new(CORES).without_trace())
+                    .expect("eden");
                 assert_eq!(m.value, expect);
                 total += Duration::from_nanos(m.elapsed);
             }

@@ -28,13 +28,28 @@ fn main() {
         ("gc_sync_per_cap_original", |c, f| {
             c.gc_sync_per_cap_original = scale(c.gc_sync_per_cap_original, f)
         }),
-        ("steal_attempt", |c, f| c.steal_attempt = scale(c.steal_attempt, f)),
+        ("steal_attempt", |c, f| {
+            c.steal_attempt = scale(c.steal_attempt, f)
+        }),
         ("ctx_switch", |c, f| c.ctx_switch = scale(c.ctx_switch, f)),
-        ("msg_latency", |c, f| c.msg_latency = scale(c.msg_latency, f)),
-        ("thread_create", |c, f| c.thread_create = scale(c.thread_create, f)),
+        ("msg_latency", |c, f| {
+            c.msg_latency = scale(c.msg_latency, f)
+        }),
+        ("thread_create", |c, f| {
+            c.thread_create = scale(c.thread_create, f)
+        }),
     ];
 
-    let mut table = TextTable::new(&["perturbation", "plain", "+area", "+sync", "+steal", "Eden", "ladder monotone", "Eden within 25% of best GpH"]);
+    let mut table = TextTable::new(&[
+        "perturbation",
+        "plain",
+        "+area",
+        "+sync",
+        "+steal",
+        "Eden",
+        "ladder monotone",
+        "Eden within 25% of best GpH",
+    ]);
     let mut all_hold = true;
     let mut scenarios: Vec<(String, Costs)> = vec![("baseline".into(), Costs::default())];
     for (name, apply) in &knobs {
@@ -75,7 +90,10 @@ fn main() {
     }
     let rendered = table.render();
     println!("{rendered}");
-    println!("all shape checks hold under every perturbation: {}", yes(all_hold));
+    println!(
+        "all shape checks hold under every perturbation: {}",
+        yes(all_hold)
+    );
     write_artifact("ablation_costs.csv", &table.to_csv());
 }
 
@@ -84,5 +102,9 @@ fn scale(x: u64, f: f64) -> u64 {
 }
 
 fn yes(b: bool) -> &'static str {
-    if b { "YES" } else { "NO" }
+    if b {
+        "YES"
+    } else {
+        "NO"
+    }
 }

@@ -35,13 +35,41 @@ fn main() {
 
     // --- each optimisation alone, from plain ------------------------
     let plain = GphConfig::ghc69_plain(caps);
-    let base = w.run_gph(plain.clone().without_trace()).expect("plain").elapsed;
-    let mut t1 = TextTable::new(&["single change from plain GHC-6.9", "runtime", "vs plain", "GCs"]);
+    let base = w
+        .run_gph(plain.clone().without_trace())
+        .expect("plain")
+        .elapsed;
+    let mut t1 = TextTable::new(&[
+        "single change from plain GHC-6.9",
+        "runtime",
+        "vs plain",
+        "GCs",
+    ]);
     t1.row(&["(plain)".into(), secs(base), "+0.0%".into(), "".into()]);
-    run("only big allocation area", plain.clone().with_big_alloc_area(), &mut t1, base);
-    run("only improved GC synchronisation", plain.clone().with_improved_gc_sync(), &mut t1, base);
-    run("only work stealing (+spark thread)", plain.clone().with_work_stealing(), &mut t1, base);
-    run("only eager black-holing", plain.clone().with_eager_blackholing(), &mut t1, base);
+    run(
+        "only big allocation area",
+        plain.clone().with_big_alloc_area(),
+        &mut t1,
+        base,
+    );
+    run(
+        "only improved GC synchronisation",
+        plain.clone().with_improved_gc_sync(),
+        &mut t1,
+        base,
+    );
+    run(
+        "only work stealing (+spark thread)",
+        plain.clone().with_work_stealing(),
+        &mut t1,
+        base,
+    );
+    run(
+        "only eager black-holing",
+        plain.clone().with_eager_blackholing(),
+        &mut t1,
+        base,
+    );
     {
         let mut c = plain.clone();
         c.spark_exec = SparkExec::SparkThread;
@@ -54,9 +82,22 @@ fn main() {
         .with_big_alloc_area()
         .with_improved_gc_sync()
         .with_work_stealing();
-    let fbase = w.run_gph(full.clone().without_trace()).expect("full").elapsed;
-    let mut t2 = TextTable::new(&["single removal from fully optimised", "runtime", "vs full", "GCs"]);
-    t2.row(&["(fully optimised)".into(), secs(fbase), "+0.0%".into(), "".into()]);
+    let fbase = w
+        .run_gph(full.clone().without_trace())
+        .expect("full")
+        .elapsed;
+    let mut t2 = TextTable::new(&[
+        "single removal from fully optimised",
+        "runtime",
+        "vs full",
+        "GCs",
+    ]);
+    t2.row(&[
+        "(fully optimised)".into(),
+        secs(fbase),
+        "+0.0%".into(),
+        "".into(),
+    ]);
     {
         let mut c = full.clone();
         c.alloc_area_words = rph_core::heap::AllocArea::DEFAULT_AREA_WORDS;
@@ -78,5 +119,8 @@ fn main() {
         run("thread per spark again", c, &mut t2, fbase);
     }
     println!("{}", t2.render());
-    write_artifact("ablation_ladder.txt", &format!("{}\n{}", t1.render(), t2.render()));
+    write_artifact(
+        "ablation_ladder.txt",
+        &format!("{}\n{}", t1.render(), t2.render()),
+    );
 }

@@ -22,7 +22,9 @@ fn main() {
 
     let mut table = TextTable::new(&["decomposition", "runtime", "messages", "notes"]);
 
-    let m = w.run_eden_contiguous(EdenConfig::new(caps).without_trace()).expect("contiguous");
+    let m = w
+        .run_eden_contiguous(EdenConfig::new(caps).without_trace())
+        .expect("contiguous");
     check(&m, expected, "contiguous");
     table.row(&[
         "Eden, contiguous splitIntoN".into(),
@@ -31,7 +33,9 @@ fn main() {
         "last PE gets the heaviest k's".into(),
     ]);
 
-    let m = w.run_eden(EdenConfig::new(caps).without_trace()).expect("striped");
+    let m = w
+        .run_eden(EdenConfig::new(caps).without_trace())
+        .expect("striped");
     check(&m, expected, "striped");
     table.row(&[
         "Eden, round-robin stripes (unshuffle)".into(),

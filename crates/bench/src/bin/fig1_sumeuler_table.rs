@@ -16,7 +16,12 @@ fn main() {
     let expected = w.expected();
     println!("Fig. 1 — sumEuler [1..{n}] on {caps} cores (paper: 2.75 / 2.58 / 2.44 / 2.30 / 2.24 sec.)\n");
 
-    let mut table = TextTable::new(&["Program version and runtime system", "Runtime", "GCs", "sparks stolen/pushed"]);
+    let mut table = TextTable::new(&[
+        "Program version and runtime system",
+        "Runtime",
+        "GCs",
+        "sparks stolen/pushed",
+    ]);
     let mut prev = u64::MAX;
     let mut ladder_monotone = true;
     for version in five_versions(caps) {
@@ -25,7 +30,11 @@ fn main() {
                 let m = w.run_gph(cfg.clone().without_trace()).expect("gph run");
                 check(&m, expected, version.label());
                 let s = m.gph_stats.unwrap();
-                (m.elapsed, s.gcs, format!("{}/{}", s.sparks_stolen, s.sparks_pushed))
+                (
+                    m.elapsed,
+                    s.gcs,
+                    format!("{}/{}", s.sparks_stolen, s.sparks_pushed),
+                )
             }
             Version::Eden(_, cfg) => {
                 let m = w.run_eden(cfg.clone().without_trace()).expect("eden run");
@@ -37,7 +46,12 @@ fn main() {
             ladder_monotone = false;
         }
         prev = elapsed;
-        table.row(&[version.label().to_string(), secs(elapsed), gcs.to_string(), dist]);
+        table.row(&[
+            version.label().to_string(),
+            secs(elapsed),
+            gcs.to_string(),
+            dist,
+        ]);
     }
     let rendered = table.render();
     println!("{rendered}");

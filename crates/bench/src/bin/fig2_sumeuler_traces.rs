@@ -20,7 +20,11 @@ fn main() {
     println!("Fig. 2 — sumEuler [1..{n}] runtime traces, {caps} capabilities");
     println!("(every version re-checks the result sequentially at the end)\n");
 
-    let opts = RenderOptions { width: 110, color, legend: false };
+    let opts = RenderOptions {
+        width: 110,
+        color,
+        legend: false,
+    };
     let mut csv_all = String::from("version,cap,start,end,state\n");
     for (tag, version) in ["a", "b", "c", "d", "e"].iter().zip(five_versions(caps)) {
         let (elapsed, tracer) = match &version {

@@ -1,0 +1,140 @@
+//! Native (wall-clock) analogue of Fig. 3: the same decompositions the
+//! simulator sweeps, run on real OS threads through the Chase–Lev
+//! work-stealing executor, both distribution policies (§IV.A.2's
+//! push-vs-steal axis).
+//!
+//! Speedups are relative (each policy against its own one-worker
+//! time), like the paper's figures. On a single-core host every
+//! speedup column reads ≈1.00 — the executor still runs all tasks,
+//! there is just no parallelism to win; run on a multicore machine for
+//! the real curves.
+//!
+//! ```text
+//! cargo run -p rph-bench --release --bin fig3_native_speedup [--quick]
+//! ```
+
+use rph_bench::*;
+use rph_core::prelude::*;
+use rph_native::{Distribution, NativeConfig};
+use rph_workloads::{Apsp, MatMul, NQueens, NativeMeasured, SumEuler};
+use std::time::Duration;
+
+/// Worker counts swept (the host caps real parallelism, not the sweep).
+fn worker_sweep() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Repetitions per point; the minimum wall time is reported.
+const REPS: usize = 3;
+
+struct Point {
+    workers: usize,
+    steal: Duration,
+    push: Duration,
+}
+
+fn measure(name: &str, expected: i64, run: impl Fn(&NativeConfig) -> NativeMeasured) -> Vec<Point> {
+    let mut points = Vec::new();
+    for workers in worker_sweep() {
+        let mut best = [Duration::MAX; 2];
+        for (slot, mode) in [Distribution::Steal, Distribution::Push].iter().enumerate() {
+            let cfg = NativeConfig {
+                workers,
+                mode: *mode,
+                deque_cap: 256,
+            };
+            for _ in 0..REPS {
+                let m = run(&cfg);
+                assert_eq!(m.value, expected, "{name}: wrong result — reproduction bug");
+                best[slot] = best[slot].min(m.wall);
+            }
+        }
+        points.push(Point {
+            workers,
+            steal: best[0],
+            push: best[1],
+        });
+    }
+    points
+}
+
+fn report(name: &str, points: &[Point]) -> String {
+    let base_steal = points[0].steal.as_secs_f64();
+    let base_push = points[0].push.as_secs_f64();
+    let mut table = TextTable::new(&[
+        "workers",
+        "steal ms",
+        "steal speedup",
+        "push ms",
+        "push speedup",
+    ]);
+    for p in points {
+        table.row(&[
+            p.workers.to_string(),
+            format!("{:.2}", p.steal.as_secs_f64() * 1e3),
+            format!("{:.2}", base_steal / p.steal.as_secs_f64()),
+            format!("{:.2}", p.push.as_secs_f64() * 1e3),
+            format!("{:.2}", base_push / p.push.as_secs_f64()),
+        ]);
+    }
+    println!("{name}");
+    let rendered = table.render();
+    println!("{rendered}");
+    table.to_csv()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "Native wall-clock speedups on this host ({cores} core{}), {REPS} reps, best-of\n",
+        if cores == 1 { "" } else { "s" }
+    );
+    if cores < 4 {
+        println!(
+            "note: fewer than 4 cores available — expect flat speedup curves;\n\
+             the >1.5x @ 4 workers target applies on a multicore host\n"
+        );
+    }
+
+    let mut csv = String::new();
+
+    let n = if quick() { 1_500 } else { 6_000 };
+    let se = SumEuler::new(n);
+    let points = measure(
+        &format!("sumEuler [1..{n}] (uncached totients)"),
+        se.expected(),
+        |cfg| se.run_native(cfg),
+    );
+    csv.push_str(&report(&format!("sumEuler [1..{n}]"), &points));
+
+    let (mn, grid) = if quick() { (240, 6) } else { (480, 8) };
+    let mm = MatMul::new(mn, grid);
+    let points = measure(
+        &format!("matmul {mn}x{mn}, {grid}x{grid} blocks"),
+        mm.expected(),
+        |cfg| mm.run_native(cfg),
+    );
+    csv.push_str(&report(&format!("matmul {mn}x{mn}"), &points));
+
+    let an = if quick() { 96 } else { 256 };
+    let ap = Apsp::new(an);
+    let points = measure(
+        &format!("apsp {an} nodes (pivot waves)"),
+        ap.expected(),
+        |cfg| ap.run_native(cfg),
+    );
+    csv.push_str(&report(&format!("apsp {an} nodes"), &points));
+
+    let (qn, depth) = if quick() { (11, 3) } else { (13, 4) };
+    let nq = NQueens::new(qn).with_spawn_depth(depth);
+    let points = measure(
+        &format!("nqueens {qn} (spawn depth {depth})"),
+        nq.expected(),
+        |cfg| nq.run_native(cfg),
+    );
+    csv.push_str(&report(&format!("nqueens {qn}"), &points));
+
+    write_artifact("fig3_native_speedup.csv", &csv);
+}

@@ -18,7 +18,10 @@ fn main() {
     let cores = sweep_cores();
     let w = MatMul::new(n, 10);
     let expected = w.expected();
-    println!("Fig. 3 right — {n}×{n} matrix multiplication relative speedups, 1–{} cores\n", AMD_CORES);
+    println!(
+        "Fig. 3 right — {n}×{n} matrix multiplication relative speedups, 1–{} cores\n",
+        AMD_CORES
+    );
 
     let mut series: Vec<SpeedupSeries> = Vec::new();
     for version in five_versions(AMD_CORES) {

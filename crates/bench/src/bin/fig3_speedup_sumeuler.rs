@@ -17,7 +17,10 @@ fn main() {
     let cores = sweep_cores();
     let w = SumEuler::new(n);
     let expected = w.expected();
-    println!("Fig. 3 left — sumEuler [1..{n}] relative speedups, 1–{} cores\n", AMD_CORES);
+    println!(
+        "Fig. 3 left — sumEuler [1..{n}] relative speedups, 1–{} cores\n",
+        AMD_CORES
+    );
 
     let mut series: Vec<SpeedupSeries> = Vec::new();
     for version in five_versions(AMD_CORES) {
@@ -31,7 +34,9 @@ fn main() {
                 m.elapsed
             }
             Version::Eden(..) => {
-                let m = w.run_eden(EdenConfig::new(c).without_trace()).expect("eden run");
+                let m = w
+                    .run_eden(EdenConfig::new(c).without_trace())
+                    .expect("eden run");
                 check(&m, expected, &label);
                 m.elapsed
             }

@@ -17,7 +17,11 @@ fn main() {
     let cores = INTEL_CORES;
     let color = std::env::args().any(|a| a == "--color");
     println!("Fig. 4 — {n}×{n} matrix multiplication traces, {cores} cores\n");
-    let opts = RenderOptions { width: 110, color, legend: false };
+    let opts = RenderOptions {
+        width: 110,
+        color,
+        legend: false,
+    };
 
     let gph_w = MatMul::new(n, 10);
     let expected = gph_w.expected();
@@ -33,7 +37,11 @@ fn main() {
         run: Box::new(move || w.run_gph(cfg.clone()).expect("gph")),
     };
     let mut cfgs = vec![
-        mk_gph("GpH, unmodified GHC", GphConfig::ghc69_plain(cores), gph_w.clone()),
+        mk_gph(
+            "GpH, unmodified GHC",
+            GphConfig::ghc69_plain(cores),
+            gph_w.clone(),
+        ),
         mk_gph(
             "GpH, big allocation area",
             GphConfig::ghc69_plain(cores).with_big_alloc_area(),
@@ -88,9 +96,18 @@ fn main() {
     let eden9 = times[3].1;
     let eden17 = times[4].1;
     println!("shape checks:");
-    println!("  big allocation area beats plain:            {}", yes(big < plain));
-    println!("  work stealing is the best GpH:               {}", yes(steal <= big));
-    println!("  Eden 17 virtual PEs beats 9 virtual PEs:     {}", yes(eden17 < eden9));
+    println!(
+        "  big allocation area beats plain:            {}",
+        yes(big < plain)
+    );
+    println!(
+        "  work stealing is the best GpH:               {}",
+        yes(steal <= big)
+    );
+    println!(
+        "  Eden 17 virtual PEs beats 9 virtual PEs:     {}",
+        yes(eden17 < eden9)
+    );
 
     let mut csv = String::from("config,elapsed_units\n");
     for (l, t) in &times {
@@ -100,5 +117,9 @@ fn main() {
 }
 
 fn yes(b: bool) -> &'static str {
-    if b { "YES" } else { "NO" }
+    if b {
+        "YES"
+    } else {
+        "NO"
+    }
 }

@@ -20,7 +20,10 @@ fn main() {
     let cores = sweep_cores();
     let w = Apsp::new(n);
     let expected = w.expected();
-    println!("Fig. 5 — shortest paths ({n} nodes) relative speedups, 1–{} cores\n", AMD_CORES);
+    println!(
+        "Fig. 5 — shortest paths ({n} nodes) relative speedups, 1–{} cores\n",
+        AMD_CORES
+    );
 
     let gph_cfg = |c: usize, bh: BlackHoling, policy: SparkPolicy| {
         let mut cfg = GphConfig::ghc69_plain(c)
@@ -37,9 +40,17 @@ fn main() {
 
     let gph_versions = [
         ("GpH lazy BH, push", BlackHoling::Lazy, SparkPolicy::Push),
-        ("GpH lazy BH, work stealing", BlackHoling::Lazy, SparkPolicy::Steal),
+        (
+            "GpH lazy BH, work stealing",
+            BlackHoling::Lazy,
+            SparkPolicy::Steal,
+        ),
         ("GpH eager BH, push", BlackHoling::Eager, SparkPolicy::Push),
-        ("GpH eager BH, work stealing", BlackHoling::Eager, SparkPolicy::Steal),
+        (
+            "GpH eager BH, work stealing",
+            BlackHoling::Eager,
+            SparkPolicy::Steal,
+        ),
     ];
 
     let mut series: Vec<SpeedupSeries> = Vec::new();
@@ -51,7 +62,9 @@ fn main() {
         }));
     }
     series.push(SpeedupSeries::measure("Eden ring", &cores, |c| {
-        let m = w.run_eden(EdenConfig::new(c).without_trace()).expect("eden run");
+        let m = w
+            .run_eden(EdenConfig::new(c).without_trace())
+            .expect("eden run");
         check(&m, expected, "Eden ring");
         m.elapsed
     }));
@@ -64,7 +77,10 @@ fn main() {
         let mut row = vec![c.to_string()];
         for s in &series {
             let base = s.one_core().expect("1-core point");
-            row.push(format!("{:.2}", rph_core::compare::relative_speedup(base, s.at(c).unwrap())));
+            row.push(format!(
+                "{:.2}",
+                rph_core::compare::relative_speedup(base, s.at(c).unwrap())
+            ));
         }
         table.row(&row);
     }
@@ -102,5 +118,9 @@ fn main() {
 }
 
 fn yes(b: bool) -> &'static str {
-    if b { "YES" } else { "NO" }
+    if b {
+        "YES"
+    } else {
+        "NO"
+    }
 }

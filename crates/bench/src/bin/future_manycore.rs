@@ -45,7 +45,9 @@ fn main() {
             .run_gph(stw_cfg.with_semi_distributed_heap(8))
             .expect("semi");
         check(&semi, expected, "semi");
-        let eden = w.run_eden(EdenConfig::new(cores).without_trace()).expect("eden");
+        let eden = w
+            .run_eden(EdenConfig::new(cores).without_trace())
+            .expect("eden");
         check(&eden, expected, "eden");
         table.row(&[
             cores.to_string(),

@@ -12,6 +12,7 @@
 //! | Fig. 5 — shortest-paths speedups | `fig5_speedup_apsp` |
 //! | §IV ablations — each optimisation in isolation | `ablation_ladder` |
 //! | cost-model robustness | `ablation_costs` |
+//! | native wall-clock speedups (real threads) | `fig3_native_speedup` |
 //!
 //! Every binary accepts `--quick` for a reduced problem size (used by
 //! CI and the criterion benches) and writes machine-readable CSV next
@@ -31,8 +32,7 @@ use std::path::PathBuf;
 
 /// The per-figure output directory (`target/paper-figures`).
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/paper-figures");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-figures");
     std::fs::create_dir_all(&dir).expect("create figure output dir");
     dir
 }
@@ -61,23 +61,39 @@ pub fn sweep_cores() -> Vec<usize> {
 
 /// sumEuler problem size (Fig. 1/2/3: `[1..15000]`).
 pub fn sum_euler_n() -> i64 {
-    if quick() { 2_000 } else { 15_000 }
+    if quick() {
+        2_000
+    } else {
+        15_000
+    }
 }
 
 /// Matrix size for the Fig. 4 traces (paper: 1000×1000).
 pub fn matmul_traces_n() -> usize {
-    if quick() { 240 } else { 960 }
+    if quick() {
+        240
+    } else {
+        960
+    }
 }
 
 /// Matrix size for the Fig. 3 speedups (paper: 2000×2000; the default
 /// here is reduced — pass nothing for 960, which preserves the shape).
 pub fn matmul_speedup_n() -> usize {
-    if quick() { 240 } else { 960 }
+    if quick() {
+        240
+    } else {
+        960
+    }
 }
 
 /// APSP graph size (Fig. 5: 400 nodes).
 pub fn apsp_n() -> usize {
-    if quick() { 96 } else { 400 }
+    if quick() {
+        96
+    } else {
+        400
+    }
 }
 
 /// Label + configuration for the four GpH ladder versions plus Eden —

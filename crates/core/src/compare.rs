@@ -41,7 +41,10 @@ impl SpeedupSeries {
 
     /// The elapsed time at a given core count.
     pub fn at(&self, cores: usize) -> Option<Time> {
-        self.points.iter().find(|(c, _)| *c == cores).map(|&(_, t)| t)
+        self.points
+            .iter()
+            .find(|(c, _)| *c == cores)
+            .map(|&(_, t)| t)
     }
 }
 

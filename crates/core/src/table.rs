@@ -12,7 +12,10 @@ pub struct TextTable {
 
 impl TextTable {
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header width).

@@ -1,7 +1,8 @@
 //! Real-wall-time microbenchmarks of the Chase–Lev deque (the one data
 //! structure in this reproduction measured in *host* time, since it is
 //! real lock-free code): owner-only throughput and a contended
-//! owner+thief scenario, with crossbeam-deque as the reference point.
+//! owner+thief scenario, with a plain mutex-guarded `VecDeque` as the
+//! locking reference point.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rph_deque::chase_lev::{self, Steal};
@@ -28,14 +29,14 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    g.bench_function("owner_push_pop/crossbeam", |b| {
+    g.bench_function("owner_push_pop/mutex_vecdeque", |b| {
         b.iter(|| {
-            let w = crossbeam::deque::Worker::new_lifo();
+            let w = std::sync::Mutex::new(std::collections::VecDeque::new());
             for i in 0..OPS {
-                w.push(i);
+                w.lock().unwrap().push_back(i);
             }
             let mut sum = 0u64;
-            while let Some(v) = w.pop() {
+            while let Some(v) = w.lock().unwrap().pop_back() {
                 sum += v;
             }
             assert_eq!(sum, OPS * (OPS - 1) / 2);

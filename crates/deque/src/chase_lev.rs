@@ -85,7 +85,7 @@ struct Inner {
     bottom: AtomicI64,
     buffer: AtomicPtr<Buffer>,
     /// Buffers replaced by growth; freed when the last handle drops.
-    retired: parking_lot::Mutex<Vec<*mut Buffer>>,
+    retired: std::sync::Mutex<Vec<*mut Buffer>>,
 }
 
 // SAFETY: all shared access to `buffer`/slots is via atomics; `retired`
@@ -100,7 +100,7 @@ impl Drop for Inner {
         // `Box::into_raw` and is freed exactly once here.
         unsafe {
             drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
-            for p in self.retired.lock().drain(..) {
+            for p in self.retired.get_mut().expect("unpoisoned").drain(..) {
                 drop(Box::from_raw(p));
             }
         }
@@ -130,7 +130,10 @@ unsafe impl<T: Word + Send> Sync for Stealer<T> {}
 
 impl<T: Word> Clone for Stealer<T> {
     fn clone(&self) -> Self {
-        Stealer { inner: Arc::clone(&self.inner), _elem: PhantomData }
+        Stealer {
+            inner: Arc::clone(&self.inner),
+            _elem: PhantomData,
+        }
     }
 }
 
@@ -142,11 +145,18 @@ pub fn new<T: Word>(initial_cap: usize) -> (Worker<T>, Stealer<T>) {
         top: AtomicI64::new(0),
         bottom: AtomicI64::new(0),
         buffer: AtomicPtr::new(Box::into_raw(Buffer::new(cap))),
-        retired: parking_lot::Mutex::new(Vec::new()),
+        retired: std::sync::Mutex::new(Vec::new()),
     });
     (
-        Worker { inner: Arc::clone(&inner), _not_sync: PhantomData, _elem: PhantomData },
-        Stealer { inner, _elem: PhantomData },
+        Worker {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+            _elem: PhantomData,
+        },
+        Stealer {
+            inner,
+            _elem: PhantomData,
+        },
     )
 }
 
@@ -202,6 +212,16 @@ impl<T: Word> Worker<T> {
         }
     }
 
+    /// Bulk-seed the deque (owner end), oldest first: after
+    /// `push_iter([a, b, c])`, a thief steals `a` first and the owner
+    /// pops `c` first. Used by the native executor to deal the initial
+    /// task set before the workers start.
+    pub fn push_iter(&self, values: impl IntoIterator<Item = T>) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
     /// Number of elements currently in the deque (approximate under
     /// concurrent steals; exact when quiescent).
     pub fn len(&self) -> usize {
@@ -217,7 +237,10 @@ impl<T: Word> Worker<T> {
 
     /// A new stealer handle for this deque.
     pub fn stealer(&self) -> Stealer<T> {
-        Stealer { inner: Arc::clone(&self.inner), _elem: PhantomData }
+        Stealer {
+            inner: Arc::clone(&self.inner),
+            _elem: PhantomData,
+        }
     }
 
     /// Grow the buffer to twice its size, copying live elements.
@@ -229,7 +252,7 @@ impl<T: Word> Worker<T> {
         }
         let new_ptr = Box::into_raw(new);
         let old_ptr = self.inner.buffer.swap(new_ptr, Ordering::Release);
-        self.inner.retired.lock().push(old_ptr);
+        self.inner.retired.lock().expect("unpoisoned").push(old_ptr);
         // SAFETY: just created, freed only at Inner::drop.
         unsafe { &*new_ptr }
     }

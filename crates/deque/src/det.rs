@@ -22,7 +22,11 @@ impl<T> DetDeque<T> {
     /// pool size is 4096 entries per capability).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "spark pool capacity must be positive");
-        DetDeque { items: VecDeque::new(), capacity, overflowed: 0 }
+        DetDeque {
+            items: VecDeque::new(),
+            capacity,
+            overflowed: 0,
+        }
     }
 
     /// Push at the bottom (owner end). Returns `false` and drops the

@@ -106,38 +106,36 @@ proptest! {
     }
 }
 
-/// Cross-check against crossbeam's battle-tested implementation on a
-/// random interleaving script (single-threaded semantics must agree).
+/// Cross-check against a reference double-ended queue on a long fixed
+/// pseudo-random interleaving script (single-threaded semantics must
+/// agree step-for-step: owner at the back, thief at the front).
 #[test]
-fn agrees_with_crossbeam_deque() {
-    use crossbeam::deque as cb;
+fn agrees_with_model_on_long_script() {
     let (w, s) = chase_lev::new::<u64>(4);
-    let cw = cb::Worker::new_lifo();
-    let cs = cw.stealer();
+    let mut model: VecDeque<u64> = VecDeque::new();
     let mut x = 0u64;
     for step in 0..20_000u64 {
-        match (step * 2654435761) % 5 {
+        match (step.wrapping_mul(2654435761)) % 5 {
             0..=2 => {
                 w.push(x);
-                cw.push(x);
+                model.push_back(x);
                 x += 1;
             }
             3 => {
                 let a = w.pop();
-                let b = cw.pop();
+                let b = model.pop_back();
                 assert_eq!(a, b, "pop divergence at step {step}");
             }
             _ => {
                 let a = match s.steal() {
                     Steal::Success(v) => Some(v),
-                    _ => None,
+                    Steal::Empty => None,
+                    Steal::Retry => unreachable!("no contention single-threaded"),
                 };
-                let b = match cs.steal() {
-                    cb::Steal::Success(v) => Some(v),
-                    _ => None,
-                };
+                let b = model.pop_front();
                 assert_eq!(a, b, "steal divergence at step {step}");
             }
         }
+        assert_eq!(w.len(), model.len(), "len divergence at step {step}");
     }
 }

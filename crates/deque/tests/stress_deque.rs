@@ -1,0 +1,99 @@
+//! Multi-thread stress tests for the Chase–Lev deque: one owner
+//! pushing and popping against many concurrent stealers, asserting
+//! conservation — every pushed value leaves the deque exactly once.
+//!
+//! These run in debug CI too, but are sized so `cargo test --release`
+//! exercises real contention (millions of operations, every `Retry`
+//! path taken).
+
+use rph_deque::chase_lev::{self, Steal};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Owner pushes `n` distinct values while `stealers` thieves drain the
+/// FIFO end and the owner drains the LIFO end; the sum of everything
+/// popped plus everything stolen must equal the sum pushed, and the
+/// count must match (nothing lost, nothing duplicated).
+fn stress(n: u64, stealers: usize, cap: usize) {
+    let (worker, stealer) = chase_lev::new::<u64>(cap);
+    let done = AtomicBool::new(false);
+    let stolen_sum = AtomicU64::new(0);
+    let stolen_count = AtomicU64::new(0);
+
+    let (owner_sum, owner_count) = std::thread::scope(|scope| {
+        for _ in 0..stealers {
+            let stealer = stealer.clone();
+            let done = &done;
+            let stolen_sum = &stolen_sum;
+            let stolen_count = &stolen_count;
+            scope.spawn(move || loop {
+                match stealer.steal() {
+                    Steal::Success(v) => {
+                        stolen_sum.fetch_add(v, Ordering::Relaxed);
+                        stolen_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+
+        // The owner interleaves pushes with occasional pops, like a
+        // worker converting its own sparks while being robbed.
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for v in 1..=n {
+            worker.push(v);
+            if v % 3 == 0 {
+                if let Some(x) = worker.pop() {
+                    sum += x;
+                    count += 1;
+                }
+            }
+        }
+        // Drain whatever the thieves left behind.
+        while let Some(x) = worker.pop() {
+            sum += x;
+            count += 1;
+        }
+        done.store(true, Ordering::Release);
+        (sum, count)
+    });
+
+    let total_sum = owner_sum + stolen_sum.load(Ordering::Relaxed);
+    let total_count = owner_count + stolen_count.load(Ordering::Relaxed);
+    assert_eq!(
+        total_count, n,
+        "every value must leave the deque exactly once"
+    );
+    assert_eq!(total_sum, n * (n + 1) / 2, "checksum conservation");
+}
+
+#[test]
+fn one_owner_one_stealer() {
+    stress(200_000, 1, 64);
+}
+
+#[test]
+fn one_owner_many_stealers() {
+    stress(200_000, 7, 64);
+}
+
+#[test]
+fn tiny_initial_capacity_forces_growth_under_contention() {
+    stress(100_000, 4, 2);
+}
+
+#[test]
+fn repeated_small_rounds_hit_the_empty_races() {
+    // Many short rounds: the interesting interleavings (steal vs pop on
+    // the last element) happen near empty, so run the near-empty regime
+    // over and over.
+    for round in 0..50 {
+        stress(500 + round * 37, 3, 8);
+    }
+}

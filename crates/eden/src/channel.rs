@@ -66,8 +66,14 @@ mod tests {
     fn display_and_eq() {
         assert_eq!(ChanId(4).to_string(), "ch4");
         assert_eq!(
-            Endpoint { pe: 1, chan: ChanId(2) },
-            Endpoint { pe: 1, chan: ChanId(2) }
+            Endpoint {
+                pe: 1,
+                chan: ChanId(2)
+            },
+            Endpoint {
+                pe: 1,
+                chan: ChanId(2)
+            }
         );
     }
 }

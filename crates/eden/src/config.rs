@@ -76,7 +76,9 @@ mod tests {
     fn constructors() {
         let c = EdenConfig::new(8);
         assert_eq!((c.pes, c.cores), (8, 8));
-        let o = EdenConfig::oversubscribed(17, 8).without_trace().with_seed(3);
+        let o = EdenConfig::oversubscribed(17, 8)
+            .without_trace()
+            .with_seed(3);
         assert_eq!((o.pes, o.cores), (17, 8));
         assert!(!o.trace);
         assert_eq!(o.seed, 3);

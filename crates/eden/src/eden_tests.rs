@@ -39,13 +39,17 @@ fn fix() -> Fix {
     let map_square = b.def(
         "mapSquare",
         1,
-        let_(
-            vec![pap(square, vec![])],
-            app(pre.map, vec![v(1), v(0)]),
-        ),
+        let_(vec![pap(square, vec![])], app(pre.map, vec![v(1), v(0)])),
     );
     let sum_list = b.def("sumList", 1, app(pre.sum, vec![v(0)]));
-    Fix { program: b.build(), support, pre, square, map_square, sum_list }
+    Fix {
+        program: b.build(),
+        support,
+        pre,
+        square,
+        map_square,
+        sum_list,
+    }
 }
 
 fn ints(rt: &mut EdenRuntime, xs: &[i64]) -> Vec<NodeRef> {
@@ -55,7 +59,11 @@ fn ints(rt: &mut EdenRuntime, xs: &[i64]) -> Vec<NodeRef> {
 #[test]
 fn spawn_roundtrip_single_value() {
     let f = fix();
-    let mut rt = EdenRuntime::new(f.program.clone(), f.support, EdenConfig::new(2).without_trace());
+    let mut rt = EdenRuntime::new(
+        f.program.clone(),
+        f.support,
+        EdenConfig::new(2).without_trace(),
+    );
     let (out_chan, out_node) = rt.new_channel(0, CommMode::Single);
     let in_chan = rt.fresh_chan();
     rt.spawn(
@@ -63,11 +71,25 @@ fn spawn_roundtrip_single_value() {
         ProcSpec {
             f: f.square,
             inputs: vec![(in_chan, CommMode::Single)],
-            outputs: vec![(CommMode::Single, Endpoint { pe: 0, chan: out_chan })],
+            outputs: vec![(
+                CommMode::Single,
+                Endpoint {
+                    pe: 0,
+                    chan: out_chan,
+                },
+            )],
         },
     );
     let x = rt.heap_mut(0).int(7);
-    rt.send_value_from(0, Endpoint { pe: 1, chan: in_chan }, x, CommMode::Single);
+    rt.send_value_from(
+        0,
+        Endpoint {
+            pe: 1,
+            chan: in_chan,
+        },
+        x,
+        CommMode::Single,
+    );
     let out = rt.run(out_node).unwrap();
     assert_eq!(rt.heap(0).expect_value(out.result).expect_int(), 49);
     assert!(out.stats.processes == 1);
@@ -78,7 +100,11 @@ fn spawn_roundtrip_single_value() {
 #[test]
 fn par_map_computes_in_order() {
     let f = fix();
-    let mut rt = EdenRuntime::new(f.program.clone(), f.support, EdenConfig::new(4).without_trace());
+    let mut rt = EdenRuntime::new(
+        f.program.clone(),
+        f.support,
+        EdenConfig::new(4).without_trace(),
+    );
     let inputs = ints(&mut rt, &[1, 2, 3, 4, 5, 6, 7, 8]);
     let outs = skeletons::par_map(&mut rt, f.square, &inputs);
     // Consume: sum the output list via an IR thunk on PE 0.
@@ -93,11 +119,18 @@ fn par_map_computes_in_order() {
 #[test]
 fn par_map_fold_sums_partials() {
     let f = fix();
-    let mut rt = EdenRuntime::new(f.program.clone(), f.support, EdenConfig::new(4).without_trace());
+    let mut rt = EdenRuntime::new(
+        f.program.clone(),
+        f.support,
+        EdenConfig::new(4).without_trace(),
+    );
     let inputs = ints(&mut rt, &[3, 4, 5]);
     let entry = skeletons::par_map_fold(&mut rt, f.square, f.sum_list, &inputs);
     let out = rt.run(entry).unwrap();
-    assert_eq!(rt.heap(0).expect_value(out.result).expect_int(), 9 + 16 + 25);
+    assert_eq!(
+        rt.heap(0).expect_value(out.result).expect_int(),
+        9 + 16 + 25
+    );
 }
 
 #[test]
@@ -105,12 +138,20 @@ fn parallel_speedup_over_one_pe() {
     let f = fix();
     let work: Vec<i64> = (1..=16).collect();
 
-    let mut rt1 = EdenRuntime::new(f.program.clone(), f.support, EdenConfig::new(1).without_trace());
+    let mut rt1 = EdenRuntime::new(
+        f.program.clone(),
+        f.support,
+        EdenConfig::new(1).without_trace(),
+    );
     let inputs = ints(&mut rt1, &work);
     let entry = skeletons::par_map_fold(&mut rt1, f.square, f.sum_list, &inputs);
     let o1 = rt1.run(entry).unwrap();
 
-    let mut rt8 = EdenRuntime::new(f.program.clone(), f.support, EdenConfig::new(8).without_trace());
+    let mut rt8 = EdenRuntime::new(
+        f.program.clone(),
+        f.support,
+        EdenConfig::new(8).without_trace(),
+    );
     let inputs = ints(&mut rt8, &work);
     let entry = skeletons::par_map_fold(&mut rt8, f.square, f.sum_list, &inputs);
     let o8 = rt8.run(entry).unwrap();
@@ -126,7 +167,11 @@ fn parallel_speedup_over_one_pe() {
 #[test]
 fn master_worker_dynamic_balancing() {
     let f = fix();
-    let mut rt = EdenRuntime::new(f.program.clone(), f.support, EdenConfig::new(4).without_trace());
+    let mut rt = EdenRuntime::new(
+        f.program.clone(),
+        f.support,
+        EdenConfig::new(4).without_trace(),
+    );
     let tasks = ints(&mut rt, &(1..=20).collect::<Vec<_>>());
     let result = skeletons::master_worker(&mut rt, f.map_square, 3, 2, &tasks);
     // Force the whole result list: sum it.
@@ -140,7 +185,11 @@ fn master_worker_dynamic_balancing() {
 #[test]
 fn master_worker_single_worker_order_preserved() {
     let f = fix();
-    let mut rt = EdenRuntime::new(f.program.clone(), f.support, EdenConfig::new(2).without_trace());
+    let mut rt = EdenRuntime::new(
+        f.program.clone(),
+        f.support,
+        EdenConfig::new(2).without_trace(),
+    );
     let tasks = ints(&mut rt, &[1, 2, 3, 4]);
     let result = skeletons::master_worker(&mut rt, f.map_square, 1, 1, &tasks);
     let entry = rt.heap_mut(0).alloc_thunk(f.pre.deep_seq, vec![result]);
@@ -203,16 +252,16 @@ fn torus_neighbours_exchange() {
         3,
         let_(
             vec![
-                LetRhs::Nil,                              // [3]
-                LetRhs::Cons(v(0), v(3)),                 // [4] rowOut
-                LetRhs::Cons(v(0), v(3)),                 // [5] colOut
-                thunk(pre.take, vec![int(1), v(1)]),      // [6]
-                thunk(pre.take, vec![int(1), v(2)]),      // [7]
-                thunk(pre.sum, vec![v(6)]),               // [8]
-                thunk(pre.sum, vec![v(7)]),               // [9]
-                thunk(pre.add, vec![v(0), v(8)]),         // [10]
-                thunk(pre.add, vec![v(10), v(9)]),        // [11] result
-                LetRhs::Tuple(vec![v(11), v(4), v(5)]),   // [12]
+                LetRhs::Nil,                            // [3]
+                LetRhs::Cons(v(0), v(3)),               // [4] rowOut
+                LetRhs::Cons(v(0), v(3)),               // [5] colOut
+                thunk(pre.take, vec![int(1), v(1)]),    // [6]
+                thunk(pre.take, vec![int(1), v(2)]),    // [7]
+                thunk(pre.sum, vec![v(6)]),             // [8]
+                thunk(pre.sum, vec![v(7)]),             // [9]
+                thunk(pre.add, vec![v(0), v(8)]),       // [10]
+                thunk(pre.add, vec![v(10), v(9)]),      // [11] result
+                LetRhs::Tuple(vec![v(11), v(4), v(5)]), // [12]
             ],
             atom(v(12)),
         ),
@@ -253,12 +302,19 @@ fn oversubscription_more_pes_than_cores_works() {
 fn determinism() {
     let f = fix();
     let run = || {
-        let mut rt =
-            EdenRuntime::new(f.program.clone(), f.support, EdenConfig::new(4).without_trace());
+        let mut rt = EdenRuntime::new(
+            f.program.clone(),
+            f.support,
+            EdenConfig::new(4).without_trace(),
+        );
         let inputs = ints(&mut rt, &[1, 2, 3, 4, 5, 6]);
         let entry = skeletons::par_map_fold(&mut rt, f.square, f.sum_list, &inputs);
         let out = rt.run(entry).unwrap();
-        (rt.heap(0).expect_value(out.result).expect_int(), out.elapsed, out.stats)
+        (
+            rt.heap(0).expect_value(out.result).expect_int(),
+            out.elapsed,
+            out.stats,
+        )
     };
     let (v1, t1, s1) = run();
     let (v2, t2, s2) = run();
@@ -295,7 +351,11 @@ fn local_gcs_happen_independently() {
 #[test]
 fn deadlock_is_reported_not_hung() {
     let f = fix();
-    let mut rt = EdenRuntime::new(f.program.clone(), f.support, EdenConfig::new(2).without_trace());
+    let mut rt = EdenRuntime::new(
+        f.program.clone(),
+        f.support,
+        EdenConfig::new(2).without_trace(),
+    );
     // A channel nobody ever sends to: main blocks forever.
     let (_chan, node) = rt.new_channel(0, CommMode::Single);
     let err = rt.run(node).unwrap_err();
@@ -325,13 +385,17 @@ fn par_reduce_folds_remotely() {
     let sum_list = b.def("sumL", 1, app(pre.sum, vec![v(0)]));
     let program = b.build();
     let mut rt = EdenRuntime::new(program, support, EdenConfig::new(3).without_trace());
-    let sublists: Vec<NodeRef> = [(1..=10).collect::<Vec<i64>>(), (11..=20).collect(), (21..=30).collect()]
-        .iter()
-        .map(|xs| {
-            let heap = rt.heap_mut(0);
-            rph_machine::reference::alloc_int_list(heap, xs)
-        })
-        .collect();
+    let sublists: Vec<NodeRef> = [
+        (1..=10).collect::<Vec<i64>>(),
+        (11..=20).collect(),
+        (21..=30).collect(),
+    ]
+    .iter()
+    .map(|xs| {
+        let heap = rt.heap_mut(0);
+        rph_machine::reference::alloc_int_list(heap, xs)
+    })
+    .collect();
     let entry = skeletons::par_reduce(&mut rt, sum_list, sum_list, &sublists);
     let out = rt.run(entry).unwrap();
     assert_eq!(

@@ -75,7 +75,10 @@ impl Job {
     /// Roots held by the job itself (beyond the machine's).
     pub fn push_roots(&self, out: &mut Vec<NodeRef>) {
         match self {
-            Job::SendStream { phase: StreamPhase::Head { tail }, .. } => out.push(*tail),
+            Job::SendStream {
+                phase: StreamPhase::Head { tail },
+                ..
+            } => out.push(*tail),
             Job::Native(n) => n.push_roots(out),
             _ => {}
         }
@@ -124,20 +127,33 @@ impl<'a> NativeCtx<'a> {
     /// value to `dest`.
     pub fn send_single(&mut self, dest: Endpoint, node: NodeRef) -> Result<(), String> {
         let packet = crate::packet::pack(self.heap, node).map_err(|e| e.to_string())?;
-        self.outgoing.push((dest, Msg::Value { chan: dest.chan, packet }));
+        self.outgoing.push((
+            dest,
+            Msg::Value {
+                chan: dest.chan,
+                packet,
+            },
+        ));
         Ok(())
     }
 
     /// Pack `node` and queue it as one stream element to `dest`.
     pub fn send_stream_item(&mut self, dest: Endpoint, node: NodeRef) -> Result<(), String> {
         let packet = crate::packet::pack(self.heap, node).map_err(|e| e.to_string())?;
-        self.outgoing.push((dest, Msg::StreamItem { chan: dest.chan, packet }));
+        self.outgoing.push((
+            dest,
+            Msg::StreamItem {
+                chan: dest.chan,
+                packet,
+            },
+        ));
         Ok(())
     }
 
     /// Queue end-of-stream to `dest`.
     pub fn send_stream_end(&mut self, dest: Endpoint) {
-        self.outgoing.push((dest, Msg::StreamEnd { chan: dest.chan }));
+        self.outgoing
+            .push((dest, Msg::StreamEnd { chan: dest.chan }));
     }
 }
 

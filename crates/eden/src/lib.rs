@@ -60,9 +60,9 @@
 //! ```
 
 pub mod channel;
+pub mod config;
 #[cfg(test)]
 mod eden_tests;
-pub mod config;
 pub mod job;
 pub mod packet;
 pub mod pe;

@@ -63,7 +63,11 @@ pub fn pack(heap: &Heap, root: NodeRef) -> Result<Packet, HeapError> {
     let mut memo: HashMap<NodeRef, u32> = HashMap::new();
     let mut words = 0u64;
     let root_idx = pack_rec(heap, heap.resolve(root), &mut cells, &mut memo, &mut words)?;
-    Ok(Packet { cells, root: root_idx, words })
+    Ok(Packet {
+        cells,
+        root: root_idx,
+        words,
+    })
 }
 
 fn pack_rec(
@@ -140,7 +144,10 @@ fn pack_rec(
                 .iter()
                 .map(|a| pack_rec(heap, *a, cells, memo, words))
                 .collect::<Result<_, _>>()?;
-            PCell::Pap { sc: *sc, args: idxs }
+            PCell::Pap {
+                sc: *sc,
+                args: idxs,
+            }
         }
     };
     cells.push(pcell);
@@ -161,9 +168,7 @@ pub fn unpack(packet: &Packet, heap: &mut Heap) -> NodeRef {
             PCell::Nil => Value::Nil,
             PCell::DArray(xs) => Value::DArray(xs.clone()),
             PCell::Cons(h, t) => Value::Cons(nodes[*h as usize], nodes[*t as usize]),
-            PCell::Tuple(fs) => {
-                Value::Tuple(fs.iter().map(|f| nodes[*f as usize]).collect())
-            }
+            PCell::Tuple(fs) => Value::Tuple(fs.iter().map(|f| nodes[*f as usize]).collect()),
             PCell::Pap { sc, args } => Value::Pap {
                 sc: *sc,
                 args: args.iter().map(|a| nodes[*a as usize]).collect(),
@@ -231,7 +236,10 @@ mod tests {
     fn pap_crosses_heaps() {
         let mut src = Heap::new();
         let x = src.int(5);
-        let f = src.alloc_value(Value::Pap { sc: ScId(3), args: vec![x].into() });
+        let f = src.alloc_value(Value::Pap {
+            sc: ScId(3),
+            args: vec![x].into(),
+        });
         let p = pack(&src, f).unwrap();
         let mut dst = Heap::new();
         let r = unpack(&p, &mut dst);

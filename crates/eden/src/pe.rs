@@ -8,7 +8,7 @@ use rph_heap::{AllocArea, Cell, Heap, NodeRef};
 use rph_machine::Machine;
 use rph_sim::EventQueue;
 use rph_trace::{State, ThreadId, Time};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A machine-driven thread on a PE.
 pub struct EdenTso {
@@ -34,14 +34,18 @@ pub struct Pe {
     /// Runnable machine threads.
     pub run_q: VecDeque<EdenTso>,
     pub current: Option<EdenTso>,
-    /// Threads blocked on placeholders / local black holes.
-    pub blocked: HashMap<ThreadId, EdenTso>,
+    /// Threads blocked on placeholders / local black holes. Ordered
+    /// (`BTreeMap`) because `collect_roots` iterates it: hash-order
+    /// iteration would make GC root order — and thus post-GC heap
+    /// layout — vary run-to-run.
+    pub blocked: BTreeMap<ThreadId, EdenTso>,
     /// Native threads ready to step.
     pub natives_ready: VecDeque<NativeTso>,
     /// Native threads waiting for any of their nodes to become WHNF.
     pub natives_waiting: Vec<(NativeTso, Vec<NodeRef>)>,
-    /// Receiver-side channel registry.
-    pub chans: HashMap<ChanId, ChanState>,
+    /// Receiver-side channel registry. Ordered for the same reason as
+    /// `blocked`: its values are GC roots.
+    pub chans: BTreeMap<ChanId, ChanState>,
     /// Incoming messages, ordered by delivery time.
     pub inbox: EventQueue<Msg>,
     /// Extra GC roots pinned by the runtime / skeletons.
@@ -60,10 +64,10 @@ impl Pe {
             area: AllocArea::new(area_words, checkpoint_words),
             run_q: VecDeque::new(),
             current: None,
-            blocked: HashMap::new(),
+            blocked: BTreeMap::new(),
             natives_ready: VecDeque::new(),
             natives_waiting: Vec::new(),
-            chans: HashMap::new(),
+            chans: BTreeMap::new(),
             inbox: EventQueue::new(),
             pinned: Vec::new(),
             last_state: None,
@@ -90,7 +94,9 @@ impl Pe {
     /// Allocate a fresh placeholder (an empty black hole a message
     /// delivery will update).
     pub fn alloc_placeholder(&mut self) -> NodeRef {
-        self.heap.alloc(Cell::BlackHole { blocked: Vec::new() })
+        self.heap.alloc(Cell::BlackHole {
+            blocked: Vec::new(),
+        })
     }
 
     /// Wake native threads whose wait set now contains a WHNF node.
@@ -179,7 +185,8 @@ mod tests {
     fn roots_include_channels_and_pins() {
         let mut pe = Pe::new(0, 1 << 20, 512);
         let p = pe.alloc_placeholder();
-        pe.chans.insert(ChanId(1), ChanState::Single { placeholder: p });
+        pe.chans
+            .insert(ChanId(1), ChanState::Single { placeholder: p });
         let x = pe.heap.int(7);
         pe.pinned.push(x);
         let roots = pe.collect_roots();

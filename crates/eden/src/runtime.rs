@@ -155,16 +155,25 @@ impl EdenRuntime {
             spec.inputs.len(),
             "process function arity must match its input channels"
         );
-        assert!(!spec.outputs.is_empty(), "a process needs at least one output");
+        assert!(
+            !spec.outputs.is_empty(),
+            "a process needs at least one output"
+        );
         self.stats.processes += 1;
         self.pes[0].clock += self.config.costs.process_instantiate;
         let now = self.pes[0].clock;
         self.tracer.record(
             CapId(0),
             now,
-            EventKind::ProcessInstantiated { on: CapId(target_pe as u32) },
+            EventKind::ProcessInstantiated {
+                on: CapId(target_pe as u32),
+            },
         );
-        let msg = Msg::Spawn { f: spec.f, inputs: spec.inputs, outputs: spec.outputs };
+        let msg = Msg::Spawn {
+            f: spec.f,
+            inputs: spec.inputs,
+            outputs: spec.outputs,
+        };
         self.transmit(0, target_pe, msg);
     }
 
@@ -172,7 +181,13 @@ impl EdenRuntime {
     /// transmits it to `dest` according to `mode`. Used by skeletons to
     /// feed process inputs from the parent ("inputs are evaluated in
     /// the parent").
-    pub fn send_value_from(&mut self, from_pe: usize, dest: Endpoint, node: NodeRef, mode: CommMode) {
+    pub fn send_value_from(
+        &mut self,
+        from_pe: usize,
+        dest: Endpoint,
+        node: NodeRef,
+        mode: CommMode,
+    ) {
         let tid = self.fresh_tid();
         self.stats.threads_created += 1;
         let started = self.pes[from_pe].clock;
@@ -184,7 +199,10 @@ impl EdenRuntime {
             },
             CommMode::Stream => EdenTso {
                 machine: Machine::enter(tid, node),
-                job: Job::SendStream { dest, phase: StreamPhase::Spine },
+                job: Job::SendStream {
+                    dest,
+                    phase: StreamPhase::Spine,
+                },
                 started,
             },
         };
@@ -195,7 +213,9 @@ impl EdenRuntime {
     pub fn start_native(&mut self, pe: usize, logic: Box<dyn NativeLogic>) {
         let tid = self.fresh_tid();
         self.stats.threads_created += 1;
-        self.pes[pe].natives_ready.push_back(NativeTso { tid, logic });
+        self.pes[pe]
+            .natives_ready
+            .push_back(NativeTso { tid, logic });
     }
 
     /// Run to completion: `entry` (a node on PE 0) is forced to WHNF
@@ -241,9 +261,18 @@ impl EdenRuntime {
     // ------------------------------------------------------------------
 
     /// Give `idx` a core and run it for up to one OS quantum.
-    fn advance(&mut self, idx: usize, ready: Time, main_tid: ThreadId) -> Result<Option<NodeRef>, String> {
+    fn advance(
+        &mut self,
+        idx: usize,
+        ready: Time,
+        main_tid: ThreadId,
+    ) -> Result<Option<NodeRef>, String> {
         let oversubscribed = self.pes.len() > self.cores.num_cores();
-        let switch_cost = if oversubscribed { self.config.costs.os_ctx_switch } else { 0 };
+        let switch_cost = if oversubscribed {
+            self.config.costs.os_ctx_switch
+        } else {
+            0
+        };
         let (core, start) = self.cores.dispatch(idx as u32, ready, switch_cost);
         if self.pes[idx].clock < start {
             self.pes[idx].clock = start;
@@ -264,7 +293,8 @@ impl EdenRuntime {
                     continue;
                 } else {
                     // Nothing runnable: blocked (threads waiting) or idle.
-                    let st = if self.pes[idx].blocked.is_empty() && self.pes[idx].natives_waiting.is_empty()
+                    let st = if self.pes[idx].blocked.is_empty()
+                        && self.pes[idx].natives_waiting.is_empty()
                     {
                         State::Idle
                     } else {
@@ -294,7 +324,11 @@ impl EdenRuntime {
     }
 
     /// Run the installed thread for one simulator slice.
-    fn run_current_slice(&mut self, idx: usize, main_tid: ThreadId) -> Result<Option<NodeRef>, String> {
+    fn run_current_slice(
+        &mut self,
+        idx: usize,
+        main_tid: ThreadId,
+    ) -> Result<Option<NodeRef>, String> {
         let pe = &mut self.pes[idx];
         let mut tso = pe.current.take().expect("caller installed");
         let mut ctx = RunCtx::new(
@@ -338,8 +372,11 @@ impl EdenRuntime {
                 let tid = tso.machine.tid();
                 self.stats.blackhole_blocks += 1;
                 let now = self.pes[idx].clock;
-                self.tracer
-                    .record(CapId(idx as u32), now, EventKind::BlockedOnBlackHole { thread: tid });
+                self.tracer.record(
+                    CapId(idx as u32),
+                    now,
+                    EventKind::BlockedOnBlackHole { thread: tid },
+                );
                 self.pes[idx].heap.block_on(node, tid);
                 self.pes[idx].blocked.insert(tid, tso);
                 self.pes[idx].clock += self.config.costs.ctx_switch;
@@ -369,7 +406,14 @@ impl EdenRuntime {
             }
             Job::SendSingle { dest } => {
                 let packet = packet::pack(&self.pes[idx].heap, r).map_err(|e| e.to_string())?;
-                self.transmit(idx, dest.pe as usize, Msg::Value { chan: dest.chan, packet });
+                self.transmit(
+                    idx,
+                    dest.pe as usize,
+                    Msg::Value {
+                        chan: dest.chan,
+                        packet,
+                    },
+                );
                 Ok(None)
             }
             Job::SendStream { dest, phase } => {
@@ -379,7 +423,10 @@ impl EdenRuntime {
                         let rr = self.pes[idx].heap.resolve(r);
                         match self.pes[idx].heap.whnf(rr).cloned() {
                             Some(rph_heap::Value::Cons(h, t)) => {
-                                tso.job = Job::SendStream { dest, phase: StreamPhase::Head { tail: t } };
+                                tso.job = Job::SendStream {
+                                    dest,
+                                    phase: StreamPhase::Head { tail: t },
+                                };
                                 tso.machine = Machine::enter_deep(tid, h);
                                 // Stay installed: a sender drains every
                                 // element already available within its
@@ -388,7 +435,11 @@ impl EdenRuntime {
                                 self.pes[idx].current = Some(tso);
                             }
                             Some(rph_heap::Value::Nil) => {
-                                self.transmit(idx, dest.pe as usize, Msg::StreamEnd { chan: dest.chan });
+                                self.transmit(
+                                    idx,
+                                    dest.pe as usize,
+                                    Msg::StreamEnd { chan: dest.chan },
+                                );
                             }
                             other => {
                                 return Err(format!(
@@ -403,9 +454,15 @@ impl EdenRuntime {
                         self.transmit(
                             idx,
                             dest.pe as usize,
-                            Msg::StreamItem { chan: dest.chan, packet },
+                            Msg::StreamItem {
+                                chan: dest.chan,
+                                packet,
+                            },
                         );
-                        tso.job = Job::SendStream { dest, phase: StreamPhase::Spine };
+                        tso.job = Job::SendStream {
+                            dest,
+                            phase: StreamPhase::Spine,
+                        };
                         tso.machine = Machine::enter(tid, tail);
                         self.pes[idx].current = Some(tso);
                     }
@@ -427,7 +484,12 @@ impl EdenRuntime {
             woken: Vec::new(),
         };
         let step = native.logic.step(&mut ctx)?;
-        let NativeCtx { cost, outgoing, woken, .. } = ctx;
+        let NativeCtx {
+            cost,
+            outgoing,
+            woken,
+            ..
+        } = ctx;
         self.pes[idx].clock += cost.max(1);
         self.wake_tsos(idx, woken);
         for (dest, msg) in outgoing {
@@ -462,7 +524,11 @@ impl EdenRuntime {
         self.tracer.record(
             CapId(from as u32),
             now,
-            EventKind::MsgSend { to: CapId(to as u32), words, tag: msg.tag() },
+            EventKind::MsgSend {
+                to: CapId(to as u32),
+                words,
+                tag: msg.tag(),
+            },
         );
         let delivery = now + self.config.costs.msg_latency;
         self.pes[to].inbox.push(delivery, msg);
@@ -472,7 +538,9 @@ impl EdenRuntime {
     fn deliver_due(&mut self, idx: usize) {
         loop {
             let now = self.pes[idx].clock;
-            let Some((at, msg)) = self.pes[idx].inbox.pop_due(now) else { break };
+            let Some((at, msg)) = self.pes[idx].inbox.pop_due(now) else {
+                break;
+            };
             debug_assert!(at <= now);
             let words = msg.words();
             self.pes[idx].clock += self.config.costs.msg_recv_cost(words);
@@ -480,7 +548,11 @@ impl EdenRuntime {
             self.tracer.record(
                 CapId(idx as u32),
                 t,
-                EventKind::MsgRecv { from: CapId(u32::MAX), words, tag: msg.tag() },
+                EventKind::MsgRecv {
+                    from: CapId(u32::MAX),
+                    words,
+                    tag: msg.tag(),
+                },
             );
             match msg {
                 Msg::Spawn { f, inputs, outputs } => self.process_spawn(idx, f, inputs, outputs),
@@ -564,7 +636,10 @@ impl EdenRuntime {
                 },
                 CommMode::Stream => EdenTso {
                     machine: Machine::enter(tid, target),
-                    job: Job::SendStream { dest, phase: StreamPhase::Spine },
+                    job: Job::SendStream {
+                        dest,
+                        phase: StreamPhase::Spine,
+                    },
                     started,
                 },
             };
@@ -612,7 +687,10 @@ impl EdenRuntime {
         self.tracer.record(
             CapId(idx as u32),
             t,
-            EventKind::GcDone { live_words: res.live_words, collected_words: res.collected_words },
+            EventKind::GcDone {
+                live_words: res.live_words,
+                collected_words: res.collected_words,
+            },
         );
         self.set_state(idx, State::Running);
     }

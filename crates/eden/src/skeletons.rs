@@ -43,10 +43,24 @@ pub fn par_map(rt: &mut EdenRuntime, f: ScId, inputs: &[NodeRef]) -> Vec<NodeRef
             ProcSpec {
                 f,
                 inputs: vec![(in_chan, CommMode::Single)],
-                outputs: vec![(CommMode::Single, Endpoint { pe: 0, chan: out_chan })],
+                outputs: vec![(
+                    CommMode::Single,
+                    Endpoint {
+                        pe: 0,
+                        chan: out_chan,
+                    },
+                )],
             },
         );
-        rt.send_value_from(0, Endpoint { pe: target as u32, chan: in_chan }, x, CommMode::Single);
+        rt.send_value_from(
+            0,
+            Endpoint {
+                pe: target as u32,
+                chan: in_chan,
+            },
+            x,
+            CommMode::Single,
+        );
         outs.push(out_node);
     }
     outs
@@ -68,7 +82,12 @@ pub fn par_map_fold(rt: &mut EdenRuntime, f: ScId, combine: ScId, inputs: &[Node
 /// the parent merges the per-process partials with `merge` (arity 1,
 /// taking the list of partial results). Returns the merged node on
 /// PE 0.
-pub fn par_map_reduce(rt: &mut EdenRuntime, mapper: ScId, merge: ScId, chunks: &[NodeRef]) -> NodeRef {
+pub fn par_map_reduce(
+    rt: &mut EdenRuntime,
+    mapper: ScId,
+    merge: ScId,
+    chunks: &[NodeRef],
+) -> NodeRef {
     par_map_fold(rt, mapper, merge, chunks)
 }
 
@@ -106,10 +125,19 @@ pub fn master_worker(
             ProcSpec {
                 f: worker_map,
                 inputs: vec![(task_chan, CommMode::Stream)],
-                outputs: vec![(CommMode::Stream, Endpoint { pe: 0, chan: res_chan })],
+                outputs: vec![(
+                    CommMode::Stream,
+                    Endpoint {
+                        pe: 0,
+                        chan: res_chan,
+                    },
+                )],
             },
         );
-        task_dests.push(Endpoint { pe: target as u32, chan: task_chan });
+        task_dests.push(Endpoint {
+            pe: target as u32,
+            chan: task_chan,
+        });
         cursors.push(res_node);
     }
     let result_placeholder = rt.alloc_placeholder(0);
@@ -188,9 +216,7 @@ impl NativeLogic for Master {
                     Some(Value::Nil) => {
                         self.stream_done[w] = true;
                     }
-                    Some(other) => {
-                        return Err(format!("master: result stream yielded {other:?}"))
-                    }
+                    Some(other) => return Err(format!("master: result stream yielded {other:?}")),
                     None => break, // not yet arrived
                 }
             }
@@ -243,19 +269,34 @@ pub fn ring(rt: &mut EdenRuntime, node_f: ScId, inputs: &[NodeRef]) -> Vec<NodeR
             targets[k],
             ProcSpec {
                 f: node_f,
-                inputs: vec![(in_chan, CommMode::Single), (ring_chans[k], CommMode::Stream)],
+                inputs: vec![
+                    (in_chan, CommMode::Single),
+                    (ring_chans[k], CommMode::Stream),
+                ],
                 outputs: vec![
-                    (CommMode::Single, Endpoint { pe: 0, chan: out_chan }),
+                    (
+                        CommMode::Single,
+                        Endpoint {
+                            pe: 0,
+                            chan: out_chan,
+                        },
+                    ),
                     (
                         CommMode::Stream,
-                        Endpoint { pe: targets[succ] as u32, chan: ring_chans[succ] },
+                        Endpoint {
+                            pe: targets[succ] as u32,
+                            chan: ring_chans[succ],
+                        },
                     ),
                 ],
             },
         );
         rt.send_value_from(
             0,
-            Endpoint { pe: targets[k] as u32, chan: in_chan },
+            Endpoint {
+                pe: targets[k] as u32,
+                chan: in_chan,
+            },
             x,
             CommMode::Single,
         );
@@ -296,21 +337,36 @@ pub fn torus(rt: &mut EdenRuntime, node_f: ScId, n: usize, inits: &[NodeRef]) ->
                         (col_chans[k], CommMode::Stream),
                     ],
                     outputs: vec![
-                        (CommMode::Single, Endpoint { pe: 0, chan: out_chan }),
                         (
-                            CommMode::Stream,
-                            Endpoint { pe: targets[left] as u32, chan: row_chans[left] },
+                            CommMode::Single,
+                            Endpoint {
+                                pe: 0,
+                                chan: out_chan,
+                            },
                         ),
                         (
                             CommMode::Stream,
-                            Endpoint { pe: targets[up] as u32, chan: col_chans[up] },
+                            Endpoint {
+                                pe: targets[left] as u32,
+                                chan: row_chans[left],
+                            },
+                        ),
+                        (
+                            CommMode::Stream,
+                            Endpoint {
+                                pe: targets[up] as u32,
+                                chan: col_chans[up],
+                            },
                         ),
                     ],
                 },
             );
             rt.send_value_from(
                 0,
-                Endpoint { pe: targets[k] as u32, chan: in_chan },
+                Endpoint {
+                    pe: targets[k] as u32,
+                    chan: in_chan,
+                },
                 inits[k],
                 CommMode::Single,
             );
@@ -353,10 +409,19 @@ pub fn master_worker_dyn(
             ProcSpec {
                 f: worker_map,
                 inputs: vec![(task_chan, CommMode::Stream)],
-                outputs: vec![(CommMode::Stream, Endpoint { pe: 0, chan: res_chan })],
+                outputs: vec![(
+                    CommMode::Stream,
+                    Endpoint {
+                        pe: 0,
+                        chan: res_chan,
+                    },
+                )],
             },
         );
-        task_dests.push(Endpoint { pe: target as u32, chan: task_chan });
+        task_dests.push(Endpoint {
+            pe: target as u32,
+            chan: task_chan,
+        });
         cursors.push(res_node);
     }
     let result_placeholder = rt.alloc_placeholder(0);
@@ -429,9 +494,7 @@ impl NativeLogic for DynMaster {
                                     cur = ctx.heap.resolve(rest);
                                 }
                                 other => {
-                                    return Err(format!(
-                                        "dynamic master: bad task list {other:?}"
-                                    ))
+                                    return Err(format!("dynamic master: bad task list {other:?}"))
                                 }
                             }
                         }
@@ -441,9 +504,7 @@ impl NativeLogic for DynMaster {
                         ctx.cost += 400;
                     }
                     Some(Value::Nil) => self.stream_done[w] = true,
-                    Some(other) => {
-                        return Err(format!("dynamic master: result stream {other:?}"))
-                    }
+                    Some(other) => return Err(format!("dynamic master: result stream {other:?}")),
                     None => break,
                 }
             }

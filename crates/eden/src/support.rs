@@ -38,6 +38,7 @@ pub fn selector_name(n: usize, k: usize) -> String {
 pub fn install_support(b: &mut ProgramBuilder) -> EdenSupport {
     let mut sel = [[ScId(u32::MAX); MAX_TUPLE]; MAX_TUPLE - 1];
     for n in 2..=MAX_TUPLE {
+        #[allow(clippy::needless_range_loop)] // k both names the selector and indexes `sel`
         for k in 0..n {
             // $sel_k_n t = case t of (x0..x_{n-1}) -> x_k
             // frame after case: [t, x0..x_{n-1}]

@@ -61,7 +61,10 @@ fn build(heap: &mut Heap, specs: &[Spec]) -> NodeRef {
             }
             Spec::Pap(args) => {
                 let aa: Vec<NodeRef> = args.iter().map(|i| pick(*i, &nodes, heap)).collect();
-                heap.alloc_value(Value::Pap { sc: ScId(3), args: aa.into() })
+                heap.alloc_value(Value::Pap {
+                    sc: ScId(3),
+                    args: aa.into(),
+                })
             }
         };
         nodes.push(n);

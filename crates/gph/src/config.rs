@@ -178,7 +178,9 @@ impl GphConfig {
             ),
             (
                 "GpH, above + improved GC synchronisation",
-                Self::ghc69_plain(caps).with_big_alloc_area().with_improved_gc_sync(),
+                Self::ghc69_plain(caps)
+                    .with_big_alloc_area()
+                    .with_improved_gc_sync(),
             ),
             (
                 "GpH, above + work stealing for sparks",

@@ -68,9 +68,9 @@
 //! ```
 
 pub mod config;
+pub mod runtime;
 #[cfg(test)]
 mod runtime_tests;
-pub mod runtime;
 pub mod stats;
 pub mod strategies;
 

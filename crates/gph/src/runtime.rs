@@ -15,7 +15,7 @@ use rph_heap::{Heap, NodeRef};
 use rph_machine::{Machine, Program, RunCtx, StopReason};
 use rph_sim::DetRng;
 use rph_trace::{CapId, EventKind, State, ThreadId, Time, Tracer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -78,8 +78,12 @@ pub struct GphRuntime {
     heap: Heap,
     collector: Collector,
     caps: Vec<Cap>,
-    /// Threads blocked on black holes, by thread id.
-    blocked: HashMap<ThreadId, Tso>,
+    /// Threads blocked on black holes, by thread id. A `BTreeMap` so
+    /// every iteration (notably GC-root gathering) visits threads in
+    /// thread-id order — `HashMap` iteration order varies run-to-run,
+    /// which leaked allocation-order nondeterminism into mark–sweep
+    /// root order and undermined the byte-identical-trace guarantee.
+    blocked: BTreeMap<ThreadId, Tso>,
     tracer: Tracer,
     rng: DetRng,
     stats: GphStats,
@@ -115,7 +119,7 @@ impl GphRuntime {
             heap: Heap::new(),
             collector: Collector::new(),
             caps,
-            blocked: HashMap::new(),
+            blocked: BTreeMap::new(),
             tracer,
             rng: DetRng::new(config.seed),
             stats: GphStats::default(),
@@ -240,10 +244,12 @@ impl GphRuntime {
         for s in sparks {
             self.stats.sparks_created += 1;
             if self.caps[idx].sparks.push(s) {
-                self.tracer.record(self.caps[idx].id, now, EventKind::SparkCreated);
+                self.tracer
+                    .record(self.caps[idx].id, now, EventKind::SparkCreated);
             } else {
                 self.stats.sparks_overflowed += 1;
-                self.tracer.record(self.caps[idx].id, now, EventKind::SparkOverflow);
+                self.tracer
+                    .record(self.caps[idx].id, now, EventKind::SparkOverflow);
             }
         }
         // Threads unblocked by updates move to this capability's queue.
@@ -251,8 +257,11 @@ impl GphRuntime {
             if let Some(mut w) = self.blocked.remove(&tid) {
                 w.machine.wake();
                 w.started = now;
-                self.tracer
-                    .record(self.caps[idx].id, now, EventKind::WokenFromBlackHole { thread: tid });
+                self.tracer.record(
+                    self.caps[idx].id,
+                    now,
+                    EventKind::WokenFromBlackHole { thread: tid },
+                );
                 self.caps[idx].run_q.push_back(w);
             }
         }
@@ -281,8 +290,11 @@ impl GphRuntime {
             StopReason::Blocked(node) => {
                 let tid = tso.machine.tid();
                 self.stats.blackhole_blocks += 1;
-                self.tracer
-                    .record(self.caps[idx].id, now, EventKind::BlockedOnBlackHole { thread: tid });
+                self.tracer.record(
+                    self.caps[idx].id,
+                    now,
+                    EventKind::BlockedOnBlackHole { thread: tid },
+                );
                 // Suspension is a context switch: under lazy black-holing
                 // the suspended stack's thunks are marked now.
                 if self.config.black_holing == BlackHoling::Lazy {
@@ -298,8 +310,11 @@ impl GphRuntime {
             }
             StopReason::Finished(result) => {
                 let tid = tso.machine.tid();
-                self.tracer
-                    .record(self.caps[idx].id, now, EventKind::ThreadFinished { thread: tid });
+                self.tracer.record(
+                    self.caps[idx].id,
+                    now,
+                    EventKind::ThreadFinished { thread: tid },
+                );
                 if tid == main_tid {
                     return Ok(Some(result));
                 }
@@ -345,8 +360,11 @@ impl GphRuntime {
             let tid = self.fresh_tid();
             self.stats.threads_created += 1;
             let now = self.caps[idx].clock;
-            self.tracer
-                .record(self.caps[idx].id, now, EventKind::ThreadCreated { thread: tid });
+            self.tracer.record(
+                self.caps[idx].id,
+                now,
+                EventKind::ThreadCreated { thread: tid },
+            );
             let tso = Tso {
                 machine: Machine::enter(tid, node),
                 spark_thread: self.config.spark_exec == SparkExec::SparkThread,
@@ -367,12 +385,14 @@ impl GphRuntime {
             if self.heap.whnf(s).is_none() {
                 self.stats.sparks_run_local += 1;
                 let now = self.caps[idx].clock;
-                self.tracer.record(self.caps[idx].id, now, EventKind::SparkRunLocal);
+                self.tracer
+                    .record(self.caps[idx].id, now, EventKind::SparkRunLocal);
                 return Some(s);
             }
             self.stats.sparks_fizzled += 1;
             let now = self.caps[idx].clock;
-            self.tracer.record(self.caps[idx].id, now, EventKind::SparkFizzled);
+            self.tracer
+                .record(self.caps[idx].id, now, EventKind::SparkFizzled);
         }
         if self.config.spark_policy != SparkPolicy::Steal || self.caps.len() < 2 {
             return None;
@@ -389,7 +409,9 @@ impl GphRuntime {
                     self.tracer.record(
                         self.caps[idx].id,
                         now,
-                        EventKind::SparkAcquired { victim: CapId(victim as u32), pushed: false },
+                        EventKind::SparkStolen {
+                            victim: CapId(victim as u32),
+                        },
                     );
                     return Some(s);
                 }
@@ -411,16 +433,26 @@ impl GphRuntime {
         if self.caps[idx].area.needs_gc() && self.gc.is_none() {
             match self.config.gc_model {
                 GcModel::StopTheWorld => {
-                    self.tracer
-                        .record(self.caps[idx].id, self.caps[idx].clock, EventKind::GcRequest);
-                    self.gc = Some(GcPhase { request_time: self.caps[idx].clock });
+                    self.tracer.record(
+                        self.caps[idx].id,
+                        self.caps[idx].clock,
+                        EventKind::GcRequest,
+                    );
+                    self.gc = Some(GcPhase {
+                        request_time: self.caps[idx].clock,
+                    });
                 }
                 GcModel::SemiDistributed { global_every } => {
                     if self.caps[idx].locals_since_global + 1 >= global_every {
                         self.caps[idx].locals_since_global = 0;
-                        self.tracer
-                            .record(self.caps[idx].id, self.caps[idx].clock, EventKind::GcRequest);
-                        self.gc = Some(GcPhase { request_time: self.caps[idx].clock });
+                        self.tracer.record(
+                            self.caps[idx].id,
+                            self.caps[idx].clock,
+                            EventKind::GcRequest,
+                        );
+                        self.gc = Some(GcPhase {
+                            request_time: self.caps[idx].clock,
+                        });
                     } else {
                         self.local_gc(idx);
                     }
@@ -521,8 +553,8 @@ impl GphRuntime {
     /// survivors are evacuated to the shared heap; the real mark–sweep
     /// of shared data happens at the periodic global collections.
     fn local_gc(&mut self, idx: usize) {
-        let survivors = (self.heap.live_words() / self.caps.len() as u64)
-            .min(self.config.alloc_area_words);
+        let survivors =
+            (self.heap.live_words() / self.caps.len() as u64).min(self.config.alloc_area_words);
         let pause = self.config.costs.gc_pause_local(survivors);
         self.set_state(idx, State::Gc);
         self.caps[idx].clock += pause;
@@ -576,7 +608,9 @@ impl GphRuntime {
                 self.tracer.record(
                     self.caps[idx].id,
                     now,
-                    EventKind::SparkAcquired { victim: CapId(j as u32), pushed: true },
+                    EventKind::SparkPushed {
+                        to: CapId(j as u32),
+                    },
                 );
             }
         }
@@ -629,20 +663,16 @@ impl GphRuntime {
             res.live_words,
             self.config.alloc_area_words * self.caps.len() as u64,
         );
-        let pause = self.config.costs.gc_pause(
-            self.caps.len(),
-            self.config.gc_sync_improved,
-            copy_words,
-        );
+        let pause =
+            self.config
+                .costs
+                .gc_pause(self.caps.len(), self.config.gc_sync_improved, copy_words);
         let end = barrier_end + pause;
         self.stats.gcs += 1;
         self.stats.last_live_words = res.live_words;
         self.stats.collected_words += res.collected_words;
-        self.tracer.record(
-            CapId(0),
-            barrier_end,
-            EventKind::GcStart,
-        );
+        self.tracer
+            .record(CapId(0), barrier_end, EventKind::GcStart);
 
         // Prune fizzled sparks, GHC-style, while the world is stopped.
         let heap = &self.heap;
@@ -663,7 +693,10 @@ impl GphRuntime {
         self.tracer.record(
             CapId(0),
             end,
-            EventKind::GcDone { live_words: res.live_words, collected_words: res.collected_words },
+            EventKind::GcDone {
+                live_words: res.live_words,
+                collected_words: res.collected_words,
+            },
         );
         self.gc = None;
     }
@@ -671,7 +704,8 @@ impl GphRuntime {
     fn set_state(&mut self, idx: usize, state: State) {
         if self.caps[idx].last_state != Some(state) {
             self.caps[idx].last_state = Some(state);
-            self.tracer.state(self.caps[idx].id, self.caps[idx].clock, state);
+            self.tracer
+                .state(self.caps[idx].id, self.caps[idx].clock, state);
         }
     }
 

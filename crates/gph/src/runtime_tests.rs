@@ -7,9 +7,9 @@
 use crate::config::{BlackHoling, GphConfig, SparkExec, SparkPolicy};
 use crate::runtime::GphRuntime;
 use rph_heap::{Heap, NodeRef, Value};
+use rph_machine::ir::*;
 use rph_machine::prelude::{self, Prelude};
 use rph_machine::program::{KernelOut, Program, ProgramBuilder};
-use rph_machine::ir::*;
 use rph_trace::State;
 use std::sync::Arc;
 
@@ -42,15 +42,19 @@ fn fixture(cost_per_item: u64, alloc_per_item: u64) -> Fixture {
         1,
         let_(
             vec![
-                pap(work, vec![]),                         // [1] work as a value
+                pap(work, vec![]),                           // [1] work as a value
                 thunk(pre.enum_from_to, vec![int(1), v(0)]), // [2] [1..n]
-                thunk(pre.map, vec![v(1), v(2)]),          // [3] map work [1..n]
-                thunk(pre.spark_list, vec![v(3)]),         // [4] sparker
+                thunk(pre.map, vec![v(1), v(2)]),            // [3] map work [1..n]
+                thunk(pre.spark_list, vec![v(3)]),           // [4] sparker
             ],
             seq(atom(v(4)), app(pre.sum, vec![v(3)])),
         ),
     );
-    Fixture { program: b.build(), pre, main }
+    Fixture {
+        program: b.build(),
+        pre,
+        main,
+    }
 }
 
 fn entry(f: &Fixture, heap: &mut Heap, n: i64) -> NodeRef {
@@ -105,9 +109,13 @@ fn deterministic_same_seed_same_everything() {
 
 #[test]
 fn parallelism_gives_speedup_with_stealing() {
-    let base = GphConfig::ghc69_plain(1).with_work_stealing().without_trace();
+    let base = GphConfig::ghc69_plain(1)
+        .with_work_stealing()
+        .without_trace();
     let (_, o1) = run_with(base, 64, 400_000, 1_000);
-    let par = GphConfig::ghc69_plain(8).with_work_stealing().without_trace();
+    let par = GphConfig::ghc69_plain(8)
+        .with_work_stealing()
+        .without_trace();
     let (_, o8) = run_with(par, 64, 400_000, 1_000);
     let speedup = o1.elapsed as f64 / o8.elapsed as f64;
     assert!(speedup > 4.0, "8-cap stealing speedup only {speedup:.2}");
@@ -117,7 +125,9 @@ fn parallelism_gives_speedup_with_stealing() {
 fn stealing_beats_pushing() {
     // Fine-grained sparks make the push scheduler's polling delay
     // visible (§IV.A.2).
-    let mut push = GphConfig::ghc69_plain(8).with_big_alloc_area().without_trace();
+    let mut push = GphConfig::ghc69_plain(8)
+        .with_big_alloc_area()
+        .without_trace();
     push.spark_policy = SparkPolicy::Push;
     let (_, op) = run_with(push, 96, 150_000, 500);
     let steal = GphConfig::ghc69_plain(8)
@@ -139,7 +149,9 @@ fn stealing_beats_pushing() {
 fn big_allocation_area_reduces_gc_count() {
     let small = GphConfig::ghc69_plain(4).without_trace();
     let (_, o_small) = run_with(small, 64, 100_000, 30_000);
-    let big = GphConfig::ghc69_plain(4).with_big_alloc_area().without_trace();
+    let big = GphConfig::ghc69_plain(4)
+        .with_big_alloc_area()
+        .without_trace();
     let (_, o_big) = run_with(big, 64, 100_000, 30_000);
     assert!(
         o_big.stats.gcs < o_small.stats.gcs,
@@ -147,7 +159,10 @@ fn big_allocation_area_reduces_gc_count() {
         o_big.stats.gcs,
         o_small.stats.gcs
     );
-    assert!(o_big.elapsed < o_small.elapsed, "fewer GCs should run faster");
+    assert!(
+        o_big.elapsed < o_small.elapsed,
+        "fewer GCs should run faster"
+    );
 }
 
 #[test]
@@ -158,20 +173,31 @@ fn improved_gc_sync_reduces_runtime_with_many_gcs() {
     // feedback legitimately changes GC counts between configs.)
     let orig = GphConfig::ghc69_plain(1).without_trace();
     let (_, o1) = run_with(orig, 64, 100_000, 30_000);
-    let impr = GphConfig::ghc69_plain(1).with_improved_gc_sync().without_trace();
+    let impr = GphConfig::ghc69_plain(1)
+        .with_improved_gc_sync()
+        .without_trace();
     let (_, o2) = run_with(impr, 64, 100_000, 30_000);
     assert!(o1.stats.gcs > 0);
     assert_eq!(o1.stats.gcs, o2.stats.gcs, "same single-cap schedule");
-    assert!(o2.elapsed < o1.elapsed, "improved {} !< original {}", o2.elapsed, o1.elapsed);
+    assert!(
+        o2.elapsed < o1.elapsed,
+        "improved {} !< original {}",
+        o2.elapsed,
+        o1.elapsed
+    );
 }
 
 #[test]
 fn spark_thread_mode_creates_fewer_threads() {
-    let mut per_spark = GphConfig::ghc69_plain(4).with_big_alloc_area().without_trace();
+    let mut per_spark = GphConfig::ghc69_plain(4)
+        .with_big_alloc_area()
+        .without_trace();
     per_spark.spark_policy = SparkPolicy::Steal;
     per_spark.spark_exec = SparkExec::ThreadPerSpark;
     let (_, o1) = run_with(per_spark, 64, 100_000, 500);
-    let mut spark_thread = GphConfig::ghc69_plain(4).with_big_alloc_area().without_trace();
+    let mut spark_thread = GphConfig::ghc69_plain(4)
+        .with_big_alloc_area()
+        .without_trace();
     spark_thread.spark_policy = SparkPolicy::Steal;
     spark_thread.spark_exec = SparkExec::SparkThread;
     let (_, o2) = run_with(spark_thread, 64, 100_000, 500);
@@ -185,7 +211,12 @@ fn spark_thread_mode_creates_fewer_threads() {
 
 #[test]
 fn gc_happens_and_reclaims() {
-    let (v, o) = run_with(GphConfig::ghc69_plain(2).without_trace(), 48, 50_000, 20_000);
+    let (v, o) = run_with(
+        GphConfig::ghc69_plain(2).without_trace(),
+        48,
+        50_000,
+        20_000,
+    );
     assert_eq!(v, expected(48));
     assert!(o.stats.gcs > 0, "expected collections");
     assert!(o.stats.collected_words > 0);
@@ -196,13 +227,18 @@ fn trace_is_well_formed_and_shows_gc() {
     let (_, o) = run_with(GphConfig::ghc69_plain(2), 48, 50_000, 20_000);
     let tl = rph_trace::Timeline::from_tracer(&o.tracer);
     tl.check_well_formed().unwrap();
-    assert!(tl.mean_fraction(State::Gc) > 0.0, "GC time visible in trace");
+    assert!(
+        tl.mean_fraction(State::Gc) > 0.0,
+        "GC time visible in trace"
+    );
     assert!(tl.mean_fraction(State::Running) > 0.1);
 }
 
 #[test]
 fn one_cap_run_has_no_steals_or_pushes() {
-    let c = GphConfig::ghc69_plain(1).with_work_stealing().without_trace();
+    let c = GphConfig::ghc69_plain(1)
+        .with_work_stealing()
+        .without_trace();
     let (v, o) = run_with(c, 20, 50_000, 500);
     assert_eq!(v, expected(20));
     assert_eq!(o.stats.sparks_stolen, 0);
@@ -266,7 +302,9 @@ fn eager_blackholing_prevents_duplicate_shared_work() {
             ),
         );
         let program = b.build();
-        let mut c = GphConfig::ghc69_plain(4).with_big_alloc_area().with_work_stealing();
+        let mut c = GphConfig::ghc69_plain(4)
+            .with_big_alloc_area()
+            .with_work_stealing();
         c.black_holing = bh;
         c = c.without_trace();
         let mut rt = GphRuntime::new(program, c);
@@ -288,8 +326,14 @@ fn eager_blackholing_prevents_duplicate_shared_work() {
         lazy.stats.duplicate_evals > 0,
         "lazy BH must duplicate the shared computation"
     );
-    assert_eq!(eager.stats.duplicate_evals, 0, "eager BH prevents duplication");
-    assert!(eager.stats.blackhole_blocks > 0, "eager BH blocks second forcers");
+    assert_eq!(
+        eager.stats.duplicate_evals, 0,
+        "eager BH prevents duplication"
+    );
+    assert!(
+        eager.stats.blackhole_blocks > 0,
+        "eager BH blocks second forcers"
+    );
     assert!(
         eager.elapsed < lazy.elapsed,
         "eager {} !< lazy {} when work is shared",
@@ -438,7 +482,9 @@ fn program_errors_propagate_from_parallel_code() {
     let program = b.build();
     let mut rt = GphRuntime::new(
         program,
-        GphConfig::ghc69_plain(4).with_work_stealing().without_trace(),
+        GphConfig::ghc69_plain(4)
+            .with_work_stealing()
+            .without_trace(),
     );
     let err = rt
         .run(|heap| {

@@ -172,7 +172,12 @@ mod tests {
                 transient_words: 1_000,
             }
         });
-        Fix { program: b.build(), pre, strat, work }
+        Fix {
+            program: b.build(),
+            pre,
+            strat,
+            work,
+        }
     }
 
     /// Run `sum (map work [1..n] `using` strat_expr)` and return
@@ -180,14 +185,19 @@ mod tests {
     fn run_using(f: &Fix, n: i64, build_strat: impl FnOnce(&mut Heap) -> NodeRef) -> (i64, u64) {
         let mut rt = GphRuntime::new(
             f.program.clone(),
-            GphConfig::ghc69_plain(4).with_work_stealing().without_trace(),
+            GphConfig::ghc69_plain(4)
+                .with_work_stealing()
+                .without_trace(),
         );
         let (pre, work, using) = (f.pre, f.work, f.strat.using);
         let out = rt
             .run(move |heap| {
                 let data: Vec<i64> = (1..=n).collect();
                 let xs = alloc_int_list(heap, &data);
-                let wp = heap.alloc_value(Value::Pap { sc: work, args: Box::new([]) });
+                let wp = heap.alloc_value(Value::Pap {
+                    sc: work,
+                    args: Box::new([]),
+                });
                 let mapped = heap.alloc_thunk(pre.map, vec![wp, xs]);
                 let strat = build_strat(heap);
                 let used = heap.alloc_thunk(using, vec![mapped, strat]);
@@ -203,7 +213,10 @@ mod tests {
         let f = fix();
         let strat_sc = f.strat.par_list_whnf;
         let (v, sparks) = run_using(&f, 20, |heap| {
-            heap.alloc_value(Value::Pap { sc: strat_sc, args: Box::new([]) })
+            heap.alloc_value(Value::Pap {
+                sc: strat_sc,
+                args: Box::new([]),
+            })
         });
         assert_eq!(v, (1..=20).map(|x| x * 3).sum::<i64>());
         assert_eq!(sparks, 20, "one spark per element");
@@ -214,7 +227,10 @@ mod tests {
         let f = fix();
         let rnf_sc = f.strat.par_list_rnf;
         let (v, sparks) = run_using(&f, 12, |heap| {
-            heap.alloc_value(Value::Pap { sc: rnf_sc, args: Box::new([]) })
+            heap.alloc_value(Value::Pap {
+                sc: rnf_sc,
+                args: Box::new([]),
+            })
         });
         assert_eq!(v, (1..=12).map(|x| x * 3).sum::<i64>());
         assert_eq!(sparks, 12);
@@ -227,8 +243,14 @@ mod tests {
         // strat = \xs -> parListChunk 5 rwhnf xs, as a partial application.
         let (v, sparks) = run_using(&f, 20, |heap| {
             let five = heap.int(5);
-            let rw = heap.alloc_value(Value::Pap { sc: rwhnf_sc, args: Box::new([]) });
-            heap.alloc_value(Value::Pap { sc: chunk_sc, args: vec![five, rw].into() })
+            let rw = heap.alloc_value(Value::Pap {
+                sc: rwhnf_sc,
+                args: Box::new([]),
+            });
+            heap.alloc_value(Value::Pap {
+                sc: chunk_sc,
+                args: vec![five, rw].into(),
+            })
         });
         assert_eq!(v, (1..=20).map(|x| x * 3).sum::<i64>());
         assert_eq!(sparks, 4, "20 elements / chunks of 5");
@@ -239,8 +261,14 @@ mod tests {
         let f = fix();
         let (seq_sc, rwhnf_sc) = (f.strat.seq_list, f.strat.rwhnf);
         let (v, sparks) = run_using(&f, 10, |heap| {
-            let rw = heap.alloc_value(Value::Pap { sc: rwhnf_sc, args: Box::new([]) });
-            heap.alloc_value(Value::Pap { sc: seq_sc, args: vec![rw].into() })
+            let rw = heap.alloc_value(Value::Pap {
+                sc: rwhnf_sc,
+                args: Box::new([]),
+            });
+            heap.alloc_value(Value::Pap {
+                sc: seq_sc,
+                args: vec![rw].into(),
+            })
         });
         assert_eq!(v, (1..=10).map(|x| x * 3).sum::<i64>());
         assert_eq!(sparks, 0);
@@ -253,8 +281,14 @@ mod tests {
         let f = fix();
         let (par_list, rnf) = (f.strat.par_list, f.strat.rnf);
         let (v, sparks) = run_using(&f, 8, |heap| {
-            let r = heap.alloc_value(Value::Pap { sc: rnf, args: Box::new([]) });
-            heap.alloc_value(Value::Pap { sc: par_list, args: vec![r].into() })
+            let r = heap.alloc_value(Value::Pap {
+                sc: rnf,
+                args: Box::new([]),
+            });
+            heap.alloc_value(Value::Pap {
+                sc: par_list,
+                args: vec![r].into(),
+            })
         });
         assert_eq!(v, (1..=8).map(|x| x * 3).sum::<i64>());
         assert_eq!(sparks, 8);

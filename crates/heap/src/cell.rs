@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn words() {
-        let t = Cell::Thunk { sc: ScId(0), args: vec![NodeRef(1), NodeRef(2)].into() };
+        let t = Cell::Thunk {
+            sc: ScId(0),
+            args: vec![NodeRef(1), NodeRef(2)].into(),
+        };
         assert_eq!(t.words(), 4);
         assert_eq!(Cell::Ind(NodeRef(0)).words(), 2);
         assert_eq!(Cell::Free.words(), 0);
@@ -76,13 +79,20 @@ mod tests {
     #[test]
     fn children() {
         let mut buf = Vec::new();
-        Cell::Thunk { sc: ScId(0), args: vec![NodeRef(5)].into() }.push_children(&mut buf);
+        Cell::Thunk {
+            sc: ScId(0),
+            args: vec![NodeRef(5)].into(),
+        }
+        .push_children(&mut buf);
         assert_eq!(buf, vec![NodeRef(5)]);
         buf.clear();
         Cell::Ind(NodeRef(9)).push_children(&mut buf);
         assert_eq!(buf, vec![NodeRef(9)]);
         buf.clear();
-        Cell::BlackHole { blocked: vec![ThreadId(1)] }.push_children(&mut buf);
+        Cell::BlackHole {
+            blocked: vec![ThreadId(1)],
+        }
+        .push_children(&mut buf);
         assert!(buf.is_empty());
     }
 

@@ -10,17 +10,21 @@
 //! sender must have normalised first (the middleware in `rph-eden`
 //! drives that evaluation).
 
+use crate::cell::Cell;
 use crate::heap::{Heap, HeapError};
 use crate::noderef::NodeRef;
 use crate::value::Value;
-use crate::cell::Cell;
 use std::collections::HashMap;
 
 /// Copy the normal-form subgraph rooted at `root` from `src` into
 /// `dst`, preserving sharing (a DAG stays a DAG; the copy allocates one
 /// node per *distinct* source node). Returns the root in `dst` and the
 /// number of words copied (the serialised message size).
-pub fn copy_subgraph(src: &Heap, root: NodeRef, dst: &mut Heap) -> Result<(NodeRef, u64), HeapError> {
+pub fn copy_subgraph(
+    src: &Heap,
+    root: NodeRef,
+    dst: &mut Heap,
+) -> Result<(NodeRef, u64), HeapError> {
     let mut memo: HashMap<NodeRef, NodeRef> = HashMap::new();
     let mut words = 0u64;
     let r = copy_rec(src, src.resolve(root), dst, &mut memo, &mut words)?;
@@ -99,7 +103,10 @@ fn copy_rec(
             for a in args.iter() {
                 out.push(copy_rec(src, *a, dst, memo, words)?);
             }
-            let v = Value::Pap { sc, args: out.into() };
+            let v = Value::Pap {
+                sc,
+                args: out.into(),
+            };
             *words += v.words();
             let n = dst.alloc_value(v);
             memo.insert(r, n);

@@ -50,7 +50,11 @@ impl Collector {
     }
 
     /// Collect `heap`, keeping exactly the cells reachable from `roots`.
-    pub fn collect(&mut self, heap: &mut Heap, roots: impl IntoIterator<Item = NodeRef>) -> GcResult {
+    pub fn collect(
+        &mut self,
+        heap: &mut Heap,
+        roots: impl IntoIterator<Item = NodeRef>,
+    ) -> GcResult {
         let n = heap.capacity();
         self.marks.clear();
         self.marks.resize(n, false);
@@ -74,7 +78,12 @@ impl Collector {
         }
 
         // Sweep phase.
-        let mut res = GcResult { live_cells: 0, live_words: 0, collected_cells: 0, collected_words: 0 };
+        let mut res = GcResult {
+            live_cells: 0,
+            live_words: 0,
+            collected_cells: 0,
+            collected_words: 0,
+        };
         for idx in 0..n {
             let cell = &heap.cells()[idx];
             if matches!(cell, crate::cell::Cell::Free) {

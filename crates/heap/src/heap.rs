@@ -131,7 +131,10 @@ impl Heap {
 
     /// Allocate a thunk node: the suspended application `sc args`.
     pub fn alloc_thunk(&mut self, sc: ScId, args: impl Into<Box<[NodeRef]>>) -> NodeRef {
-        self.alloc(Cell::Thunk { sc, args: args.into() })
+        self.alloc(Cell::Thunk {
+            sc,
+            args: args.into(),
+        })
     }
 
     /// Read a cell (without resolving indirections).
@@ -162,8 +165,12 @@ impl Heap {
     /// The value of `r`, panicking if unevaluated (test/kernel helper
     /// for places where evaluation is known to have happened).
     pub fn expect_value(&self, r: NodeRef) -> &Value {
-        self.whnf(r)
-            .unwrap_or_else(|| panic!("node {r} expected in WHNF, found {:?}", self.get(self.resolve(r))))
+        self.whnf(r).unwrap_or_else(|| {
+            panic!(
+                "node {r} expected in WHNF, found {:?}",
+                self.get(self.resolve(r))
+            )
+        })
     }
 
     /// Enter the (resolved) node `r` for evaluation.
@@ -198,7 +205,9 @@ impl Heap {
         let cell = &mut self.cells[r.index()];
         if let Cell::Thunk { .. } = cell {
             let old = cell.words();
-            *cell = Cell::BlackHole { blocked: Vec::new() };
+            *cell = Cell::BlackHole {
+                blocked: Vec::new(),
+            };
             // Black hole overwrites in place; live words shrink to the
             // 2-word header.
             self.live_words = self.live_words - old + 2;
@@ -231,7 +240,10 @@ impl Heap {
         if r == result {
             // Updating a node with itself (already evaluated in place).
             self.stats.updates += 1;
-            return UpdateReport { woken: Vec::new(), duplicate: false };
+            return UpdateReport {
+                woken: Vec::new(),
+                duplicate: false,
+            };
         }
         let cell = &mut self.cells[r.index()];
         match cell {
@@ -241,7 +253,10 @@ impl Heap {
                 *cell = Cell::Ind(result);
                 self.live_words = self.live_words - old + 2;
                 self.stats.updates += 1;
-                UpdateReport { woken, duplicate: false }
+                UpdateReport {
+                    woken,
+                    duplicate: false,
+                }
             }
             Cell::Thunk { .. } => {
                 // Lazy black-holing: nobody blocked, overwrite quietly.
@@ -249,13 +264,19 @@ impl Heap {
                 *cell = Cell::Ind(result);
                 self.live_words = self.live_words - old + 2;
                 self.stats.updates += 1;
-                UpdateReport { woken: Vec::new(), duplicate: false }
+                UpdateReport {
+                    woken: Vec::new(),
+                    duplicate: false,
+                }
             }
             Cell::Value(_) | Cell::Ind(_) => {
                 // Someone beat us to it: duplicate evaluation detected.
                 self.stats.updates += 1;
                 self.stats.duplicate_updates += 1;
-                UpdateReport { woken: Vec::new(), duplicate: true }
+                UpdateReport {
+                    woken: Vec::new(),
+                    duplicate: true,
+                }
             }
             Cell::Free => panic!("{}", HeapError::UseAfterFree(r)),
         }

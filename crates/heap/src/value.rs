@@ -127,7 +127,11 @@ mod tests {
         Value::Int(3).push_children(&mut buf);
         assert!(buf.is_empty());
         buf.clear();
-        Value::Pap { sc: ScId(0), args: vec![NodeRef(9)].into() }.push_children(&mut buf);
+        Value::Pap {
+            sc: ScId(0),
+            args: vec![NodeRef(9)].into(),
+        }
+        .push_children(&mut buf);
         assert_eq!(buf, vec![NodeRef(9)]);
     }
 

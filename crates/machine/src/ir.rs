@@ -103,7 +103,10 @@ pub enum Expr {
     /// saturation enters the supercombinator.
     AppVar { f: Atom, args: Vec<Atom> },
     /// Strict primitive application.
-    Prim { op: crate::primop::PrimOp, args: Vec<Atom> },
+    Prim {
+        op: crate::primop::PrimOp,
+        args: Vec<Atom>,
+    },
     /// Allocate the right-hand sides (in order, each extending the
     /// environment — later RHSs may refer to earlier ones), then
     /// evaluate the body.
@@ -190,17 +193,26 @@ pub fn thunk(sc: ScId, args: Vec<Atom>) -> LetRhs {
 
 /// Case on a list.
 pub fn case_list(scrut: E, nil: E, cons: E) -> E {
-    Arc::new(Expr::Case { scrut, alts: Alts::List { nil, cons } })
+    Arc::new(Expr::Case {
+        scrut,
+        alts: Alts::List { nil, cons },
+    })
 }
 
 /// Case on a bool.
 pub fn case_bool(scrut: E, tt: E, ff: E) -> E {
-    Arc::new(Expr::Case { scrut, alts: Alts::Bool { tt, ff } })
+    Arc::new(Expr::Case {
+        scrut,
+        alts: Alts::Bool { tt, ff },
+    })
 }
 
 /// Case on a tuple.
 pub fn case_tuple(scrut: E, arity: usize, body: E) -> E {
-    Arc::new(Expr::Case { scrut, alts: Alts::Tuple { arity, body } })
+    Arc::new(Expr::Case {
+        scrut,
+        alts: Alts::Tuple { arity, body },
+    })
 }
 
 /// GpH `par`.
@@ -246,11 +258,7 @@ impl Expr {
                 args.iter().filter_map(atom_max).max()
             }
             Expr::AppVar { f, args } => atom_max(f).max(args.iter().filter_map(atom_max).max()),
-            Expr::Let { rhss, body } => rhss
-                .iter()
-                .filter_map(rhs_max)
-                .max()
-                .max(body.max_var()),
+            Expr::Let { rhss, body } => rhss.iter().filter_map(rhs_max).max().max(body.max_var()),
             Expr::Case { scrut, alts } => {
                 let alt_max = match alts {
                     Alts::List { nil, cons } => nil.max_var().max(cons.max_var()),
@@ -284,10 +292,7 @@ mod tests {
     #[test]
     fn builders_compose() {
         // let x = 1+2 in x  (shape check only)
-        let e = let_(
-            vec![thunk(ScId(0), vec![int(1), int(2)])],
-            atom(v(0)),
-        );
+        let e = let_(vec![thunk(ScId(0), vec![int(1), int(2)])], atom(v(0)));
         match &*e {
             Expr::Let { rhss, body } => {
                 assert_eq!(rhss.len(), 1);

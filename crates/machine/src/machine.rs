@@ -18,9 +18,9 @@
 use crate::ir::{Alts, Atom, Expr, LetRhs, E};
 use crate::primop::{apply_prim, PrimError, PrimOp};
 use crate::program::{Program, ScBody};
+use rph_heap::area::AllocOutcome;
 use rph_heap::heap::Claim;
 use rph_heap::{AllocArea, Cell, Heap, NodeRef, ScId, Value};
-use rph_heap::area::AllocOutcome;
 use rph_trace::ThreadId;
 
 /// Shared evaluation context for one slice: program, heap, allocation
@@ -128,7 +128,11 @@ enum Code {
     /// kernels hit allocation checkpoints, join GC barriers, get their
     /// frames lazily black-holed on timer yields, and can be raced by
     /// duplicate entrants exactly like GHC-compiled inner loops.
-    Kernel { result: NodeRef, cost_left: u64, alloc_left: u64 },
+    Kernel {
+        result: NodeRef,
+        cost_left: u64,
+        alloc_left: u64,
+    },
 }
 
 /// Cost paid per kernel piece (≈ 8 µs of inner loop between bookkeeping
@@ -148,14 +152,25 @@ enum Kont {
     /// Evaluate `b` after the forced value is discarded (`seq`).
     Seq { b: E, env: Env },
     /// Force primop operands one by one, then apply.
-    PrimK { op: PrimOp, nodes: Vec<NodeRef>, next: usize },
+    PrimK {
+        op: PrimOp,
+        nodes: Vec<NodeRef>,
+        next: usize,
+    },
     /// Force kernel arguments one by one, then invoke the kernel.
-    KernelK { sc: ScId, nodes: Vec<NodeRef>, next: usize },
+    KernelK {
+        sc: ScId,
+        nodes: Vec<NodeRef>,
+        next: usize,
+    },
     /// Force a function value, then apply it to the argument nodes.
     ApplyK { args: Vec<NodeRef> },
     /// Deep (normal-form) forcing: nodes still to visit, and the root
     /// to return when done.
-    DeepK { root: NodeRef, pending: Vec<NodeRef> },
+    DeepK {
+        root: NodeRef,
+        pending: Vec<NodeRef>,
+    },
 }
 
 /// The evaluation state of one lightweight thread.
@@ -201,7 +216,10 @@ impl Machine {
     /// sender threads normalise before transmission).
     pub fn enter_deep(tid: ThreadId, node: NodeRef) -> Self {
         let mut m = Self::enter(tid, node);
-        m.konts.push(Kont::DeepK { root: node, pending: Vec::new() });
+        m.konts.push(Kont::DeepK {
+            root: node,
+            pending: Vec::new(),
+        });
         m
     }
 
@@ -267,19 +285,29 @@ impl Machine {
     /// Run until `fuel` work units are consumed, a checkpoint is
     /// crossed, the thread blocks, or it finishes.
     pub fn run(&mut self, ctx: &mut RunCtx<'_>, fuel: u64) -> Slice {
-        assert_eq!(self.status, MachineStatus::Runnable, "running a non-runnable machine");
+        assert_eq!(
+            self.status,
+            MachineStatus::Runnable,
+            "running a non-runnable machine"
+        );
         ctx.checkpoint = false;
         let mut spent: u64 = 0;
         loop {
             if spent >= fuel {
-                return Slice { cost: spent, stop: StopReason::FuelExhausted };
+                return Slice {
+                    cost: spent,
+                    stop: StopReason::FuelExhausted,
+                };
             }
             let before = ctx.area.total_allocated();
             let step = match self.step(ctx) {
                 Ok(s) => s,
                 Err(msg) => {
                     self.status = MachineStatus::Finished;
-                    return Slice { cost: spent, stop: StopReason::Error(msg) };
+                    return Slice {
+                        cost: spent,
+                        stop: StopReason::Error(msg),
+                    };
                 }
             };
             let alloc_words = ctx.area.total_allocated() - before;
@@ -290,19 +318,31 @@ impl Machine {
                 Outcome::Continue => {
                     if ctx.checkpoint {
                         ctx.checkpoint = false;
-                        return Slice { cost: spent, stop: StopReason::Checkpoint };
+                        return Slice {
+                            cost: spent,
+                            stop: StopReason::Checkpoint,
+                        };
                     }
                     if !ctx.sparks.is_empty() {
-                        return Slice { cost: spent, stop: StopReason::Sparked };
+                        return Slice {
+                            cost: spent,
+                            stop: StopReason::Sparked,
+                        };
                     }
                 }
                 Outcome::Blocked(r) => {
                     self.status = MachineStatus::Blocked;
-                    return Slice { cost: spent, stop: StopReason::Blocked(r) };
+                    return Slice {
+                        cost: spent,
+                        stop: StopReason::Blocked(r),
+                    };
                 }
                 Outcome::Finished(r) => {
                     self.status = MachineStatus::Finished;
-                    return Slice { cost: spent, stop: StopReason::Finished(r) };
+                    return Slice {
+                        cost: spent,
+                        stop: StopReason::Finished(r),
+                    };
                 }
             }
         }
@@ -317,7 +357,11 @@ impl Machine {
             Code::Eval(e, env) => self.eval(e, env, ctx),
             Code::Enter(r) => self.enter_node(r, ctx),
             Code::Return(r) => self.return_node(r, ctx),
-            Code::Kernel { result, cost_left, alloc_left } => {
+            Code::Kernel {
+                result,
+                cost_left,
+                alloc_left,
+            } => {
                 let piece = cost_left.min(KERNEL_PIECE);
                 let alloc_piece = if cost_left > piece {
                     // Proportional allocation, rounding the remainder
@@ -367,7 +411,11 @@ impl Machine {
                     return Err(format!("{op:?} applied to {} args", nodes.len()));
                 }
                 let first = nodes[0];
-                self.konts.push(Kont::PrimK { op: *op, nodes, next: 1 });
+                self.konts.push(Kont::PrimK {
+                    op: *op,
+                    nodes,
+                    next: 1,
+                });
                 self.code = Code::Enter(first);
                 Ok(Step::cont(C_STEP))
             }
@@ -380,7 +428,10 @@ impl Machine {
                 Ok(Step::cont(C_STEP))
             }
             Expr::Case { scrut, alts } => {
-                self.konts.push(Kont::Case { alts: alts.clone(), env: env.clone() });
+                self.konts.push(Kont::Case {
+                    alts: alts.clone(),
+                    env: env.clone(),
+                });
                 self.code = Code::Eval(scrut.clone(), env);
                 Ok(Step::cont(C_STEP))
             }
@@ -391,13 +442,19 @@ impl Machine {
                 Ok(Step::cont(C_PAR))
             }
             Expr::Seq { a, b } => {
-                self.konts.push(Kont::Seq { b: b.clone(), env: env.clone() });
+                self.konts.push(Kont::Seq {
+                    b: b.clone(),
+                    env: env.clone(),
+                });
                 self.code = Code::Eval(a.clone(), env);
                 Ok(Step::cont(C_STEP))
             }
             Expr::If { cond, then_, else_ } => {
                 self.konts.push(Kont::Case {
-                    alts: Alts::Bool { tt: then_.clone(), ff: else_.clone() },
+                    alts: Alts::Bool {
+                        tt: then_.clone(),
+                        ff: else_.clone(),
+                    },
                     env: env.clone(),
                 });
                 self.code = Code::Eval(cond.clone(), env);
@@ -417,17 +474,28 @@ impl Machine {
                 // Stay in Enter(r): on wake, the node will be an Ind to
                 // the value and entering it succeeds immediately.
                 self.code = Code::Enter(r);
-                Ok(Step { base_cost: C_STEP, outcome: Outcome::Blocked(r) })
+                Ok(Step {
+                    base_cost: C_STEP,
+                    outcome: Outcome::Blocked(r),
+                })
             }
             Claim::Run { sc, args } => {
-                self.konts.push(Kont::Update { node: r, start_cost: self.cost_total });
+                self.konts.push(Kont::Update {
+                    node: r,
+                    start_cost: self.cost_total,
+                });
                 self.call_sc_claimed(sc, args.into_vec(), ctx)
             }
         }
     }
 
     /// Tail-call `sc` with evaluated-or-thunk argument nodes.
-    fn call_sc(&mut self, sc: ScId, nodes: Vec<NodeRef>, ctx: &mut RunCtx<'_>) -> Result<Step, String> {
+    fn call_sc(
+        &mut self,
+        sc: ScId,
+        nodes: Vec<NodeRef>,
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<Step, String> {
         self.call_sc_claimed(sc, nodes, ctx)
     }
 
@@ -463,7 +531,12 @@ impl Machine {
         }
     }
 
-    fn run_kernel(&mut self, sc: ScId, nodes: &[NodeRef], ctx: &mut RunCtx<'_>) -> Result<Step, String> {
+    fn run_kernel(
+        &mut self,
+        sc: ScId,
+        nodes: &[NodeRef],
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<Step, String> {
         let kernel = match &ctx.program.sc(sc).body {
             ScBody::Kernel(k) => k.clone(),
             ScBody::Expr(_) => unreachable!("run_kernel on an IR body"),
@@ -487,7 +560,10 @@ impl Machine {
 
     fn return_node(&mut self, r: NodeRef, ctx: &mut RunCtx<'_>) -> Result<Step, String> {
         let Some(kont) = self.konts.pop() else {
-            return Ok(Step { base_cost: C_STEP, outcome: Outcome::Finished(r) });
+            return Ok(Step {
+                base_cost: C_STEP,
+                outcome: Outcome::Finished(r),
+            });
         };
         match kont {
             Kont::Case { alts, env } => self.select_alt(r, alts, env, ctx),
@@ -495,7 +571,8 @@ impl Machine {
                 let rep = ctx.heap.update(node, r);
                 ctx.woken.extend(rep.woken);
                 if rep.duplicate {
-                    ctx.duplicate_work.push(self.cost_total.saturating_sub(start_cost));
+                    ctx.duplicate_work
+                        .push(self.cost_total.saturating_sub(start_cost));
                 }
                 self.code = Code::Return(r);
                 Ok(Step::cont(C_UPDATE))
@@ -507,7 +584,11 @@ impl Machine {
             Kont::PrimK { op, nodes, next } => {
                 if next < nodes.len() {
                     let n = nodes[next];
-                    self.konts.push(Kont::PrimK { op, nodes, next: next + 1 });
+                    self.konts.push(Kont::PrimK {
+                        op,
+                        nodes,
+                        next: next + 1,
+                    });
                     self.code = Code::Enter(n);
                     Ok(Step::cont(C_STEP))
                 } else {
@@ -517,7 +598,11 @@ impl Machine {
             Kont::KernelK { sc, nodes, next } => {
                 if next < nodes.len() {
                     let n = nodes[next];
-                    self.konts.push(Kont::KernelK { sc, nodes, next: next + 1 });
+                    self.konts.push(Kont::KernelK {
+                        sc,
+                        nodes,
+                        next: next + 1,
+                    });
                     self.code = Code::Enter(n);
                     Ok(Step::cont(C_STEP))
                 } else {
@@ -548,11 +633,19 @@ impl Machine {
         }
     }
 
-    fn apply_prim_now(&mut self, op: PrimOp, nodes: &[NodeRef], ctx: &mut RunCtx<'_>) -> Result<Step, String> {
+    fn apply_prim_now(
+        &mut self,
+        op: PrimOp,
+        nodes: &[NodeRef],
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<Step, String> {
         if op == PrimOp::DeepSeq {
             // Switch to deep forcing of the (already WHNF) operand.
             let root = ctx.heap.resolve(nodes[0]);
-            self.konts.push(Kont::DeepK { root, pending: Vec::new() });
+            self.konts.push(Kont::DeepK {
+                root,
+                pending: Vec::new(),
+            });
             self.code = Code::Return(root);
             return Ok(Step::cont(C_STEP));
         }
@@ -570,7 +663,12 @@ impl Machine {
         Ok(Step::cont(op.cost()))
     }
 
-    fn apply_value(&mut self, f: NodeRef, args: Vec<NodeRef>, ctx: &mut RunCtx<'_>) -> Result<Step, String> {
+    fn apply_value(
+        &mut self,
+        f: NodeRef,
+        args: Vec<NodeRef>,
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<Step, String> {
         let f = ctx.heap.resolve(f);
         let (sc, mut have) = match ctx.heap.whnf(f) {
             Some(Value::Pap { sc, args }) => (*sc, args.to_vec()),
@@ -581,7 +679,10 @@ impl Machine {
         let arity = ctx.program.sc(sc).arity;
         match have.len().cmp(&arity) {
             std::cmp::Ordering::Less => {
-                let node = ctx.alloc(Cell::Value(Value::Pap { sc, args: have.into() }));
+                let node = ctx.alloc(Cell::Value(Value::Pap {
+                    sc,
+                    args: have.into(),
+                }));
                 self.code = Code::Return(node);
                 Ok(Step::cont(C_STEP))
             }
@@ -596,7 +697,13 @@ impl Machine {
         }
     }
 
-    fn select_alt(&mut self, r: NodeRef, alts: Alts, mut env: Env, ctx: &mut RunCtx<'_>) -> Result<Step, String> {
+    fn select_alt(
+        &mut self,
+        r: NodeRef,
+        alts: Alts,
+        mut env: Env,
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<Step, String> {
         let r = ctx.heap.resolve(r);
         let v = ctx
             .heap
@@ -660,15 +767,28 @@ impl Machine {
         }
     }
 
-    fn atoms(&mut self, atoms: &[Atom], env: &Env, ctx: &mut RunCtx<'_>) -> Result<Vec<NodeRef>, String> {
+    fn atoms(
+        &mut self,
+        atoms: &[Atom],
+        env: &Env,
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<Vec<NodeRef>, String> {
         atoms.iter().map(|a| self.atom(a, env, ctx)).collect()
     }
 
-    fn alloc_rhs(&mut self, rhs: &LetRhs, env: &Env, ctx: &mut RunCtx<'_>) -> Result<NodeRef, String> {
+    fn alloc_rhs(
+        &mut self,
+        rhs: &LetRhs,
+        env: &Env,
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<NodeRef, String> {
         Ok(match rhs {
             LetRhs::Thunk { sc, args } => {
                 let nodes = self.atoms(args, env, ctx)?;
-                ctx.alloc(Cell::Thunk { sc: *sc, args: nodes.into() })
+                ctx.alloc(Cell::Thunk {
+                    sc: *sc,
+                    args: nodes.into(),
+                })
             }
             LetRhs::ThunkApp { f, args } => {
                 // A dynamic-call thunk: suspended `$apply f args`,
@@ -687,7 +807,10 @@ impl Machine {
                 for a in args {
                     nodes.push(self.atom(a, env, ctx)?);
                 }
-                ctx.alloc(Cell::Thunk { sc: apply, args: nodes.into() })
+                ctx.alloc(Cell::Thunk {
+                    sc: apply,
+                    args: nodes.into(),
+                })
             }
             LetRhs::Cons(h, t) => {
                 let h = self.atom(h, env, ctx)?;
@@ -702,7 +825,10 @@ impl Machine {
             LetRhs::Lit(l) => ctx.alloc(Cell::Value(l.to_value())),
             LetRhs::Pap { sc, args } => {
                 let nodes = self.atoms(args, env, ctx)?;
-                ctx.alloc(Cell::Value(Value::Pap { sc: *sc, args: nodes.into() }))
+                ctx.alloc(Cell::Value(Value::Pap {
+                    sc: *sc,
+                    args: nodes.into(),
+                }))
             }
         })
     }
@@ -715,7 +841,10 @@ struct Step {
 
 impl Step {
     fn cont(base_cost: u64) -> Self {
-        Step { base_cost, outcome: Outcome::Continue }
+        Step {
+            base_cost,
+            outcome: Outcome::Continue,
+        }
     }
 }
 

@@ -47,7 +47,10 @@ fn machine_agrees_with_reference_on_prelude_pipelines() {
             let hi = heap.int(n);
             let kk = heap.int(k);
             let xs = heap.alloc_thunk(pre.enum_from_to, vec![lo, hi]);
-            let f = heap.alloc_value(Value::Pap { sc: pre.inc, args: Box::new([]) });
+            let f = heap.alloc_value(Value::Pap {
+                sc: pre.inc,
+                args: Box::new([]),
+            });
             let mapped = heap.alloc_thunk(pre.map, vec![f, xs]);
             let chunks = heap.alloc_thunk(pre.chunk, vec![kk, mapped]);
             let cat = heap.alloc_thunk(pre.concat, vec![chunks]);
@@ -58,13 +61,21 @@ fn machine_agrees_with_reference_on_prelude_pipelines() {
         let mut h1 = Heap::new();
         let e1 = build(&mut h1);
         let r1 = force_whnf(&prog, &mut h1, e1).unwrap();
-        assert_eq!(h1.expect_value(r1).expect_int(), expect, "reference n={n} k={k}");
+        assert_eq!(
+            h1.expect_value(r1).expect_int(),
+            expect,
+            "reference n={n} k={k}"
+        );
 
         let mut h2 = Heap::new();
         let e2 = build(&mut h2);
         let mut m = Machine::enter(ThreadId(0), e2);
         let (r2, _) = drive(&prog, &mut h2, &mut m);
-        assert_eq!(h2.expect_value(r2).expect_int(), expect, "machine n={n} k={k}");
+        assert_eq!(
+            h2.expect_value(r2).expect_int(),
+            expect,
+            "machine n={n} k={k}"
+        );
     }
 }
 
@@ -97,7 +108,10 @@ fn take_drop_zipwith_replicate_against_rust_oracle() {
     let mut heap = Heap::new();
     let a = alloc_int_list(&mut heap, &[1, 2, 3, 4, 5]);
     let b = alloc_int_list(&mut heap, &[10, 20, 30]);
-    let f = heap.alloc_value(Value::Pap { sc: pre.add, args: Box::new([]) });
+    let f = heap.alloc_value(Value::Pap {
+        sc: pre.add,
+        args: Box::new([]),
+    });
     let z = heap.alloc_thunk(pre.zip_with, vec![f, a, b]);
     let (r, _) = run_seq_deep(&prog, &mut heap, z);
     assert_eq!(read_int_list(&heap, r), vec![11, 22, 33]);
@@ -144,7 +158,11 @@ fn sharing_thunk_evaluated_once() {
     let _pre = prelude::install(&mut b);
     let expensive = b.kernel("expensive", 0, |heap, _| {
         CALLS.fetch_add(1, Ordering::SeqCst);
-        KernelOut { result: heap.alloc_value(Value::Int(21)), cost: 1000, transient_words: 0 }
+        KernelOut {
+            result: heap.alloc_value(Value::Int(21)),
+            cost: 1000,
+            transient_words: 0,
+        }
     });
     let main = b.def(
         "main",
@@ -274,12 +292,17 @@ fn lazy_blackholing_allows_duplicate_work_eager_prevents_it() {
                     assert_eq!(heap.expect_value(r).expect_int(), 465);
                     break;
                 }
-                StopReason::FuelExhausted | StopReason::Checkpoint | StopReason::Sparked => continue,
+                StopReason::FuelExhausted | StopReason::Checkpoint | StopReason::Sparked => {
+                    continue
+                }
                 other => panic!("{other:?}"),
             }
         }
     }
-    assert!(dup >= 1, "duplicate evaluation must be detected under lazy BH");
+    assert!(
+        dup >= 1,
+        "duplicate evaluation must be detected under lazy BH"
+    );
 
     // Eager: the second machine blocks instead.
     let mut heap = Heap::new();
@@ -290,7 +313,10 @@ fn lazy_blackholing_allows_duplicate_work_eager_prevents_it() {
     let _ = ma.run(&mut ctx, 10);
     let mut ctx = RunCtx::new(&prog, &mut heap, &mut area, true);
     let sb = mb.run(&mut ctx, 10_000);
-    assert!(matches!(sb.stop, StopReason::Blocked(_)), "eager BH: second forcer blocks");
+    assert!(
+        matches!(sb.stop, StopReason::Blocked(_)),
+        "eager BH: second forcer blocks"
+    );
 }
 
 #[test]
@@ -340,7 +366,10 @@ fn checkpoint_stops_slices() {
             other => panic!("{other:?}"),
         }
     }
-    assert!(checkpoints > 10, "expected many checkpoints, got {checkpoints}");
+    assert!(
+        checkpoints > 10,
+        "expected many checkpoints, got {checkpoints}"
+    );
 }
 
 #[test]
@@ -368,7 +397,9 @@ fn machine_roots_keep_live_data_through_gc() {
             total += sl.cost;
             match sl.stop {
                 StopReason::Finished(r) => break (r, total),
-                StopReason::FuelExhausted | StopReason::Checkpoint | StopReason::Sparked => continue,
+                StopReason::FuelExhausted | StopReason::Checkpoint | StopReason::Sparked => {
+                    continue
+                }
                 other => panic!("{other:?}"),
             }
         }
@@ -384,7 +415,10 @@ fn deep_force_normalises_nested_structures() {
     let lo = heap.int(1);
     let hi = heap.int(6);
     let xs = heap.alloc_thunk(pre.enum_from_to, vec![lo, hi]);
-    let f = heap.alloc_value(Value::Pap { sc: pre.inc, args: Box::new([]) });
+    let f = heap.alloc_value(Value::Pap {
+        sc: pre.inc,
+        args: Box::new([]),
+    });
     let mapped = heap.alloc_thunk(pre.map, vec![f, xs]);
     let k = heap.int(2);
     let chunks = heap.alloc_thunk(pre.chunk, vec![k, mapped]);
@@ -412,7 +446,10 @@ fn over_application_of_pap() {
     let (prog, pre) = with_prelude();
     let mut b_heap = Heap::new();
     let heap = &mut b_heap;
-    let addp = heap.alloc_value(Value::Pap { sc: pre.add, args: Box::new([]) });
+    let addp = heap.alloc_value(Value::Pap {
+        sc: pre.add,
+        args: Box::new([]),
+    });
     let five = heap.int(5);
     let four = heap.int(4);
     // Apply add to one arg -> Pap(add,[5]); then to another -> 9.

@@ -10,8 +10,8 @@
 //! binders extend the frame in order of introduction.
 
 use crate::ir::*;
-use crate::program::ProgramBuilder;
 use crate::primop::PrimOp;
+use crate::program::ProgramBuilder;
 use rph_heap::ScId;
 
 /// Name of the n-ary dynamic apply combinator (`$apply1`…): the
@@ -108,9 +108,9 @@ pub fn install(b: &mut ProgramBuilder) -> Prelude {
             let_(vec![LetRhs::Nil], atom(v(2))),
             let_(
                 vec![
-                    thunk(inc, vec![v(0)]),              // [2] lo+1
+                    thunk(inc, vec![v(0)]),                // [2] lo+1
                     thunk(enum_from_to, vec![v(2), v(1)]), // [3] tail
-                    LetRhs::Cons(v(0), v(3)),            // [4]
+                    LetRhs::Cons(v(0), v(3)),              // [4]
                 ],
                 atom(v(4)),
             ),
@@ -127,9 +127,9 @@ pub fn install(b: &mut ProgramBuilder) -> Prelude {
             // cons: frame [f, xs, y, ys]
             let_(
                 vec![
-                    thunk_app(v(0), vec![v(2)]),   // [4] f y
-                    thunk(map, vec![v(0), v(3)]),  // [5] map f ys
-                    LetRhs::Cons(v(4), v(5)),      // [6]
+                    thunk_app(v(0), vec![v(2)]),  // [4] f y
+                    thunk(map, vec![v(0), v(3)]), // [5] map f ys
+                    LetRhs::Cons(v(4), v(5)),     // [6]
                 ],
                 atom(v(6)),
             ),
@@ -209,9 +209,9 @@ pub fn install(b: &mut ProgramBuilder) -> Prelude {
                 // cons: frame [n, xs, h, t]
                 let_(
                     vec![
-                        thunk(dec, vec![v(0)]),          // [4] n-1
-                        thunk(take, vec![v(4), v(3)]),   // [5]
-                        LetRhs::Cons(v(2), v(5)),        // [6]
+                        thunk(dec, vec![v(0)]),        // [4] n-1
+                        thunk(take, vec![v(4), v(3)]), // [5]
+                        LetRhs::Cons(v(2), v(5)),      // [6]
                     ],
                     atom(v(6)),
                 ),
@@ -274,9 +274,9 @@ pub fn install(b: &mut ProgramBuilder) -> Prelude {
                 // cons: frame [f, xs, ys, x, xs', y, ys']
                 let_(
                     vec![
-                        thunk_app(v(0), vec![v(3), v(5)]),        // [7] f x y
+                        thunk_app(v(0), vec![v(3), v(5)]),       // [7] f x y
                         thunk(zip_with, vec![v(0), v(4), v(6)]), // [8]
-                        LetRhs::Cons(v(7), v(8)),                 // [9]
+                        LetRhs::Cons(v(7), v(8)),                // [9]
                     ],
                     atom(v(9)),
                 ),
@@ -293,9 +293,9 @@ pub fn install(b: &mut ProgramBuilder) -> Prelude {
             let_(vec![LetRhs::Nil], atom(v(2))),
             let_(
                 vec![
-                    thunk(dec, vec![v(0)]),               // [2]
-                    thunk(replicate, vec![v(2), v(1)]),   // [3]
-                    LetRhs::Cons(v(1), v(3)),             // [4]
+                    thunk(dec, vec![v(0)]),             // [2]
+                    thunk(replicate, vec![v(2), v(1)]), // [3]
+                    LetRhs::Cons(v(1), v(3)),           // [4]
                 ],
                 atom(v(4)),
             ),

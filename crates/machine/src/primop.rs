@@ -46,7 +46,11 @@ pub enum PrimOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PrimError {
     /// Operand count mismatch.
-    Arity { op: PrimOp, expected: usize, got: usize },
+    Arity {
+        op: PrimOp,
+        expected: usize,
+        got: usize,
+    },
     /// Operand of the wrong shape.
     Type { op: PrimOp, got: String },
     /// Integer division by zero.
@@ -76,7 +80,11 @@ impl PrimOp {
     /// Number of operands.
     pub fn arity(self) -> usize {
         match self {
-            PrimOp::Neg | PrimOp::Not | PrimOp::IntToDouble | PrimOp::DArrayLen | PrimOp::DeepSeq => 1,
+            PrimOp::Neg
+            | PrimOp::Not
+            | PrimOp::IntToDouble
+            | PrimOp::DArrayLen
+            | PrimOp::DeepSeq => 1,
             _ => 2,
         }
     }
@@ -93,14 +101,21 @@ impl PrimOp {
 }
 
 fn type_err(op: PrimOp, v: &Value) -> PrimError {
-    PrimError::Type { op, got: format!("{v:?}") }
+    PrimError::Type {
+        op,
+        got: format!("{v:?}"),
+    }
 }
 
 /// Apply `op` to WHNF operands. `DeepSeq` is *not* handled here (the
 /// machine interprets it); calling it is a program bug.
 pub fn apply_prim(op: PrimOp, args: &[&Value]) -> Result<Value, PrimError> {
     if args.len() != op.arity() {
-        return Err(PrimError::Arity { op, expected: op.arity(), got: args.len() });
+        return Err(PrimError::Arity {
+            op,
+            expected: op.arity(),
+            got: args.len(),
+        });
     }
     use PrimOp::*;
     use Value::*;
@@ -148,7 +163,10 @@ pub fn apply_prim(op: PrimOp, args: &[&Value]) -> Result<Value, PrimError> {
         (DArrayIndex, [DArray(xs), Int(i)]) => {
             let idx = *i;
             if idx < 0 || idx as usize >= xs.len() {
-                return Err(PrimError::Bounds { len: xs.len(), index: idx });
+                return Err(PrimError::Bounds {
+                    len: xs.len(),
+                    index: idx,
+                });
             }
             Double(xs[idx as usize])
         }
@@ -175,8 +193,14 @@ mod tests {
 
     #[test]
     fn int_arithmetic() {
-        assert_eq!(apply_prim(PrimOp::Add, &[&Value::Int(2), &Value::Int(3)]), Ok(Value::Int(5)));
-        assert_eq!(apply_prim(PrimOp::Mod, &[&Value::Int(7), &Value::Int(3)]), Ok(Value::Int(1)));
+        assert_eq!(
+            apply_prim(PrimOp::Add, &[&Value::Int(2), &Value::Int(3)]),
+            Ok(Value::Int(5))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::Mod, &[&Value::Int(7), &Value::Int(3)]),
+            Ok(Value::Int(1))
+        );
         assert_eq!(
             apply_prim(PrimOp::Mod, &[&Value::Int(-7), &Value::Int(3)]),
             Ok(Value::Int(2)),
@@ -202,12 +226,18 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        assert_eq!(apply_prim(PrimOp::Le, &[&Value::Int(3), &Value::Int(3)]), Ok(Value::Bool(true)));
+        assert_eq!(
+            apply_prim(PrimOp::Le, &[&Value::Int(3), &Value::Int(3)]),
+            Ok(Value::Bool(true))
+        );
         assert_eq!(
             apply_prim(PrimOp::And, &[&Value::Bool(true), &Value::Bool(false)]),
             Ok(Value::Bool(false))
         );
-        assert_eq!(apply_prim(PrimOp::Not, &[&Value::Bool(false)]), Ok(Value::Bool(true)));
+        assert_eq!(
+            apply_prim(PrimOp::Not, &[&Value::Bool(false)]),
+            Ok(Value::Bool(true))
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl Program {
 
     /// Iterate over `(id, sc)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ScId, &Sc)> {
-        self.scs.iter().enumerate().map(|(i, sc)| (ScId(i as u32), sc))
+        self.scs
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| (ScId(i as u32), sc))
     }
 }
 
@@ -118,7 +121,11 @@ impl ProgramBuilder {
     /// Attach an IR body to a declared supercombinator.
     pub fn define(&mut self, id: ScId, body: E) {
         let slot = &mut self.scs[id.index()];
-        assert!(slot.2.is_none(), "supercombinator {:?} defined twice", slot.0);
+        assert!(
+            slot.2.is_none(),
+            "supercombinator {:?} defined twice",
+            slot.0
+        );
         if let Some(max) = body.max_var() {
             // Environment slots beyond the arguments come from lets and
             // case binders; a static bound is not computable here, but a
@@ -155,12 +162,17 @@ impl ProgramBuilder {
             .scs
             .into_iter()
             .map(|(name, arity, body)| Sc {
-                body: body.unwrap_or_else(|| panic!("supercombinator {name:?} declared but never defined")),
+                body: body.unwrap_or_else(|| {
+                    panic!("supercombinator {name:?} declared but never defined")
+                }),
                 name,
                 arity,
             })
             .collect();
-        Arc::new(Program { scs, by_name: self.by_name })
+        Arc::new(Program {
+            scs,
+            by_name: self.by_name,
+        })
     }
 }
 

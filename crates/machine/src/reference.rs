@@ -64,7 +64,12 @@ pub fn force_deep(program: &Program, heap: &mut Heap, node: NodeRef) -> Result<N
     Ok(r)
 }
 
-fn call(program: &Program, heap: &mut Heap, sc: ScId, args: Vec<NodeRef>) -> Result<NodeRef, RefError> {
+fn call(
+    program: &Program,
+    heap: &mut Heap,
+    sc: ScId,
+    args: Vec<NodeRef>,
+) -> Result<NodeRef, RefError> {
     let scdef = program.sc(sc);
     if args.len() != scdef.arity {
         return Err(RefError::Bad(format!(
@@ -87,7 +92,12 @@ fn call(program: &Program, heap: &mut Heap, sc: ScId, args: Vec<NodeRef>) -> Res
     }
 }
 
-fn eval(program: &Program, heap: &mut Heap, e: &E, mut env: Vec<NodeRef>) -> Result<NodeRef, RefError> {
+fn eval(
+    program: &Program,
+    heap: &mut Heap,
+    e: &E,
+    mut env: Vec<NodeRef>,
+) -> Result<NodeRef, RefError> {
     match &**e {
         Expr::Atom(a) => {
             let r = atom(heap, a, &env)?;
@@ -127,7 +137,10 @@ fn eval(program: &Program, heap: &mut Heap, e: &E, mut env: Vec<NodeRef>) -> Res
         }
         Expr::Case { scrut, alts } => {
             let s = eval(program, heap, scrut, env.clone())?;
-            let v = heap.whnf(s).cloned().ok_or_else(|| RefError::Bad("case: not WHNF".into()))?;
+            let v = heap
+                .whnf(s)
+                .cloned()
+                .ok_or_else(|| RefError::Bad("case: not WHNF".into()))?;
             match alts {
                 Alts::List { nil, cons } => match v {
                     Value::Nil => eval(program, heap, nil, env),
@@ -171,7 +184,12 @@ fn eval(program: &Program, heap: &mut Heap, e: &E, mut env: Vec<NodeRef>) -> Res
     }
 }
 
-fn apply_value(program: &Program, heap: &mut Heap, f: NodeRef, args: Vec<NodeRef>) -> Result<NodeRef, RefError> {
+fn apply_value(
+    program: &Program,
+    heap: &mut Heap,
+    f: NodeRef,
+    args: Vec<NodeRef>,
+) -> Result<NodeRef, RefError> {
     let fw = force_whnf(program, heap, f)?;
     let (sc, mut have) = match heap.whnf(fw) {
         Some(Value::Pap { sc, args }) => (*sc, args.to_vec()),
@@ -180,7 +198,10 @@ fn apply_value(program: &Program, heap: &mut Heap, f: NodeRef, args: Vec<NodeRef
     have.extend(args);
     let arity = program.sc(sc).arity;
     match have.len().cmp(&arity) {
-        std::cmp::Ordering::Less => Ok(heap.alloc_value(Value::Pap { sc, args: have.into() })),
+        std::cmp::Ordering::Less => Ok(heap.alloc_value(Value::Pap {
+            sc,
+            args: have.into(),
+        })),
         std::cmp::Ordering::Equal => call(program, heap, sc, have),
         std::cmp::Ordering::Greater => {
             let rest = have.split_off(arity);
@@ -204,7 +225,12 @@ fn atoms(heap: &mut Heap, aa: &[Atom], env: &[NodeRef]) -> Result<Vec<NodeRef>, 
     aa.iter().map(|a| atom(heap, a, env)).collect()
 }
 
-fn alloc_rhs(program: &Program, heap: &mut Heap, rhs: &LetRhs, env: &[NodeRef]) -> Result<NodeRef, RefError> {
+fn alloc_rhs(
+    program: &Program,
+    heap: &mut Heap,
+    rhs: &LetRhs,
+    env: &[NodeRef],
+) -> Result<NodeRef, RefError> {
     Ok(match rhs {
         LetRhs::Thunk { sc, args } => {
             let nodes = atoms(heap, args, env)?;
@@ -233,7 +259,10 @@ fn alloc_rhs(program: &Program, heap: &mut Heap, rhs: &LetRhs, env: &[NodeRef]) 
         LetRhs::Lit(l) => heap.alloc_value(l.to_value()),
         LetRhs::Pap { sc, args } => {
             let nodes = atoms(heap, args, env)?;
-            heap.alloc_value(Value::Pap { sc: *sc, args: nodes.into() })
+            heap.alloc_value(Value::Pap {
+                sc: *sc,
+                args: nodes.into(),
+            })
         }
     })
 }
@@ -382,7 +411,10 @@ mod tests {
             let lo = heap.int(1);
             let hi = heap.int(50);
             let xs = heap.alloc_thunk(pre.enum_from_to, vec![lo, hi]);
-            let f = heap.alloc_value(Value::Pap { sc: pre.inc, args: Box::new([]) });
+            let f = heap.alloc_value(Value::Pap {
+                sc: pre.inc,
+                args: Box::new([]),
+            });
             let mapped = heap.alloc_thunk(pre.map, vec![f, xs]);
             heap.alloc_thunk(pre.sum, vec![mapped])
         };

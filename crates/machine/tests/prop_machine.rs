@@ -60,16 +60,13 @@ fn model(stage: &Stage, xs: Vec<i64>) -> Vec<i64> {
 /// Apply one stage to the graph (the split point of `Rotate` comes from
 /// the model-tracked length, but the list manipulation itself is done
 /// by the lazy program).
-fn apply_stage(
-    pre: &Prelude,
-    heap: &mut Heap,
-    stage: &Stage,
-    xs: NodeRef,
-    len: usize,
-) -> NodeRef {
+fn apply_stage(pre: &Prelude, heap: &mut Heap, stage: &Stage, xs: NodeRef, len: usize) -> NodeRef {
     match stage {
         Stage::MapInc => {
-            let f = heap.alloc_value(Value::Pap { sc: pre.inc, args: Box::new([]) });
+            let f = heap.alloc_value(Value::Pap {
+                sc: pre.inc,
+                args: Box::new([]),
+            });
             heap.alloc_thunk(pre.map, vec![f, xs])
         }
         Stage::Take(k) => {

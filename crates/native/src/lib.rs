@@ -1,0 +1,37 @@
+//! # rph-native — real-thread work-stealing execution
+//!
+//! Everything else in this repository measures the paper's effects in
+//! *virtual* time on the deterministic simulator. This crate is the
+//! second backend: the same workload decompositions on **real OS
+//! threads**, scheduled through the lock-free Chase–Lev deque of
+//! [`rph_deque::chase_lev`] — the data structure §IV.A.2 of the paper
+//! credits for eliminating "any hand-shaking when sharing work".
+//!
+//! Design (v1, deliberately Eden-shaped):
+//!
+//! * A workload is decomposed into a flat set of **pure tasks**
+//!   ([`Job`]): `run(i)` reads only the job description and produces a
+//!   fully-evaluated result. There is no shared mutable graph heap —
+//!   like Eden processes, workers "communicate only WHNF data", here
+//!   by writing each task's result into its slot of a shared
+//!   [`ResultHeap`] exactly once.
+//! * One worker per requested core. Each worker owns a
+//!   `chase_lev::Worker` task deque; every other worker holds a
+//!   `Stealer` handle onto it.
+//! * Two distribution policies mirror the paper's push-vs-steal
+//!   comparison ([`Distribution`]): `Push` statically round-robins the
+//!   tasks over all workers up front (GHC 6.8's work-pushing, minus
+//!   the scheduler-delay pathology); `Steal` seeds every task on
+//!   worker 0 and lets idle workers pull via the lock-free steal path,
+//!   retrying `Steal::Retry` with exponential backoff.
+//!
+//! The deterministic simulator remains the correctness oracle: the
+//! differential tests (in `rph-workloads` and the top-level
+//! integration suite) assert that native results are bit-identical to
+//! `GphRuntime` results for every workload at 1, 2, 4 and 8 workers.
+
+mod executor;
+
+pub use executor::{
+    execute, Distribution, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
+};

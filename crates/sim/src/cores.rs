@@ -20,7 +20,10 @@ pub struct CoreSet {
 impl CoreSet {
     pub fn new(cores: usize) -> Self {
         assert!(cores > 0, "need at least one core");
-        CoreSet { clocks: vec![0; cores], last_pe: vec![None; cores] }
+        CoreSet {
+            clocks: vec![0; cores],
+            last_pe: vec![None; cores],
+        }
     }
 
     pub fn num_cores(&self) -> usize {

@@ -124,7 +124,11 @@ impl Costs {
     /// Cost of the stop-the-world synchronisation for `caps`
     /// capabilities under the selected barrier implementation.
     pub fn gc_sync(&self, caps: usize, improved: bool) -> u64 {
-        let per = if improved { self.gc_sync_per_cap_improved } else { self.gc_sync_per_cap_original };
+        let per = if improved {
+            self.gc_sync_per_cap_improved
+        } else {
+            self.gc_sync_per_cap_original
+        };
         per * caps as u64
     }
 

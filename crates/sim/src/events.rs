@@ -38,7 +38,10 @@ pub struct EventQueue<T> {
 
 impl<T> Default for EventQueue<T> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 }
 

@@ -13,7 +13,9 @@ pub struct DetRng {
 
 impl DetRng {
     pub fn new(seed: u64) -> Self {
-        DetRng { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+        DetRng {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
     }
 
     /// Next raw 64-bit value.

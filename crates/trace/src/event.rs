@@ -110,9 +110,13 @@ pub enum EventKind {
     SparkCreated,
     /// A spark from this capability's own pool was converted to work.
     SparkRunLocal,
-    /// A spark was stolen from `victim`'s pool (work-pulling), or pushed
-    /// from `victim` (work-pushing; `victim` is then the donor).
-    SparkAcquired { victim: CapId, pushed: bool },
+    /// A spark was stolen from `victim`'s pool (work-pulling). Recorded
+    /// on the *thief's* row.
+    SparkStolen { victim: CapId },
+    /// A spark was pushed to the idle capability `to` (work-pushing).
+    /// Recorded on the *donor's* row: the recipient may be behind in
+    /// virtual time and only discovers the spark at its next poll.
+    SparkPushed { to: CapId },
     /// A spark turned out to be already evaluated (fizzled) when it was
     /// about to run.
     SparkFizzled,
@@ -136,12 +140,23 @@ pub enum EventKind {
     /// GC started (all capabilities reached the barrier).
     GcStart,
     /// GC finished; `live_words` survived, `collected_words` reclaimed.
-    GcDone { live_words: u64, collected_words: u64 },
+    GcDone {
+        live_words: u64,
+        collected_words: u64,
+    },
     /// A message was sent to `to` (Eden middleware). `words` is the
     /// serialised payload size.
-    MsgSend { to: CapId, words: u64, tag: &'static str },
+    MsgSend {
+        to: CapId,
+        words: u64,
+        tag: &'static str,
+    },
     /// A message from `from` was delivered into the local heap.
-    MsgRecv { from: CapId, words: u64, tag: &'static str },
+    MsgRecv {
+        from: CapId,
+        words: u64,
+        tag: &'static str,
+    },
     /// A remote process was instantiated on `on`.
     ProcessInstantiated { on: CapId },
     /// Free-form annotation (used by examples and tests).

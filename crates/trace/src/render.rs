@@ -24,17 +24,21 @@ pub struct RenderOptions {
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        RenderOptions { width: 100, color: false, legend: true }
+        RenderOptions {
+            width: 100,
+            color: false,
+            legend: true,
+        }
     }
 }
 
 fn ansi(state: State) -> &'static str {
     match state {
-        State::Running => "\x1b[42m",     // green background
-        State::Runnable => "\x1b[43m",    // yellow
-        State::Blocked => "\x1b[41m",     // red
-        State::Idle => "\x1b[44m",        // blue
-        State::Gc => "\x1b[45m",          // magenta
+        State::Running => "\x1b[42m",      // green background
+        State::Runnable => "\x1b[43m",     // yellow
+        State::Blocked => "\x1b[41m",      // red
+        State::Idle => "\x1b[44m",         // blue
+        State::Gc => "\x1b[45m",           // magenta
         State::Descheduled => "\x1b[100m", // grey
     }
 }
@@ -57,7 +61,10 @@ fn dominant_state(tl: &Timeline, cap: usize, lo: Time, hi: Time) -> State {
             slot.1 += o_hi - o_lo;
         }
     }
-    acc.iter().max_by_key(|(_, t)| *t).map(|(s, _)| *s).unwrap_or(State::Idle)
+    acc.iter()
+        .max_by_key(|(_, t)| *t)
+        .map(|(s, _)| *s)
+        .unwrap_or(State::Idle)
 }
 
 /// Render a per-capability activity timeline as lines of text.
@@ -74,11 +81,10 @@ pub fn render_timeline(tl: &Timeline, opts: &RenderOptions) -> String {
             let lo = tl.end_time * col as Time / w as Time;
             let hi = (tl.end_time * (col as Time + 1) / w as Time).max(lo + 1);
             let s = dominant_state(tl, cap, lo, hi.min(tl.end_time));
-            if opts.color
-                && last_color != Some(s) {
-                    out.push_str(ansi(s));
-                    last_color = Some(s);
-                }
+            if opts.color && last_color != Some(s) {
+                out.push_str(ansi(s));
+                last_color = Some(s);
+            }
             out.push(s.glyph());
         }
         if opts.color {
@@ -131,16 +137,34 @@ mod tests {
 
     #[test]
     fn ascii_render_shape() {
-        let s = render_timeline(&sample(), &RenderOptions { width: 10, color: false, legend: true });
+        let s = render_timeline(
+            &sample(),
+            &RenderOptions {
+                width: 10,
+                color: false,
+                legend: true,
+            },
+        );
         let lines: Vec<&str> = s.lines().collect();
-        assert!(lines[0].starts_with("cap  0 |##########|"), "got: {}", lines[0]);
+        assert!(
+            lines[0].starts_with("cap  0 |##########|"),
+            "got: {}",
+            lines[0]
+        );
         assert!(lines[1].contains("|.....#####|"), "got: {}", lines[1]);
         assert!(lines[2].starts_with("time 0 .. 100"));
     }
 
     #[test]
     fn color_render_contains_ansi() {
-        let s = render_timeline(&sample(), &RenderOptions { width: 4, color: true, legend: false });
+        let s = render_timeline(
+            &sample(),
+            &RenderOptions {
+                width: 4,
+                color: true,
+                legend: false,
+            },
+        );
         assert!(s.contains("\x1b[42m"));
         assert!(s.contains(ANSI_RESET));
     }
@@ -158,7 +182,10 @@ mod tests {
     #[test]
     fn empty_trace_renders_placeholder() {
         let tl = Timeline::from_tracer(&Tracer::new(0));
-        assert_eq!(render_timeline(&tl, &RenderOptions::default()), "(empty trace)\n");
+        assert_eq!(
+            render_timeline(&tl, &RenderOptions::default()),
+            "(empty trace)\n"
+        );
     }
 
     #[test]
@@ -169,7 +196,14 @@ mod tests {
         t.state(CapId(0), 10, State::Running);
         let tl = Timeline::from_tracer(&t);
         // One column covering [0,10): GC dominates 9:1.
-        let s = render_timeline(&tl, &RenderOptions { width: 1, color: false, legend: false });
+        let s = render_timeline(
+            &tl,
+            &RenderOptions {
+                width: 1,
+                color: false,
+                legend: false,
+            },
+        );
         assert!(s.contains("|G|"), "got {s}");
     }
 }

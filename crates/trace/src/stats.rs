@@ -36,13 +36,8 @@ impl Counters {
                 match &ev.kind {
                     EventKind::SparkCreated => c.sparks_created += 1,
                     EventKind::SparkRunLocal => c.sparks_run_local += 1,
-                    EventKind::SparkAcquired { pushed, .. } => {
-                        if *pushed {
-                            c.sparks_pushed += 1;
-                        } else {
-                            c.sparks_stolen += 1;
-                        }
-                    }
+                    EventKind::SparkStolen { .. } => c.sparks_stolen += 1,
+                    EventKind::SparkPushed { .. } => c.sparks_pushed += 1,
                     EventKind::SparkFizzled => c.sparks_fizzled += 1,
                     EventKind::SparkOverflow => c.sparks_overflowed += 1,
                     EventKind::ThreadCreated { .. } => c.threads_created += 1,
@@ -51,7 +46,10 @@ impl Counters {
                         c.duplicate_work_events += 1;
                         c.duplicate_work_wasted += *wasted;
                     }
-                    EventKind::GcDone { live_words, collected_words } => {
+                    EventKind::GcDone {
+                        live_words,
+                        collected_words,
+                    } => {
                         c.gcs += 1;
                         c.gc_live_words_last = *live_words;
                         c.gc_collected_words += *collected_words;
@@ -124,7 +122,11 @@ impl fmt::Display for TraceStats {
         writeln!(
             f,
             "sparks: created={} run-local={} stolen={} pushed={} fizzled={}",
-            c.sparks_created, c.sparks_run_local, c.sparks_stolen, c.sparks_pushed, c.sparks_fizzled
+            c.sparks_created,
+            c.sparks_run_local,
+            c.sparks_stolen,
+            c.sparks_pushed,
+            c.sparks_fizzled
         )?;
         writeln!(
             f,
@@ -157,12 +159,34 @@ mod tests {
         let mut t = Tracer::new(2);
         t.record(CapId(0), 0, EventKind::SparkCreated);
         t.record(CapId(0), 1, EventKind::SparkCreated);
-        t.record(CapId(1), 2, EventKind::SparkAcquired { victim: CapId(0), pushed: false });
-        t.record(CapId(1), 3, EventKind::SparkAcquired { victim: CapId(0), pushed: true });
+        t.record(CapId(1), 2, EventKind::SparkStolen { victim: CapId(0) });
+        t.record(CapId(1), 3, EventKind::SparkPushed { to: CapId(0) });
         t.record(CapId(1), 4, EventKind::DuplicateWork { wasted: 100 });
-        t.record(CapId(0), 5, EventKind::GcDone { live_words: 10, collected_words: 90 });
-        t.record(CapId(0), 6, EventKind::GcDone { live_words: 20, collected_words: 80 });
-        t.record(CapId(0), 7, EventKind::MsgSend { to: CapId(1), words: 64, tag: "data" });
+        t.record(
+            CapId(0),
+            5,
+            EventKind::GcDone {
+                live_words: 10,
+                collected_words: 90,
+            },
+        );
+        t.record(
+            CapId(0),
+            6,
+            EventKind::GcDone {
+                live_words: 20,
+                collected_words: 80,
+            },
+        );
+        t.record(
+            CapId(0),
+            7,
+            EventKind::MsgSend {
+                to: CapId(1),
+                words: 64,
+                tag: "data",
+            },
+        );
         let c = Counters::from_tracer(&t);
         assert_eq!(c.sparks_created, 2);
         assert_eq!(c.sparks_stolen, 1);

@@ -56,7 +56,11 @@ impl Timeline {
             if let EventKind::StateChange { state } = ev.kind {
                 if let Some((start, prev)) = cur {
                     if ev.time > start {
-                        out.push(Interval { start, end: ev.time, state: prev });
+                        out.push(Interval {
+                            start,
+                            end: ev.time,
+                            state: prev,
+                        });
                     }
                 }
                 cur = Some((ev.time, state));
@@ -64,12 +68,20 @@ impl Timeline {
         }
         match cur {
             Some((start, state)) if end_time > start => {
-                out.push(Interval { start, end: end_time, state });
+                out.push(Interval {
+                    start,
+                    end: end_time,
+                    state,
+                });
             }
             Some(_) => {}
             None => {
                 if end_time > 0 {
-                    out.push(Interval { start: 0, end: end_time, state: State::Idle });
+                    out.push(Interval {
+                        start: 0,
+                        end: end_time,
+                        state: State::Idle,
+                    });
                 }
             }
         }
@@ -195,7 +207,14 @@ mod tests {
         t.state(CapId(0), 10, State::Idle);
         let tl = Timeline::from_tracer(&t);
         tl.check_well_formed().unwrap();
-        assert_eq!(tl.rows[1], vec![Interval { start: 0, end: 10, state: State::Idle }]);
+        assert_eq!(
+            tl.rows[1],
+            vec![Interval {
+                start: 0,
+                end: 10,
+                state: State::Idle
+            }]
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ struct Prog {
 
 impl Apsp {
     pub fn new(n: usize) -> Self {
-        Apsp { n, density_millis: 300, seed: 7 }
+        Apsp {
+            n,
+            density_millis: 300,
+            seed: 7,
+        }
     }
 
     /// The adjacency/distance matrix (row-major rows).
@@ -154,7 +158,11 @@ impl Apsp {
                 Value::Cons(h, _) => *h,
                 other => panic!("getRow: index out of range at {other:?}"),
             };
-            KernelOut { result: head, cost: 5 * (idx as u64 + 1), transient_words: 0 }
+            KernelOut {
+                result: head,
+                cost: 5 * (idx as u64 + 1),
+                transient_words: 0,
+            }
         });
         let row_sum = b.kernel("rowSum", 1, |heap, args| {
             let xs = heap.expect_value(args[0]).expect_darray();
@@ -209,18 +217,27 @@ impl Apsp {
             8,
             let_(
                 vec![
-                    thunk(sub2, vec![v(4), v(0)]),               // [8]  idx = k - lo
-                    thunk(get_row, vec![v(6), v(8)]),            // [9]  myRow
-                    thunk(update_rows, vec![v(6), v(9), v(4)]),  // [10] rows'
-                    thunk(pre.inc, vec![v(4)]),                  // [11] k+1
+                    thunk(sub2, vec![v(4), v(0)]),              // [8]  idx = k - lo
+                    thunk(get_row, vec![v(6), v(8)]),           // [9]  myRow
+                    thunk(update_rows, vec![v(6), v(9), v(4)]), // [10] rows'
+                    thunk(pre.inc, vec![v(4)]),                 // [11] k+1
                 ],
                 let_(
                     vec![
-                        thunk(apsp_go, vec![v(0), v(1), v(2), v(3), v(11), v(5), v(10), v(7)]), // [12]
-                        LetRhs::Thunk { sc: support.selector(2, 0), args: vec![v(12)] }, // [13]
-                        LetRhs::Thunk { sc: support.selector(2, 1), args: vec![v(12)] }, // [14]
-                        LetRhs::Cons(v(9), v(14)),           // [15] out = myRow : recOut
-                        LetRhs::Tuple(vec![v(13), v(15)]),   // [16]
+                        thunk(
+                            apsp_go,
+                            vec![v(0), v(1), v(2), v(3), v(11), v(5), v(10), v(7)],
+                        ), // [12]
+                        LetRhs::Thunk {
+                            sc: support.selector(2, 0),
+                            args: vec![v(12)],
+                        }, // [13]
+                        LetRhs::Thunk {
+                            sc: support.selector(2, 1),
+                            args: vec![v(12)],
+                        }, // [14]
+                        LetRhs::Cons(v(9), v(14)), // [15] out = myRow : recOut
+                        LetRhs::Tuple(vec![v(13), v(15)]), // [16]
                     ],
                     atom(v(16)),
                 ),
@@ -240,12 +257,21 @@ impl Apsp {
                     vec![
                         thunk(update_rows, vec![v(6), v(8), v(4)]), // [10]
                         thunk(pre.inc, vec![v(4)]),                 // [11]
-                        thunk(apsp_go, vec![v(0), v(1), v(2), v(3), v(11), v(5), v(10), v(9)]), // [12]
-                        LetRhs::Thunk { sc: support.selector(2, 0), args: vec![v(12)] }, // [13]
-                        LetRhs::Thunk { sc: support.selector(2, 1), args: vec![v(12)] }, // [14]
-                        LetRhs::Cons(v(8), v(14)),          // [15] forwarded
-                        LetRhs::Tuple(vec![v(13), v(15)]),  // [16] with forward
-                        LetRhs::Tuple(vec![v(13), v(14)]),  // [17] without
+                        thunk(
+                            apsp_go,
+                            vec![v(0), v(1), v(2), v(3), v(11), v(5), v(10), v(9)],
+                        ), // [12]
+                        LetRhs::Thunk {
+                            sc: support.selector(2, 0),
+                            args: vec![v(12)],
+                        }, // [13]
+                        LetRhs::Thunk {
+                            sc: support.selector(2, 1),
+                            args: vec![v(12)],
+                        }, // [14]
+                        LetRhs::Cons(v(8), v(14)),                  // [15] forwarded
+                        LetRhs::Tuple(vec![v(13), v(15)]),          // [16] with forward
+                        LetRhs::Tuple(vec![v(13), v(14)]),          // [17] without
                     ],
                     if_(
                         prim(rph_machine::PrimOp::Lt, vec![v(4), v(2)]),
@@ -267,24 +293,24 @@ impl Apsp {
             // next one. This keeps updates strict (pipelined) while
             // letting forwards overtake local compute.
             seq(
-            atom(v(6)),
-            if_(
-                prim(rph_machine::PrimOp::Gt, vec![v(4), v(5)]),
-                // k > n: done — final rows, end of ring output.
-                let_(
-                    vec![LetRhs::Nil, LetRhs::Tuple(vec![v(6), v(8)])],
-                    atom(v(9)),
-                ),
+                atom(v(6)),
                 if_(
-                    prim(rph_machine::PrimOp::Lt, vec![v(4), v(0)]),
-                    app(apsp_foreign, all8()),
+                    prim(rph_machine::PrimOp::Gt, vec![v(4), v(5)]),
+                    // k > n: done — final rows, end of ring output.
+                    let_(
+                        vec![LetRhs::Nil, LetRhs::Tuple(vec![v(6), v(8)])],
+                        atom(v(9)),
+                    ),
                     if_(
-                        prim(rph_machine::PrimOp::Gt, vec![v(4), v(1)]),
+                        prim(rph_machine::PrimOp::Lt, vec![v(4), v(0)]),
                         app(apsp_foreign, all8()),
-                        app(apsp_own, all8()),
+                        if_(
+                            prim(rph_machine::PrimOp::Gt, vec![v(4), v(1)]),
+                            app(apsp_foreign, all8()),
+                            app(apsp_own, all8()),
+                        ),
                     ),
                 ),
-            ),
             ),
         );
 
@@ -445,7 +471,10 @@ impl Apsp {
         }
         let finals = list_of(&mut heap, &step);
         let entry = {
-            let pap_node = heap.alloc_value(Value::Pap { sc: p.row_sum, args: Box::new([]) });
+            let pap_node = heap.alloc_value(Value::Pap {
+                sc: p.row_sum,
+                args: Box::new([]),
+            });
             let pre_map = p.program.lookup("map").expect("prelude installed");
             let pre_sum = p.program.lookup("sum").expect("prelude installed");
             let mapped = heap.alloc_thunk(pre_map, vec![pap_node, finals]);
@@ -487,7 +516,9 @@ mod tests {
         let w = Apsp::new(N);
         let expect = w.expected();
         for eager in [false, true] {
-            let mut cfg = GphConfig::ghc69_plain(4).with_work_stealing().without_trace();
+            let mut cfg = GphConfig::ghc69_plain(4)
+                .with_work_stealing()
+                .without_trace();
             if eager {
                 cfg = cfg.with_eager_blackholing();
             }
@@ -519,7 +550,12 @@ mod tests {
         // in that regime; the crossover here is near n = 96).
         let w = Apsp::new(128);
         let lazy = w
-            .run_gph(GphConfig::ghc69_plain(8).with_big_alloc_area().with_work_stealing().without_trace())
+            .run_gph(
+                GphConfig::ghc69_plain(8)
+                    .with_big_alloc_area()
+                    .with_work_stealing()
+                    .without_trace(),
+            )
             .unwrap();
         let eager = w
             .run_gph(

@@ -58,7 +58,8 @@ pub fn phi_counted(k: i64) -> (i64, u64, u64) {
 pub fn phi_cached(k: i64) -> (i64, u64, u64) {
     use std::collections::HashMap;
     use std::sync::{Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<HashMap<i64, (i64, u64, u64)>>> = OnceLock::new();
+    type Cache = Mutex<HashMap<i64, (i64, u64, u64)>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache.lock().unwrap().get(&k) {
         return *hit;
@@ -117,6 +118,7 @@ pub fn min_plus_update(row_i: &[f64], row_k: &[f64], k: usize) -> (Vec<f64>, u64
 }
 
 /// Plain-Rust Floyd–Warshall: the APSP oracle.
+#[allow(clippy::needless_range_loop)] // i/k/j index two rows of `dist` at once
 pub fn floyd_warshall(dist: &mut [Vec<f64>]) {
     let n = dist.len();
     for k in 0..n {

@@ -26,14 +26,16 @@
 //! oracle; kernel costs are charged from the actual operation counts.
 
 pub mod apsp;
-pub mod nqueens;
 pub mod kernels;
 pub mod matmul;
+pub mod native;
+pub mod nqueens;
 pub mod sum_euler;
 
 pub use apsp::Apsp;
-pub use nqueens::NQueens;
 pub use matmul::MatMul;
+pub use native::NativeMeasured;
+pub use nqueens::NQueens;
 pub use sum_euler::SumEuler;
 
 /// Common result of one simulated run.

@@ -72,7 +72,9 @@ impl MatMul {
     pub fn inputs(&self) -> (Vec<f64>, Vec<f64>) {
         let mut rng = DetRng::new(self.seed);
         let gen = |rng: &mut DetRng| -> Vec<f64> {
-            (0..self.n * self.n).map(|_| rng.gen_range(10) as f64).collect()
+            (0..self.n * self.n)
+                .map(|_| rng.gen_range(10) as f64)
+                .collect()
         };
         let a = gen(&mut rng);
         let b = gen(&mut rng);
@@ -87,7 +89,7 @@ impl MatMul {
     }
 
     /// Extract block (bi, bj) of a row-major matrix.
-    fn block(&self, m: &[f64], bi: usize, bj: usize) -> Vec<f64> {
+    pub(crate) fn block(&self, m: &[f64], bi: usize, bj: usize) -> Vec<f64> {
         let s = self.block_size();
         let n = self.n;
         let mut out = Vec::with_capacity(s * s);
@@ -203,14 +205,14 @@ impl MatMul {
                     ),
                     let_(
                         vec![
-                            thunk(pre_dec(&pre), vec![v(0)]),          // [7] steps-1
+                            thunk(pre_dec(&pre), vec![v(0)]),                 // [7] steps-1
                             thunk(cannon_next, vec![v(7), v(3), v(4), v(6)]), // [8] rec
-                            sel_thunk(&support, 3, 0, v(8)),           // [9] c
-                            sel_thunk(&support, 3, 1, v(8)),           // [10] ro
-                            sel_thunk(&support, 3, 2, v(8)),           // [11] co
-                            LetRhs::Cons(v(1), v(10)),                 // [12] rowOut = a : ro
-                            LetRhs::Cons(v(2), v(11)),                 // [13] colOut = b : co
-                            LetRhs::Tuple(vec![v(9), v(12), v(13)]),   // [14]
+                            sel_thunk(&support, 3, 0, v(8)),                  // [9] c
+                            sel_thunk(&support, 3, 1, v(8)),                  // [10] ro
+                            sel_thunk(&support, 3, 2, v(8)),                  // [11] co
+                            LetRhs::Cons(v(1), v(10)), // [12] rowOut = a : ro
+                            LetRhs::Cons(v(2), v(11)), // [13] colOut = b : co
+                            LetRhs::Tuple(vec![v(9), v(12), v(13)]), // [14]
                         ],
                         atom(v(14)),
                     ),
@@ -271,6 +273,7 @@ impl MatMul {
                 })
                 .collect();
             let mut result_blocks = Vec::with_capacity(g * g);
+            #[allow(clippy::needless_range_loop)] // i/j index rows and columns of two grids
             for i in 0..g {
                 let row: Vec<NodeRef> = (0..g).map(|k| a_blocks[i][k]).collect();
                 let row_list = list_of(heap, &row);
@@ -392,7 +395,10 @@ fn pre_dec(pre: &Prelude) -> ScId {
 
 /// Helper: a `LetRhs` thunk selecting component `k` of an `n`-tuple.
 fn sel_thunk(support: &rph_eden::EdenSupport, n: usize, k: usize, t: Atom) -> LetRhs {
-    LetRhs::Thunk { sc: support.selector(n, k), args: vec![t] }
+    LetRhs::Thunk {
+        sc: support.selector(n, k),
+        args: vec![t],
+    }
 }
 
 #[cfg(test)]
@@ -404,7 +410,11 @@ mod tests {
         for grid in [1, 2, 4] {
             let w = MatMul::new(40, grid);
             let m = w
-                .run_gph(GphConfig::ghc69_plain(4).with_work_stealing().without_trace())
+                .run_gph(
+                    GphConfig::ghc69_plain(4)
+                        .with_work_stealing()
+                        .without_trace(),
+                )
                 .unwrap();
             assert_eq!(m.value, w.expected(), "grid {grid}");
         }
@@ -426,7 +436,11 @@ mod tests {
         let seq = w.run_seq();
         assert_eq!(seq.value, w.expected());
         let par = w
-            .run_gph(GphConfig::ghc69_plain(8).with_work_stealing().without_trace())
+            .run_gph(
+                GphConfig::ghc69_plain(8)
+                    .with_work_stealing()
+                    .without_trace(),
+            )
             .unwrap();
         assert!(par.elapsed < seq.elapsed);
     }
@@ -435,7 +449,9 @@ mod tests {
     fn eden_oversubscribed_matches() {
         // Fig. 4 e: 4×4 torus = 16+1 virtual PEs on 8 cores.
         let w = MatMul::new(32, 4);
-        let m = w.run_eden(EdenConfig::oversubscribed(17, 8).without_trace()).unwrap();
+        let m = w
+            .run_eden(EdenConfig::oversubscribed(17, 8).without_trace())
+            .unwrap();
         assert_eq!(m.value, w.expected());
     }
 

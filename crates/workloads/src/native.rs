@@ -1,0 +1,288 @@
+//! Native (real OS threads, wall-clock) runs of the workloads.
+//!
+//! The simulator backends (`run_gph` / `run_eden`) answer *how the
+//! paper's runtimes behave*; this backend answers *how long the same
+//! decomposition takes on this machine*. Each workload is flattened
+//! into its natural task set — the exact units the GpH version sparks —
+//! and handed to [`rph_native::execute`], the Chase–Lev work-stealing
+//! executor.
+//!
+//! Results are combined on the calling thread in task-index order, so
+//! every `run_native` value is bit-identical to the corresponding
+//! simulator checksum regardless of worker count or distribution
+//! policy: the workload inputs are small integers, all f64 arithmetic
+//! on them is exact, and integer sums are order-independent. The
+//! differential tests in `tests/integration.rs` assert exactly this.
+//!
+//! `sum_euler` deliberately calls the *uncached* [`kernels::phi_counted`]:
+//! the process-global memo behind [`kernels::phi_cached`] would make
+//! every run after the first nearly free and fake any speedup
+//! measurement.
+
+use crate::{kernels, Apsp, MatMul, NQueens, SumEuler};
+use rph_native::{execute, Job, NativeConfig, NativeStats};
+use std::time::Duration;
+
+/// Result of one native run: the workload checksum plus wall-clock
+/// time and scheduling counters.
+#[derive(Debug)]
+pub struct NativeMeasured {
+    /// The workload's checksum (same definition as the sim backends).
+    pub value: i64,
+    /// Wall-clock time of the parallel phase(s).
+    pub wall: Duration,
+    /// Executor counters, summed over all parallel phases.
+    pub stats: NativeStats,
+}
+
+/// Accumulate `b`'s counters into `a` (used by the wave-structured
+/// APSP run, which issues one `execute` per pivot).
+fn merge_stats(a: &mut NativeStats, b: &NativeStats) {
+    a.tasks_run += b.tasks_run;
+    a.tasks_local += b.tasks_local;
+    a.tasks_stolen += b.tasks_stolen;
+    a.steal_retries += b.steal_retries;
+    a.steal_empties += b.steal_empties;
+    if a.per_worker.len() < b.per_worker.len() {
+        a.per_worker.resize(b.per_worker.len(), 0);
+    }
+    for (acc, x) in a.per_worker.iter_mut().zip(&b.per_worker) {
+        *acc += *x;
+    }
+}
+
+// ---------------------------------------------------------------- sumEuler
+
+/// One task per GpH chunk: `sum (map phi [lo..hi])`, totients computed
+/// from scratch (no memo — see module docs).
+struct PhiRanges {
+    ranges: Vec<(i64, i64)>,
+}
+
+impl Job for PhiRanges {
+    type Out = i64;
+    fn len(&self) -> usize {
+        self.ranges.len()
+    }
+    fn run(&self, idx: usize) -> i64 {
+        let (lo, hi) = self.ranges[idx];
+        (lo..=hi).map(|k| kernels::phi_counted(k).0).sum()
+    }
+}
+
+impl SumEuler {
+    /// Native run: one task per chunk (the same decomposition
+    /// `run_gph` sparks), combined by integer sum.
+    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
+        let job = PhiRanges {
+            ranges: self.ranges(self.chunk_size),
+        };
+        let out = execute(&job, cfg);
+        NativeMeasured {
+            value: out.values.iter().sum(),
+            wall: out.wall,
+            stats: out.stats,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- matmul
+
+/// One task per result block: Σ_k A(i,k)·B(k,j), then the block's
+/// element sum as an exact integer — the same per-block value the sim's
+/// `blockRowCol`/`blockSum` kernels produce.
+struct BlockProducts<'a> {
+    w: &'a MatMul,
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Job for BlockProducts<'_> {
+    type Out = i64;
+    fn len(&self) -> usize {
+        self.w.grid * self.w.grid
+    }
+    fn run(&self, idx: usize) -> i64 {
+        let g = self.w.grid;
+        let s = self.w.block_size();
+        let (i, j) = (idx / g, idx % g);
+        let mut acc = vec![0.0; s * s];
+        for k in 0..g {
+            let ab = self.w.block(&self.a, i, k);
+            let bb = self.w.block(&self.b, k, j);
+            let (next, _) = kernels::block_mul_acc(&acc, &ab, &bb, s);
+            acc = next;
+        }
+        acc.iter().sum::<f64>() as i64
+    }
+}
+
+impl MatMul {
+    /// Native run: one task per result block (the paper's tunable
+    /// spark granularity), combined by integer sum of block checksums.
+    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
+        let (a, b) = self.inputs();
+        let job = BlockProducts { w: self, a, b };
+        let out = execute(&job, cfg);
+        NativeMeasured {
+            value: out.values.iter().sum(),
+            wall: out.wall,
+            stats: out.stats,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- apsp
+
+/// One pivot wave: relax every row by the (final) pivot row. The pivot
+/// row itself is unchanged at its own step, so its task is the
+/// identity — keeping one task per row keeps indices aligned with the
+/// state vector.
+struct PivotWave<'a> {
+    state: &'a [Vec<f64>],
+    pivot: &'a [f64],
+    /// 0-based pivot index.
+    k: usize,
+}
+
+impl Job for PivotWave<'_> {
+    type Out = Vec<f64>;
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+    fn run(&self, idx: usize) -> Vec<f64> {
+        if idx == self.k {
+            self.state[idx].clone()
+        } else {
+            kernels::min_plus_update(&self.state[idx], self.pivot, self.k).0
+        }
+    }
+}
+
+impl Apsp {
+    /// Native run: Floyd–Warshall as `n` pivot waves, each wave one
+    /// `execute` over the rows. The barrier between waves replaces the
+    /// thunk-graph synchronisation the GpH runtime does dynamically —
+    /// coarser, but the same data flow, hence the same checksum.
+    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
+        let mut state = self.input_rows();
+        let mut wall = Duration::ZERO;
+        let mut stats = NativeStats::default();
+        for k in 0..self.n {
+            let pivot = state[k].clone();
+            let wave = PivotWave {
+                state: &state,
+                pivot: &pivot,
+                k,
+            };
+            let out = execute(&wave, cfg);
+            wall += out.wall;
+            merge_stats(&mut stats, &out.stats);
+            state = out.values;
+        }
+        let value = state.iter().map(|row| row.iter().sum::<f64>() as i64).sum();
+        NativeMeasured { value, wall, stats }
+    }
+}
+
+// ---------------------------------------------------------------- nqueens
+
+/// One task per depth-`spawn_depth` prefix: count the subtree's
+/// solutions by sequential backtracking — the GpH spark unit.
+struct Subtrees {
+    prefixes: Vec<Vec<i64>>,
+    n: usize,
+}
+
+impl Job for Subtrees {
+    type Out = i64;
+    fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+    fn run(&self, idx: usize) -> i64 {
+        let mut placed = self.prefixes[idx].clone();
+        let mut visited = 0u64;
+        crate::nqueens::count_from(&mut placed, self.n, &mut visited) as i64
+    }
+}
+
+impl NQueens {
+    /// Native run: one task per board prefix, combined by integer sum.
+    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
+        let job = Subtrees {
+            prefixes: self.prefixes(),
+            n: self.n,
+        };
+        let out = execute(&job, cfg);
+        NativeMeasured {
+            value: out.values.iter().sum(),
+            wall: out.wall,
+            stats: out.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configs() -> Vec<NativeConfig> {
+        let mut out = Vec::new();
+        for w in [1usize, 2, 4, 8] {
+            out.push(NativeConfig::steal(w));
+            out.push(NativeConfig::push(w));
+        }
+        out
+    }
+
+    #[test]
+    fn sum_euler_matches_oracle_everywhere() {
+        let w = SumEuler::new(300).with_chunk_size(20);
+        let expect = w.expected();
+        for cfg in configs() {
+            let m = w.run_native(&cfg);
+            assert_eq!(m.value, expect, "{cfg:?}");
+            assert_eq!(m.stats.tasks_run as usize, w.ranges(w.chunk_size).len());
+        }
+    }
+
+    #[test]
+    fn matmul_matches_oracle_everywhere() {
+        let w = MatMul::new(40, 4);
+        let expect = w.expected();
+        for cfg in configs() {
+            let m = w.run_native(&cfg);
+            assert_eq!(m.value, expect, "{cfg:?}");
+            assert_eq!(m.stats.tasks_run, 16);
+        }
+    }
+
+    #[test]
+    fn apsp_matches_oracle_everywhere() {
+        let w = Apsp::new(24);
+        let expect = w.expected();
+        for cfg in configs() {
+            let m = w.run_native(&cfg);
+            assert_eq!(m.value, expect, "{cfg:?}");
+            assert_eq!(m.stats.tasks_run as usize, 24 * 24);
+        }
+    }
+
+    #[test]
+    fn nqueens_matches_known_count() {
+        let w = NQueens::new(8).with_spawn_depth(2);
+        for cfg in configs() {
+            let m = w.run_native(&cfg);
+            assert_eq!(m.value, 92, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn apsp_wave_stats_accumulate() {
+        let w = Apsp::new(12);
+        let m = w.run_native(&NativeConfig::steal(2));
+        // 12 waves × 12 row tasks.
+        assert_eq!(m.stats.tasks_run, 144);
+        assert_eq!(m.stats.per_worker.iter().sum::<u64>(), 144);
+    }
+}

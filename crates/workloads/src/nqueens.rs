@@ -65,7 +65,7 @@ fn safe(placed: &[i64], col: i64) -> bool {
 
 /// Sequential backtracking count from a partial placement; also
 /// returns the number of nodes visited (the kernel's true cost basis).
-fn count_from(placed: &mut Vec<i64>, n: usize, visited: &mut u64) -> u64 {
+pub(crate) fn count_from(placed: &mut Vec<i64>, n: usize, visited: &mut u64) -> u64 {
     *visited += 1;
     if placed.len() == n {
         return 1;
@@ -106,7 +106,10 @@ fn alloc_placement(heap: &mut Heap, placed: &[i64]) -> NodeRef {
 
 impl NQueens {
     pub fn new(n: usize) -> Self {
-        NQueens { n, spawn_depth: 3.min(n) }
+        NQueens {
+            n,
+            spawn_depth: 3.min(n),
+        }
     }
 
     pub fn with_spawn_depth(mut self, d: usize) -> Self {
@@ -182,11 +185,19 @@ impl NQueens {
             1,
             seq(app(pre.spark_list, vec![v(0)]), app(pre.sum, vec![v(0)])),
         );
-        Prog { program: b.build(), support, pre, expand, solve, worker_map, gph_drive }
+        Prog {
+            program: b.build(),
+            support,
+            pre,
+            expand,
+            solve,
+            worker_map,
+            gph_drive,
+        }
     }
 
     /// All depth-`spawn_depth` prefixes (the GpH spark units).
-    fn prefixes(&self) -> Vec<Vec<i64>> {
+    pub(crate) fn prefixes(&self) -> Vec<Vec<i64>> {
         let mut out = Vec::new();
         let mut stack = vec![Vec::new()];
         while let Some(p) = stack.pop() {
@@ -216,7 +227,8 @@ impl NQueens {
         let workers = (config.pes - 1).max(1);
         let mut rt = EdenRuntime::new(p.program.clone(), p.support, config);
         let root = alloc_placement(rt.heap_mut(0), &[]);
-        let results = skeletons::master_worker_dyn(&mut rt, p.worker_map, workers, prefetch, &[root]);
+        let results =
+            skeletons::master_worker_dyn(&mut rt, p.worker_map, workers, prefetch, &[root]);
         let entry = rt.heap_mut(0).alloc_thunk(p.pre.sum, vec![results]);
         let out = rt.run(entry)?;
         let value = rt.heap(0).expect_value(out.result).expect_int();
@@ -292,14 +304,21 @@ mod tests {
             .run_eden_master_worker(EdenConfig::new(4).without_trace(), 2)
             .unwrap();
         assert_eq!(m.value, 92);
-        assert!(m.eden_stats.as_ref().unwrap().messages > 20, "tasks flowed dynamically");
+        assert!(
+            m.eden_stats.as_ref().unwrap().messages > 20,
+            "tasks flowed dynamically"
+        );
     }
 
     #[test]
     fn gph_sparked_subtrees_count_solutions() {
         let w = NQueens::new(8).with_spawn_depth(2);
         let m = w
-            .run_gph(GphConfig::ghc69_plain(4).with_work_stealing().without_trace())
+            .run_gph(
+                GphConfig::ghc69_plain(4)
+                    .with_work_stealing()
+                    .without_trace(),
+            )
             .unwrap();
         assert_eq!(m.value, 92);
         assert!(m.gph_stats.as_ref().unwrap().sparks_created > 10);
@@ -323,7 +342,11 @@ mod tests {
             seq.elapsed / 2
         );
         let gph = w
-            .run_gph(GphConfig::ghc69_plain(8).with_work_stealing().without_trace())
+            .run_gph(
+                GphConfig::ghc69_plain(8)
+                    .with_work_stealing()
+                    .without_trace(),
+            )
             .unwrap();
         assert_eq!(gph.value, 2680);
         assert!(gph.elapsed < seq.elapsed / 2);

@@ -70,7 +70,11 @@ struct Prog {
 
 impl SumEuler {
     pub fn new(n: i64) -> Self {
-        SumEuler { n, chunk_size: (n / 150).max(1), check: false }
+        SumEuler {
+            n,
+            chunk_size: (n / 150).max(1),
+            check: false,
+        }
     }
 
     pub fn with_check(mut self) -> Self {
@@ -199,11 +203,23 @@ impl SumEuler {
                 atom(int(-1)),
             ),
         );
-        Prog { program: b.build(), support, pre, phi_range, phi_stride_t, sum_list, map_phi_ranges, gph_main, gph_main_check, check_eq, eden_check }
+        Prog {
+            program: b.build(),
+            support,
+            pre,
+            phi_range,
+            phi_stride_t,
+            sum_list,
+            map_phi_ranges,
+            gph_main,
+            gph_main_check,
+            check_eq,
+            eden_check,
+        }
     }
 
     /// The chunk ranges `[(lo, hi)]` for a given chunk size.
-    fn ranges(&self, chunk: i64) -> Vec<(i64, i64)> {
+    pub(crate) fn ranges(&self, chunk: i64) -> Vec<(i64, i64)> {
         let mut out = Vec::new();
         let mut lo = 1;
         while lo <= self.n {
@@ -242,7 +258,10 @@ impl SumEuler {
                 // (φ(k) ∝ k), recomputed naively and sequentially.
                 let cutoff = n - n * 3 / 100;
                 let ranges = this.ranges(chunk);
-                let first_tail = ranges.iter().position(|(lo, _)| *lo > cutoff).unwrap_or(ranges.len() - 1);
+                let first_tail = ranges
+                    .iter()
+                    .position(|(lo, _)| *lo > cutoff)
+                    .unwrap_or(ranges.len() - 1);
                 let tail_nodes = &chunks[first_tail..];
                 let tail_list = list_of(heap, tail_nodes);
                 let lo = heap.int(ranges[first_tail].0);
@@ -356,7 +375,8 @@ impl SumEuler {
                 heap.alloc_value(Value::Tuple(vec![l, st, h].into()))
             })
             .collect();
-        let results = skeletons::master_worker(&mut rt, p.map_phi_ranges, workers, prefetch, &tasks);
+        let results =
+            skeletons::master_worker(&mut rt, p.map_phi_ranges, workers, prefetch, &tasks);
         let entry = rt.heap_mut(0).alloc_thunk(p.sum_list, vec![results]);
         let out = rt.run(entry)?;
         let value = rt.heap(0).expect_value(out.result).expect_int();
@@ -459,7 +479,11 @@ mod tests {
         let seq = w.run_seq();
         assert_eq!(seq.value, w.expected());
         let par = w
-            .run_gph(GphConfig::ghc69_plain(8).with_work_stealing().without_trace())
+            .run_gph(
+                GphConfig::ghc69_plain(8)
+                    .with_work_stealing()
+                    .without_trace(),
+            )
             .unwrap();
         assert!(
             par.elapsed < seq.elapsed,
@@ -472,11 +496,18 @@ mod tests {
     #[test]
     fn check_phase_detects_nothing_wrong_and_extends_trace() {
         let w = SumEuler::new(120).with_chunk_size(10).with_check();
-        let m = w.run_gph(GphConfig::ghc69_plain(2).without_trace()).unwrap();
+        let m = w
+            .run_gph(GphConfig::ghc69_plain(2).without_trace())
+            .unwrap();
         assert_eq!(m.value, w.expected(), "check must agree");
         let plain = SumEuler::new(120).with_chunk_size(10);
-        let m2 = plain.run_gph(GphConfig::ghc69_plain(2).without_trace()).unwrap();
-        assert!(m.elapsed > m2.elapsed, "the check phase adds sequential time");
+        let m2 = plain
+            .run_gph(GphConfig::ghc69_plain(2).without_trace())
+            .unwrap();
+        assert!(
+            m.elapsed > m2.elapsed,
+            "the check phase adds sequential time"
+        );
     }
 
     #[test]
@@ -511,7 +542,11 @@ mod decomposition_tests {
             .run_eden_master_worker(EdenConfig::new(4).without_trace(), 2)
             .unwrap();
         assert_eq!(m.value, w.expected());
-        assert_eq!(m.eden_stats.as_ref().unwrap().processes, 3, "pes - 1 workers");
+        assert_eq!(
+            m.eden_stats.as_ref().unwrap().processes,
+            3,
+            "pes - 1 workers"
+        );
     }
 
     #[test]
@@ -519,7 +554,9 @@ mod decomposition_tests {
         // φ(k) ∝ k: a contiguous split loads the last PE with ~2× the
         // mean work; striping and dynamic distribution both fix it.
         let w = SumEuler::new(600).with_chunk_size(10);
-        let contiguous = w.run_eden_contiguous(EdenConfig::new(4).without_trace()).unwrap();
+        let contiguous = w
+            .run_eden_contiguous(EdenConfig::new(4).without_trace())
+            .unwrap();
         let striped = w.run_eden(EdenConfig::new(4).without_trace()).unwrap();
         let mw = w
             .run_eden_master_worker(EdenConfig::new(4).without_trace(), 2)

@@ -33,9 +33,15 @@ fn pipeline(rt: &mut EdenRuntime, stages: &[ScId], input: NodeRef) -> NodeRef {
     let (final_chan, final_node) = rt.new_channel(0, CommMode::Stream);
     for (k, &f) in stages.iter().enumerate() {
         let dest = if k + 1 < stages.len() {
-            Endpoint { pe: placement[k + 1] as u32, chan: in_chans[k + 1] }
+            Endpoint {
+                pe: placement[k + 1] as u32,
+                chan: in_chans[k + 1],
+            }
         } else {
-            Endpoint { pe: 0, chan: final_chan }
+            Endpoint {
+                pe: 0,
+                chan: final_chan,
+            }
         };
         rt.spawn(
             placement[k],
@@ -49,7 +55,10 @@ fn pipeline(rt: &mut EdenRuntime, stages: &[ScId], input: NodeRef) -> NodeRef {
     // Feed the first stage from the parent.
     rt.send_value_from(
         0,
-        Endpoint { pe: placement[0] as u32, chan: in_chans[0] },
+        Endpoint {
+            pe: placement[0] as u32,
+            chan: in_chans[0],
+        },
         input,
         CommMode::Stream,
     );
@@ -61,8 +70,16 @@ fn main() {
     let pre = hs::install(&mut b);
     let support = rph::eden::install_support(&mut b);
     // Three stages: map (+1), map (*2) via add-to-self, map square.
-    let double = b.def("double", 1, prim(rph::machine::PrimOp::Add, vec![v(0), v(0)]));
-    let square = b.def("square", 1, prim(rph::machine::PrimOp::Mul, vec![v(0), v(0)]));
+    let double = b.def(
+        "double",
+        1,
+        prim(rph::machine::PrimOp::Add, vec![v(0), v(0)]),
+    );
+    let square = b.def(
+        "square",
+        1,
+        prim(rph::machine::PrimOp::Mul, vec![v(0), v(0)]),
+    );
     let stage = |b: &mut ProgramBuilder, name: &str, f: ScId, pre: &hs::Prelude| {
         // \xs -> map f xs
         b.def(
@@ -98,5 +115,15 @@ fn main() {
     );
     println!("\nStage activity:");
     let tl = Timeline::from_tracer(&out.tracer);
-    print!("{}", render_timeline(&tl, &RenderOptions { width: 80, color: false, legend: true }));
+    print!(
+        "{}",
+        render_timeline(
+            &tl,
+            &RenderOptions {
+                width: 80,
+                color: false,
+                legend: true
+            }
+        )
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(600);
     let cores: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
-    assert!(n.is_multiple_of(60), "n must be divisible by 60 so every grid divides it");
+    assert!(
+        n.is_multiple_of(60),
+        "n must be divisible by 60 so every grid divides it"
+    );
 
     println!("{n}×{n} dense matrix multiplication on {cores} cores\n");
     let mut table = TextTable::new(&["configuration", "runtime", "GCs", "messages"]);

@@ -65,7 +65,10 @@ fn main() {
         .expect("gph run");
     let v = gph.heap().expect_value(out.result).expect_int();
     assert_eq!(v, expect);
-    println!("GpH (8 capabilities): result {v}, {:.3} ms virtual", out.elapsed as f64 / 1e6);
+    println!(
+        "GpH (8 capabilities): result {v}, {:.3} ms virtual",
+        out.elapsed as f64 / 1e6
+    );
     println!(
         "  sparks: {} created, {} stolen, {} fizzled; {} GCs",
         out.stats.sparks_created, out.stats.sparks_stolen, out.stats.sparks_fizzled, out.stats.gcs
@@ -82,7 +85,10 @@ fn main() {
     let out = eden.run(entry).expect("eden run");
     let v = eden.heap(0).expect_value(out.result).expect_int();
     assert_eq!(v, expect);
-    println!("Eden (8 PEs):         result {v}, {:.3} ms virtual", out.elapsed as f64 / 1e6);
+    println!(
+        "Eden (8 PEs):         result {v}, {:.3} ms virtual",
+        out.elapsed as f64 / 1e6
+    );
     println!(
         "  {} processes, {} messages ({} words)",
         out.stats.processes, out.stats.messages, out.stats.message_words
@@ -93,5 +99,15 @@ fn main() {
     // ------------------------------------------------------------------
     let tl = Timeline::from_tracer(&out.tracer);
     println!("\nEden activity timeline:");
-    print!("{}", render_timeline(&tl, &RenderOptions { width: 90, color: false, legend: true }));
+    print!(
+        "{}",
+        render_timeline(
+            &tl,
+            &RenderOptions {
+                width: 90,
+                color: false,
+                legend: true
+            }
+        )
+    );
 }

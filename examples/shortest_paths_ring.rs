@@ -46,10 +46,26 @@ fn main() {
     };
 
     for (name, bh, policy) in [
-        ("GpH, lazy black-holing, push", BlackHoling::Lazy, SparkPolicy::Push),
-        ("GpH, lazy black-holing, work stealing", BlackHoling::Lazy, SparkPolicy::Steal),
-        ("GpH, eager black-holing, push", BlackHoling::Eager, SparkPolicy::Push),
-        ("GpH, eager black-holing, work stealing", BlackHoling::Eager, SparkPolicy::Steal),
+        (
+            "GpH, lazy black-holing, push",
+            BlackHoling::Lazy,
+            SparkPolicy::Push,
+        ),
+        (
+            "GpH, lazy black-holing, work stealing",
+            BlackHoling::Lazy,
+            SparkPolicy::Steal,
+        ),
+        (
+            "GpH, eager black-holing, push",
+            BlackHoling::Eager,
+            SparkPolicy::Push,
+        ),
+        (
+            "GpH, eager black-holing, work stealing",
+            BlackHoling::Eager,
+            SparkPolicy::Steal,
+        ),
     ] {
         let m = w.run_gph(gph(bh, policy)).expect("gph");
         assert_eq!(m.value, expect, "{name}");
@@ -62,7 +78,9 @@ fn main() {
         ]);
     }
 
-    let m = w.run_eden(EdenConfig::new(cores).without_trace()).expect("eden");
+    let m = w
+        .run_eden(EdenConfig::new(cores).without_trace())
+        .expect("eden");
     assert_eq!(m.value, expect);
     table.row(&[
         format!("Eden ring, {cores} PEs"),

@@ -51,7 +51,17 @@ fn main() {
     for (name, tracer) in traces {
         let tl = Timeline::from_tracer(&tracer);
         println!("--- {name}");
-        print!("{}", render_timeline(&tl, &RenderOptions { width: 100, color: false, legend: false }));
+        print!(
+            "{}",
+            render_timeline(
+                &tl,
+                &RenderOptions {
+                    width: 100,
+                    color: false,
+                    legend: false
+                }
+            )
+        );
         let st = TraceStats::from_parts(&tracer, &tl);
         println!(
             "    running {:.0}%  gc {:.1}%  idle {:.1}%\n",

@@ -9,4 +9,5 @@
 
 pub use rph_core as core;
 pub use rph_core::{compare, deque, eden, gph, heap, machine, prelude, sim, table, trace};
+pub use rph_native as native;
 pub use rph_workloads as workloads;

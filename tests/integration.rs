@@ -1,9 +1,10 @@
 //! Cross-crate integration tests: whole workloads through both
-//! runtimes, trace invariants, determinism, and the paper's headline
-//! effects at test scale.
+//! runtimes, trace invariants, determinism, the paper's headline
+//! effects at test scale, and sim-vs-native differential checks.
 
 use rph::prelude::*;
-use rph::workloads::{Apsp, MatMul, SumEuler};
+use rph::workloads::{Apsp, MatMul, NQueens, SumEuler};
+use rph_native::NativeConfig;
 
 const SE_N: i64 = 400;
 
@@ -34,8 +35,18 @@ fn sum_euler_parallel_beats_sequential_on_both_models() {
         )
         .unwrap();
     let eden = w.run_eden(EdenConfig::new(8).without_trace()).unwrap();
-    assert!(gph.elapsed < seq.elapsed / 3, "gph {} vs seq {}", gph.elapsed, seq.elapsed);
-    assert!(eden.elapsed < seq.elapsed / 3, "eden {} vs seq {}", eden.elapsed, seq.elapsed);
+    assert!(
+        gph.elapsed < seq.elapsed / 3,
+        "gph {} vs seq {}",
+        gph.elapsed,
+        seq.elapsed
+    );
+    assert!(
+        eden.elapsed < seq.elapsed / 3,
+        "eden {} vs seq {}",
+        eden.elapsed,
+        seq.elapsed
+    );
 }
 
 #[test]
@@ -43,7 +54,11 @@ fn matmul_both_models_match_oracle_including_oversubscription() {
     let w = MatMul::new(48, 4);
     let expect = w.expected();
     let gph = w
-        .run_gph(GphConfig::ghc69_plain(4).with_work_stealing().without_trace())
+        .run_gph(
+            GphConfig::ghc69_plain(4)
+                .with_work_stealing()
+                .without_trace(),
+        )
         .unwrap();
     assert_eq!(gph.value, expect);
     // 17 virtual PEs on 4 cores: oversubscribed Cannon.
@@ -72,7 +87,9 @@ fn apsp_both_models_match_oracle() {
 
 #[test]
 fn traces_are_well_formed_for_all_workloads() {
-    let m = SumEuler::new(200).run_gph(GphConfig::ghc69_plain(4)).unwrap();
+    let m = SumEuler::new(200)
+        .run_gph(GphConfig::ghc69_plain(4))
+        .unwrap();
     let tl = Timeline::from_tracer(&m.tracer);
     tl.check_well_formed().unwrap();
     assert!(tl.mean_fraction(rph::trace::State::Running) > 0.0);
@@ -104,9 +121,15 @@ fn whole_workload_runs_are_deterministic() {
 #[test]
 fn big_allocation_area_reduces_gcs_at_workload_level() {
     let w = SumEuler::new(SE_N).with_chunk_size(25);
-    let small = w.run_gph(GphConfig::ghc69_plain(4).without_trace()).unwrap();
+    let small = w
+        .run_gph(GphConfig::ghc69_plain(4).without_trace())
+        .unwrap();
     let big = w
-        .run_gph(GphConfig::ghc69_plain(4).with_big_alloc_area().without_trace())
+        .run_gph(
+            GphConfig::ghc69_plain(4)
+                .with_big_alloc_area()
+                .without_trace(),
+        )
         .unwrap();
     assert!(
         big.gph_stats.as_ref().unwrap().gcs * 4 < small.gph_stats.as_ref().unwrap().gcs,
@@ -132,18 +155,116 @@ fn eden_gc_is_local_no_global_barrier() {
 fn check_phase_validates_parallel_result() {
     let w = SumEuler::new(150).with_check();
     let m = w
-        .run_gph(GphConfig::ghc69_plain(4).with_work_stealing().without_trace())
+        .run_gph(
+            GphConfig::ghc69_plain(4)
+                .with_work_stealing()
+                .without_trace(),
+        )
         .unwrap();
     // If the parallel and sequential results disagreed the program
     // would return -1.
     assert_eq!(m.value, w.expected());
 }
 
+/// Every native configuration the differential tests sweep: 1, 2, 4
+/// and 8 workers under both distribution policies.
+fn native_configs() -> Vec<NativeConfig> {
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .flat_map(|w| [NativeConfig::steal(w), NativeConfig::push(w)])
+        .collect()
+}
+
+#[test]
+fn native_sum_euler_matches_sim_bit_for_bit() {
+    let w = SumEuler::new(300).with_chunk_size(20);
+    let sim = w
+        .run_gph(
+            GphConfig::ghc69_plain(4)
+                .with_work_stealing()
+                .without_trace(),
+        )
+        .unwrap();
+    assert_eq!(sim.value, w.expected());
+    for cfg in native_configs() {
+        let native = w.run_native(&cfg);
+        assert_eq!(native.value, sim.value, "{cfg:?}");
+    }
+}
+
+#[test]
+fn native_matmul_matches_sim_bit_for_bit() {
+    let w = MatMul::new(40, 4);
+    let sim = w
+        .run_gph(
+            GphConfig::ghc69_plain(4)
+                .with_work_stealing()
+                .without_trace(),
+        )
+        .unwrap();
+    assert_eq!(sim.value, w.expected());
+    for cfg in native_configs() {
+        let native = w.run_native(&cfg);
+        assert_eq!(native.value, sim.value, "{cfg:?}");
+    }
+}
+
+#[test]
+fn native_apsp_matches_sim_bit_for_bit() {
+    let w = Apsp::new(24);
+    let sim = w
+        .run_gph(
+            GphConfig::ghc69_plain(4)
+                .with_work_stealing()
+                .with_eager_blackholing()
+                .without_trace(),
+        )
+        .unwrap();
+    assert_eq!(sim.value, w.expected());
+    for cfg in native_configs() {
+        let native = w.run_native(&cfg);
+        assert_eq!(native.value, sim.value, "{cfg:?}");
+    }
+}
+
+#[test]
+fn native_nqueens_matches_sim_bit_for_bit() {
+    let w = NQueens::new(8).with_spawn_depth(2);
+    let sim = w
+        .run_gph(
+            GphConfig::ghc69_plain(4)
+                .with_work_stealing()
+                .without_trace(),
+        )
+        .unwrap();
+    assert_eq!(sim.value, 92);
+    for cfg in native_configs() {
+        let native = w.run_native(&cfg);
+        assert_eq!(native.value, sim.value, "{cfg:?}");
+    }
+}
+
+#[test]
+fn native_runs_every_task_exactly_once() {
+    let w = SumEuler::new(200).with_chunk_size(10);
+    let tasks = 20; // ceil(200 / 10)
+    for cfg in native_configs() {
+        let m = w.run_native(&cfg);
+        assert_eq!(m.stats.tasks_run, tasks, "{cfg:?}");
+        assert_eq!(m.stats.per_worker.iter().sum::<u64>(), tasks, "{cfg:?}");
+        assert_eq!(m.stats.tasks_local + m.stats.tasks_stolen, tasks, "{cfg:?}");
+    }
+}
+
 #[test]
 fn spark_counters_are_consistent() {
     let w = SumEuler::new(SE_N).with_chunk_size(10);
     let m = w
-        .run_gph(GphConfig::ghc69_plain(8).with_work_stealing().without_trace())
+        .run_gph(
+            GphConfig::ghc69_plain(8)
+                .with_work_stealing()
+                .without_trace(),
+        )
         .unwrap();
     let s = m.gph_stats.as_ref().unwrap();
     // Everything converted, fizzled, pushed or stolen never exceeds

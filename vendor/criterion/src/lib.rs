@@ -1,0 +1,246 @@
+//! A minimal, offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access; the benches only use a small slice of criterion's API
+//! (groups, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_custom`, throughput annotation), which is vendored here with
+//! honest wall-clock measurement and a plain-text report: each bench
+//! runs `sample_size` samples and prints min / mean / max.
+//!
+//! Statistical machinery (outlier analysis, HTML plots, regression
+//! baselines) is intentionally absent — the simulated benches in this
+//! repository are deterministic, so their variance is ~0 anyway.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// No-op (plots are never generated); kept for API compatibility.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Samples per bench (minimum 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Configure from the standard criterion CLI args. Only
+    /// `--sample-size <n>` is honoured; everything else is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--sample-size" {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    self.sample_size = n;
+                }
+            }
+        }
+        self
+    }
+
+    /// Start a named group of benches.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// A stand-alone bench outside any group.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_bench(&name.to_string(), self.sample_size, None, f);
+    }
+}
+
+/// Identifies a bench as `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units processed per iteration, reported as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A group of related benches.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&format!("  {name}"), samples, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the bench closure; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the requested iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// The routine measures itself and returns the total elapsed time
+    /// for `iters` iterations (used to feed virtual time into reports).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// Identity function that defeats constant-propagation of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_bench(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // One warm-up sample, then `samples` measured ones.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed);
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / samples.max(1) as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{label}: [{min:?} {mean:?} {max:?}]{rate}");
+}
+
+/// Build the `benches()` harness entry from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// The bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u64;
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("iter", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::new("custom", 4), &4u64, |b, &x| {
+            b.iter_custom(|iters| Duration::from_nanos(iters * x))
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}
