@@ -15,7 +15,7 @@
 
 use rph_bench::*;
 use rph_core::prelude::*;
-use rph_native::{Distribution, NativeConfig};
+use rph_native::{Distribution, Granularity, NativeConfig};
 use rph_workloads::{Apsp, MatMul, NQueens, NativeMeasured, SumEuler};
 use std::time::Duration;
 
@@ -42,6 +42,7 @@ fn measure(name: &str, expected: i64, run: impl Fn(&NativeConfig) -> NativeMeasu
                 workers,
                 mode: *mode,
                 deque_cap: 256,
+                granularity: Granularity::LazySplit,
             };
             for _ in 0..REPS {
                 let m = run(&cfg);
@@ -135,6 +136,10 @@ fn main() {
         |cfg| nq.run_native(cfg),
     );
     csv.push_str(&report(&format!("nqueens {qn}"), &points));
+
+    // The adaptive-granularity ablation: fixed-chunk (PR 1 executor)
+    // vs lazy-split sumEuler, and pooled vs respawn-per-wave APSP.
+    csv.push_str(&granularity::run(quick()));
 
     write_artifact("fig3_native_speedup.csv", &csv);
 }

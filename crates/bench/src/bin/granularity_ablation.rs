@@ -1,0 +1,31 @@
+//! Adaptive-granularity ablation: fixed-chunk dealing vs lazy range
+//! splitting on sumEuler (chunk_size ∈ {1, 10, paper-default}), and
+//! persistent-pool vs respawn-per-wave on APSP.
+//!
+//! With `--quick` the inputs are tiny but still drive every new code
+//! path — batch steals, range splits, idle parking, pool reuse — which
+//! is what the CI smoke step runs on every push.
+//!
+//! ```text
+//! cargo run -p rph-bench --release --bin granularity_ablation [--quick]
+//! ```
+
+use rph_bench::{granularity, quick, write_artifact};
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "Adaptive-granularity ablation on this host ({cores} core{})\n",
+        if cores == 1 { "" } else { "s" }
+    );
+    if cores < 4 {
+        println!(
+            "note: fewer than 4 cores available — fixed-vs-lazy gaps shrink\n\
+             when there is no real parallelism to schedule\n"
+        );
+    }
+    let csv = granularity::run(quick());
+    write_artifact("granularity_ablation.csv", &csv);
+}

@@ -1,0 +1,145 @@
+//! The adaptive-granularity ablation: fixed-chunk dealing (the PR 1
+//! executor) vs lazy range splitting, plus the pool-reuse ablation for
+//! wave-structured APSP.
+//!
+//! The paper's sumEuler experiments hinge on spark granularity:
+//! chunk_size=1 drowns the fixed-task executor in per-task scheduling
+//! (one deque element, one steal negotiation per totient), while
+//! coarse chunks starve cores. Lazy splitting makes the *deque
+//! element* a range that fissions only under observed thief demand, so
+//! the fine decomposition keeps its load-balance without paying its
+//! scheduling bill. Shared by `fig3_native_speedup` and the
+//! `granularity_ablation` smoke binary.
+
+use rph_core::prelude::*;
+use rph_native::{Granularity, NativeConfig};
+use rph_workloads::{Apsp, SumEuler};
+use std::time::Duration;
+
+/// Repetitions per point; the minimum wall time is reported.
+const REPS: usize = 3;
+
+fn host_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+fn best_of(reps: usize, mut run: impl FnMut() -> Duration) -> Duration {
+    (0..reps).map(|_| run()).min().expect("reps >= 1")
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// sumEuler at chunk_size ∈ {1, 10, paper-default}, fixed vs
+/// lazy-split, work-pulling at the host's core count. Prints the
+/// table; returns its CSV.
+pub fn sum_euler_granularity(quick: bool) -> String {
+    let n: i64 = if quick { 800 } else { 6_000 };
+    let workers = host_workers();
+    let default_chunk = (n / 150).max(1);
+    println!("sumEuler [1..{n}] granularity ablation, {workers} workers, steal mode, {REPS} reps best-of");
+
+    let mut table = TextTable::new(&[
+        "chunk",
+        "tasks",
+        "fixed ms",
+        "lazy ms",
+        "fixed/lazy",
+        "splits",
+        "avg batch",
+    ]);
+    for chunk in [1, 10, default_chunk] {
+        let w = SumEuler::new(n).with_chunk_size(chunk);
+        let expect = w.expected();
+        let tasks = (n + chunk - 1) / chunk;
+
+        let fixed_cfg = NativeConfig::steal(workers).with_granularity(Granularity::Fixed);
+        let fixed = best_of(REPS, || {
+            let m = w.run_native(&fixed_cfg);
+            assert_eq!(m.value, expect, "fixed chunk={chunk}: wrong result");
+            m.wall
+        });
+
+        let lazy_cfg = NativeConfig::steal(workers);
+        let mut splits = 0u64;
+        let mut steal_ops = 0u64;
+        let mut batch_moved = 0u64;
+        let lazy = best_of(REPS, || {
+            let m = w.run_native(&lazy_cfg);
+            assert_eq!(m.value, expect, "lazy chunk={chunk}: wrong result");
+            splits = m.stats.splits;
+            steal_ops = m.stats.steal_ops;
+            batch_moved = m.stats.batch_moved;
+            m.wall
+        });
+
+        let avg_batch = if steal_ops == 0 {
+            0.0
+        } else {
+            (steal_ops + batch_moved) as f64 / steal_ops as f64
+        };
+        table.row(&[
+            chunk.to_string(),
+            tasks.to_string(),
+            format!("{:.2}", ms(fixed)),
+            format!("{:.2}", ms(lazy)),
+            format!("{:.2}", ms(fixed) / ms(lazy)),
+            splits.to_string(),
+            format!("{avg_batch:.1}"),
+        ]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    table.to_csv()
+}
+
+/// APSP pool-reuse ablation: one persistent pool across all pivot
+/// waves vs a fresh thread pool per wave (the PR 1 shape). Prints the
+/// table; returns its CSV.
+pub fn apsp_pool_reuse(quick: bool) -> String {
+    let n = if quick { 48 } else { 192 };
+    let workers = host_workers();
+    let w = Apsp::new(n);
+    let expect = w.expected();
+    let cfg = NativeConfig::steal(workers);
+    println!(
+        "apsp {n} nodes pool-reuse ablation ({n} waves), {workers} workers, {REPS} reps best-of"
+    );
+
+    let pooled = best_of(REPS, || {
+        let m = w.run_native(&cfg);
+        assert_eq!(m.value, expect, "pooled apsp: wrong result");
+        m.wall
+    });
+    let respawn = best_of(REPS, || {
+        let m = w.run_native_respawn(&cfg);
+        assert_eq!(m.value, expect, "respawn apsp: wrong result");
+        m.wall
+    });
+
+    let mut table = TextTable::new(&["variant", "ms", "vs pooled"]);
+    table.row(&[
+        "persistent pool".into(),
+        format!("{:.2}", ms(pooled)),
+        "1.00".into(),
+    ]);
+    table.row(&[
+        "respawn per wave".into(),
+        format!("{:.2}", ms(respawn)),
+        format!("{:.2}", ms(respawn) / ms(pooled)),
+    ]);
+    let rendered = table.render();
+    println!("{rendered}");
+    table.to_csv()
+}
+
+/// The full ablation (both tables); returns concatenated CSV.
+pub fn run(quick: bool) -> String {
+    let mut csv = sum_euler_granularity(quick);
+    csv.push_str(&apsp_pool_reuse(quick));
+    csv
+}

@@ -26,6 +26,8 @@
 //! units directly. Runs are deterministic; criterion's variance
 //! estimates show ~0.
 
+pub mod granularity;
+
 use rph_core::prelude::*;
 use rph_workloads::Measured;
 use std::path::PathBuf;

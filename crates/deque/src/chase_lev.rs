@@ -47,6 +47,27 @@ impl<T> Steal<T> {
     }
 }
 
+/// Upper bound on elements transferred by one [`Stealer::steal_batch_and_pop`].
+pub const MAX_BATCH: usize = 32;
+
+/// Result of a batch steal attempt: like [`Steal`], but a success also
+/// reports how many *extra* elements were transferred into the
+/// destination deque beyond the one returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSteal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost the first claim; retrying may succeed.
+    Retry,
+    /// Stole at least one element.
+    Success {
+        /// The oldest stolen element, for the thief to run immediately.
+        first: T,
+        /// How many further elements were pushed onto the destination.
+        moved: usize,
+    },
+}
+
 /// Fixed-size circular buffer of atomic word slots.
 struct Buffer {
     slots: Box<[AtomicU64]>,
@@ -288,6 +309,73 @@ impl<T: Word> Stealer<T> {
         }
     }
 
+    /// Steal up to half the victim's elements (capped at [`MAX_BATCH`]):
+    /// the oldest is returned for the thief to run immediately, the rest
+    /// are pushed onto `dest` — the thief's *own* deque — oldest first,
+    /// so they stay stealable by third parties and the thief pops them
+    /// without further contention. One victim probe, one buffer
+    /// acquisition and one backoff episode are amortised over the whole
+    /// batch; only the per-element claims remain.
+    ///
+    /// Each claim after the first revalidates `bottom` behind a SeqCst
+    /// fence and advances `top` with its own CAS. A single multi-element
+    /// CAS (`top: t → t+n`) would be unsound against this deque's
+    /// CAS-free owner pop: the owner only races the CAS for the *last*
+    /// element (`top == bottom-1`), so it can take an element in the
+    /// middle of a pending multi-claim without synchronising, and the
+    /// thief's CAS would still succeed — a double-take. Re-reading
+    /// `bottom` per element restores exactly the pairwise Chase–Lev
+    /// race resolution (see DESIGN.md for the interleaving).
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> BatchSteal<T> {
+        let inner = &self.inner;
+        let mut t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        let len = b - t;
+        if len <= 0 {
+            return BatchSteal::Empty;
+        }
+        // Take at most half of what was observed, so the victim keeps
+        // working without immediately needing to steal back.
+        let want = (((len + 1) / 2) as usize).min(MAX_BATCH);
+        // SAFETY: valid until Inner::drop; growth retires, never frees.
+        let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
+        let first = T::from_u64(buf.read(t));
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return BatchSteal::Retry;
+        }
+        t += 1;
+        let mut moved = 0usize;
+        while moved + 1 < want {
+            fence(Ordering::SeqCst);
+            let b = inner.bottom.load(Ordering::Acquire);
+            if t >= b {
+                break;
+            }
+            // Reload the buffer: the owner may have grown it since the
+            // previous element, and indices pushed after a growth only
+            // exist in the new buffer.
+            // SAFETY: as above.
+            let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
+            let v = T::from_u64(buf.read(t));
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                break;
+            }
+            dest.push(v);
+            moved += 1;
+            t += 1;
+        }
+        BatchSteal::Success { first, moved }
+    }
+
     /// Steal with bounded retries, returning `None` on `Empty` or when
     /// retries are exhausted.
     pub fn steal_retry(&self, max_retries: usize) -> Option<T> {
@@ -465,6 +553,63 @@ mod tests {
         let (thief_sum, thief_count) = thief.join().unwrap();
         assert_eq!(own_count + thief_count, N);
         assert_eq!(own_sum + thief_sum, N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn batch_steal_takes_half_oldest_first() {
+        let (w, s) = new::<u64>(16);
+        let (thief, thief_s) = new::<u64>(16);
+        for i in 0..10u64 {
+            w.push(i);
+        }
+        // len 10 → up to (10+1)/2 = 5 elements: 0 returned, 1..4 moved.
+        match s.steal_batch_and_pop(&thief) {
+            BatchSteal::Success { first, moved } => {
+                assert_eq!(first, 0);
+                assert_eq!(moved, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(w.len(), 5);
+        assert_eq!(thief.len(), 4);
+        // Thief pops its share newest-first; its own thieves would see
+        // oldest-first.
+        assert_eq!(thief.pop(), Some(4));
+        assert_eq!(thief_s.steal().success(), 1);
+        // Victim keeps the newer half.
+        assert_eq!(s.steal().success(), 5);
+        assert_eq!(w.pop(), Some(9));
+    }
+
+    #[test]
+    fn batch_steal_of_single_element_moves_nothing() {
+        let (w, s) = new::<u64>(4);
+        let (thief, _) = new::<u64>(4);
+        assert_eq!(s.steal_batch_and_pop(&thief), BatchSteal::Empty);
+        w.push(7);
+        assert_eq!(
+            s.steal_batch_and_pop(&thief),
+            BatchSteal::Success { first: 7, moved: 0 }
+        );
+        assert!(thief.is_empty());
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn batch_steal_is_capped() {
+        let (w, s) = new::<u64>(16);
+        let (thief, _) = new::<u64>(16);
+        for i in 0..1000u64 {
+            w.push(i);
+        }
+        match s.steal_batch_and_pop(&thief) {
+            BatchSteal::Success { first, moved } => {
+                assert_eq!(first, 0);
+                assert_eq!(moved, MAX_BATCH - 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(w.len() + thief.len() + 1, 1000);
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod chase_lev;
 pub mod det;
 pub mod word;
 
-pub use chase_lev::{Steal, Stealer, Worker};
+pub use chase_lev::{BatchSteal, Steal, Stealer, Worker, MAX_BATCH};
 pub use det::DetDeque;
-pub use word::Word;
+pub use word::{Range32, Word};

@@ -61,6 +61,58 @@ impl Word for i64 {
     }
 }
 
+/// A packed `[lo, hi)` index range: two `u32` halves in one machine
+/// word.
+///
+/// This is the element type of the native executor's deques once tasks
+/// become *ranges* instead of single indices (lazy range splitting):
+/// the `u64` slot a Chase–Lev buffer stores has room for `2×u32`, so a
+/// range travels through the lock-free deque exactly like a single
+/// spark pointer would — no allocation, no indirection, and every racy
+/// read stays one atomic word access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range32 {
+    /// Inclusive lower bound.
+    pub lo: u32,
+    /// Exclusive upper bound.
+    pub hi: u32,
+}
+
+impl Range32 {
+    /// The range `[lo, hi)`. `lo > hi` is a caller bug.
+    #[inline]
+    pub fn new(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "inverted range {lo}..{hi}");
+        Range32 { lo, hi }
+    }
+
+    /// Number of indices in the range.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// True when the range contains no indices.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.lo >= self.hi
+    }
+}
+
+impl Word for Range32 {
+    #[inline]
+    fn to_u64(self) -> u64 {
+        ((self.hi as u64) << 32) | self.lo as u64
+    }
+    #[inline]
+    fn from_u64(w: u64) -> Self {
+        Range32 {
+            lo: w as u32,
+            hi: (w >> 32) as u32,
+        }
+    }
+}
+
 /// Derive [`Word`] for a newtype wrapper around a word type, e.g.
 /// `word_newtype!(NodeRef, u64)`.
 #[macro_export]
@@ -94,5 +146,17 @@ mod tests {
         assert_eq!(usize::from_u64(99usize.to_u64()), 99);
         assert_eq!(i64::from_u64((-3i64).to_u64()), -3);
         assert_eq!(Ref::from_u64(Ref(5).to_u64()), Ref(5));
+    }
+
+    #[test]
+    fn range32_roundtrips_and_measures() {
+        for (lo, hi) in [(0, 0), (0, 1), (7, 19), (0, u32::MAX), (u32::MAX, u32::MAX)] {
+            let r = Range32::new(lo, hi);
+            assert_eq!(Range32::from_u64(r.to_u64()), r);
+            assert_eq!(r.len(), hi - lo);
+            assert_eq!(r.is_empty(), lo == hi);
+        }
+        // The halves land in disjoint bit fields.
+        assert_eq!(Range32::new(3, 5).to_u64(), (5u64 << 32) | 3);
     }
 }

@@ -6,7 +6,7 @@
 //! exercises real contention (millions of operations, every `Retry`
 //! path taken).
 
-use rph_deque::chase_lev::{self, Steal};
+use rph_deque::chase_lev::{self, BatchSteal, Steal};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Owner pushes `n` distinct values while `stealers` thieves drain the
@@ -73,6 +73,83 @@ fn stress(n: u64, stealers: usize, cap: usize) {
     assert_eq!(total_sum, n * (n + 1) / 2, "checksum conservation");
 }
 
+/// Like [`stress`], but the thieves batch-steal into their own deques
+/// and drain them locally — the shape the native executor's workers
+/// use. Conservation must hold across the extra hop through the
+/// thief-owned deques.
+fn stress_batch(n: u64, stealers: usize, cap: usize) {
+    let (worker, stealer) = chase_lev::new::<u64>(cap);
+    let done = AtomicBool::new(false);
+    let stolen_sum = AtomicU64::new(0);
+    let stolen_count = AtomicU64::new(0);
+    let batches = AtomicU64::new(0);
+
+    let (owner_sum, owner_count) = std::thread::scope(|scope| {
+        for _ in 0..stealers {
+            let stealer = stealer.clone();
+            let done = &done;
+            let stolen_sum = &stolen_sum;
+            let stolen_count = &stolen_count;
+            let batches = &batches;
+            scope.spawn(move || {
+                let (mine, _) = chase_lev::new::<u64>(cap);
+                loop {
+                    match stealer.steal_batch_and_pop(&mine) {
+                        BatchSteal::Success { first, moved } => {
+                            batches.fetch_add(1, Ordering::Relaxed);
+                            let mut sum = first;
+                            let mut count = 1u64;
+                            // Drain the transferred tail from our own
+                            // deque; `moved` bounds it, but third-party
+                            // thieves don't exist here so it is exact.
+                            while let Some(v) = mine.pop() {
+                                sum += v;
+                                count += 1;
+                            }
+                            assert_eq!(count, moved as u64 + 1);
+                            stolen_sum.fetch_add(sum, Ordering::Relaxed);
+                            stolen_count.fetch_add(count, Ordering::Relaxed);
+                        }
+                        BatchSteal::Retry => std::hint::spin_loop(),
+                        BatchSteal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for v in 1..=n {
+            worker.push(v);
+            if v % 3 == 0 {
+                if let Some(x) = worker.pop() {
+                    sum += x;
+                    count += 1;
+                }
+            }
+        }
+        while let Some(x) = worker.pop() {
+            sum += x;
+            count += 1;
+        }
+        done.store(true, Ordering::Release);
+        (sum, count)
+    });
+
+    let total_sum = owner_sum + stolen_sum.load(Ordering::Relaxed);
+    let total_count = owner_count + stolen_count.load(Ordering::Relaxed);
+    assert_eq!(
+        total_count, n,
+        "every value must leave the deques exactly once"
+    );
+    assert_eq!(total_sum, n * (n + 1) / 2, "checksum conservation");
+}
+
 #[test]
 fn one_owner_one_stealer() {
     stress(200_000, 1, 64);
@@ -86,6 +163,31 @@ fn one_owner_many_stealers() {
 #[test]
 fn tiny_initial_capacity_forces_growth_under_contention() {
     stress(100_000, 4, 2);
+}
+
+#[test]
+fn batch_one_owner_one_stealer() {
+    stress_batch(200_000, 1, 64);
+}
+
+#[test]
+fn batch_one_owner_many_stealers() {
+    stress_batch(200_000, 7, 64);
+}
+
+#[test]
+fn batch_tiny_capacity_forces_growth_mid_batch() {
+    stress_batch(100_000, 4, 2);
+}
+
+#[test]
+fn batch_repeated_small_rounds_hit_the_owner_race() {
+    // The unsound single-CAS batch would double-take precisely when
+    // the owner pops down into a pending claim — a near-empty regime;
+    // hammer it with many short rounds.
+    for round in 0..50 {
+        stress_batch(500 + round * 37, 3, 8);
+    }
 }
 
 #[test]

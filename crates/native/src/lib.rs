@@ -7,7 +7,7 @@
 //! [`rph_deque::chase_lev`] — the data structure §IV.A.2 of the paper
 //! credits for eliminating "any hand-shaking when sharing work".
 //!
-//! Design (v1, deliberately Eden-shaped):
+//! Design (v2, persistent pool + adaptive granularity):
 //!
 //! * A workload is decomposed into a flat set of **pure tasks**
 //!   ([`Job`]): `run(i)` reads only the job description and produces a
@@ -15,23 +15,36 @@
 //!   like Eden processes, workers "communicate only WHNF data", here
 //!   by writing each task's result into its slot of a shared
 //!   [`ResultHeap`] exactly once.
-//! * One worker per requested core. Each worker owns a
-//!   `chase_lev::Worker` task deque; every other worker holds a
-//!   `Stealer` handle onto it.
+//! * A [`Pool`] spawns one worker per requested core **once** and
+//!   accepts repeated [`Pool::execute`] calls — wave-structured
+//!   workloads (APSP's n pivot waves) reuse the same threads instead
+//!   of paying n spawn/join barriers. [`execute`] remains the one-shot
+//!   convenience wrapper.
+//! * Each worker owns a `chase_lev::Worker` deque of packed
+//!   `(lo, hi)` index ranges (`rph_deque::Range32`); every other
+//!   worker holds a `Stealer` handle onto it.
 //! * Two distribution policies mirror the paper's push-vs-steal
-//!   comparison ([`Distribution`]): `Push` statically round-robins the
-//!   tasks over all workers up front (GHC 6.8's work-pushing, minus
-//!   the scheduler-delay pathology); `Steal` seeds every task on
-//!   worker 0 and lets idle workers pull via the lock-free steal path,
-//!   retrying `Steal::Retry` with exponential backoff.
+//!   comparison ([`Distribution`]); two granularity policies
+//!   ([`Granularity`]) put PR 1's fixed per-task dealing and the
+//!   adaptive **lazy range splitting** side by side: ranges execute
+//!   sequentially at the owner end and fission only under observed
+//!   thief demand.
+//! * Thieves take up to half a victim's deque per probe
+//!   (`steal_batch_and_pop`); idle workers spin briefly, then **park**
+//!   on a Condvar-backed eventcount instead of busy-waiting, woken by
+//!   new pushes or run completion.
 //!
 //! The deterministic simulator remains the correctness oracle: the
 //! differential tests (in `rph-workloads` and the top-level
 //! integration suite) assert that native results are bit-identical to
-//! `GphRuntime` results for every workload at 1, 2, 4 and 8 workers.
+//! `GphRuntime` results for every workload at 1, 2, 3, 4, 5 and 8
+//! workers, under both policies and both granularities.
 
 mod executor;
+mod park;
+mod pool;
 
 pub use executor::{
-    execute, Distribution, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
+    execute, Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
 };
+pub use pool::Pool;

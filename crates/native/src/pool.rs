@@ -1,0 +1,483 @@
+//! The persistent worker pool with adaptive-granularity scheduling.
+//!
+//! [`Pool`] spawns its OS workers **once** and accepts repeated
+//! [`Pool::execute`] calls: wave-structured workloads (APSP issues one
+//! run per pivot) reuse the same threads and deques instead of paying a
+//! full spawn/join barrier per wave. Within a run:
+//!
+//! * Tasks travel as packed `(lo, hi)` index ranges
+//!   ([`rph_deque::Range32`] — two `u32`s in the deque's `u64` slot).
+//! * **Lazy range splitting** ([`Granularity::LazySplit`]): a worker
+//!   executes its range sequentially from the low end, but before each
+//!   index checks whether its own deque has gone empty — the signal
+//!   that thieves are hungry — and if so pushes the upper half off as a
+//!   new stealable range. Granularity thus adapts to observed demand:
+//!   a lone worker runs the whole job with O(log n) scheduling actions,
+//!   while under contention ranges fission until every core is fed.
+//! * Thieves use [`Stealer::steal_batch_and_pop`], landing up to half
+//!   the victim's elements in their own deque per probe.
+//! * Idle workers spin for a bounded number of fruitless sweeps, then
+//!   park on the [`EventCount`] until a push or run completion wakes
+//!   them (see `park.rs` for the lost-wakeup argument).
+
+use crate::executor::{
+    Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
+};
+use crate::park::EventCount;
+use rph_deque::chase_lev::{self, BatchSteal, Stealer, Worker};
+use rph_deque::Range32;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Fruitless full sweeps over every victim before a worker parks.
+const SPIN_SWEEPS: usize = 64;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One run, as published to the workers. The runner reference is
+/// lifetime-erased; see the safety comment in [`Pool::execute`].
+#[derive(Clone, Copy)]
+struct RunCmd {
+    runner: &'static (dyn Fn(u64) + Sync),
+    n: u64,
+    mode: Distribution,
+    granularity: Granularity,
+}
+
+/// Per-worker, per-run counters, accumulated without synchronisation
+/// and merged under the control lock at run end.
+#[derive(Debug, Clone, Default)]
+struct WorkerStats {
+    ran: u64,
+    local: u64,
+    stolen: u64,
+    retries: u64,
+    empties: u64,
+    steal_ops: u64,
+    batch_moved: u64,
+    splits: u64,
+    parks: u64,
+}
+
+/// State guarded by the control mutex: run hand-off and completion.
+struct Ctrl {
+    run_seq: u64,
+    cmd: Option<RunCmd>,
+    done: usize,
+    worker_stats: Vec<WorkerStats>,
+    shutdown: bool,
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    ctrl: Mutex<Ctrl>,
+    start_cv: Condvar,
+    done_cv: Condvar,
+    /// Tasks not yet executed in the current run.
+    remaining: AtomicU64,
+    /// Set when any worker's task panicked; aborts the run.
+    panicked: AtomicBool,
+    ec: EventCount,
+    stealers: Vec<Stealer<Range32>>,
+    workers: usize,
+}
+
+/// A persistent pool of worker threads executing [`Job`]s.
+///
+/// Workers are spawned by [`Pool::new`] and joined on drop; every
+/// [`Pool::execute`] in between reuses them. `execute` takes `&mut
+/// self` — runs are strictly sequential per pool.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    mode: Distribution,
+    granularity: Granularity,
+}
+
+impl Pool {
+    /// Spawn `cfg.workers` threads, each owning a Chase–Lev deque of
+    /// `cfg.deque_cap` initial slots (deques grow on demand).
+    pub fn new(cfg: &NativeConfig) -> Pool {
+        let workers = cfg.workers.max(1);
+        let mut owners: Vec<Worker<Range32>> = Vec::with_capacity(workers);
+        let mut stealers: Vec<Stealer<Range32>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (w, s) = chase_lev::new::<Range32>(cfg.deque_cap);
+            owners.push(w);
+            stealers.push(s);
+        }
+        let shared = Arc::new(Shared {
+            ctrl: Mutex::new(Ctrl {
+                run_seq: 0,
+                cmd: None,
+                done: 0,
+                worker_stats: vec![WorkerStats::default(); workers],
+                shutdown: false,
+            }),
+            start_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            remaining: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            ec: EventCount::new(),
+            stealers,
+            workers,
+        });
+        let handles = owners
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rph-native-{me}"))
+                    .spawn(move || worker_main(me, local, shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            mode: cfg.mode,
+            granularity: cfg.granularity,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Run every task of `job` on the pool's workers and return the
+    /// results in task order. Semantics are identical to
+    /// [`crate::execute`]; only the thread lifecycle differs.
+    pub fn execute<J: Job>(&mut self, job: &J) -> NativeOutcome<J::Out> {
+        let n = job.len();
+        let workers = self.shared.workers;
+        assert!(n < u32::MAX as usize, "job too large for packed u32 ranges");
+        if n == 0 {
+            return NativeOutcome {
+                values: Vec::new(),
+                wall: Duration::ZERO,
+                stats: NativeStats {
+                    per_worker: vec![0; workers],
+                    ..NativeStats::default()
+                },
+            };
+        }
+
+        let heap = ResultHeap::new(n);
+        let runner = |i: u64| heap.publish(i as usize, job.run(i as usize));
+        let runner_ref: &(dyn Fn(u64) + Sync) = &runner;
+        // SAFETY: workers call `runner` only between observing the new
+        // `run_seq` and incrementing `done`; this function blocks until
+        // `done == workers` before returning, so the erased borrow of
+        // `heap`/`job` strictly outlives every use. `cmd` is cleared
+        // below before the borrow expires.
+        let runner_static: &'static (dyn Fn(u64) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(u64) + Sync), _>(runner_ref) };
+
+        self.shared.panicked.store(false, Ordering::SeqCst);
+        self.shared.remaining.store(n as u64, Ordering::SeqCst);
+        let start = Instant::now();
+        let stats = {
+            let mut ctrl = lock(&self.shared.ctrl);
+            ctrl.cmd = Some(RunCmd {
+                runner: runner_static,
+                n: n as u64,
+                mode: self.mode,
+                granularity: self.granularity,
+            });
+            ctrl.run_seq += 1;
+            ctrl.done = 0;
+            for s in ctrl.worker_stats.iter_mut() {
+                *s = WorkerStats::default();
+            }
+            self.shared.start_cv.notify_all();
+            while ctrl.done < workers {
+                ctrl = self
+                    .shared
+                    .done_cv
+                    .wait(ctrl)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            ctrl.cmd = None;
+            collect_stats(&ctrl.worker_stats)
+        };
+        let wall = start.elapsed();
+
+        if self.shared.panicked.load(Ordering::SeqCst) {
+            panic!("a worker panicked during a native run");
+        }
+        debug_assert_eq!(self.shared.remaining.load(Ordering::SeqCst), 0);
+        assert_eq!(stats.tasks_run, n as u64, "tasks left behind");
+        NativeOutcome {
+            values: heap.into_values(),
+            wall,
+            stats,
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut ctrl = lock(&self.shared.ctrl);
+            ctrl.shutdown = true;
+            self.shared.start_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn collect_stats(per_worker: &[WorkerStats]) -> NativeStats {
+    let mut out = NativeStats {
+        per_worker: per_worker.iter().map(|s| s.ran).collect(),
+        ..NativeStats::default()
+    };
+    for s in per_worker {
+        out.tasks_run += s.ran;
+        out.tasks_local += s.local;
+        out.tasks_stolen += s.stolen;
+        out.steal_retries += s.retries;
+        out.steal_empties += s.empties;
+        out.steal_ops += s.steal_ops;
+        out.batch_moved += s.batch_moved;
+        out.splits += s.splits;
+        out.parks += s.parks;
+    }
+    out
+}
+
+/// `worker`'s contiguous share of `[0, n)` under static block
+/// partitioning.
+fn block_share(n: u64, workers: usize, worker: usize) -> (u32, u32) {
+    let w = workers as u64;
+    let lo = (n * worker as u64 / w) as u32;
+    let hi = (n * (worker as u64 + 1) / w) as u32;
+    (lo, hi)
+}
+
+fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
+    let mut seen_seq = 0u64;
+    loop {
+        // Wait for the next run (or shutdown).
+        let cmd = {
+            let mut ctrl = lock(&shared.ctrl);
+            loop {
+                if ctrl.shutdown {
+                    return;
+                }
+                if ctrl.run_seq != seen_seq {
+                    seen_seq = ctrl.run_seq;
+                    break ctrl.cmd.expect("run_seq bumped without a command");
+                }
+                ctrl = shared
+                    .start_cv
+                    .wait(ctrl)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+
+        let mut stats = WorkerStats::default();
+        let run = RunCtx {
+            me,
+            local: &local,
+            shared: &shared,
+            cmd,
+        };
+        if catch_unwind(AssertUnwindSafe(|| run.run(&mut stats))).is_err() {
+            shared.panicked.store(true, Ordering::SeqCst);
+            shared.ec.notify_all();
+        }
+        if shared.panicked.load(Ordering::SeqCst) {
+            // Abandoned run: clear leftovers so they cannot leak into
+            // the next run's index space.
+            while local.pop().is_some() {}
+        }
+
+        let mut ctrl = lock(&shared.ctrl);
+        ctrl.worker_stats[me] = stats;
+        ctrl.done += 1;
+        if ctrl.done == shared.workers {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Everything one worker needs for one run.
+struct RunCtx<'a> {
+    me: usize,
+    local: &'a Worker<Range32>,
+    shared: &'a Shared,
+    cmd: RunCmd,
+}
+
+impl RunCtx<'_> {
+    fn run(&self, stats: &mut WorkerStats) {
+        let workers = self.shared.workers;
+        let n = self.cmd.n;
+        self.seed();
+        // Wake anyone who parked before our seed landed (a fast
+        // sibling can reach the idle path before worker 0 seeds).
+        self.shared.ec.notify_all();
+
+        // Splitting only pays when someone can steal the exposed half.
+        let split = self.cmd.granularity == Granularity::LazySplit
+            && self.cmd.mode == Distribution::Steal
+            && workers > 1;
+
+        'run: loop {
+            // Drain the local pool (owner end, LIFO).
+            while let Some(r) = self.local.pop() {
+                self.process(r, false, split, stats);
+            }
+            if self.cmd.mode == Distribution::Push {
+                // Static distribution: an empty local deque means this
+                // worker is done.
+                break;
+            }
+            debug_assert!(n > 0);
+            // Work-pulling: probe the other deques until a steal lands
+            // or the run finishes. Lost CAS races back off; fruitless
+            // sweeps first spin, then park.
+            let mut backoff = 1u32;
+            let mut fruitless = 0usize;
+            loop {
+                if self.finished() {
+                    break 'run;
+                }
+                let mut contended = false;
+                let mut got = None;
+                for d in 0..workers - 1 {
+                    let victim = (self.me + 1 + d) % workers;
+                    match self.shared.stealers[victim].steal_batch_and_pop(self.local) {
+                        BatchSteal::Success { first, moved } => {
+                            stats.steal_ops += 1;
+                            stats.batch_moved += moved as u64;
+                            if moved > 0 {
+                                // The transferred tail is stealable
+                                // from our deque now — tell sleepers.
+                                self.shared.ec.notify_all();
+                            }
+                            got = Some(first);
+                            break;
+                        }
+                        BatchSteal::Retry => {
+                            stats.retries += 1;
+                            contended = true;
+                        }
+                        BatchSteal::Empty => {
+                            stats.empties += 1;
+                        }
+                    }
+                }
+                if let Some(r) = got {
+                    self.process(r, true, split, stats);
+                    continue 'run;
+                }
+                if contended {
+                    for _ in 0..backoff {
+                        std::hint::spin_loop();
+                    }
+                    backoff = (backoff * 2).min(1 << 10);
+                    fruitless = 0;
+                } else {
+                    backoff = 1;
+                    fruitless += 1;
+                    if fruitless < SPIN_SWEEPS {
+                        std::thread::yield_now();
+                    } else {
+                        fruitless = 0;
+                        let parked = self.shared.ec.park_if(|| {
+                            !self.finished() && self.shared.stealers.iter().all(|s| s.is_empty())
+                        });
+                        if parked {
+                            stats.parks += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when the run is over (all tasks done, or aborted by a
+    /// sibling's panic).
+    fn finished(&self) -> bool {
+        self.shared.remaining.load(Ordering::Acquire) == 0
+            || self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Seed this worker's own deque for the run. Every worker seeds
+    /// only itself, so no cross-thread deque hand-off exists; a worker
+    /// that races ahead simply finds deques empty and sweeps again.
+    fn seed(&self) {
+        let n = self.cmd.n;
+        let workers = self.shared.workers;
+        match (self.cmd.mode, self.cmd.granularity) {
+            // Work-pulling: everything starts on worker 0, as one
+            // range (split on demand) or as per-index unit ranges.
+            (Distribution::Steal, Granularity::LazySplit) => {
+                if self.me == 0 {
+                    self.local.push(Range32::new(0, n as u32));
+                }
+            }
+            (Distribution::Steal, Granularity::Fixed) => {
+                if self.me == 0 {
+                    self.local
+                        .push_iter((0..n as u32).map(|i| Range32::new(i, i + 1)));
+                }
+            }
+            // Static pushing: each worker takes its share up front and
+            // never steals.
+            (Distribution::Push, Granularity::LazySplit) => {
+                let (lo, hi) = block_share(n, workers, self.me);
+                if lo < hi {
+                    self.local.push(Range32::new(lo, hi));
+                }
+            }
+            (Distribution::Push, Granularity::Fixed) => {
+                self.local.push_iter(
+                    (self.me..n as usize)
+                        .step_by(workers)
+                        .map(|i| Range32::new(i as u32, i as u32 + 1)),
+                );
+            }
+        }
+    }
+
+    /// Execute a range: sequentially from the low end, splitting the
+    /// upper half off whenever the local deque runs dry (thief demand).
+    /// `stolen` records how the range was acquired, for the directly
+    /// counted `tasks_local`/`tasks_stolen` stats.
+    fn process(&self, range: Range32, stolen: bool, split: bool, stats: &mut WorkerStats) {
+        let mut lo = range.lo;
+        let mut hi = range.hi;
+        debug_assert!(lo < hi);
+        while lo < hi {
+            if split && hi - lo > 1 && self.local.is_empty() {
+                let mid = lo + (hi - lo) / 2;
+                self.local.push(Range32::new(mid, hi));
+                stats.splits += 1;
+                self.shared.ec.notify_all();
+                hi = mid;
+            }
+            (self.cmd.runner)(lo as u64);
+            stats.ran += 1;
+            if stolen {
+                stats.stolen += 1;
+            } else {
+                stats.local += 1;
+            }
+            lo += 1;
+            if self.shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last task of the run: release every parked worker.
+                self.shared.ec.notify_all();
+            }
+        }
+    }
+}

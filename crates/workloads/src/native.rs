@@ -4,8 +4,9 @@
 //! paper's runtimes behave*; this backend answers *how long the same
 //! decomposition takes on this machine*. Each workload is flattened
 //! into its natural task set — the exact units the GpH version sparks —
-//! and handed to [`rph_native::execute`], the Chase–Lev work-stealing
-//! executor.
+//! and handed to the Chase–Lev work-stealing executor: one-shot
+//! workloads through [`rph_native::execute`], the wave-structured APSP
+//! through a persistent [`rph_native::Pool`] reused across pivots.
 //!
 //! Results are combined on the calling thread in task-index order, so
 //! every `run_native` value is bit-identical to the corresponding
@@ -20,7 +21,7 @@
 //! measurement.
 
 use crate::{kernels, Apsp, MatMul, NQueens, SumEuler};
-use rph_native::{execute, Job, NativeConfig, NativeStats};
+use rph_native::{execute, Job, NativeConfig, NativeStats, Pool};
 use std::time::Duration;
 
 /// Result of one native run: the workload checksum plus wall-clock
@@ -36,13 +37,17 @@ pub struct NativeMeasured {
 }
 
 /// Accumulate `b`'s counters into `a` (used by the wave-structured
-/// APSP run, which issues one `execute` per pivot).
+/// APSP run, which issues one pool run per pivot).
 fn merge_stats(a: &mut NativeStats, b: &NativeStats) {
     a.tasks_run += b.tasks_run;
     a.tasks_local += b.tasks_local;
     a.tasks_stolen += b.tasks_stolen;
     a.steal_retries += b.steal_retries;
     a.steal_empties += b.steal_empties;
+    a.steal_ops += b.steal_ops;
+    a.batch_moved += b.batch_moved;
+    a.splits += b.splits;
+    a.parks += b.parks;
     if a.per_worker.len() < b.per_worker.len() {
         a.per_worker.resize(b.per_worker.len(), 0);
     }
@@ -160,11 +165,43 @@ impl Job for PivotWave<'_> {
 }
 
 impl Apsp {
-    /// Native run: Floyd–Warshall as `n` pivot waves, each wave one
-    /// `execute` over the rows. The barrier between waves replaces the
-    /// thunk-graph synchronisation the GpH runtime does dynamically —
-    /// coarser, but the same data flow, hence the same checksum.
+    /// Native run: Floyd–Warshall as `n` pivot waves over one
+    /// **persistent worker pool** — the same threads and deques serve
+    /// every wave, so the per-wave cost is a run hand-off, not a full
+    /// thread spawn/join barrier. The barrier between waves replaces
+    /// the thunk-graph synchronisation the GpH runtime does
+    /// dynamically — coarser, but the same data flow, hence the same
+    /// checksum.
     pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
+        let mut pool = Pool::new(cfg);
+        self.run_native_on(&mut pool)
+    }
+
+    /// The pivot waves on a caller-supplied pool (reusable across
+    /// repetitions as well as waves).
+    pub fn run_native_on(&self, pool: &mut Pool) -> NativeMeasured {
+        let mut state = self.input_rows();
+        let mut wall = Duration::ZERO;
+        let mut stats = NativeStats::default();
+        for k in 0..self.n {
+            let pivot = state[k].clone();
+            let wave = PivotWave {
+                state: &state,
+                pivot: &pivot,
+                k,
+            };
+            let out = pool.execute(&wave);
+            wall += out.wall;
+            merge_stats(&mut stats, &out.stats);
+            state = out.values;
+        }
+        let value = state.iter().map(|row| row.iter().sum::<f64>() as i64).sum();
+        NativeMeasured { value, wall, stats }
+    }
+
+    /// The PR 1 shape, kept as the pool-reuse ablation baseline: a
+    /// fresh thread pool is spawned and joined for every pivot wave.
+    pub fn run_native_respawn(&self, cfg: &NativeConfig) -> NativeMeasured {
         let mut state = self.input_rows();
         let mut wall = Duration::ZERO;
         let mut stats = NativeStats::default();
@@ -225,12 +262,15 @@ impl NQueens {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rph_native::Granularity;
 
     fn configs() -> Vec<NativeConfig> {
         let mut out = Vec::new();
-        for w in [1usize, 2, 4, 8] {
-            out.push(NativeConfig::steal(w));
-            out.push(NativeConfig::push(w));
+        for w in [1usize, 2, 3, 4, 5, 8] {
+            for g in [Granularity::LazySplit, Granularity::Fixed] {
+                out.push(NativeConfig::steal(w).with_granularity(g));
+                out.push(NativeConfig::push(w).with_granularity(g));
+            }
         }
         out
     }
@@ -284,5 +324,31 @@ mod tests {
         // 12 waves × 12 row tasks.
         assert_eq!(m.stats.tasks_run, 144);
         assert_eq!(m.stats.per_worker.iter().sum::<u64>(), 144);
+        assert_eq!(m.stats.tasks_local + m.stats.tasks_stolen, 144);
+    }
+
+    #[test]
+    fn apsp_pooled_and_respawn_agree_with_oracle() {
+        let w = Apsp::new(16);
+        let expect = w.expected();
+        for cfg in [NativeConfig::steal(3), NativeConfig::push(4)] {
+            let pooled = w.run_native(&cfg);
+            let respawn = w.run_native_respawn(&cfg);
+            assert_eq!(pooled.value, expect, "{cfg:?}");
+            assert_eq!(respawn.value, expect, "{cfg:?}");
+            assert_eq!(pooled.stats.tasks_run, respawn.stats.tasks_run, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn shared_pool_serves_repeated_apsp_runs() {
+        let w = Apsp::new(10);
+        let expect = w.expected();
+        let mut pool = Pool::new(&NativeConfig::steal(4));
+        for _ in 0..3 {
+            let m = w.run_native_on(&mut pool);
+            assert_eq!(m.value, expect);
+            assert_eq!(m.stats.tasks_run, 100);
+        }
     }
 }

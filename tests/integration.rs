@@ -4,7 +4,7 @@
 
 use rph::prelude::*;
 use rph::workloads::{Apsp, MatMul, NQueens, SumEuler};
-use rph_native::NativeConfig;
+use rph_native::{Granularity, NativeConfig};
 
 const SE_N: i64 = 400;
 
@@ -166,12 +166,22 @@ fn check_phase_validates_parallel_result() {
     assert_eq!(m.value, w.expected());
 }
 
-/// Every native configuration the differential tests sweep: 1, 2, 4
-/// and 8 workers under both distribution policies.
+/// Every native configuration the differential tests sweep: 1, 2, 3,
+/// 4, 5 and 8 workers (even and odd), both distribution policies,
+/// both granularities (fixed per-task dealing and lazy-split ranges).
 fn native_configs() -> Vec<NativeConfig> {
-    [1usize, 2, 4, 8]
+    [1usize, 2, 3, 4, 5, 8]
         .into_iter()
-        .flat_map(|w| [NativeConfig::steal(w), NativeConfig::push(w)])
+        .flat_map(|w| {
+            [Granularity::LazySplit, Granularity::Fixed]
+                .into_iter()
+                .flat_map(move |g| {
+                    [
+                        NativeConfig::steal(w).with_granularity(g),
+                        NativeConfig::push(w).with_granularity(g),
+                    ]
+                })
+        })
         .collect()
 }
 
@@ -252,7 +262,35 @@ fn native_runs_every_task_exactly_once() {
         let m = w.run_native(&cfg);
         assert_eq!(m.stats.tasks_run, tasks, "{cfg:?}");
         assert_eq!(m.stats.per_worker.iter().sum::<u64>(), tasks, "{cfg:?}");
+        // tasks_local and tasks_stolen are counted directly per worker;
+        // together they must partition the run.
         assert_eq!(m.stats.tasks_local + m.stats.tasks_stolen, tasks, "{cfg:?}");
+        // Batch accounting is consistent: batches can only move extras
+        // if steals succeeded at all.
+        if m.stats.steal_ops == 0 {
+            assert_eq!(m.stats.batch_moved, 0, "{cfg:?}");
+            assert_eq!(m.stats.tasks_stolen, 0, "{cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn native_degenerate_jobs_match_oracle() {
+    // Fewer tasks than workers, and a single-chunk job, at odd worker
+    // counts — the decomposition edge cases of the range encoding.
+    let single = SumEuler::new(50).with_chunk_size(50); // 1 task
+    let sparse = SumEuler::new(60).with_chunk_size(20); // 3 tasks
+    for w in [&single, &sparse] {
+        let expect = w.expected();
+        for cfg in native_configs() {
+            let m = w.run_native(&cfg);
+            assert_eq!(m.value, expect, "{cfg:?}");
+            assert_eq!(
+                m.stats.tasks_local + m.stats.tasks_stolen,
+                m.stats.tasks_run,
+                "{cfg:?}"
+            );
+        }
     }
 }
 
