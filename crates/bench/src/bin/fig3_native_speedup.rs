@@ -39,10 +39,9 @@ fn measure(name: &str, expected: i64, run: impl Fn(&NativeConfig) -> NativeMeasu
         let mut best = [Duration::MAX; 2];
         for (slot, mode) in [Distribution::Steal, Distribution::Push].iter().enumerate() {
             let cfg = NativeConfig {
-                workers,
                 mode: *mode,
-                deque_cap: 256,
                 granularity: Granularity::LazySplit,
+                ..NativeConfig::steal(workers)
             };
             for _ in 0..REPS {
                 let m = run(&cfg);

@@ -1,0 +1,173 @@
+//! Fig. 2/4-style *wall-clock* trace diagrams for the native executor:
+//! per-worker activity timelines, occupancy fractions and CSV dumps
+//! for sumEuler, matmul and APSP at 1–8 workers, plus a measured
+//! tracing-overhead report against the <5% budget.
+//!
+//! The simulators' trace binaries (`fig2_sumeuler_traces`,
+//! `fig4_matmul_traces`) draw the same pictures in virtual time; this
+//! binary is their real-thread counterpart — time on the x-axis is
+//! nanoseconds from the run's shared `WallClock` epoch.
+//!
+//! ```text
+//! cargo run -p rph-bench --release --bin trace_native [--quick]
+//! ```
+
+use rph_bench::*;
+use rph_core::prelude::*;
+use rph_native::NativeConfig;
+use rph_trace::{render_csv, render_timeline, Counters, RenderOptions, State, Timeline};
+use rph_workloads::{Apsp, MatMul, NativeMeasured, SumEuler};
+use std::time::Duration;
+
+/// Worker counts swept per workload.
+fn worker_sweep() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Worker count whose full timeline is rendered (and whose CSV is the
+/// artifact) — the paper's trace figures are 4–8 core pictures.
+const RENDER_WORKERS: usize = 4;
+
+/// Repetitions for the overhead measurement; the minimum of each side
+/// is compared, which suppresses scheduler noise.
+const OVERHEAD_REPS: usize = 7;
+
+/// Tracing overhead budget, percent of untraced wall time.
+const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Run `run` traced across the worker sweep: print the summary table,
+/// render the RENDER_WORKERS timeline, return the interval CSV.
+fn trace_workload(
+    name: &str,
+    expected: i64,
+    run: impl Fn(&NativeConfig) -> NativeMeasured,
+) -> String {
+    println!("== {name} ==");
+    let mut table = TextTable::new(&[
+        "workers", "wall ms", "running%", "tasks", "steals", "splits", "parks", "dropped",
+    ]);
+    let mut csv = String::new();
+    let mut rendered = String::new();
+    for workers in worker_sweep() {
+        let cfg = NativeConfig::steal(workers).with_trace();
+        let m = run(&cfg);
+        assert_eq!(m.value, expected, "{name}: wrong result — reproduction bug");
+        let trace = m.trace.as_ref().expect("traced run returns a tracer");
+
+        // The binary doubles as a live reconciliation check: event
+        // totals must equal the executor's own counters whenever no
+        // event was dropped.
+        let c = Counters::from_tracer(trace);
+        if m.trace_dropped == 0 {
+            assert_eq!(c.native_tasks, m.stats.tasks_run, "{name} w={workers}");
+            assert_eq!(c.native_steals, m.stats.steal_ops, "{name} w={workers}");
+            assert_eq!(c.native_splits, m.stats.splits, "{name} w={workers}");
+            assert_eq!(c.native_parks, m.stats.parks, "{name} w={workers}");
+        }
+
+        let tl = Timeline::from_tracer(trace);
+        table.row(&[
+            workers.to_string(),
+            format!("{:.2}", ms(m.wall)),
+            format!("{:.1}", tl.mean_fraction(State::Running) * 100.0),
+            m.stats.tasks_run.to_string(),
+            m.stats.steal_ops.to_string(),
+            m.stats.splits.to_string(),
+            m.stats.parks.to_string(),
+            m.trace_dropped.to_string(),
+        ]);
+        if workers == RENDER_WORKERS {
+            rendered = render_timeline(
+                &tl,
+                &RenderOptions {
+                    width: 100,
+                    color: false,
+                    legend: true,
+                },
+            );
+            csv = render_csv(&tl);
+        }
+    }
+    let summary = table.render();
+    println!("{summary}");
+    println!("timeline at {RENDER_WORKERS} workers (ns axis):");
+    println!("{rendered}");
+    csv
+}
+
+/// Best-of-N traced vs untraced sumEuler at `RENDER_WORKERS` workers:
+/// the tracing layer must stay under [`OVERHEAD_BUDGET_PCT`].
+fn overhead_report(quick: bool) {
+    let n = if quick { 1_500 } else { 6_000 };
+    let se = SumEuler::new(n);
+    let expected = se.expected();
+    let plain_cfg = NativeConfig::steal(RENDER_WORKERS);
+    let traced_cfg = plain_cfg.clone().with_trace();
+    let mut plain = Duration::MAX;
+    let mut traced = Duration::MAX;
+    for _ in 0..OVERHEAD_REPS {
+        let m = se.run_native(&plain_cfg);
+        assert_eq!(m.value, expected);
+        plain = plain.min(m.wall);
+        let m = se.run_native(&traced_cfg);
+        assert_eq!(m.value, expected);
+        traced = traced.min(m.wall);
+    }
+    let pct = (ms(traced) - ms(plain)) / ms(plain) * 100.0;
+    let verdict = if pct < OVERHEAD_BUDGET_PCT {
+        "PASS"
+    } else {
+        "OVER BUDGET"
+    };
+    println!(
+        "tracing overhead: sumEuler [1..{n}] @ {RENDER_WORKERS} workers, best of {OVERHEAD_REPS}:"
+    );
+    println!(
+        "  untraced {:.2} ms, traced {:.2} ms -> {:+.2}% (budget {:.1}%) [{verdict}]",
+        ms(plain),
+        ms(traced),
+        pct,
+        OVERHEAD_BUDGET_PCT
+    );
+}
+
+fn main() {
+    let q = quick();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("Native wall-clock traces on this host ({cores} cores)\n");
+
+    let mut csv = String::new();
+
+    let n = if q { 1_500 } else { 6_000 };
+    let se = SumEuler::new(n);
+    csv.push_str(&trace_workload(
+        &format!("sumEuler [1..{n}]"),
+        se.expected(),
+        |cfg| se.run_native(cfg),
+    ));
+
+    let (mn, grid) = if q { (240, 6) } else { (480, 8) };
+    let mm = MatMul::new(mn, grid);
+    csv.push_str(&trace_workload(
+        &format!("matmul {mn}x{mn}, {grid}x{grid} blocks"),
+        mm.expected(),
+        |cfg| mm.run_native(cfg),
+    ));
+
+    let an = if q { 64 } else { 192 };
+    let ap = Apsp::new(an);
+    csv.push_str(&trace_workload(
+        &format!("apsp {an} nodes (pivot waves)"),
+        ap.expected(),
+        |cfg| ap.run_native(cfg),
+    ));
+
+    overhead_report(q);
+    write_artifact("trace_native.csv", &csv);
+}

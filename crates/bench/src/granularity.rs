@@ -66,22 +66,15 @@ pub fn sum_euler_granularity(quick: bool) -> String {
 
         let lazy_cfg = NativeConfig::steal(workers);
         let mut splits = 0u64;
-        let mut steal_ops = 0u64;
-        let mut batch_moved = 0u64;
+        let mut avg_batch = None;
         let lazy = best_of(REPS, || {
             let m = w.run_native(&lazy_cfg);
             assert_eq!(m.value, expect, "lazy chunk={chunk}: wrong result");
             splits = m.stats.splits;
-            steal_ops = m.stats.steal_ops;
-            batch_moved = m.stats.batch_moved;
+            avg_batch = m.stats.mean_batch();
             m.wall
         });
 
-        let avg_batch = if steal_ops == 0 {
-            0.0
-        } else {
-            (steal_ops + batch_moved) as f64 / steal_ops as f64
-        };
         table.row(&[
             chunk.to_string(),
             tasks.to_string(),
@@ -89,7 +82,7 @@ pub fn sum_euler_granularity(quick: bool) -> String {
             format!("{:.2}", ms(lazy)),
             format!("{:.2}", ms(fixed) / ms(lazy)),
             splits.to_string(),
-            format!("{avg_batch:.1}"),
+            avg_batch.map_or_else(|| "-".into(), |b| format!("{b:.1}")),
         ]);
     }
     let rendered = table.render();

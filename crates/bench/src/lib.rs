@@ -13,6 +13,7 @@
 //! | §IV ablations — each optimisation in isolation | `ablation_ladder` |
 //! | cost-model robustness | `ablation_costs` |
 //! | native wall-clock speedups (real threads) | `fig3_native_speedup` |
+//! | native wall-clock traces + overhead report | `trace_native` |
 //!
 //! Every binary accepts `--quick` for a reduced problem size (used by
 //! CI and the criterion benches) and writes machine-readable CSV next

@@ -46,7 +46,21 @@ pub struct NativeConfig {
     pub deque_cap: usize,
     /// Task granularity policy.
     pub granularity: Granularity,
+    /// Collect wall-clock event traces. Off by default: when off the
+    /// per-event record call is a single branch and
+    /// [`NativeOutcome::trace`] is `None`.
+    pub trace: bool,
+    /// Per-worker trace buffer capacity, in events. The buffer is
+    /// pre-allocated once per worker; events beyond the capacity are
+    /// dropped (and counted in [`NativeOutcome::trace_dropped`])
+    /// rather than grown into a hot-path allocation.
+    pub trace_cap: usize,
 }
+
+/// Default per-worker trace buffer capacity (events). At 24 bytes per
+/// record this is well under 1 MiB per worker, yet holds every event
+/// of the repo's test and smoke workloads with room to spare.
+pub const DEFAULT_TRACE_CAP: usize = 32 * 1024;
 
 impl NativeConfig {
     /// Work-pulling on `workers` threads (the paper's preferred
@@ -57,22 +71,34 @@ impl NativeConfig {
             mode: Distribution::Steal,
             deque_cap: 256,
             granularity: Granularity::LazySplit,
+            trace: false,
+            trace_cap: DEFAULT_TRACE_CAP,
         }
     }
 
     /// Static pushing on `workers` threads.
     pub fn push(workers: usize) -> Self {
         NativeConfig {
-            workers: workers.max(1),
             mode: Distribution::Push,
-            deque_cap: 256,
-            granularity: Granularity::LazySplit,
+            ..Self::steal(workers)
         }
     }
 
     /// Same policy, different granularity.
     pub fn with_granularity(mut self, g: Granularity) -> Self {
         self.granularity = g;
+        self
+    }
+
+    /// Same policy, with wall-clock event tracing on.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Same policy, with a specific per-worker trace buffer capacity.
+    pub fn with_trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = cap;
         self
     }
 }
@@ -156,8 +182,10 @@ pub struct NativeStats {
     /// Successful steal operations (each may move a whole batch).
     pub steal_ops: u64,
     /// Extra deque elements transferred into thief deques by batch
-    /// steals, beyond the one element each steal returns. The mean
-    /// batch size is `(steal_ops + batch_moved) / steal_ops`.
+    /// steals, beyond the one element each steal returns. See
+    /// [`Self::mean_batch`] for the mean batch size — the naive
+    /// formula `(steal_ops + batch_moved) / steal_ops` divides by
+    /// zero on steal-free runs.
     pub batch_moved: u64,
     /// Lazy range splits performed (each exposes one new range).
     pub splits: u64,
@@ -166,6 +194,43 @@ pub struct NativeStats {
     pub parks: u64,
     /// Tasks run by each worker (index = worker id).
     pub per_worker: Vec<u64>,
+}
+
+impl NativeStats {
+    /// Mean number of deque elements a successful steal moved
+    /// (including the one it returned to run), or `None` for runs with
+    /// no successful steals — where a mean batch size is meaningless
+    /// and the naive formula would divide by zero. Display code
+    /// typically renders `None` as `-`; callers that need a neutral
+    /// numeric default can use `mean_batch().unwrap_or(1.0)`.
+    pub fn mean_batch(&self) -> Option<f64> {
+        if self.steal_ops == 0 {
+            None
+        } else {
+            Some((self.steal_ops + self.batch_moved) as f64 / self.steal_ops as f64)
+        }
+    }
+
+    /// Accumulate `other`'s counters into `self` (used for chunked
+    /// runs and by wave-structured workloads that issue one run per
+    /// wave).
+    pub fn merge(&mut self, other: &NativeStats) {
+        self.tasks_run += other.tasks_run;
+        self.tasks_local += other.tasks_local;
+        self.tasks_stolen += other.tasks_stolen;
+        self.steal_retries += other.steal_retries;
+        self.steal_empties += other.steal_empties;
+        self.steal_ops += other.steal_ops;
+        self.batch_moved += other.batch_moved;
+        self.splits += other.splits;
+        self.parks += other.parks;
+        if self.per_worker.len() < other.per_worker.len() {
+            self.per_worker.resize(other.per_worker.len(), 0);
+        }
+        for (acc, x) in self.per_worker.iter_mut().zip(&other.per_worker) {
+            *acc += *x;
+        }
+    }
 }
 
 /// A completed native run.
@@ -177,6 +242,14 @@ pub struct NativeOutcome<T> {
     pub wall: Duration,
     /// Scheduling counters.
     pub stats: NativeStats,
+    /// Per-worker wall-clock event trace (`Some` iff
+    /// [`NativeConfig::trace`] was set): one [`rph_trace::Tracer`] row
+    /// per worker, timestamps in nanoseconds since the run started.
+    pub trace: Option<rph_trace::Tracer>,
+    /// Events that did not fit the per-worker trace buffers. Always 0
+    /// for untraced runs; traced consumers should check this before
+    /// treating event totals as exhaustive.
+    pub trace_dropped: u64,
 }
 
 /// Run every task of `job` and return the results in task order,

@@ -33,6 +33,14 @@
 //!   (`steal_batch_and_pop`); idle workers spin briefly, then **park**
 //!   on a Condvar-backed eventcount instead of busy-waiting, woken by
 //!   new pushes or run completion.
+//! * With [`NativeConfig::trace`] set, every worker records
+//!   wall-clock events (run start/end, executed ranges, steal
+//!   successes/retries/empties, batch transfers, lazy splits,
+//!   park/unpark) into a pre-allocated lock-free buffer, drained by
+//!   `Pool::execute` into an [`rph_trace::Tracer`] — so native runs
+//!   render the same per-core activity timelines, CSVs and occupancy
+//!   fractions as the simulators (the paper's Fig. 2/4 view), with
+//!   time in nanoseconds.
 //!
 //! The deterministic simulator remains the correctness oracle: the
 //! differential tests (in `rph-workloads` and the top-level
@@ -43,8 +51,10 @@
 mod executor;
 mod park;
 mod pool;
+mod trace;
 
 pub use executor::{
     execute, Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
+    DEFAULT_TRACE_CAP,
 };
 pub use pool::Pool;

@@ -68,6 +68,15 @@ impl EventCount {
     /// re-evaluated *after* registering as a sleeper — reports that
     /// work or completion slipped in. Returns true iff the thread
     /// actually blocked.
+    ///
+    /// Caller contract for *counting* parks: `park_if` also returns
+    /// true when the wait merely hit the [`PARK_TIMEOUT`] safety net,
+    /// and an idle worker will typically loop straight back in here.
+    /// Counting every true return therefore inflates the park counter
+    /// by one per 10 ms of idleness. Callers that maintain statistics
+    /// must count one park per *idle episode* — increment on the first
+    /// true return and not again until work has actually been found
+    /// (see `RunCtx::run` in `pool.rs`).
     pub fn park_if(&self, still_idle: impl Fn() -> bool) -> bool {
         let e = self.epoch.load(Ordering::Relaxed);
         self.sleepers.fetch_add(1, Ordering::SeqCst);
@@ -127,5 +136,19 @@ mod tests {
         ec.notify_all();
         // The thread terminates promptly and really slept at least once.
         assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn timed_out_wait_still_reports_blocked() {
+        // Nobody ever notifies: the wait can only end via the
+        // PARK_TIMEOUT safety net. The return value must still be
+        // true (the thread really blocked) — which is exactly why
+        // callers must not count one park per true return (see the
+        // park_if docs), or a single idle episode spanning several
+        // timeouts is double-counted.
+        let ec = EventCount::new();
+        let t0 = std::time::Instant::now();
+        assert!(ec.park_if(|| true));
+        assert!(t0.elapsed() >= PARK_TIMEOUT);
     }
 }

@@ -24,8 +24,10 @@ use crate::executor::{
     Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
 };
 use crate::park::EventCount;
+use crate::trace::{map_events, NEvent, NEventKind, TraceBuf};
 use rph_deque::chase_lev::{self, BatchSteal, Stealer, Worker};
 use rph_deque::Range32;
+use rph_trace::{CapId, Tracer, WallClock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -33,6 +35,12 @@ use std::time::{Duration, Instant};
 
 /// Fruitless full sweeps over every victim before a worker parks.
 const SPIN_SWEEPS: usize = 64;
+
+/// Most tasks a single run hands to the workers: range bounds must fit
+/// the packed `(lo, hi)` u32 halves of a deque element. Longer jobs
+/// are executed as consecutive chunks of at most this many tasks (see
+/// [`Pool::execute`]) instead of silently truncating indices.
+const MAX_RUN_TASKS: usize = u32::MAX as usize;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
@@ -46,6 +54,9 @@ struct RunCmd {
     n: u64,
     mode: Distribution,
     granularity: Granularity,
+    /// The run's shared time zero, so every worker's trace events and
+    /// the coordinator's wall measurement agree.
+    clock: WallClock,
 }
 
 /// Per-worker, per-run counters, accumulated without synchronisation
@@ -69,6 +80,11 @@ struct Ctrl {
     cmd: Option<RunCmd>,
     done: usize,
     worker_stats: Vec<WorkerStats>,
+    /// Per-worker trace events of the finished run (empty when tracing
+    /// is off), flushed here by each worker alongside its stats.
+    worker_events: Vec<Vec<NEvent>>,
+    /// Per-worker count of events that overflowed the trace buffer.
+    worker_dropped: Vec<u64>,
     shutdown: bool,
 }
 
@@ -84,6 +100,10 @@ struct Shared {
     ec: EventCount,
     stealers: Vec<Stealer<Range32>>,
     workers: usize,
+    /// Wall-clock event tracing on/off and per-worker buffer size,
+    /// fixed at pool construction.
+    trace_on: bool,
+    trace_cap: usize,
 }
 
 /// A persistent pool of worker threads executing [`Job`]s.
@@ -96,6 +116,9 @@ pub struct Pool {
     handles: Vec<std::thread::JoinHandle<()>>,
     mode: Distribution,
     granularity: Granularity,
+    /// Most tasks per run; `MAX_RUN_TASKS` except in tests, which
+    /// shrink it to exercise the chunking path at sane job sizes.
+    run_cap: usize,
 }
 
 impl Pool {
@@ -116,6 +139,8 @@ impl Pool {
                 cmd: None,
                 done: 0,
                 worker_stats: vec![WorkerStats::default(); workers],
+                worker_events: vec![Vec::new(); workers],
+                worker_dropped: vec![0; workers],
                 shutdown: false,
             }),
             start_cv: Condvar::new(),
@@ -125,6 +150,8 @@ impl Pool {
             ec: EventCount::new(),
             stealers,
             workers,
+            trace_on: cfg.trace,
+            trace_cap: cfg.trace_cap,
         });
         let handles = owners
             .into_iter()
@@ -142,6 +169,7 @@ impl Pool {
             handles,
             mode: cfg.mode,
             granularity: cfg.granularity,
+            run_cap: MAX_RUN_TASKS,
         }
     }
 
@@ -150,13 +178,26 @@ impl Pool {
         self.shared.workers
     }
 
+    /// Shrink the per-run task cap so tests can drive the chunking
+    /// path without a four-billion-task job.
+    #[cfg(test)]
+    pub(crate) fn set_run_cap_for_tests(&mut self, cap: usize) {
+        assert!(cap > 0 && cap <= MAX_RUN_TASKS);
+        self.run_cap = cap;
+    }
+
     /// Run every task of `job` on the pool's workers and return the
     /// results in task order. Semantics are identical to
     /// [`crate::execute`]; only the thread lifecycle differs.
+    ///
+    /// Jobs longer than the packed-range index space (`u32::MAX`
+    /// tasks) are executed as consecutive chunks — every task still
+    /// runs exactly once and results stay in task order; indices are
+    /// never truncated.
     pub fn execute<J: Job>(&mut self, job: &J) -> NativeOutcome<J::Out> {
         let n = job.len();
         let workers = self.shared.workers;
-        assert!(n < u32::MAX as usize, "job too large for packed u32 ranges");
+        let mut trace = self.shared.trace_on.then(|| Tracer::new(workers));
         if n == 0 {
             return NativeOutcome {
                 values: Vec::new(),
@@ -165,58 +206,88 @@ impl Pool {
                     per_worker: vec![0; workers],
                     ..NativeStats::default()
                 },
+                trace,
+                trace_dropped: 0,
             };
         }
 
-        let heap = ResultHeap::new(n);
-        let runner = |i: u64| heap.publish(i as usize, job.run(i as usize));
-        let runner_ref: &(dyn Fn(u64) + Sync) = &runner;
-        // SAFETY: workers call `runner` only between observing the new
-        // `run_seq` and incrementing `done`; this function blocks until
-        // `done == workers` before returning, so the erased borrow of
-        // `heap`/`job` strictly outlives every use. `cmd` is cleared
-        // below before the borrow expires.
-        let runner_static: &'static (dyn Fn(u64) + Sync) =
-            unsafe { std::mem::transmute::<&(dyn Fn(u64) + Sync), _>(runner_ref) };
-
-        self.shared.panicked.store(false, Ordering::SeqCst);
-        self.shared.remaining.store(n as u64, Ordering::SeqCst);
-        let start = Instant::now();
-        let stats = {
-            let mut ctrl = lock(&self.shared.ctrl);
-            ctrl.cmd = Some(RunCmd {
-                runner: runner_static,
-                n: n as u64,
-                mode: self.mode,
-                granularity: self.granularity,
-            });
-            ctrl.run_seq += 1;
-            ctrl.done = 0;
-            for s in ctrl.worker_stats.iter_mut() {
-                *s = WorkerStats::default();
-            }
-            self.shared.start_cv.notify_all();
-            while ctrl.done < workers {
-                ctrl = self
-                    .shared
-                    .done_cv
-                    .wait(ctrl)
-                    .unwrap_or_else(|e| e.into_inner());
-            }
-            ctrl.cmd = None;
-            collect_stats(&ctrl.worker_stats)
+        let clock = WallClock::start();
+        let mut values: Vec<J::Out> = Vec::with_capacity(n);
+        let mut stats = NativeStats {
+            per_worker: vec![0; workers],
+            ..NativeStats::default()
         };
-        let wall = start.elapsed();
+        let mut trace_dropped = 0u64;
+        let mut wall = Duration::ZERO;
+        let mut base = 0usize;
+        while base < n {
+            let count = (n - base).min(self.run_cap);
+            let heap = ResultHeap::new(count);
+            let runner = |i: u64| heap.publish(i as usize, job.run(base + i as usize));
+            let runner_ref: &(dyn Fn(u64) + Sync) = &runner;
+            // SAFETY: workers call `runner` only between observing the
+            // new `run_seq` and incrementing `done`; this chunk's loop
+            // body blocks until `done == workers` before moving on, so
+            // the erased borrow of `heap`/`job` strictly outlives every
+            // use. `cmd` is cleared below before the borrow expires.
+            let runner_static: &'static (dyn Fn(u64) + Sync) =
+                unsafe { std::mem::transmute::<&(dyn Fn(u64) + Sync), _>(runner_ref) };
 
-        if self.shared.panicked.load(Ordering::SeqCst) {
-            panic!("a worker panicked during a native run");
+            self.shared.panicked.store(false, Ordering::SeqCst);
+            self.shared.remaining.store(count as u64, Ordering::SeqCst);
+            let start = Instant::now();
+            let chunk_stats = {
+                let mut ctrl = lock(&self.shared.ctrl);
+                ctrl.cmd = Some(RunCmd {
+                    runner: runner_static,
+                    n: count as u64,
+                    mode: self.mode,
+                    granularity: self.granularity,
+                    clock,
+                });
+                ctrl.run_seq += 1;
+                ctrl.done = 0;
+                for s in ctrl.worker_stats.iter_mut() {
+                    *s = WorkerStats::default();
+                }
+                self.shared.start_cv.notify_all();
+                while ctrl.done < workers {
+                    ctrl = self
+                        .shared
+                        .done_cv
+                        .wait(ctrl)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                ctrl.cmd = None;
+                if let Some(tracer) = trace.as_mut() {
+                    for (c, events) in ctrl.worker_events.iter_mut().enumerate() {
+                        map_events(tracer, CapId(c as u32), events);
+                        events.clear();
+                    }
+                    for d in ctrl.worker_dropped.iter_mut() {
+                        trace_dropped += std::mem::take(d);
+                    }
+                }
+                collect_stats(&ctrl.worker_stats)
+            };
+            wall += start.elapsed();
+
+            if self.shared.panicked.load(Ordering::SeqCst) {
+                panic!("a worker panicked during a native run");
+            }
+            debug_assert_eq!(self.shared.remaining.load(Ordering::SeqCst), 0);
+            assert_eq!(chunk_stats.tasks_run, count as u64, "tasks left behind");
+            values.extend(heap.into_values());
+            stats.merge(&chunk_stats);
+            base += count;
         }
-        debug_assert_eq!(self.shared.remaining.load(Ordering::SeqCst), 0);
         assert_eq!(stats.tasks_run, n as u64, "tasks left behind");
         NativeOutcome {
-            values: heap.into_values(),
+            values,
             wall,
             stats,
+            trace,
+            trace_dropped,
         }
     }
 }
@@ -264,6 +335,9 @@ fn block_share(n: u64, workers: usize, worker: usize) -> (u32, u32) {
 
 fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
     let mut seen_seq = 0u64;
+    // The worker's trace buffer is allocated once, here, and reused
+    // across every run the pool ever executes.
+    let mut tbuf = TraceBuf::new(shared.trace_on, shared.trace_cap);
     loop {
         // Wait for the next run (or shutdown).
         let cmd = {
@@ -283,6 +357,7 @@ fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
             }
         };
 
+        tbuf.begin_run(cmd.clock);
         let mut stats = WorkerStats::default();
         let run = RunCtx {
             me,
@@ -290,7 +365,7 @@ fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
             shared: &shared,
             cmd,
         };
-        if catch_unwind(AssertUnwindSafe(|| run.run(&mut stats))).is_err() {
+        if catch_unwind(AssertUnwindSafe(|| run.run(&mut stats, &mut tbuf))).is_err() {
             shared.panicked.store(true, Ordering::SeqCst);
             shared.ec.notify_all();
         }
@@ -302,6 +377,7 @@ fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
 
         let mut ctrl = lock(&shared.ctrl);
         ctrl.worker_stats[me] = stats;
+        ctrl.worker_dropped[me] = tbuf.flush_into(&mut ctrl.worker_events[me]);
         ctrl.done += 1;
         if ctrl.done == shared.workers {
             shared.done_cv.notify_all();
@@ -318,9 +394,10 @@ struct RunCtx<'a> {
 }
 
 impl RunCtx<'_> {
-    fn run(&self, stats: &mut WorkerStats) {
+    fn run(&self, stats: &mut WorkerStats, tbuf: &mut TraceBuf) {
         let workers = self.shared.workers;
         let n = self.cmd.n;
+        tbuf.record(NEventKind::RunStart { tasks: n });
         self.seed();
         // Wake anyone who parked before our seed landed (a fast
         // sibling can reach the idle path before worker 0 seeds).
@@ -334,7 +411,7 @@ impl RunCtx<'_> {
         'run: loop {
             // Drain the local pool (owner end, LIFO).
             while let Some(r) = self.local.pop() {
-                self.process(r, false, split, stats);
+                self.process(r, false, split, stats, tbuf);
             }
             if self.cmd.mode == Distribution::Push {
                 // Static distribution: an empty local deque means this
@@ -344,9 +421,17 @@ impl RunCtx<'_> {
             debug_assert!(n > 0);
             // Work-pulling: probe the other deques until a steal lands
             // or the run finishes. Lost CAS races back off; fruitless
-            // sweeps first spin, then park.
+            // sweeps first spin, then park. `parked_episode` tracks
+            // whether THIS contiguous idle episode already counted a
+            // park: `park_if`'s 10 ms safety timeout (and any spurious
+            // condvar return) drops the worker back into the sweep
+            // loop, and re-parking after another fruitless sweep is
+            // still the same idle episode — counting it again would
+            // inflate `parks` by wall time / 10 ms instead of by
+            // episode. The episode ends only when work arrives.
             let mut backoff = 1u32;
             let mut fruitless = 0usize;
+            let mut parked_episode = false;
             loop {
                 if self.finished() {
                     break 'run;
@@ -359,6 +444,10 @@ impl RunCtx<'_> {
                         BatchSteal::Success { first, moved } => {
                             stats.steal_ops += 1;
                             stats.batch_moved += moved as u64;
+                            tbuf.record(NEventKind::StealOk {
+                                victim: victim as u32,
+                                moved: moved as u32,
+                            });
                             if moved > 0 {
                                 // The transferred tail is stealable
                                 // from our deque now — tell sleepers.
@@ -369,15 +458,24 @@ impl RunCtx<'_> {
                         }
                         BatchSteal::Retry => {
                             stats.retries += 1;
+                            tbuf.record(NEventKind::StealRetry {
+                                victim: victim as u32,
+                            });
                             contended = true;
                         }
                         BatchSteal::Empty => {
                             stats.empties += 1;
+                            tbuf.record(NEventKind::StealEmpty {
+                                victim: victim as u32,
+                            });
                         }
                     }
                 }
                 if let Some(r) = got {
-                    self.process(r, true, split, stats);
+                    if parked_episode {
+                        tbuf.record(NEventKind::Unpark);
+                    }
+                    self.process(r, true, split, stats, tbuf);
                     continue 'run;
                 }
                 if contended {
@@ -396,13 +494,16 @@ impl RunCtx<'_> {
                         let parked = self.shared.ec.park_if(|| {
                             !self.finished() && self.shared.stealers.iter().all(|s| s.is_empty())
                         });
-                        if parked {
+                        if parked && !parked_episode {
+                            parked_episode = true;
                             stats.parks += 1;
+                            tbuf.record(NEventKind::Park);
                         }
                     }
                 }
             }
         }
+        tbuf.record(NEventKind::RunEnd);
     }
 
     /// True when the run is over (all tasks done, or aborted by a
@@ -454,15 +555,25 @@ impl RunCtx<'_> {
     /// upper half off whenever the local deque runs dry (thief demand).
     /// `stolen` records how the range was acquired, for the directly
     /// counted `tasks_local`/`tasks_stolen` stats.
-    fn process(&self, range: Range32, stolen: bool, split: bool, stats: &mut WorkerStats) {
+    fn process(
+        &self,
+        range: Range32,
+        stolen: bool,
+        split: bool,
+        stats: &mut WorkerStats,
+        tbuf: &mut TraceBuf,
+    ) {
         let mut lo = range.lo;
         let mut hi = range.hi;
         debug_assert!(lo < hi);
+        tbuf.record(NEventKind::ExecStart);
+        let first = lo;
         while lo < hi {
             if split && hi - lo > 1 && self.local.is_empty() {
                 let mid = lo + (hi - lo) / 2;
                 self.local.push(Range32::new(mid, hi));
                 stats.splits += 1;
+                tbuf.record(NEventKind::Split { exposed: hi - mid });
                 self.shared.ec.notify_all();
                 hi = mid;
             }
@@ -479,5 +590,72 @@ impl RunCtx<'_> {
                 self.shared.ec.notify_all();
             }
         }
+        // The whole executed span is contiguous: splits only ever push
+        // the *upper* half away, so this call ran exactly `first..lo`.
+        tbuf.record(NEventKind::ExecEnd {
+            count: lo - first,
+            stolen,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Squares(usize);
+
+    impl Job for Squares {
+        type Out = u64;
+        fn len(&self) -> usize {
+            self.0
+        }
+        fn run(&self, idx: usize) -> u64 {
+            (idx as u64) * (idx as u64)
+        }
+    }
+
+    /// Jobs longer than the per-run cap (u32::MAX in production,
+    /// shrunk here) run as consecutive chunks: every task exactly
+    /// once, results in order, counters summed — never a silent
+    /// index truncation.
+    #[test]
+    fn long_jobs_run_in_chunks_without_truncation() {
+        for cfg in [NativeConfig::steal(3), NativeConfig::push(3)] {
+            let mut pool = Pool::new(&cfg);
+            pool.set_run_cap_for_tests(10);
+            let out = pool.execute(&Squares(25));
+            let expect: Vec<u64> = (0..25u64).map(|i| i * i).collect();
+            assert_eq!(out.values, expect, "{cfg:?}");
+            assert_eq!(out.stats.tasks_run, 25, "{cfg:?}");
+            assert_eq!(out.stats.per_worker.iter().sum::<u64>(), 25, "{cfg:?}");
+            assert_eq!(out.stats.per_worker.len(), 3, "{cfg:?}");
+        }
+    }
+
+    /// Chunked runs trace like any other: one RunStart per worker per
+    /// chunk, task events reconciling with the merged counters, and a
+    /// single monotone time axis across chunks (they share the run's
+    /// WallClock epoch).
+    #[test]
+    fn chunked_runs_trace_and_reconcile() {
+        let mut pool = Pool::new(&NativeConfig::steal(2).with_trace());
+        pool.set_run_cap_for_tests(10);
+        let out = pool.execute(&Squares(25));
+        assert_eq!(out.stats.tasks_run, 25);
+        assert_eq!(out.trace_dropped, 0);
+        let trace = out.trace.as_ref().expect("traced run returns a tracer");
+        let c = rph_trace::Counters::from_tracer(trace);
+        assert_eq!(c.native_tasks, 25);
+        // 25 tasks / cap 10 = 3 chunks × 2 workers.
+        assert_eq!(c.native_runs, 6);
+        for cap in 0..2 {
+            let pc = rph_trace::Counters::for_cap(trace, CapId(cap));
+            assert_eq!(pc.native_tasks, out.stats.per_worker[cap as usize]);
+        }
+        // merged() would panic in debug if per-cap times regressed
+        // across chunk boundaries; assert order explicitly anyway.
+        let merged = trace.merged();
+        assert!(merged.windows(2).all(|w| w[0].time <= w[1].time));
     }
 }

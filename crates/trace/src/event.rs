@@ -161,6 +161,35 @@ pub enum EventKind {
     ProcessInstantiated { on: CapId },
     /// Free-form annotation (used by examples and tests).
     Note(&'static str),
+
+    // --- native (wall-clock) executor events -------------------------
+    // Emitted by the `rph-native` pool workers; timestamps are
+    // nanoseconds of real time since the run's epoch rather than
+    // simulated work units, but the same `Time` axis and tooling apply.
+    /// A native run of `tasks` tasks started on this worker.
+    RunStart { tasks: u64 },
+    /// The native run ended on this worker.
+    RunEnd,
+    /// A native steal from `victim` succeeded, batch-transferring
+    /// `moved` extra deque elements beyond the one the thief runs.
+    NativeSteal { victim: CapId, moved: u64 },
+    /// A native steal attempt lost a CAS race against `victim`.
+    NativeStealRetry { victim: CapId },
+    /// A native steal attempt found `victim`'s deque empty.
+    NativeStealEmpty { victim: CapId },
+    /// A lazy range split exposed `exposed` tasks as a new stealable
+    /// range on this worker's own deque.
+    NativeSplit { exposed: u64 },
+    /// This worker executed `count` tasks as one contiguous range,
+    /// acquired locally (`stolen == false`: seeded, popped back or
+    /// batch-transferred in) or directly by a steal.
+    NativeExec { count: u64, stolen: bool },
+    /// An idle worker parked on the eventcount (one event per idle
+    /// episode, matching `NativeStats::parks`).
+    NativePark,
+    /// A previously parked worker found work again, ending the idle
+    /// episode.
+    NativeUnpark,
 }
 
 /// A single trace record: *when*, *where*, *what*.

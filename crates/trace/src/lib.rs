@@ -15,11 +15,13 @@
 //! * [`stats`] computes summary statistics (state fractions, GC counts,
 //!   spark and message counters) used in EXPERIMENTS.md.
 //!
-//! Time is virtual: a [`Time`] is a number of simulated *work units*
-//! (nominally ~1 ns of mutator work each). The crate is independent of
-//! the heap, the abstract machine and both runtimes; capabilities are
-//! identified by plain [`CapId`] integers so the same tooling serves the
-//! shared-heap GpH runtime and the distributed-heap Eden runtime.
+//! Time is a plain `u64` axis: the simulators stamp events in virtual
+//! *work units* (nominally ~1 ns of mutator work each), while the
+//! native backend stamps them in real nanoseconds via [`WallClock`].
+//! The crate is independent of the heap, the abstract machine and both
+//! runtimes; capabilities are identified by plain [`CapId`] integers so
+//! the same tooling serves the shared-heap GpH runtime, the
+//! distributed-heap Eden runtime, and the wall-clock native executor.
 
 pub mod event;
 pub mod render;
@@ -27,6 +29,7 @@ pub mod stats;
 pub mod svg;
 pub mod timeline;
 pub mod tracer;
+pub mod wall;
 
 pub use event::{CapId, Event, EventKind, State, ThreadId, Time};
 pub use render::{render_csv, render_timeline, RenderOptions};
@@ -34,3 +37,4 @@ pub use stats::{Counters, TraceStats};
 pub use svg::render_svg;
 pub use timeline::{Interval, Timeline};
 pub use tracer::Tracer;
+pub use wall::WallClock;

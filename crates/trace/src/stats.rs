@@ -25,6 +25,29 @@ pub struct Counters {
     pub messages_sent: u64,
     pub message_words: u64,
     pub processes_instantiated: u64,
+    // Native (wall-clock) executor events. These mirror the
+    // `NativeStats` counters the executor maintains itself; the
+    // reconciliation tests assert the two bookkeepings agree exactly.
+    /// Successful native steal operations (`NativeSteal` events).
+    pub native_steals: u64,
+    /// Extra deque elements batch-transferred by native steals.
+    pub native_batch_moved: u64,
+    /// Native steal attempts that lost a CAS race.
+    pub native_steal_retries: u64,
+    /// Native steal attempts that found the victim empty.
+    pub native_steal_empties: u64,
+    /// Lazy range splits performed by native workers.
+    pub native_splits: u64,
+    /// Tasks executed by native workers (sum of `NativeExec` counts).
+    pub native_tasks: u64,
+    /// The subset of `native_tasks` out of directly stolen ranges.
+    pub native_tasks_stolen: u64,
+    /// Idle-episode parks of native workers.
+    pub native_parks: u64,
+    /// Parked native workers that found work again.
+    pub native_unparks: u64,
+    /// Native `RunStart` events (per worker, per run).
+    pub native_runs: u64,
 }
 
 impl Counters {
@@ -32,38 +55,68 @@ impl Counters {
     pub fn from_tracer(tracer: &Tracer) -> Self {
         let mut c = Counters::default();
         for cap in 0..tracer.caps() {
-            for ev in tracer.events_for(crate::event::CapId(cap as u32)) {
-                match &ev.kind {
-                    EventKind::SparkCreated => c.sparks_created += 1,
-                    EventKind::SparkRunLocal => c.sparks_run_local += 1,
-                    EventKind::SparkStolen { .. } => c.sparks_stolen += 1,
-                    EventKind::SparkPushed { .. } => c.sparks_pushed += 1,
-                    EventKind::SparkFizzled => c.sparks_fizzled += 1,
-                    EventKind::SparkOverflow => c.sparks_overflowed += 1,
-                    EventKind::ThreadCreated { .. } => c.threads_created += 1,
-                    EventKind::BlockedOnBlackHole { .. } => c.blackhole_blocks += 1,
-                    EventKind::DuplicateWork { wasted } => {
-                        c.duplicate_work_events += 1;
-                        c.duplicate_work_wasted += *wasted;
-                    }
-                    EventKind::GcDone {
-                        live_words,
-                        collected_words,
-                    } => {
-                        c.gcs += 1;
-                        c.gc_live_words_last = *live_words;
-                        c.gc_collected_words += *collected_words;
-                    }
-                    EventKind::MsgSend { words, .. } => {
-                        c.messages_sent += 1;
-                        c.message_words += *words;
-                    }
-                    EventKind::ProcessInstantiated { .. } => c.processes_instantiated += 1,
-                    _ => {}
-                }
-            }
+            c.absorb(tracer, crate::event::CapId(cap as u32));
         }
         c
+    }
+
+    /// Counters over a single capability's events — the per-worker view
+    /// the native reconciliation tests compare against
+    /// `NativeStats::per_worker`.
+    pub fn for_cap(tracer: &Tracer, cap: crate::event::CapId) -> Self {
+        let mut c = Counters::default();
+        c.absorb(tracer, cap);
+        c
+    }
+
+    fn absorb(&mut self, tracer: &Tracer, cap: crate::event::CapId) {
+        let c = self;
+        for ev in tracer.events_for(cap) {
+            match &ev.kind {
+                EventKind::SparkCreated => c.sparks_created += 1,
+                EventKind::SparkRunLocal => c.sparks_run_local += 1,
+                EventKind::SparkStolen { .. } => c.sparks_stolen += 1,
+                EventKind::SparkPushed { .. } => c.sparks_pushed += 1,
+                EventKind::SparkFizzled => c.sparks_fizzled += 1,
+                EventKind::SparkOverflow => c.sparks_overflowed += 1,
+                EventKind::ThreadCreated { .. } => c.threads_created += 1,
+                EventKind::BlockedOnBlackHole { .. } => c.blackhole_blocks += 1,
+                EventKind::DuplicateWork { wasted } => {
+                    c.duplicate_work_events += 1;
+                    c.duplicate_work_wasted += *wasted;
+                }
+                EventKind::GcDone {
+                    live_words,
+                    collected_words,
+                } => {
+                    c.gcs += 1;
+                    c.gc_live_words_last = *live_words;
+                    c.gc_collected_words += *collected_words;
+                }
+                EventKind::MsgSend { words, .. } => {
+                    c.messages_sent += 1;
+                    c.message_words += *words;
+                }
+                EventKind::ProcessInstantiated { .. } => c.processes_instantiated += 1,
+                EventKind::RunStart { .. } => c.native_runs += 1,
+                EventKind::NativeSteal { moved, .. } => {
+                    c.native_steals += 1;
+                    c.native_batch_moved += *moved;
+                }
+                EventKind::NativeStealRetry { .. } => c.native_steal_retries += 1,
+                EventKind::NativeStealEmpty { .. } => c.native_steal_empties += 1,
+                EventKind::NativeSplit { .. } => c.native_splits += 1,
+                EventKind::NativeExec { count, stolen } => {
+                    c.native_tasks += *count;
+                    if *stolen {
+                        c.native_tasks_stolen += *count;
+                    }
+                }
+                EventKind::NativePark => c.native_parks += 1,
+                EventKind::NativeUnpark => c.native_unparks += 1,
+                _ => {}
+            }
+        }
     }
 }
 
@@ -145,6 +198,20 @@ impl fmt::Display for TraceStats {
                 c.messages_sent, c.message_words, c.processes_instantiated
             )?;
         }
+        if c.native_tasks > 0 {
+            writeln!(
+                f,
+                "native: tasks={} (stolen={}) steals={} (+{} batched) retries={} empties={} splits={} parks={}",
+                c.native_tasks,
+                c.native_tasks_stolen,
+                c.native_steals,
+                c.native_batch_moved,
+                c.native_steal_retries,
+                c.native_steal_empties,
+                c.native_splits,
+                c.native_parks
+            )?;
+        }
         Ok(())
     }
 }
@@ -196,6 +263,71 @@ mod tests {
         assert_eq!(c.gc_live_words_last, 20);
         assert_eq!(c.gc_collected_words, 170);
         assert_eq!(c.message_words, 64);
+    }
+
+    #[test]
+    fn native_counters_aggregate_and_split_per_cap() {
+        let mut t = Tracer::new(2);
+        t.record(CapId(0), 0, EventKind::RunStart { tasks: 10 });
+        t.record(CapId(1), 0, EventKind::RunStart { tasks: 10 });
+        t.record(
+            CapId(1),
+            2,
+            EventKind::NativeSteal {
+                victim: CapId(0),
+                moved: 3,
+            },
+        );
+        t.record(
+            CapId(1),
+            3,
+            EventKind::NativeStealRetry { victim: CapId(0) },
+        );
+        t.record(
+            CapId(1),
+            4,
+            EventKind::NativeStealEmpty { victim: CapId(0) },
+        );
+        t.record(CapId(0), 5, EventKind::NativeSplit { exposed: 4 });
+        t.record(
+            CapId(0),
+            6,
+            EventKind::NativeExec {
+                count: 6,
+                stolen: false,
+            },
+        );
+        t.record(
+            CapId(1),
+            7,
+            EventKind::NativeExec {
+                count: 4,
+                stolen: true,
+            },
+        );
+        t.record(CapId(1), 8, EventKind::NativePark);
+        t.record(CapId(1), 9, EventKind::NativeUnpark);
+        t.record(CapId(0), 10, EventKind::RunEnd);
+        t.record(CapId(1), 10, EventKind::RunEnd);
+        let c = Counters::from_tracer(&t);
+        assert_eq!(c.native_runs, 2);
+        assert_eq!(c.native_steals, 1);
+        assert_eq!(c.native_batch_moved, 3);
+        assert_eq!(c.native_steal_retries, 1);
+        assert_eq!(c.native_steal_empties, 1);
+        assert_eq!(c.native_splits, 1);
+        assert_eq!(c.native_tasks, 10);
+        assert_eq!(c.native_tasks_stolen, 4);
+        assert_eq!(c.native_parks, 1);
+        assert_eq!(c.native_unparks, 1);
+        let c0 = Counters::for_cap(&t, CapId(0));
+        assert_eq!(c0.native_tasks, 6);
+        assert_eq!(c0.native_steals, 0);
+        let c1 = Counters::for_cap(&t, CapId(1));
+        assert_eq!(c1.native_tasks, 4);
+        assert_eq!(c1.native_tasks_stolen, 4);
+        let text = TraceStats::from_tracer(&t).to_string();
+        assert!(text.contains("native: tasks=10"), "got {text}");
     }
 
     #[test]

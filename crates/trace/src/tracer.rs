@@ -70,12 +70,56 @@ impl Tracer {
         &self.buffers[cap.index()]
     }
 
-    /// All events of all capabilities, merged into global time order
-    /// (stable: ties broken by capability id).
+    /// All events of all capabilities, merged into global time order.
+    ///
+    /// Ordering is fully deterministic even on equal timestamps: ties
+    /// are broken by capability id, then by the event's recording
+    /// sequence within its capability. Wall-clock traces from the
+    /// native backend routinely carry many events with identical
+    /// timestamps (coarse clocks, bursts of steal probes), and the
+    /// repo's determinism guarantee requires rendered timelines to be
+    /// byte-identical across runs of the same schedule — so the
+    /// tie-break is explicit rather than an artefact of sort
+    /// stability.
     pub fn merged(&self) -> Vec<Event> {
-        let mut all: Vec<Event> = self.buffers.iter().flatten().cloned().collect();
-        all.sort_by_key(|e| (e.time, e.cap));
-        all
+        let mut all: Vec<(Time, u32, usize, &Event)> = self
+            .buffers
+            .iter()
+            .enumerate()
+            .flat_map(|(cap, buf)| {
+                buf.iter()
+                    .enumerate()
+                    .map(move |(seq, e)| (e.time, cap as u32, seq, e))
+            })
+            .collect();
+        all.sort_unstable_by_key(|&(time, cap, seq, _)| (time, cap, seq));
+        all.into_iter().map(|(_, _, _, e)| e.clone()).collect()
+    }
+
+    /// Append every event of `other` (which must cover the same
+    /// capabilities), shifted forward by `dt`.
+    ///
+    /// This is how multi-run traces are stitched together: the native
+    /// APSP driver records one trace per pivot wave and appends each to
+    /// the accumulated trace shifted by the accumulated
+    /// [`Self::end_time`], keeping per-capability time monotonic.
+    ///
+    /// # Panics
+    /// Panics if `other` covers more capabilities than `self`, or (in
+    /// debug builds) if the shift is too small to keep per-capability
+    /// time monotonic.
+    pub fn extend_shifted(&mut self, other: &Tracer, dt: Time) {
+        assert!(
+            other.caps() <= self.caps(),
+            "cannot extend a {}-cap tracer from a {}-cap tracer",
+            self.caps(),
+            other.caps()
+        );
+        for buf in &other.buffers {
+            for ev in buf {
+                self.record(ev.cap, ev.time + dt, ev.kind.clone());
+            }
+        }
     }
 
     /// Total number of recorded events.
@@ -115,6 +159,47 @@ mod tests {
         assert_eq!(m[2].time, 10);
         assert_eq!(t.end_time(), 10);
         assert_eq!(t.events_for(CapId(1)).len(), 1);
+    }
+
+    #[test]
+    fn merged_ties_break_on_cap_then_sequence() {
+        // Three events at the same instant: two on cap1 (in recording
+        // order), one on cap0. Merged order must be cap0 first, then
+        // cap1's events in their recorded sequence — every time.
+        let mut t = Tracer::new(2);
+        t.record(CapId(1), 5, EventKind::SparkCreated);
+        t.record(CapId(1), 5, EventKind::SparkFizzled);
+        t.record(CapId(0), 5, EventKind::Note("a"));
+        let m = t.merged();
+        assert_eq!(m[0].kind, EventKind::Note("a"));
+        assert_eq!(m[1].kind, EventKind::SparkCreated);
+        assert_eq!(m[2].kind, EventKind::SparkFizzled);
+        // Byte-identical across repeated merges.
+        assert_eq!(t.merged(), m);
+    }
+
+    #[test]
+    fn extend_shifted_appends_monotonically() {
+        let mut a = Tracer::new(2);
+        a.state(CapId(0), 0, State::Running);
+        a.state(CapId(0), 10, State::Idle);
+        let mut b = Tracer::new(2);
+        b.state(CapId(0), 0, State::Running);
+        b.state(CapId(1), 3, State::Running);
+        let dt = a.end_time();
+        a.extend_shifted(&b, dt);
+        assert_eq!(a.end_time(), 13);
+        assert_eq!(a.events_for(CapId(0)).len(), 3);
+        assert_eq!(a.events_for(CapId(0))[2].time, 10);
+        assert_eq!(a.events_for(CapId(1))[0].time, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend")]
+    fn extend_shifted_rejects_wider_tracer() {
+        let mut a = Tracer::new(1);
+        let b = Tracer::new(2);
+        a.extend_shifted(&b, 0);
     }
 
     #[test]

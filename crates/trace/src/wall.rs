@@ -1,0 +1,75 @@
+//! A wall-clock source for [`Time`] values.
+//!
+//! The simulated runtimes stamp events in virtual work units; the
+//! native backend stamps them in **nanoseconds of real time** since a
+//! per-run epoch. Both land on the same `u64` [`Time`] axis, so every
+//! downstream consumer — [`crate::Timeline`], the ASCII/CSV/SVG
+//! renderers, [`crate::stats`] — works unchanged; only the unit label
+//! differs (ns instead of work units).
+
+use crate::event::Time;
+use std::time::Instant;
+
+/// A monotonic wall-clock epoch yielding [`Time`] nanoseconds.
+///
+/// Readings are monotonic per clock (backed by [`Instant`]), so events
+/// a single thread stamps in program order always satisfy the tracer's
+/// per-capability monotonicity invariant. `u64` nanoseconds overflow
+/// after ~584 years of run time, which is not a practical concern.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose zero is "now".
+    pub fn start() -> Self {
+        Self::at(Instant::now())
+    }
+
+    /// A clock whose zero is `epoch` (so several threads, or a clock
+    /// and a wall-duration measurement, can share one zero).
+    pub fn at(epoch: Instant) -> Self {
+        WallClock { epoch }
+    }
+
+    /// Nanoseconds elapsed since the epoch.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.epoch.elapsed().as_nanos() as Time
+    }
+
+    /// The underlying epoch instant (for callers that also measure
+    /// wall durations and want both on the same zero).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_are_monotonic() {
+        let c = WallClock::start();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn epoch_matches_duration_math() {
+        let c = WallClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t = c.now();
+        assert!(t >= 2_000_000, "slept 2ms but clock read {t}ns");
+        assert!(c.epoch().elapsed().as_nanos() as u64 >= t);
+    }
+}

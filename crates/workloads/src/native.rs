@@ -21,11 +21,13 @@
 //! measurement.
 
 use crate::{kernels, Apsp, MatMul, NQueens, SumEuler};
-use rph_native::{execute, Job, NativeConfig, NativeStats, Pool};
+use rph_native::{execute, Job, NativeConfig, NativeOutcome, NativeStats, Pool};
+use rph_trace::Tracer;
 use std::time::Duration;
 
 /// Result of one native run: the workload checksum plus wall-clock
-/// time and scheduling counters.
+/// time, scheduling counters and (when `cfg.trace` is set) the
+/// per-worker wall-clock event trace.
 #[derive(Debug)]
 pub struct NativeMeasured {
     /// The workload's checksum (same definition as the sim backends).
@@ -34,25 +36,34 @@ pub struct NativeMeasured {
     pub wall: Duration,
     /// Executor counters, summed over all parallel phases.
     pub stats: NativeStats,
+    /// Wall-clock event trace (`Some` iff tracing was configured).
+    /// Wave-structured workloads stitch their per-wave traces
+    /// back-to-back on the time axis.
+    pub trace: Option<Tracer>,
+    /// Events dropped for not fitting the per-worker trace buffers.
+    pub trace_dropped: u64,
 }
 
-/// Accumulate `b`'s counters into `a` (used by the wave-structured
-/// APSP run, which issues one pool run per pivot).
-fn merge_stats(a: &mut NativeStats, b: &NativeStats) {
-    a.tasks_run += b.tasks_run;
-    a.tasks_local += b.tasks_local;
-    a.tasks_stolen += b.tasks_stolen;
-    a.steal_retries += b.steal_retries;
-    a.steal_empties += b.steal_empties;
-    a.steal_ops += b.steal_ops;
-    a.batch_moved += b.batch_moved;
-    a.splits += b.splits;
-    a.parks += b.parks;
-    if a.per_worker.len() < b.per_worker.len() {
-        a.per_worker.resize(b.per_worker.len(), 0);
+fn measured(value: i64, out: NativeOutcome<impl Send + Sync>) -> NativeMeasured {
+    NativeMeasured {
+        value,
+        wall: out.wall,
+        stats: out.stats,
+        trace: out.trace,
+        trace_dropped: out.trace_dropped,
     }
-    for (acc, x) in a.per_worker.iter_mut().zip(&b.per_worker) {
-        *acc += *x;
+}
+
+/// Append a wave's trace to the accumulated trace, shifted past
+/// everything recorded so far so per-worker time stays monotonic.
+fn merge_trace(acc: &mut Option<Tracer>, wave: Option<Tracer>) {
+    match (acc.as_mut(), wave) {
+        (Some(acc), Some(wave)) => {
+            let dt = acc.end_time();
+            acc.extend_shifted(&wave, dt);
+        }
+        (None, Some(wave)) => *acc = Some(wave),
+        _ => {}
     }
 }
 
@@ -83,11 +94,8 @@ impl SumEuler {
             ranges: self.ranges(self.chunk_size),
         };
         let out = execute(&job, cfg);
-        NativeMeasured {
-            value: out.values.iter().sum(),
-            wall: out.wall,
-            stats: out.stats,
-        }
+        let value = out.values.iter().sum();
+        measured(value, out)
     }
 }
 
@@ -129,11 +137,8 @@ impl MatMul {
         let (a, b) = self.inputs();
         let job = BlockProducts { w: self, a, b };
         let out = execute(&job, cfg);
-        NativeMeasured {
-            value: out.values.iter().sum(),
-            wall: out.wall,
-            stats: out.stats,
-        }
+        let value = out.values.iter().sum();
+        measured(value, out)
     }
 }
 
@@ -183,6 +188,8 @@ impl Apsp {
         let mut state = self.input_rows();
         let mut wall = Duration::ZERO;
         let mut stats = NativeStats::default();
+        let mut trace = None;
+        let mut trace_dropped = 0;
         for k in 0..self.n {
             let pivot = state[k].clone();
             let wave = PivotWave {
@@ -192,11 +199,19 @@ impl Apsp {
             };
             let out = pool.execute(&wave);
             wall += out.wall;
-            merge_stats(&mut stats, &out.stats);
+            stats.merge(&out.stats);
+            merge_trace(&mut trace, out.trace);
+            trace_dropped += out.trace_dropped;
             state = out.values;
         }
         let value = state.iter().map(|row| row.iter().sum::<f64>() as i64).sum();
-        NativeMeasured { value, wall, stats }
+        NativeMeasured {
+            value,
+            wall,
+            stats,
+            trace,
+            trace_dropped,
+        }
     }
 
     /// The PR 1 shape, kept as the pool-reuse ablation baseline: a
@@ -205,6 +220,8 @@ impl Apsp {
         let mut state = self.input_rows();
         let mut wall = Duration::ZERO;
         let mut stats = NativeStats::default();
+        let mut trace = None;
+        let mut trace_dropped = 0;
         for k in 0..self.n {
             let pivot = state[k].clone();
             let wave = PivotWave {
@@ -214,11 +231,19 @@ impl Apsp {
             };
             let out = execute(&wave, cfg);
             wall += out.wall;
-            merge_stats(&mut stats, &out.stats);
+            stats.merge(&out.stats);
+            merge_trace(&mut trace, out.trace);
+            trace_dropped += out.trace_dropped;
             state = out.values;
         }
         let value = state.iter().map(|row| row.iter().sum::<f64>() as i64).sum();
-        NativeMeasured { value, wall, stats }
+        NativeMeasured {
+            value,
+            wall,
+            stats,
+            trace,
+            trace_dropped,
+        }
     }
 }
 
@@ -251,11 +276,8 @@ impl NQueens {
             n: self.n,
         };
         let out = execute(&job, cfg);
-        NativeMeasured {
-            value: out.values.iter().sum(),
-            wall: out.wall,
-            stats: out.stats,
-        }
+        let value = out.values.iter().sum();
+        measured(value, out)
     }
 }
 

@@ -295,6 +295,53 @@ fn native_degenerate_jobs_match_oracle() {
 }
 
 #[test]
+fn native_traced_workloads_render_and_reconcile() {
+    // Workload-level tracing: the same Timeline/Counters machinery the
+    // simulators feed must accept native wall-clock traces, and event
+    // totals must agree with the executor's own counters.
+    let w = SumEuler::new(300).with_chunk_size(10);
+    let cfg = NativeConfig::steal(4).with_trace();
+    let m = w.run_native(&cfg);
+    assert_eq!(m.value, w.expected());
+    assert_eq!(m.trace_dropped, 0);
+    let trace = m.trace.as_ref().expect("traced run returns a tracer");
+    let tl = Timeline::from_tracer(trace);
+    tl.check_well_formed().unwrap();
+    assert!(tl.mean_fraction(rph::trace::State::Running) > 0.0);
+    let c = rph::trace::Counters::from_tracer(trace);
+    assert_eq!(c.native_tasks, m.stats.tasks_run);
+    assert_eq!(c.native_steals, m.stats.steal_ops);
+    assert_eq!(c.native_splits, m.stats.splits);
+    assert_eq!(c.native_parks, m.stats.parks);
+
+    // Untraced runs carry no tracer and lose nothing else.
+    let plain = w.run_native(&NativeConfig::steal(4));
+    assert!(plain.trace.is_none());
+    assert_eq!(plain.value, m.value);
+}
+
+#[test]
+fn native_apsp_stitches_wave_traces_onto_one_axis() {
+    // APSP issues one pool run per pivot wave; the workload glues the
+    // per-wave tracers onto a single monotone time axis.
+    let w = Apsp::new(16);
+    let m = w.run_native(&NativeConfig::steal(2).with_trace());
+    assert_eq!(m.value, w.expected());
+    let trace = m.trace.as_ref().expect("traced run returns a tracer");
+    let merged = trace.merged();
+    assert!(!merged.is_empty());
+    assert!(
+        merged.windows(2).all(|p| p[0].time <= p[1].time),
+        "stitched wave traces must stay time-ordered"
+    );
+    let c = rph::trace::Counters::from_tracer(trace);
+    assert_eq!(c.native_tasks, m.stats.tasks_run);
+    // 16 waves × 2 workers, one RunStart per worker per wave.
+    assert_eq!(c.native_runs, 32);
+    Timeline::from_tracer(trace).check_well_formed().unwrap();
+}
+
+#[test]
 fn spark_counters_are_consistent() {
     let w = SumEuler::new(SE_N).with_chunk_size(10);
     let m = w
