@@ -1,0 +1,332 @@
+//! Machine-readable native wall-clock baseline: the four workloads on
+//! real threads at 1/2/4/8 workers, median-of-k wall times, plus a
+//! single-threaded kernel section (tiled vs untiled mat-mul, blocked
+//! vs plain Floyd–Warshall) — emitted as `BENCH_native.json` under
+//! `target/paper-figures/` so perf regressions diff as JSON instead of
+//! eyeballed tables.
+//!
+//! ```text
+//! cargo run -p rph-bench --release --bin bench_native_json [--quick]
+//! ```
+//!
+//! Schema (`rph-bench-native/v1`): see `EXPERIMENTS.md` §"Native
+//! wall-clock baseline". Every workload point records the median wall
+//! time, its speedup over the same workload's one-worker median, and
+//! the executor counters (steals, parks, probes) of the median run;
+//! every checksum is asserted against the plain-Rust oracle before
+//! anything is written. The kernel section keeps `n = 256` even under
+//! `--quick` (fewer reps instead) — it is the acceptance gate for the
+//! tiling work and is meaningless at toy sizes.
+
+use rph_bench::{quick, write_artifact};
+use rph_native::{Granularity, NativeConfig, NativeStats};
+use rph_workloads::{kernels, Apsp, MatMul, NQueens, NativeMeasured, SumEuler};
+use std::time::Instant;
+
+/// Worker counts swept (the host caps real parallelism, not the sweep).
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Kernel-section problem size: the tiling acceptance gate is defined
+/// at `n ≥ 256`, so `--quick` keeps the size and cuts reps.
+const KERNEL_N: usize = 256;
+
+/// Minimum single-threaded advantage the tiled mat-mul kernel must
+/// show over the naïve one.
+const MATMUL_TARGET: f64 = 1.5;
+
+fn reps() -> usize {
+    if quick() {
+        3
+    } else {
+        5
+    }
+}
+
+/// Median of `k` timed runs: sorts the samples and takes the middle
+/// one (upper-middle for even `k`), returning the paired payload of
+/// the median sample too — so reported executor counters come from
+/// the same run as the reported time.
+fn median_run<T>(mut samples: Vec<(u128, T)>) -> (u128, T) {
+    assert!(!samples.is_empty());
+    samples.sort_by_key(|(ns, _)| *ns);
+    let mid = samples.len() / 2;
+    samples.swap_remove(mid)
+}
+
+struct Point {
+    workload: &'static str,
+    params: String,
+    workers: usize,
+    median_ns: u128,
+    speedup: f64,
+    stats: NativeStats,
+}
+
+fn sweep(
+    workload: &'static str,
+    params: String,
+    expected: i64,
+    run: impl Fn(&NativeConfig) -> NativeMeasured,
+) -> Vec<Point> {
+    let mut points: Vec<Point> = Vec::new();
+    let mut base_ns = 0u128;
+    for workers in WORKERS {
+        let cfg = NativeConfig {
+            granularity: Granularity::LazySplit,
+            ..NativeConfig::steal(workers)
+        };
+        let samples: Vec<(u128, NativeStats)> = (0..reps())
+            .map(|_| {
+                let m = run(&cfg);
+                assert_eq!(
+                    m.value, expected,
+                    "{workload} @ {workers} workers: wrong checksum — reproduction bug"
+                );
+                (m.wall.as_nanos(), m.stats)
+            })
+            .collect();
+        let (median_ns, stats) = median_run(samples);
+        if workers == 1 {
+            base_ns = median_ns;
+        }
+        points.push(Point {
+            workload,
+            params: params.clone(),
+            workers,
+            median_ns,
+            speedup: base_ns as f64 / median_ns as f64,
+            stats,
+        });
+    }
+    points
+}
+
+struct KernelPoint {
+    kernel: &'static str,
+    n: usize,
+    baseline_ns: u128,
+    optimised_ns: u128,
+    exact_match: bool,
+    target: Option<f64>,
+}
+
+impl KernelPoint {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.optimised_ns as f64
+    }
+}
+
+/// Time `f` `reps()` times, return the median nanoseconds and the last
+/// result (identical across reps — these kernels are deterministic).
+fn time_kernel<T>(mut f: impl FnMut() -> T) -> (u128, T) {
+    let samples: Vec<(u128, T)> = (0..reps())
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            (t0.elapsed().as_nanos(), out)
+        })
+        .collect();
+    median_run(samples)
+}
+
+fn kernel_section() -> Vec<KernelPoint> {
+    let n = KERNEL_N;
+    let mut out = Vec::new();
+
+    // Tiled vs naïve mat-mul, single-threaded, small-integer inputs
+    // (exactly representable, so the tiled result must be bit-equal).
+    let a: Vec<f64> = (0..n * n).map(|i| ((i * 7) % 10) as f64).collect();
+    let b: Vec<f64> = (0..n * n).map(|i| ((i * 13) % 10) as f64).collect();
+    let (naive_ns, want) = time_kernel(|| kernels::matmul_oracle(&a, &b, n));
+    let (tiled_ns, got) = time_kernel(|| {
+        let mut c = vec![0.0; n * n];
+        kernels::matmul_tiled_into(&mut c, &a, &b, n);
+        c
+    });
+    out.push(KernelPoint {
+        kernel: "matmul_tiled_vs_naive",
+        n,
+        baseline_ns: naive_ns,
+        optimised_ns: tiled_ns,
+        exact_match: got == want,
+        target: Some(MATMUL_TARGET),
+    });
+
+    // Blocked vs plain Floyd–Warshall on the APSP workload's own graph.
+    let d0 = Apsp::new(n).input_flat();
+    let (plain_ns, want) = time_kernel(|| {
+        let mut d = d0.clone();
+        kernels::floyd_warshall(&mut d, n);
+        d
+    });
+    let (blocked_ns, got) = time_kernel(|| {
+        let mut d = d0.clone();
+        kernels::floyd_warshall_blocked(&mut d, n);
+        d
+    });
+    out.push(KernelPoint {
+        kernel: "floyd_warshall_blocked_vs_plain",
+        n,
+        baseline_ns: plain_ns,
+        optimised_ns: blocked_ns,
+        exact_match: got == want,
+        target: None,
+    });
+
+    out
+}
+
+/// Minimal JSON string escaping (the strings here are ASCII labels,
+/// but correctness is cheap).
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn render_json(host_cores: usize, points: &[Point], kernels: &[KernelPoint]) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"rph-bench-native/v1\",\n");
+    j.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    j.push_str(&format!("  \"reps\": {},\n", reps()));
+    j.push_str(&format!("  \"quick\": {},\n", quick()));
+    j.push_str("  \"workloads\": [\n");
+    for (idx, p) in points.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"params\": \"{}\", \"workers\": {}, \
+             \"median_ns\": {}, \"speedup\": {:.4}, \"steals\": {}, \"parks\": {}, \
+             \"steal_probes\": {}, \"tasks_run\": {}, \"value_ok\": true}}{}\n",
+            esc(p.workload),
+            esc(&p.params),
+            p.workers,
+            p.median_ns,
+            p.speedup,
+            p.stats.steal_ops,
+            p.stats.parks,
+            p.stats.steal_probes,
+            p.stats.tasks_run,
+            if idx + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"kernels\": [\n");
+    for (idx, k) in kernels.iter().enumerate() {
+        let target = match k.target {
+            Some(t) => format!(", \"target\": {t}, \"meets_target\": {}", k.speedup() >= t),
+            None => String::new(),
+        };
+        j.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"baseline_median_ns\": {}, \
+             \"optimised_median_ns\": {}, \"speedup\": {:.4}, \"exact_match\": {}{}}}{}\n",
+            esc(k.kernel),
+            k.n,
+            k.baseline_ns,
+            k.optimised_ns,
+            k.speedup(),
+            k.exact_match,
+            target,
+            if idx + 1 == kernels.len() { "" } else { "," }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "Native wall-clock baseline ({host_cores} core{}), median of {} reps\n",
+        if host_cores == 1 { "" } else { "s" },
+        reps()
+    );
+    if host_cores < 4 {
+        println!(
+            "note: fewer than 4 cores — workload speedup columns will read ~1.0\n\
+             (the kernel section is single-threaded and unaffected)\n"
+        );
+    }
+
+    let mut points = Vec::new();
+
+    let n = if quick() { 1_500 } else { 6_000 };
+    let se = SumEuler::new(n);
+    points.extend(sweep("sum_euler", format!("n={n}"), se.expected(), |cfg| {
+        se.run_native(cfg)
+    }));
+
+    let (mn, grid) = if quick() { (240, 6) } else { (480, 8) };
+    let mm = MatMul::new(mn, grid);
+    points.extend(sweep(
+        "matmul",
+        format!("n={mn} grid={grid}"),
+        mm.expected(),
+        |cfg| mm.run_native(cfg),
+    ));
+
+    let an = if quick() { 96 } else { 256 };
+    let ap = Apsp::new(an);
+    points.extend(sweep("apsp", format!("n={an}"), ap.expected(), |cfg| {
+        ap.run_native(cfg)
+    }));
+
+    let (qn, depth) = if quick() { (11, 3) } else { (13, 4) };
+    let nq = NQueens::new(qn).with_spawn_depth(depth);
+    points.extend(sweep(
+        "nqueens",
+        format!("n={qn} depth={depth}"),
+        nq.expected(),
+        |cfg| nq.run_native(cfg),
+    ));
+
+    for p in &points {
+        println!(
+            "{:10} {:>18} workers={} median={:.2}ms speedup={:.2} steals={} parks={}",
+            p.workload,
+            p.params,
+            p.workers,
+            p.median_ns as f64 / 1e6,
+            p.speedup,
+            p.stats.steal_ops,
+            p.stats.parks
+        );
+    }
+
+    println!();
+    let kpoints = kernel_section();
+    for k in &kpoints {
+        assert!(
+            k.exact_match,
+            "{}: optimised kernel diverged from its oracle",
+            k.kernel
+        );
+        let verdict = match k.target {
+            Some(t) if k.speedup() >= t => format!(" (target {t}x: PASS)"),
+            Some(t) => format!(" (target {t}x: MISS)"),
+            None => String::new(),
+        };
+        println!(
+            "{:32} n={} baseline={:.2}ms optimised={:.2}ms speedup={:.2}x exact_match={}{}",
+            k.kernel,
+            k.n,
+            k.baseline_ns as f64 / 1e6,
+            k.optimised_ns as f64 / 1e6,
+            k.speedup(),
+            k.exact_match,
+            verdict
+        );
+    }
+
+    println!();
+    write_artifact(
+        "BENCH_native.json",
+        &render_json(host_cores, &points, &kpoints),
+    );
+}

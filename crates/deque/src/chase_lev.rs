@@ -20,6 +20,7 @@
 //! power-of-two buffers, i.e. less than one final buffer — for
 //! simplicity and provable safety).
 
+use crate::pad::CachePadded;
 use crate::word::Word;
 use std::marker::PhantomData;
 use std::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, Ordering};
@@ -101,9 +102,18 @@ impl Buffer {
 }
 
 /// State shared between the worker and its stealers.
+///
+/// `top` and `bottom` are the two hot words of the algorithm and have
+/// disjoint writer sets — thieves CAS `top`, only the owner writes
+/// `bottom` — so each gets a cache line of its own ([`CachePadded`]).
+/// Unpadded, an owner `push` (a `bottom` store) would invalidate the
+/// line every spinning thief is re-reading `top` from, and every thief
+/// CAS would stall the owner's next `bottom` access: false sharing on
+/// the single most contended structure in the executor. The cold tail
+/// (`buffer`, `retired`) shares the line after `bottom`.
 struct Inner {
-    top: AtomicI64,
-    bottom: AtomicI64,
+    top: CachePadded<AtomicI64>,
+    bottom: CachePadded<AtomicI64>,
     buffer: AtomicPtr<Buffer>,
     /// Buffers replaced by growth; freed when the last handle drops.
     retired: std::sync::Mutex<Vec<*mut Buffer>>,
@@ -163,8 +173,8 @@ impl<T: Word> Clone for Stealer<T> {
 pub fn new<T: Word>(initial_cap: usize) -> (Worker<T>, Stealer<T>) {
     let cap = initial_cap.max(4).next_power_of_two();
     let inner = Arc::new(Inner {
-        top: AtomicI64::new(0),
-        bottom: AtomicI64::new(0),
+        top: CachePadded::new(AtomicI64::new(0)),
+        bottom: CachePadded::new(AtomicI64::new(0)),
         buffer: AtomicPtr::new(Box::into_raw(Buffer::new(cap))),
         retired: std::sync::Mutex::new(Vec::new()),
     });

@@ -29,8 +29,10 @@
 
 pub mod chase_lev;
 pub mod det;
+pub mod pad;
 pub mod word;
 
 pub use chase_lev::{BatchSteal, Steal, Stealer, Worker, MAX_BATCH};
 pub use det::DetDeque;
+pub use pad::{CachePadded, CACHE_LINE};
 pub use word::{Range32, Word};

@@ -1,0 +1,132 @@
+//! Cache-line padding against false sharing.
+//!
+//! The hot words of a work-stealing runtime — a deque's `top` and
+//! `bottom`, the pool's remaining-task counter, the eventcount's
+//! epoch — are written by one thread and spun on by others. If two of
+//! them share a 64-byte cache line, every write by one core invalidates
+//! the line in every other core's cache and the unrelated reader pays a
+//! coherence miss it did nothing to deserve (*false* sharing: the
+//! paper's §IV memory-hierarchy arc is exactly about keeping such
+//! traffic off the multicore interconnect, and Auhagen et al. show the
+//! effect only grows with core count).
+//!
+//! [`CachePadded<T>`] rounds a value's size and alignment up to
+//! [`CACHE_LINE`] bytes so it owns its line outright. Use it for hot
+//! fields that are written from one thread while being polled from
+//! others; do **not** blanket-wrap cold data — padding trades memory
+//! (and cache *capacity*) for isolation, which only pays on contended
+//! words.
+
+/// Size (and alignment) of one cache line, in bytes. 64 is correct for
+/// every x86-64 and the large majority of AArch64 parts; on the few
+/// 128-byte-line machines two padded values may still share a line,
+/// which degrades back to the unpadded behaviour — never worse.
+pub const CACHE_LINE: usize = 64;
+
+/// Pads and aligns `T` to [`CACHE_LINE`] bytes so it occupies (at
+/// least) one full cache line of its own.
+///
+/// Derefs transparently to `T`, so `CachePadded<AtomicU64>` is used
+/// exactly like the bare atomic:
+///
+/// ```
+/// use rph_deque::CachePadded;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let counter = CachePadded::new(AtomicU64::new(0));
+/// counter.fetch_add(1, Ordering::Relaxed);
+/// assert_eq!(counter.load(Ordering::Relaxed), 1);
+/// assert_eq!(std::mem::align_of_val(&counter), 64);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value` to a full cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem::{align_of, size_of};
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+    /// The smoke test the padding exists for: every padded value is
+    /// both *aligned to* and *at least as large as* a cache line, so
+    /// two adjacent `CachePadded` values can never share one.
+    #[test]
+    fn padded_values_own_their_cache_line() {
+        assert_eq!(align_of::<CachePadded<u8>>(), CACHE_LINE);
+        assert_eq!(size_of::<CachePadded<u8>>(), CACHE_LINE);
+        assert_eq!(align_of::<CachePadded<AtomicU64>>(), CACHE_LINE);
+        assert_eq!(size_of::<CachePadded<AtomicU64>>(), CACHE_LINE);
+        assert_eq!(align_of::<CachePadded<AtomicI64>>(), CACHE_LINE);
+        assert_eq!(size_of::<CachePadded<AtomicI64>>(), CACHE_LINE);
+        // Values bigger than a line keep the alignment and round up.
+        assert_eq!(align_of::<CachePadded<[u64; 16]>>(), CACHE_LINE);
+        assert_eq!(size_of::<CachePadded<[u64; 16]>>(), 2 * CACHE_LINE);
+    }
+
+    /// Adjacent array elements land on distinct lines.
+    #[test]
+    fn array_elements_do_not_share_lines() {
+        let xs = [
+            CachePadded::new(AtomicU64::new(0)),
+            CachePadded::new(AtomicU64::new(0)),
+        ];
+        let a = &xs[0] as *const _ as usize;
+        let b = &xs[1] as *const _ as usize;
+        assert_eq!(a % CACHE_LINE, 0);
+        assert_eq!(b % CACHE_LINE, 0);
+        assert!(b - a >= CACHE_LINE);
+    }
+
+    #[test]
+    fn deref_and_into_inner_round_trip() {
+        let mut p = CachePadded::new(41u64);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+        let q: CachePadded<u32> = 7u32.into();
+        assert_eq!(q.into_inner(), 7);
+    }
+
+    #[test]
+    fn atomics_work_through_the_padding() {
+        let c = CachePadded::new(AtomicU64::new(0));
+        c.store(5, Ordering::Relaxed);
+        assert_eq!(c.load(Ordering::Relaxed), 5);
+    }
+}

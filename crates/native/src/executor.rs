@@ -20,6 +20,25 @@ pub enum Distribution {
     Steal,
 }
 
+/// How an idle worker orders its victims when probing for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealPolicy {
+    /// Deterministic round-robin: thief `me` probes `me+1, me+2, …`
+    /// (mod workers). Kept as the ablation baseline — with many idle
+    /// thieves it *convoys* steal traffic: every thief's sweep reaches
+    /// the one loaded deque in the same order, so they arrive together
+    /// and all but one pay a CAS retry per probe wave.
+    RoundRobin,
+    /// Randomized probing (the default, and what GHC's work-stealing
+    /// does): each thief visits the other deques in an order drawn
+    /// from its own xorshift generator, seeded from
+    /// [`NativeConfig::seed`] + worker id — so two runs of the same
+    /// config take byte-identical probe sequences, while distinct
+    /// thieves spread their probes across distinct victims instead of
+    /// convoying.
+    Randomized,
+}
+
 /// How the task index space is carved into deque elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Granularity {
@@ -46,6 +65,12 @@ pub struct NativeConfig {
     pub deque_cap: usize,
     /// Task granularity policy.
     pub granularity: Granularity,
+    /// Victim-selection policy for idle thieves.
+    pub steal_policy: StealPolicy,
+    /// Seed for the per-worker victim-selection generators (worker
+    /// `i` draws from a stream seeded with `seed` + `i`, re-seeded at
+    /// every run start, so identical configs probe identically).
+    pub seed: u64,
     /// Collect wall-clock event traces. Off by default: when off the
     /// per-event record call is a single branch and
     /// [`NativeOutcome::trace`] is `None`.
@@ -71,6 +96,8 @@ impl NativeConfig {
             mode: Distribution::Steal,
             deque_cap: 256,
             granularity: Granularity::LazySplit,
+            steal_policy: StealPolicy::Randomized,
+            seed: 0x5eed0fa11,
             trace: false,
             trace_cap: DEFAULT_TRACE_CAP,
         }
@@ -87,6 +114,18 @@ impl NativeConfig {
     /// Same policy, different granularity.
     pub fn with_granularity(mut self, g: Granularity) -> Self {
         self.granularity = g;
+        self
+    }
+
+    /// Same policy, different victim selection.
+    pub fn with_steal_policy(mut self, p: StealPolicy) -> Self {
+        self.steal_policy = p;
+        self
+    }
+
+    /// Same policy, different victim-selection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -175,6 +214,11 @@ pub struct NativeStats {
     pub tasks_local: u64,
     /// Tasks executed out of a range acquired directly by a steal.
     pub tasks_stolen: u64,
+    /// Victim deques probed by idle thieves (every probe lands in
+    /// exactly one of `steal_ops`, `steal_retries` or `steal_empties`;
+    /// the split shows whether a victim-selection policy wastes its
+    /// probes on empty or contended deques).
+    pub steal_probes: u64,
     /// `Steal::Retry` outcomes (lost CAS races).
     pub steal_retries: u64,
     /// Steal attempts that found the victim empty.
@@ -218,6 +262,7 @@ impl NativeStats {
         self.tasks_run += other.tasks_run;
         self.tasks_local += other.tasks_local;
         self.tasks_stolen += other.tasks_stolen;
+        self.steal_probes += other.steal_probes;
         self.steal_retries += other.steal_retries;
         self.steal_empties += other.steal_empties;
         self.steal_ops += other.steal_ops;

@@ -30,9 +30,15 @@
 //!   sequentially at the owner end and fission only under observed
 //!   thief demand.
 //! * Thieves take up to half a victim's deque per probe
-//!   (`steal_batch_and_pop`); idle workers spin briefly, then **park**
-//!   on a Condvar-backed eventcount instead of busy-waiting, woken by
-//!   new pushes or run completion.
+//!   (`steal_batch_and_pop`), visiting victims in a **randomized
+//!   order** by default ([`StealPolicy`]: a per-worker xorshift
+//!   permutation per sweep, seeded from `NativeConfig::seed` so runs
+//!   replay identically; fixed round-robin kept as the ablation);
+//!   idle workers spin briefly, then **park** on a Condvar-backed
+//!   eventcount instead of busy-waiting, woken by new pushes or run
+//!   completion. Hot shared words (deque `top`/`bottom`, park flags,
+//!   per-worker stats slots, run state) are cache-line padded
+//!   (`rph_deque::CachePadded`) against false sharing.
 //! * With [`NativeConfig::trace`] set, every worker records
 //!   wall-clock events (run start/end, executed ranges, steal
 //!   successes/retries/empties, batch transfers, lazy splits,
@@ -52,9 +58,10 @@ mod executor;
 mod park;
 mod pool;
 mod trace;
+mod victim;
 
 pub use executor::{
     execute, Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
-    DEFAULT_TRACE_CAP,
+    StealPolicy, DEFAULT_TRACE_CAP,
 };
 pub use pool::Pool;

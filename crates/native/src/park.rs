@@ -22,6 +22,7 @@
 //! the work. A bounded `wait_timeout` backstops the argument: even a
 //! bug here would cost a few milliseconds of latency, never a hang.
 
+use rph_deque::CachePadded;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
@@ -34,9 +35,17 @@ fn lock(m: &Mutex<()>) -> MutexGuard<'_, ()> {
 }
 
 /// A Condvar-backed eventcount (see module docs for the protocol).
+///
+/// The two park flags are cache-line padded: `sleepers` is written by
+/// every parking/unparking worker while `notify_all` — called on every
+/// push, split and task completion, i.e. from the busy workers' hot
+/// paths — only *reads* it. Unpadded, each park/unpark would bounce
+/// the line under every producer's fast-path read (and `epoch` bumps
+/// would invalidate it again); padded, the producer fast path stays a
+/// read of a line that changes only when sleepers actually come or go.
 pub(crate) struct EventCount {
-    epoch: AtomicU64,
-    sleepers: AtomicU64,
+    epoch: CachePadded<AtomicU64>,
+    sleepers: CachePadded<AtomicU64>,
     mutex: Mutex<()>,
     cv: Condvar,
 }
@@ -44,8 +53,8 @@ pub(crate) struct EventCount {
 impl EventCount {
     pub fn new() -> Self {
         EventCount {
-            epoch: AtomicU64::new(0),
-            sleepers: AtomicU64::new(0),
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            sleepers: CachePadded::new(AtomicU64::new(0)),
             mutex: Mutex::new(()),
             cv: Condvar::new(),
         }

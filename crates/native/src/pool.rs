@@ -22,11 +22,13 @@
 
 use crate::executor::{
     Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
+    StealPolicy,
 };
 use crate::park::EventCount;
 use crate::trace::{map_events, NEvent, NEventKind, TraceBuf};
+use crate::victim::VictimPicker;
 use rph_deque::chase_lev::{self, BatchSteal, Stealer, Worker};
-use rph_deque::Range32;
+use rph_deque::{CachePadded, Range32};
 use rph_trace::{CapId, Tracer, WallClock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -66,6 +68,7 @@ struct WorkerStats {
     ran: u64,
     local: u64,
     stolen: u64,
+    probes: u64,
     retries: u64,
     empties: u64,
     steal_ops: u64,
@@ -79,7 +82,11 @@ struct Ctrl {
     run_seq: u64,
     cmd: Option<RunCmd>,
     done: usize,
-    worker_stats: Vec<WorkerStats>,
+    /// Per-worker stats slots, one cache line each: every worker
+    /// writes its own slot at run end while siblings are writing
+    /// theirs (the mutex serialises the *writes*, not the line
+    /// ping-pong of unrelated slots packed together).
+    worker_stats: Vec<CachePadded<WorkerStats>>,
     /// Per-worker trace events of the finished run (empty when tracing
     /// is off), flushed here by each worker alongside its stats.
     worker_events: Vec<Vec<NEvent>>,
@@ -89,17 +96,27 @@ struct Ctrl {
 }
 
 /// State shared between the pool handle and its workers.
+///
+/// `remaining` is the run's shared hot word — decremented by every
+/// worker per task, polled by every idle worker per probe loop — and
+/// `panicked` sits on the same polling paths; each gets its own cache
+/// line so a task completion does not invalidate the line an idle
+/// worker is spinning on for an unrelated field (the eventcount pads
+/// its own internals the same way).
 struct Shared {
     ctrl: Mutex<Ctrl>,
     start_cv: Condvar,
     done_cv: Condvar,
     /// Tasks not yet executed in the current run.
-    remaining: AtomicU64,
+    remaining: CachePadded<AtomicU64>,
     /// Set when any worker's task panicked; aborts the run.
-    panicked: AtomicBool,
+    panicked: CachePadded<AtomicBool>,
     ec: EventCount,
     stealers: Vec<Stealer<Range32>>,
     workers: usize,
+    /// Victim-selection policy and seed, fixed at pool construction.
+    steal_policy: StealPolicy,
+    seed: u64,
     /// Wall-clock event tracing on/off and per-worker buffer size,
     /// fixed at pool construction.
     trace_on: bool,
@@ -138,18 +155,20 @@ impl Pool {
                 run_seq: 0,
                 cmd: None,
                 done: 0,
-                worker_stats: vec![WorkerStats::default(); workers],
+                worker_stats: vec![CachePadded::new(WorkerStats::default()); workers],
                 worker_events: vec![Vec::new(); workers],
                 worker_dropped: vec![0; workers],
                 shutdown: false,
             }),
             start_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            remaining: AtomicU64::new(0),
-            panicked: AtomicBool::new(false),
+            remaining: CachePadded::new(AtomicU64::new(0)),
+            panicked: CachePadded::new(AtomicBool::new(false)),
             ec: EventCount::new(),
             stealers,
             workers,
+            steal_policy: cfg.steal_policy,
+            seed: cfg.seed,
             trace_on: cfg.trace,
             trace_cap: cfg.trace_cap,
         });
@@ -248,7 +267,7 @@ impl Pool {
                 ctrl.run_seq += 1;
                 ctrl.done = 0;
                 for s in ctrl.worker_stats.iter_mut() {
-                    *s = WorkerStats::default();
+                    **s = WorkerStats::default();
                 }
                 self.shared.start_cv.notify_all();
                 while ctrl.done < workers {
@@ -305,15 +324,16 @@ impl Drop for Pool {
     }
 }
 
-fn collect_stats(per_worker: &[WorkerStats]) -> NativeStats {
+fn collect_stats(per_worker: &[CachePadded<WorkerStats>]) -> NativeStats {
     let mut out = NativeStats {
         per_worker: per_worker.iter().map(|s| s.ran).collect(),
         ..NativeStats::default()
     };
-    for s in per_worker {
+    for s in per_worker.iter() {
         out.tasks_run += s.ran;
         out.tasks_local += s.local;
         out.tasks_stolen += s.stolen;
+        out.steal_probes += s.probes;
         out.steal_retries += s.retries;
         out.steal_empties += s.empties;
         out.steal_ops += s.steal_ops;
@@ -335,9 +355,10 @@ fn block_share(n: u64, workers: usize, worker: usize) -> (u32, u32) {
 
 fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
     let mut seen_seq = 0u64;
-    // The worker's trace buffer is allocated once, here, and reused
-    // across every run the pool ever executes.
+    // The worker's trace buffer and victim-order buffer are allocated
+    // once, here, and reused across every run the pool ever executes.
     let mut tbuf = TraceBuf::new(shared.trace_on, shared.trace_cap);
+    let mut picker = VictimPicker::new(shared.steal_policy, me, shared.workers);
     loop {
         // Wait for the next run (or shutdown).
         let cmd = {
@@ -358,6 +379,9 @@ fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
         };
 
         tbuf.begin_run(cmd.clock);
+        // Re-seed per run, so identical configs replay byte-identical
+        // probe sequences no matter how many runs preceded them.
+        picker.begin_run(shared.seed);
         let mut stats = WorkerStats::default();
         let run = RunCtx {
             me,
@@ -365,7 +389,11 @@ fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
             shared: &shared,
             cmd,
         };
-        if catch_unwind(AssertUnwindSafe(|| run.run(&mut stats, &mut tbuf))).is_err() {
+        if catch_unwind(AssertUnwindSafe(|| {
+            run.run(&mut stats, &mut tbuf, &mut picker)
+        }))
+        .is_err()
+        {
             shared.panicked.store(true, Ordering::SeqCst);
             shared.ec.notify_all();
         }
@@ -376,7 +404,7 @@ fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
         }
 
         let mut ctrl = lock(&shared.ctrl);
-        ctrl.worker_stats[me] = stats;
+        *ctrl.worker_stats[me] = stats;
         ctrl.worker_dropped[me] = tbuf.flush_into(&mut ctrl.worker_events[me]);
         ctrl.done += 1;
         if ctrl.done == shared.workers {
@@ -394,7 +422,7 @@ struct RunCtx<'a> {
 }
 
 impl RunCtx<'_> {
-    fn run(&self, stats: &mut WorkerStats, tbuf: &mut TraceBuf) {
+    fn run(&self, stats: &mut WorkerStats, tbuf: &mut TraceBuf, picker: &mut VictimPicker) {
         let workers = self.shared.workers;
         let n = self.cmd.n;
         tbuf.record(NEventKind::RunStart { tasks: n });
@@ -438,8 +466,12 @@ impl RunCtx<'_> {
                 }
                 let mut contended = false;
                 let mut got = None;
-                for d in 0..workers - 1 {
-                    let victim = (self.me + 1 + d) % workers;
+                // One sweep probes every other deque once; the *order*
+                // is the steal policy's choice (fixed round-robin, or
+                // a per-sweep random permutation — see `victim.rs`).
+                for &victim in picker.sweep() {
+                    let victim = victim as usize;
+                    stats.probes += 1;
                     match self.shared.stealers[victim].steal_batch_and_pop(self.local) {
                         BatchSteal::Success { first, moved } => {
                             stats.steal_ops += 1;

@@ -81,28 +81,38 @@ impl Apsp {
         }
     }
 
-    /// The adjacency/distance matrix (row-major rows).
-    pub fn input_rows(&self) -> Vec<Vec<f64>> {
+    /// The adjacency/distance matrix, flat row-major `n×n` (one
+    /// allocation; the oracle kernels run on this directly).
+    pub fn input_flat(&self) -> Vec<f64> {
         let mut rng = DetRng::new(self.seed);
         let n = self.n;
-        let mut rows = vec![vec![BIG; n]; n];
-        for (i, row) in rows.iter_mut().enumerate() {
-            for (j, d) in row.iter_mut().enumerate() {
+        let mut dist = vec![BIG; n * n];
+        for i in 0..n {
+            for j in 0..n {
                 if i == j {
-                    *d = 0.0;
+                    dist[i * n + j] = 0.0;
                 } else if rng.gen_range(1000) < self.density_millis {
-                    *d = 1.0 + rng.gen_range(20) as f64;
+                    dist[i * n + j] = 1.0 + rng.gen_range(20) as f64;
                 }
             }
         }
-        rows
+        dist
+    }
+
+    /// The adjacency/distance matrix as per-row vectors (the shape the
+    /// row-structured runtimes consume).
+    pub fn input_rows(&self) -> Vec<Vec<f64>> {
+        self.input_flat()
+            .chunks_exact(self.n)
+            .map(|r| r.to_vec())
+            .collect()
     }
 
     /// Plain-Rust Floyd–Warshall oracle checksum.
     pub fn expected(&self) -> i64 {
-        let mut rows = self.input_rows();
-        kernels::floyd_warshall(&mut rows);
-        rows.iter().flatten().sum::<f64>() as i64
+        let mut dist = self.input_flat();
+        kernels::floyd_warshall(&mut dist, self.n);
+        dist.iter().sum::<f64>() as i64
     }
 
     fn program(&self) -> Prog {
@@ -596,9 +606,9 @@ mod tests {
     fn update_row_kernel_relaxes() {
         // Self-contained check of the Eden update path vs the oracle.
         let w = Apsp::new(12);
-        let mut oracle = w.input_rows();
-        kernels::floyd_warshall(&mut oracle);
+        let mut oracle = w.input_flat();
+        kernels::floyd_warshall(&mut oracle, w.n);
         let m = w.run_eden(EdenConfig::new(2).without_trace()).unwrap();
-        assert_eq!(m.value, oracle.iter().flatten().sum::<f64>() as i64);
+        assert_eq!(m.value, oracle.iter().sum::<f64>() as i64);
     }
 }

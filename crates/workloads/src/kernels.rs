@@ -83,9 +83,12 @@ pub fn sum_phi_range(lo: i64, hi: i64) -> (i64, u64, u64) {
     (total, cost, words)
 }
 
-/// Dense `s×s` block multiply-accumulate: `acc + a·b` (row-major).
+/// Dense `s×s` block multiply-accumulate: `acc + a·b` (row-major),
+/// naïve `i,k,j` triple loop. Kept as the **oracle** for
+/// [`block_mul_acc`]: its per-element accumulation order is the
+/// reference the tiled kernel's property tests compare against.
 /// Returns the new block and the flop count ×[`C_FMA`].
-pub fn block_mul_acc(acc: &[f64], a: &[f64], b: &[f64], s: usize) -> (Vec<f64>, u64) {
+pub fn block_mul_acc_naive(acc: &[f64], a: &[f64], b: &[f64], s: usize) -> (Vec<f64>, u64) {
     assert_eq!(acc.len(), s * s);
     assert_eq!(a.len(), s * s);
     assert_eq!(b.len(), s * s);
@@ -103,6 +106,148 @@ pub fn block_mul_acc(acc: &[f64], a: &[f64], b: &[f64], s: usize) -> (Vec<f64>, 
     (out, (s * s * s) as u64 * 2 * C_FMA)
 }
 
+/// Edge length of one cache tile in the blocked kernels. Three `T×T`
+/// f64 tiles (an A tile, a B tile, a C tile) occupy 3·32²·8 = 24 KiB —
+/// inside every L1d this code will meet — so the inner loops hit L1
+/// instead of streaming the whole matrix through it per output row.
+pub const TILE: usize = 32;
+
+/// Rows of C the register micro-kernel holds at once.
+const MR: usize = 4;
+/// Columns of C the register micro-kernel holds at once.
+const NR: usize = 8;
+
+/// The register micro-kernel: accumulate the `MR×NR` C sub-block at
+/// `(i, j)` over a packed A strip of `kw` k-steps entirely in
+/// registers (one add into memory per C element at the end, instead of
+/// a load/add/store per FLOP), with `NR` independent accumulator
+/// chains per row so the FP-add latency chain never serialises.
+///
+/// `ap` is the strip's slice of the packed A tile (see
+/// [`matmul_tiled_into`]): `MR` row values per k-step, contiguous — so
+/// the k-loop reads A forward through one stream instead of striding
+/// `MR` rows of the source matrix in parallel.
+#[inline]
+fn micro_mrxnr(
+    c: &mut [f64],
+    ap: &[f64],
+    b: &[f64],
+    n: usize,
+    (i, j): (usize, usize),
+    (kk, kw): (usize, usize),
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for k in 0..kw {
+        let brow = &b[(kk + k) * n + j..(kk + k) * n + j + NR];
+        let avals = &ap[k * MR..(k + 1) * MR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let aik = avals[r];
+            for (av, &bv) in accr.iter_mut().zip(brow) {
+                *av += aik * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut c[(i + r) * n + j..(i + r) * n + j + NR];
+        for (cv, &av) in crow.iter_mut().zip(accr) {
+            *cv += av;
+        }
+    }
+}
+
+/// Scalar fallback for edge regions the micro-kernel's `MR×NR`
+/// footprint does not cover: `c[i0..i1][j0..j1] += a[·][k0..k1]·b`.
+#[inline]
+fn scalar_edge(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    (i0, i1): (usize, usize),
+    (k0, k1): (usize, usize),
+    (j0, j1): (usize, usize),
+) {
+    for i in i0..i1 {
+        for k in k0..k1 {
+            let aik = a[i * n + k];
+            let brow = &b[k * n + j0..k * n + j1];
+            let crow = &mut c[i * n + j0..i * n + j1];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// Cache-blocked `c += a·b` over row-major `n×n` matrices: `TILE`-deep
+/// k-panels (so the B panel a sweep reuses stays cache-resident), each
+/// A tile **packed** into `MR`-interleaved strips (the micro-kernel's
+/// k-loop then reads A as one forward stream instead of `MR` strided
+/// row cursors), the `MR×NR` register micro-kernel inside, and scalar
+/// edge loops for the rows/columns a non-divisible `n` leaves over.
+///
+/// All workload inputs are small integers, so every product and every
+/// partial sum is exactly representable and the result is **exactly**
+/// the naïve kernel's — regrouping the additions loses nothing. (For
+/// general floats the two kernels differ only by that regrouping.)
+pub fn matmul_tiled_into(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    assert_eq!(c.len(), n * n);
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    // Packed A tile: strip s holds rows [ii + s·MR, ii + (s+1)·MR) of
+    // the tile, laid out k-major — apack[s·MR·kw + k·MR + r].
+    let mut apack = vec![0.0f64; TILE * TILE];
+    for ii in (0..n).step_by(TILE) {
+        let i_end = (ii + TILE).min(n);
+        for kk in (0..n).step_by(TILE) {
+            let k_end = (kk + TILE).min(n);
+            let kw = k_end - kk;
+            let mut strips = 0;
+            let mut i = ii;
+            while i + MR <= i_end {
+                let base = strips * MR * kw;
+                for (dk, k) in (kk..k_end).enumerate() {
+                    for r in 0..MR {
+                        apack[base + dk * MR + r] = a[(i + r) * n + k];
+                    }
+                }
+                strips += 1;
+                i += MR;
+            }
+            let mut strip = 0;
+            let mut i = ii;
+            while i + MR <= i_end {
+                let ap = &apack[strip * MR * kw..(strip + 1) * MR * kw];
+                let mut j = 0;
+                while j + NR <= n {
+                    micro_mrxnr(c, ap, b, n, (i, j), (kk, kw));
+                    j += NR;
+                }
+                if j < n {
+                    scalar_edge(c, a, b, n, (i, i + MR), (kk, k_end), (j, n));
+                }
+                strip += 1;
+                i += MR;
+            }
+            if i < i_end {
+                scalar_edge(c, a, b, n, (i, i_end), (kk, k_end), (0, n));
+            }
+        }
+    }
+}
+
+/// Dense `s×s` block multiply-accumulate: `acc + a·b` (row-major),
+/// cache-blocked ([`matmul_tiled_into`]). This is the kernel the
+/// workloads run; [`block_mul_acc_naive`] is its oracle. Returns the
+/// new block and the flop count ×[`C_FMA`] (the tiling changes the
+/// schedule, not the arithmetic, so the cost model is unchanged).
+pub fn block_mul_acc(acc: &[f64], a: &[f64], b: &[f64], s: usize) -> (Vec<f64>, u64) {
+    assert_eq!(acc.len(), s * s);
+    let mut out = acc.to_vec();
+    matmul_tiled_into(&mut out, a, b, s);
+    (out, (s * s * s) as u64 * 2 * C_FMA)
+}
+
 /// One Floyd–Warshall relaxation of `row_i` by pivot row `row_k`
 /// (pivot index `k`, 0-based): `d[t] = min(d[t], d[k] + row_k[t])`.
 /// Returns the new row and the cost.
@@ -117,20 +262,115 @@ pub fn min_plus_update(row_i: &[f64], row_k: &[f64], k: usize) -> (Vec<f64>, u64
     (out, row_i.len() as u64 * C_MINPLUS)
 }
 
-/// Plain-Rust Floyd–Warshall: the APSP oracle.
-#[allow(clippy::needless_range_loop)] // i/k/j index two rows of `dist` at once
-pub fn floyd_warshall(dist: &mut [Vec<f64>]) {
-    let n = dist.len();
+/// Plain-Rust Floyd–Warshall over a row-major `n×n` distance matrix:
+/// the APSP oracle. (Flat storage — one allocation, contiguous rows —
+/// not the former `Vec<Vec<f64>>`, whose per-row allocations cost a
+/// pointer chase per row access in every oracle check.)
+pub fn floyd_warshall(dist: &mut [f64], n: usize) {
+    assert_eq!(dist.len(), n * n);
     for k in 0..n {
         for i in 0..n {
-            let dik = dist[i][k];
+            let dik = dist[i * n + k];
             if !dik.is_finite() {
                 continue;
             }
+            // The k-row is read while the i-row is written; at i == k
+            // the relaxation is the identity (d[k][k] = 0 on a valid
+            // distance matrix), so reading the row being written is
+            // benign — but split indexing keeps the borrows disjoint.
             for j in 0..n {
-                let via = dik + dist[k][j];
-                if via < dist[i][j] {
-                    dist[i][j] = via;
+                let via = dik + dist[k * n + j];
+                if via < dist[i * n + j] {
+                    dist[i * n + j] = via;
+                }
+            }
+        }
+    }
+}
+
+/// One blocked min-plus tile relaxation: relax the `ch×cw` tile of `d`
+/// at `(ci, cj)` through intermediate vertices `k ∈ [kk, kk+kw)`, i.e.
+/// `d[i][j] = min(d[i][j], d[i][k] + d[k][j])` with the k-loop
+/// *outermost* (so in the self-dependent phases of blocked
+/// Floyd–Warshall every relaxation sees the updates of smaller k, as
+/// the classical algorithm requires).
+///
+/// `scratch` holds a copy of the k-row segment for the inner sweep:
+/// within one k iteration the k-row and k-column are fixed points of
+/// the relaxation (`d[k][k] = 0`), so the pre-iteration copy is exact,
+/// and copying decouples the write row from the read row — the inner
+/// loop is a straight-line min/add over two disjoint slices.
+fn min_plus_tile(
+    d: &mut [f64],
+    n: usize,
+    (ci, ch): (usize, usize),
+    (cj, cw): (usize, usize),
+    (kk, kw): (usize, usize),
+    scratch: &mut Vec<f64>,
+) {
+    for k in kk..kk + kw {
+        scratch.clear();
+        scratch.extend_from_slice(&d[k * n + cj..k * n + cj + cw]);
+        for i in ci..ci + ch {
+            let dik = d[i * n + k];
+            if !dik.is_finite() {
+                continue;
+            }
+            let row = &mut d[i * n + cj..i * n + cj + cw];
+            for (c, &bkj) in row.iter_mut().zip(scratch.iter()) {
+                let via = dik + bkj;
+                if via < *c {
+                    *c = via;
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked Floyd–Warshall (Venkataraman et al.'s tiled APSP) on
+/// a row-major `n×n` matrix, [`TILE`]-sized tiles: for each pivot tile
+/// on the diagonal, (1) close the pivot tile over its own vertices,
+/// (2) relax its row and column panels through it, (3) relax every
+/// remaining tile through its row/column panel pair. Each phase only
+/// reads tiles the previous phase finished, which is what makes the
+/// reordering exact — every tile still sees intermediate vertices in
+/// ascending order. The working set per tile op is ≤ 3 tiles (24 KiB)
+/// instead of three full `n×n` sweeps, and results are **identical**
+/// to [`floyd_warshall`] (min-plus relaxation: min is exact, and both
+/// kernels take min over the same candidate path sums — kept as the
+/// oracle in the property tests).
+pub fn floyd_warshall_blocked(dist: &mut [f64], n: usize) {
+    assert_eq!(dist.len(), n * n);
+    let mut scratch = Vec::with_capacity(TILE);
+    // (start, len) of tile `b`.
+    let ext = |tile: usize| {
+        let lo = tile * TILE;
+        (lo, TILE.min(n - lo))
+    };
+    let tiles = n.div_ceil(TILE);
+    for kb in 0..tiles {
+        let kx = ext(kb);
+        // Phase 1: the pivot tile, closed over its own vertices.
+        min_plus_tile(dist, n, kx, kx, kx, &mut scratch);
+        // Phase 2: the pivot's row and column panels.
+        for jb in 0..tiles {
+            if jb != kb {
+                min_plus_tile(dist, n, kx, ext(jb), kx, &mut scratch);
+            }
+        }
+        for ib in 0..tiles {
+            if ib != kb {
+                min_plus_tile(dist, n, ext(ib), kx, kx, &mut scratch);
+            }
+        }
+        // Phase 3: everything else, through the finished panels.
+        for ib in 0..tiles {
+            if ib == kb {
+                continue;
+            }
+            for jb in 0..tiles {
+                if jb != kb {
+                    min_plus_tile(dist, n, ext(ib), ext(jb), kx, &mut scratch);
                 }
             }
         }
@@ -197,33 +437,57 @@ mod tests {
 
     #[test]
     fn block_mul_matches_oracle() {
-        let s = 4;
-        let a: Vec<f64> = (0..s * s).map(|i| (i % 7) as f64).collect();
-        let b: Vec<f64> = (0..s * s).map(|i| (i % 5) as f64 - 2.0).collect();
-        let zero = vec![0.0; s * s];
-        let (c, cost) = block_mul_acc(&zero, &a, &b, s);
-        assert_eq!(c, matmul_oracle(&a, &b, s));
-        assert_eq!(cost, (s * s * s) as u64 * 2 * C_FMA);
-        // Accumulation: acc + a·b.
-        let (c2, _) = block_mul_acc(&c, &a, &b, s);
-        let double: Vec<f64> = c.iter().map(|x| x * 2.0).collect();
-        assert_eq!(c2, double);
+        for s in [1usize, 2, 4, 7, 31, 33] {
+            let a: Vec<f64> = (0..s * s).map(|i| (i % 7) as f64).collect();
+            let b: Vec<f64> = (0..s * s).map(|i| (i % 5) as f64 - 2.0).collect();
+            let zero = vec![0.0; s * s];
+            let (c, cost) = block_mul_acc(&zero, &a, &b, s);
+            assert_eq!(c, matmul_oracle(&a, &b, s), "s={s}");
+            assert_eq!(cost, (s * s * s) as u64 * 2 * C_FMA);
+            let (c_naive, cost_naive) = block_mul_acc_naive(&zero, &a, &b, s);
+            assert_eq!(c, c_naive, "s={s}");
+            assert_eq!(cost, cost_naive);
+            // Accumulation: acc + a·b.
+            let (c2, _) = block_mul_acc(&c, &a, &b, s);
+            let double: Vec<f64> = c.iter().map(|x| x * 2.0).collect();
+            assert_eq!(c2, double, "s={s}");
+        }
     }
 
     #[test]
     fn min_plus_matches_floyd_warshall_step() {
         let inf = f64::INFINITY;
+        #[rustfmt::skip]
         let mut d = vec![
-            vec![0.0, 3.0, inf],
-            vec![3.0, 0.0, 1.0],
-            vec![inf, 1.0, 0.0],
+            0.0, 3.0, inf,
+            3.0, 0.0, 1.0,
+            inf, 1.0, 0.0,
         ];
         // Relax row 0 by pivot row 1.
-        let (r0, _) = min_plus_update(&d[0], &d[1], 1);
+        let (r0, _) = min_plus_update(&d[0..3], &d[3..6], 1);
         assert_eq!(r0, vec![0.0, 3.0, 4.0]);
-        floyd_warshall(&mut d);
-        assert_eq!(d[0], vec![0.0, 3.0, 4.0]);
-        assert_eq!(d[2], vec![4.0, 1.0, 0.0]);
+        floyd_warshall(&mut d, 3);
+        assert_eq!(&d[0..3], &[0.0, 3.0, 4.0]);
+        assert_eq!(&d[6..9], &[4.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn blocked_floyd_warshall_matches_plain_small() {
+        // Hand-checkable 4-node line graph: 0-1-2-3 with unit edges.
+        let inf = f64::INFINITY;
+        let mut d = vec![inf; 16];
+        for i in 0..4 {
+            d[i * 4 + i] = 0.0;
+        }
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 3)] {
+            d[a * 4 + b] = 1.0;
+            d[b * 4 + a] = 1.0;
+        }
+        let mut plain = d.clone();
+        floyd_warshall(&mut plain, 4);
+        floyd_warshall_blocked(&mut d, 4);
+        assert_eq!(d, plain);
+        assert_eq!(d[3], 3.0, "0→3 via two hops");
     }
 
     #[test]

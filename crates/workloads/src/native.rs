@@ -340,6 +340,54 @@ mod tests {
     }
 
     #[test]
+    fn steal_policies_agree_and_conserve_tasks() {
+        use rph_native::StealPolicy;
+        // Same workload under randomized and round-robin victim
+        // selection: identical checksums (victim order must never
+        // change *what* runs) and conserved task counts (every task
+        // runs exactly once, locally or stolen) at every worker count.
+        let w = SumEuler::new(200).with_chunk_size(7);
+        let expect = w.expected();
+        let tasks = w.ranges(w.chunk_size).len() as u64;
+        for workers in [1usize, 2, 4, 8] {
+            for policy in [StealPolicy::RoundRobin, StealPolicy::Randomized] {
+                let cfg = NativeConfig::steal(workers).with_steal_policy(policy);
+                let m = w.run_native(&cfg);
+                assert_eq!(m.value, expect, "workers={workers} {policy:?}");
+                assert_eq!(m.stats.tasks_run, tasks, "workers={workers} {policy:?}");
+                assert_eq!(
+                    m.stats.tasks_local + m.stats.tasks_stolen,
+                    m.stats.tasks_run,
+                    "workers={workers} {policy:?}"
+                );
+                assert_eq!(
+                    m.stats.per_worker.iter().sum::<u64>(),
+                    m.stats.tasks_run,
+                    "workers={workers} {policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_policy_is_deterministic_on_deterministic_schedules() {
+        // With one worker the schedule itself is deterministic (no
+        // races), so two runs of the same config — including the
+        // victim-selection seed — must produce identical stats, not
+        // just identical values.
+        let w = MatMul::new(32, 4);
+        for cfg in [
+            NativeConfig::steal(1).with_seed(42),
+            NativeConfig::push(1).with_seed(42),
+        ] {
+            let a = w.run_native(&cfg);
+            let b = w.run_native(&cfg);
+            assert_eq!(a.value, b.value, "{cfg:?}");
+            assert_eq!(a.stats, b.stats, "{cfg:?}");
+        }
+    }
+
+    #[test]
     fn apsp_wave_stats_accumulate() {
         let w = Apsp::new(12);
         let m = w.run_native(&NativeConfig::steal(2));

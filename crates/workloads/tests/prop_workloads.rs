@@ -5,7 +5,27 @@
 use proptest::prelude::*;
 use rph_eden::EdenConfig;
 use rph_gph::{BlackHoling, GphConfig, SparkExec, SparkPolicy};
+use rph_workloads::kernels::{
+    self, block_mul_acc, block_mul_acc_naive, floyd_warshall, floyd_warshall_blocked,
+    matmul_oracle, matmul_tiled_into, TILE,
+};
 use rph_workloads::{Apsp, MatMul, NQueens, SumEuler};
+
+/// Small-integer matrix: every product and partial sum is exactly
+/// representable in f64, so tiled and untiled kernels must agree
+/// bit-for-bit, not just approximately.
+fn int_matrix(n: usize, mul: u64, modulus: u64, offset: f64) -> Vec<f64> {
+    (0..n * n)
+        .map(|i| ((i as u64).wrapping_mul(mul) % modulus) as f64 - offset)
+        .collect()
+}
+
+/// The sizes where blocked kernels historically break: degenerate
+/// (1, 2), straddling the tile edge (T−1, T, T+1), straddling the
+/// micro-kernel footprint, and a multi-tile non-divisible size.
+fn edge_sizes() -> Vec<usize> {
+    vec![1, 2, 3, 5, TILE - 1, TILE, TILE + 1, 2 * TILE + 5]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -78,6 +98,46 @@ proptest! {
     }
 
     #[test]
+    fn tiled_matmul_matches_oracles_at_any_size(
+        n in 1usize..80,
+        amul in 1u64..100,
+        bmul in 1u64..100,
+        modulus in 2u64..12,
+        accumulate in any::<bool>(),
+    ) {
+        let a = int_matrix(n, amul, modulus, 0.0);
+        let b = int_matrix(n, bmul, modulus, (modulus / 2) as f64);
+        let acc = if accumulate {
+            int_matrix(n, amul.wrapping_add(bmul), modulus, 1.0)
+        } else {
+            vec![0.0; n * n]
+        };
+        let (tiled, cost) = block_mul_acc(&acc, &a, &b, n);
+        let (naive, cost_naive) = block_mul_acc_naive(&acc, &a, &b, n);
+        prop_assert_eq!(&tiled, &naive, "n={}", n);
+        prop_assert_eq!(cost, cost_naive);
+        if !accumulate {
+            prop_assert_eq!(&tiled, &matmul_oracle(&a, &b, n), "n={}", n);
+        }
+    }
+
+    #[test]
+    fn blocked_floyd_warshall_matches_plain_at_any_size(
+        n in 1usize..70,
+        density in 100u64..900,
+        seed in 0u64..100,
+    ) {
+        let mut w = Apsp::new(n.max(1));
+        w.density_millis = density;
+        w.seed = seed;
+        let mut plain = w.input_flat();
+        let mut blocked = plain.clone();
+        floyd_warshall(&mut plain, w.n);
+        floyd_warshall_blocked(&mut blocked, w.n);
+        prop_assert_eq!(plain, blocked, "n={}", n);
+    }
+
+    #[test]
     fn nqueens_any_depth_matches_oracle(
         n in 5usize..8,
         depth in 1usize..4,
@@ -93,5 +153,27 @@ proptest! {
             .run_gph(GphConfig::ghc69_plain(pes).with_work_stealing().without_trace())
             .unwrap();
         prop_assert_eq!(g.value, w.expected());
+    }
+}
+
+/// The proptest sweeps hit the tile-edge sizes only probabilistically;
+/// these runs pin them deterministically — every size where the
+/// micro-kernel/edge-loop split or the tile extent arithmetic could
+/// go wrong.
+#[test]
+fn tiled_kernels_match_oracles_at_tile_edge_sizes() {
+    for n in edge_sizes() {
+        let a = int_matrix(n, 7, 10, 0.0);
+        let b = int_matrix(n, 13, 10, 4.0);
+        let mut tiled = vec![0.0; n * n];
+        matmul_tiled_into(&mut tiled, &a, &b, n);
+        assert_eq!(tiled, matmul_oracle(&a, &b, n), "matmul n={n}");
+
+        let w = Apsp::new(n);
+        let mut plain = w.input_flat();
+        let mut blocked = plain.clone();
+        kernels::floyd_warshall(&mut plain, n);
+        kernels::floyd_warshall_blocked(&mut blocked, n);
+        assert_eq!(plain, blocked, "apsp n={n}");
     }
 }
