@@ -1,5 +1,6 @@
 //! Machine-readable native wall-clock baseline: the four workloads on
-//! real threads at 1/2/4/8 workers, median-of-k wall times, plus a
+//! real threads at 1/2/4/8 workers — on **both** native backends
+//! (Chase–Lev work stealing and Eden-style message passing) — plus a
 //! single-threaded kernel section (tiled vs untiled mat-mul, blocked
 //! vs plain Floyd–Warshall) — emitted as `BENCH_native.json` under
 //! `target/paper-figures/` so perf regressions diff as JSON instead of
@@ -9,18 +10,22 @@
 //! cargo run -p rph-bench --release --bin bench_native_json [--quick]
 //! ```
 //!
-//! Schema (`rph-bench-native/v1`): see `EXPERIMENTS.md` §"Native
+//! Schema (`rph-bench-native/v2`): see `EXPERIMENTS.md` §"Native
 //! wall-clock baseline". Every workload point records the median wall
-//! time, its speedup over the same workload's one-worker median, and
-//! the executor counters (steals, parks, probes) of the median run;
-//! every checksum is asserted against the plain-Rust oracle before
-//! anything is written. The kernel section keeps `n = 256` even under
-//! `--quick` (fewer reps instead) — it is the acceptance gate for the
-//! tiling work and is meaningless at toy sizes.
+//! time, its speedup over the same workload's one-worker median on the
+//! same backend, and that backend's counters of the median run: steal
+//! points report steals/parks/probes, `native_eden` points report
+//! message traffic (sends, words, channel blocks) and the ratio of the
+//! steal backend's median at the same worker count (`vs_steal` > 1
+//! means message passing won). Every checksum is asserted against the
+//! plain-Rust oracle before anything is written. The kernel section
+//! keeps `n = 256` even under `--quick` (fewer reps instead) — it is
+//! the acceptance gate for the tiling work and is meaningless at toy
+//! sizes.
 
 use rph_bench::{quick, write_artifact};
-use rph_native::{Granularity, NativeConfig, NativeStats};
-use rph_workloads::{kernels, Apsp, MatMul, NQueens, NativeMeasured, SumEuler};
+use rph_native::{BackendKind, NativeConfig, NativeStats};
+use rph_workloads::{kernels, Apsp, MatMul, NQueens, NativeWorkload, SumEuler};
 use std::time::Instant;
 
 /// Worker counts swept (the host caps real parallelism, not the sweep).
@@ -62,25 +67,19 @@ struct Point {
     stats: NativeStats,
 }
 
-fn sweep(
-    workload: &'static str,
-    params: String,
-    expected: i64,
-    run: impl Fn(&NativeConfig) -> NativeMeasured,
-) -> Vec<Point> {
+fn sweep(w: &dyn NativeWorkload, params: &str, backend: BackendKind) -> Vec<Point> {
     let mut points: Vec<Point> = Vec::new();
     let mut base_ns = 0u128;
     for workers in WORKERS {
-        let cfg = NativeConfig {
-            granularity: Granularity::LazySplit,
-            ..NativeConfig::steal(workers)
-        };
+        let cfg = NativeConfig::new(workers).with_backend(backend);
         let samples: Vec<(u128, NativeStats)> = (0..reps())
             .map(|_| {
-                let m = run(&cfg);
+                let m = w.run_on(&cfg);
                 assert_eq!(
-                    m.value, expected,
-                    "{workload} @ {workers} workers: wrong checksum — reproduction bug"
+                    m.value,
+                    w.expected_value(),
+                    "{} @ {workers} workers ({backend:?}): wrong checksum — reproduction bug",
+                    w.name()
                 );
                 (m.wall.as_nanos(), m.stats)
             })
@@ -90,8 +89,8 @@ fn sweep(
             base_ns = median_ns;
         }
         points.push(Point {
-            workload,
-            params: params.clone(),
+            workload: w.name(),
+            params: params.to_string(),
             workers,
             median_ns,
             speedup: base_ns as f64 / median_ns as f64,
@@ -189,15 +188,30 @@ fn esc(s: &str) -> String {
         .collect()
 }
 
-fn render_json(host_cores: usize, points: &[Point], kernels: &[KernelPoint]) -> String {
+/// The steal backend's median at the same (workload, workers) point —
+/// the denominator-side of the `vs_steal` ratio.
+fn steal_median(steal: &[Point], workload: &str, workers: usize) -> u128 {
+    steal
+        .iter()
+        .find(|p| p.workload == workload && p.workers == workers)
+        .map(|p| p.median_ns)
+        .expect("steal sweep covers every (workload, workers) point")
+}
+
+fn render_json(
+    host_cores: usize,
+    steal: &[Point],
+    eden: &[Point],
+    kernels: &[KernelPoint],
+) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"rph-bench-native/v1\",\n");
+    j.push_str("  \"schema\": \"rph-bench-native/v2\",\n");
     j.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     j.push_str(&format!("  \"reps\": {},\n", reps()));
     j.push_str(&format!("  \"quick\": {},\n", quick()));
     j.push_str("  \"workloads\": [\n");
-    for (idx, p) in points.iter().enumerate() {
+    for (idx, p) in steal.iter().enumerate() {
         j.push_str(&format!(
             "    {{\"workload\": \"{}\", \"params\": \"{}\", \"workers\": {}, \
              \"median_ns\": {}, \"speedup\": {:.4}, \"steals\": {}, \"parks\": {}, \
@@ -211,7 +225,32 @@ fn render_json(host_cores: usize, points: &[Point], kernels: &[KernelPoint]) -> 
             p.stats.parks,
             p.stats.steal_probes,
             p.stats.tasks_run,
-            if idx + 1 == points.len() { "" } else { "," }
+            if idx + 1 == steal.len() { "" } else { "," }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"native_eden\": [\n");
+    for (idx, p) in eden.iter().enumerate() {
+        let vs_steal = steal_median(steal, p.workload, p.workers) as f64 / p.median_ns as f64;
+        j.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"params\": \"{}\", \"workers\": {}, \
+             \"median_ns\": {}, \"speedup\": {:.4}, \"vs_steal\": {:.4}, \
+             \"msgs_sent\": {}, \"msgs_recv\": {}, \"words_sent\": {}, \
+             \"send_blocks\": {}, \"recv_blocks\": {}, \"tasks_run\": {}, \
+             \"value_ok\": true}}{}\n",
+            esc(p.workload),
+            esc(&p.params),
+            p.workers,
+            p.median_ns,
+            p.speedup,
+            vs_steal,
+            p.stats.msgs_sent,
+            p.stats.msgs_recv,
+            p.stats.words_sent,
+            p.stats.send_blocks,
+            p.stats.recv_blocks,
+            p.stats.tasks_run,
+            if idx + 1 == eden.len() { "" } else { "," }
         ));
     }
     j.push_str("  ],\n");
@@ -254,39 +293,30 @@ fn main() {
         );
     }
 
-    let mut points = Vec::new();
-
     let n = if quick() { 1_500 } else { 6_000 };
     let se = SumEuler::new(n);
-    points.extend(sweep("sum_euler", format!("n={n}"), se.expected(), |cfg| {
-        se.run_native(cfg)
-    }));
-
     let (mn, grid) = if quick() { (240, 6) } else { (480, 8) };
     let mm = MatMul::new(mn, grid);
-    points.extend(sweep(
-        "matmul",
-        format!("n={mn} grid={grid}"),
-        mm.expected(),
-        |cfg| mm.run_native(cfg),
-    ));
-
     let an = if quick() { 96 } else { 256 };
     let ap = Apsp::new(an);
-    points.extend(sweep("apsp", format!("n={an}"), ap.expected(), |cfg| {
-        ap.run_native(cfg)
-    }));
-
     let (qn, depth) = if quick() { (11, 3) } else { (13, 4) };
     let nq = NQueens::new(qn).with_spawn_depth(depth);
-    points.extend(sweep(
-        "nqueens",
-        format!("n={qn} depth={depth}"),
-        nq.expected(),
-        |cfg| nq.run_native(cfg),
-    ));
 
-    for p in &points {
+    let table: [(&dyn NativeWorkload, String); 4] = [
+        (&se, format!("n={n}")),
+        (&mm, format!("n={mn} grid={grid}")),
+        (&ap, format!("n={an}")),
+        (&nq, format!("n={qn} depth={depth}")),
+    ];
+
+    let mut steal_points = Vec::new();
+    let mut eden_points = Vec::new();
+    for (w, params) in &table {
+        steal_points.extend(sweep(*w, params, BackendKind::Steal));
+        eden_points.extend(sweep(*w, params, BackendKind::Eden));
+    }
+
+    for p in &steal_points {
         println!(
             "{:10} {:>18} workers={} median={:.2}ms speedup={:.2} steals={} parks={}",
             p.workload,
@@ -296,6 +326,23 @@ fn main() {
             p.speedup,
             p.stats.steal_ops,
             p.stats.parks
+        );
+    }
+    println!();
+    for p in &eden_points {
+        println!(
+            "{:10} {:>18} workers={} [eden] median={:.2}ms speedup={:.2} vs_steal={:.2} \
+             msgs={} words={} blocks={}/{}",
+            p.workload,
+            p.params,
+            p.workers,
+            p.median_ns as f64 / 1e6,
+            p.speedup,
+            steal_median(&steal_points, p.workload, p.workers) as f64 / p.median_ns as f64,
+            p.stats.msgs_sent,
+            p.stats.words_sent,
+            p.stats.send_blocks,
+            p.stats.recv_blocks
         );
     }
 
@@ -327,6 +374,6 @@ fn main() {
     println!();
     write_artifact(
         "BENCH_native.json",
-        &render_json(host_cores, &points, &kpoints),
+        &render_json(host_cores, &steal_points, &eden_points, &kpoints),
     );
 }

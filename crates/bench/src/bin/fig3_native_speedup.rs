@@ -15,8 +15,8 @@
 
 use rph_bench::*;
 use rph_core::prelude::*;
-use rph_native::{Distribution, Granularity, NativeConfig};
-use rph_workloads::{Apsp, MatMul, NQueens, NativeMeasured, SumEuler};
+use rph_native::{Distribution, NativeConfig};
+use rph_workloads::{Apsp, MatMul, NQueens, NativeWorkload, SumEuler};
 use std::time::Duration;
 
 /// Worker counts swept (the host caps real parallelism, not the sweep).
@@ -33,19 +33,19 @@ struct Point {
     push: Duration,
 }
 
-fn measure(name: &str, expected: i64, run: impl Fn(&NativeConfig) -> NativeMeasured) -> Vec<Point> {
+fn measure(name: &str, w: &dyn NativeWorkload) -> Vec<Point> {
     let mut points = Vec::new();
     for workers in worker_sweep() {
         let mut best = [Duration::MAX; 2];
         for (slot, mode) in [Distribution::Steal, Distribution::Push].iter().enumerate() {
-            let cfg = NativeConfig {
-                mode: *mode,
-                granularity: Granularity::LazySplit,
-                ..NativeConfig::steal(workers)
-            };
+            let cfg = NativeConfig::new(workers).with_distribution(*mode);
             for _ in 0..REPS {
-                let m = run(&cfg);
-                assert_eq!(m.value, expected, "{name}: wrong result — reproduction bug");
+                let m = w.run_on(&cfg);
+                assert_eq!(
+                    m.value,
+                    w.expected_value(),
+                    "{name}: wrong result — reproduction bug"
+                );
                 best[slot] = best[slot].min(m.wall);
             }
         }
@@ -102,38 +102,22 @@ fn main() {
 
     let n = if quick() { 1_500 } else { 6_000 };
     let se = SumEuler::new(n);
-    let points = measure(
-        &format!("sumEuler [1..{n}] (uncached totients)"),
-        se.expected(),
-        |cfg| se.run_native(cfg),
-    );
+    let points = measure(&format!("sumEuler [1..{n}] (uncached totients)"), &se);
     csv.push_str(&report(&format!("sumEuler [1..{n}]"), &points));
 
     let (mn, grid) = if quick() { (240, 6) } else { (480, 8) };
     let mm = MatMul::new(mn, grid);
-    let points = measure(
-        &format!("matmul {mn}x{mn}, {grid}x{grid} blocks"),
-        mm.expected(),
-        |cfg| mm.run_native(cfg),
-    );
+    let points = measure(&format!("matmul {mn}x{mn}, {grid}x{grid} blocks"), &mm);
     csv.push_str(&report(&format!("matmul {mn}x{mn}"), &points));
 
     let an = if quick() { 96 } else { 256 };
     let ap = Apsp::new(an);
-    let points = measure(
-        &format!("apsp {an} nodes (pivot waves)"),
-        ap.expected(),
-        |cfg| ap.run_native(cfg),
-    );
+    let points = measure(&format!("apsp {an} nodes (pivot waves)"), &ap);
     csv.push_str(&report(&format!("apsp {an} nodes"), &points));
 
     let (qn, depth) = if quick() { (11, 3) } else { (13, 4) };
     let nq = NQueens::new(qn).with_spawn_depth(depth);
-    let points = measure(
-        &format!("nqueens {qn} (spawn depth {depth})"),
-        nq.expected(),
-        |cfg| nq.run_native(cfg),
-    );
+    let points = measure(&format!("nqueens {qn} (spawn depth {depth})"), &nq);
     csv.push_str(&report(&format!("nqueens {qn}"), &points));
 
     // The adaptive-granularity ablation: fixed-chunk (PR 1 executor)

@@ -1,7 +1,13 @@
-//! Fig. 2/4-style *wall-clock* trace diagrams for the native executor:
-//! per-worker activity timelines, occupancy fractions and CSV dumps
-//! for sumEuler, matmul and APSP at 1–8 workers, plus a measured
-//! tracing-overhead report against the <5% budget.
+//! Fig. 2/4-style *wall-clock* trace diagrams for the native
+//! executors: per-worker activity timelines, occupancy fractions and
+//! CSV dumps at 1–8 workers, plus a measured tracing-overhead report
+//! against the <5% budget.
+//!
+//! Both native backends are traced: the work-stealing pool (steal,
+//! split, park events) and the Eden-style message-passing backend
+//! (send, receive and channel-block events, with the master as the
+//! extra bottom row of each timeline — the native analogue of the
+//! paper's EdenTV pictures).
 //!
 //! The simulators' trace binaries (`fig2_sumeuler_traces`,
 //! `fig4_matmul_traces`) draw the same pictures in virtual time; this
@@ -9,14 +15,17 @@
 //! nanoseconds from the run's shared `WallClock` epoch.
 //!
 //! ```text
-//! cargo run -p rph-bench --release --bin trace_native [--quick]
+//! cargo run -p rph-bench --release --bin trace_native [--quick] [--eden]
 //! ```
+//!
+//! `--eden` renders only the Eden-backend sections (the CI smoke step
+//! runs `--quick --eden`).
 
 use rph_bench::*;
 use rph_core::prelude::*;
-use rph_native::NativeConfig;
+use rph_native::{BackendKind, NativeConfig};
 use rph_trace::{render_csv, render_timeline, Counters, RenderOptions, State, Timeline};
-use rph_workloads::{Apsp, MatMul, NativeMeasured, SumEuler};
+use rph_workloads::{Apsp, MatMul, NQueens, NativeWorkload, SumEuler};
 use std::time::Duration;
 
 /// Worker counts swept per workload.
@@ -39,23 +48,38 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-/// Run `run` traced across the worker sweep: print the summary table,
-/// render the RENDER_WORKERS timeline, return the interval CSV.
-fn trace_workload(
-    name: &str,
-    expected: i64,
-    run: impl Fn(&NativeConfig) -> NativeMeasured,
-) -> String {
-    println!("== {name} ==");
-    let mut table = TextTable::new(&[
-        "workers", "wall ms", "running%", "tasks", "steals", "splits", "parks", "dropped",
-    ]);
+/// Run `w` traced across the worker sweep on `backend`: print the
+/// summary table, render the RENDER_WORKERS timeline, return the
+/// interval CSV.
+fn trace_workload(name: &str, w: &dyn NativeWorkload, backend: BackendKind) -> String {
+    let cols: &[&str] = match backend {
+        BackendKind::Steal => &[
+            "workers", "wall ms", "running%", "tasks", "steals", "splits", "parks", "dropped",
+        ],
+        BackendKind::Eden => &[
+            "workers", "wall ms", "running%", "tasks", "msgs", "words", "sblk", "rblk", "dropped",
+        ],
+    };
+    println!(
+        "== {name} [{}] ==",
+        match backend {
+            BackendKind::Steal => "steal",
+            BackendKind::Eden => "eden",
+        }
+    );
+    let mut table = TextTable::new(cols);
     let mut csv = String::new();
     let mut rendered = String::new();
     for workers in worker_sweep() {
-        let cfg = NativeConfig::steal(workers).with_trace();
-        let m = run(&cfg);
-        assert_eq!(m.value, expected, "{name}: wrong result — reproduction bug");
+        let cfg = NativeConfig::new(workers)
+            .with_backend(backend)
+            .with_trace();
+        let m = w.run_on(&cfg);
+        assert_eq!(
+            m.value,
+            w.expected_value(),
+            "{name}: wrong result — reproduction bug"
+        );
         let trace = m.trace.as_ref().expect("traced run returns a tracer");
 
         // The binary doubles as a live reconciliation check: event
@@ -66,20 +90,44 @@ fn trace_workload(
             assert_eq!(c.native_tasks, m.stats.tasks_run, "{name} w={workers}");
             assert_eq!(c.native_steals, m.stats.steal_ops, "{name} w={workers}");
             assert_eq!(c.native_splits, m.stats.splits, "{name} w={workers}");
-            assert_eq!(c.native_parks, m.stats.parks, "{name} w={workers}");
+            assert_eq!(c.messages_sent, m.stats.msgs_sent, "{name} w={workers}");
+            assert_eq!(c.messages_received, m.stats.msgs_recv, "{name} w={workers}");
+            assert_eq!(c.message_words, m.stats.words_sent, "{name} w={workers}");
+            assert_eq!(
+                c.native_send_blocks, m.stats.send_blocks,
+                "{name} w={workers}"
+            );
+            assert_eq!(
+                c.native_recv_blocks, m.stats.recv_blocks,
+                "{name} w={workers}"
+            );
+            if backend == BackendKind::Steal {
+                assert_eq!(c.native_parks, m.stats.parks, "{name} w={workers}");
+            }
         }
 
         let tl = Timeline::from_tracer(trace);
-        table.row(&[
+        let mut row = vec![
             workers.to_string(),
             format!("{:.2}", ms(m.wall)),
             format!("{:.1}", tl.mean_fraction(State::Running) * 100.0),
             m.stats.tasks_run.to_string(),
-            m.stats.steal_ops.to_string(),
-            m.stats.splits.to_string(),
-            m.stats.parks.to_string(),
-            m.trace_dropped.to_string(),
-        ]);
+        ];
+        match backend {
+            BackendKind::Steal => row.extend([
+                m.stats.steal_ops.to_string(),
+                m.stats.splits.to_string(),
+                m.stats.parks.to_string(),
+            ]),
+            BackendKind::Eden => row.extend([
+                m.stats.msgs_sent.to_string(),
+                m.stats.words_sent.to_string(),
+                m.stats.send_blocks.to_string(),
+                m.stats.recv_blocks.to_string(),
+            ]),
+        }
+        row.push(m.trace_dropped.to_string());
+        table.row(&row);
         if workers == RENDER_WORKERS {
             rendered = render_timeline(
                 &tl,
@@ -110,10 +158,10 @@ fn overhead_report(quick: bool) {
     let mut plain = Duration::MAX;
     let mut traced = Duration::MAX;
     for _ in 0..OVERHEAD_REPS {
-        let m = se.run_native(&plain_cfg);
+        let m = se.run_on(&plain_cfg);
         assert_eq!(m.value, expected);
         plain = plain.min(m.wall);
-        let m = se.run_native(&traced_cfg);
+        let m = se.run_on(&traced_cfg);
         assert_eq!(m.value, expected);
         traced = traced.min(m.wall);
     }
@@ -137,37 +185,47 @@ fn overhead_report(quick: bool) {
 
 fn main() {
     let q = quick();
+    let eden = eden_only();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("Native wall-clock traces on this host ({cores} cores)\n");
 
-    let mut csv = String::new();
-
     let n = if q { 1_500 } else { 6_000 };
     let se = SumEuler::new(n);
-    csv.push_str(&trace_workload(
-        &format!("sumEuler [1..{n}]"),
-        se.expected(),
-        |cfg| se.run_native(cfg),
-    ));
-
     let (mn, grid) = if q { (240, 6) } else { (480, 8) };
     let mm = MatMul::new(mn, grid);
-    csv.push_str(&trace_workload(
-        &format!("matmul {mn}x{mn}, {grid}x{grid} blocks"),
-        mm.expected(),
-        |cfg| mm.run_native(cfg),
-    ));
-
     let an = if q { 64 } else { 192 };
     let ap = Apsp::new(an);
-    csv.push_str(&trace_workload(
-        &format!("apsp {an} nodes (pivot waves)"),
-        ap.expected(),
-        |cfg| ap.run_native(cfg),
-    ));
+    let (qn, depth) = if q { (10, 3) } else { (12, 4) };
+    let nq = NQueens::new(qn).with_spawn_depth(depth);
 
-    overhead_report(q);
-    write_artifact("trace_native.csv", &csv);
+    let se_name = format!("sumEuler [1..{n}]");
+    let mm_name = format!("matmul {mn}x{mn}, {grid}x{grid} blocks");
+    let ap_name = format!("apsp {an} nodes (pivot waves)");
+    let nq_name = format!("nqueens n={qn} depth={depth}");
+
+    let mut csv = String::new();
+
+    if !eden {
+        csv.push_str(&trace_workload(&se_name, &se, BackendKind::Steal));
+        csv.push_str(&trace_workload(&mm_name, &mm, BackendKind::Steal));
+        csv.push_str(&trace_workload(&ap_name, &ap, BackendKind::Steal));
+    }
+
+    // The Eden backend's three skeletons: par_map (sumEuler, matmul),
+    // ring (apsp), master_worker (nqueens).
+    let mut eden_csv = String::new();
+    eden_csv.push_str(&trace_workload(&se_name, &se, BackendKind::Eden));
+    eden_csv.push_str(&trace_workload(&mm_name, &mm, BackendKind::Eden));
+    eden_csv.push_str(&trace_workload(&ap_name, &ap, BackendKind::Eden));
+    eden_csv.push_str(&trace_workload(&nq_name, &nq, BackendKind::Eden));
+
+    if !eden {
+        overhead_report(q);
+        csv.push_str(&eden_csv);
+        write_artifact("trace_native.csv", &csv);
+    } else {
+        write_artifact("trace_native_eden.csv", &eden_csv);
+    }
 }

@@ -13,7 +13,7 @@
 
 use rph_core::prelude::*;
 use rph_native::{Granularity, NativeConfig};
-use rph_workloads::{Apsp, SumEuler};
+use rph_workloads::{Apsp, NativeWorkload, SumEuler};
 use std::time::Duration;
 
 /// Repetitions per point; the minimum wall time is reported.
@@ -59,7 +59,7 @@ pub fn sum_euler_granularity(quick: bool) -> String {
 
         let fixed_cfg = NativeConfig::steal(workers).with_granularity(Granularity::Fixed);
         let fixed = best_of(REPS, || {
-            let m = w.run_native(&fixed_cfg);
+            let m = w.run_on(&fixed_cfg);
             assert_eq!(m.value, expect, "fixed chunk={chunk}: wrong result");
             m.wall
         });
@@ -68,7 +68,7 @@ pub fn sum_euler_granularity(quick: bool) -> String {
         let mut splits = 0u64;
         let mut avg_batch = None;
         let lazy = best_of(REPS, || {
-            let m = w.run_native(&lazy_cfg);
+            let m = w.run_on(&lazy_cfg);
             assert_eq!(m.value, expect, "lazy chunk={chunk}: wrong result");
             splits = m.stats.splits;
             avg_batch = m.stats.mean_batch();
@@ -104,7 +104,7 @@ pub fn apsp_pool_reuse(quick: bool) -> String {
     );
 
     let pooled = best_of(REPS, || {
-        let m = w.run_native(&cfg);
+        let m = w.run_on(&cfg);
         assert_eq!(m.value, expect, "pooled apsp: wrong result");
         m.wall
     });

@@ -52,6 +52,12 @@ pub fn quick() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// True when `--eden` was passed (`trace_native` only: restrict to the
+/// native Eden backend sections — the CI smoke step uses this).
+pub fn eden_only() -> bool {
+    std::env::args().any(|a| a == "--eden")
+}
+
 /// The paper's machines: the Intel 8-core (Figs. 1, 2, 4) and the AMD
 /// 16-core (Figs. 3, 5).
 pub const INTEL_CORES: usize = 8;

@@ -17,6 +17,25 @@
 //! | simulation | [`sim`] | virtual clocks, cost model, OS/core model, deterministic RNG |
 //! | shared heap | [`gph`] | GpH runtime: capabilities, sparks, stop-the-world GC barrier |
 //! | distributed heap | [`eden`] | Eden runtime: PEs, channels, streams, skeletons |
+//! | real threads | [`native`] | wall-clock executors: Chase–Lev work stealing *and* Eden-style message passing |
+//!
+//! ## Simulated vs native Eden
+//!
+//! Both model the paper's distributed heap — PEs with private memory,
+//! communicating fully-evaluated data over channels — one in virtual
+//! time, one on OS threads. The APIs correspond piecewise:
+//!
+//! | concept | simulator ([`eden`]) | native ([`native`]) |
+//! |---|---|---|
+//! | configuration | `EdenConfig::new(pes)` | `NativeConfig::new(workers).with_backend(BackendKind::Eden)` |
+//! | run entry | `EdenRuntime::run*` / `rph_workloads::*::run_eden` | `rph_workloads::NativeWorkload::run_on` |
+//! | static farm | `parMap` process instantiation | [`native::par_map`] |
+//! | demand-driven farm | `run_eden_master_worker` | [`native::master_worker`] (`Skeleton::MasterWorker`) |
+//! | wavefront ring | `ring` skeleton (APSP) | [`native::ring`] + [`native::RingJob`] |
+//! | message framing | `Packet` (virtual words) | [`native::Packet`] + [`native::Wordsize`] |
+//! | channel capacity | stream/buffer model | `NativeConfig::with_chan_cap` |
+//! | counters | `EdenStats` (messages, words) | `NativeStats` (`msgs_sent`, `words_sent`, block counts) |
+//! | timeline | virtual-time `Tracer` | wall-clock `Tracer` (+ master row `CapId(workers)`) |
 //!
 //! ## Quick start
 //!
@@ -58,6 +77,7 @@ pub use rph_eden as eden;
 pub use rph_gph as gph;
 pub use rph_heap as heap;
 pub use rph_machine as machine;
+pub use rph_native as native;
 pub use rph_sim as sim;
 pub use rph_trace as trace;
 
@@ -72,5 +92,9 @@ pub mod prelude {
     pub use rph_gph::{BlackHoling, GphConfig, GphRuntime, SparkExec, SparkPolicy};
     pub use rph_heap::{Heap, NodeRef, ScId, Value};
     pub use rph_machine::{ir, prelude as hs_prelude, Program, ProgramBuilder};
+    pub use rph_native::{
+        execute, master_worker, par_map, ring, BackendKind, Distribution, Granularity,
+        NativeConfig, Packet, Pool, RingJob, Skeleton, StealPolicy, Wordsize,
+    };
     pub use rph_trace::{render_timeline, RenderOptions, Timeline, TraceStats, Tracer};
 }

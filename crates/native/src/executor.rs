@@ -20,6 +20,23 @@ pub enum Distribution {
     Steal,
 }
 
+/// Which native execution model runs the tasks (the paper's central
+/// GpH-vs-Eden axis, on real threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Shared-heap work stealing (GpH-style): one [`crate::Pool`] of
+    /// workers over Chase–Lev deques publishing into a shared
+    /// [`ResultHeap`]. Honours [`NativeConfig::mode`],
+    /// [`NativeConfig::granularity`] and [`NativeConfig::steal_policy`].
+    Steal,
+    /// Message passing (Eden-style): one thread per PE with private
+    /// working memory, exchanging fully-evaluated [`crate::Packet`]s
+    /// over bounded channels via the skeletons in [`crate::skeletons`].
+    /// Honours [`NativeConfig::chan_cap`]; the steal-side knobs are
+    /// ignored (there are no deques to configure).
+    Eden,
+}
+
 /// How an idle worker orders its victims when probing for work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StealPolicy {
@@ -57,9 +74,11 @@ pub enum Granularity {
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct NativeConfig {
-    /// Number of OS worker threads.
+    /// Number of OS worker threads (PEs, on the Eden backend).
     pub workers: usize,
-    /// Task distribution policy.
+    /// Which execution model runs the tasks.
+    pub backend: BackendKind,
+    /// Task distribution policy (steal backend only).
     pub mode: Distribution,
     /// Initial deque capacity per worker (grows as needed).
     pub deque_cap: usize,
@@ -80,6 +99,10 @@ pub struct NativeConfig {
     /// dropped (and counted in [`NativeOutcome::trace_dropped`])
     /// rather than grown into a hot-path allocation.
     pub trace_cap: usize,
+    /// Bounded channel capacity, in packets (Eden backend only). A
+    /// producer that runs this far ahead of its consumer blocks — the
+    /// back-pressure that keeps PE memory bounded.
+    pub chan_cap: usize,
 }
 
 /// Default per-worker trace buffer capacity (events). At 24 bytes per
@@ -87,12 +110,22 @@ pub struct NativeConfig {
 /// of the repo's test and smoke workloads with room to spare.
 pub const DEFAULT_TRACE_CAP: usize = 32 * 1024;
 
+/// Default bounded-channel capacity for the Eden backend, in packets.
+/// Deep enough that a worker streaming results rarely stalls on the
+/// master, shallow enough that back-pressure engages within a handful
+/// of messages (the stress tests force it to 1).
+pub const DEFAULT_CHAN_CAP: usize = 8;
+
 impl NativeConfig {
-    /// Work-pulling on `workers` threads (the paper's preferred
-    /// policy, §IV.A.2), with adaptive lazy-split granularity.
-    pub fn steal(workers: usize) -> Self {
+    /// The canonical constructor: `workers` threads on the default
+    /// backend (shared-heap work stealing, the paper's preferred GpH
+    /// policy §IV.A.2) with adaptive lazy-split granularity. Pick a
+    /// different model with [`Self::with_backend`] /
+    /// [`Self::with_distribution`].
+    pub fn new(workers: usize) -> Self {
         NativeConfig {
             workers: workers.max(1),
+            backend: BackendKind::Steal,
             mode: Distribution::Steal,
             deque_cap: 256,
             granularity: Granularity::LazySplit,
@@ -100,15 +133,39 @@ impl NativeConfig {
             seed: 0x5eed0fa11,
             trace: false,
             trace_cap: DEFAULT_TRACE_CAP,
+            chan_cap: DEFAULT_CHAN_CAP,
         }
     }
 
-    /// Static pushing on `workers` threads.
+    /// Alias for [`Self::new`], kept for callers that want the
+    /// distribution policy in the constructor name: work-pulling on
+    /// `workers` threads.
+    pub fn steal(workers: usize) -> Self {
+        Self::new(workers)
+    }
+
+    /// Alias for `new(workers).with_distribution(Distribution::Push)`:
+    /// static pushing on `workers` threads.
     pub fn push(workers: usize) -> Self {
-        NativeConfig {
-            mode: Distribution::Push,
-            ..Self::steal(workers)
-        }
+        Self::new(workers).with_distribution(Distribution::Push)
+    }
+
+    /// Same config, different task distribution policy (steal backend).
+    pub fn with_distribution(mut self, mode: Distribution) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Same config, different execution model.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Same config, different bounded-channel capacity (Eden backend).
+    pub fn with_chan_cap(mut self, cap: usize) -> Self {
+        self.chan_cap = cap.max(1);
+        self
     }
 
     /// Same policy, different granularity.
@@ -236,6 +293,21 @@ pub struct NativeStats {
     /// Times an idle worker parked on the eventcount instead of
     /// busy-waiting.
     pub parks: u64,
+    /// Packets sent over channels (Eden backend; 0 on steal runs).
+    pub msgs_sent: u64,
+    /// Packets received over channels (Eden backend). On a completed
+    /// run every packet sent is received: `msgs_recv == msgs_sent`.
+    pub msgs_recv: u64,
+    /// Total simulated heap words moved by sent packets (Eden
+    /// backend) — the [`crate::Packet::words`] framing, so native
+    /// message volume is comparable to the simulator's.
+    pub words_sent: u64,
+    /// Blocking waits entered by senders on a full channel (Eden
+    /// backend): back-pressure engagements.
+    pub send_blocks: u64,
+    /// Blocking waits entered by receivers on an empty channel (Eden
+    /// backend), including the master's multiplexed result waits.
+    pub recv_blocks: u64,
     /// Tasks run by each worker (index = worker id).
     pub per_worker: Vec<u64>,
 }
@@ -269,6 +341,11 @@ impl NativeStats {
         self.batch_moved += other.batch_moved;
         self.splits += other.splits;
         self.parks += other.parks;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.words_sent += other.words_sent;
+        self.send_blocks += other.send_blocks;
+        self.recv_blocks += other.recv_blocks;
         if self.per_worker.len() < other.per_worker.len() {
             self.per_worker.resize(other.per_worker.len(), 0);
         }
@@ -297,8 +374,15 @@ pub struct NativeOutcome<T> {
     pub trace_dropped: u64,
 }
 
-/// Run every task of `job` and return the results in task order,
-/// spinning up a single-run [`Pool`].
+/// Run every task of `job` on the **steal backend** and return the
+/// results in task order, spinning up a single-run [`Pool`].
+///
+/// This entry point ignores [`NativeConfig::backend`]: a [`Job`]'s
+/// output carries no [`crate::Wordsize`] framing, so it cannot travel
+/// over Eden channels. Jobs whose output implements `Wordsize` run on
+/// the Eden backend through [`crate::skeletons::par_map`] (or via
+/// `rph_workloads`' `NativeWorkload::run_on`, which dispatches on the
+/// configured backend).
 ///
 /// Results are deterministic (each task's value depends only on the
 /// job), regardless of worker count, distribution policy or

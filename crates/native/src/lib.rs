@@ -54,14 +54,35 @@
 //! `GphRuntime` results for every workload at 1, 2, 3, 4, 5 and 8
 //! workers, under both policies and both granularities.
 
+//! ## The second native backend: Eden-style message passing
+//!
+//! Since PR 5 this crate hosts *both* sides of the paper's comparison
+//! on real threads, selected by [`NativeConfig::backend`]:
+//!
+//! * [`BackendKind::Steal`] — the shared-heap work-stealing executor
+//!   above ([`Pool`], [`execute`]).
+//! * [`BackendKind::Eden`] — one OS thread per PE with **private
+//!   working memory**, communicating only fully-evaluated [`Packet`]s
+//!   over bounded SPSC [`channel`]s, through the three [`skeletons`]
+//!   the paper's workloads need: [`skeletons::par_map`] (static
+//!   farm), [`skeletons::master_worker`] (demand-driven farm) and
+//!   [`skeletons::ring`] (wavefronts). Channel sends, receives and
+//!   blocks land in the same wall-clock trace machinery, so Eden runs
+//!   render the same per-core timelines — now with message events.
+
+pub mod channel;
+mod eden;
 mod executor;
 mod park;
 mod pool;
+pub mod skeletons;
 mod trace;
 mod victim;
 
+pub use channel::{bounded, Packet, Receiver, Sender, TrySendError, Wordsize};
 pub use executor::{
-    execute, Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
-    StealPolicy, DEFAULT_TRACE_CAP,
+    execute, BackendKind, Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats,
+    ResultHeap, StealPolicy, DEFAULT_CHAN_CAP, DEFAULT_TRACE_CAP,
 };
 pub use pool::Pool;
+pub use skeletons::{master_worker, par_map, ring, RingJob, Skeleton};

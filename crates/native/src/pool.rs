@@ -345,8 +345,9 @@ fn collect_stats(per_worker: &[CachePadded<WorkerStats>]) -> NativeStats {
 }
 
 /// `worker`'s contiguous share of `[0, n)` under static block
-/// partitioning.
-fn block_share(n: u64, workers: usize, worker: usize) -> (u32, u32) {
+/// partitioning. Shared with the Eden backend's ring skeleton, which
+/// uses the same partition for row ownership.
+pub(crate) fn block_share(n: u64, workers: usize, worker: usize) -> (u32, u32) {
     let w = workers as u64;
     let lo = (n * worker as u64 / w) as u32;
     let hi = (n * (worker as u64 + 1) / w) as u32;

@@ -1,0 +1,648 @@
+//! The native Eden backend's algorithmic skeletons.
+//!
+//! Eden programs are written against skeletons — higher-order process
+//! schemes — and the paper's workloads use exactly three shapes, all
+//! implemented here on real threads over the bounded channels of
+//! [`crate::channel`]:
+//!
+//! * [`par_map`] — the static farm: task `i` is assigned to PE
+//!   `i mod workers` up front, each PE streams its result packets back
+//!   to the master. Right for regular work (sumEuler chunks, matMul
+//!   blocks) where a static deal is already balanced.
+//! * [`master_worker`] — the demand-driven farm (the paper's answer
+//!   to irregular tasks like nqueens): the master keeps `prefetch`
+//!   task packets in flight per worker and hands out the next task
+//!   only when a result comes back, so fast workers get more tasks.
+//! * [`ring`] — PEs own contiguous blocks of items and pass a pivot
+//!   packet around the ring once per wave (APSP's Floyd–Warshall
+//!   rounds, the paper's §III.D ring skeleton).
+//!
+//! All three return the same [`NativeOutcome`] the steal backend
+//! produces — values in task order, wall time, counters, and (when
+//! tracing) one [`rph_trace::Tracer`] row per PE plus one for the
+//! master — so every consumer (benches, differential tests, timeline
+//! rendering) treats the two backends uniformly.
+//!
+//! Panic behaviour: a panicking PE drops its channel endpoints, which
+//! unblocks its peers (their sends/recvs observe the close); the
+//! skeleton then re-raises the PE's panic on the calling thread.
+
+use crate::channel::{bounded_with_notify, Packet, Receiver, Sender, Wordsize};
+use crate::eden::{assemble, drain_results, empty_outcome, into_values, Endpoint, PeReport};
+use crate::executor::{Job, NativeConfig, NativeOutcome};
+use crate::park::EventCount;
+use crate::pool::block_share;
+use crate::trace::NEventKind;
+use rph_trace::WallClock;
+use std::sync::Arc;
+
+/// Which farm skeleton a flat [`Job`] should run under on the Eden
+/// backend. (The [`ring`] skeleton is not a farm — it needs the
+/// richer [`RingJob`] shape — so it is not representable here.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Skeleton {
+    /// Static farm: [`par_map`].
+    ParMap,
+    /// Demand-driven farm with the given per-worker prefetch depth:
+    /// [`master_worker`].
+    MasterWorker {
+        /// Task packets kept in flight per worker (clamped to ≥ 1).
+        prefetch: usize,
+    },
+}
+
+impl Skeleton {
+    /// Run `job` under this skeleton.
+    pub fn run<J>(self, job: &J, cfg: &NativeConfig) -> NativeOutcome<J::Out>
+    where
+        J: Job,
+        J::Out: Wordsize,
+    {
+        match self {
+            Skeleton::ParMap => par_map(job, cfg),
+            Skeleton::MasterWorker { prefetch } => master_worker(job, cfg, prefetch),
+        }
+    }
+}
+
+/// Join the PE threads, re-raising the first panic, and return their
+/// reports in PE order.
+fn join_all(handles: Vec<std::thread::ScopedJoinHandle<'_, PeReport>>) -> Vec<PeReport> {
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+        .collect()
+}
+
+/// Static farm: task `i` runs on PE `i mod workers`; every PE streams
+/// `(index, value)` result packets to the master, which collects them
+/// into task order.
+pub fn par_map<J>(job: &J, cfg: &NativeConfig) -> NativeOutcome<J::Out>
+where
+    J: Job,
+    J::Out: Wordsize,
+{
+    let workers = cfg.workers.max(1);
+    let n = job.len();
+    if n == 0 {
+        return empty_outcome(cfg);
+    }
+    let clock = WallClock::start();
+    let master_id = workers as u32;
+    let ec = Arc::new(EventCount::new());
+    let mut txs = Vec::with_capacity(workers);
+    let mut rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = bounded_with_notify(cfg.chan_cap, Some(Arc::clone(&ec)));
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let (values, pe_reports, master_report) = std::thread::scope(|s| {
+        let handles: Vec<_> = txs
+            .into_iter()
+            .enumerate()
+            .map(|(w, tx)| {
+                s.spawn(move || {
+                    let mut ep = Endpoint::new(cfg, clock);
+                    let mine = n.saturating_sub(w).div_ceil(workers) as u64;
+                    ep.tbuf.record(NEventKind::RunStart { tasks: mine });
+                    for idx in (w..n).step_by(workers) {
+                        ep.tbuf.record(NEventKind::ExecStart);
+                        let out = job.run(idx);
+                        ep.stats.ran += 1;
+                        ep.tbuf.record(NEventKind::ExecEnd {
+                            count: 1,
+                            stolen: false,
+                        });
+                        if !ep.send(&tx, master_id, "result", Packet::new(idx as u32, out)) {
+                            break; // master gone: unwinding already
+                        }
+                    }
+                    ep.tbuf.record(NEventKind::RunEnd);
+                    ep.finish()
+                })
+            })
+            .collect();
+
+        let mut master = Endpoint::new(cfg, clock);
+        master.tbuf.record(NEventKind::RunStart { tasks: n as u64 });
+        let mut slots: Vec<Option<J::Out>> = (0..n).map(|_| None).collect();
+        drain_results(&mut master, &ec, &rxs, |master, w, pkt| {
+            master.note_recv(w as u32, pkt.words, "result");
+            let prev = slots[pkt.idx as usize].replace(pkt.payload);
+            assert!(prev.is_none(), "task {} produced two results", pkt.idx);
+        });
+        master.tbuf.record(NEventKind::RunEnd);
+        let reports = join_all(handles);
+        (into_values(slots), reports, master.finish())
+    });
+    let wall = clock.epoch().elapsed();
+    assemble(cfg, values, wall, pe_reports, master_report)
+}
+
+/// Demand-driven farm: the master primes each worker with `prefetch`
+/// task packets, then releases one new task per result received —
+/// irregular tasks (nqueens subtrees) flow to whoever is free. With
+/// fewer tasks than PEs the surplus workers receive an immediately
+/// closed task stream and exit without deadlocking.
+pub fn master_worker<J>(job: &J, cfg: &NativeConfig, prefetch: usize) -> NativeOutcome<J::Out>
+where
+    J: Job,
+    J::Out: Wordsize,
+{
+    let workers = cfg.workers.max(1);
+    let n = job.len();
+    if n == 0 {
+        return empty_outcome(cfg);
+    }
+    let prefetch = prefetch.max(1);
+    let clock = WallClock::start();
+    let master_id = workers as u32;
+    let ec = Arc::new(EventCount::new());
+
+    let mut task_txs: Vec<Option<Sender<Packet<()>>>> = Vec::with_capacity(workers);
+    let mut task_rxs = Vec::with_capacity(workers);
+    let mut res_txs = Vec::with_capacity(workers);
+    let mut res_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        // Task channel depth = prefetch: the master never sends more
+        // than `prefetch` undelivered tasks, so it never blocks here.
+        let (ttx, trx) = bounded_with_notify(prefetch, None);
+        task_txs.push(Some(ttx));
+        task_rxs.push(trx);
+        let (rtx, rrx) = bounded_with_notify(cfg.chan_cap, Some(Arc::clone(&ec)));
+        res_txs.push(rtx);
+        res_rxs.push(rrx);
+    }
+
+    /// Hand the next task to worker `w` (no-op if its stream is
+    /// already closed, e.g. because the worker died).
+    fn feed(
+        master: &mut Endpoint,
+        txs: &mut [Option<Sender<Packet<()>>>],
+        outstanding: &mut [usize],
+        next: &mut usize,
+        w: usize,
+    ) {
+        if let Some(tx) = &txs[w] {
+            if master.send(tx, w as u32, "task", Packet::new(*next as u32, ())) {
+                outstanding[w] += 1;
+                *next += 1;
+            } else {
+                txs[w] = None;
+            }
+        }
+    }
+
+    let (values, pe_reports, master_report) = std::thread::scope(|s| {
+        let handles: Vec<_> = task_rxs
+            .into_iter()
+            .zip(res_txs)
+            .map(|(task_rx, res_tx)| {
+                s.spawn(move || {
+                    let mut ep = Endpoint::new(cfg, clock);
+                    ep.tbuf.record(NEventKind::RunStart { tasks: 0 });
+                    while let Some(pkt) = ep.recv(&task_rx, master_id, "task") {
+                        let idx = pkt.idx as usize;
+                        ep.tbuf.record(NEventKind::ExecStart);
+                        let out = job.run(idx);
+                        ep.stats.ran += 1;
+                        ep.tbuf.record(NEventKind::ExecEnd {
+                            count: 1,
+                            stolen: false,
+                        });
+                        if !ep.send(&res_tx, master_id, "result", Packet::new(pkt.idx, out)) {
+                            break;
+                        }
+                    }
+                    ep.tbuf.record(NEventKind::RunEnd);
+                    ep.finish()
+                })
+            })
+            .collect();
+
+        let mut master = Endpoint::new(cfg, clock);
+        master.tbuf.record(NEventKind::RunStart { tasks: n as u64 });
+        let mut slots: Vec<Option<J::Out>> = (0..n).map(|_| None).collect();
+        let mut outstanding = vec![0usize; workers];
+        let mut next = 0usize;
+        // Prime every worker, round-robin so a tiny task bag still
+        // spreads across PEs; then close streams that got nothing.
+        'prime: for _ in 0..prefetch {
+            for w in 0..workers {
+                if next >= n {
+                    break 'prime;
+                }
+                feed(&mut master, &mut task_txs, &mut outstanding, &mut next, w);
+            }
+        }
+        for w in 0..workers {
+            if next >= n && outstanding[w] == 0 {
+                task_txs[w] = None;
+            }
+        }
+        drain_results(&mut master, &ec, &res_rxs, |master, w, pkt| {
+            master.note_recv(w as u32, pkt.words, "result");
+            let prev = slots[pkt.idx as usize].replace(pkt.payload);
+            assert!(prev.is_none(), "task {} produced two results", pkt.idx);
+            outstanding[w] -= 1;
+            if next < n {
+                feed(master, &mut task_txs, &mut outstanding, &mut next, w);
+            } else if outstanding[w] == 0 {
+                task_txs[w] = None;
+            }
+        });
+        master.tbuf.record(NEventKind::RunEnd);
+        drop(task_txs);
+        let reports = join_all(handles);
+        (into_values(slots), reports, master.finish())
+    });
+    let wall = clock.epoch().elapsed();
+    assemble(cfg, values, wall, pe_reports, master_report)
+}
+
+/// A wave-structured computation for the [`ring`] skeleton: `len`
+/// items evolve over `len` waves; wave `k`'s update of every item
+/// depends only on the item itself and item `k`'s pre-wave state (the
+/// pivot), which the owner broadcasts around the ring.
+pub trait RingJob: Sync {
+    /// One item's fully-evaluated state (a matrix row, for APSP).
+    type Item: Send + Clone + Wordsize;
+
+    /// Number of items — and of waves.
+    fn len(&self) -> usize;
+
+    /// True when there is nothing to do.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Item `idx`'s initial state.
+    fn init(&self, idx: usize) -> Self::Item;
+
+    /// Item `idx`'s next state given wave `k`'s pivot. Not called for
+    /// `idx == k` — the pivot item is carried over unchanged (the
+    /// Floyd–Warshall self-update is the identity).
+    fn step(&self, item: &Self::Item, idx: usize, pivot: &Self::Item, k: usize) -> Self::Item;
+}
+
+/// Ring skeleton: PE `w` owns the contiguous item block
+/// `block_share(len, workers, w)` as private memory for the whole
+/// run. At wave `k` the owner of item `k` clones its current state as
+/// the pivot and sends it to its ring successor; every other PE
+/// receives the pivot from its predecessor, forwards it (unless the
+/// successor is the owner, which already has it) and updates its
+/// block. After the last wave each PE streams its block back to the
+/// master. One pivot thus crosses each ring edge at most once per
+/// wave — `workers - 1` sends per wave, never `workers²`.
+pub fn ring<R: RingJob>(job: &R, cfg: &NativeConfig) -> NativeOutcome<R::Item> {
+    let workers = cfg.workers.max(1);
+    let n = job.len();
+    if n == 0 {
+        return empty_outcome(cfg);
+    }
+    let clock = WallClock::start();
+    let master_id = workers as u32;
+    let ec = Arc::new(EventCount::new());
+
+    // owner[k] = PE whose block contains item k, under the same block
+    // partition the PEs themselves compute.
+    let mut owner = vec![0u32; n];
+    for w in 0..workers {
+        let (lo, hi) = block_share(n as u64, workers, w);
+        for o in owner.iter_mut().take(hi as usize).skip(lo as usize) {
+            *o = w as u32;
+        }
+    }
+    let owner = &owner;
+
+    // into[w]: ring edge from PE w-1 into PE w.
+    let mut ring_txs: Vec<Option<Sender<Packet<R::Item>>>> = (0..workers).map(|_| None).collect();
+    let mut ring_rxs: Vec<Option<Receiver<Packet<R::Item>>>> = (0..workers).map(|_| None).collect();
+    for w in 0..workers {
+        let (tx, rx) = bounded_with_notify(cfg.chan_cap, None);
+        ring_txs[w] = Some(tx);
+        ring_rxs[w] = Some(rx);
+    }
+    let mut res_txs = Vec::with_capacity(workers);
+    let mut res_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = bounded_with_notify(cfg.chan_cap, Some(Arc::clone(&ec)));
+        res_txs.push(tx);
+        res_rxs.push(rx);
+    }
+
+    let (values, pe_reports, master_report) = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, res_tx) in res_txs.into_iter().enumerate() {
+            let succ = (w + 1) % workers;
+            let pred = (w + workers - 1) % workers;
+            let ring_tx = ring_txs[succ].take().expect("ring edge claimed twice");
+            let ring_rx = ring_rxs[w].take().expect("ring edge claimed twice");
+            handles.push(s.spawn(move || {
+                let (lo, hi) = block_share(n as u64, workers, w);
+                let (lo, hi) = (lo as usize, hi as usize);
+                let mut ep = Endpoint::new(cfg, clock);
+                ep.tbuf.record(NEventKind::RunStart {
+                    tasks: ((hi - lo) * n) as u64,
+                });
+                let mut items: Vec<R::Item> = (lo..hi).map(|i| job.init(i)).collect();
+                for k in 0..n {
+                    let own = owner[k] as usize;
+                    let pivot = if own == w {
+                        let pivot = items[k - lo].clone();
+                        if workers > 1 {
+                            ep.send(
+                                &ring_tx,
+                                succ as u32,
+                                "ring",
+                                Packet::new(k as u32, pivot.clone()),
+                            );
+                        }
+                        pivot
+                    } else {
+                        let pkt = ep
+                            .recv(&ring_rx, pred as u32, "ring")
+                            .expect("ring closed mid-wave (peer PE died)");
+                        debug_assert_eq!(pkt.idx as usize, k, "pivot arrived out of wave order");
+                        if succ != own {
+                            ep.send(
+                                &ring_tx,
+                                succ as u32,
+                                "ring",
+                                Packet::new(k as u32, pkt.payload.clone()),
+                            );
+                        }
+                        pkt.payload
+                    };
+                    if !items.is_empty() {
+                        ep.tbuf.record(NEventKind::ExecStart);
+                        for (off, item) in items.iter_mut().enumerate() {
+                            let idx = lo + off;
+                            if idx != k {
+                                *item = job.step(item, idx, &pivot, k);
+                            }
+                        }
+                        ep.stats.ran += (hi - lo) as u64;
+                        ep.tbuf.record(NEventKind::ExecEnd {
+                            count: (hi - lo) as u32,
+                            stolen: false,
+                        });
+                    }
+                }
+                drop(ring_tx);
+                for (off, item) in items.into_iter().enumerate() {
+                    let idx = (lo + off) as u32;
+                    if !ep.send(&res_tx, master_id, "result", Packet::new(idx, item)) {
+                        break;
+                    }
+                }
+                ep.tbuf.record(NEventKind::RunEnd);
+                ep.finish()
+            }));
+        }
+
+        let mut master = Endpoint::new(cfg, clock);
+        master.tbuf.record(NEventKind::RunStart { tasks: n as u64 });
+        let mut slots: Vec<Option<R::Item>> = (0..n).map(|_| None).collect();
+        drain_results(&mut master, &ec, &res_rxs, |master, w, pkt| {
+            master.note_recv(w as u32, pkt.words, "result");
+            let prev = slots[pkt.idx as usize].replace(pkt.payload);
+            assert!(prev.is_none(), "item {} returned twice", pkt.idx);
+        });
+        master.tbuf.record(NEventKind::RunEnd);
+        let reports = join_all(handles);
+        (into_values(slots), reports, master.finish())
+    });
+    let wall = clock.epoch().elapsed();
+    assemble(cfg, values, wall, pe_reports, master_report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rph_trace::Counters;
+
+    struct Squares(usize);
+
+    impl Job for Squares {
+        type Out = i64;
+        fn len(&self) -> usize {
+            self.0
+        }
+        fn run(&self, idx: usize) -> i64 {
+            (idx as i64) * (idx as i64)
+        }
+    }
+
+    fn expected(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| i * i).collect()
+    }
+
+    const PES: [usize; 6] = [1, 2, 3, 4, 5, 8];
+
+    fn check_farm_stats(out: &NativeOutcome<i64>, n: u64, workers: usize) {
+        assert_eq!(out.stats.tasks_run, n);
+        assert_eq!(out.stats.tasks_local, n);
+        assert_eq!(out.stats.tasks_stolen, 0);
+        assert_eq!(out.stats.per_worker.len(), workers);
+        assert_eq!(out.stats.per_worker.iter().sum::<u64>(), n);
+        // Farms: one result packet per task, plus (master_worker) one
+        // task packet per task — and conservation on a finished run.
+        assert_eq!(out.stats.msgs_sent, out.stats.msgs_recv);
+        assert!(out.stats.msgs_sent >= n);
+        assert!(out.stats.words_sent > 0);
+        assert_eq!(out.stats.steal_ops, 0);
+        assert_eq!(out.stats.splits, 0);
+    }
+
+    #[test]
+    fn par_map_matches_oracle_at_all_pe_counts() {
+        for w in PES {
+            let cfg = NativeConfig::new(w);
+            let out = par_map(&Squares(257), &cfg);
+            assert_eq!(out.values, expected(257), "workers={w}");
+            check_farm_stats(&out, 257, w);
+            // Static deal: PE w gets every workers-th task.
+            let want: Vec<u64> = (0..w)
+                .map(|i| 257usize.saturating_sub(i).div_ceil(w) as u64)
+                .collect();
+            assert_eq!(out.stats.per_worker, want, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn master_worker_matches_oracle_at_all_pe_counts() {
+        for w in PES {
+            for prefetch in [1, 2, 4] {
+                let cfg = NativeConfig::new(w);
+                let out = master_worker(&Squares(101), &cfg, prefetch);
+                assert_eq!(out.values, expected(101), "workers={w} prefetch={prefetch}");
+                check_farm_stats(&out, 101, w);
+            }
+        }
+    }
+
+    #[test]
+    fn master_worker_fewer_tasks_than_pes_does_not_deadlock() {
+        // The required stress shape: surplus PEs must see their task
+        // stream close immediately and exit.
+        for n in [1usize, 2, 3, 7] {
+            for w in [4usize, 8] {
+                let out = master_worker(&Squares(n), &NativeConfig::new(w), 2);
+                assert_eq!(out.values, expected(n), "n={n} workers={w}");
+                assert_eq!(out.stats.tasks_run, n as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_channels_engage_backpressure_without_deadlock() {
+        // Capacity-1 channels everywhere: every skeleton must still
+        // complete, with senders genuinely blocking along the way.
+        let cfg = NativeConfig::new(4).with_chan_cap(1);
+        let out = par_map(&Squares(400), &cfg);
+        assert_eq!(out.values, expected(400));
+        let out = master_worker(&Squares(400), &cfg, 1);
+        assert_eq!(out.values, expected(400));
+    }
+
+    #[test]
+    fn empty_and_single_task_jobs() {
+        let cfg = NativeConfig::new(4);
+        let out = par_map(&Squares(0), &cfg);
+        assert!(out.values.is_empty());
+        assert_eq!(out.stats.per_worker, vec![0; 4]);
+        assert_eq!(out.stats.msgs_sent, 0);
+        let out = par_map(&Squares(1), &cfg);
+        assert_eq!(out.values, vec![0]);
+        let out = master_worker(&Squares(1), &cfg, 4);
+        assert_eq!(out.values, vec![0]);
+    }
+
+    /// Toy wave computation with order-dependent updates: any
+    /// deviation from strict wave order or from the block ownership
+    /// contract changes the result.
+    struct ToyRing(usize);
+
+    impl RingJob for ToyRing {
+        type Item = Vec<f64>;
+        fn len(&self) -> usize {
+            self.0
+        }
+        fn init(&self, idx: usize) -> Vec<f64> {
+            vec![idx as f64, (idx * idx) as f64 + 1.0, 3.0]
+        }
+        fn step(&self, item: &Vec<f64>, idx: usize, pivot: &Vec<f64>, k: usize) -> Vec<f64> {
+            item.iter()
+                .zip(pivot)
+                .map(|(a, b)| a + b * ((k + 1) as f64) + idx as f64 * 0.5)
+                .collect()
+        }
+    }
+
+    fn ring_oracle(job: &ToyRing) -> Vec<Vec<f64>> {
+        let n = job.len();
+        let mut items: Vec<Vec<f64>> = (0..n).map(|i| job.init(i)).collect();
+        for k in 0..n {
+            let pivot = items[k].clone();
+            for (idx, item) in items.iter_mut().enumerate() {
+                if idx != k {
+                    *item = job.step(item, idx, &pivot, k);
+                }
+            }
+        }
+        items
+    }
+
+    #[test]
+    fn ring_matches_sequential_oracle_bit_for_bit() {
+        let job = ToyRing(23);
+        let want = ring_oracle(&job);
+        for w in PES {
+            let out = ring(&job, &NativeConfig::new(w));
+            assert_eq!(out.values, want, "workers={w}");
+            assert_eq!(out.stats.tasks_run, 23 * 23, "workers={w}");
+            assert_eq!(out.stats.msgs_sent, out.stats.msgs_recv, "workers={w}");
+            if w == 1 {
+                // Lone PE: no ring traffic at all, only result returns.
+                assert_eq!(out.stats.msgs_sent, 23);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_with_more_pes_than_items_still_works() {
+        let job = ToyRing(3);
+        let want = ring_oracle(&job);
+        let out = ring(&job, &NativeConfig::new(8));
+        assert_eq!(out.values, want);
+        assert_eq!(out.stats.tasks_run, 9);
+    }
+
+    #[test]
+    fn traced_run_reconciles_events_with_counters() {
+        for (name, out) in [
+            (
+                "par_map",
+                par_map(&Squares(64), &NativeConfig::new(3).with_trace()),
+            ),
+            (
+                "master_worker",
+                master_worker(&Squares(64), &NativeConfig::new(3).with_trace(), 2),
+            ),
+            (
+                "ring",
+                ring(&ToyRing(16), &NativeConfig::new(3).with_trace()).map_values(),
+            ),
+        ] {
+            assert_eq!(out.trace_dropped, 0, "{name}");
+            let tracer = out.trace.as_ref().expect("traced run must carry a trace");
+            assert_eq!(tracer.caps(), 4, "{name}: 3 PEs + master");
+            let c = Counters::from_tracer(tracer);
+            assert_eq!(c.messages_sent, out.stats.msgs_sent, "{name}");
+            assert_eq!(c.messages_received, out.stats.msgs_recv, "{name}");
+            assert_eq!(c.message_words, out.stats.words_sent, "{name}");
+            assert_eq!(c.native_send_blocks, out.stats.send_blocks, "{name}");
+            assert_eq!(c.native_recv_blocks, out.stats.recv_blocks, "{name}");
+            assert_eq!(c.native_tasks, out.stats.tasks_run, "{name}");
+            assert_eq!(c.native_tasks_stolen, 0, "{name}");
+        }
+    }
+
+    /// Erase the value type so differently-typed outcomes share one
+    /// reconciliation loop above.
+    trait MapValues {
+        fn map_values(self) -> NativeOutcome<i64>;
+    }
+    impl MapValues for NativeOutcome<Vec<f64>> {
+        fn map_values(self) -> NativeOutcome<i64> {
+            NativeOutcome {
+                values: self.values.iter().map(|v| v.len() as i64).collect(),
+                wall: self.wall,
+                stats: self.stats,
+                trace: self.trace,
+                trace_dropped: self.trace_dropped,
+            }
+        }
+    }
+
+    #[test]
+    fn pe_panic_propagates_to_caller() {
+        struct Exploding;
+        impl Job for Exploding {
+            type Out = i64;
+            fn len(&self) -> usize {
+                8
+            }
+            fn run(&self, idx: usize) -> i64 {
+                assert!(idx != 5, "boom");
+                idx as i64
+            }
+        }
+        for skel in [Skeleton::ParMap, Skeleton::MasterWorker { prefetch: 2 }] {
+            let r = std::panic::catch_unwind(|| skel.run(&Exploding, &NativeConfig::new(4)));
+            assert!(r.is_err(), "{skel:?}: PE panic must reach the caller");
+        }
+    }
+}

@@ -63,6 +63,30 @@ pub(crate) enum NEventKind {
     Park,
     /// This worker found work again after parking.
     Unpark,
+    /// Eden backend: a packet of `words` heap words left for PE `to`.
+    MsgSend {
+        to: u32,
+        words: u64,
+        tag: &'static str,
+    },
+    /// Eden backend: a packet of `words` heap words arrived from PE
+    /// `from`.
+    MsgRecv {
+        from: u32,
+        words: u64,
+        tag: &'static str,
+    },
+    /// Eden backend: the channel to PE `to` was full — this PE blocks
+    /// until the consumer drains it (back-pressure).
+    BlockSend { to: u32 },
+    /// Eden backend: the channel from PE `from` was empty — this PE
+    /// blocks until a packet arrives.
+    BlockRecv { from: u32 },
+    /// Eden backend: the master found *every* result channel empty and
+    /// blocks multiplexed on all of them (no single source).
+    BlockRecvAny,
+    /// Eden backend: a blocked channel operation completed.
+    Unblock,
 }
 
 /// Per-worker, pre-allocated event buffer (see module docs).
@@ -177,6 +201,43 @@ pub(crate) fn map_events(tracer: &mut Tracer, cap: CapId, events: &[NEvent]) {
                 tracer.record(cap, t, EventKind::NativeUnpark);
                 tracer.state(cap, t, State::Runnable);
             }
+            NEventKind::MsgSend { to, words, tag } => tracer.record(
+                cap,
+                t,
+                EventKind::MsgSend {
+                    to: CapId(to),
+                    words,
+                    tag,
+                },
+            ),
+            NEventKind::MsgRecv { from, words, tag } => tracer.record(
+                cap,
+                t,
+                EventKind::MsgRecv {
+                    from: CapId(from),
+                    words,
+                    tag,
+                },
+            ),
+            NEventKind::BlockSend { to } => {
+                tracer.record(cap, t, EventKind::NativeBlockSend { to: CapId(to) });
+                tracer.state(cap, t, State::Blocked);
+            }
+            NEventKind::BlockRecv { from } => {
+                tracer.record(
+                    cap,
+                    t,
+                    EventKind::NativeBlockRecv {
+                        from: Some(CapId(from)),
+                    },
+                );
+                tracer.state(cap, t, State::Blocked);
+            }
+            NEventKind::BlockRecvAny => {
+                tracer.record(cap, t, EventKind::NativeBlockRecv { from: None });
+                tracer.state(cap, t, State::Blocked);
+            }
+            NEventKind::Unblock => tracer.state(cap, t, State::Runnable),
         }
     }
 }

@@ -190,6 +190,14 @@ pub enum EventKind {
     /// A previously parked worker found work again, ending the idle
     /// episode.
     NativeUnpark,
+    /// A native Eden PE blocked sending into `to`'s full bounded
+    /// channel — back-pressure engaged (sender-side analogue of the
+    /// sim's `waitForSpace`).
+    NativeBlockSend { to: CapId },
+    /// A native Eden PE blocked receiving: on the channel from `from`,
+    /// or multiplexed across all of its inbound channels (`None`, the
+    /// master–worker master's select).
+    NativeBlockRecv { from: Option<CapId> },
 }
 
 /// A single trace record: *when*, *where*, *what*.

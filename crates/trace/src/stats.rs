@@ -24,6 +24,7 @@ pub struct Counters {
     pub gc_collected_words: u64,
     pub messages_sent: u64,
     pub message_words: u64,
+    pub messages_received: u64,
     pub processes_instantiated: u64,
     // Native (wall-clock) executor events. These mirror the
     // `NativeStats` counters the executor maintains itself; the
@@ -48,6 +49,10 @@ pub struct Counters {
     pub native_unparks: u64,
     /// Native `RunStart` events (per worker, per run).
     pub native_runs: u64,
+    /// Native Eden PEs blocked on a full outbound channel.
+    pub native_send_blocks: u64,
+    /// Native Eden PEs blocked on empty inbound channel(s).
+    pub native_recv_blocks: u64,
 }
 
 impl Counters {
@@ -97,6 +102,9 @@ impl Counters {
                     c.messages_sent += 1;
                     c.message_words += *words;
                 }
+                EventKind::MsgRecv { .. } => c.messages_received += 1,
+                EventKind::NativeBlockSend { .. } => c.native_send_blocks += 1,
+                EventKind::NativeBlockRecv { .. } => c.native_recv_blocks += 1,
                 EventKind::ProcessInstantiated { .. } => c.processes_instantiated += 1,
                 EventKind::RunStart { .. } => c.native_runs += 1,
                 EventKind::NativeSteal { moved, .. } => {
@@ -194,8 +202,15 @@ impl fmt::Display for TraceStats {
         if c.messages_sent > 0 {
             writeln!(
                 f,
-                "messages: sent={} words={} processes={}",
-                c.messages_sent, c.message_words, c.processes_instantiated
+                "messages: sent={} recv={} words={} processes={}",
+                c.messages_sent, c.messages_received, c.message_words, c.processes_instantiated
+            )?;
+        }
+        if c.native_send_blocks + c.native_recv_blocks > 0 {
+            writeln!(
+                f,
+                "channel blocks: send={} recv={}",
+                c.native_send_blocks, c.native_recv_blocks
             )?;
         }
         if c.native_tasks > 0 {

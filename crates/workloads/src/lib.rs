@@ -34,7 +34,7 @@ pub mod sum_euler;
 
 pub use apsp::Apsp;
 pub use matmul::MatMul;
-pub use native::NativeMeasured;
+pub use native::{run_flat, FlatNative, NativeMeasured, NativeWorkload};
 pub use nqueens::NQueens;
 pub use sum_euler::SumEuler;
 

@@ -2,18 +2,38 @@
 //!
 //! The simulator backends (`run_gph` / `run_eden`) answer *how the
 //! paper's runtimes behave*; this backend answers *how long the same
-//! decomposition takes on this machine*. Each workload is flattened
-//! into its natural task set — the exact units the GpH version sparks —
-//! and handed to the Chase–Lev work-stealing executor: one-shot
-//! workloads through [`rph_native::execute`], the wave-structured APSP
-//! through a persistent [`rph_native::Pool`] reused across pivots.
+//! decomposition takes on this machine* — under either native
+//! execution model:
+//!
+//! * [`BackendKind::Steal`] — each workload is flattened into its
+//!   natural task set (the exact units the GpH version sparks) and
+//!   handed to the Chase–Lev work-stealing executor: one-shot
+//!   workloads through [`rph_native::execute`], the wave-structured
+//!   APSP through a persistent [`rph_native::Pool`] reused across
+//!   pivots.
+//! * [`BackendKind::Eden`] — the *same* task set runs on the
+//!   message-passing backend through the skeleton each workload's
+//!   Eden program uses: `par_map` for the regular workloads
+//!   (sumEuler, matMul), `master_worker` for irregular nqueens, and
+//!   the `ring` skeleton for APSP's pivot waves.
+//!
+//! The entry point is one trait, [`NativeWorkload::run_on`], which
+//! dispatches on [`NativeConfig::backend`] — the per-workload
+//! `run_native` methods remain as deprecated wrappers for one
+//! release. Flat (farm-shaped) workloads only implement
+//! [`FlatNative`] — the task set, the checksum combine and a skeleton
+//! choice — and inherit both backends through [`run_flat`]; APSP
+//! implements [`NativeWorkload`] directly because its two backends
+//! have genuinely different shapes (barrier waves vs. ring).
 //!
 //! Results are combined on the calling thread in task-index order, so
-//! every `run_native` value is bit-identical to the corresponding
-//! simulator checksum regardless of worker count or distribution
-//! policy: the workload inputs are small integers, all f64 arithmetic
-//! on them is exact, and integer sums are order-independent. The
-//! differential tests in `tests/integration.rs` assert exactly this.
+//! every value is bit-identical to the corresponding simulator
+//! checksum regardless of worker count, backend, distribution policy
+//! or skeleton: the workload inputs are small integers, all f64
+//! arithmetic on them is exact, and integer sums are
+//! order-independent. The differential tests in
+//! `tests/integration.rs` assert exactly this, three ways (sim Eden
+//! vs native Eden vs native steal).
 //!
 //! `sum_euler` deliberately calls the *uncached* [`kernels::phi_counted`]:
 //! the process-global memo behind [`kernels::phi_cached`] would make
@@ -21,7 +41,10 @@
 //! measurement.
 
 use crate::{kernels, Apsp, MatMul, NQueens, SumEuler};
-use rph_native::{execute, Job, NativeConfig, NativeOutcome, NativeStats, Pool};
+use rph_native::{
+    execute, ring, BackendKind, Job, NativeConfig, NativeOutcome, NativeStats, Pool, RingJob,
+    Skeleton, Wordsize,
+};
 use rph_trace::Tracer;
 use std::time::Duration;
 
@@ -67,11 +90,102 @@ fn merge_trace(acc: &mut Option<Tracer>, wave: Option<Tracer>) {
     }
 }
 
+// ------------------------------------------------------------- unified API
+
+/// A workload that runs on the native executors: **the** entry point
+/// for native measurements. `run_on` dispatches on
+/// [`NativeConfig::backend`], so one call site serves both the
+/// work-stealing and the message-passing model:
+///
+/// ```
+/// use rph_native::{BackendKind, NativeConfig};
+/// use rph_workloads::{NativeWorkload, SumEuler};
+///
+/// let w = SumEuler::new(100);
+/// let steal = w.run_on(&NativeConfig::new(4));
+/// let eden = w.run_on(&NativeConfig::new(4).with_backend(BackendKind::Eden));
+/// assert_eq!(steal.value, eden.value);
+/// assert_eq!(steal.value, w.expected_value());
+/// ```
+///
+/// The trait is object-safe: benches sweep `&dyn NativeWorkload`
+/// tables instead of duplicating per-workload loops.
+pub trait NativeWorkload {
+    /// Stable snake_case name (used by bench JSON and trace labels).
+    fn name(&self) -> &'static str;
+
+    /// The checksum every correct run must produce (the plain-Rust
+    /// oracle, same definition as the sim backends).
+    fn expected_value(&self) -> i64;
+
+    /// Run natively under `cfg`, on whichever backend it selects.
+    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured;
+}
+
+/// A workload whose native form is a flat bag of independent tasks —
+/// everything except APSP. Implementors describe the task set once
+/// and inherit both native backends via [`run_flat`]: the steal
+/// executor runs the job over deques, the Eden backend runs the same
+/// job under [`Self::skeleton`].
+pub trait FlatNative: Sync {
+    /// Per-task result (must be channel-framable for the Eden side).
+    type Out: Send + Sync + Wordsize + 'static;
+
+    /// The prepared job: built once per run, borrowed by every task.
+    type Job<'a>: Job<Out = Self::Out>
+    where
+        Self: 'a;
+
+    /// Stable snake_case name.
+    fn name(&self) -> &'static str;
+
+    /// The oracle checksum.
+    fn expected_value(&self) -> i64;
+
+    /// Materialise the task set (ranges, blocks, prefixes, …).
+    fn job(&self) -> Self::Job<'_>;
+
+    /// Fold per-task results (in task order) into the checksum.
+    fn combine(&self, values: Vec<Self::Out>) -> i64;
+
+    /// Which Eden skeleton suits this task set. Regular task sets
+    /// keep the static-farm default; irregular ones override to
+    /// demand-driven [`Skeleton::MasterWorker`].
+    fn skeleton(&self) -> Skeleton {
+        Skeleton::ParMap
+    }
+}
+
+/// The one generic runner behind every flat workload's
+/// [`NativeWorkload::run_on`]: materialise the job, execute it on the
+/// configured backend, combine the values.
+pub fn run_flat<W: FlatNative>(w: &W, cfg: &NativeConfig) -> NativeMeasured {
+    let job = w.job();
+    let out = match cfg.backend {
+        BackendKind::Steal => execute(&job, cfg),
+        BackendKind::Eden => w.skeleton().run(&job, cfg),
+    };
+    let NativeOutcome {
+        values,
+        wall,
+        stats,
+        trace,
+        trace_dropped,
+    } = out;
+    NativeMeasured {
+        value: w.combine(values),
+        wall,
+        stats,
+        trace,
+        trace_dropped,
+    }
+}
+
 // ---------------------------------------------------------------- sumEuler
 
 /// One task per GpH chunk: `sum (map phi [lo..hi])`, totients computed
 /// from scratch (no memo — see module docs).
-struct PhiRanges {
+pub struct PhiRanges {
     ranges: Vec<(i64, i64)>,
 }
 
@@ -86,16 +200,43 @@ impl Job for PhiRanges {
     }
 }
 
-impl SumEuler {
-    /// Native run: one task per chunk (the same decomposition
-    /// `run_gph` sparks), combined by integer sum.
-    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
-        let job = PhiRanges {
+impl FlatNative for SumEuler {
+    type Out = i64;
+    type Job<'a> = PhiRanges;
+
+    fn name(&self) -> &'static str {
+        "sum_euler"
+    }
+    fn expected_value(&self) -> i64 {
+        self.expected()
+    }
+    fn job(&self) -> PhiRanges {
+        PhiRanges {
             ranges: self.ranges(self.chunk_size),
-        };
-        let out = execute(&job, cfg);
-        let value = out.values.iter().sum();
-        measured(value, out)
+        }
+    }
+    fn combine(&self, values: Vec<i64>) -> i64 {
+        values.iter().sum()
+    }
+}
+
+impl NativeWorkload for SumEuler {
+    fn name(&self) -> &'static str {
+        FlatNative::name(self)
+    }
+    fn expected_value(&self) -> i64 {
+        FlatNative::expected_value(self)
+    }
+    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured {
+        run_flat(self, cfg)
+    }
+}
+
+impl SumEuler {
+    /// Native run on the steal backend.
+    #[deprecated(note = "use `NativeWorkload::run_on`, which also serves the Eden backend")]
+    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
+        self.run_on(cfg)
     }
 }
 
@@ -104,7 +245,7 @@ impl SumEuler {
 /// One task per result block: Σ_k A(i,k)·B(k,j), then the block's
 /// element sum as an exact integer — the same per-block value the sim's
 /// `blockRowCol`/`blockSum` kernels produce.
-struct BlockProducts<'a> {
+pub struct BlockProducts<'a> {
     w: &'a MatMul,
     a: Vec<f64>,
     b: Vec<f64>,
@@ -130,15 +271,42 @@ impl Job for BlockProducts<'_> {
     }
 }
 
-impl MatMul {
-    /// Native run: one task per result block (the paper's tunable
-    /// spark granularity), combined by integer sum of block checksums.
-    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
+impl FlatNative for MatMul {
+    type Out = i64;
+    type Job<'a> = BlockProducts<'a>;
+
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+    fn expected_value(&self) -> i64 {
+        self.expected()
+    }
+    fn job(&self) -> BlockProducts<'_> {
         let (a, b) = self.inputs();
-        let job = BlockProducts { w: self, a, b };
-        let out = execute(&job, cfg);
-        let value = out.values.iter().sum();
-        measured(value, out)
+        BlockProducts { w: self, a, b }
+    }
+    fn combine(&self, values: Vec<i64>) -> i64 {
+        values.iter().sum()
+    }
+}
+
+impl NativeWorkload for MatMul {
+    fn name(&self) -> &'static str {
+        FlatNative::name(self)
+    }
+    fn expected_value(&self) -> i64 {
+        FlatNative::expected_value(self)
+    }
+    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured {
+        run_flat(self, cfg)
+    }
+}
+
+impl MatMul {
+    /// Native run on the steal backend.
+    #[deprecated(note = "use `NativeWorkload::run_on`, which also serves the Eden backend")]
+    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
+        self.run_on(cfg)
     }
 }
 
@@ -169,21 +337,72 @@ impl Job for PivotWave<'_> {
     }
 }
 
+/// Floyd–Warshall as a [`RingJob`]: row `idx` is the item, wave `k`'s
+/// pivot is row `k`'s pre-wave state, and the update is the same
+/// [`kernels::min_plus_update`] the other backends apply — so the ring
+/// result is bit-identical to theirs (identical per-row operation
+/// sequences on exactly-representable values).
+struct ApspRing {
+    rows: Vec<Vec<f64>>,
+}
+
+impl RingJob for ApspRing {
+    type Item = Vec<f64>;
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+    fn init(&self, idx: usize) -> Vec<f64> {
+        self.rows[idx].clone()
+    }
+    fn step(&self, item: &Vec<f64>, _idx: usize, pivot: &Vec<f64>, k: usize) -> Vec<f64> {
+        kernels::min_plus_update(item, pivot, k).0
+    }
+}
+
+fn apsp_checksum(rows: &[Vec<f64>]) -> i64 {
+    rows.iter().map(|row| row.iter().sum::<f64>() as i64).sum()
+}
+
+impl NativeWorkload for Apsp {
+    fn name(&self) -> &'static str {
+        "apsp"
+    }
+    fn expected_value(&self) -> i64 {
+        self.expected()
+    }
+    /// Steal backend: `n` barrier-separated pivot waves over one
+    /// persistent worker pool. Eden backend: the ring skeleton — PEs
+    /// own row blocks for the whole run and the pivot row travels the
+    /// ring once per wave, replacing the barrier with point-to-point
+    /// messages.
+    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured {
+        match cfg.backend {
+            BackendKind::Steal => self.run_native_on(&mut Pool::new(cfg)),
+            BackendKind::Eden => {
+                let job = ApspRing {
+                    rows: self.input_rows(),
+                };
+                let out = ring(&job, cfg);
+                let value = apsp_checksum(&out.values);
+                measured(value, out)
+            }
+        }
+    }
+}
+
 impl Apsp {
-    /// Native run: Floyd–Warshall as `n` pivot waves over one
-    /// **persistent worker pool** — the same threads and deques serve
-    /// every wave, so the per-wave cost is a run hand-off, not a full
-    /// thread spawn/join barrier. The barrier between waves replaces
-    /// the thunk-graph synchronisation the GpH runtime does
-    /// dynamically — coarser, but the same data flow, hence the same
-    /// checksum.
+    /// Native run on the steal backend.
+    #[deprecated(note = "use `NativeWorkload::run_on`, which also serves the Eden backend")]
     pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
-        let mut pool = Pool::new(cfg);
-        self.run_native_on(&mut pool)
+        self.run_on(cfg)
     }
 
     /// The pivot waves on a caller-supplied pool (reusable across
-    /// repetitions as well as waves).
+    /// repetitions as well as waves). The barrier between waves
+    /// replaces the thunk-graph synchronisation the GpH runtime does
+    /// dynamically — coarser, but the same data flow, hence the same
+    /// checksum.
     pub fn run_native_on(&self, pool: &mut Pool) -> NativeMeasured {
         let mut state = self.input_rows();
         let mut wall = Duration::ZERO;
@@ -204,9 +423,8 @@ impl Apsp {
             trace_dropped += out.trace_dropped;
             state = out.values;
         }
-        let value = state.iter().map(|row| row.iter().sum::<f64>() as i64).sum();
         NativeMeasured {
-            value,
+            value: apsp_checksum(&state),
             wall,
             stats,
             trace,
@@ -236,9 +454,8 @@ impl Apsp {
             trace_dropped += out.trace_dropped;
             state = out.values;
         }
-        let value = state.iter().map(|row| row.iter().sum::<f64>() as i64).sum();
         NativeMeasured {
-            value,
+            value: apsp_checksum(&state),
             wall,
             stats,
             trace,
@@ -251,7 +468,7 @@ impl Apsp {
 
 /// One task per depth-`spawn_depth` prefix: count the subtree's
 /// solutions by sequential backtracking — the GpH spark unit.
-struct Subtrees {
+pub struct Subtrees {
     prefixes: Vec<Vec<i64>>,
     n: usize,
 }
@@ -268,16 +485,49 @@ impl Job for Subtrees {
     }
 }
 
-impl NQueens {
-    /// Native run: one task per board prefix, combined by integer sum.
-    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
-        let job = Subtrees {
+impl FlatNative for NQueens {
+    type Out = i64;
+    type Job<'a> = Subtrees;
+
+    fn name(&self) -> &'static str {
+        "nqueens"
+    }
+    fn expected_value(&self) -> i64 {
+        self.expected()
+    }
+    fn job(&self) -> Subtrees {
+        Subtrees {
             prefixes: self.prefixes(),
             n: self.n,
-        };
-        let out = execute(&job, cfg);
-        let value = out.values.iter().sum();
-        measured(value, out)
+        }
+    }
+    fn combine(&self, values: Vec<i64>) -> i64 {
+        values.iter().sum()
+    }
+    /// Subtree sizes vary wildly — the irregular case the paper
+    /// answers with a demand-driven master–worker farm.
+    fn skeleton(&self) -> Skeleton {
+        Skeleton::MasterWorker { prefetch: 2 }
+    }
+}
+
+impl NativeWorkload for NQueens {
+    fn name(&self) -> &'static str {
+        FlatNative::name(self)
+    }
+    fn expected_value(&self) -> i64 {
+        FlatNative::expected_value(self)
+    }
+    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured {
+        run_flat(self, cfg)
+    }
+}
+
+impl NQueens {
+    /// Native run on the steal backend.
+    #[deprecated(note = "use `NativeWorkload::run_on`, which also serves the Eden backend")]
+    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
+        self.run_on(cfg)
     }
 }
 
@@ -297,12 +547,28 @@ mod tests {
         out
     }
 
+    /// Eden-backend configs: the steal-side knobs don't apply, so the
+    /// sweep is worker counts × channel depths.
+    fn eden_configs() -> Vec<NativeConfig> {
+        let mut out = Vec::new();
+        for w in [1usize, 2, 3, 4, 5, 8] {
+            for cap in [1usize, 8] {
+                out.push(
+                    NativeConfig::new(w)
+                        .with_backend(BackendKind::Eden)
+                        .with_chan_cap(cap),
+                );
+            }
+        }
+        out
+    }
+
     #[test]
     fn sum_euler_matches_oracle_everywhere() {
         let w = SumEuler::new(300).with_chunk_size(20);
         let expect = w.expected();
         for cfg in configs() {
-            let m = w.run_native(&cfg);
+            let m = w.run_on(&cfg);
             assert_eq!(m.value, expect, "{cfg:?}");
             assert_eq!(m.stats.tasks_run as usize, w.ranges(w.chunk_size).len());
         }
@@ -313,7 +579,7 @@ mod tests {
         let w = MatMul::new(40, 4);
         let expect = w.expected();
         for cfg in configs() {
-            let m = w.run_native(&cfg);
+            let m = w.run_on(&cfg);
             assert_eq!(m.value, expect, "{cfg:?}");
             assert_eq!(m.stats.tasks_run, 16);
         }
@@ -324,7 +590,7 @@ mod tests {
         let w = Apsp::new(24);
         let expect = w.expected();
         for cfg in configs() {
-            let m = w.run_native(&cfg);
+            let m = w.run_on(&cfg);
             assert_eq!(m.value, expect, "{cfg:?}");
             assert_eq!(m.stats.tasks_run as usize, 24 * 24);
         }
@@ -334,9 +600,69 @@ mod tests {
     fn nqueens_matches_known_count() {
         let w = NQueens::new(8).with_spawn_depth(2);
         for cfg in configs() {
-            let m = w.run_native(&cfg);
+            let m = w.run_on(&cfg);
             assert_eq!(m.value, 92, "{cfg:?}");
         }
+    }
+
+    #[test]
+    fn eden_backend_matches_oracles_everywhere() {
+        // All four workloads through run_on's Eden dispatch: par_map
+        // (sum_euler, matmul), master_worker (nqueens), ring (apsp).
+        let se = SumEuler::new(300).with_chunk_size(20);
+        let mm = MatMul::new(40, 4);
+        let ap = Apsp::new(24);
+        let nq = NQueens::new(8).with_spawn_depth(2);
+        let table: [&dyn NativeWorkload; 4] = [&se, &mm, &ap, &nq];
+        for cfg in eden_configs() {
+            for w in table {
+                let m = w.run_on(&cfg);
+                assert_eq!(m.value, w.expected_value(), "{} {cfg:?}", w.name());
+                // Message passing really happened (except the n=1
+                // trivial cases none of these are).
+                assert_eq!(m.stats.msgs_sent, m.stats.msgs_recv, "{}", w.name());
+                assert!(m.stats.msgs_sent > 0, "{}", w.name());
+                assert_eq!(m.stats.steal_ops, 0, "{}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_bit_for_bit() {
+        let se = SumEuler::new(200).with_chunk_size(13);
+        let mm = MatMul::new(32, 4);
+        let ap = Apsp::new(16);
+        let nq = NQueens::new(7).with_spawn_depth(2);
+        let table: [&dyn NativeWorkload; 4] = [&se, &mm, &ap, &nq];
+        for workers in [1usize, 2, 4, 8] {
+            let steal = NativeConfig::new(workers);
+            let eden = NativeConfig::new(workers).with_backend(BackendKind::Eden);
+            for w in table {
+                assert_eq!(
+                    w.run_on(&steal).value,
+                    w.run_on(&eden).value,
+                    "{} workers={workers}",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_native_wrappers_still_work() {
+        // Wrapper coverage for the one-release deprecation window: the
+        // old per-workload entry points must keep producing the same
+        // values as run_on.
+        let cfg = NativeConfig::steal(2);
+        let se = SumEuler::new(100);
+        assert_eq!(se.run_native(&cfg).value, se.run_on(&cfg).value);
+        let mm = MatMul::new(24, 3);
+        assert_eq!(mm.run_native(&cfg).value, mm.run_on(&cfg).value);
+        let ap = Apsp::new(10);
+        assert_eq!(ap.run_native(&cfg).value, ap.run_on(&cfg).value);
+        let nq = NQueens::new(6).with_spawn_depth(2);
+        assert_eq!(nq.run_native(&cfg).value, nq.run_on(&cfg).value);
     }
 
     #[test]
@@ -352,7 +678,7 @@ mod tests {
         for workers in [1usize, 2, 4, 8] {
             for policy in [StealPolicy::RoundRobin, StealPolicy::Randomized] {
                 let cfg = NativeConfig::steal(workers).with_steal_policy(policy);
-                let m = w.run_native(&cfg);
+                let m = w.run_on(&cfg);
                 assert_eq!(m.value, expect, "workers={workers} {policy:?}");
                 assert_eq!(m.stats.tasks_run, tasks, "workers={workers} {policy:?}");
                 assert_eq!(
@@ -380,8 +706,8 @@ mod tests {
             NativeConfig::steal(1).with_seed(42),
             NativeConfig::push(1).with_seed(42),
         ] {
-            let a = w.run_native(&cfg);
-            let b = w.run_native(&cfg);
+            let a = w.run_on(&cfg);
+            let b = w.run_on(&cfg);
             assert_eq!(a.value, b.value, "{cfg:?}");
             assert_eq!(a.stats, b.stats, "{cfg:?}");
         }
@@ -390,7 +716,7 @@ mod tests {
     #[test]
     fn apsp_wave_stats_accumulate() {
         let w = Apsp::new(12);
-        let m = w.run_native(&NativeConfig::steal(2));
+        let m = w.run_on(&NativeConfig::steal(2));
         // 12 waves × 12 row tasks.
         assert_eq!(m.stats.tasks_run, 144);
         assert_eq!(m.stats.per_worker.iter().sum::<u64>(), 144);
@@ -398,11 +724,23 @@ mod tests {
     }
 
     #[test]
+    fn apsp_ring_stats_mirror_wave_stats() {
+        let w = Apsp::new(12);
+        let eden = NativeConfig::new(3).with_backend(BackendKind::Eden);
+        let m = w.run_on(&eden);
+        // Same task accounting as the wave form: 12 waves × 12 rows
+        // (the ring counts every owned row per wave, pivot included).
+        assert_eq!(m.stats.tasks_run, 144);
+        assert_eq!(m.stats.per_worker.iter().sum::<u64>(), 144);
+        assert_eq!(m.stats.msgs_sent, m.stats.msgs_recv);
+    }
+
+    #[test]
     fn apsp_pooled_and_respawn_agree_with_oracle() {
         let w = Apsp::new(16);
         let expect = w.expected();
         for cfg in [NativeConfig::steal(3), NativeConfig::push(4)] {
-            let pooled = w.run_native(&cfg);
+            let pooled = w.run_on(&cfg);
             let respawn = w.run_native_respawn(&cfg);
             assert_eq!(pooled.value, expect, "{cfg:?}");
             assert_eq!(respawn.value, expect, "{cfg:?}");

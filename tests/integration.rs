@@ -3,8 +3,8 @@
 //! effects at test scale, and sim-vs-native differential checks.
 
 use rph::prelude::*;
-use rph::workloads::{Apsp, MatMul, NQueens, SumEuler};
-use rph_native::{Granularity, NativeConfig};
+use rph::workloads::{Apsp, MatMul, NQueens, NativeWorkload, SumEuler};
+use rph_native::{BackendKind, Granularity, NativeConfig};
 
 const SE_N: i64 = 400;
 
@@ -197,7 +197,7 @@ fn native_sum_euler_matches_sim_bit_for_bit() {
         .unwrap();
     assert_eq!(sim.value, w.expected());
     for cfg in native_configs() {
-        let native = w.run_native(&cfg);
+        let native = w.run_on(&cfg);
         assert_eq!(native.value, sim.value, "{cfg:?}");
     }
 }
@@ -214,7 +214,7 @@ fn native_matmul_matches_sim_bit_for_bit() {
         .unwrap();
     assert_eq!(sim.value, w.expected());
     for cfg in native_configs() {
-        let native = w.run_native(&cfg);
+        let native = w.run_on(&cfg);
         assert_eq!(native.value, sim.value, "{cfg:?}");
     }
 }
@@ -232,7 +232,7 @@ fn native_apsp_matches_sim_bit_for_bit() {
         .unwrap();
     assert_eq!(sim.value, w.expected());
     for cfg in native_configs() {
-        let native = w.run_native(&cfg);
+        let native = w.run_on(&cfg);
         assert_eq!(native.value, sim.value, "{cfg:?}");
     }
 }
@@ -249,7 +249,7 @@ fn native_nqueens_matches_sim_bit_for_bit() {
         .unwrap();
     assert_eq!(sim.value, 92);
     for cfg in native_configs() {
-        let native = w.run_native(&cfg);
+        let native = w.run_on(&cfg);
         assert_eq!(native.value, sim.value, "{cfg:?}");
     }
 }
@@ -259,7 +259,7 @@ fn native_runs_every_task_exactly_once() {
     let w = SumEuler::new(200).with_chunk_size(10);
     let tasks = 20; // ceil(200 / 10)
     for cfg in native_configs() {
-        let m = w.run_native(&cfg);
+        let m = w.run_on(&cfg);
         assert_eq!(m.stats.tasks_run, tasks, "{cfg:?}");
         assert_eq!(m.stats.per_worker.iter().sum::<u64>(), tasks, "{cfg:?}");
         // tasks_local and tasks_stolen are counted directly per worker;
@@ -283,7 +283,7 @@ fn native_degenerate_jobs_match_oracle() {
     for w in [&single, &sparse] {
         let expect = w.expected();
         for cfg in native_configs() {
-            let m = w.run_native(&cfg);
+            let m = w.run_on(&cfg);
             assert_eq!(m.value, expect, "{cfg:?}");
             assert_eq!(
                 m.stats.tasks_local + m.stats.tasks_stolen,
@@ -301,7 +301,7 @@ fn native_traced_workloads_render_and_reconcile() {
     // totals must agree with the executor's own counters.
     let w = SumEuler::new(300).with_chunk_size(10);
     let cfg = NativeConfig::steal(4).with_trace();
-    let m = w.run_native(&cfg);
+    let m = w.run_on(&cfg);
     assert_eq!(m.value, w.expected());
     assert_eq!(m.trace_dropped, 0);
     let trace = m.trace.as_ref().expect("traced run returns a tracer");
@@ -315,7 +315,7 @@ fn native_traced_workloads_render_and_reconcile() {
     assert_eq!(c.native_parks, m.stats.parks);
 
     // Untraced runs carry no tracer and lose nothing else.
-    let plain = w.run_native(&NativeConfig::steal(4));
+    let plain = w.run_on(&NativeConfig::steal(4));
     assert!(plain.trace.is_none());
     assert_eq!(plain.value, m.value);
 }
@@ -325,7 +325,7 @@ fn native_apsp_stitches_wave_traces_onto_one_axis() {
     // APSP issues one pool run per pivot wave; the workload glues the
     // per-wave tracers onto a single monotone time axis.
     let w = Apsp::new(16);
-    let m = w.run_native(&NativeConfig::steal(2).with_trace());
+    let m = w.run_on(&NativeConfig::steal(2).with_trace());
     assert_eq!(m.value, w.expected());
     let trace = m.trace.as_ref().expect("traced run returns a tracer");
     let merged = trace.merged();
@@ -339,6 +339,51 @@ fn native_apsp_stitches_wave_traces_onto_one_axis() {
     // 16 waves × 2 workers, one RunStart per worker per wave.
     assert_eq!(c.native_runs, 32);
     Timeline::from_tracer(trace).check_well_formed().unwrap();
+}
+
+#[test]
+fn three_way_differential_sim_eden_vs_native_eden_vs_native_steal() {
+    // The PR 5 acceptance check: for every workload, the simulated
+    // Eden runtime, the native message-passing backend and the native
+    // work-stealing backend must produce bit-identical checksums at 1,
+    // 2, 3, 4 and 8 PEs. All inputs are small integers, so every f64
+    // intermediate is exact and schedule order cannot leak into the
+    // value.
+    let se = SumEuler::new(300).with_chunk_size(20);
+    let mm = MatMul::new(40, 4);
+    let ap = Apsp::new(24);
+    let nq = NQueens::new(8).with_spawn_depth(2);
+    for pes in [1usize, 2, 3, 4, 8] {
+        let steal_cfg = NativeConfig::new(pes);
+        let eden_cfg = NativeConfig::new(pes).with_backend(BackendKind::Eden);
+        let sims = [
+            se.run_eden(EdenConfig::new(pes).without_trace())
+                .unwrap()
+                .value,
+            mm.run_eden(EdenConfig::new(pes).without_trace())
+                .unwrap()
+                .value,
+            ap.run_eden(EdenConfig::new(pes).without_trace())
+                .unwrap()
+                .value,
+            nq.run_eden_master_worker(EdenConfig::new(pes).without_trace(), 2)
+                .unwrap()
+                .value,
+        ];
+        let table: [&dyn NativeWorkload; 4] = [&se, &mm, &ap, &nq];
+        for (w, sim_value) in table.iter().zip(sims) {
+            assert_eq!(sim_value, w.expected_value(), "{} sim pes={pes}", w.name());
+            let native_eden = w.run_on(&eden_cfg);
+            let native_steal = w.run_on(&steal_cfg);
+            assert_eq!(native_eden.value, sim_value, "{} eden pes={pes}", w.name());
+            assert_eq!(
+                native_steal.value,
+                sim_value,
+                "{} steal pes={pes}",
+                w.name()
+            );
+        }
+    }
 }
 
 #[test]
