@@ -74,7 +74,7 @@ fn sweep(w: &dyn NativeWorkload, params: &str, backend: BackendKind) -> Vec<Poin
         let cfg = NativeConfig::new(workers).with_backend(backend);
         let samples: Vec<(u128, NativeStats)> = (0..reps())
             .map(|_| {
-                let m = w.run_on(&cfg);
+                let m = w.run_on(&cfg).expect("native run failed");
                 assert_eq!(
                     m.value,
                     w.expected_value(),

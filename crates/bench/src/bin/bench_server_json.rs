@@ -1,0 +1,273 @@
+//! Service-mode latency benchmark: open-loop arrivals against the
+//! `rph-server` job server, emitted as `BENCH_server.json` under
+//! `target/paper-figures/` (schema `rph-bench-server/v1`).
+//!
+//! ```text
+//! cargo run -p rph-bench --release --bin bench_server_json [--smoke]
+//! ```
+//!
+//! Unlike the closed-loop workload benches (run, wait, repeat), this
+//! drives **open-loop** traffic: job arrival times are drawn up front
+//! from an exponential inter-arrival distribution at a configured
+//! rate and submitted on that absolute schedule whether or not the
+//! server has kept up — the arrival process does not slow down to
+//! match the service process, so queueing delay is measured rather
+//! than hidden. Two tenants submit a mixed bag of job classes at a
+//! 9:1 skew; one poison job is injected mid-run to prove a panicking
+//! job leaves the pool serving the rest of the schedule.
+//!
+//! Assertions before anything is written: every accepted job resolves
+//! exactly once, every `Done` value matches its class oracle (zero
+//! lost or duplicated results), the poison job resolves `Panicked`
+//! alone, and accepted == done + cancelled + panicked. The emitted
+//! JSON records p50/p99/p999 end-to-end latency, queue-wait and
+//! service-time quantiles, sustained throughput, and
+//! rejected/cancelled counts.
+//!
+//! On a 1-core host the latency distribution is still meaningful —
+//! queueing delay, batching and admission control don't need spare
+//! cores to show up — even though speedup numbers would be vacuous.
+
+use rph_bench::write_artifact;
+use rph_native::NativeConfig;
+use rph_server::{
+    JobClass, JobHandle, JobStatus, LatencyHistogram, Server, ServerConfig, SubmitError,
+};
+use rph_sim::DetRng;
+use std::time::{Duration, Instant};
+
+/// Benchmark shape: `--smoke` keeps the schedule CI-sized (but still
+/// ≥ 1k mixed jobs, the acceptance floor); the default run is longer.
+struct Shape {
+    jobs: usize,
+    rate_per_sec: f64,
+    workers: usize,
+    queue_cap_units: usize,
+    batch_max_units: usize,
+}
+
+fn shape(smoke: bool) -> Shape {
+    if smoke {
+        Shape {
+            jobs: 1_200,
+            rate_per_sec: 3_000.0,
+            workers: 2,
+            queue_cap_units: 8_192,
+            batch_max_units: 256,
+        }
+    } else {
+        Shape {
+            jobs: 8_000,
+            rate_per_sec: 2_000.0,
+            workers: 4,
+            queue_cap_units: 16_384,
+            batch_max_units: 512,
+        }
+    }
+}
+
+/// The mixed workload: mostly tiny jobs with a medium tail, echoing a
+/// front end multiplexing small requests over the pool.
+fn class_mix(rng: &mut DetRng) -> JobClass {
+    match rng.gen_range(10) {
+        0..=5 => JobClass::Spin {
+            units: 1 + rng.gen_range(3) as u32,
+            iters: 2_000,
+        },
+        6..=8 => JobClass::SumEuler {
+            n: 60 + rng.gen_range(60) as u32,
+            chunk: 10,
+        },
+        _ => JobClass::SumEuler { n: 400, chunk: 25 },
+    }
+}
+
+/// Exponential inter-arrival gap at `rate` jobs/sec.
+fn exp_gap(rng: &mut DetRng, rate: f64) -> Duration {
+    let u = rng.gen_f64().max(1e-12);
+    Duration::from_secs_f64((-u.ln()) / rate)
+}
+
+struct Quantiles {
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    max: u64,
+}
+
+fn quantiles(h: &LatencyHistogram) -> Quantiles {
+    let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    Quantiles {
+        p50: ns(h.quantile(0.5)),
+        p99: ns(h.quantile(0.99)),
+        p999: ns(h.quantile(0.999)),
+        max: ns(h.max()),
+    }
+}
+
+fn quantile_json(label: &str, q: &Quantiles) -> String {
+    format!(
+        "  \"{label}\": {{\"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}",
+        q.p50, q.p99, q.p999, q.max
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let s = shape(smoke);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "Server latency benchmark: {} jobs open-loop at {:.0}/s, {} workers ({host_cores} core host)\n",
+        s.jobs, s.rate_per_sec, s.workers
+    );
+
+    let cfg = ServerConfig::new(NativeConfig::steal(s.workers))
+        .with_tenants(&[9, 1])
+        .with_queue_cap(s.queue_cap_units)
+        .with_batch_max(s.batch_max_units);
+    let server = Server::start(cfg);
+
+    // Draw the whole arrival schedule up front (deterministic given
+    // the seed), then replay it against the wall clock.
+    let mut rng = DetRng::new(0xB0B5);
+    let mut arrivals: Vec<(Duration, usize, JobClass)> = Vec::with_capacity(s.jobs);
+    let mut t = Duration::ZERO;
+    for _ in 0..s.jobs {
+        t += exp_gap(&mut rng, s.rate_per_sec);
+        // 9:1 tenant skew, matching the 9:1 scheduling weights.
+        let tenant = usize::from(rng.gen_range(10) == 9);
+        arrivals.push((t, tenant, class_mix(&mut rng)));
+    }
+    let poison_at = s.jobs / 2;
+
+    let t0 = Instant::now();
+    let mut accepted: Vec<(JobClass, JobHandle)> = Vec::with_capacity(s.jobs);
+    let mut rejected = 0u64;
+    let mut poison_handle = None;
+    for (i, (due, tenant, class)) in arrivals.iter().enumerate() {
+        if let Some(gap) = due.checked_sub(t0.elapsed()) {
+            std::thread::sleep(gap);
+        }
+        if i == poison_at {
+            // Fault injection: one poisoned job mid-schedule.
+            let p = JobClass::Poison {
+                units: 4,
+                iters: 100,
+                bad: 1,
+            };
+            poison_handle = Some(server.submit(*tenant, p).expect("poison accepted"));
+            continue;
+        }
+        match server.submit(*tenant, *class) {
+            Ok(h) => accepted.push((*class, h)),
+            Err(SubmitError::Backpressure { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+
+    // Wait for every accepted handle: each resolves exactly once, and
+    // each Done value must match its class oracle — zero lost or
+    // duplicated results.
+    let mut latency = LatencyHistogram::new();
+    let mut queue_wait = LatencyHistogram::new();
+    let mut service = LatencyHistogram::new();
+    let mut done = 0u64;
+    let mut cancelled = 0u64;
+    let mut after_poison_done = 0u64;
+    for (i, (class, h)) in accepted.iter().enumerate() {
+        let out = h.wait();
+        match out.status {
+            JobStatus::Done => {
+                assert_eq!(
+                    Some(out.value),
+                    class.expected(),
+                    "job {i} ({class:?}): lost or duplicated unit results"
+                );
+                done += 1;
+                if i >= poison_at {
+                    after_poison_done += 1;
+                }
+                latency.record(out.latency);
+                queue_wait.record(out.queue_wait);
+                service.record(out.service);
+            }
+            JobStatus::Cancelled => cancelled += 1,
+            JobStatus::Panicked => panic!("job {i} ({class:?}) panicked — containment failed"),
+        }
+    }
+    let wall = t0.elapsed();
+    let poison_out = poison_handle.expect("poison was submitted").wait();
+    assert_eq!(
+        poison_out.status,
+        JobStatus::Panicked,
+        "poison job must resolve Panicked"
+    );
+    assert!(
+        after_poison_done > 0,
+        "no job completed after the poison job: the pool stopped serving"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(
+        report.stats.accepted,
+        report.stats.done + report.stats.cancelled + report.stats.panicked,
+        "accepted jobs must all resolve"
+    );
+    assert_eq!(report.stats.queued_units, 0, "leaked queue slots");
+    assert_eq!(report.stats.panicked, 1, "exactly the poison job panicked");
+    assert!(done >= 1_000, "smoke floor: at least 1k completed jobs");
+
+    let throughput = done as f64 / wall.as_secs_f64();
+    let lq = quantiles(&latency);
+    let wq = quantiles(&queue_wait);
+    let sq = quantiles(&service);
+    println!(
+        "done={done} cancelled={cancelled} rejected={rejected} panicked=1 \
+         batches={} in {:.2}s → {throughput:.0} jobs/s sustained",
+        report.stats.batches,
+        wall.as_secs_f64()
+    );
+    println!(
+        "latency p50={:.2}ms p99={:.2}ms p999={:.2}ms max={:.2}ms",
+        lq.p50 as f64 / 1e6,
+        lq.p99 as f64 / 1e6,
+        lq.p999 as f64 / 1e6,
+        lq.max as f64 / 1e6
+    );
+    println!(
+        "queue-wait p50={:.2}ms p99={:.2}ms | service p50={:.2}ms p99={:.2}ms",
+        wq.p50 as f64 / 1e6,
+        wq.p99 as f64 / 1e6,
+        sq.p50 as f64 / 1e6,
+        sq.p99 as f64 / 1e6
+    );
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"rph-bench-server/v1\",\n");
+    j.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    j.push_str(&format!("  \"smoke\": {smoke},\n"));
+    j.push_str(&format!(
+        "  \"config\": {{\"jobs\": {}, \"rate_jobs_per_sec\": {:.1}, \"workers\": {}, \
+         \"queue_cap_units\": {}, \"batch_max_units\": {}, \"tenant_weights\": [9, 1]}},\n",
+        s.jobs, s.rate_per_sec, s.workers, s.queue_cap_units, s.batch_max_units
+    ));
+    j.push_str(&format!(
+        "  \"totals\": {{\"accepted\": {}, \"rejected\": {rejected}, \"done\": {done}, \
+         \"cancelled\": {cancelled}, \"panicked\": 1, \"batches\": {}}},\n",
+        report.stats.accepted, report.stats.batches
+    ));
+    j.push_str(&format!("  \"sustained_jobs_per_sec\": {throughput:.1},\n"));
+    j.push_str(&format!("  \"wall_seconds\": {:.3},\n", wall.as_secs_f64()));
+    j.push_str(&quantile_json("latency", &lq));
+    j.push_str(",\n");
+    j.push_str(&quantile_json("queue_wait", &wq));
+    j.push_str(",\n");
+    j.push_str(&quantile_json("service", &sq));
+    j.push_str(",\n");
+    j.push_str("  \"value_ok\": true\n");
+    j.push_str("}\n");
+    write_artifact("BENCH_server.json", &j);
+}

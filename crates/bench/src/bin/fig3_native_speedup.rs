@@ -40,7 +40,7 @@ fn measure(name: &str, w: &dyn NativeWorkload) -> Vec<Point> {
         for (slot, mode) in [Distribution::Steal, Distribution::Push].iter().enumerate() {
             let cfg = NativeConfig::new(workers).with_distribution(*mode);
             for _ in 0..REPS {
-                let m = w.run_on(&cfg);
+                let m = w.run_on(&cfg).expect("native run failed");
                 assert_eq!(
                     m.value,
                     w.expected_value(),
@@ -122,7 +122,7 @@ fn main() {
 
     // The adaptive-granularity ablation: fixed-chunk (PR 1 executor)
     // vs lazy-split sumEuler, and pooled vs respawn-per-wave APSP.
-    csv.push_str(&granularity::run(quick()));
+    csv.push_str(&granularity::run(quick(), granularity::Ablation::All));
 
     write_artifact("fig3_native_speedup.csv", &csv);
 }

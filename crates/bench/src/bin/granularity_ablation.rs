@@ -1,23 +1,41 @@
-//! Adaptive-granularity ablation: fixed-chunk dealing vs lazy range
-//! splitting on sumEuler (chunk_size ∈ {1, 10, paper-default}), and
-//! persistent-pool vs respawn-per-wave on APSP.
+//! Scheduling ablations: fixed-chunk dealing vs lazy range splitting
+//! on sumEuler (chunk_size ∈ {1, 10, paper-default}),
+//! persistent-pool vs respawn-per-wave on APSP, and randomized vs
+//! round-robin victim selection — pick one table (or all) with
+//! `--ablation`.
 //!
 //! With `--quick` the inputs are tiny but still drive every new code
 //! path — batch steals, range splits, idle parking, pool reuse — which
 //! is what the CI smoke step runs on every push.
 //!
 //! ```text
-//! cargo run -p rph-bench --release --bin granularity_ablation [--quick]
+//! cargo run -p rph-bench --release --bin granularity_ablation \
+//!     [--quick] [--ablation granularity|pool-reuse|steal-policy|all]
 //! ```
 
+use rph_bench::granularity::Ablation;
 use rph_bench::{granularity, quick, write_artifact};
+
+fn ablation_arg() -> Ablation {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--ablation" {
+            let v = args.next().unwrap_or_default();
+            return Ablation::parse(&v).unwrap_or_else(|| {
+                eprintln!("unknown --ablation value {v:?}; expected granularity, pool-reuse, steal-policy or all");
+                std::process::exit(2);
+            });
+        }
+    }
+    Ablation::All
+}
 
 fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!(
-        "Adaptive-granularity ablation on this host ({cores} core{})\n",
+        "Scheduling ablations on this host ({cores} core{})\n",
         if cores == 1 { "" } else { "s" }
     );
     if cores < 4 {
@@ -26,6 +44,6 @@ fn main() {
              when there is no real parallelism to schedule\n"
         );
     }
-    let csv = granularity::run(quick());
+    let csv = granularity::run(quick(), ablation_arg());
     write_artifact("granularity_ablation.csv", &csv);
 }

@@ -74,7 +74,7 @@ fn trace_workload(name: &str, w: &dyn NativeWorkload, backend: BackendKind) -> S
         let cfg = NativeConfig::new(workers)
             .with_backend(backend)
             .with_trace();
-        let m = w.run_on(&cfg);
+        let m = w.run_on(&cfg).expect("native run failed");
         assert_eq!(
             m.value,
             w.expected_value(),
@@ -158,10 +158,10 @@ fn overhead_report(quick: bool) {
     let mut plain = Duration::MAX;
     let mut traced = Duration::MAX;
     for _ in 0..OVERHEAD_REPS {
-        let m = se.run_on(&plain_cfg);
+        let m = se.run_on(&plain_cfg).expect("native run failed");
         assert_eq!(m.value, expected);
         plain = plain.min(m.wall);
-        let m = se.run_on(&traced_cfg);
+        let m = se.run_on(&traced_cfg).expect("native run failed");
         assert_eq!(m.value, expected);
         traced = traced.min(m.wall);
     }

@@ -1,6 +1,8 @@
-//! The adaptive-granularity ablation: fixed-chunk dealing (the PR 1
-//! executor) vs lazy range splitting, plus the pool-reuse ablation for
-//! wave-structured APSP.
+//! The scheduling ablations behind the `granularity_ablation` binary:
+//! fixed-chunk dealing (the PR 1 executor) vs lazy range splitting,
+//! the pool-reuse ablation for wave-structured APSP, and randomized
+//! vs round-robin victim selection — selectable via [`Ablation`]
+//! (`--ablation` on the binary).
 //!
 //! The paper's sumEuler experiments hinge on spark granularity:
 //! chunk_size=1 drowns the fixed-task executor in per-task scheduling
@@ -12,9 +14,36 @@
 //! `granularity_ablation` smoke binary.
 
 use rph_core::prelude::*;
-use rph_native::{Granularity, NativeConfig};
+use rph_native::{Granularity, NativeConfig, StealPolicy};
 use rph_workloads::{Apsp, NativeWorkload, SumEuler};
 use std::time::Duration;
+
+/// Which ablation table(s) to produce — the `--ablation` flag of the
+/// `granularity_ablation` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// Fixed-chunk dealing vs lazy range splitting (sumEuler).
+    Granularity,
+    /// Persistent pool vs respawn-per-wave (APSP).
+    PoolReuse,
+    /// Randomized vs round-robin victim selection (sumEuler).
+    StealPolicy,
+    /// Every table.
+    All,
+}
+
+impl Ablation {
+    /// Parse a `--ablation` argument value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "granularity" => Some(Ablation::Granularity),
+            "pool-reuse" => Some(Ablation::PoolReuse),
+            "steal-policy" => Some(Ablation::StealPolicy),
+            "all" => Some(Ablation::All),
+            _ => None,
+        }
+    }
+}
 
 /// Repetitions per point; the minimum wall time is reported.
 const REPS: usize = 3;
@@ -59,7 +88,7 @@ pub fn sum_euler_granularity(quick: bool) -> String {
 
         let fixed_cfg = NativeConfig::steal(workers).with_granularity(Granularity::Fixed);
         let fixed = best_of(REPS, || {
-            let m = w.run_on(&fixed_cfg);
+            let m = w.run_on(&fixed_cfg).expect("fixed run failed");
             assert_eq!(m.value, expect, "fixed chunk={chunk}: wrong result");
             m.wall
         });
@@ -68,7 +97,7 @@ pub fn sum_euler_granularity(quick: bool) -> String {
         let mut splits = 0u64;
         let mut avg_batch = None;
         let lazy = best_of(REPS, || {
-            let m = w.run_on(&lazy_cfg);
+            let m = w.run_on(&lazy_cfg).expect("lazy run failed");
             assert_eq!(m.value, expect, "lazy chunk={chunk}: wrong result");
             splits = m.stats.splits;
             avg_batch = m.stats.mean_batch();
@@ -104,12 +133,12 @@ pub fn apsp_pool_reuse(quick: bool) -> String {
     );
 
     let pooled = best_of(REPS, || {
-        let m = w.run_on(&cfg);
+        let m = w.run_on(&cfg).expect("pooled apsp run failed");
         assert_eq!(m.value, expect, "pooled apsp: wrong result");
         m.wall
     });
     let respawn = best_of(REPS, || {
-        let m = w.run_native_respawn(&cfg);
+        let m = w.run_native_respawn(&cfg).expect("respawn apsp run failed");
         assert_eq!(m.value, expect, "respawn apsp: wrong result");
         m.wall
     });
@@ -130,9 +159,63 @@ pub fn apsp_pool_reuse(quick: bool) -> String {
     table.to_csv()
 }
 
-/// The full ablation (both tables); returns concatenated CSV.
-pub fn run(quick: bool) -> String {
-    let mut csv = sum_euler_granularity(quick);
-    csv.push_str(&apsp_pool_reuse(quick));
+/// Victim-selection ablation: randomized sweep permutation (the
+/// default since PR 4) vs fixed round-robin order, on fine-grained
+/// sumEuler where steal pressure is highest. Prints the table; returns
+/// its CSV.
+pub fn steal_policy(quick: bool) -> String {
+    let n: i64 = if quick { 800 } else { 6_000 };
+    let workers = host_workers();
+    let w = SumEuler::new(n).with_chunk_size(1);
+    let expect = w.expected();
+    println!(
+        "sumEuler [1..{n}] steal-policy ablation (chunk 1), {workers} workers, {REPS} reps best-of"
+    );
+
+    let mut table = TextTable::new(&["policy", "ms", "steals", "vs randomized"]);
+    let mut base_ms = None;
+    for (label, policy) in [
+        ("randomized", StealPolicy::Randomized),
+        ("round-robin", StealPolicy::RoundRobin),
+    ] {
+        let cfg = NativeConfig::steal(workers).with_steal_policy(policy);
+        let mut steals = 0u64;
+        let wall = best_of(REPS, || {
+            let m = w.run_on(&cfg).expect("steal-policy run failed");
+            assert_eq!(m.value, expect, "{label}: wrong result");
+            steals = m.stats.tasks_stolen;
+            m.wall
+        });
+        let rel = match base_ms {
+            None => {
+                base_ms = Some(ms(wall));
+                "1.00".into()
+            }
+            Some(b) => format!("{:.2}", ms(wall) / b),
+        };
+        table.row(&[
+            label.into(),
+            format!("{:.2}", ms(wall)),
+            steals.to_string(),
+            rel,
+        ]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    table.to_csv()
+}
+
+/// The selected ablation table(s); returns concatenated CSV.
+pub fn run(quick: bool, which: Ablation) -> String {
+    let mut csv = String::new();
+    if matches!(which, Ablation::Granularity | Ablation::All) {
+        csv.push_str(&sum_euler_granularity(quick));
+    }
+    if matches!(which, Ablation::PoolReuse | Ablation::All) {
+        csv.push_str(&apsp_pool_reuse(quick));
+    }
+    if matches!(which, Ablation::StealPolicy | Ablation::All) {
+        csv.push_str(&steal_policy(quick));
+    }
     csv
 }

@@ -1,0 +1,42 @@
+//! Cooperative cancellation for native runs.
+
+use rph_deque::CachePadded;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancel flag polled cooperatively by the pool's workers.
+///
+/// Cloning is cheap (an `Arc` bump); every clone observes the same
+/// flag, so a server can hand one end to the submitter and thread the
+/// other into the run. Cancellation is **cooperative and one-way**:
+/// once set the flag stays set, workers stop at the next *range
+/// boundary* (a range already being executed runs to its end — with
+/// lazy splitting under no thief demand that can be the whole job, so
+/// latency-sensitive callers should also poll inside their task
+/// bodies), and a worker parked on the eventcount notices within the
+/// park safety timeout (10 ms). The run then reports
+/// [`crate::RunError::Cancelled`] and its partial results are
+/// discarded.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    // Its own cache line: the flag sits on every worker's range-pop
+    // path, next to nothing else it should false-share with.
+    flag: Arc<CachePadded<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A fresh, unset token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Has [`Self::cancel`] been called (on any clone)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}

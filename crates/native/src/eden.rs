@@ -23,6 +23,7 @@
 //!   for `waitForSpace`/`waitForData` in the paper's Fig. 4.
 
 use crate::channel::{Packet, Receiver, Sender, TrySendError};
+use crate::error::EdenIncomplete;
 use crate::executor::{NativeConfig, NativeOutcome, NativeStats};
 use crate::trace::{map_events, NEvent, NEventKind, TraceBuf};
 use rph_trace::{CapId, Tracer, WallClock};
@@ -262,12 +263,42 @@ pub(crate) fn drain_results<T>(
 }
 
 /// Turn `slots` (filled by packet index) into a dense result vector,
-/// panicking on any hole — a hole means a PE died or a packet was
-/// lost, both of which the joins should already have surfaced.
-pub(crate) fn into_values<T>(slots: Vec<Option<T>>) -> Vec<T> {
-    slots
-        .into_iter()
+/// or the indices of every hole — a hole means a PE died before
+/// producing that task's result packet.
+pub(crate) fn try_into_values<T>(slots: Vec<Option<T>>) -> Result<Vec<T>, Vec<u32>> {
+    let missing: Vec<u32> = slots
+        .iter()
         .enumerate()
-        .map(|(i, s)| s.unwrap_or_else(|| panic!("task {i} never produced a result packet")))
-        .collect()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| i as u32)
+        .collect();
+    if !missing.is_empty() {
+        return Err(missing);
+    }
+    Ok(slots.into_iter().flatten().collect())
+}
+
+/// Final assembly step shared by the fallible skeletons: a clean run
+/// (no dead PEs, no result holes) becomes a [`NativeOutcome`]; any
+/// loss becomes the typed [`EdenIncomplete`] error naming the dead
+/// PEs and the lost task indices.
+pub(crate) fn finish_run<T>(
+    cfg: &NativeConfig,
+    slots: Vec<Option<T>>,
+    wall: Duration,
+    pe_reports: Vec<PeReport>,
+    dead_pes: Vec<u32>,
+    master: PeReport,
+) -> Result<NativeOutcome<T>, EdenIncomplete> {
+    match try_into_values(slots) {
+        Ok(values) if dead_pes.is_empty() => Ok(assemble(cfg, values, wall, pe_reports, master)),
+        // A PE died after delivering all its results: the values are
+        // complete, but the run is still reported as incomplete — the
+        // death was a task panic and callers must see it.
+        Ok(_) => Err(EdenIncomplete {
+            dead_pes,
+            missing: Vec::new(),
+        }),
+        Err(missing) => Err(EdenIncomplete { dead_pes, missing }),
+    }
 }

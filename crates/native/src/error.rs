@@ -1,0 +1,104 @@
+//! Typed errors for native runs.
+//!
+//! Until PR 6 every failure inside a native run — a panicking task on
+//! the steal backend, a dying PE on the Eden backend — was surfaced by
+//! panicking on the *calling* thread. That is fine for one-shot
+//! experiments and fatal for a long-running job server, where one
+//! poisoned tenant job must not take down the process serving everyone
+//! else. These types make the failure modes values instead:
+//!
+//! * [`JobPanicked`] — a task panicked on a pool worker; the run was
+//!   aborted but the pool threads survive and keep serving runs.
+//! * [`EdenIncomplete`] — one or more Eden PEs died mid-run, so the
+//!   result vector has holes; carries *which* PEs died and *which*
+//!   task indices were lost.
+//! * [`RunError`] — the union, plus cooperative [`Cancelled`]
+//!   (see [`crate::CancelToken`]), as produced by the fallible entry
+//!   points (`Pool::try_execute_cancellable`, `try_par_map`, …).
+//!
+//! [`Cancelled`]: RunError::Cancelled
+
+use std::fmt;
+
+/// A task panicked on a pool worker during a native run.
+///
+/// The run was aborted (remaining tasks were discarded) but the pool
+/// itself is intact: the worker caught the unwind, cleared its deque,
+/// and is waiting for the next run. Carries no payload — the panic
+/// message already went to the panic hook on the worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPanicked;
+
+impl fmt::Display for JobPanicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a worker panicked during a native run")
+    }
+}
+
+impl std::error::Error for JobPanicked {}
+
+/// An Eden run lost results because one or more PEs died mid-run.
+///
+/// A dying PE drops its channel endpoints, which unblocks its peers
+/// and lets the master's drain terminate; what remains is a result
+/// vector with holes. This error names the dead PEs and the task
+/// indices whose results never arrived, so a caller (the job server)
+/// can fail exactly the affected jobs and keep serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdenIncomplete {
+    /// PE ids (tracer row indices) whose threads panicked.
+    pub dead_pes: Vec<u32>,
+    /// Task indices that never produced a result packet.
+    pub missing: Vec<u32>,
+}
+
+impl fmt::Display for EdenIncomplete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Eden run incomplete: {} PE(s) died ({:?}), {} task result(s) lost",
+            self.dead_pes.len(),
+            self.dead_pes,
+            self.missing.len()
+        )
+    }
+}
+
+impl std::error::Error for EdenIncomplete {}
+
+/// Any way a fallible native run can end without a full result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A task panicked on a pool worker ([`JobPanicked`]).
+    Panicked(JobPanicked),
+    /// The run's [`crate::CancelToken`] was observed set; workers
+    /// stopped at the next range boundary and the partial results were
+    /// discarded.
+    Cancelled,
+    /// One or more Eden PEs died mid-run ([`EdenIncomplete`]).
+    Incomplete(EdenIncomplete),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Panicked(e) => e.fmt(f),
+            RunError::Cancelled => f.write_str("native run cancelled"),
+            RunError::Incomplete(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<JobPanicked> for RunError {
+    fn from(e: JobPanicked) -> Self {
+        RunError::Panicked(e)
+    }
+}
+
+impl From<EdenIncomplete> for RunError {
+    fn from(e: EdenIncomplete) -> Self {
+        RunError::Incomplete(e)
+    }
+}

@@ -388,9 +388,20 @@ pub struct NativeOutcome<T> {
 /// job), regardless of worker count, distribution policy or
 /// granularity; only the schedule — and the wall-clock time — varies.
 /// Wave-structured callers should hold a [`Pool`] and call
-/// [`Pool::execute`] repeatedly instead of paying a thread spawn/join
+/// [`Pool::try_execute`] repeatedly instead of paying a thread spawn/join
 /// per wave here.
 pub fn execute<J: Job>(job: &J, cfg: &NativeConfig) -> NativeOutcome<J::Out> {
+    try_execute(job, cfg).unwrap_or_else(|_| panic!("a worker panicked during a native run"))
+}
+
+/// [`execute`], surfacing a panicking task as `Err(JobPanicked)`
+/// instead of aborting the calling thread — the contract long-running
+/// callers (the job server) need. Persistent callers should hold a
+/// [`Pool`] and use [`Pool::try_execute`] directly.
+pub fn try_execute<J: Job>(
+    job: &J,
+    cfg: &NativeConfig,
+) -> Result<NativeOutcome<J::Out>, crate::error::JobPanicked> {
     let mut cfg = cfg.clone();
     if cfg.granularity == Granularity::Fixed {
         // Fixed granularity seeds one deque element per task: size the
@@ -398,7 +409,7 @@ pub fn execute<J: Job>(job: &J, cfg: &NativeConfig) -> NativeOutcome<J::Out> {
         // loop. (`chase_lev::new` rounds up to a power of two.)
         cfg.deque_cap = cfg.deque_cap.max(job.len());
     }
-    Pool::new(&cfg).execute(job)
+    Pool::new(&cfg).try_execute(job)
 }
 
 #[cfg(test)]
@@ -551,7 +562,7 @@ mod tests {
     fn pool_reuse_runs_many_jobs_on_the_same_threads() {
         let mut pool = Pool::new(&NativeConfig::steal(4));
         for wave in 0..10usize {
-            let out = pool.execute(&Squares(40 + wave));
+            let out = pool.try_execute(&Squares(40 + wave)).unwrap();
             assert_eq!(out.values, expected(40 + wave), "wave {wave}");
             assert_eq!(out.stats.tasks_run, 40 + wave as u64);
             assert_eq!(out.stats.per_worker.len(), 4);
@@ -567,7 +578,7 @@ mod tests {
                 idx / 2
             }
         }
-        let out = pool.execute(&Halves(33));
+        let out = pool.try_execute(&Halves(33)).unwrap();
         assert_eq!(out.values, (0..33).map(|i| i / 2).collect::<Vec<_>>());
     }
 

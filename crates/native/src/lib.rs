@@ -16,7 +16,7 @@
 //!   by writing each task's result into its slot of a shared
 //!   [`ResultHeap`] exactly once.
 //! * A [`Pool`] spawns one worker per requested core **once** and
-//!   accepts repeated [`Pool::execute`] calls — wave-structured
+//!   accepts repeated [`Pool::try_execute`] calls — wave-structured
 //!   workloads (APSP's n pivot waves) reuse the same threads instead
 //!   of paying n spawn/join barriers. [`execute`] remains the one-shot
 //!   convenience wrapper.
@@ -43,7 +43,7 @@
 //!   wall-clock events (run start/end, executed ranges, steal
 //!   successes/retries/empties, batch transfers, lazy splits,
 //!   park/unpark) into a pre-allocated lock-free buffer, drained by
-//!   `Pool::execute` into an [`rph_trace::Tracer`] — so native runs
+//!   `Pool::try_execute` into an [`rph_trace::Tracer`] — so native runs
 //!   render the same per-core activity timelines, CSVs and occupancy
 //!   fractions as the simulators (the paper's Fig. 2/4 view), with
 //!   time in nanoseconds.
@@ -70,8 +70,10 @@
 //!   blocks land in the same wall-clock trace machinery, so Eden runs
 //!   render the same per-core timelines — now with message events.
 
+mod cancel;
 pub mod channel;
 mod eden;
+mod error;
 mod executor;
 mod park;
 mod pool;
@@ -79,10 +81,14 @@ pub mod skeletons;
 mod trace;
 mod victim;
 
+pub use cancel::CancelToken;
 pub use channel::{bounded, Packet, Receiver, Sender, TrySendError, Wordsize};
+pub use error::{EdenIncomplete, JobPanicked, RunError};
 pub use executor::{
-    execute, BackendKind, Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats,
-    ResultHeap, StealPolicy, DEFAULT_CHAN_CAP, DEFAULT_TRACE_CAP,
+    execute, try_execute, BackendKind, Distribution, Granularity, Job, NativeConfig, NativeOutcome,
+    NativeStats, ResultHeap, StealPolicy, DEFAULT_CHAN_CAP, DEFAULT_TRACE_CAP,
 };
 pub use pool::Pool;
-pub use skeletons::{master_worker, par_map, ring, RingJob, Skeleton};
+pub use skeletons::{
+    master_worker, par_map, ring, try_master_worker, try_par_map, try_ring, RingJob, Skeleton,
+};

@@ -1,7 +1,7 @@
 //! The persistent worker pool with adaptive-granularity scheduling.
 //!
 //! [`Pool`] spawns its OS workers **once** and accepts repeated
-//! [`Pool::execute`] calls: wave-structured workloads (APSP issues one
+//! [`Pool::try_execute`] calls: wave-structured workloads (APSP issues one
 //! run per pivot) reuse the same threads and deques instead of paying a
 //! full spawn/join barrier per wave. Within a run:
 //!
@@ -20,6 +20,8 @@
 //!   park on the [`EventCount`] until a push or run completion wakes
 //!   them (see `park.rs` for the lost-wakeup argument).
 
+use crate::cancel::CancelToken;
+use crate::error::{JobPanicked, RunError};
 use crate::executor::{
     Distribution, Granularity, Job, NativeConfig, NativeOutcome, NativeStats, ResultHeap,
     StealPolicy,
@@ -41,7 +43,7 @@ const SPIN_SWEEPS: usize = 64;
 /// Most tasks a single run hands to the workers: range bounds must fit
 /// the packed `(lo, hi)` u32 halves of a deque element. Longer jobs
 /// are executed as consecutive chunks of at most this many tasks (see
-/// [`Pool::execute`]) instead of silently truncating indices.
+/// [`Pool::try_execute`]) instead of silently truncating indices.
 const MAX_RUN_TASKS: usize = u32::MAX as usize;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -49,8 +51,8 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// One run, as published to the workers. The runner reference is
-/// lifetime-erased; see the safety comment in [`Pool::execute`].
-#[derive(Clone, Copy)]
+/// lifetime-erased; see the safety comment in [`Pool::try_execute`].
+#[derive(Clone)]
 struct RunCmd {
     runner: &'static (dyn Fn(u64) + Sync),
     n: u64,
@@ -59,6 +61,9 @@ struct RunCmd {
     /// The run's shared time zero, so every worker's trace events and
     /// the coordinator's wall measurement agree.
     clock: WallClock,
+    /// Cooperative cancel flag for this run, polled at range
+    /// boundaries. `None` for uncancellable runs.
+    cancel: Option<CancelToken>,
 }
 
 /// Per-worker, per-run counters, accumulated without synchronisation
@@ -126,7 +131,7 @@ struct Shared {
 /// A persistent pool of worker threads executing [`Job`]s.
 ///
 /// Workers are spawned by [`Pool::new`] and joined on drop; every
-/// [`Pool::execute`] in between reuses them. `execute` takes `&mut
+/// [`Pool::try_execute`] in between reuses them. `execute` takes `&mut
 /// self` — runs are strictly sequential per pool.
 pub struct Pool {
     shared: Arc<Shared>,
@@ -213,12 +218,50 @@ impl Pool {
     /// tasks) are executed as consecutive chunks — every task still
     /// runs exactly once and results stay in task order; indices are
     /// never truncated.
+    ///
+    /// A panicking task aborts the run (remaining tasks are
+    /// discarded) and surfaces here as `Err(JobPanicked)`; the pool's
+    /// workers survive and keep serving subsequent runs.
+    pub fn try_execute<J: Job>(&mut self, job: &J) -> Result<NativeOutcome<J::Out>, JobPanicked> {
+        self.execute_inner(job, None).map_err(|e| match e {
+            RunError::Panicked(p) => p,
+            // No token was supplied and the pool raises nothing else.
+            e => unreachable!("uncancellable pool run failed with {e}"),
+        })
+    }
+
+    /// [`Self::try_execute`] with a cooperative [`CancelToken`]:
+    /// workers poll the token at every range boundary (and parked
+    /// workers within the 10 ms park safety timeout), so a cancelled
+    /// run winds down after at most one in-flight range per worker and
+    /// returns `Err(RunError::Cancelled)`, discarding partial results.
+    pub fn try_execute_cancellable<J: Job>(
+        &mut self,
+        job: &J,
+        cancel: &CancelToken,
+    ) -> Result<NativeOutcome<J::Out>, RunError> {
+        self.execute_inner(job, Some(cancel))
+    }
+
+    /// Panicking wrapper kept for one release: existing one-shot
+    /// callers that treat a task panic as fatal. New code — anything
+    /// long-running — should use [`Self::try_execute`].
+    #[deprecated(note = "use try_execute: a panicking job aborts the calling thread here")]
     pub fn execute<J: Job>(&mut self, job: &J) -> NativeOutcome<J::Out> {
+        self.try_execute(job)
+            .unwrap_or_else(|_| panic!("a worker panicked during a native run"))
+    }
+
+    fn execute_inner<J: Job>(
+        &mut self,
+        job: &J,
+        cancel: Option<&CancelToken>,
+    ) -> Result<NativeOutcome<J::Out>, RunError> {
         let n = job.len();
         let workers = self.shared.workers;
         let mut trace = self.shared.trace_on.then(|| Tracer::new(workers));
         if n == 0 {
-            return NativeOutcome {
+            return Ok(NativeOutcome {
                 values: Vec::new(),
                 wall: Duration::ZERO,
                 stats: NativeStats {
@@ -227,7 +270,7 @@ impl Pool {
                 },
                 trace,
                 trace_dropped: 0,
-            };
+            });
         }
 
         let clock = WallClock::start();
@@ -240,6 +283,9 @@ impl Pool {
         let mut wall = Duration::ZERO;
         let mut base = 0usize;
         while base < n {
+            if cancel.is_some_and(|t| t.is_cancelled()) {
+                return Err(RunError::Cancelled);
+            }
             let count = (n - base).min(self.run_cap);
             let heap = ResultHeap::new(count);
             let runner = |i: u64| heap.publish(i as usize, job.run(base + i as usize));
@@ -263,6 +309,7 @@ impl Pool {
                     mode: self.mode,
                     granularity: self.granularity,
                     clock,
+                    cancel: cancel.cloned(),
                 });
                 ctrl.run_seq += 1;
                 ctrl.done = 0;
@@ -291,8 +338,15 @@ impl Pool {
             };
             wall += start.elapsed();
 
+            // Abort checks, in precedence order: a panic trumps a
+            // cancel that raced in during the same chunk. On either,
+            // `heap` is dropped part-filled — the asserts below only
+            // hold for completed chunks.
             if self.shared.panicked.load(Ordering::SeqCst) {
-                panic!("a worker panicked during a native run");
+                return Err(RunError::Panicked(JobPanicked));
+            }
+            if cancel.is_some_and(|t| t.is_cancelled()) {
+                return Err(RunError::Cancelled);
             }
             debug_assert_eq!(self.shared.remaining.load(Ordering::SeqCst), 0);
             assert_eq!(chunk_stats.tasks_run, count as u64, "tasks left behind");
@@ -301,13 +355,13 @@ impl Pool {
             base += count;
         }
         assert_eq!(stats.tasks_run, n as u64, "tasks left behind");
-        NativeOutcome {
+        Ok(NativeOutcome {
             values,
             wall,
             stats,
             trace,
             trace_dropped,
-        }
+        })
     }
 }
 
@@ -370,7 +424,7 @@ fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
                 }
                 if ctrl.run_seq != seen_seq {
                     seen_seq = ctrl.run_seq;
-                    break ctrl.cmd.expect("run_seq bumped without a command");
+                    break ctrl.cmd.clone().expect("run_seq bumped without a command");
                 }
                 ctrl = shared
                     .start_cv
@@ -398,9 +452,9 @@ fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
             shared.panicked.store(true, Ordering::SeqCst);
             shared.ec.notify_all();
         }
-        if shared.panicked.load(Ordering::SeqCst) {
-            // Abandoned run: clear leftovers so they cannot leak into
-            // the next run's index space.
+        if shared.panicked.load(Ordering::SeqCst) || run.cancelled() {
+            // Abandoned run (panic or cancellation): clear leftovers so
+            // they cannot leak into the next run's index space.
             while local.pop().is_some() {}
         }
 
@@ -438,8 +492,13 @@ impl RunCtx<'_> {
             && workers > 1;
 
         'run: loop {
-            // Drain the local pool (owner end, LIFO).
+            // Drain the local pool (owner end, LIFO). The cancel poll
+            // sits here, at the range boundary: a popped range runs to
+            // completion, the *next* pop observes the token.
             while let Some(r) = self.local.pop() {
+                if self.cancelled() {
+                    break 'run;
+                }
                 self.process(r, false, split, stats, tbuf);
             }
             if self.cmd.mode == Distribution::Push {
@@ -539,11 +598,17 @@ impl RunCtx<'_> {
         tbuf.record(NEventKind::RunEnd);
     }
 
-    /// True when the run is over (all tasks done, or aborted by a
-    /// sibling's panic).
+    /// True when the run is over (all tasks done, aborted by a
+    /// sibling's panic, or cancelled).
     fn finished(&self) -> bool {
         self.shared.remaining.load(Ordering::Acquire) == 0
             || self.shared.panicked.load(Ordering::Relaxed)
+            || self.cancelled()
+    }
+
+    /// Has this run's cancel token (if any) been set?
+    fn cancelled(&self) -> bool {
+        self.cmd.cancel.as_ref().is_some_and(|t| t.is_cancelled())
     }
 
     /// Seed this worker's own deque for the run. Every worker seeds
@@ -657,7 +722,7 @@ mod tests {
         for cfg in [NativeConfig::steal(3), NativeConfig::push(3)] {
             let mut pool = Pool::new(&cfg);
             pool.set_run_cap_for_tests(10);
-            let out = pool.execute(&Squares(25));
+            let out = pool.try_execute(&Squares(25)).unwrap();
             let expect: Vec<u64> = (0..25u64).map(|i| i * i).collect();
             assert_eq!(out.values, expect, "{cfg:?}");
             assert_eq!(out.stats.tasks_run, 25, "{cfg:?}");
@@ -674,7 +739,7 @@ mod tests {
     fn chunked_runs_trace_and_reconcile() {
         let mut pool = Pool::new(&NativeConfig::steal(2).with_trace());
         pool.set_run_cap_for_tests(10);
-        let out = pool.execute(&Squares(25));
+        let out = pool.try_execute(&Squares(25)).unwrap();
         assert_eq!(out.stats.tasks_run, 25);
         assert_eq!(out.trace_dropped, 0);
         let trace = out.trace.as_ref().expect("traced run returns a tracer");
@@ -690,5 +755,90 @@ mod tests {
         // across chunk boundaries; assert order explicitly anyway.
         let merged = trace.merged();
         assert!(merged.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    /// The PR 6 bugfix contract: a panicking job surfaces as an error
+    /// on the calling thread and the *same* pool keeps serving
+    /// subsequent runs on its surviving workers.
+    #[test]
+    fn pool_survives_a_panicking_job_and_keeps_serving() {
+        struct Exploding;
+        impl Job for Exploding {
+            type Out = u64;
+            fn len(&self) -> usize {
+                16
+            }
+            fn run(&self, idx: usize) -> u64 {
+                assert!(idx != 7, "boom");
+                idx as u64
+            }
+        }
+        let mut pool = Pool::new(&NativeConfig::steal(3));
+        for round in 0..3 {
+            let err = pool.try_execute(&Exploding);
+            assert!(err.is_err(), "round {round}: panic must surface as Err");
+            let out = pool.try_execute(&Squares(30)).unwrap();
+            let expect: Vec<u64> = (0..30u64).map(|i| i * i).collect();
+            assert_eq!(out.values, expect, "round {round}: pool must keep serving");
+            assert_eq!(out.stats.tasks_run, 30, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_run_does_no_work() {
+        let mut pool = Pool::new(&NativeConfig::steal(2));
+        let token = CancelToken::new();
+        token.cancel();
+        let err = pool.try_execute_cancellable(&Squares(1000), &token);
+        assert_eq!(err.unwrap_err(), RunError::Cancelled);
+        // The pool is unaffected: a fresh token runs normally.
+        let out = pool.try_execute_cancellable(&Squares(10), &CancelToken::new());
+        assert_eq!(out.unwrap().stats.tasks_run, 10);
+    }
+
+    /// Cancellation is observed at range boundaries: with fixed
+    /// granularity every task is its own range, so once a task sets
+    /// the token, each worker finishes at most its in-flight range and
+    /// stops — far short of the full job.
+    #[test]
+    fn cancel_mid_run_is_observed_within_a_range() {
+        struct SelfCancelling {
+            token: CancelToken,
+            ran: AtomicU64,
+        }
+        impl Job for SelfCancelling {
+            type Out = u64;
+            fn len(&self) -> usize {
+                4096
+            }
+            fn run(&self, idx: usize) -> u64 {
+                self.ran.fetch_add(1, Ordering::Relaxed);
+                // The owner pops the *top* index first (LIFO), a thief
+                // steals the *bottom* index first (FIFO end) — so the
+                // first task either thread executes sets the token.
+                if idx == 0 || idx == 4095 {
+                    self.token.cancel();
+                }
+                idx as u64
+            }
+        }
+        let mut pool = Pool::new(&NativeConfig::steal(2).with_granularity(Granularity::Fixed));
+        let job = SelfCancelling {
+            token: CancelToken::new(),
+            ran: AtomicU64::new(0),
+        };
+        let err = pool.try_execute_cancellable(&job, &job.token);
+        assert_eq!(err.unwrap_err(), RunError::Cancelled);
+        let ran = job.ran.load(Ordering::Relaxed);
+        // The first executed task set the token; each worker then
+        // finishes at most the range already in flight before its next
+        // pop observes it. Unit ranges → a handful of tasks, tops.
+        assert!(
+            ran < 64,
+            "cancellation not observed at range boundaries ({ran} tasks ran)"
+        );
+        // And the pool still serves the next run.
+        let out = pool.try_execute(&Squares(12)).unwrap();
+        assert_eq!(out.stats.tasks_run, 12);
     }
 }

@@ -24,11 +24,16 @@
 //! rendering) treats the two backends uniformly.
 //!
 //! Panic behaviour: a panicking PE drops its channel endpoints, which
-//! unblocks its peers (their sends/recvs observe the close); the
-//! skeleton then re-raises the PE's panic on the calling thread.
+//! unblocks its peers (their sends/recvs observe the close) and lets
+//! the master's drain terminate. The fallible entry points
+//! ([`try_par_map`], [`try_master_worker`], [`try_ring`]) then report
+//! a typed [`EdenIncomplete`] naming the dead PEs and the task
+//! indices whose results were lost; the infallible wrappers panic on
+//! that error for one-shot callers.
 
 use crate::channel::{bounded_with_notify, Packet, Receiver, Sender, Wordsize};
-use crate::eden::{assemble, drain_results, empty_outcome, into_values, Endpoint, PeReport};
+use crate::eden::{drain_results, empty_outcome, finish_run, Endpoint, PeReport, PeStats};
+use crate::error::EdenIncomplete;
 use crate::executor::{Job, NativeConfig, NativeOutcome};
 use crate::park::EventCount;
 use crate::pool::block_share;
@@ -52,32 +57,74 @@ pub enum Skeleton {
 }
 
 impl Skeleton {
-    /// Run `job` under this skeleton.
+    /// Run `job` under this skeleton, panicking if a PE dies mid-run
+    /// (the one-shot contract; long-running callers use
+    /// [`Self::try_run`]).
     pub fn run<J>(self, job: &J, cfg: &NativeConfig) -> NativeOutcome<J::Out>
     where
         J: Job,
         J::Out: Wordsize,
     {
+        self.try_run(job, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run `job` under this skeleton, reporting a dead PE as a typed
+    /// [`EdenIncomplete`] instead of panicking.
+    pub fn try_run<J>(
+        self,
+        job: &J,
+        cfg: &NativeConfig,
+    ) -> Result<NativeOutcome<J::Out>, EdenIncomplete>
+    where
+        J: Job,
+        J::Out: Wordsize,
+    {
         match self {
-            Skeleton::ParMap => par_map(job, cfg),
-            Skeleton::MasterWorker { prefetch } => master_worker(job, cfg, prefetch),
+            Skeleton::ParMap => try_par_map(job, cfg),
+            Skeleton::MasterWorker { prefetch } => try_master_worker(job, cfg, prefetch),
         }
     }
 }
 
-/// Join the PE threads, re-raising the first panic, and return their
-/// reports in PE order.
-fn join_all(handles: Vec<std::thread::ScopedJoinHandle<'_, PeReport>>) -> Vec<PeReport> {
-    handles
+/// Join the PE threads, swallowing (already-hooked) panics: a dead
+/// PE contributes an empty report and its id to the returned list,
+/// so the caller can surface a typed error instead of unwinding.
+fn try_join_all(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, PeReport>>,
+) -> (Vec<PeReport>, Vec<u32>) {
+    let mut dead = Vec::new();
+    let reports = handles
         .into_iter()
-        .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-        .collect()
+        .enumerate()
+        .map(|(w, h)| match h.join() {
+            Ok(rep) => rep,
+            Err(_) => {
+                dead.push(w as u32);
+                PeReport {
+                    stats: PeStats::default(),
+                    events: Vec::new(),
+                    dropped: 0,
+                }
+            }
+        })
+        .collect();
+    (reports, dead)
 }
 
 /// Static farm: task `i` runs on PE `i mod workers`; every PE streams
 /// `(index, value)` result packets to the master, which collects them
-/// into task order.
+/// into task order. Panics if a PE dies mid-run; see [`try_par_map`].
 pub fn par_map<J>(job: &J, cfg: &NativeConfig) -> NativeOutcome<J::Out>
+where
+    J: Job,
+    J::Out: Wordsize,
+{
+    try_par_map(job, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`par_map`], reporting a dead PE as [`EdenIncomplete`] instead of
+/// panicking.
+pub fn try_par_map<J>(job: &J, cfg: &NativeConfig) -> Result<NativeOutcome<J::Out>, EdenIncomplete>
 where
     J: Job,
     J::Out: Wordsize,
@@ -85,7 +132,7 @@ where
     let workers = cfg.workers.max(1);
     let n = job.len();
     if n == 0 {
-        return empty_outcome(cfg);
+        return Ok(empty_outcome(cfg));
     }
     let clock = WallClock::start();
     let master_id = workers as u32;
@@ -97,7 +144,7 @@ where
         txs.push(tx);
         rxs.push(rx);
     }
-    let (values, pe_reports, master_report) = std::thread::scope(|s| {
+    let (slots, pe_reports, dead_pes, master_report) = std::thread::scope(|s| {
         let handles: Vec<_> = txs
             .into_iter()
             .enumerate()
@@ -133,19 +180,36 @@ where
             assert!(prev.is_none(), "task {} produced two results", pkt.idx);
         });
         master.tbuf.record(NEventKind::RunEnd);
-        let reports = join_all(handles);
-        (into_values(slots), reports, master.finish())
+        let (reports, dead) = try_join_all(handles);
+        (slots, reports, dead, master.finish())
     });
     let wall = clock.epoch().elapsed();
-    assemble(cfg, values, wall, pe_reports, master_report)
+    finish_run(cfg, slots, wall, pe_reports, dead_pes, master_report)
 }
 
 /// Demand-driven farm: the master primes each worker with `prefetch`
 /// task packets, then releases one new task per result received —
 /// irregular tasks (nqueens subtrees) flow to whoever is free. With
 /// fewer tasks than PEs the surplus workers receive an immediately
-/// closed task stream and exit without deadlocking.
+/// closed task stream and exit without deadlocking. Panics if a PE
+/// dies mid-run; see [`try_master_worker`].
 pub fn master_worker<J>(job: &J, cfg: &NativeConfig, prefetch: usize) -> NativeOutcome<J::Out>
+where
+    J: Job,
+    J::Out: Wordsize,
+{
+    try_master_worker(job, cfg, prefetch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`master_worker`], reporting a dead PE as [`EdenIncomplete`]
+/// instead of panicking: tasks already handed to a PE that dies are
+/// lost (their indices land in [`EdenIncomplete::missing`]), while
+/// the remaining tasks keep flowing to the surviving PEs.
+pub fn try_master_worker<J>(
+    job: &J,
+    cfg: &NativeConfig,
+    prefetch: usize,
+) -> Result<NativeOutcome<J::Out>, EdenIncomplete>
 where
     J: Job,
     J::Out: Wordsize,
@@ -153,7 +217,7 @@ where
     let workers = cfg.workers.max(1);
     let n = job.len();
     if n == 0 {
-        return empty_outcome(cfg);
+        return Ok(empty_outcome(cfg));
     }
     let prefetch = prefetch.max(1);
     let clock = WallClock::start();
@@ -194,7 +258,7 @@ where
         }
     }
 
-    let (values, pe_reports, master_report) = std::thread::scope(|s| {
+    let (slots, pe_reports, dead_pes, master_report) = std::thread::scope(|s| {
         let handles: Vec<_> = task_rxs
             .into_iter()
             .zip(res_txs)
@@ -254,11 +318,11 @@ where
         });
         master.tbuf.record(NEventKind::RunEnd);
         drop(task_txs);
-        let reports = join_all(handles);
-        (into_values(slots), reports, master.finish())
+        let (reports, dead) = try_join_all(handles);
+        (slots, reports, dead, master.finish())
     });
     let wall = clock.epoch().elapsed();
-    assemble(cfg, values, wall, pe_reports, master_report)
+    finish_run(cfg, slots, wall, pe_reports, dead_pes, master_report)
 }
 
 /// A wave-structured computation for the [`ring`] skeleton: `len`
@@ -294,12 +358,24 @@ pub trait RingJob: Sync {
 /// successor is the owner, which already has it) and updates its
 /// block. After the last wave each PE streams its block back to the
 /// master. One pivot thus crosses each ring edge at most once per
-/// wave — `workers - 1` sends per wave, never `workers²`.
+/// wave — `workers - 1` sends per wave, never `workers²`. Panics if a
+/// PE dies mid-run; see [`try_ring`].
 pub fn ring<R: RingJob>(job: &R, cfg: &NativeConfig) -> NativeOutcome<R::Item> {
+    try_ring(job, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`ring`], reporting dead PEs as [`EdenIncomplete`] instead of
+/// panicking. A dying PE severs the ring, so its neighbours' waves
+/// cannot complete either: expect a cascade where several (often all)
+/// PEs land in [`EdenIncomplete::dead_pes`].
+pub fn try_ring<R: RingJob>(
+    job: &R,
+    cfg: &NativeConfig,
+) -> Result<NativeOutcome<R::Item>, EdenIncomplete> {
     let workers = cfg.workers.max(1);
     let n = job.len();
     if n == 0 {
-        return empty_outcome(cfg);
+        return Ok(empty_outcome(cfg));
     }
     let clock = WallClock::start();
     let master_id = workers as u32;
@@ -332,7 +408,7 @@ pub fn ring<R: RingJob>(job: &R, cfg: &NativeConfig) -> NativeOutcome<R::Item> {
         res_rxs.push(rx);
     }
 
-    let (values, pe_reports, master_report) = std::thread::scope(|s| {
+    let (slots, pe_reports, dead_pes, master_report) = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
         for (w, res_tx) in res_txs.into_iter().enumerate() {
             let succ = (w + 1) % workers;
@@ -411,11 +487,11 @@ pub fn ring<R: RingJob>(job: &R, cfg: &NativeConfig) -> NativeOutcome<R::Item> {
             assert!(prev.is_none(), "item {} returned twice", pkt.idx);
         });
         master.tbuf.record(NEventKind::RunEnd);
-        let reports = join_all(handles);
-        (into_values(slots), reports, master.finish())
+        let (reports, dead) = try_join_all(handles);
+        (slots, reports, dead, master.finish())
     });
     let wall = clock.epoch().elapsed();
-    assemble(cfg, values, wall, pe_reports, master_report)
+    finish_run(cfg, slots, wall, pe_reports, dead_pes, master_report)
 }
 
 #[cfg(test)]
@@ -644,5 +720,37 @@ mod tests {
             let r = std::panic::catch_unwind(|| skel.run(&Exploding, &NativeConfig::new(4)));
             assert!(r.is_err(), "{skel:?}: PE panic must reach the caller");
         }
+    }
+
+    /// The PR 6 bugfix contract: through the fallible entry points a
+    /// dying PE becomes a typed error naming the dead PE and the task
+    /// indices whose results were lost — no panic on the caller, no
+    /// silent holes.
+    #[test]
+    fn dead_pe_surfaces_as_typed_error_with_lost_tasks() {
+        struct Exploding;
+        impl Job for Exploding {
+            type Out = i64;
+            fn len(&self) -> usize {
+                8
+            }
+            fn run(&self, idx: usize) -> i64 {
+                assert!(idx != 5, "boom");
+                idx as i64
+            }
+        }
+        for skel in [Skeleton::ParMap, Skeleton::MasterWorker { prefetch: 2 }] {
+            let err = skel
+                .try_run(&Exploding, &NativeConfig::new(4))
+                .expect_err("a dead PE must fail the run");
+            assert!(!err.dead_pes.is_empty(), "{skel:?}: {err:?}");
+            assert!(
+                err.missing.contains(&5),
+                "{skel:?}: the panicking task's result must be reported lost: {err:?}"
+            );
+        }
+        // par_map's static deal pins task 5 to PE 5 mod 4 = 1.
+        let err = try_par_map(&Exploding, &NativeConfig::new(4)).unwrap_err();
+        assert_eq!(err.dead_pes, vec![1]);
     }
 }

@@ -20,7 +20,7 @@
 //!   totals against counters.
 //! * At run end — off the hot path, under the pool's control lock each
 //!   worker already takes to publish its stats — the buffer is flushed
-//!   to the coordinator, and `Pool::execute` maps the compact records
+//!   to the coordinator, and `Pool::try_execute` maps the compact records
 //!   into [`rph_trace`] [`Event`]s (state changes plus the native
 //!   event kinds) on one [`Tracer`] row per worker. All of the
 //!   existing tooling — ASCII timelines, CSV, SVG, occupancy

@@ -1,0 +1,156 @@
+//! A fixed-size log-bucketed latency histogram (HDR-style): 16 linear
+//! sub-buckets per power of two, so every recorded duration lands
+//! within ~6% of its bucket's representative value while the whole
+//! structure stays a flat `u64` array — recording is two shifts and an
+//! increment, safe to call on the submission path.
+
+use std::time::Duration;
+
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS; // 16 sub-buckets per octave
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB; // covers all u64 ns
+
+/// Latency histogram over nanosecond durations.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB as u64 {
+        return ns as usize;
+    }
+    let exp = 63 - ns.leading_zeros(); // >= SUB_BITS
+    let sub = ((ns >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    (exp - SUB_BITS + 1) as usize * SUB + sub
+}
+
+/// Upper bound (inclusive representative) of a bucket, so reported
+/// quantiles never understate the recorded value.
+fn bucket_high(b: usize) -> u64 {
+    if b < SUB {
+        return b as u64;
+    }
+    let exp = (b / SUB) as u32 + SUB_BITS - 1;
+    let sub = (b % SUB) as u64;
+    ((sub + 1) << (exp - SUB_BITS)) - 1 + (1u64 << exp)
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded duration, exact.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The value at quantile `q` ∈ [0, 1]: an upper bound within one
+    /// bucket (~6%) of the true sample. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the observed maximum.
+                return Duration::from_nanos(bucket_high(b).min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotonic_and_cover() {
+        let mut last = 0;
+        for ns in [0u64, 1, 15, 16, 17, 100, 1_000, 65_535, 1 << 40, u64::MAX] {
+            let b = bucket_of(ns);
+            assert!(b >= last, "bucket order broke at {ns}");
+            assert!(b < BUCKETS);
+            assert!(bucket_high(b) >= ns, "upper bound below sample at {ns}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn bucket_error_is_bounded() {
+        for ns in [100u64, 1_000, 10_000, 123_456, 9_999_999] {
+            let hi = bucket_high(bucket_of(ns));
+            assert!(hi >= ns);
+            assert!(
+                (hi - ns) as f64 <= ns as f64 * 0.07,
+                "bucket too wide at {ns}: {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_order_and_bound() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        let p999 = h.quantile(0.999);
+        assert!(p50 <= p99 && p99 <= p999);
+        assert!(p50 >= Duration::from_micros(480) && p50 <= Duration::from_micros(540));
+        assert!(p999 <= h.max());
+        assert_eq!(h.max(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(20));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_micros(20));
+    }
+}

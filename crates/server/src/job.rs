@@ -1,0 +1,267 @@
+//! Job descriptions, handles and outcomes for the server front end.
+//!
+//! A job is a *class* (what to compute) owned by a *tenant*. Every
+//! class decomposes into a fixed number of independent **units** — the
+//! currency of admission control, fair scheduling and batching: the
+//! dispatcher packs units from many small jobs into one native pool
+//! run, and a unit is also the grain at which cancellation is observed
+//! and a panic is contained.
+
+use rph_native::CancelToken;
+use rph_workloads::kernels;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a job computes. Every class is a deterministic pure function
+/// of its description, so the server can cross-check results against
+/// [`JobClass::expected`] — the "zero lost or duplicated results"
+/// bench assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobClass {
+    /// Sum of Euler-totient values over `[1, n]`, chunked `chunk`
+    /// numbers per unit — the paper's sumEuler kernel as a service
+    /// request.
+    SumEuler { n: u32, chunk: u32 },
+    /// Synthetic CPU burn: `units` units of `iters` xorshift rounds
+    /// each. Exists so benches can dial service time independently of
+    /// the paper kernels.
+    Spin { units: u32, iters: u32 },
+    /// Like [`JobClass::Spin`], except unit `bad` panics — the fault
+    /// injection used to prove a panicking job is contained to itself.
+    Poison { units: u32, iters: u32, bad: u32 },
+}
+
+fn spin_unit(unit: u32, iters: u32) -> i64 {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64 ^ (u64::from(unit) << 32) ^ u64::from(iters);
+    for _ in 0..iters {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    (x & 0xffff) as i64
+}
+
+impl JobClass {
+    /// Number of independent units this job decomposes into.
+    pub fn units(&self) -> u32 {
+        match *self {
+            JobClass::SumEuler { n, chunk } => n.div_ceil(chunk.max(1)),
+            JobClass::Spin { units, .. } | JobClass::Poison { units, .. } => units,
+        }
+    }
+
+    /// Execute one unit to its value. Pure; panics only for the
+    /// designated unit of a [`JobClass::Poison`] job.
+    pub fn run_unit(&self, unit: u32) -> i64 {
+        match *self {
+            JobClass::SumEuler { n, chunk } => {
+                let chunk = chunk.max(1);
+                let lo = u64::from(unit) * u64::from(chunk) + 1;
+                let hi = (lo + u64::from(chunk) - 1).min(u64::from(n));
+                (lo..=hi).map(|k| kernels::phi_counted(k as i64).0).sum()
+            }
+            JobClass::Spin { iters, .. } => spin_unit(unit, iters),
+            JobClass::Poison { iters, bad, .. } => {
+                if unit == bad {
+                    panic!("poison job unit {unit} injected a panic");
+                }
+                spin_unit(unit, iters)
+            }
+        }
+    }
+
+    /// The value a completed job must produce; `None` for classes that
+    /// cannot complete (poison).
+    pub fn expected(&self) -> Option<i64> {
+        match self {
+            JobClass::Poison { .. } => None,
+            _ => Some((0..self.units()).map(|u| self.run_unit(u)).sum()),
+        }
+    }
+}
+
+/// Server-assigned job identifier, unique per server instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Terminal state of an accepted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Every unit ran; `value` is the combined result.
+    Done,
+    /// The job's (or the server's) cancel token was observed before
+    /// all units ran.
+    Cancelled,
+    /// A unit panicked; the panic was contained to this job.
+    Panicked,
+}
+
+/// What an accepted job resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobOutcome {
+    pub status: JobStatus,
+    /// Combined unit values. Meaningful only when `status` is
+    /// [`JobStatus::Done`].
+    pub value: i64,
+    /// Time spent in the admission queue before its batch dispatched.
+    pub queue_wait: Duration,
+    /// Wall time of the pool run that served this job's batch.
+    pub service: Duration,
+    /// Submission-to-completion time (`queue_wait` + `service` +
+    /// dispatch overhead).
+    pub latency: Duration,
+}
+
+/// One-shot completion slot: the dispatcher fills it exactly once,
+/// any number of waiters read it.
+#[derive(Default)]
+pub(crate) struct Oneshot {
+    cell: Mutex<Option<JobOutcome>>,
+    cv: Condvar,
+}
+
+impl Oneshot {
+    pub fn set(&self, outcome: JobOutcome) {
+        let mut cell = self.cell.lock().unwrap();
+        assert!(cell.is_none(), "job completed twice");
+        *cell = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    pub fn wait(&self) -> JobOutcome {
+        let mut cell = self.cell.lock().unwrap();
+        loop {
+            if let Some(out) = *cell {
+                return out;
+            }
+            cell = self.cv.wait(cell).unwrap();
+        }
+    }
+}
+
+/// The server's record of one accepted job, shared between the queue,
+/// the in-flight batch and the caller's [`JobHandle`].
+pub(crate) struct JobState {
+    pub id: JobId,
+    pub tenant: usize,
+    pub class: JobClass,
+    pub cancel: CancelToken,
+    pub submitted_at: Instant,
+    /// Units actually executed (not skipped by cancellation).
+    pub units_run: AtomicU64,
+    /// Set by the first unit of this job that panics.
+    pub panicked: AtomicBool,
+    pub slot: Oneshot,
+}
+
+impl JobState {
+    pub fn new(id: JobId, tenant: usize, class: JobClass) -> Arc<Self> {
+        Arc::new(JobState {
+            id,
+            tenant,
+            class,
+            cancel: CancelToken::new(),
+            submitted_at: Instant::now(),
+            units_run: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            slot: Oneshot::default(),
+        })
+    }
+}
+
+/// The caller's side of an accepted job: await it, cancel it, watch
+/// its progress. Dropping the handle neither cancels nor leaks the
+/// job — the server completes it regardless.
+pub struct JobHandle {
+    pub(crate) state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// The server-assigned id.
+    pub fn id(&self) -> JobId {
+        self.state.id
+    }
+
+    /// The tenant this job was submitted under.
+    pub fn tenant(&self) -> usize {
+        self.state.tenant
+    }
+
+    /// Request cooperative cancellation. Units already executed stay
+    /// executed; the token is observed before each remaining unit, so
+    /// a running job stops within one unit's work.
+    pub fn cancel(&self) {
+        self.state.cancel.cancel();
+    }
+
+    /// Units executed so far — visible while the job runs.
+    pub fn progress(&self) -> u64 {
+        self.state.units_run.load(Ordering::SeqCst)
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait(&self) -> JobOutcome {
+        self.state.slot.wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_euler_units_cover_exactly() {
+        let class = JobClass::SumEuler { n: 100, chunk: 7 };
+        assert_eq!(class.units(), 15);
+        // The chunked decomposition must sum to the plain kernel sum.
+        let plain: i64 = (1..=100).map(|k| kernels::phi_counted(k).0).sum();
+        assert_eq!(class.expected(), Some(plain));
+    }
+
+    #[test]
+    fn spin_is_deterministic() {
+        let class = JobClass::Spin {
+            units: 8,
+            iters: 10,
+        };
+        assert_eq!(class.expected(), class.expected());
+        assert_eq!(class.run_unit(3), class.run_unit(3));
+        assert_ne!(class.run_unit(3), class.run_unit(4));
+    }
+
+    #[test]
+    fn poison_has_no_oracle_and_panics_only_on_bad() {
+        let class = JobClass::Poison {
+            units: 4,
+            iters: 1,
+            bad: 2,
+        };
+        assert_eq!(class.expected(), None);
+        class.run_unit(0);
+        class.run_unit(3);
+        let err = std::panic::catch_unwind(|| class.run_unit(2));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn oneshot_resolves_once() {
+        let slot = Oneshot::default();
+        let out = JobOutcome {
+            status: JobStatus::Done,
+            value: 7,
+            queue_wait: Duration::ZERO,
+            service: Duration::ZERO,
+            latency: Duration::ZERO,
+        };
+        slot.set(out);
+        assert_eq!(slot.wait().value, 7);
+        assert_eq!(slot.wait().value, 7);
+    }
+}

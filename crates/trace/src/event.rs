@@ -198,6 +198,15 @@ pub enum EventKind {
     /// or multiplexed across all of its inbound channels (`None`, the
     /// master–worker master's select).
     NativeBlockRecv { from: Option<CapId> },
+    /// A job completed on the `rph-server` front end. Recorded on the
+    /// dispatcher's (master) row at completion time; `queued_ns` is
+    /// how long the job sat in the admission queue and `service_ns`
+    /// how long its batch took to execute, both in wall nanoseconds.
+    ServerJob {
+        job: u64,
+        queued_ns: u64,
+        service_ns: u64,
+    },
 }
 
 /// A single trace record: *when*, *where*, *what*.

@@ -53,6 +53,12 @@ pub struct Counters {
     pub native_send_blocks: u64,
     /// Native Eden PEs blocked on empty inbound channel(s).
     pub native_recv_blocks: u64,
+    /// Jobs completed by the `rph-server` front end.
+    pub server_jobs: u64,
+    /// Total admission-queue wait over those jobs, wall nanoseconds.
+    pub server_queued_ns: u64,
+    /// Total batch service time over those jobs, wall nanoseconds.
+    pub server_service_ns: u64,
 }
 
 impl Counters {
@@ -105,6 +111,15 @@ impl Counters {
                 EventKind::MsgRecv { .. } => c.messages_received += 1,
                 EventKind::NativeBlockSend { .. } => c.native_send_blocks += 1,
                 EventKind::NativeBlockRecv { .. } => c.native_recv_blocks += 1,
+                EventKind::ServerJob {
+                    queued_ns,
+                    service_ns,
+                    ..
+                } => {
+                    c.server_jobs += 1;
+                    c.server_queued_ns += *queued_ns;
+                    c.server_service_ns += *service_ns;
+                }
                 EventKind::ProcessInstantiated { .. } => c.processes_instantiated += 1,
                 EventKind::RunStart { .. } => c.native_runs += 1,
                 EventKind::NativeSteal { moved, .. } => {

@@ -18,9 +18,12 @@
 //!   the `ring` skeleton for APSP's pivot waves.
 //!
 //! The entry point is one trait, [`NativeWorkload::run_on`], which
-//! dispatches on [`NativeConfig::backend`] — the per-workload
-//! `run_native` methods remain as deprecated wrappers for one
-//! release. Flat (farm-shaped) workloads only implement
+//! dispatches on [`NativeConfig::backend`] and returns a `Result`: a
+//! panicking task (steal backend) or a dying PE (Eden backend)
+//! surfaces as a typed [`RunError`] instead of unwinding the caller —
+//! the contract the long-running job server in `rph-server` builds
+//! on. (The per-workload `run_native` wrappers deprecated in PR 5 are
+//! gone.) Flat (farm-shaped) workloads only implement
 //! [`FlatNative`] — the task set, the checksum combine and a skeleton
 //! choice — and inherit both backends through [`run_flat`]; APSP
 //! implements [`NativeWorkload`] directly because its two backends
@@ -42,8 +45,8 @@
 
 use crate::{kernels, Apsp, MatMul, NQueens, SumEuler};
 use rph_native::{
-    execute, ring, BackendKind, Job, NativeConfig, NativeOutcome, NativeStats, Pool, RingJob,
-    Skeleton, Wordsize,
+    try_execute, try_ring, BackendKind, Job, JobPanicked, NativeConfig, NativeOutcome, NativeStats,
+    Pool, RingJob, RunError, Skeleton, Wordsize,
 };
 use rph_trace::Tracer;
 use std::time::Duration;
@@ -102,8 +105,10 @@ fn merge_trace(acc: &mut Option<Tracer>, wave: Option<Tracer>) {
 /// use rph_workloads::{NativeWorkload, SumEuler};
 ///
 /// let w = SumEuler::new(100);
-/// let steal = w.run_on(&NativeConfig::new(4));
-/// let eden = w.run_on(&NativeConfig::new(4).with_backend(BackendKind::Eden));
+/// let steal = w.run_on(&NativeConfig::new(4)).unwrap();
+/// let eden = w
+///     .run_on(&NativeConfig::new(4).with_backend(BackendKind::Eden))
+///     .unwrap();
 /// assert_eq!(steal.value, eden.value);
 /// assert_eq!(steal.value, w.expected_value());
 /// ```
@@ -119,7 +124,9 @@ pub trait NativeWorkload {
     fn expected_value(&self) -> i64;
 
     /// Run natively under `cfg`, on whichever backend it selects.
-    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured;
+    /// Execution failures — a panicking task, a dead PE — come back as
+    /// a typed [`RunError`] rather than unwinding the caller.
+    fn run_on(&self, cfg: &NativeConfig) -> Result<NativeMeasured, RunError>;
 }
 
 /// A workload whose native form is a flat bag of independent tasks —
@@ -159,11 +166,11 @@ pub trait FlatNative: Sync {
 /// The one generic runner behind every flat workload's
 /// [`NativeWorkload::run_on`]: materialise the job, execute it on the
 /// configured backend, combine the values.
-pub fn run_flat<W: FlatNative>(w: &W, cfg: &NativeConfig) -> NativeMeasured {
+pub fn run_flat<W: FlatNative>(w: &W, cfg: &NativeConfig) -> Result<NativeMeasured, RunError> {
     let job = w.job();
     let out = match cfg.backend {
-        BackendKind::Steal => execute(&job, cfg),
-        BackendKind::Eden => w.skeleton().run(&job, cfg),
+        BackendKind::Steal => try_execute(&job, cfg)?,
+        BackendKind::Eden => w.skeleton().try_run(&job, cfg)?,
     };
     let NativeOutcome {
         values,
@@ -172,13 +179,13 @@ pub fn run_flat<W: FlatNative>(w: &W, cfg: &NativeConfig) -> NativeMeasured {
         trace,
         trace_dropped,
     } = out;
-    NativeMeasured {
+    Ok(NativeMeasured {
         value: w.combine(values),
         wall,
         stats,
         trace,
         trace_dropped,
-    }
+    })
 }
 
 // ---------------------------------------------------------------- sumEuler
@@ -227,16 +234,8 @@ impl NativeWorkload for SumEuler {
     fn expected_value(&self) -> i64 {
         FlatNative::expected_value(self)
     }
-    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured {
+    fn run_on(&self, cfg: &NativeConfig) -> Result<NativeMeasured, RunError> {
         run_flat(self, cfg)
-    }
-}
-
-impl SumEuler {
-    /// Native run on the steal backend.
-    #[deprecated(note = "use `NativeWorkload::run_on`, which also serves the Eden backend")]
-    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
-        self.run_on(cfg)
     }
 }
 
@@ -297,16 +296,8 @@ impl NativeWorkload for MatMul {
     fn expected_value(&self) -> i64 {
         FlatNative::expected_value(self)
     }
-    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured {
+    fn run_on(&self, cfg: &NativeConfig) -> Result<NativeMeasured, RunError> {
         run_flat(self, cfg)
-    }
-}
-
-impl MatMul {
-    /// Native run on the steal backend.
-    #[deprecated(note = "use `NativeWorkload::run_on`, which also serves the Eden backend")]
-    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
-        self.run_on(cfg)
     }
 }
 
@@ -376,34 +367,31 @@ impl NativeWorkload for Apsp {
     /// own row blocks for the whole run and the pivot row travels the
     /// ring once per wave, replacing the barrier with point-to-point
     /// messages.
-    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured {
+    fn run_on(&self, cfg: &NativeConfig) -> Result<NativeMeasured, RunError> {
         match cfg.backend {
-            BackendKind::Steal => self.run_native_on(&mut Pool::new(cfg)),
+            BackendKind::Steal => self
+                .run_native_on(&mut Pool::new(cfg))
+                .map_err(RunError::from),
             BackendKind::Eden => {
                 let job = ApspRing {
                     rows: self.input_rows(),
                 };
-                let out = ring(&job, cfg);
+                let out = try_ring(&job, cfg)?;
                 let value = apsp_checksum(&out.values);
-                measured(value, out)
+                Ok(measured(value, out))
             }
         }
     }
 }
 
 impl Apsp {
-    /// Native run on the steal backend.
-    #[deprecated(note = "use `NativeWorkload::run_on`, which also serves the Eden backend")]
-    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
-        self.run_on(cfg)
-    }
-
     /// The pivot waves on a caller-supplied pool (reusable across
     /// repetitions as well as waves). The barrier between waves
     /// replaces the thunk-graph synchronisation the GpH runtime does
     /// dynamically — coarser, but the same data flow, hence the same
-    /// checksum.
-    pub fn run_native_on(&self, pool: &mut Pool) -> NativeMeasured {
+    /// checksum. A panicking wave surfaces as `Err(JobPanicked)`; the
+    /// pool survives for the caller's next run.
+    pub fn run_native_on(&self, pool: &mut Pool) -> Result<NativeMeasured, JobPanicked> {
         let mut state = self.input_rows();
         let mut wall = Duration::ZERO;
         let mut stats = NativeStats::default();
@@ -416,25 +404,25 @@ impl Apsp {
                 pivot: &pivot,
                 k,
             };
-            let out = pool.execute(&wave);
+            let out = pool.try_execute(&wave)?;
             wall += out.wall;
             stats.merge(&out.stats);
             merge_trace(&mut trace, out.trace);
             trace_dropped += out.trace_dropped;
             state = out.values;
         }
-        NativeMeasured {
+        Ok(NativeMeasured {
             value: apsp_checksum(&state),
             wall,
             stats,
             trace,
             trace_dropped,
-        }
+        })
     }
 
     /// The PR 1 shape, kept as the pool-reuse ablation baseline: a
     /// fresh thread pool is spawned and joined for every pivot wave.
-    pub fn run_native_respawn(&self, cfg: &NativeConfig) -> NativeMeasured {
+    pub fn run_native_respawn(&self, cfg: &NativeConfig) -> Result<NativeMeasured, JobPanicked> {
         let mut state = self.input_rows();
         let mut wall = Duration::ZERO;
         let mut stats = NativeStats::default();
@@ -447,20 +435,20 @@ impl Apsp {
                 pivot: &pivot,
                 k,
             };
-            let out = execute(&wave, cfg);
+            let out = try_execute(&wave, cfg)?;
             wall += out.wall;
             stats.merge(&out.stats);
             merge_trace(&mut trace, out.trace);
             trace_dropped += out.trace_dropped;
             state = out.values;
         }
-        NativeMeasured {
+        Ok(NativeMeasured {
             value: apsp_checksum(&state),
             wall,
             stats,
             trace,
             trace_dropped,
-        }
+        })
     }
 }
 
@@ -518,16 +506,8 @@ impl NativeWorkload for NQueens {
     fn expected_value(&self) -> i64 {
         FlatNative::expected_value(self)
     }
-    fn run_on(&self, cfg: &NativeConfig) -> NativeMeasured {
+    fn run_on(&self, cfg: &NativeConfig) -> Result<NativeMeasured, RunError> {
         run_flat(self, cfg)
-    }
-}
-
-impl NQueens {
-    /// Native run on the steal backend.
-    #[deprecated(note = "use `NativeWorkload::run_on`, which also serves the Eden backend")]
-    pub fn run_native(&self, cfg: &NativeConfig) -> NativeMeasured {
-        self.run_on(cfg)
     }
 }
 
@@ -568,7 +548,7 @@ mod tests {
         let w = SumEuler::new(300).with_chunk_size(20);
         let expect = w.expected();
         for cfg in configs() {
-            let m = w.run_on(&cfg);
+            let m = w.run_on(&cfg).unwrap();
             assert_eq!(m.value, expect, "{cfg:?}");
             assert_eq!(m.stats.tasks_run as usize, w.ranges(w.chunk_size).len());
         }
@@ -579,7 +559,7 @@ mod tests {
         let w = MatMul::new(40, 4);
         let expect = w.expected();
         for cfg in configs() {
-            let m = w.run_on(&cfg);
+            let m = w.run_on(&cfg).unwrap();
             assert_eq!(m.value, expect, "{cfg:?}");
             assert_eq!(m.stats.tasks_run, 16);
         }
@@ -590,7 +570,7 @@ mod tests {
         let w = Apsp::new(24);
         let expect = w.expected();
         for cfg in configs() {
-            let m = w.run_on(&cfg);
+            let m = w.run_on(&cfg).unwrap();
             assert_eq!(m.value, expect, "{cfg:?}");
             assert_eq!(m.stats.tasks_run as usize, 24 * 24);
         }
@@ -600,7 +580,7 @@ mod tests {
     fn nqueens_matches_known_count() {
         let w = NQueens::new(8).with_spawn_depth(2);
         for cfg in configs() {
-            let m = w.run_on(&cfg);
+            let m = w.run_on(&cfg).unwrap();
             assert_eq!(m.value, 92, "{cfg:?}");
         }
     }
@@ -616,7 +596,7 @@ mod tests {
         let table: [&dyn NativeWorkload; 4] = [&se, &mm, &ap, &nq];
         for cfg in eden_configs() {
             for w in table {
-                let m = w.run_on(&cfg);
+                let m = w.run_on(&cfg).unwrap();
                 assert_eq!(m.value, w.expected_value(), "{} {cfg:?}", w.name());
                 // Message passing really happened (except the n=1
                 // trivial cases none of these are).
@@ -639,8 +619,8 @@ mod tests {
             let eden = NativeConfig::new(workers).with_backend(BackendKind::Eden);
             for w in table {
                 assert_eq!(
-                    w.run_on(&steal).value,
-                    w.run_on(&eden).value,
+                    w.run_on(&steal).unwrap().value,
+                    w.run_on(&eden).unwrap().value,
                     "{} workers={workers}",
                     w.name()
                 );
@@ -649,20 +629,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_native_wrappers_still_work() {
-        // Wrapper coverage for the one-release deprecation window: the
-        // old per-workload entry points must keep producing the same
-        // values as run_on.
+    fn run_on_replaces_the_removed_run_native_wrappers() {
+        // The per-workload `run_native` wrappers (deprecated in PR 5)
+        // are gone; the unified entry point must cover every workload
+        // against its sequential oracle on the steal backend.
         let cfg = NativeConfig::steal(2);
-        let se = SumEuler::new(100);
-        assert_eq!(se.run_native(&cfg).value, se.run_on(&cfg).value);
-        let mm = MatMul::new(24, 3);
-        assert_eq!(mm.run_native(&cfg).value, mm.run_on(&cfg).value);
-        let ap = Apsp::new(10);
-        assert_eq!(ap.run_native(&cfg).value, ap.run_on(&cfg).value);
-        let nq = NQueens::new(6).with_spawn_depth(2);
-        assert_eq!(nq.run_native(&cfg).value, nq.run_on(&cfg).value);
+        let table: [&dyn NativeWorkload; 4] = [
+            &SumEuler::new(100),
+            &MatMul::new(24, 3),
+            &Apsp::new(10),
+            &NQueens::new(6).with_spawn_depth(2),
+        ];
+        for w in table {
+            assert_eq!(
+                w.run_on(&cfg).unwrap().value,
+                w.expected_value(),
+                "{}",
+                w.name()
+            );
+        }
     }
 
     #[test]
@@ -678,7 +663,7 @@ mod tests {
         for workers in [1usize, 2, 4, 8] {
             for policy in [StealPolicy::RoundRobin, StealPolicy::Randomized] {
                 let cfg = NativeConfig::steal(workers).with_steal_policy(policy);
-                let m = w.run_on(&cfg);
+                let m = w.run_on(&cfg).unwrap();
                 assert_eq!(m.value, expect, "workers={workers} {policy:?}");
                 assert_eq!(m.stats.tasks_run, tasks, "workers={workers} {policy:?}");
                 assert_eq!(
@@ -706,8 +691,8 @@ mod tests {
             NativeConfig::steal(1).with_seed(42),
             NativeConfig::push(1).with_seed(42),
         ] {
-            let a = w.run_on(&cfg);
-            let b = w.run_on(&cfg);
+            let a = w.run_on(&cfg).unwrap();
+            let b = w.run_on(&cfg).unwrap();
             assert_eq!(a.value, b.value, "{cfg:?}");
             assert_eq!(a.stats, b.stats, "{cfg:?}");
         }
@@ -716,7 +701,7 @@ mod tests {
     #[test]
     fn apsp_wave_stats_accumulate() {
         let w = Apsp::new(12);
-        let m = w.run_on(&NativeConfig::steal(2));
+        let m = w.run_on(&NativeConfig::steal(2)).unwrap();
         // 12 waves × 12 row tasks.
         assert_eq!(m.stats.tasks_run, 144);
         assert_eq!(m.stats.per_worker.iter().sum::<u64>(), 144);
@@ -727,7 +712,7 @@ mod tests {
     fn apsp_ring_stats_mirror_wave_stats() {
         let w = Apsp::new(12);
         let eden = NativeConfig::new(3).with_backend(BackendKind::Eden);
-        let m = w.run_on(&eden);
+        let m = w.run_on(&eden).unwrap();
         // Same task accounting as the wave form: 12 waves × 12 rows
         // (the ring counts every owned row per wave, pivot included).
         assert_eq!(m.stats.tasks_run, 144);
@@ -740,8 +725,8 @@ mod tests {
         let w = Apsp::new(16);
         let expect = w.expected();
         for cfg in [NativeConfig::steal(3), NativeConfig::push(4)] {
-            let pooled = w.run_on(&cfg);
-            let respawn = w.run_native_respawn(&cfg);
+            let pooled = w.run_on(&cfg).unwrap();
+            let respawn = w.run_native_respawn(&cfg).unwrap();
             assert_eq!(pooled.value, expect, "{cfg:?}");
             assert_eq!(respawn.value, expect, "{cfg:?}");
             assert_eq!(pooled.stats.tasks_run, respawn.stats.tasks_run, "{cfg:?}");
@@ -754,7 +739,7 @@ mod tests {
         let expect = w.expected();
         let mut pool = Pool::new(&NativeConfig::steal(4));
         for _ in 0..3 {
-            let m = w.run_native_on(&mut pool);
+            let m = w.run_native_on(&mut pool).unwrap();
             assert_eq!(m.value, expect);
             assert_eq!(m.stats.tasks_run, 100);
         }

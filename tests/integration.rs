@@ -197,7 +197,7 @@ fn native_sum_euler_matches_sim_bit_for_bit() {
         .unwrap();
     assert_eq!(sim.value, w.expected());
     for cfg in native_configs() {
-        let native = w.run_on(&cfg);
+        let native = w.run_on(&cfg).expect("native run failed");
         assert_eq!(native.value, sim.value, "{cfg:?}");
     }
 }
@@ -214,7 +214,7 @@ fn native_matmul_matches_sim_bit_for_bit() {
         .unwrap();
     assert_eq!(sim.value, w.expected());
     for cfg in native_configs() {
-        let native = w.run_on(&cfg);
+        let native = w.run_on(&cfg).expect("native run failed");
         assert_eq!(native.value, sim.value, "{cfg:?}");
     }
 }
@@ -232,7 +232,7 @@ fn native_apsp_matches_sim_bit_for_bit() {
         .unwrap();
     assert_eq!(sim.value, w.expected());
     for cfg in native_configs() {
-        let native = w.run_on(&cfg);
+        let native = w.run_on(&cfg).expect("native run failed");
         assert_eq!(native.value, sim.value, "{cfg:?}");
     }
 }
@@ -249,7 +249,7 @@ fn native_nqueens_matches_sim_bit_for_bit() {
         .unwrap();
     assert_eq!(sim.value, 92);
     for cfg in native_configs() {
-        let native = w.run_on(&cfg);
+        let native = w.run_on(&cfg).expect("native run failed");
         assert_eq!(native.value, sim.value, "{cfg:?}");
     }
 }
@@ -259,7 +259,7 @@ fn native_runs_every_task_exactly_once() {
     let w = SumEuler::new(200).with_chunk_size(10);
     let tasks = 20; // ceil(200 / 10)
     for cfg in native_configs() {
-        let m = w.run_on(&cfg);
+        let m = w.run_on(&cfg).expect("native run failed");
         assert_eq!(m.stats.tasks_run, tasks, "{cfg:?}");
         assert_eq!(m.stats.per_worker.iter().sum::<u64>(), tasks, "{cfg:?}");
         // tasks_local and tasks_stolen are counted directly per worker;
@@ -283,7 +283,7 @@ fn native_degenerate_jobs_match_oracle() {
     for w in [&single, &sparse] {
         let expect = w.expected();
         for cfg in native_configs() {
-            let m = w.run_on(&cfg);
+            let m = w.run_on(&cfg).expect("native run failed");
             assert_eq!(m.value, expect, "{cfg:?}");
             assert_eq!(
                 m.stats.tasks_local + m.stats.tasks_stolen,
@@ -301,7 +301,7 @@ fn native_traced_workloads_render_and_reconcile() {
     // totals must agree with the executor's own counters.
     let w = SumEuler::new(300).with_chunk_size(10);
     let cfg = NativeConfig::steal(4).with_trace();
-    let m = w.run_on(&cfg);
+    let m = w.run_on(&cfg).expect("native run failed");
     assert_eq!(m.value, w.expected());
     assert_eq!(m.trace_dropped, 0);
     let trace = m.trace.as_ref().expect("traced run returns a tracer");
@@ -315,7 +315,9 @@ fn native_traced_workloads_render_and_reconcile() {
     assert_eq!(c.native_parks, m.stats.parks);
 
     // Untraced runs carry no tracer and lose nothing else.
-    let plain = w.run_on(&NativeConfig::steal(4));
+    let plain = w
+        .run_on(&NativeConfig::steal(4))
+        .expect("native run failed");
     assert!(plain.trace.is_none());
     assert_eq!(plain.value, m.value);
 }
@@ -325,7 +327,9 @@ fn native_apsp_stitches_wave_traces_onto_one_axis() {
     // APSP issues one pool run per pivot wave; the workload glues the
     // per-wave tracers onto a single monotone time axis.
     let w = Apsp::new(16);
-    let m = w.run_on(&NativeConfig::steal(2).with_trace());
+    let m = w
+        .run_on(&NativeConfig::steal(2).with_trace())
+        .expect("native run failed");
     assert_eq!(m.value, w.expected());
     let trace = m.trace.as_ref().expect("traced run returns a tracer");
     let merged = trace.merged();
@@ -373,8 +377,8 @@ fn three_way_differential_sim_eden_vs_native_eden_vs_native_steal() {
         let table: [&dyn NativeWorkload; 4] = [&se, &mm, &ap, &nq];
         for (w, sim_value) in table.iter().zip(sims) {
             assert_eq!(sim_value, w.expected_value(), "{} sim pes={pes}", w.name());
-            let native_eden = w.run_on(&eden_cfg);
-            let native_steal = w.run_on(&steal_cfg);
+            let native_eden = w.run_on(&eden_cfg).expect("native eden run failed");
+            let native_steal = w.run_on(&steal_cfg).expect("native steal run failed");
             assert_eq!(native_eden.value, sim_value, "{} eden pes={pes}", w.name());
             assert_eq!(
                 native_steal.value,
