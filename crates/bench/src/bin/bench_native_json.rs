@@ -2,42 +2,64 @@
 //! real threads at 1/2/4/8 workers — on **both** native backends
 //! (Chase–Lev work stealing and Eden-style message passing) — plus a
 //! single-threaded kernel section (tiled vs untiled mat-mul, blocked
-//! vs plain Floyd–Warshall) — emitted as `BENCH_native.json` under
-//! `target/paper-figures/` so perf regressions diff as JSON instead of
-//! eyeballed tables.
+//! vs plain Floyd–Warshall) and a **SIMD section** (each dispatched
+//! kernel vs its scalar oracle on the same algorithm) — emitted as
+//! `BENCH_native.json` under `target/paper-figures/` so perf
+//! regressions diff as JSON instead of eyeballed tables.
 //!
 //! ```text
 //! cargo run -p rph-bench --release --bin bench_native_json [--quick]
 //! ```
 //!
-//! Schema (`rph-bench-native/v2`): see `EXPERIMENTS.md` §"Native
-//! wall-clock baseline". Every workload point records the median wall
-//! time, its speedup over the same workload's one-worker median on the
-//! same backend, and that backend's counters of the median run: steal
-//! points report steals/parks/probes, `native_eden` points report
-//! message traffic (sends, words, channel blocks) and the ratio of the
-//! steal backend's median at the same worker count (`vs_steal` > 1
-//! means message passing won). Every checksum is asserted against the
-//! plain-Rust oracle before anything is written. The kernel section
-//! keeps `n = 256` even under `--quick` (fewer reps instead) — it is
-//! the acceptance gate for the tiling work and is meaningless at toy
-//! sizes.
+//! Schema (`rph-bench-native/v3`): see `EXPERIMENTS.md` §"Native
+//! wall-clock baseline". v3 adds top-level `cpu_features` (runtime
+//! feature detection) and `kernel_variant` (the tier SIMD dispatch
+//! resolved: `scalar` / `avx2` / `avx512`), a `simd` section with
+//! per-kernel scalar-vs-vector ratios, and min/median/max kernel
+//! timings where v2 reported a bare median. Every workload point
+//! records the median wall time, its speedup over the same workload's
+//! one-worker median on the same backend, and that backend's counters
+//! of the median run: steal points report steals/parks/probes,
+//! `native_eden` points report message traffic (sends, words, channel
+//! blocks) and the ratio of the steal backend's median at the same
+//! worker count (`vs_steal` > 1 means message passing won). Every
+//! checksum is asserted against the plain-Rust oracle before anything
+//! is written. The kernel and SIMD sections keep `n = 256` even under
+//! `--quick` (fewer reps instead) — they are the acceptance gates for
+//! the tiling and vectorisation work and are meaningless at toy sizes.
+//!
+//! **SIMD gates.** The dispatched mat-mul must beat the scalar tiled
+//! kernel ≥ 2× and the dispatched blocked Floyd–Warshall must beat
+//! its scalar twin ≥ 1.5× (best-of-reps ratio — this shared host
+//! shows ~1.5× run-to-run noise, and best-of is the stable statistic).
+//! The gates are *enforced* (non-zero exit) only when dispatch
+//! resolved the `avx512` tier: `target-cpu=native` lets LLVM
+//! auto-vectorise the scalar baselines, so the 256-bit tier alone
+//! cannot meet them on AVX2-only hosts (DESIGN.md §3.4.5). On such
+//! hosts a miss is reported as a warning and `gates_enforced` is
+//! `false` in the artifact.
 
-use rph_bench::{quick, write_artifact};
+use rph_bench::{oracles, quick, write_artifact};
 use rph_native::{BackendKind, NativeConfig, NativeStats};
-use rph_workloads::{kernels, Apsp, MatMul, NQueens, NativeWorkload, SumEuler};
+use rph_workloads::{kernels, simd, Apsp, MatMul, NQueens, NativeWorkload, SumEuler};
 use std::time::Instant;
 
 /// Worker counts swept (the host caps real parallelism, not the sweep).
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 
-/// Kernel-section problem size: the tiling acceptance gate is defined
-/// at `n ≥ 256`, so `--quick` keeps the size and cuts reps.
+/// Kernel-section problem size: the tiling and SIMD acceptance gates
+/// are defined at `n ≥ 256`, so `--quick` keeps the size and cuts reps.
 const KERNEL_N: usize = 256;
 
 /// Minimum single-threaded advantage the tiled mat-mul kernel must
 /// show over the naïve one.
 const MATMUL_TARGET: f64 = 1.5;
+
+/// SIMD gates: dispatched kernel vs the scalar kernel on the *same*
+/// tiling/blocking, at [`KERNEL_N`]. Enforced only on the avx512 tier
+/// (see the module doc).
+const SIMD_MATMUL_TARGET: f64 = 2.0;
+const SIMD_FW_TARGET: f64 = 1.5;
 
 fn reps() -> usize {
     if quick() {
@@ -74,13 +96,8 @@ fn sweep(w: &dyn NativeWorkload, params: &str, backend: BackendKind) -> Vec<Poin
         let cfg = NativeConfig::new(workers).with_backend(backend);
         let samples: Vec<(u128, NativeStats)> = (0..reps())
             .map(|_| {
-                let m = w.run_on(&cfg).expect("native run failed");
-                assert_eq!(
-                    m.value,
-                    w.expected_value(),
-                    "{} @ {workers} workers ({backend:?}): wrong checksum — reproduction bug",
-                    w.name()
-                );
+                let ctx = format!("{workers} workers, {backend:?}");
+                let m = oracles::checked_run(w, &cfg, &ctx);
                 (m.wall.as_nanos(), m.stats)
             })
             .collect();
@@ -100,34 +117,60 @@ fn sweep(w: &dyn NativeWorkload, params: &str, backend: BackendKind) -> Vec<Poin
     points
 }
 
+/// min/median/max of one kernel's timed reps — v3 reports all three
+/// (min is the gate statistic, the spread is the noise floor).
+#[derive(Clone, Copy)]
+struct KernelStats {
+    min_ns: u128,
+    median_ns: u128,
+    max_ns: u128,
+}
+
 struct KernelPoint {
     kernel: &'static str,
     n: usize,
-    baseline_ns: u128,
-    optimised_ns: u128,
+    baseline: KernelStats,
+    optimised: KernelStats,
     exact_match: bool,
     target: Option<f64>,
 }
 
 impl KernelPoint {
+    /// Best-of-reps ratio — the gate statistic (see the module doc).
     fn speedup(&self) -> f64 {
-        self.baseline_ns as f64 / self.optimised_ns as f64
+        self.baseline.min_ns as f64 / self.optimised.min_ns as f64
     }
 }
 
-/// Time `f` `reps()` times, return the median nanoseconds and the last
-/// result (identical across reps — these kernels are deterministic).
-fn time_kernel<T>(mut f: impl FnMut() -> T) -> (u128, T) {
-    let samples: Vec<(u128, T)> = (0..reps())
+/// Time `f` `reps()` times; return min/median/max nanoseconds and the
+/// median run's result (identical across reps — these kernels are
+/// deterministic).
+fn time_kernel<T>(mut f: impl FnMut() -> T) -> (KernelStats, T) {
+    let mut samples: Vec<(u128, T)> = (0..reps())
         .map(|_| {
             let t0 = Instant::now();
             let out = f();
             (t0.elapsed().as_nanos(), out)
         })
         .collect();
-    median_run(samples)
+    samples.sort_by_key(|(ns, _)| *ns);
+    let min_ns = samples[0].0;
+    let max_ns = samples[samples.len() - 1].0;
+    let mid = samples.len() / 2;
+    let (median_ns, out) = samples.swap_remove(mid);
+    (
+        KernelStats {
+            min_ns,
+            median_ns,
+            max_ns,
+        },
+        out,
+    )
 }
 
+/// Algorithmic-optimisation section: tiled vs naïve mat-mul, blocked
+/// vs plain Floyd–Warshall. Both "optimised" sides go through SIMD
+/// dispatch, so these ratios compound blocking × vectorisation.
 fn kernel_section() -> Vec<KernelPoint> {
     let n = KERNEL_N;
     let mut out = Vec::new();
@@ -136,8 +179,8 @@ fn kernel_section() -> Vec<KernelPoint> {
     // (exactly representable, so the tiled result must be bit-equal).
     let a: Vec<f64> = (0..n * n).map(|i| ((i * 7) % 10) as f64).collect();
     let b: Vec<f64> = (0..n * n).map(|i| ((i * 13) % 10) as f64).collect();
-    let (naive_ns, want) = time_kernel(|| kernels::matmul_oracle(&a, &b, n));
-    let (tiled_ns, got) = time_kernel(|| {
+    let (naive, want) = time_kernel(|| kernels::matmul_oracle(&a, &b, n));
+    let (tiled, got) = time_kernel(|| {
         let mut c = vec![0.0; n * n];
         kernels::matmul_tiled_into(&mut c, &a, &b, n);
         c
@@ -145,20 +188,20 @@ fn kernel_section() -> Vec<KernelPoint> {
     out.push(KernelPoint {
         kernel: "matmul_tiled_vs_naive",
         n,
-        baseline_ns: naive_ns,
-        optimised_ns: tiled_ns,
+        baseline: naive,
+        optimised: tiled,
         exact_match: got == want,
         target: Some(MATMUL_TARGET),
     });
 
     // Blocked vs plain Floyd–Warshall on the APSP workload's own graph.
     let d0 = Apsp::new(n).input_flat();
-    let (plain_ns, want) = time_kernel(|| {
+    let (plain, want) = time_kernel(|| {
         let mut d = d0.clone();
         kernels::floyd_warshall(&mut d, n);
         d
     });
-    let (blocked_ns, got) = time_kernel(|| {
+    let (blocked, got) = time_kernel(|| {
         let mut d = d0.clone();
         kernels::floyd_warshall_blocked(&mut d, n);
         d
@@ -166,8 +209,81 @@ fn kernel_section() -> Vec<KernelPoint> {
     out.push(KernelPoint {
         kernel: "floyd_warshall_blocked_vs_plain",
         n,
-        baseline_ns: plain_ns,
-        optimised_ns: blocked_ns,
+        baseline: plain,
+        optimised: blocked,
+        exact_match: got == want,
+        target: None,
+    });
+
+    out
+}
+
+/// SIMD section: the dispatched kernel vs the scalar kernel on the
+/// *same* algorithm — the ratio isolates vectorisation (plus, for the
+/// totient row, the sieve's algorithmic win over the gcd oracle).
+fn simd_section() -> Vec<KernelPoint> {
+    let n = KERNEL_N;
+    let mut out = Vec::new();
+
+    // Dispatched vs scalar tiled mat-mul. Small-integer inputs keep
+    // every product and partial sum exactly representable, so even the
+    // FMA path must be bit-equal here; the documented ulp tolerance
+    // only applies to arbitrary floats (DESIGN.md §3.4.5).
+    let a: Vec<f64> = (0..n * n).map(|i| ((i * 7) % 10) as f64).collect();
+    let b: Vec<f64> = (0..n * n).map(|i| ((i * 13) % 10) as f64).collect();
+    let (scalar, want) = time_kernel(|| {
+        let mut c = vec![0.0; n * n];
+        kernels::matmul_tiled_into_scalar(&mut c, &a, &b, n);
+        c
+    });
+    let (vector, got) = time_kernel(|| {
+        let mut c = vec![0.0; n * n];
+        kernels::matmul_tiled_into(&mut c, &a, &b, n);
+        c
+    });
+    out.push(KernelPoint {
+        kernel: "matmul_tiled",
+        n,
+        baseline: scalar,
+        optimised: vector,
+        exact_match: got == want,
+        target: Some(SIMD_MATMUL_TARGET),
+    });
+
+    // Dispatched vs scalar blocked Floyd–Warshall: min-plus is
+    // bit-exact at any dispatch, so `exact_match` must hold.
+    let d0 = Apsp::new(n).input_flat();
+    let (scalar, want) = time_kernel(|| {
+        let mut d = d0.clone();
+        kernels::floyd_warshall_blocked_scalar(&mut d, n);
+        d
+    });
+    let (vector, got) = time_kernel(|| {
+        let mut d = d0.clone();
+        kernels::floyd_warshall_blocked(&mut d, n);
+        d
+    });
+    out.push(KernelPoint {
+        kernel: "floyd_warshall_blocked",
+        n,
+        baseline: scalar,
+        optimised: vector,
+        exact_match: got == want,
+        target: Some(SIMD_FW_TARGET),
+    });
+
+    // Segmented totient sieve vs the gcd-counting oracle. The oracle
+    // is Θ(hi²) gcd steps, so this row uses a reduced range; the huge
+    // ratio is algorithmic (sieve vs per-number gcd), not
+    // vectorisation, and carries no gate.
+    let hi: i64 = if quick() { 2_000 } else { 10_000 };
+    let (gcd, want) = time_kernel(|| (1..=hi).map(|k| kernels::phi_counted(k).0).sum::<i64>());
+    let (sieve, got) = time_kernel(|| kernels::sum_phi_range_sieve(1, hi));
+    out.push(KernelPoint {
+        kernel: "sum_phi_range_sieve",
+        n: hi as usize,
+        baseline: gcd,
+        optimised: sieve,
         exact_match: got == want,
         target: None,
     });
@@ -198,16 +314,56 @@ fn steal_median(steal: &[Point], workload: &str, workers: usize) -> u128 {
         .expect("steal sweep covers every (workload, workers) point")
 }
 
+/// One kernel row: shared between the `kernels` and `simd.kernels`
+/// arrays (the latter labels its sides scalar/simd instead of
+/// baseline/optimised).
+fn kernel_row(k: &KernelPoint, side_names: (&str, &str), last: bool) -> String {
+    let (base, opt) = side_names;
+    let target = match k.target {
+        Some(t) => format!(", \"target\": {t}, \"meets_target\": {}", k.speedup() >= t),
+        None => String::new(),
+    };
+    format!(
+        "    {{\"kernel\": \"{}\", \"n\": {}, \
+         \"{base}_min_ns\": {}, \"{base}_median_ns\": {}, \"{base}_max_ns\": {}, \
+         \"{opt}_min_ns\": {}, \"{opt}_median_ns\": {}, \"{opt}_max_ns\": {}, \
+         \"speedup\": {:.4}, \"exact_match\": {}{}}}{}\n",
+        esc(k.kernel),
+        k.n,
+        k.baseline.min_ns,
+        k.baseline.median_ns,
+        k.baseline.max_ns,
+        k.optimised.min_ns,
+        k.optimised.median_ns,
+        k.optimised.max_ns,
+        k.speedup(),
+        k.exact_match,
+        target,
+        if last { "" } else { "," }
+    )
+}
+
 fn render_json(
     host_cores: usize,
     steal: &[Point],
     eden: &[Point],
     kernels: &[KernelPoint],
+    simd_points: &[KernelPoint],
+    gates_enforced: bool,
 ) -> String {
+    let features = simd::cpu_features()
+        .iter()
+        .map(|f| format!("\"{}\"", esc(f)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let variant = simd::active().name();
+
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"rph-bench-native/v2\",\n");
+    j.push_str("  \"schema\": \"rph-bench-native/v3\",\n");
     j.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    j.push_str(&format!("  \"cpu_features\": [{features}],\n"));
+    j.push_str(&format!("  \"kernel_variant\": \"{variant}\",\n"));
     j.push_str(&format!("  \"reps\": {},\n", reps()));
     j.push_str(&format!("  \"quick\": {},\n", quick()));
     j.push_str("  \"workloads\": [\n");
@@ -256,40 +412,90 @@ fn render_json(
     j.push_str("  ],\n");
     j.push_str("  \"kernels\": [\n");
     for (idx, k) in kernels.iter().enumerate() {
-        let target = match k.target {
-            Some(t) => format!(", \"target\": {t}, \"meets_target\": {}", k.speedup() >= t),
-            None => String::new(),
-        };
-        j.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"n\": {}, \"baseline_median_ns\": {}, \
-             \"optimised_median_ns\": {}, \"speedup\": {:.4}, \"exact_match\": {}{}}}{}\n",
-            esc(k.kernel),
-            k.n,
-            k.baseline_ns,
-            k.optimised_ns,
-            k.speedup(),
-            k.exact_match,
-            target,
-            if idx + 1 == kernels.len() { "" } else { "," }
+        j.push_str(&kernel_row(
+            k,
+            ("baseline", "optimised"),
+            idx + 1 == kernels.len(),
         ));
     }
-    j.push_str("  ]\n}\n");
+    j.push_str("  ],\n");
+    j.push_str("  \"simd\": {\n");
+    j.push_str(&format!("    \"kernel_variant\": \"{variant}\",\n"));
+    j.push_str(&format!("    \"cpu_features\": [{features}],\n"));
+    j.push_str(&format!("    \"gates_enforced\": {gates_enforced},\n"));
+    j.push_str("    \"kernels\": [\n");
+    for (idx, k) in simd_points.iter().enumerate() {
+        j.push_str("    ");
+        j.push_str(&kernel_row(
+            k,
+            ("scalar", "simd"),
+            idx + 1 == simd_points.len(),
+        ));
+    }
+    j.push_str("    ]\n");
+    j.push_str("  }\n}\n");
     j
+}
+
+/// Print one kernel comparison line and enforce its oracle + gate.
+/// Gate misses panic only when `enforce` is set (avx512 tier); oracle
+/// divergence always panics.
+fn report_kernel(k: &KernelPoint, enforce: bool) {
+    assert!(
+        k.exact_match,
+        "{}: optimised kernel diverged from its oracle",
+        k.kernel
+    );
+    let verdict = match k.target {
+        Some(t) if k.speedup() >= t => format!(" (target {t}x: PASS)"),
+        Some(t) if enforce => format!(" (target {t}x: MISS)"),
+        Some(t) => format!(" (target {t}x: miss — warn only, gates need the avx512 tier)"),
+        None => String::new(),
+    };
+    println!(
+        "{:32} n={} baseline={:.2}/{:.2}/{:.2}ms optimised={:.2}/{:.2}/{:.2}ms \
+         speedup={:.2}x exact_match={}{}",
+        k.kernel,
+        k.n,
+        k.baseline.min_ns as f64 / 1e6,
+        k.baseline.median_ns as f64 / 1e6,
+        k.baseline.max_ns as f64 / 1e6,
+        k.optimised.min_ns as f64 / 1e6,
+        k.optimised.median_ns as f64 / 1e6,
+        k.optimised.max_ns as f64 / 1e6,
+        k.speedup(),
+        k.exact_match,
+        verdict
+    );
+    if enforce {
+        if let Some(t) = k.target {
+            assert!(
+                k.speedup() >= t,
+                "{}: {:.2}x misses the {t}x gate on the avx512 tier",
+                k.kernel,
+                k.speedup()
+            );
+        }
+    }
 }
 
 fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let variant = simd::active();
     println!(
-        "Native wall-clock baseline ({host_cores} core{}), median of {} reps\n",
+        "Native wall-clock baseline ({host_cores} core{}), median of {} reps\n\
+         cpu features: [{}]  kernel variant: {}\n",
         if host_cores == 1 { "" } else { "s" },
-        reps()
+        reps(),
+        simd::cpu_features().join(", "),
+        variant.name()
     );
     if host_cores < 4 {
         println!(
             "note: fewer than 4 cores — workload speedup columns will read ~1.0\n\
-             (the kernel section is single-threaded and unaffected)\n"
+             (the kernel and simd sections are single-threaded and unaffected)\n"
         );
     }
 
@@ -346,34 +552,32 @@ fn main() {
         );
     }
 
+    // The SIMD gates are meaningful only when dispatch resolved the
+    // 512-bit tier (module doc) — otherwise report, don't fail.
+    let gates_enforced = variant == simd::KernelVariant::Avx512;
+
     println!();
     let kpoints = kernel_section();
     for k in &kpoints {
-        assert!(
-            k.exact_match,
-            "{}: optimised kernel diverged from its oracle",
-            k.kernel
-        );
-        let verdict = match k.target {
-            Some(t) if k.speedup() >= t => format!(" (target {t}x: PASS)"),
-            Some(t) => format!(" (target {t}x: MISS)"),
-            None => String::new(),
-        };
-        println!(
-            "{:32} n={} baseline={:.2}ms optimised={:.2}ms speedup={:.2}x exact_match={}{}",
-            k.kernel,
-            k.n,
-            k.baseline_ns as f64 / 1e6,
-            k.optimised_ns as f64 / 1e6,
-            k.speedup(),
-            k.exact_match,
-            verdict
-        );
+        report_kernel(k, false);
+    }
+
+    println!();
+    let spoints = simd_section();
+    for k in &spoints {
+        report_kernel(k, gates_enforced);
     }
 
     println!();
     write_artifact(
         "BENCH_native.json",
-        &render_json(host_cores, &steal_points, &eden_points, &kpoints),
+        &render_json(
+            host_cores,
+            &steal_points,
+            &eden_points,
+            &kpoints,
+            &spoints,
+            gates_enforced,
+        ),
     );
 }

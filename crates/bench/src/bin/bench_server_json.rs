@@ -1,6 +1,9 @@
 //! Service-mode latency benchmark: open-loop arrivals against the
 //! `rph-server` job server, emitted as `BENCH_server.json` under
-//! `target/paper-figures/` (schema `rph-bench-server/v1`).
+//! `target/paper-figures/` (schema `rph-bench-server/v2` — v2 adds
+//! `cpu_features` and `kernel_variant`, since the sumEuler unit kernel
+//! is served by the SIMD-dispatched sieve and a scalar-fallback run
+//! would otherwise be indistinguishable in the artifact).
 //!
 //! ```text
 //! cargo run -p rph-bench --release --bin bench_server_json [--smoke]
@@ -246,8 +249,18 @@ fn main() {
 
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"rph-bench-server/v1\",\n");
+    j.push_str("  \"schema\": \"rph-bench-server/v2\",\n");
     j.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    let features = rph_workloads::simd::cpu_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    j.push_str(&format!("  \"cpu_features\": [{features}],\n"));
+    j.push_str(&format!(
+        "  \"kernel_variant\": \"{}\",\n",
+        rph_workloads::simd::active().name()
+    ));
     j.push_str(&format!("  \"smoke\": {smoke},\n"));
     j.push_str(&format!(
         "  \"config\": {{\"jobs\": {}, \"rate_jobs_per_sec\": {:.1}, \"workers\": {}, \

@@ -40,12 +40,8 @@ fn measure(name: &str, w: &dyn NativeWorkload) -> Vec<Point> {
         for (slot, mode) in [Distribution::Steal, Distribution::Push].iter().enumerate() {
             let cfg = NativeConfig::new(workers).with_distribution(*mode);
             for _ in 0..REPS {
-                let m = w.run_on(&cfg).expect("native run failed");
-                assert_eq!(
-                    m.value,
-                    w.expected_value(),
-                    "{name}: wrong result — reproduction bug"
-                );
+                let ctx = format!("{name}, {workers} workers, {mode:?}");
+                let m = oracles::checked_run(w, &cfg, &ctx);
                 best[slot] = best[slot].min(m.wall);
             }
         }

@@ -28,6 +28,7 @@
 //! estimates show ~0.
 
 pub mod granularity;
+pub mod oracles;
 
 use rph_core::prelude::*;
 use rph_workloads::Measured;

@@ -59,7 +59,10 @@ impl JobClass {
                 let chunk = chunk.max(1);
                 let lo = u64::from(unit) * u64::from(chunk) + 1;
                 let hi = (lo + u64::from(chunk) - 1).min(u64::from(n));
-                (lo..=hi).map(|k| kernels::phi_counted(k as i64).0).sum()
+                // Segmented sieve — bit-identical to summing
+                // `phi_counted` over the range (the test below pits
+                // the two against each other).
+                kernels::sum_phi_range_sieve(lo as i64, hi as i64)
             }
             JobClass::Spin { iters, .. } => spin_unit(unit, iters),
             JobClass::Poison { iters, bad, .. } => {

@@ -1,0 +1,110 @@
+//! Quick scalar-vs-SIMD gate probe for the vectorised kernels.
+//!
+//! Prints per-kernel scalar/simd timings and the speedup ratio; the
+//! real gates live in `bench_native_json` — this is the fast local
+//! check (`cargo run --release -p rph-workloads --example
+//! simd_gate_probe`).
+
+use rph_workloads::kernels;
+use rph_workloads::simd;
+use std::time::Instant;
+
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    println!("active variant: {}", simd::active().name());
+    println!("cpu features:   {:?}", simd::cpu_features());
+
+    for n in [64usize, 128, 256] {
+        let a: Vec<f64> = (0..n * n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut c = vec![0.0; n * n];
+        let reps = (256 / n) * (256 / n) * 7;
+        let ts = time(reps, || {
+            kernels::matmul_tiled_into_scalar(&mut c, &a, &b, n)
+        });
+        let tv = time(reps, || kernels::matmul_tiled_into(&mut c, &a, &b, n));
+        let gf = 2.0 * (n * n * n) as f64 / 1e9;
+        println!(
+            "matmul n={n}: scalar {:.3} ms ({:.1} GF/s)  simd {:.3} ms ({:.1} GF/s)  ratio {:.2}x",
+            ts * 1e3,
+            gf / ts,
+            tv * 1e3,
+            gf / tv,
+            ts / tv
+        );
+    }
+
+    // --- matmul, n = 256 -------------------------------------------
+    let n = 256;
+    let a: Vec<f64> = (0..n * n).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let b: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let mut c = vec![0.0; n * n];
+    let ts = time(7, || kernels::matmul_tiled_into_scalar(&mut c, &a, &b, n));
+    let tv = time(7, || kernels::matmul_tiled_into(&mut c, &a, &b, n));
+    println!(
+        "matmul n={n}:  scalar {:.3} ms  simd {:.3} ms  ratio {:.2}x  (gate 2.0x)",
+        ts * 1e3,
+        tv * 1e3,
+        ts / tv
+    );
+
+    // --- Floyd–Warshall, n = 256 -----------------------------------
+    let base: Vec<f64> = (0..n * n)
+        .map(|i| {
+            if i % 17 == 0 {
+                f64::INFINITY
+            } else {
+                ((i % 29) + 1) as f64
+            }
+        })
+        .collect();
+    let mk = || {
+        let mut d = base.clone();
+        for i in 0..n {
+            d[i * n + i] = 0.0;
+        }
+        d
+    };
+    let ts = time(5, || {
+        let mut d = mk();
+        kernels::floyd_warshall_blocked_scalar(&mut d, n);
+        std::hint::black_box(&d);
+    });
+    let tv = time(5, || {
+        let mut d = mk();
+        kernels::floyd_warshall_blocked(&mut d, n);
+        std::hint::black_box(&d);
+    });
+    println!(
+        "apsp   n={n}:  scalar {:.3} ms  simd {:.3} ms  ratio {:.2}x  (gate 1.5x)",
+        ts * 1e3,
+        tv * 1e3,
+        ts / tv
+    );
+
+    // --- totient sieve vs per-k gcd, range 1..=10_000 --------------
+    // (the gcd path is Θ(hi²) gcd steps — keep hi modest here)
+    let hi = 10_000;
+    let ts = time(1, || {
+        let s: i64 = (1..=hi).map(|k| kernels::phi_counted(k).0).sum();
+        std::hint::black_box(s);
+    });
+    let tv = time(3, || {
+        std::hint::black_box(kernels::sum_phi_range_sieve(1, hi));
+    });
+    println!(
+        "sumeuler hi={hi}: gcd {:.3} ms  sieve {:.3} ms  ratio {:.1}x",
+        ts * 1e3,
+        tv * 1e3,
+        ts / tv
+    );
+}

@@ -70,6 +70,13 @@ pub fn phi_cached(k: i64) -> (i64, u64, u64) {
 }
 
 /// `sum (map phi [lo..hi])` with cost accounting.
+///
+/// This is the **simulator's** kernel: its cost/word numbers model the
+/// paper's naïve Haskell `phi` (gcd loop per candidate), so they must
+/// keep coming from [`phi_counted`]'s real iteration counts. The
+/// native backends and the job server, which charge wall-clock time
+/// instead of modelled cost, use [`sum_phi_range_sieve`] — same
+/// values, bit-for-bit, at a fraction of the per-element cost.
 pub fn sum_phi_range(lo: i64, hi: i64) -> (i64, u64, u64) {
     let mut total = 0i64;
     let mut cost = 0u64;
@@ -81,6 +88,99 @@ pub fn sum_phi_range(lo: i64, hi: i64) -> (i64, u64, u64) {
         words += w;
     }
     (total, cost, words)
+}
+
+/// Primes `<= limit` by a plain sieve of Eratosthenes (the seed primes
+/// for the segmented totient sieve; `limit` is `isqrt(hi)`, so this is
+/// tiny next to the segment work).
+fn small_primes(limit: u64) -> Vec<u64> {
+    if limit < 2 {
+        return Vec::new();
+    }
+    let limit = limit as usize;
+    let mut composite = vec![false; limit + 1];
+    let mut primes = Vec::new();
+    for p in 2..=limit {
+        if composite[p] {
+            continue;
+        }
+        primes.push(p as u64);
+        let mut m = p * p;
+        while m <= limit {
+            composite[m] = true;
+            m += p;
+        }
+    }
+    primes
+}
+
+/// Numbers per segment of the totient sieve: 2 × 16 KiB of u64 per
+/// live segment (`phi` + `rem`) keeps both arrays L1/L2-resident while
+/// still amortising the prime loop.
+const SIEVE_SEG: u64 = 1 << 11;
+
+/// `sum (map phi [lo..hi])` by a segmented smallest-prime-factor
+/// sieve — the native/server totient kernel behind the same `(lo, hi)`
+/// packed-range signature the executor tasks use, so lazy splitting
+/// and the sim-vs-native differentials see identical task shapes and
+/// **bit-identical values** ([`phi_counted`] is the oracle; the paper
+/// defines φ(1) = 0 and the sieve honours that).
+///
+/// Per segment: `phi[i] = rem[i] = k`; for every seed prime `p ≤
+/// √hi`, each multiple applies `phi ← phi/p·(p−1)` once and strips
+/// `p` from `rem`; a leftover `rem > 1` is the single prime factor
+/// `> √hi` and applies the same factor step. Both divisions are exact
+/// at every step (the untouched prime powers still divide `phi`). The
+/// final accumulation runs on `u64×4` lanes via [`crate::simd::sum_u64`]
+/// — integer adds, so lane order changes nothing.
+///
+/// Replaces a per-`k` Euclidean gcd scan (`O(k log k)` *per totient*)
+/// with `O(seg · log log hi)` per segment — the algorithmic half of
+/// closing the per-element gap; the lane accumulation is the SIMD
+/// half.
+pub fn sum_phi_range_sieve(lo: i64, hi: i64) -> i64 {
+    if hi < lo {
+        return 0;
+    }
+    let lo = lo.max(1) as u64;
+    let hi = hi as u64;
+    let primes = small_primes(hi.isqrt());
+    let mut phi: Vec<u64> = Vec::with_capacity(SIEVE_SEG as usize);
+    let mut rem: Vec<u64> = Vec::with_capacity(SIEVE_SEG as usize);
+    let mut total = 0u64;
+    let mut seg_lo = lo;
+    while seg_lo <= hi {
+        let seg_hi = (seg_lo + SIEVE_SEG - 1).min(hi);
+        let len = (seg_hi - seg_lo + 1) as usize;
+        phi.clear();
+        phi.extend(seg_lo..=seg_hi);
+        rem.clear();
+        rem.extend(seg_lo..=seg_hi);
+        for &p in &primes {
+            let mut m = seg_lo.div_ceil(p) * p;
+            while m <= seg_hi {
+                let idx = (m - seg_lo) as usize;
+                phi[idx] = phi[idx] / p * (p - 1);
+                while rem[idx].is_multiple_of(p) {
+                    rem[idx] /= p;
+                }
+                m += p;
+            }
+        }
+        for (pv, &rv) in phi.iter_mut().zip(rem.iter()) {
+            if rv > 1 {
+                *pv = *pv / rv * (rv - 1);
+            }
+        }
+        if seg_lo == 1 {
+            // The paper's φ(1) = |{j < 1 : gcd(j,1)=1}| = 0, not the
+            // number-theory convention φ(1) = 1.
+            phi[0] = 0;
+        }
+        total = total.wrapping_add(crate::simd::sum_u64(&phi[..len]));
+        seg_lo = seg_hi + 1;
+    }
+    total as i64
 }
 
 /// Dense `s×s` block multiply-accumulate: `acc + a·b` (row-major),
@@ -113,9 +213,9 @@ pub fn block_mul_acc_naive(acc: &[f64], a: &[f64], b: &[f64], s: usize) -> (Vec<
 pub const TILE: usize = 32;
 
 /// Rows of C the register micro-kernel holds at once.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Columns of C the register micro-kernel holds at once.
-const NR: usize = 8;
+pub(crate) const NR: usize = 8;
 
 /// The register micro-kernel: accumulate the `MR×NR` C sub-block at
 /// `(i, j)` over a packed A strip of `kw` k-steps entirely in
@@ -186,16 +286,49 @@ fn scalar_edge(
 /// row cursors), the `MR×NR` register micro-kernel inside, and scalar
 /// edge loops for the rows/columns a non-divisible `n` leaves over.
 ///
-/// All workload inputs are small integers, so every product and every
-/// partial sum is exactly representable and the result is **exactly**
-/// the naïve kernel's — regrouping the additions loses nothing. (For
-/// general floats the two kernels differ only by that regrouping.)
+/// The micro-kernel dispatches through [`crate::simd::active`]: on an
+/// AVX2+FMA host it is the lane kernel ([`crate::simd::avx2::micro_mrxnr`],
+/// FMA-contracted), otherwise the scalar one. All workload inputs are
+/// small integers, so every product and every partial sum is exactly
+/// representable and the result is **exactly** the naïve kernel's on
+/// either path — regrouping (and FMA-contracting) the additions loses
+/// nothing there. For general floats the paths differ by reassociation
+/// and contraction only, within the ulp envelope the property tests
+/// gate (DESIGN.md §3.4.5).
 pub fn matmul_tiled_into(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    matmul_tiled_driver(c, a, b, n, crate::simd::active());
+}
+
+/// [`matmul_tiled_into`] pinned to the scalar micro-kernel: the
+/// dispatch-independent baseline the bench gates and the forced-scalar
+/// tests measure against.
+pub fn matmul_tiled_into_scalar(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    matmul_tiled_driver(c, a, b, n, crate::simd::KernelVariant::Scalar);
+}
+
+fn matmul_tiled_driver(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    variant: crate::simd::KernelVariant,
+) {
     assert_eq!(c.len(), n * n);
     assert_eq!(a.len(), n * n);
     assert_eq!(b.len(), n * n);
-    // Packed A tile: strip s holds rows [ii + s·MR, ii + (s+1)·MR) of
-    // the tile, laid out k-major — apack[s·MR·kw + k·MR + r].
+    // Micro-kernel footprint per variant: the AVX-512 tier covers
+    // 8×16 of C per call (twice the rows and columns — the extra rows
+    // halve B-panel traffic per C element), the others MR×NR. The A
+    // packing below is mr-deep to match; layout stays k-major.
+    let (mr, nr) = match variant {
+        #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+        crate::simd::KernelVariant::Avx512 => {
+            (crate::simd::avx512::MR512, crate::simd::avx512::NR512)
+        }
+        _ => (MR, NR),
+    };
+    // Packed A tile: strip s holds rows [ii + s·mr, ii + (s+1)·mr) of
+    // the tile, laid out k-major — apack[s·mr·kw + k·mr + r].
     let mut apack = vec![0.0f64; TILE * TILE];
     for ii in (0..n).step_by(TILE) {
         let i_end = (ii + TILE).min(n);
@@ -204,30 +337,42 @@ pub fn matmul_tiled_into(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
             let kw = k_end - kk;
             let mut strips = 0;
             let mut i = ii;
-            while i + MR <= i_end {
-                let base = strips * MR * kw;
+            while i + mr <= i_end {
+                let base = strips * mr * kw;
                 for (dk, k) in (kk..k_end).enumerate() {
-                    for r in 0..MR {
-                        apack[base + dk * MR + r] = a[(i + r) * n + k];
+                    for r in 0..mr {
+                        apack[base + dk * mr + r] = a[(i + r) * n + k];
                     }
                 }
                 strips += 1;
-                i += MR;
+                i += mr;
             }
             let mut strip = 0;
             let mut i = ii;
-            while i + MR <= i_end {
-                let ap = &apack[strip * MR * kw..(strip + 1) * MR * kw];
+            while i + mr <= i_end {
+                let ap = &apack[strip * mr * kw..(strip + 1) * mr * kw];
                 let mut j = 0;
-                while j + NR <= n {
-                    micro_mrxnr(c, ap, b, n, (i, j), (kk, kw));
-                    j += NR;
+                while j + nr <= n {
+                    match variant {
+                        // Safety (both arms): dispatch resolved this
+                        // tier, so the host has the features.
+                        #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+                        crate::simd::KernelVariant::Avx512 => unsafe {
+                            crate::simd::avx512::micro_mrxnr(c, ap, b, n, (i, j), (kk, kw))
+                        },
+                        #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+                        crate::simd::KernelVariant::Avx2 => unsafe {
+                            crate::simd::avx2::micro_mrxnr(c, ap, b, n, (i, j), (kk, kw))
+                        },
+                        _ => micro_mrxnr(c, ap, b, n, (i, j), (kk, kw)),
+                    }
+                    j += nr;
                 }
                 if j < n {
-                    scalar_edge(c, a, b, n, (i, i + MR), (kk, k_end), (j, n));
+                    scalar_edge(c, a, b, n, (i, i + mr), (kk, k_end), (j, n));
                 }
                 strip += 1;
-                i += MR;
+                i += mr;
             }
             if i < i_end {
                 scalar_edge(c, a, b, n, (i, i_end), (kk, k_end), (0, n));
@@ -339,7 +484,32 @@ fn min_plus_tile(
 /// to [`floyd_warshall`] (min-plus relaxation: min is exact, and both
 /// kernels take min over the same candidate path sums — kept as the
 /// oracle in the property tests).
+///
+/// Dispatches through [`crate::simd::active`]: on an AVX2 host the
+/// tiles run the lane min-plus kernels
+/// ([`crate::simd::avx2::floyd_warshall_blocked`]), which stay
+/// **bit-exact** — min and add are element-wise, so each output cell
+/// sees exactly the scalar candidate sequence.
 pub fn floyd_warshall_blocked(dist: &mut [f64], n: usize) {
+    match crate::simd::active() {
+        // Safety (both arms): dispatch resolved this tier, so the
+        // host has the features.
+        #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+        crate::simd::KernelVariant::Avx512 => unsafe {
+            crate::simd::avx512::floyd_warshall_blocked(dist, n)
+        },
+        #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+        crate::simd::KernelVariant::Avx2 => unsafe {
+            crate::simd::avx2::floyd_warshall_blocked(dist, n)
+        },
+        _ => floyd_warshall_blocked_scalar(dist, n),
+    }
+}
+
+/// [`floyd_warshall_blocked`] pinned to the scalar min-plus tiles: the
+/// dispatch-independent baseline for the bench gates and the
+/// forced-scalar tests.
+pub fn floyd_warshall_blocked_scalar(dist: &mut [f64], n: usize) {
     assert_eq!(dist.len(), n * n);
     let mut scratch = Vec::with_capacity(TILE);
     // (start, len) of tile `b`.
@@ -488,6 +658,71 @@ mod tests {
         floyd_warshall_blocked(&mut d, 4);
         assert_eq!(d, plain);
         assert_eq!(d[3], 3.0, "0→3 via two hops");
+    }
+
+    #[test]
+    fn sieve_matches_gcd_totients() {
+        // Whole range from 1 (hits the paper's φ(1)=0 convention),
+        // interior ranges (primes > √hi left over), degenerate and
+        // empty ranges, and a range crossing a segment boundary.
+        assert_eq!(sum_phi_range_sieve(1, 500), sum_phi_range(1, 500).0);
+        assert_eq!(sum_phi_range_sieve(37, 213), sum_phi_range(37, 213).0);
+        assert_eq!(sum_phi_range_sieve(97, 97), 96);
+        assert_eq!(sum_phi_range_sieve(1, 1), 0, "paper's φ(1)");
+        assert_eq!(sum_phi_range_sieve(10, 9), 0, "empty range");
+        let lo = SIEVE_SEG as i64 - 3;
+        let hi = SIEVE_SEG as i64 + 3;
+        assert_eq!(
+            sum_phi_range_sieve(lo, hi),
+            (lo..=hi).map(|k| phi_counted(k).0).sum::<i64>(),
+            "segment-boundary range"
+        );
+    }
+
+    #[test]
+    fn sieve_splits_like_the_packed_range_tasks() {
+        // Lazy splitting cuts (lo, hi) anywhere; every cut must sum
+        // back to the whole.
+        let whole = sum_phi_range_sieve(1, 400);
+        for cut in [1i64, 2, 200, 398, 399] {
+            assert_eq!(
+                whole,
+                sum_phi_range_sieve(1, cut) + sum_phi_range_sieve(cut + 1, 400),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_kernel_pins_match_dispatched_kernels() {
+        // The *_scalar entry points are the bench baselines; whatever
+        // dispatch selects, values must agree (bit-exactly for
+        // min-plus; exactly here for matmul too — small ints).
+        let n = 40;
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 9) as f64).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut c0 = vec![0.0; n * n];
+        let mut c1 = vec![0.0; n * n];
+        matmul_tiled_into(&mut c0, &a, &b, n);
+        matmul_tiled_into_scalar(&mut c1, &a, &b, n);
+        assert_eq!(c0, c1);
+
+        let mut d0: Vec<f64> = (0..n * n)
+            .map(|i| {
+                if i % 5 == 0 {
+                    f64::INFINITY
+                } else {
+                    (i % 11) as f64
+                }
+            })
+            .collect();
+        for i in 0..n {
+            d0[i * n + i] = 0.0;
+        }
+        let mut d1 = d0.clone();
+        floyd_warshall_blocked(&mut d0, n);
+        floyd_warshall_blocked_scalar(&mut d1, n);
+        assert_eq!(d0, d1);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod kernels;
 pub mod matmul;
 pub mod native;
 pub mod nqueens;
+pub mod simd;
 pub mod sum_euler;
 
 pub use apsp::Apsp;

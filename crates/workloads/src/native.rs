@@ -38,10 +38,13 @@
 //! `tests/integration.rs` assert exactly this, three ways (sim Eden
 //! vs native Eden vs native steal).
 //!
-//! `sum_euler` deliberately calls the *uncached* [`kernels::phi_counted`]:
-//! the process-global memo behind [`kernels::phi_cached`] would make
-//! every run after the first nearly free and fake any speedup
-//! measurement.
+//! `sum_euler` deliberately avoids the process-global memo behind
+//! [`kernels::phi_cached`] — it would make every run after the first
+//! nearly free and fake any speedup measurement. Each task instead
+//! runs the segmented totient sieve ([`kernels::sum_phi_range_sieve`]),
+//! whose state is entirely task-local: recomputed from scratch per
+//! task, bit-identical values to the per-k gcd totient the simulator
+//! charges costs from.
 
 use crate::{kernels, Apsp, MatMul, NQueens, SumEuler};
 use rph_native::{
@@ -190,8 +193,11 @@ pub fn run_flat<W: FlatNative>(w: &W, cfg: &NativeConfig) -> Result<NativeMeasur
 
 // ---------------------------------------------------------------- sumEuler
 
-/// One task per GpH chunk: `sum (map phi [lo..hi])`, totients computed
-/// from scratch (no memo — see module docs).
+/// One task per GpH chunk: `sum (map phi [lo..hi])` via the segmented
+/// totient sieve ([`kernels::sum_phi_range_sieve`]) — bit-identical
+/// values to the per-k gcd totient, computed from scratch per task (no
+/// memo — see module docs; the sieve's state is all task-local, so it
+/// fakes no speedup either).
 pub struct PhiRanges {
     ranges: Vec<(i64, i64)>,
 }
@@ -203,7 +209,7 @@ impl Job for PhiRanges {
     }
     fn run(&self, idx: usize) -> i64 {
         let (lo, hi) = self.ranges[idx];
-        (lo..=hi).map(|k| kernels::phi_counted(k).0).sum()
+        kernels::sum_phi_range_sieve(lo, hi)
     }
 }
 

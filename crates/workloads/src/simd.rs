@@ -1,0 +1,980 @@
+//! Explicit-SIMD layer for the hot kernels: `f64×4` / `u64×4` lane
+//! types over `core::arch::x86_64` AVX2 intrinsics, a portable scalar
+//! fallback, and a one-shot runtime dispatch.
+//!
+//! Three kernels are built on top of it (the per-element cost of the
+//! scalar inner loops is the residual ~2× Haskell-vs-C gap SNIPPETS.md
+//! Snippet 1 measures, and on a 1-core bench host per-element
+//! throughput is the only wall-clock lever):
+//!
+//! * [`micro_mrxnr`] — the `4×8` register micro-kernel of
+//!   `kernels::matmul_tiled_into`, with `_mm256_fmadd_pd` replacing
+//!   the scalar mul+add chains (2 FLOPs/instruction, 8 independent
+//!   accumulator vectors).
+//! * [`floyd_warshall_blocked`] — blocked Floyd–Warshall whose
+//!   min-plus tiles run `min(d_ik + d_kj, d_ij)` lane-wise
+//!   (`vaddpd`+`vminpd`); phase-3 tiles (disjoint from the pivot
+//!   panels) additionally keep the whole C row in registers across the
+//!   k sweep, eliminating a load+store per element per k.
+//! * [`sum_u64`] — `u64×4`-lane accumulation for the segmented totient
+//!   sieve (`kernels::sum_phi_range_sieve`).
+//!
+//! ## Dispatch strategy
+//!
+//! No nightly `std::simd`. The vector bodies are compiled with
+//! `#[target_feature(enable = …)]` — present in the binary on *any*
+//! x86-64 build, regardless of `-C target-cpu` — and selected at
+//! runtime by a one-shot `is_x86_feature_detected!` probe, so a
+//! release binary built on a newer machine still runs (on its scalar
+//! path) on an older one. The ladder is `avx512` → `avx2` → `scalar`:
+//! the AVX-512 tier exists because an AVX2 micro-kernel already
+//! saturates 256-bit FMA ports, so doubling over the autovectorised
+//! baseline takes zmm registers on hosts that have them. The `simd`
+//! cargo feature (default on) gates the whole layer:
+//! `--no-default-features` builds are forced-scalar by construction,
+//! which is what the CI fallback job exercises. At runtime,
+//! [`force_scalar`] (or `RPH_FORCE_SCALAR=1`) pins dispatch to the
+//! scalar path for differential testing on vector hosts, and
+//! `RPH_DISABLE_AVX512=1` caps the ladder at AVX2.
+//!
+//! ## Exactness
+//!
+//! Min-plus and the u64 sum are **bit-exact** with their scalar
+//! oracles: both are element-wise maps (each output lane's operation
+//! sequence is exactly the scalar one), and integer adds are
+//! order-free. The matmul micro-kernel contracts mul+add into FMA,
+//! which *removes* a rounding per FLOP — exact on the workloads'
+//! small-integer inputs (every product and partial sum representable),
+//! within a documented ulp envelope on arbitrary floats (see the
+//! property tests and DESIGN.md §3.4.5).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Lanes in the 256-bit vector types (AVX2 tier).
+pub const LANES: usize = 4;
+
+/// Lanes in the 512-bit vector types (AVX-512 tier).
+pub const LANES512: usize = 8;
+
+/// Which kernel implementation dispatch selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// Portable scalar loops (any host, `--no-default-features`, or
+    /// forced).
+    Scalar,
+    /// AVX2 (+FMA for matmul) 4-lane kernels.
+    Avx2,
+    /// AVX-512F 8-lane kernels (the matmul tier that doubles peak FMA
+    /// width — an AVX2 micro-kernel already saturates the 256-bit FMA
+    /// ports, so 2× over the autovectorised baseline needs zmm).
+    Avx512,
+}
+
+impl KernelVariant {
+    /// Stable label recorded in bench artifacts (`kernel_variant`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Avx2 => "avx2",
+            KernelVariant::Avx512 => "avx512",
+        }
+    }
+}
+
+/// Runtime override: when set, [`active`] reports
+/// [`KernelVariant::Scalar`] even on an AVX2 host. Test-only in
+/// spirit; flipping it mid-run is benign (both paths compute the same
+/// values — that equivalence is exactly what the forced-scalar tests
+/// assert).
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Force (or unforce) the scalar fallback at runtime.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::SeqCst);
+}
+
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+fn avx2_usable() -> bool {
+    use std::sync::OnceLock;
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        let forced_off = std::env::var_os("RPH_FORCE_SCALAR")
+            .map(|v| v != "0" && !v.is_empty())
+            .unwrap_or(false);
+        !forced_off
+            && std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+fn avx512_usable() -> bool {
+    use std::sync::OnceLock;
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    // avx512f alone covers every zmm intrinsic the `avx512` module
+    // uses; requiring the AVX2 tier too keeps the fallback ladder
+    // strictly ordered (and lets the 512-tier borrow 256-bit helpers).
+    *DETECTED.get_or_init(|| {
+        avx2_usable()
+            && std::env::var_os("RPH_DISABLE_AVX512").is_none()
+            && std::arch::is_x86_feature_detected!("avx512f")
+    })
+}
+
+/// The variant the kernel entry points in `kernels` dispatch to,
+/// resolved once per process (plus the [`force_scalar`] override).
+/// The ladder is strict: `Avx512` implies the `Avx2` tier is usable
+/// too. `RPH_DISABLE_AVX512=1` caps dispatch at AVX2 (differential
+/// testing of the 256-bit tier on a 512-bit host).
+pub fn active() -> KernelVariant {
+    #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+    {
+        if !FORCE_SCALAR.load(Ordering::Relaxed) {
+            if avx512_usable() {
+                return KernelVariant::Avx512;
+            }
+            if avx2_usable() {
+                return KernelVariant::Avx2;
+            }
+        }
+    }
+    KernelVariant::Scalar
+}
+
+/// CPU features detected at runtime that matter to this layer —
+/// recorded in bench artifacts so a scalar-fallback run can never be
+/// mistaken for a vectorised one (`target-cpu=native` binaries look
+/// identical from the outside). Independent of the `simd` feature and
+/// of [`force_scalar`]: this reports what the *host* has, while
+/// `kernel_variant` reports what dispatch *used*.
+pub fn cpu_features() -> Vec<&'static str> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut out = Vec::new();
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            out.push("sse4.2");
+        }
+        if std::arch::is_x86_feature_detected!("avx") {
+            out.push("avx");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            out.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            out.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            out.push("avx512f");
+        }
+        out
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Sum `u64` values with 4-wide lane accumulation when available.
+/// Integer addition is associative, so this is bit-exact with the
+/// scalar fold at any dispatch.
+pub fn sum_u64(xs: &[u64]) -> u64 {
+    match active() {
+        // The AVX-512 ladder implies AVX2; a 512-bit integer-sum tier
+        // would not move the sieve (division-bound), so both vector
+        // variants share the 256-bit reduction.
+        #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+        KernelVariant::Avx2 | KernelVariant::Avx512 => unsafe { avx2::sum_u64(xs) },
+        _ => sum_u64_scalar(xs),
+    }
+}
+
+/// The portable scalar fallback for [`sum_u64`] (also the oracle the
+/// lane version is property-tested against).
+pub fn sum_u64_scalar(xs: &[u64]) -> u64 {
+    xs.iter().fold(0u64, |acc, &x| acc.wrapping_add(x))
+}
+
+/// The AVX2 side: lane types and the kernels written on them. Every
+/// `pub fn` here is `#[target_feature]`-compiled; callers outside an
+/// AVX2 context must guard with [`active`] — the `kernels` module's
+/// dispatch wrappers are the only intended call sites.
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+// Safe `#[target_feature]` fns are unsafe-to-call from non-AVX2
+// contexts; the contract is identical for every item here and stated
+// once in the module doc above, so per-fn `# Safety` sections would
+// just repeat "caller must have checked `active()`".
+#[allow(clippy::missing_safety_doc)]
+pub mod avx2 {
+    use crate::kernels::{MR, TILE};
+    use core::arch::x86_64::*;
+
+    /// Four `f64` lanes in one AVX2 register.
+    #[derive(Clone, Copy)]
+    #[repr(transparent)]
+    pub struct F64x4(__m256d);
+
+    impl F64x4 {
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub fn zero() -> Self {
+            F64x4(_mm256_setzero_pd())
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub fn splat(x: f64) -> Self {
+            F64x4(_mm256_set1_pd(x))
+        }
+
+        /// # Safety
+        /// `p` must be valid for reading 4 consecutive `f64`s.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn load(p: *const f64) -> Self {
+            F64x4(_mm256_loadu_pd(p))
+        }
+
+        /// # Safety
+        /// `p` must be valid for writing 4 consecutive `f64`s.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn store(self, p: *mut f64) {
+            _mm256_storeu_pd(p, self.0)
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub fn add(self, o: Self) -> Self {
+            F64x4(_mm256_add_pd(self.0, o.0))
+        }
+
+        /// Lane-wise `self < o ? self : o` — `vminpd` returns the
+        /// *second* operand on ties (and NaNs, which the min-plus
+        /// kernels never produce), so `via.min(cur)` is exactly the
+        /// scalar `if via < cur { via } else { cur }`.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub fn min(self, o: Self) -> Self {
+            F64x4(_mm256_min_pd(self.0, o.0))
+        }
+
+        /// Fused `self * m + a` (one rounding instead of two).
+        #[inline]
+        #[target_feature(enable = "avx2", enable = "fma")]
+        pub fn mul_add(self, m: Self, a: Self) -> Self {
+            F64x4(_mm256_fmadd_pd(self.0, m.0, a.0))
+        }
+    }
+
+    /// Four `u64` lanes in one AVX2 register (wrapping adds).
+    #[derive(Clone, Copy)]
+    #[repr(transparent)]
+    pub struct U64x4(__m256i);
+
+    impl U64x4 {
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub fn zero() -> Self {
+            U64x4(_mm256_setzero_si256())
+        }
+
+        /// # Safety
+        /// `p` must be valid for reading 4 consecutive `u64`s.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn load(p: *const u64) -> Self {
+            U64x4(_mm256_loadu_si256(p as *const __m256i))
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub fn add(self, o: Self) -> Self {
+            U64x4(_mm256_add_epi64(self.0, o.0))
+        }
+
+        /// Horizontal wrapping sum of the four lanes.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        pub fn sum(self) -> u64 {
+            let mut out = [0u64; 4];
+            unsafe { _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, self.0) };
+            out[0]
+                .wrapping_add(out[1])
+                .wrapping_add(out[2])
+                .wrapping_add(out[3])
+        }
+    }
+
+    /// `u64×4` reduction: four independent accumulator vectors hide
+    /// the add latency, scalar tail for the remainder. Bit-exact with
+    /// the scalar fold (integer adds commute).
+    #[target_feature(enable = "avx2")]
+    pub fn sum_u64(xs: &[u64]) -> u64 {
+        let chunks = xs.len() / 16;
+        let mut acc = [U64x4::zero(); 4];
+        for c in 0..chunks {
+            let base = unsafe { xs.as_ptr().add(c * 16) };
+            for (v, a) in acc.iter_mut().enumerate() {
+                *a = a.add(unsafe { U64x4::load(base.add(v * 4)) });
+            }
+        }
+        let mut total = acc[0].add(acc[1]).add(acc[2].add(acc[3])).sum();
+        for &x in &xs[chunks * 16..] {
+            total = total.wrapping_add(x);
+        }
+        total
+    }
+
+    /// The `MR×NR = 4×8` register micro-kernel on FMA lanes: same
+    /// packed-A strip layout and accumulation order as the scalar
+    /// `kernels::micro_mrxnr`, but each row's 8 accumulators live in
+    /// two `F64x4` registers and every mul+add pair contracts to one
+    /// `vfmadd`. 8 accumulator registers + 2 B-row registers + 1
+    /// broadcast fit comfortably in the 16 ymm registers.
+    ///
+    /// Caller contract (same as the scalar micro-kernel): the
+    /// `MR×NR` C block at `(i, j)` and the B rows `kk..kk+kw` at
+    /// column `j` are fully in bounds, and `ap` holds `kw` k-steps of
+    /// `MR` packed A values.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub fn micro_mrxnr(
+        c: &mut [f64],
+        ap: &[f64],
+        b: &[f64],
+        n: usize,
+        (i, j): (usize, usize),
+        (kk, kw): (usize, usize),
+    ) {
+        let mut acc = [[F64x4::zero(); 2]; MR];
+        for k in 0..kw {
+            let brow = unsafe { b.as_ptr().add((kk + k) * n + j) };
+            let b0 = unsafe { F64x4::load(brow) };
+            let b1 = unsafe { F64x4::load(brow.add(4)) };
+            let avals = &ap[k * MR..(k + 1) * MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let a = F64x4::splat(avals[r]);
+                accr[0] = a.mul_add(b0, accr[0]);
+                accr[1] = a.mul_add(b1, accr[1]);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let crow = unsafe { c.as_mut_ptr().add((i + r) * n + j) };
+            unsafe {
+                F64x4::load(crow).add(accr[0]).store(crow);
+                F64x4::load(crow.add(4)).add(accr[1]).store(crow.add(4));
+            }
+        }
+    }
+
+    /// Lane min-plus tile relaxation, general form: identical loop
+    /// structure to the scalar `kernels::min_plus_tile` (k outermost,
+    /// per-k scratch copy of the k-row segment, write-back per row) so
+    /// it is valid for the *self-dependent* phases of blocked
+    /// Floyd–Warshall — and bit-exact with it, since each output
+    /// element sees exactly the scalar candidate sequence.
+    #[target_feature(enable = "avx2")]
+    pub fn min_plus_tile_general(
+        d: &mut [f64],
+        n: usize,
+        (ci, ch): (usize, usize),
+        (cj, cw): (usize, usize),
+        (kk, kw): (usize, usize),
+        scratch: &mut Vec<f64>,
+    ) {
+        let vw = cw / 4 * 4;
+        for k in kk..kk + kw {
+            scratch.clear();
+            scratch.extend_from_slice(&d[k * n + cj..k * n + cj + cw]);
+            for i in ci..ci + ch {
+                let dik = d[i * n + k];
+                if !dik.is_finite() {
+                    continue;
+                }
+                let bc = F64x4::splat(dik);
+                let row = &mut d[i * n + cj..i * n + cj + cw];
+                let mut j = 0;
+                while j < vw {
+                    unsafe {
+                        let via = bc.add(F64x4::load(scratch.as_ptr().add(j)));
+                        let cur = F64x4::load(row.as_ptr().add(j));
+                        via.min(cur).store(row.as_mut_ptr().add(j));
+                    }
+                    j += 4;
+                }
+                for (cv, &bkj) in row[vw..].iter_mut().zip(&scratch[vw..]) {
+                    let via = dik + bkj;
+                    if via < *cv {
+                        *cv = via;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lane min-plus tile relaxation, disjoint form: valid only when
+    /// the C tile shares no row block with the pivot rows and no
+    /// column block with the pivot columns (phase 3 of blocked
+    /// Floyd–Warshall), so `d[i][k]` and `d[k][j]` are constant for
+    /// the whole tile op. Then the k-loop can run with the entire C
+    /// row held in registers — up to `TILE/4 = 8` accumulator vectors
+    /// — turning the scalar path's load+store of C per (k, element)
+    /// into a single load and store per element for the whole sweep.
+    /// Still bit-exact: per element, the candidate `min` sequence is
+    /// the same k-ascending order, just accumulated in a register.
+    #[target_feature(enable = "avx2")]
+    pub fn min_plus_tile_disjoint(
+        d: &mut [f64],
+        n: usize,
+        (ci, ch): (usize, usize),
+        (cj, cw): (usize, usize),
+        (kk, kw): (usize, usize),
+    ) {
+        debug_assert!(cw <= TILE);
+        if cw == TILE {
+            // Full-width tile: compile-time lane count, so the
+            // accumulator array unrolls into registers instead of a
+            // runtime-indexed stack array (which would re-introduce
+            // the per-k load/store this kernel exists to remove).
+            min_plus_tile_disjoint_full(d, n, (ci, ch), cj, (kk, kw));
+            return;
+        }
+        let q = cw / 4;
+        let rem = cw % 4;
+        for i in ci..ci + ch {
+            let mut acc = [F64x4::zero(); TILE / 4];
+            let mut tail = [0.0f64; 4];
+            unsafe {
+                let base = d.as_ptr().add(i * n + cj);
+                for (v, a) in acc.iter_mut().take(q).enumerate() {
+                    *a = F64x4::load(base.add(4 * v));
+                }
+                for (t, tv) in tail.iter_mut().take(rem).enumerate() {
+                    *tv = *base.add(4 * q + t);
+                }
+            }
+            for k in kk..kk + kw {
+                let dik = d[i * n + k];
+                if !dik.is_finite() {
+                    continue;
+                }
+                let bc = F64x4::splat(dik);
+                unsafe {
+                    let krow = d.as_ptr().add(k * n + cj);
+                    for (v, a) in acc.iter_mut().take(q).enumerate() {
+                        let via = bc.add(F64x4::load(krow.add(4 * v)));
+                        *a = via.min(*a);
+                    }
+                    for (t, tv) in tail.iter_mut().take(rem).enumerate() {
+                        let via = dik + *krow.add(4 * q + t);
+                        if via < *tv {
+                            *tv = via;
+                        }
+                    }
+                }
+            }
+            unsafe {
+                let out = d.as_mut_ptr().add(i * n + cj);
+                for (v, a) in acc.iter().take(q).enumerate() {
+                    a.store(out.add(4 * v));
+                }
+                for (t, &tv) in tail.iter().take(rem).enumerate() {
+                    *out.add(4 * q + t) = tv;
+                }
+            }
+        }
+    }
+
+    /// [`min_plus_tile_disjoint`] specialised to `cw == TILE`: the
+    /// row lives in `TILE/4 = 8` named registers for the whole k
+    /// sweep (constant loop bounds → full unroll, no stack array).
+    #[target_feature(enable = "avx2")]
+    fn min_plus_tile_disjoint_full(
+        d: &mut [f64],
+        n: usize,
+        (ci, ch): (usize, usize),
+        cj: usize,
+        (kk, kw): (usize, usize),
+    ) {
+        const Q: usize = TILE / 4;
+        for i in ci..ci + ch {
+            let mut acc = [F64x4::zero(); Q];
+            unsafe {
+                let base = d.as_ptr().add(i * n + cj);
+                for (v, a) in acc.iter_mut().enumerate() {
+                    *a = F64x4::load(base.add(4 * v));
+                }
+            }
+            for k in kk..kk + kw {
+                let dik = d[i * n + k];
+                if !dik.is_finite() {
+                    continue;
+                }
+                let bc = F64x4::splat(dik);
+                unsafe {
+                    let krow = d.as_ptr().add(k * n + cj);
+                    for (v, a) in acc.iter_mut().enumerate() {
+                        let via = bc.add(F64x4::load(krow.add(4 * v)));
+                        *a = via.min(*a);
+                    }
+                }
+            }
+            unsafe {
+                let out = d.as_mut_ptr().add(i * n + cj);
+                for (v, a) in acc.iter().enumerate() {
+                    a.store(out.add(4 * v));
+                }
+            }
+        }
+    }
+
+    /// Blocked Floyd–Warshall on lane min-plus tiles: the same
+    /// three-phase tile schedule as the scalar
+    /// `kernels::floyd_warshall_blocked` (pivot tile, pivot panels,
+    /// remainder), with the self-dependent phases on
+    /// [`min_plus_tile_general`] and the disjoint phase-3 tiles on the
+    /// register-blocked [`min_plus_tile_disjoint`]. Results are
+    /// bit-identical to the scalar blocked kernel (and hence to plain
+    /// `floyd_warshall`).
+    #[target_feature(enable = "avx2")]
+    pub fn floyd_warshall_blocked(dist: &mut [f64], n: usize) {
+        assert_eq!(dist.len(), n * n);
+        let mut scratch = Vec::with_capacity(TILE);
+        let ext = |tile: usize| {
+            let lo = tile * TILE;
+            (lo, TILE.min(n - lo))
+        };
+        let tiles = n.div_ceil(TILE);
+        for kb in 0..tiles {
+            let kx = ext(kb);
+            min_plus_tile_general(dist, n, kx, kx, kx, &mut scratch);
+            for jb in 0..tiles {
+                if jb != kb {
+                    min_plus_tile_general(dist, n, kx, ext(jb), kx, &mut scratch);
+                }
+            }
+            for ib in 0..tiles {
+                if ib != kb {
+                    min_plus_tile_general(dist, n, ext(ib), kx, kx, &mut scratch);
+                }
+            }
+            for ib in 0..tiles {
+                if ib == kb {
+                    continue;
+                }
+                for jb in 0..tiles {
+                    if jb != kb {
+                        min_plus_tile_disjoint(dist, n, ext(ib), ext(jb), kx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The AVX-512F side: 8-lane `f64` kernels. Same shape as [`avx2`],
+/// double the vector width — the tier that matters on hosts with
+/// 512-bit FMA ports, where a 256-bit micro-kernel already saturating
+/// its ports leaves a further 2× of peak on the table. Same caller
+/// contract as [`avx2`]: only the `kernels` dispatch wrappers (after
+/// an `active() == Avx512` resolution) may call in.
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+#[allow(clippy::missing_safety_doc)] // same blanket contract as `avx2`
+pub mod avx512 {
+    use crate::kernels::TILE;
+    use core::arch::x86_64::*;
+
+    /// The micro-kernel's C-row footprint on this tier: 8 rows × two
+    /// zmm vectors per row = 16 independent FMA chains (covers FMA
+    /// latency on two 512-bit ports twice over) and half the B-panel
+    /// traffic per C element of a 4-row kernel. 16 accumulators + 2
+    /// B vectors + 1 broadcast = 19 of the 32 zmm registers.
+    pub const MR512: usize = 8;
+    /// The micro-kernel's C-column footprint (two zmm per row).
+    pub const NR512: usize = 16;
+
+    /// Eight `f64` lanes in one AVX-512 register.
+    #[derive(Clone, Copy)]
+    #[repr(transparent)]
+    pub struct F64x8(__m512d);
+
+    impl F64x8 {
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        pub fn zero() -> Self {
+            F64x8(_mm512_setzero_pd())
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        pub fn splat(x: f64) -> Self {
+            F64x8(_mm512_set1_pd(x))
+        }
+
+        /// # Safety
+        /// `p` must be valid for reading 8 consecutive `f64`s.
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        pub unsafe fn load(p: *const f64) -> Self {
+            F64x8(_mm512_loadu_pd(p))
+        }
+
+        /// # Safety
+        /// `p` must be valid for writing 8 consecutive `f64`s.
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        pub unsafe fn store(self, p: *mut f64) {
+            _mm512_storeu_pd(p, self.0)
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        pub fn add(self, o: Self) -> Self {
+            F64x8(_mm512_add_pd(self.0, o.0))
+        }
+
+        /// Lane-wise minimum. Like `vminpd` on the 256-bit tier this
+        /// returns the *second* operand on ties, so `via.min(cur)`
+        /// reproduces the scalar `if via < cur { via } else { cur }`.
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        pub fn min(self, o: Self) -> Self {
+            F64x8(_mm512_min_pd(self.0, o.0))
+        }
+
+        /// `self * a + b`, one rounding (FMA is part of AVX-512F).
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        pub fn mul_add(self, a: Self, b: Self) -> Self {
+            F64x8(_mm512_fmadd_pd(self.0, a.0, b.0))
+        }
+    }
+
+    /// The `MR512×NR512 = 8×16` register micro-kernel on zmm lanes:
+    /// structurally the [`super::avx2::micro_mrxnr`] kernel with each
+    /// row's 16 accumulators in two `F64x8` registers and twice the
+    /// row count. The driver's j-loop steps by [`NR512`] and its A
+    /// packing switches to [`MR512`]-deep strips when this tier is
+    /// active (the strip layout stays k-major; C width never enters
+    /// it).
+    ///
+    /// Caller contract: the `MR512×NR512` C block at `(i, j)` and the
+    /// B rows `kk..kk+kw` at column `j` are fully in bounds, and `ap`
+    /// holds `kw` k-steps of `MR512` packed A values.
+    #[target_feature(enable = "avx512f")]
+    pub fn micro_mrxnr(
+        c: &mut [f64],
+        ap: &[f64],
+        b: &[f64],
+        n: usize,
+        (i, j): (usize, usize),
+        (kk, kw): (usize, usize),
+    ) {
+        let mut acc = [[F64x8::zero(); 2]; MR512];
+        for k in 0..kw {
+            let brow = unsafe { b.as_ptr().add((kk + k) * n + j) };
+            let b0 = unsafe { F64x8::load(brow) };
+            let b1 = unsafe { F64x8::load(brow.add(8)) };
+            let avals = &ap[k * MR512..(k + 1) * MR512];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let a = F64x8::splat(avals[r]);
+                accr[0] = a.mul_add(b0, accr[0]);
+                accr[1] = a.mul_add(b1, accr[1]);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let crow = unsafe { c.as_mut_ptr().add((i + r) * n + j) };
+            unsafe {
+                F64x8::load(crow).add(accr[0]).store(crow);
+                F64x8::load(crow.add(8)).add(accr[1]).store(crow.add(8));
+            }
+        }
+    }
+
+    /// Lane min-plus tile relaxation, general (self-dependent) form on
+    /// zmm lanes; loop structure identical to the scalar
+    /// `kernels::min_plus_tile`, so bit-exact with it — see
+    /// [`super::avx2::min_plus_tile_general`] for the argument.
+    #[target_feature(enable = "avx512f")]
+    pub fn min_plus_tile_general(
+        d: &mut [f64],
+        n: usize,
+        (ci, ch): (usize, usize),
+        (cj, cw): (usize, usize),
+        (kk, kw): (usize, usize),
+        scratch: &mut Vec<f64>,
+    ) {
+        let vw = cw / 8 * 8;
+        for k in kk..kk + kw {
+            scratch.clear();
+            scratch.extend_from_slice(&d[k * n + cj..k * n + cj + cw]);
+            for i in ci..ci + ch {
+                let dik = d[i * n + k];
+                if !dik.is_finite() {
+                    continue;
+                }
+                let bc = F64x8::splat(dik);
+                let row = &mut d[i * n + cj..i * n + cj + cw];
+                let mut j = 0;
+                while j < vw {
+                    unsafe {
+                        let via = bc.add(F64x8::load(scratch.as_ptr().add(j)));
+                        let cur = F64x8::load(row.as_ptr().add(j));
+                        via.min(cur).store(row.as_mut_ptr().add(j));
+                    }
+                    j += 8;
+                }
+                for (cv, &bkj) in row[vw..].iter_mut().zip(&scratch[vw..]) {
+                    let via = dik + bkj;
+                    if via < *cv {
+                        *cv = via;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lane min-plus tile relaxation, disjoint (phase-3) form on zmm
+    /// lanes: whole C row in `TILE/8 = 4` accumulator vectors across
+    /// the k sweep. Validity and bit-exactness arguments as for
+    /// [`super::avx2::min_plus_tile_disjoint`].
+    #[target_feature(enable = "avx512f")]
+    pub fn min_plus_tile_disjoint(
+        d: &mut [f64],
+        n: usize,
+        (ci, ch): (usize, usize),
+        (cj, cw): (usize, usize),
+        (kk, kw): (usize, usize),
+    ) {
+        debug_assert!(cw <= TILE);
+        if cw == TILE {
+            // Compile-time lane count — see the AVX2 twin for why.
+            min_plus_tile_disjoint_full(d, n, (ci, ch), cj, (kk, kw));
+            return;
+        }
+        let q = cw / 8;
+        let rem = cw % 8;
+        for i in ci..ci + ch {
+            let mut acc = [F64x8::zero(); TILE / 8];
+            let mut tail = [0.0f64; 8];
+            unsafe {
+                let base = d.as_ptr().add(i * n + cj);
+                for (v, a) in acc.iter_mut().take(q).enumerate() {
+                    *a = F64x8::load(base.add(8 * v));
+                }
+                for (t, tv) in tail.iter_mut().take(rem).enumerate() {
+                    *tv = *base.add(8 * q + t);
+                }
+            }
+            for k in kk..kk + kw {
+                let dik = d[i * n + k];
+                if !dik.is_finite() {
+                    continue;
+                }
+                let bc = F64x8::splat(dik);
+                unsafe {
+                    let krow = d.as_ptr().add(k * n + cj);
+                    for (v, a) in acc.iter_mut().take(q).enumerate() {
+                        let via = bc.add(F64x8::load(krow.add(8 * v)));
+                        *a = via.min(*a);
+                    }
+                    for (t, tv) in tail.iter_mut().take(rem).enumerate() {
+                        let via = dik + *krow.add(8 * q + t);
+                        if via < *tv {
+                            *tv = via;
+                        }
+                    }
+                }
+            }
+            unsafe {
+                let out = d.as_mut_ptr().add(i * n + cj);
+                for (v, a) in acc.iter().take(q).enumerate() {
+                    a.store(out.add(8 * v));
+                }
+                for (t, &tv) in tail.iter().take(rem).enumerate() {
+                    *out.add(8 * q + t) = tv;
+                }
+            }
+        }
+    }
+
+    /// [`min_plus_tile_disjoint`] specialised to `cw == TILE`,
+    /// processing `RB = 4` C rows per k sweep: 4 rows × `TILE/8 = 4`
+    /// zmm accumulators = 16 independent min chains (a single row's 4
+    /// chains leave the loop bound by vminpd *latency*), and each
+    /// pivot-row vector `d[k][cj..cj+TILE]` is loaded once per 4 rows
+    /// instead of once per row. The `dik` non-finite skip is dropped
+    /// in favour of letting `+∞` candidates lose every `min`: with no
+    /// `-∞` in a distance matrix `∞ + x = ∞` never beats a current
+    /// value (and ties return the current operand), so the result is
+    /// still bit-exact with the skipping scalar loop.
+    #[target_feature(enable = "avx512f")]
+    fn min_plus_tile_disjoint_full(
+        d: &mut [f64],
+        n: usize,
+        (ci, ch): (usize, usize),
+        cj: usize,
+        (kk, kw): (usize, usize),
+    ) {
+        const Q: usize = TILE / 8;
+        const RB: usize = 4;
+        let mut i = ci;
+        while i + RB <= ci + ch {
+            let mut acc = [[F64x8::zero(); Q]; RB];
+            unsafe {
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let base = d.as_ptr().add((i + r) * n + cj);
+                    for (v, a) in accr.iter_mut().enumerate() {
+                        *a = F64x8::load(base.add(8 * v));
+                    }
+                }
+            }
+            for k in kk..kk + kw {
+                unsafe {
+                    let krow = d.as_ptr().add(k * n + cj);
+                    let bk = [
+                        F64x8::load(krow),
+                        F64x8::load(krow.add(8)),
+                        F64x8::load(krow.add(16)),
+                        F64x8::load(krow.add(24)),
+                    ];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let bc = F64x8::splat(*d.as_ptr().add((i + r) * n + k));
+                        for (v, a) in accr.iter_mut().enumerate() {
+                            *a = bc.add(bk[v]).min(*a);
+                        }
+                    }
+                }
+            }
+            unsafe {
+                for (r, accr) in acc.iter().enumerate() {
+                    let out = d.as_mut_ptr().add((i + r) * n + cj);
+                    for (v, a) in accr.iter().enumerate() {
+                        a.store(out.add(8 * v));
+                    }
+                }
+            }
+            i += RB;
+        }
+        // Short row remainder (edge tiles where ch < TILE): one row at
+        // a time, same branchless candidate stream.
+        for i in i..ci + ch {
+            let mut acc = [F64x8::zero(); Q];
+            unsafe {
+                let base = d.as_ptr().add(i * n + cj);
+                for (v, a) in acc.iter_mut().enumerate() {
+                    *a = F64x8::load(base.add(8 * v));
+                }
+            }
+            for k in kk..kk + kw {
+                let bc = F64x8::splat(d[i * n + k]);
+                unsafe {
+                    let krow = d.as_ptr().add(k * n + cj);
+                    for (v, a) in acc.iter_mut().enumerate() {
+                        let via = bc.add(F64x8::load(krow.add(8 * v)));
+                        *a = via.min(*a);
+                    }
+                }
+            }
+            unsafe {
+                let out = d.as_mut_ptr().add(i * n + cj);
+                for (v, a) in acc.iter().enumerate() {
+                    a.store(out.add(8 * v));
+                }
+            }
+        }
+    }
+
+    /// Blocked Floyd–Warshall on zmm min-plus tiles; same three-phase
+    /// schedule as the scalar and AVX2 versions, bit-identical output.
+    #[target_feature(enable = "avx512f")]
+    pub fn floyd_warshall_blocked(dist: &mut [f64], n: usize) {
+        assert_eq!(dist.len(), n * n);
+        let mut scratch = Vec::with_capacity(TILE);
+        let ext = |tile: usize| {
+            let lo = tile * TILE;
+            (lo, TILE.min(n - lo))
+        };
+        let tiles = n.div_ceil(TILE);
+        for kb in 0..tiles {
+            let kx = ext(kb);
+            min_plus_tile_general(dist, n, kx, kx, kx, &mut scratch);
+            for jb in 0..tiles {
+                if jb != kb {
+                    min_plus_tile_general(dist, n, kx, ext(jb), kx, &mut scratch);
+                }
+            }
+            for ib in 0..tiles {
+                if ib != kb {
+                    min_plus_tile_general(dist, n, ext(ib), kx, kx, &mut scratch);
+                }
+            }
+            for ib in 0..tiles {
+                if ib == kb {
+                    continue;
+                }
+                for jb in 0..tiles {
+                    if jb != kb {
+                        min_plus_tile_disjoint(dist, n, ext(ib), ext(jb), kx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_are_stable() {
+        assert_eq!(KernelVariant::Scalar.name(), "scalar");
+        assert_eq!(KernelVariant::Avx2.name(), "avx2");
+        assert_eq!(KernelVariant::Avx512.name(), "avx512");
+    }
+
+    #[test]
+    fn force_scalar_pins_dispatch() {
+        force_scalar(true);
+        assert_eq!(active(), KernelVariant::Scalar);
+        force_scalar(false);
+        // Whatever the host, dispatch must resolve to *something*
+        // deterministic and sum_u64 must agree with the scalar fold.
+        let xs: Vec<u64> = (0..103).map(|i| i * i + 7).collect();
+        assert_eq!(sum_u64(&xs), sum_u64_scalar(&xs));
+    }
+
+    #[test]
+    fn sum_u64_handles_remainders_and_wrapping() {
+        for len in [0usize, 1, 3, 4, 5, 15, 16, 17, 63, 64, 65] {
+            let xs: Vec<u64> = (0..len as u64).map(|i| u64::MAX / 2 + i * 31).collect();
+            assert_eq!(sum_u64(&xs), sum_u64_scalar(&xs), "len={len}");
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+    #[test]
+    fn lane_sum_matches_scalar_when_avx2_present() {
+        if active() == KernelVariant::Scalar {
+            return; // scalar-only host: nothing to differentiate
+        }
+        let xs: Vec<u64> = (0..1000).map(|i| i * 2654435761).collect();
+        assert_eq!(unsafe { avx2::sum_u64(&xs) }, sum_u64_scalar(&xs));
+    }
+
+    #[test]
+    fn dispatch_ladder_is_consistent_with_host_features() {
+        // active() must never claim a tier the host lacks.
+        let feats = cpu_features();
+        match active() {
+            KernelVariant::Avx512 => {
+                assert!(feats.contains(&"avx512f"));
+                assert!(feats.contains(&"avx2") && feats.contains(&"fma"));
+            }
+            KernelVariant::Avx2 => {
+                assert!(feats.contains(&"avx2") && feats.contains(&"fma"));
+            }
+            KernelVariant::Scalar => {}
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Property tests: every SIMD-dispatched kernel against its portable
+//! scalar oracle, at the sizes that exercise each remainder path.
+//!
+//! Sizes are chosen around the dispatch layer's seams: `LANES = 4`
+//! (so 3/4/5 hit the partial/full/overhang lane cases and 19 = 4·4+3
+//! mixes them), and `TILE = 32` (so 31/33 hit the partial-tile edge
+//! on both sides — including the avx512 kernels' full-tile fast path
+//! vs their general path).
+//!
+//! Exactness contract (DESIGN.md §3.4.5): min-plus and the totient
+//! sieve must be **bit-exact** at any dispatch; mat-mul uses FMA and
+//! a reassociated accumulation order, so it gets an ulp-style bound
+//! proportional to each element's Σ|a·b| — and must still be
+//! bit-exact when the inputs are small integers (every intermediate
+//! exactly representable).
+
+use rph_workloads::kernels::{self, TILE};
+use rph_workloads::simd::{self, KernelVariant, LANES};
+
+/// Edge sizes: 1, 2, lane−1, lane, lane+1, 4·lane+3, tile−1, tile+1.
+const SIZES: [usize; 8] = [
+    1,
+    2,
+    LANES - 1,
+    LANES,
+    LANES + 1,
+    4 * LANES + 3,
+    TILE - 1,
+    TILE + 1,
+];
+
+/// Deterministic xorshift — the tests need arbitrary floats, not a
+/// statistics-grade stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform-ish in [-1, 1).
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+}
+
+/// A random distance matrix: zero diagonal, ~1/4 missing edges (+∞) —
+/// the shape the min-plus kernels' branchless-∞ argument must survive.
+fn random_dist(n: usize, rng: &mut Rng) -> Vec<f64> {
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                d[i * n + j] = if rng.next().is_multiple_of(4) {
+                    f64::INFINITY
+                } else {
+                    (rng.f64() + 1.0) * 5.0
+                };
+            }
+        }
+    }
+    d
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} diverged ({g} vs {w}) — min-plus must be bit-exact"
+        );
+    }
+}
+
+/// Per-element error budget for the FMA/reassociated mat-mul: a few
+/// ulps of the sum of absolute products (the standard forward-error
+/// envelope; the observed error is far below this slack).
+fn assert_matmul_close(got: &[f64], want: &[f64], a: &[f64], b: &[f64], n: usize, what: &str) {
+    for i in 0..n {
+        for j in 0..n {
+            let dot_abs: f64 = (0..n).map(|k| (a[i * n + k] * b[k * n + j]).abs()).sum();
+            let tol = 16.0 * f64::EPSILON * dot_abs + f64::MIN_POSITIVE;
+            let (g, w) = (got[i * n + j], want[i * n + j]);
+            assert!(
+                (g - w).abs() <= tol,
+                "{what}: c[{i}][{j}] = {g}, want {w} (±{tol:e}) at n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_matches_oracle_within_ulp_bound_at_edge_sizes() {
+    let mut rng = Rng(0x5eed_0001);
+    for n in SIZES {
+        let a: Vec<f64> = (0..n * n).map(|_| rng.f64()).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| rng.f64()).collect();
+        let want = kernels::matmul_oracle(&a, &b, n);
+
+        let mut got = vec![0.0; n * n];
+        kernels::matmul_tiled_into(&mut got, &a, &b, n);
+        assert_matmul_close(&got, &want, &a, &b, n, "dispatched tiled vs oracle");
+
+        let mut got_scalar = vec![0.0; n * n];
+        kernels::matmul_tiled_into_scalar(&mut got_scalar, &a, &b, n);
+        assert_matmul_close(&got_scalar, &want, &a, &b, n, "scalar tiled vs oracle");
+    }
+}
+
+#[test]
+fn matmul_is_bit_exact_on_integer_inputs() {
+    // Small integers: products ≤ 81 and dot sums ≤ 81·n are exactly
+    // representable, so FMA introduces no rounding and every
+    // accumulation order yields the same bits.
+    for n in SIZES {
+        let a: Vec<f64> = (0..n * n).map(|i| ((i * 7) % 10) as f64).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| ((i * 13) % 10) as f64).collect();
+        let want = kernels::matmul_oracle(&a, &b, n);
+        let mut got = vec![0.0; n * n];
+        kernels::matmul_tiled_into(&mut got, &a, &b, n);
+        assert_bits_eq(&got, &want, "integer matmul");
+    }
+}
+
+#[test]
+fn blocked_floyd_warshall_is_bit_exact_at_edge_sizes() {
+    let mut rng = Rng(0x5eed_0002);
+    for n in SIZES {
+        let d0 = random_dist(n, &mut rng);
+
+        let mut want = d0.clone();
+        kernels::floyd_warshall(&mut want, n);
+
+        let mut scalar = d0.clone();
+        kernels::floyd_warshall_blocked_scalar(&mut scalar, n);
+        assert_bits_eq(&scalar, &want, "scalar blocked vs plain");
+
+        let mut got = d0.clone();
+        kernels::floyd_warshall_blocked(&mut got, n);
+        assert_bits_eq(&got, &want, "dispatched blocked vs plain");
+    }
+}
+
+#[test]
+fn totient_sieve_matches_gcd_oracle_at_edge_sizes() {
+    for n in SIZES {
+        let hi = n as i64;
+        let want: i64 = (1..=hi).map(|k| kernels::phi_counted(k).0).sum();
+        assert_eq!(
+            kernels::sum_phi_range_sieve(1, hi),
+            want,
+            "sieve vs gcd oracle over [1, {hi}]"
+        );
+    }
+    // A range straddling the sieve's segment boundary (SIEVE_SEG =
+    // 2048), where the segment-local offsets restart.
+    let (lo, hi) = (2_040, 2_060);
+    let want: i64 = (lo..=hi).map(|k| kernels::phi_counted(k).0).sum();
+    assert_eq!(kernels::sum_phi_range_sieve(lo, hi), want);
+}
+
+/// Forcing scalar dispatch must (a) actually pin the variant and
+/// (b) leave every bit-exact kernel's output unchanged — the fallback
+/// is the oracle, not an approximation.
+#[test]
+fn forced_scalar_dispatch_is_bit_identical_for_exact_kernels() {
+    let mut rng = Rng(0x5eed_0003);
+    let n = TILE + 1;
+    let d0 = random_dist(n, &mut rng);
+    let xs: Vec<u64> = (0..4 * LANES as u64 + 3).map(|i| i * 0x9e37_79b9).collect();
+
+    let mut dispatched = d0.clone();
+    kernels::floyd_warshall_blocked(&mut dispatched, n);
+    let sum_dispatched = simd::sum_u64(&xs);
+    let phi_dispatched = kernels::sum_phi_range_sieve(1, 500);
+
+    simd::force_scalar(true);
+    let forced_result = std::panic::catch_unwind(|| {
+        assert_eq!(simd::active(), KernelVariant::Scalar);
+        let mut forced = d0.clone();
+        kernels::floyd_warshall_blocked(&mut forced, n);
+        (
+            forced,
+            simd::sum_u64(&xs),
+            kernels::sum_phi_range_sieve(1, 500),
+        )
+    });
+    // Other tests in this binary race on the same global — always
+    // restore before asserting.
+    simd::force_scalar(false);
+
+    let (forced, sum_forced, phi_forced) = forced_result.unwrap();
+    assert_bits_eq(&forced, &dispatched, "forced-scalar blocked FW");
+    assert_eq!(sum_forced, sum_dispatched);
+    assert_eq!(phi_forced, phi_dispatched);
+}
+
+/// Direct per-tier coverage: on an avx512 host dispatch never picks
+/// the avx2 kernels, so call each tier's Floyd–Warshall explicitly
+/// under its own runtime-detection guard.
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+#[test]
+fn each_vector_tier_matches_the_scalar_kernel_directly() {
+    let mut rng = Rng(0x5eed_0004);
+    for n in SIZES {
+        let d0 = random_dist(n, &mut rng);
+        let mut want = d0.clone();
+        kernels::floyd_warshall_blocked_scalar(&mut want, n);
+
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let mut got = d0.clone();
+            // SAFETY: the avx2 feature was just detected on this CPU.
+            unsafe { simd::avx2::floyd_warshall_blocked(&mut got, n) };
+            assert_bits_eq(&got, &want, "avx2 blocked FW (direct)");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            let mut got = d0.clone();
+            // SAFETY: the avx512f feature was just detected on this CPU.
+            unsafe { simd::avx512::floyd_warshall_blocked(&mut got, n) };
+            assert_bits_eq(&got, &want, "avx512 blocked FW (direct)");
+        }
+    }
+}
