@@ -138,10 +138,16 @@ const SIEVE_SEG: u64 = 1 << 11;
 /// with `O(seg · log log hi)` per segment — the algorithmic half of
 /// closing the per-element gap; the lane accumulation is the SIMD
 /// half.
+///
+/// Requires `lo ≥ 1` whenever the range is non-empty: the paper's φ is
+/// only defined on positive `k`, and [`sum_phi_range`] would iterate
+/// from the original `lo` while the sieve clamps to 1, so the
+/// bit-identical contract holds only on that shared domain.
 pub fn sum_phi_range_sieve(lo: i64, hi: i64) -> i64 {
     if hi < lo {
         return 0;
     }
+    debug_assert!(lo >= 1, "sum_phi_range_sieve requires lo >= 1, got {lo}");
     let lo = lo.max(1) as u64;
     let hi = hi as u64;
     let primes = small_primes(hi.isqrt());

@@ -162,11 +162,21 @@ fn totient_sieve_matches_gcd_oracle_at_edge_sizes() {
     assert_eq!(kernels::sum_phi_range_sieve(lo, hi), want);
 }
 
+/// Serialises every test that flips or observes the process-global
+/// [`simd::force_scalar`] switch. The concurrent property tests only
+/// compare dispatched-vs-scalar *outputs* (equal either way), but any
+/// test asserting a particular [`simd::active`] variant must hold this
+/// lock for its whole forced window or it races the flip below.
+static DISPATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Forcing scalar dispatch must (a) actually pin the variant and
 /// (b) leave every bit-exact kernel's output unchanged — the fallback
 /// is the oracle, not an approximation.
 #[test]
 fn forced_scalar_dispatch_is_bit_identical_for_exact_kernels() {
+    let _guard = DISPATCH_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut rng = Rng(0x5eed_0003);
     let n = TILE + 1;
     let d0 = random_dist(n, &mut rng);
