@@ -20,12 +20,14 @@ fn main() {
         "Program version and runtime system",
         "Runtime",
         "GCs",
+        "barrier wait",
+        "GC pause",
         "sparks stolen/pushed",
     ]);
     let mut prev = u64::MAX;
     let mut ladder_monotone = true;
     for version in five_versions(caps) {
-        let (elapsed, gcs, dist) = match &version {
+        let (elapsed, gcs, barrier, pause, dist) = match &version {
             Version::Gph(_, cfg) => {
                 let m = w.run_gph(cfg.clone().without_trace()).expect("gph run");
                 check(&m, expected, version.label());
@@ -33,13 +35,22 @@ fn main() {
                 (
                     m.elapsed,
                     s.gcs,
+                    millis(s.gc_barrier_wait),
+                    millis(s.gc_pause),
                     format!("{}/{}", s.sparks_stolen, s.sparks_pushed),
                 )
             }
             Version::Eden(_, cfg) => {
                 let m = w.run_eden(cfg.clone().without_trace()).expect("eden run");
                 check(&m, expected, version.label());
-                (m.elapsed, m.eden_stats.unwrap().local_gcs, "-".to_string())
+                let s = m.eden_stats.unwrap();
+                (
+                    m.elapsed,
+                    s.local_gcs,
+                    "-".to_string(),
+                    millis(s.gc_time),
+                    "-".to_string(),
+                )
             }
         };
         if elapsed > prev {
@@ -50,6 +61,8 @@ fn main() {
             version.label().to_string(),
             secs(elapsed),
             gcs.to_string(),
+            barrier,
+            pause,
             dist,
         ]);
     }

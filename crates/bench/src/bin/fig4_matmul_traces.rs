@@ -75,13 +75,20 @@ fn main() {
         tl.check_well_formed().expect("trace invariants");
         println!("{tag}) {} — {}", cfg.label, millis(m.elapsed));
         print!("{}", render_timeline(&tl, &opts));
-        let gcs = m
-            .gph_stats
-            .as_ref()
-            .map(|s| s.gcs)
-            .or_else(|| m.eden_stats.as_ref().map(|s| s.local_gcs))
-            .unwrap_or(0);
-        println!("   {} GCs\n", gcs);
+        match (&m.gph_stats, &m.eden_stats) {
+            (Some(s), _) => println!(
+                "   {} GCs (barrier wait {}, pause {})\n",
+                s.gcs,
+                millis(s.gc_barrier_wait),
+                millis(s.gc_pause)
+            ),
+            (_, Some(s)) => println!(
+                "   {} local GCs (pause {})\n",
+                s.local_gcs,
+                millis(s.gc_time)
+            ),
+            _ => println!(),
+        }
         write_artifact(
             &format!("fig4_trace_{tag}.svg"),
             &rph_core::trace::render_svg(&tl, 900, 16),

@@ -690,6 +690,7 @@ impl EdenRuntime {
             EventKind::GcDone {
                 live_words: res.live_words,
                 collected_words: res.collected_words,
+                pause,
             },
         );
         self.set_state(idx, State::Running);

@@ -38,7 +38,23 @@ pub enum GcModel {
     /// `global_every`-th collection (per capability) joins a global
     /// stop-the-world collection of the shared heap. "The overhead can
     /// be reduced by using a semi-distributed heap model."
+    ///
+    /// NOTE: this mode is a *cost fiction* kept for comparison — its
+    /// local collections reclaim nothing and price their pause off
+    /// global heap size. [`GcModel::PerCapNurseries`] is the real
+    /// mechanism.
     SemiDistributed { global_every: u32 },
+    /// Real per-capability nurseries (after *Garbage Collection for
+    /// Multicore NUMA Machines*): each capability allocates into a
+    /// private region; write barriers record cross-region references
+    /// in per-region remembered sets; an exhausted nursery is collected
+    /// *independently* (survivors promoted to the shared old
+    /// generation, pause proportional to measured survivors — no
+    /// barrier, no other capability involved). When the old generation
+    /// has grown past a threshold, a stop-the-world major collection
+    /// runs with its mark phase parallelised across the capabilities'
+    /// GC threads (grey-set work stealing; pause = slowest GC thread).
+    PerCapNurseries,
 }
 
 /// How sparks become running work (§IV.A.4).
@@ -165,6 +181,15 @@ impl GphConfig {
     /// §IV.A.2 future work: steal runnable threads as well as sparks.
     pub fn with_thread_stealing(mut self) -> Self {
         self.thread_stealing = true;
+        self
+    }
+
+    /// Real per-capability nurseries + parallel major GC (ROADMAP
+    /// item 1): independent minor collections per capability, global
+    /// collections only when the old generation has grown, with the
+    /// mark phase spread over parallel GC threads.
+    pub fn with_per_cap_nurseries(mut self) -> Self {
+        self.gc_model = GcModel::PerCapNurseries;
         self
     }
 

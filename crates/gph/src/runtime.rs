@@ -11,7 +11,7 @@ use crate::config::{BlackHoling, GcModel, GphConfig, SparkExec, SparkPolicy};
 use crate::stats::GphStats;
 use rph_deque::DetDeque;
 use rph_heap::gc::Collector;
-use rph_heap::{Heap, NodeRef};
+use rph_heap::{Heap, NodeRef, ParMarkCosts, RegionId};
 use rph_machine::{Machine, Program, RunCtx, StopReason};
 use rph_sim::DetRng;
 use rph_trace::{CapId, EventKind, State, ThreadId, Time, Tracer};
@@ -91,6 +91,12 @@ pub struct GphRuntime {
     gc: Option<GcPhase>,
     /// Extra GC roots (the entry node, and anything a caller pins).
     extra_roots: Vec<NodeRef>,
+    /// Old-generation live words at the end of the last major
+    /// collection (per-capability-nursery model: the next major
+    /// triggers when the old gen has grown well past this).
+    last_major_live: u64,
+    /// Reusable buffer for steal-victim permutations.
+    victim_buf: Vec<usize>,
 }
 
 impl GphRuntime {
@@ -114,9 +120,13 @@ impl GphRuntime {
         } else {
             Tracer::disabled(config.caps)
         };
+        let mut heap = Heap::new();
+        if config.gc_model == GcModel::PerCapNurseries {
+            heap.enable_nurseries(config.caps);
+        }
         GphRuntime {
             program,
-            heap: Heap::new(),
+            heap,
             collector: Collector::new(),
             caps,
             blocked: BTreeMap::new(),
@@ -126,6 +136,8 @@ impl GphRuntime {
             next_tid: 0,
             gc: None,
             extra_roots: Vec::new(),
+            last_major_live: 0,
+            victim_buf: Vec::new(),
             config,
         }
     }
@@ -222,8 +234,15 @@ impl GphRuntime {
             return Ok(None);
         }
 
-        // Run the current thread for one simulator slice.
+        // Run the current thread for one simulator slice. Under the
+        // per-capability-nursery model, everything the mutator
+        // allocates in this slice lands in this capability's region
+        // (this covers both `RunCtx::alloc` and direct kernel
+        // allocations — the region is heap state, not a ctx argument).
         self.set_state(idx, State::Running);
+        if self.heap.nurseries_enabled() {
+            self.heap.set_alloc_region(Some(idx as RegionId));
+        }
         let cap = &mut self.caps[idx];
         let mut tso = cap.current.take().expect("ensured above");
         let mut ctx = RunCtx::new(
@@ -397,10 +416,14 @@ impl GphRuntime {
         if self.config.spark_policy != SparkPolicy::Steal || self.caps.len() < 2 {
             return None;
         }
-        // Steal: up to caps-1 random victim probes, each costing a
-        // cache-line bounce.
-        for _ in 0..self.caps.len() - 1 {
-            let victim = self.rng.pick_other(self.caps.len(), idx);
+        // Steal sweep: probe every other capability exactly once, in a
+        // seeded-random permutation (mirroring `crates/native`'s
+        // `VictimPicker`). Independent per-probe draws could revisit
+        // one victim and skip others entirely, inflating
+        // `steal_failures` and missing available work.
+        self.victim_sweep(idx);
+        for k in 0..self.victim_buf.len() {
+            let victim = self.victim_buf[k];
             self.caps[idx].clock += self.config.costs.steal_attempt;
             while let Some(s) = self.caps[victim].sparks.steal() {
                 if self.heap.whnf(s).is_none() {
@@ -420,6 +443,17 @@ impl GphRuntime {
             self.stats.steal_failures += 1;
         }
         None
+    }
+
+    /// Fill `self.victim_buf` with a fresh seeded permutation of the
+    /// other capabilities — one steal sweep probes each exactly once
+    /// (cf. `crates/native`'s `VictimPicker`).
+    fn victim_sweep(&mut self, idx: usize) {
+        let mut order = std::mem::take(&mut self.victim_buf);
+        order.clear();
+        order.extend((0..self.caps.len()).filter(|&v| v != idx));
+        self.rng.shuffle(&mut order);
+        self.victim_buf = order;
     }
 
     /// Actions a thread takes when it notices the context-switch /
@@ -455,6 +489,26 @@ impl GphRuntime {
                         });
                     } else {
                         self.local_gc(idx);
+                    }
+                }
+                GcModel::PerCapNurseries => {
+                    // Collect our own nursery independently; escalate
+                    // to a global collection only when the shared old
+                    // generation has grown substantially (GHC-style
+                    // growth trigger, so majors don't thrash when live
+                    // data is genuinely large).
+                    self.minor_gc(idx);
+                    let threshold = (self.config.alloc_area_words * self.caps.len() as u64)
+                        .max(self.last_major_live * 2);
+                    if self.heap.old_words() >= threshold {
+                        self.tracer.record(
+                            self.caps[idx].id,
+                            self.caps[idx].clock,
+                            EventKind::GcRequest,
+                        );
+                        self.gc = Some(GcPhase {
+                            request_time: self.caps[idx].clock,
+                        });
                     }
                 }
             }
@@ -552,6 +606,10 @@ impl GphRuntime {
     /// barrier, no other capability involved. Only the nursery's
     /// survivors are evacuated to the shared heap; the real mark–sweep
     /// of shared data happens at the periodic global collections.
+    ///
+    /// This is a cost fiction kept for comparison: nothing is actually
+    /// reclaimed, and the pause is priced off *global* live words —
+    /// exactly the coupling [`GphRuntime::minor_gc`] removes.
     fn local_gc(&mut self, idx: usize) {
         let survivors =
             (self.heap.live_words() / self.caps.len() as u64).min(self.config.alloc_area_words);
@@ -561,14 +619,71 @@ impl GphRuntime {
         self.caps[idx].area.reset_after_gc();
         self.caps[idx].locals_since_global += 1;
         self.stats.local_gcs += 1;
+        self.stats.minor_gc_time += pause;
         self.set_state(idx, State::Running);
     }
 
+    /// A real independent minor collection of this capability's
+    /// nursery: survivors are evacuated (promoted) to the shared old
+    /// generation and nursery garbage is reclaimed. The pause is
+    /// proportional to the *measured* survivors plus the remembered
+    /// set scanned — it does not depend on any other capability's heap
+    /// usage, and no barrier is involved.
+    fn minor_gc(&mut self, idx: usize) {
+        self.set_state(idx, State::Gc);
+        let roots = self.gather_roots();
+        let res = self
+            .collector
+            .collect_minor(&mut self.heap, idx as RegionId, roots);
+        let pause = self
+            .config
+            .costs
+            .gc_pause_minor(res.survivor_words, res.remset_entries);
+        self.caps[idx].clock += pause;
+        self.caps[idx].area.reset_after_gc();
+        self.stats.local_gcs += 1;
+        self.stats.minor_gc_time += pause;
+        self.stats.promoted_words += res.survivor_words;
+        self.stats.collected_words += res.freed_words;
+        let now = self.caps[idx].clock;
+        self.tracer.record(
+            self.caps[idx].id,
+            now,
+            EventKind::GcDone {
+                live_words: res.survivor_words,
+                collected_words: res.freed_words,
+                pause,
+            },
+        );
+        self.set_state(idx, State::Running);
+    }
+
+    /// The full runtime root set: pinned roots, every capability's
+    /// running and queued threads, spark pools, and blocked threads.
+    fn gather_roots(&self) -> Vec<NodeRef> {
+        let mut roots: Vec<NodeRef> = self.extra_roots.clone();
+        for cap in &self.caps {
+            if let Some(t) = &cap.current {
+                t.machine.push_roots(&mut roots);
+            }
+            for t in &cap.run_q {
+                t.machine.push_roots(&mut roots);
+            }
+            roots.extend(cap.sparks.iter().copied());
+        }
+        for t in self.blocked.values() {
+            t.machine.push_roots(&mut roots);
+        }
+        roots
+    }
+
     /// Steal a runnable thread from another capability (future-work
-    /// extension of the pulling scheme).
+    /// extension of the pulling scheme). Sweeps a seeded permutation
+    /// of the victims so each is probed exactly once.
     fn steal_thread(&mut self, idx: usize) -> bool {
-        for _ in 0..self.caps.len() - 1 {
-            let victim = self.rng.pick_other(self.caps.len(), idx);
+        self.victim_sweep(idx);
+        for k in 0..self.victim_buf.len() {
+            let victim = self.victim_buf[k];
             self.caps[idx].clock += self.config.costs.steal_attempt;
             // Take the oldest queued thread; never the one installed.
             if let Some(tso) = self.caps[victim].run_q.pop_front() {
@@ -635,6 +750,7 @@ impl GphRuntime {
 
     /// All capabilities parked: run the collector and charge the pause.
     fn perform_gc(&mut self) {
+        let request_time = self.gc.as_ref().expect("gc pending").request_time;
         let barrier_end = self
             .caps
             .iter()
@@ -643,36 +759,63 @@ impl GphRuntime {
             .expect("caps non-empty");
 
         // Real mark–sweep over the real graph.
-        let mut roots: Vec<NodeRef> = self.extra_roots.clone();
-        for cap in &self.caps {
-            if let Some(t) = &cap.current {
-                t.machine.push_roots(&mut roots);
+        let roots = self.gather_roots();
+        let (res, pause) = match self.config.gc_model {
+            GcModel::PerCapNurseries => {
+                // Parallel copying major GC model: partition the root
+                // set across the capabilities' GC threads, mark with
+                // grey-set work stealing, pause = slowest GC thread.
+                let caps = self.caps.len();
+                let mut by_cap: Vec<Vec<NodeRef>> = vec![Vec::new(); caps];
+                for (i, r) in roots.into_iter().enumerate() {
+                    by_cap[i % caps].push(r);
+                }
+                let pm = ParMarkCosts {
+                    mark_cell: self.config.costs.gc_mark_cell,
+                    per_word: self.config.costs.gc_per_live_word,
+                    steal: self.config.costs.gc_grey_steal,
+                };
+                let (res, report) = self
+                    .collector
+                    .collect_parallel(&mut self.heap, &by_cap, &pm);
+                self.stats.grey_steals += report.grey_steals;
+                let pause = self.config.costs.gc_pause_parallel(
+                    caps,
+                    self.config.gc_sync_improved,
+                    report.max_clock(),
+                );
+                (res, pause)
             }
-            for t in &cap.run_q {
-                t.machine.push_roots(&mut roots);
+            GcModel::StopTheWorld | GcModel::SemiDistributed { .. } => {
+                // Serial collection, as in GHC 6.8 (the paper's
+                // reference 29 parallel collector is "still
+                // stop-the-world" and not what it measures).
+                let res = self.collector.collect(&mut self.heap, roots);
+                let copy_words = self.config.costs.gc_copy_words(
+                    self.stats.gcs,
+                    res.live_words,
+                    self.config.alloc_area_words * self.caps.len() as u64,
+                );
+                let pause = self.config.costs.gc_pause(
+                    self.caps.len(),
+                    self.config.gc_sync_improved,
+                    copy_words,
+                );
+                (res, pause)
             }
-            roots.extend(cap.sparks.iter().copied());
-        }
-        for t in self.blocked.values() {
-            t.machine.push_roots(&mut roots);
-        }
-        let res = self.collector.collect(&mut self.heap, roots);
-
-        let copy_words = self.config.costs.gc_copy_words(
-            self.stats.gcs,
-            res.live_words,
-            self.config.alloc_area_words * self.caps.len() as u64,
-        );
-        let pause =
-            self.config
-                .costs
-                .gc_pause(self.caps.len(), self.config.gc_sync_improved, copy_words);
+        };
         let end = barrier_end + pause;
         self.stats.gcs += 1;
         self.stats.last_live_words = res.live_words;
         self.stats.collected_words += res.collected_words;
-        self.tracer
-            .record(CapId(0), barrier_end, EventKind::GcStart);
+        self.last_major_live = res.live_words;
+        self.tracer.record(
+            CapId(0),
+            barrier_end,
+            EventKind::GcStart {
+                barrier_wait: barrier_end - request_time,
+            },
+        );
 
         // Prune fizzled sparks, GHC-style, while the world is stopped.
         let heap = &self.heap;
@@ -682,7 +825,8 @@ impl GphRuntime {
 
         for idx in 0..self.caps.len() {
             let stopped_at = self.caps[idx].stopped_for_gc.take().expect("parked");
-            self.stats.gc_stopped_time += end - stopped_at;
+            self.stats.gc_barrier_wait += barrier_end - stopped_at;
+            self.stats.gc_pause += pause;
             self.caps[idx].clock = end;
             self.caps[idx].area.reset_after_gc();
             // A global collection covers every nursery: local-collection
@@ -696,6 +840,7 @@ impl GphRuntime {
             EventKind::GcDone {
                 live_words: res.live_words,
                 collected_words: res.collected_words,
+                pause,
             },
         );
         self.gc = None;

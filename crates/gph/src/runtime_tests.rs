@@ -4,7 +4,7 @@
 //! black-holing suppresses duplicate evaluation; spark threads create
 //! fewer threads).
 
-use crate::config::{BlackHoling, GphConfig, SparkExec, SparkPolicy};
+use crate::config::{BlackHoling, GcModel, GphConfig, SparkExec, SparkPolicy};
 use crate::runtime::GphRuntime;
 use rph_heap::{Heap, NodeRef, Value};
 use rph_machine::ir::*;
@@ -450,6 +450,234 @@ fn thread_stealing_pulls_queued_threads() {
         "thread stealing should not hurt: {} vs {}",
         with.elapsed,
         without.elapsed
+    );
+}
+
+/// Value oracle: every GC model produces the bit-identical sequential
+/// answer across capability counts.
+#[test]
+fn gc_model_matrix_preserves_results() {
+    for caps in [1, 2, 4, 8] {
+        for (name, model) in [
+            ("stw", GcModel::StopTheWorld),
+            ("semi", GcModel::SemiDistributed { global_every: 8 }),
+            ("percap", GcModel::PerCapNurseries),
+        ] {
+            let mut c = GphConfig::ghc69_plain(caps)
+                .with_work_stealing()
+                .without_trace();
+            c.gc_model = model;
+            let (v, _) = run_with(c, 48, 50_000, 20_000);
+            assert_eq!(v, expected(48), "caps={caps} model={name}");
+        }
+    }
+}
+
+/// Determinism must survive the new nursery machinery: identical
+/// seeds give identical stats, elapsed time, and byte-identical
+/// merged event traces.
+#[test]
+fn per_cap_nurseries_deterministic_same_seed() {
+    let c = GphConfig::ghc69_plain(4)
+        .with_work_stealing()
+        .with_per_cap_nurseries();
+    let (v1, o1) = run_with(c.clone(), 48, 50_000, 20_000);
+    let (v2, o2) = run_with(c, 48, 50_000, 20_000);
+    assert_eq!(v1, v2);
+    assert_eq!(o1.elapsed, o2.elapsed);
+    assert_eq!(o1.stats, o2.stats);
+    assert_eq!(o1.tracer.merged(), o2.tracer.merged());
+}
+
+/// The tentpole's headline effect: with real per-capability nurseries
+/// most collections are independent minor ones, so at scale the
+/// global-GC count and the total stopped time both drop against the
+/// stop-the-world baseline — the sim's GpH profile moves toward
+/// Eden's.
+#[test]
+fn per_cap_nurseries_cut_global_gcs_and_stopped_time() {
+    let stw = GphConfig::ghc69_plain(8).without_trace();
+    let (v1, o1) = run_with(stw, 64, 100_000, 30_000);
+    let percap = GphConfig::ghc69_plain(8)
+        .with_per_cap_nurseries()
+        .without_trace();
+    let (v2, o2) = run_with(percap, 64, 100_000, 30_000);
+    assert_eq!(v1, v2);
+    assert!(o1.stats.gcs > 0, "baseline must collect");
+    assert!(
+        o2.stats.gcs < o1.stats.gcs,
+        "global GCs should drop: {} !< {}",
+        o2.stats.gcs,
+        o1.stats.gcs
+    );
+    assert!(o2.stats.local_gcs > 0, "minor collections must happen");
+    assert!(
+        o2.stats.promoted_words > 0,
+        "minor collections must evacuate real survivors"
+    );
+    assert!(
+        o2.stats.gc_stopped_time() < o1.stats.gc_stopped_time(),
+        "stopped time should shrink: {} !< {}",
+        o2.stats.gc_stopped_time(),
+        o1.stats.gc_stopped_time()
+    );
+    assert!(
+        o2.elapsed < o1.elapsed,
+        "independent minors should run faster: {} !< {}",
+        o2.elapsed,
+        o1.elapsed
+    );
+}
+
+/// Regression for the cost-model bug the semi-distributed fiction
+/// papers over: a capability's minor-GC pause must depend only on its
+/// *own* survivors, never on how big the rest of the heap happens to
+/// be. We pin a ballast structure in the old generation (reachable,
+/// never part of any nursery) and check the nursery run is completely
+/// unperturbed — while the semi-distributed model, which prices its
+/// "local" pause off global heap size, visibly slows down.
+#[test]
+fn minor_pause_independent_of_other_heap_usage() {
+    fn run_ballast(model: GcModel, ballast_cells: usize) -> crate::runtime::RunOutcome {
+        let f = fixture(50_000, 20_000);
+        let mut c = GphConfig::ghc69_plain(2)
+            .with_work_stealing()
+            .without_trace();
+        c.gc_model = model;
+        let mut rt = GphRuntime::new(f.program.clone(), c);
+        for i in 0..ballast_cells {
+            let cell = rt.heap_mut().int(i as i64);
+            rt.pin_root(cell);
+        }
+        rt.run(|heap| entry(&f, heap, 48)).expect("run failed")
+    }
+    let small = run_ballast(GcModel::PerCapNurseries, 10);
+    let big = run_ballast(GcModel::PerCapNurseries, 10_000);
+    assert!(small.stats.local_gcs > 0);
+    assert_eq!(
+        small.stats.local_gcs, big.stats.local_gcs,
+        "ballast must not change the minor-GC schedule"
+    );
+    assert_eq!(
+        small.stats.minor_gc_time, big.stats.minor_gc_time,
+        "minor pauses must not scale with unrelated old-gen data"
+    );
+    assert_eq!(
+        small.elapsed, big.elapsed,
+        "whole schedule must be unperturbed by old-gen ballast"
+    );
+    // Contrast: the semi-distributed cost fiction charges local pauses
+    // off the global heap, so the same ballast slows it down.
+    let semi_small = run_ballast(GcModel::SemiDistributed { global_every: 8 }, 10);
+    let semi_big = run_ballast(GcModel::SemiDistributed { global_every: 8 }, 10_000);
+    assert_ne!(
+        semi_small.stats.minor_gc_time, semi_big.stats.minor_gc_time,
+        "semi-distributed pauses are (wrongly) coupled to global heap size"
+    );
+}
+
+/// Regression for the heap-growth bug: the semi-distributed model's
+/// local collections reclaim nothing, so a churn-heavy program's cell
+/// count climbs until a *global* collection. Real nurseries reclaim
+/// dead cells at every minor collection, keeping the live cell count
+/// bounded between major GCs.
+#[test]
+fn minor_collections_bound_the_heap() {
+    fn churn_run(model: GcModel) -> (i64, crate::runtime::RunOutcome, rph_heap::HeapStats) {
+        let mut b = ProgramBuilder::new();
+        let pre = prelude::install(&mut b);
+        // Each task allocates 200 short-lived cells that die as soon
+        // as the kernel returns — classic nursery garbage.
+        let churn = b.kernel("churn", 1, |heap, args| {
+            let x = heap.expect_value(args[0]).expect_int();
+            let mut acc = 0i64;
+            for i in 0..200i64 {
+                let t = heap.int(i);
+                acc += heap.expect_value(t).expect_int();
+            }
+            KernelOut {
+                result: heap.alloc_value(Value::Int(x * 2 + (acc - acc))),
+                cost: 50_000,
+                transient_words: 2_000,
+            }
+        });
+        let main = b.def(
+            "main",
+            1,
+            let_(
+                vec![
+                    pap(churn, vec![]),
+                    thunk(pre.enum_from_to, vec![int(1), v(0)]),
+                    thunk(pre.map, vec![v(1), v(2)]),
+                    thunk(pre.spark_list, vec![v(3)]),
+                ],
+                seq(atom(v(4)), app(pre.sum, vec![v(3)])),
+            ),
+        );
+        let program = b.build();
+        let mut c = GphConfig::ghc69_plain(2)
+            .with_work_stealing()
+            .without_trace();
+        // Small nursery so minor collections are frequent.
+        c.alloc_area_words = 8_192;
+        c.gc_model = model;
+        let mut rt = GphRuntime::new(program, c);
+        let out = rt
+            .run(|heap| {
+                let n = heap.int(48);
+                heap.alloc_thunk(main, vec![n])
+            })
+            .unwrap();
+        let v = rt.heap().expect_value(out.result).expect_int();
+        let hs = rt.heap().stats();
+        (v, out, hs)
+    }
+    let (v_n, nursery, hs_n) = churn_run(GcModel::PerCapNurseries);
+    // global_every so large the fiction never reclaims anything.
+    let (v_s, semi, hs_s) = churn_run(GcModel::SemiDistributed {
+        global_every: 1_000_000,
+    });
+    assert_eq!(v_n, expected(48));
+    assert_eq!(v_s, expected(48));
+    assert!(nursery.stats.local_gcs > 0);
+    assert!(
+        nursery.stats.collected_words > 0,
+        "minor collections must actually reclaim nursery garbage"
+    );
+    assert_eq!(
+        semi.stats.gcs, 0,
+        "fiction configured to never globally collect"
+    );
+    assert!(
+        hs_n.peak_live_cells * 2 < hs_s.peak_live_cells,
+        "nursery heap must stay bounded: peak {} cells vs unreclaimed {}",
+        hs_n.peak_live_cells,
+        hs_s.peak_live_cells
+    );
+}
+
+/// When churn promotes enough to grow the old generation past its
+/// threshold, the per-capability model runs a *parallel* major
+/// collection: with several capabilities' GC threads marking, the
+/// grey-set work-stealing must actually engage.
+#[test]
+fn parallel_major_gc_triggers_and_steals() {
+    let mut c = GphConfig::ghc69_plain(4)
+        .with_work_stealing()
+        .with_per_cap_nurseries()
+        .without_trace();
+    // Tiny nursery + tiny old-gen threshold so minors promote often
+    // and majors actually trigger within the run.
+    c.alloc_area_words = 2_048;
+    let (v, o) = run_with(c, 512, 50_000, 3_000);
+    assert_eq!(v, expected(512));
+    assert!(o.stats.local_gcs > 0);
+    assert!(o.stats.gcs > 0, "old-gen growth must trigger a major GC");
+    assert!(o.stats.gc_pause > 0);
+    assert!(o.stats.gc_barrier_wait > 0);
+    assert!(
+        o.stats.grey_steals > 0,
+        "parallel mark must balance work by stealing grey objects"
     );
 }
 

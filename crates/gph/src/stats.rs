@@ -31,12 +31,17 @@ pub struct GphStats {
     pub duplicate_work_wasted: Time,
     /// Stop-the-world collections.
     pub gcs: u64,
-    /// Total virtual time all capabilities spent stopped for GC
-    /// (barrier wait + collection), summed over capabilities.
-    pub gc_stopped_time: Time,
+    /// Virtual time capabilities spent waiting for the world to stop
+    /// (GC request → all capabilities parked), summed over
+    /// capabilities. This is the exact quantity §IV.A.1's improved
+    /// barrier synchronisation targets.
+    pub gc_barrier_wait: Time,
+    /// Virtual time capabilities spent in stop-the-world collections
+    /// proper (excluding the barrier wait), summed over capabilities.
+    pub gc_pause: Time,
     /// Live words after the last collection.
     pub last_live_words: u64,
-    /// Total words reclaimed.
+    /// Total words reclaimed (stop-the-world and minor collections).
     pub collected_words: u64,
     /// Context switches performed.
     pub ctx_switches: u64,
@@ -45,7 +50,26 @@ pub struct GphStats {
     /// Runnable threads stolen by idle capabilities (the §IV.A.2
     /// future-work extension; 0 unless `thread_stealing` is on).
     pub threads_stolen: u64,
-    /// Independent local nursery collections (semi-distributed heap
-    /// model only).
+    /// Independent local nursery collections (semi-distributed and
+    /// per-capability-nursery models).
     pub local_gcs: u64,
+    /// Virtual time spent in independent minor collections (one
+    /// capability each — never a world stop, so not part of
+    /// [`GphStats::gc_stopped_time`]).
+    pub minor_gc_time: Time,
+    /// Words promoted from nurseries to the old generation by minor
+    /// collections (the *measured* survivors whose evacuation the
+    /// minor pause is priced on).
+    pub promoted_words: u64,
+    /// Grey-set steals between GC threads during parallel major
+    /// collections (per-capability-nursery model only).
+    pub grey_steals: u64,
+}
+
+impl GphStats {
+    /// Total virtual time all capabilities spent stopped for GC
+    /// (barrier wait + collection), summed over capabilities.
+    pub fn gc_stopped_time(&self) -> Time {
+        self.gc_barrier_wait + self.gc_pause
+    }
 }

@@ -59,13 +59,20 @@ impl AllocArea {
     /// Charge `words` of allocation. Returns [`AllocOutcome::Checkpoint`]
     /// when the thread crosses a checkpoint boundary and must inspect
     /// the runtime's stop flags.
+    ///
+    /// A charge larger than the quantum carries its overshoot into the
+    /// next quantum (`since_checkpoint` is reduced modulo the quantum,
+    /// not zeroed): a 600-word charge at a 512-word quantum leaves 88
+    /// words already accrued, so the next checkpoint arrives after 424
+    /// more words, and a multi-quantum charge does not silently swallow
+    /// whole quanta of accounting.
     #[inline]
     pub fn charge(&mut self, words: u64) -> AllocOutcome {
         self.used += words;
         self.since_checkpoint += words;
         self.total_allocated += words;
         if self.since_checkpoint >= self.checkpoint_words {
-            self.since_checkpoint = 0;
+            self.since_checkpoint %= self.checkpoint_words;
             AllocOutcome::Checkpoint
         } else {
             AllocOutcome::Continue
@@ -146,6 +153,22 @@ mod tests {
         let mut a = AllocArea::new(1000, 100);
         assert_eq!(a.charge(5000), AllocOutcome::Checkpoint);
         assert!(a.needs_gc());
+    }
+
+    #[test]
+    fn oversized_charge_carries_remainder() {
+        // 600 words at a 512-word quantum: the crossing must leave
+        // 600 - 512 = 88 words accrued toward the next checkpoint, so
+        // the next boundary arrives after 424 more words — not 512.
+        let mut a = AllocArea::new(1_000_000, 512);
+        assert_eq!(a.charge(600), AllocOutcome::Checkpoint);
+        assert_eq!(a.charge(423), AllocOutcome::Continue);
+        assert_eq!(a.charge(1), AllocOutcome::Checkpoint);
+        // A multi-quantum charge also keeps its remainder: 1100 words
+        // from a fresh boundary crosses two quanta and leaves 76.
+        assert_eq!(a.charge(1100), AllocOutcome::Checkpoint);
+        assert_eq!(a.charge(435), AllocOutcome::Continue);
+        assert_eq!(a.charge(1), AllocOutcome::Checkpoint);
     }
 
     #[test]

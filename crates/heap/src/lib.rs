@@ -42,7 +42,7 @@ pub mod value;
 pub use area::AllocArea;
 pub use cell::Cell;
 pub use copy::copy_subgraph;
-pub use gc::{GcResult, GcStats};
-pub use heap::{Heap, HeapError};
+pub use gc::{GcResult, GcStats, MinorGcResult, ParMarkCosts, ParMarkReport};
+pub use heap::{Heap, HeapError, HeapStats, RegionId, OLD_REGION};
 pub use noderef::{NodeRef, ScId};
 pub use value::Value;

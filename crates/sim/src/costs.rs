@@ -33,6 +33,18 @@ pub struct Costs {
     pub gc_major_every: u64,
     /// Cost per capability to resume mutation after GC.
     pub gc_wakeup_per_cap: u64,
+    /// Fixed cost of an *independent* per-capability minor collection
+    /// (swap the nursery, scan the capability's own roots): no
+    /// cross-capability synchronisation at all.
+    pub gc_minor_fixed: u64,
+    /// Scanning one remembered-set source during a minor collection.
+    pub gc_remset_entry: u64,
+    /// Processing one grey cell in the parallel mark phase (pop,
+    /// examine header, push children).
+    pub gc_mark_cell: u64,
+    /// One grey-set steal between GC threads in the parallel mark
+    /// phase (victim handshake + transfer).
+    pub gc_grey_steal: u64,
 
     // ----- scheduling (shared heap) -----
     /// A capability context switch (save/restore, scheduler loop).
@@ -91,6 +103,15 @@ impl Default for Costs {
             gc_per_live_word: 1,
             gc_major_every: 10,
             gc_wakeup_per_cap: 1_000,
+            // An independent nursery collection is much cheaper to set
+            // up than a stop-the-world one: ~5 µs fixed, ~20 ns per
+            // remembered-set source scanned. Parallel marking costs a
+            // few ns per grey cell plus a steal handshake comparable
+            // to a mutator steal attempt.
+            gc_minor_fixed: 5_000,
+            gc_remset_entry: 20,
+            gc_mark_cell: 4,
+            gc_grey_steal: 600,
 
             // GHC's lightweight (green) threads: switching and
             // creating are sub-microsecond; spark operations are a
@@ -166,6 +187,27 @@ impl Costs {
         self.gc_fixed + copy_words * self.gc_per_live_word
     }
 
+    /// Pause cost of an independent per-capability *minor* collection
+    /// on the shared heap: fixed setup + evacuating the measured
+    /// survivors + scanning the nursery's remembered set. No barrier,
+    /// no other capability involved — and no dependence on their heap
+    /// usage.
+    pub fn gc_pause_minor(&self, survivor_words: u64, remset_entries: u64) -> u64 {
+        self.gc_minor_fixed
+            + survivor_words * self.gc_per_live_word
+            + remset_entries * self.gc_remset_entry
+    }
+
+    /// Pause cost of a stop-the-world collection whose mark/copy phase
+    /// ran on parallel GC threads: barrier sync + fixed setup + the
+    /// *slowest GC thread's* clock (not the serial sum) + wakeup.
+    pub fn gc_pause_parallel(&self, caps: usize, improved: bool, mark_max_clock: u64) -> u64 {
+        self.gc_sync(caps, improved)
+            + self.gc_fixed
+            + mark_max_clock
+            + self.gc_wakeup_per_cap * caps as u64
+    }
+
     /// Sender-side cost of transmitting `words`.
     pub fn msg_send_cost(&self, words: u64) -> u64 {
         self.msg_per_word * words
@@ -198,6 +240,26 @@ mod tests {
         assert!(c.gc_pause(16, false, 1000) > c.gc_pause(8, false, 1000));
         assert!(c.gc_pause(8, false, 1_000_000) > c.gc_pause(8, false, 1000));
         assert!(c.gc_pause_local(1000) < c.gc_pause(1, false, 1000));
+    }
+
+    #[test]
+    fn minor_pause_independent_of_anything_global() {
+        let c = Costs::default();
+        // The minor-pause helper takes only per-capability inputs, and
+        // is far cheaper than any stop-the-world pause of equal copy
+        // volume.
+        assert!(c.gc_pause_minor(1000, 10) < c.gc_pause(1, false, 1000));
+        assert!(c.gc_pause_minor(0, 0) == c.gc_minor_fixed);
+    }
+
+    #[test]
+    fn parallel_pause_beats_serial_for_same_sync() {
+        let c = Costs::default();
+        // If 8 GC threads split 800k words of marking evenly, the max
+        // clock is ~100k units, far below the serial copy cost.
+        let serial = c.gc_pause(8, true, 800_000);
+        let parallel = c.gc_pause_parallel(8, true, 100_000);
+        assert!(parallel < serial);
     }
 
     #[test]

@@ -52,6 +52,17 @@ impl DetRng {
     pub fn gen_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
+
+    /// In-place Fisher–Yates shuffle. Used to build per-sweep victim
+    /// permutations so a steal sweep probes every other capability
+    /// exactly once, in seeded-random order (cf. `crates/native`'s
+    /// `VictimPicker`).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +103,24 @@ mod tests {
         for _ in 0..200 {
             assert_ne!(r.pick_other(4, 2), 2);
         }
+    }
+
+    #[test]
+    fn shuffle_is_a_deterministic_permutation() {
+        let mut a = DetRng::new(11);
+        let mut b = DetRng::new(11);
+        let mut xs: Vec<usize> = (0..8).collect();
+        let mut ys = xs.clone();
+        a.shuffle(&mut xs);
+        b.shuffle(&mut ys);
+        assert_eq!(xs, ys, "same seed, same permutation");
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "still a permutation");
+        // Different draws give different orders (overwhelmingly).
+        let mut zs: Vec<usize> = (0..8).collect();
+        a.shuffle(&mut zs);
+        assert_ne!(xs, zs);
     }
 
     #[test]

@@ -138,11 +138,18 @@ pub enum EventKind {
     /// A stop-the-world GC was requested by this capability.
     GcRequest,
     /// GC started (all capabilities reached the barrier).
-    GcStart,
-    /// GC finished; `live_words` survived, `collected_words` reclaimed.
+    /// `barrier_wait` is how long the request took to stop the world —
+    /// the quantity §IV.A.1's improved-sync optimisation targets.
+    GcStart { barrier_wait: Time },
+    /// GC finished; `live_words` survived, `collected_words` reclaimed,
+    /// and the collection proper (excluding the barrier wait) paused
+    /// this capability for `pause`. Independent per-capability
+    /// collections (Eden PEs, GpH minor GCs) emit this with zero
+    /// barrier cost in the preceding `GcStart`, or no `GcStart` at all.
     GcDone {
         live_words: u64,
         collected_words: u64,
+        pause: Time,
     },
     /// A message was sent to `to` (Eden middleware). `words` is the
     /// serialised payload size.

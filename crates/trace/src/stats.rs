@@ -22,6 +22,11 @@ pub struct Counters {
     pub gcs: u64,
     pub gc_live_words_last: u64,
     pub gc_collected_words: u64,
+    /// Total time capabilities spent waiting for the world to stop
+    /// (sum of `GcStart::barrier_wait`).
+    pub gc_barrier_wait: Time,
+    /// Total time spent in collections proper (sum of `GcDone::pause`).
+    pub gc_pause: Time,
     pub messages_sent: u64,
     pub message_words: u64,
     pub messages_received: u64,
@@ -96,13 +101,16 @@ impl Counters {
                     c.duplicate_work_events += 1;
                     c.duplicate_work_wasted += *wasted;
                 }
+                EventKind::GcStart { barrier_wait } => c.gc_barrier_wait += *barrier_wait,
                 EventKind::GcDone {
                     live_words,
                     collected_words,
+                    pause,
                 } => {
                     c.gcs += 1;
                     c.gc_live_words_last = *live_words;
                     c.gc_collected_words += *collected_words;
+                    c.gc_pause += *pause;
                 }
                 EventKind::MsgSend { words, .. } => {
                     c.messages_sent += 1;
@@ -259,12 +267,14 @@ mod tests {
         t.record(CapId(1), 2, EventKind::SparkStolen { victim: CapId(0) });
         t.record(CapId(1), 3, EventKind::SparkPushed { to: CapId(0) });
         t.record(CapId(1), 4, EventKind::DuplicateWork { wasted: 100 });
+        t.record(CapId(0), 5, EventKind::GcStart { barrier_wait: 7 });
         t.record(
             CapId(0),
             5,
             EventKind::GcDone {
                 live_words: 10,
                 collected_words: 90,
+                pause: 40,
             },
         );
         t.record(
@@ -273,6 +283,7 @@ mod tests {
             EventKind::GcDone {
                 live_words: 20,
                 collected_words: 80,
+                pause: 60,
             },
         );
         t.record(
@@ -292,6 +303,8 @@ mod tests {
         assert_eq!(c.gcs, 2);
         assert_eq!(c.gc_live_words_last, 20);
         assert_eq!(c.gc_collected_words, 170);
+        assert_eq!(c.gc_barrier_wait, 7);
+        assert_eq!(c.gc_pause, 100);
         assert_eq!(c.message_words, 64);
     }
 

@@ -138,6 +138,53 @@ fn big_allocation_area_reduces_gcs_at_workload_level() {
 }
 
 #[test]
+fn per_cap_nurseries_close_the_gc_gap_at_workload_level() {
+    // ROADMAP item 1: with real per-capability nurseries most
+    // collections are independent minors, so the GpH GC profile moves
+    // toward Eden's (few global stops, local collections doing the
+    // work).
+    let w = SumEuler::new(SE_N).with_chunk_size(25);
+    let expect = w.expected();
+    let stw = w
+        .run_gph(GphConfig::ghc69_plain(8).without_trace())
+        .unwrap();
+    let nursery = w
+        .run_gph(
+            GphConfig::ghc69_plain(8)
+                .with_per_cap_nurseries()
+                .without_trace(),
+        )
+        .unwrap();
+    assert_eq!(stw.value, expect);
+    assert_eq!(nursery.value, expect);
+    let s1 = stw.gph_stats.as_ref().unwrap();
+    let s2 = nursery.gph_stats.as_ref().unwrap();
+    assert!(s1.gcs > 0);
+    assert!(s2.gcs < s1.gcs, "global GCs: {} !< {}", s2.gcs, s1.gcs);
+    assert!(s2.local_gcs > 0, "minor collections must do the work");
+    assert!(s2.promoted_words > 0, "survivors must really be evacuated");
+    assert!(
+        s2.gc_stopped_time() < s1.gc_stopped_time(),
+        "stopped time: {} !< {}",
+        s2.gc_stopped_time(),
+        s1.gc_stopped_time()
+    );
+}
+
+#[test]
+fn per_cap_nurseries_runs_are_deterministic() {
+    let w = SumEuler::new(300).with_chunk_size(20);
+    let cfg = GphConfig::ghc69_plain(6)
+        .with_work_stealing()
+        .with_per_cap_nurseries();
+    let a = w.run_gph(cfg.clone()).unwrap();
+    let b = w.run_gph(cfg).unwrap();
+    assert_eq!(a.value, b.value);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.tracer.merged(), b.tracer.merged());
+}
+
+#[test]
 fn eden_gc_is_local_no_global_barrier() {
     // One PE allocating heavily must not stop the others: total GC time
     // summed across PEs stays far below elapsed × PEs.
