@@ -23,32 +23,43 @@ fn main() {
         "barrier wait",
         "GC pause",
         "sparks stolen/pushed",
+        "steals local/remote",
     ]);
     let mut prev = u64::MAX;
     let mut ladder_monotone = true;
     for version in five_versions(caps) {
-        let (elapsed, gcs, barrier, pause, dist) = match &version {
+        let (elapsed, gcs, barrier, pause, dist, locality) = match &version {
             Version::Gph(_, cfg) => {
                 let m = w.run_gph(cfg.clone().without_trace()).expect("gph run");
                 check(&m, expected, version.label());
                 let s = m.gph_stats.unwrap();
+                // Fig. 1 is the paper's single-node machine: the
+                // topology layer must price nothing as remote here.
+                assert_eq!(s.steal_remote, 0, "single-node run recorded remote steals");
+                assert_eq!(s.remote_words, 0, "single-node run moved inter-node words");
                 (
                     m.elapsed,
                     s.gcs,
                     millis(s.gc_barrier_wait),
                     millis(s.gc_pause),
                     format!("{}/{}", s.sparks_stolen, s.sparks_pushed),
+                    format!("{}/{}", s.steal_local, s.steal_remote),
                 )
             }
             Version::Eden(_, cfg) => {
                 let m = w.run_eden(cfg.clone().without_trace()).expect("eden run");
                 check(&m, expected, version.label());
                 let s = m.eden_stats.unwrap();
+                assert_eq!(
+                    s.remote_messages, 0,
+                    "single-node run priced inter-node messages"
+                );
                 (
                     m.elapsed,
                     s.local_gcs,
                     "-".to_string(),
                     millis(s.gc_time),
+                    "-".to_string(),
                     "-".to_string(),
                 )
             }
@@ -64,6 +75,7 @@ fn main() {
             barrier,
             pause,
             dist,
+            locality,
         ]);
     }
     let rendered = table.render();

@@ -14,6 +14,7 @@
 //! | cost-model robustness | `ablation_costs` |
 //! | native wall-clock speedups (real threads) | `fig3_native_speedup` |
 //! | native wall-clock traces + overhead report | `trace_native` |
+//! | §V oversubscription + cluster topology ablation | `oversub_sweep` |
 //!
 //! Every binary accepts `--quick` for a reduced problem size (used by
 //! CI and the criterion benches) and writes machine-readable CSV next

@@ -1,7 +1,7 @@
 //! Eden runtime configuration.
 
 use rph_heap::AllocArea;
-use rph_sim::Costs;
+use rph_sim::{Costs, Topology};
 
 /// Configuration of an Eden run.
 #[derive(Debug, Clone)]
@@ -18,6 +18,12 @@ pub struct EdenConfig {
     pub checkpoint_words: u64,
     /// Overhead cost model (message latency, GC, OS quanta, …).
     pub costs: Costs,
+    /// Machine shape: which node each PE lives on. Defaults to one
+    /// shared-memory node holding all PEs — the paper's flat PVM
+    /// transport, bit-identical to the pre-topology runtime. Under a
+    /// multi-node cluster, messages between PEs on different nodes pay
+    /// inter-node latency and bandwidth ([`rph_sim::LinkClass`]).
+    pub topology: Topology,
     /// Simulator slice bound (virtual time a PE advances per
     /// dispatch; also the OS-quantum granularity interacts with this).
     pub sim_slice: u64,
@@ -42,6 +48,7 @@ impl EdenConfig {
             alloc_area_words: AllocArea::DEFAULT_AREA_WORDS,
             checkpoint_words: AllocArea::DEFAULT_CHECKPOINT_WORDS,
             costs: Costs::default(),
+            topology: Topology::single_node(pes),
             sim_slice: 100_000,
             time_slice: 10_000,
             seed: 0x9E37,
@@ -55,6 +62,19 @@ impl EdenConfig {
         let mut c = Self::new(pes);
         c.cores = cores;
         c
+    }
+
+    /// Model a cluster of `nodes` shared-memory nodes with
+    /// `pes_per_node` PEs each (must multiply out to [`Self::pes`]).
+    /// PE `i` lives on node `i / pes_per_node`.
+    pub fn with_topology(mut self, nodes: usize, pes_per_node: usize) -> Self {
+        assert_eq!(
+            nodes * pes_per_node,
+            self.pes,
+            "topology must cover exactly the configured PEs"
+        );
+        self.topology = Topology::cluster(nodes, pes_per_node);
+        self
     }
 
     pub fn without_trace(mut self) -> Self {

@@ -404,3 +404,62 @@ fn par_reduce_folds_remotely() {
     );
     assert_eq!(out.stats.processes, 3);
 }
+
+/// The single-node topology is the pre-topology runtime by
+/// construction: an explicit `with_topology(1, pes)` replays the
+/// default config bit for bit — value, virtual makespan, counters and
+/// merged trace — and records zero inter-node traffic.
+#[test]
+fn single_node_topology_is_bit_identical_to_default() {
+    let f = fix();
+    let run = |cfg: EdenConfig| {
+        let mut rt = EdenRuntime::new(f.program.clone(), f.support, cfg);
+        let inputs = ints(&mut rt, &[1, 2, 3, 4, 5, 6]);
+        let entry = skeletons::par_map_fold(&mut rt, f.square, f.sum_list, &inputs);
+        let out = rt.run(entry).unwrap();
+        (
+            rt.heap(0).expect_value(out.result).expect_int(),
+            out.elapsed,
+            out.stats,
+            out.tracer.merged(),
+        )
+    };
+    let base = run(EdenConfig::new(4));
+    let topo = run(EdenConfig::new(4).with_topology(1, 4));
+    assert_eq!(base, topo);
+    assert_eq!(base.2.remote_messages, 0);
+    assert_eq!(base.2.remote_words, 0);
+}
+
+/// A two-node cluster reprices the farm's channel traffic: the value
+/// is unchanged, cross-node packets land in the remote counters with
+/// their per-message envelope, and the inter-node latency lengthens
+/// the makespan.
+#[test]
+fn cluster_topology_prices_inter_node_messages() {
+    let f = fix();
+    let run = |cfg: EdenConfig| {
+        let mut rt = EdenRuntime::new(f.program.clone(), f.support, cfg.without_trace());
+        let inputs = ints(&mut rt, &[1, 2, 3, 4, 5, 6]);
+        let entry = skeletons::par_map_fold(&mut rt, f.square, f.sum_list, &inputs);
+        let out = rt.run(entry).unwrap();
+        (
+            rt.heap(0).expect_value(out.result).expect_int(),
+            out.elapsed,
+            out.stats,
+        )
+    };
+    let flat = run(EdenConfig::new(4));
+    let clus = run(EdenConfig::new(4).with_topology(2, 2));
+    assert_eq!(flat.0, clus.0);
+    assert!(clus.2.remote_messages > 0, "{:?}", clus.2);
+    assert!(clus.2.remote_messages < clus.2.messages, "{:?}", clus.2);
+    // Every remote message carries its payload plus the envelope.
+    assert!(clus.2.remote_words > clus.2.remote_messages, "{:?}", clus.2);
+    assert!(
+        clus.1 > flat.1,
+        "inter-node links must lengthen the makespan: {} !> {}",
+        clus.1,
+        flat.1
+    );
+}

@@ -20,6 +20,12 @@ pub struct EdenStats {
     pub processes: u64,
     pub messages: u64,
     pub message_words: u64,
+    /// The subset of `messages` that crossed an inter-node link.
+    /// Zero on a single-node topology.
+    pub remote_messages: u64,
+    /// Words put on inter-node links (payload + envelope). Zero on a
+    /// single-node topology.
+    pub remote_words: u64,
     pub threads_created: u64,
     pub blackhole_blocks: u64,
     /// Independent per-PE collections (no barrier involved).
@@ -514,11 +520,21 @@ impl EdenRuntime {
     // Messaging
     // ------------------------------------------------------------------
 
-    /// Charge the sender and enqueue delivery.
+    /// Charge the sender and enqueue delivery. All message pricing
+    /// goes through the link-class API: packing is local CPU work on
+    /// the sender's clock, then the message crosses the link the
+    /// topology assigns to this PE pair — latency-only intra-node
+    /// (exactly the pre-topology flat transport), latency plus a
+    /// finite-bandwidth wire term inter-node.
     fn transmit(&mut self, from: usize, to: usize, msg: Msg) {
         let words = msg.words();
+        let link = self.config.topology.link(from, to);
         self.stats.messages += 1;
         self.stats.message_words += words;
+        if link == rph_sim::LinkClass::Inter {
+            self.stats.remote_messages += 1;
+            self.stats.remote_words += self.config.costs.link_words(link, words);
+        }
         self.pes[from].clock += self.config.costs.msg_send_cost(words);
         let now = self.pes[from].clock;
         self.tracer.record(
@@ -530,7 +546,7 @@ impl EdenRuntime {
                 tag: msg.tag(),
             },
         );
-        let delivery = now + self.config.costs.msg_latency;
+        let delivery = self.config.costs.msg_arrival(link, now, words);
         self.pes[to].inbox.push(delivery, msg);
     }
 

@@ -1,7 +1,7 @@
 //! Runtime configuration: the paper's optimisation ladder as flags.
 
 use rph_heap::AllocArea;
-use rph_sim::Costs;
+use rph_sim::{Costs, Topology};
 
 /// How sparks move between capabilities (§IV.A.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +94,19 @@ pub struct GphConfig {
     /// applied to threads"): idle capabilities steal runnable threads,
     /// not just sparks.
     pub thread_stealing: bool,
+    /// Machine shape: which node each capability lives on. Defaults to
+    /// one shared-memory node holding all capabilities — the paper's
+    /// flat machine, bit-identical to the pre-topology runtime. Under
+    /// a multi-node cluster, steals and pushes that cross nodes are
+    /// priced over inter-node links ([`rph_sim::LinkClass`]).
+    pub topology: Topology,
+    /// Hierarchical victim selection under a multi-node topology:
+    /// sweep the thief's own node first, then remote nodes with
+    /// *batched* steals (mirroring the native pool's
+    /// `steal_batch_and_pop`). Off = flat stealing: one seeded
+    /// permutation over all victims, single-spark steals everywhere —
+    /// the ablation baseline. Irrelevant on a single node.
+    pub hier_stealing: bool,
     /// Spark pool capacity per capability (GHC: 4096 after the
     /// work-stealing rewrite; overflowing sparks are dropped).
     pub spark_pool_cap: usize,
@@ -133,6 +146,8 @@ impl GphConfig {
             spark_exec: SparkExec::ThreadPerSpark,
             gc_model: GcModel::StopTheWorld,
             thread_stealing: false,
+            topology: Topology::single_node(caps),
+            hier_stealing: true,
             spark_pool_cap: 4096,
             time_slice: 10_000_000, // 10 ms (the RTS timer tick)
             sim_slice: 100_000,     // 100 µs DES granularity
@@ -215,6 +230,29 @@ impl GphConfig {
                     .with_work_stealing(),
             ),
         ]
+    }
+
+    /// Model a cluster of `nodes` shared-memory nodes with
+    /// `cores_per_node` capabilities each (must multiply out to
+    /// [`Self::caps`]). Capability `i` lives on node
+    /// `i / cores_per_node`; steals and pushes crossing nodes pay
+    /// inter-node link costs.
+    pub fn with_topology(mut self, nodes: usize, cores_per_node: usize) -> Self {
+        assert_eq!(
+            nodes * cores_per_node,
+            self.caps,
+            "topology must cover exactly the configured capabilities"
+        );
+        self.topology = Topology::cluster(nodes, cores_per_node);
+        self
+    }
+
+    /// Disable hierarchical victim selection (the topology-ablation
+    /// baseline): victims are swept in one flat seeded permutation and
+    /// every steal moves a single spark, even across nodes.
+    pub fn with_flat_stealing(mut self) -> Self {
+        self.hier_stealing = false;
+        self
     }
 
     /// Disable event collection (keep counters) — for big sweeps.

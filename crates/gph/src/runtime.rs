@@ -13,7 +13,7 @@ use rph_deque::DetDeque;
 use rph_heap::gc::Collector;
 use rph_heap::{Heap, NodeRef, ParMarkCosts, RegionId};
 use rph_machine::{Machine, Program, RunCtx, StopReason};
-use rph_sim::DetRng;
+use rph_sim::{DetRng, LinkClass};
 use rph_trace::{CapId, EventKind, State, ThreadId, Time, Tracer};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -417,42 +417,153 @@ impl GphRuntime {
             return None;
         }
         // Steal sweep: probe every other capability exactly once, in a
-        // seeded-random permutation (mirroring `crates/native`'s
-        // `VictimPicker`). Independent per-probe draws could revisit
-        // one victim and skip others entirely, inflating
-        // `steal_failures` and missing available work.
+        // seeded-random permutation (the shared `rph_sim::sweep`
+        // contract, mirroring `crates/native`'s `VictimPicker`).
+        // Independent per-probe draws could revisit one victim and
+        // skip others entirely, inflating `steal_failures` and missing
+        // available work. Under a multi-node topology the sweep visits
+        // the thief's own node first; remote probes pay the inter-node
+        // link latency on top of the CAS cost.
+        let topo = self.config.topology;
         self.victim_sweep(idx);
         for k in 0..self.victim_buf.len() {
             let victim = self.victim_buf[k];
+            let link = topo.link(idx, victim);
             self.caps[idx].clock += self.config.costs.steal_attempt;
-            while let Some(s) = self.caps[victim].sparks.steal() {
-                if self.heap.whnf(s).is_none() {
-                    self.stats.sparks_stolen += 1;
-                    let now = self.caps[idx].clock;
-                    self.tracer.record(
-                        self.caps[idx].id,
-                        now,
-                        EventKind::SparkStolen {
-                            victim: CapId(victim as u32),
-                        },
-                    );
+            if link == LinkClass::Inter {
+                self.caps[idx].clock += self.config.costs.link_latency(LinkClass::Inter);
+            }
+            if link == LinkClass::Inter && self.config.hier_stealing {
+                if let Some(s) = self.steal_remote_batch(idx, victim) {
                     return Some(s);
                 }
-                self.stats.sparks_fizzled += 1;
+            } else {
+                // Shared-memory steal (or the flat-stealing ablation
+                // baseline): one spark per successful CAS, as in GHC.
+                while let Some(s) = self.caps[victim].sparks.steal() {
+                    if link == LinkClass::Inter {
+                        // Even a single spark crosses the wire packed.
+                        let words = self
+                            .config
+                            .costs
+                            .link_words(LinkClass::Inter, self.config.costs.steal_pack_words(1));
+                        self.caps[idx].clock += self.config.costs.link_wire_cost(
+                            LinkClass::Inter,
+                            self.config.costs.steal_pack_words(1),
+                        );
+                        self.stats.remote_words += words;
+                        if self.heap.whnf(s).is_none() {
+                            self.count_steal(idx, victim, link, 0, words);
+                            return Some(s);
+                        }
+                    } else if self.heap.whnf(s).is_none() {
+                        self.count_steal(idx, victim, link, 0, 0);
+                        return Some(s);
+                    }
+                    self.stats.sparks_fizzled += 1;
+                }
             }
             self.stats.steal_failures += 1;
         }
         None
     }
 
+    /// A batched cross-node steal from `victim` (mirroring the native
+    /// pool's `steal_batch_and_pop`): take up to half the victim's
+    /// pool, capped at [`Self::REMOTE_BATCH_CAP`], in one transfer —
+    /// one message envelope, one wire crossing. The first live spark
+    /// is returned to run; the rest land in the thief's own pool,
+    /// where node-local peers can steal them over cheap links.
+    fn steal_remote_batch(&mut self, idx: usize, victim: usize) -> Option<NodeRef> {
+        let avail = self.caps[victim].sparks.len();
+        if avail == 0 {
+            return None;
+        }
+        let take = (avail / 2).clamp(1, Self::REMOTE_BATCH_CAP);
+        let mut chosen = None;
+        let mut moved = 0u64;
+        for _ in 0..take {
+            let Some(s) = self.caps[victim].sparks.steal() else {
+                break;
+            };
+            if self.heap.whnf(s).is_some() {
+                self.stats.sparks_fizzled += 1;
+            } else if chosen.is_none() {
+                chosen = Some(s);
+            } else {
+                moved += 1;
+                self.caps[idx].sparks.push(s);
+            }
+        }
+        // The packed graph crossed the wire whether or not anything in
+        // it was still unevaluated.
+        let pack = self.config.costs.steal_pack_words(take as u64);
+        let words = self.config.costs.link_words(LinkClass::Inter, pack);
+        self.caps[idx].clock += self.config.costs.link_wire_cost(LinkClass::Inter, pack);
+        self.stats.remote_words += words;
+        if chosen.is_some() {
+            self.count_steal(idx, victim, LinkClass::Inter, moved, words);
+        }
+        chosen
+    }
+
+    /// Bookkeeping for one successful steal operation.
+    fn count_steal(&mut self, idx: usize, victim: usize, link: LinkClass, moved: u64, words: u64) {
+        self.stats.sparks_stolen += 1;
+        let now = self.caps[idx].clock;
+        match link {
+            LinkClass::Intra => {
+                self.stats.steal_local += 1;
+                self.tracer.record(
+                    self.caps[idx].id,
+                    now,
+                    EventKind::SparkStolen {
+                        victim: CapId(victim as u32),
+                    },
+                );
+            }
+            LinkClass::Inter => {
+                self.stats.steal_remote += 1;
+                self.tracer.record(
+                    self.caps[idx].id,
+                    now,
+                    EventKind::SparkStolenRemote {
+                        victim: CapId(victim as u32),
+                        moved,
+                        words,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Cap on sparks moved by one batched cross-node steal (the native
+    /// pool's `steal_batch_and_pop` cap).
+    const REMOTE_BATCH_CAP: usize = 32;
+
     /// Fill `self.victim_buf` with a fresh seeded permutation of the
     /// other capabilities — one steal sweep probes each exactly once
-    /// (cf. `crates/native`'s `VictimPicker`).
+    /// (the shared `rph_sim::sweep` contract, cf. `crates/native`'s
+    /// `VictimPicker`). Under a multi-node topology with hierarchical
+    /// stealing the permutation is two-level: all same-node victims
+    /// (shuffled) before all remote victims (shuffled). On a single
+    /// node the remote segment is empty and the shuffle consumes
+    /// exactly the pre-topology draw sequence, keeping flat-model
+    /// traces bit-identical.
     fn victim_sweep(&mut self, idx: usize) {
         let mut order = std::mem::take(&mut self.victim_buf);
         order.clear();
-        order.extend((0..self.caps.len()).filter(|&v| v != idx));
-        self.rng.shuffle(&mut order);
+        let topo = self.config.topology;
+        if topo.nodes() > 1 && self.config.hier_stealing {
+            order.extend((0..self.caps.len()).filter(|&v| v != idx && topo.same_node(v, idx)));
+            let split = order.len();
+            order.extend((0..self.caps.len()).filter(|&v| v != idx && !topo.same_node(v, idx)));
+            self.rng.shuffle(&mut order[..split]);
+            self.rng.shuffle(&mut order[split..]);
+        } else {
+            order.extend((0..self.caps.len()).filter(|&v| v != idx));
+            self.rng.shuffle(&mut order);
+        }
         self.victim_buf = order;
     }
 
@@ -681,13 +792,25 @@ impl GphRuntime {
     /// extension of the pulling scheme). Sweeps a seeded permutation
     /// of the victims so each is probed exactly once.
     fn steal_thread(&mut self, idx: usize) -> bool {
+        let topo = self.config.topology;
         self.victim_sweep(idx);
         for k in 0..self.victim_buf.len() {
             let victim = self.victim_buf[k];
+            let link = topo.link(idx, victim);
             self.caps[idx].clock += self.config.costs.steal_attempt;
+            if link == LinkClass::Inter {
+                self.caps[idx].clock += self.config.costs.link_latency(LinkClass::Inter);
+            }
             // Take the oldest queued thread; never the one installed.
             if let Some(tso) = self.caps[victim].run_q.pop_front() {
                 self.caps[idx].clock += self.config.costs.thread_migrate;
+                if link == LinkClass::Inter {
+                    // A TSO crossing nodes is packed and shipped like
+                    // any other closure graph.
+                    let pack = self.config.costs.steal_pack_words(1);
+                    self.caps[idx].clock += self.config.costs.link_wire_cost(link, pack);
+                    self.stats.remote_words += self.config.costs.link_words(link, pack);
+                }
                 self.stats.threads_stolen += 1;
                 self.caps[idx].run_q.push_back(tso);
                 return true;
@@ -717,6 +840,14 @@ impl GphRuntime {
             // polls for work).
             if let Some(s) = self.caps[idx].sparks.steal() {
                 self.caps[idx].clock += self.config.costs.steal_attempt; // handshake cost
+                if self.config.topology.link(idx, j) == LinkClass::Inter {
+                    // Pushing a spark to another node ships it over
+                    // the wire like a remote steal would.
+                    let pack = self.config.costs.steal_pack_words(1);
+                    self.caps[idx].clock +=
+                        self.config.costs.link_wire_cost(LinkClass::Inter, pack);
+                    self.stats.remote_words += self.config.costs.link_words(LinkClass::Inter, pack);
+                }
                 let now = self.caps[idx].clock;
                 self.caps[j].sparks.push(s);
                 self.stats.sparks_pushed += 1;

@@ -722,3 +722,79 @@ fn program_errors_propagate_from_parallel_code() {
         .unwrap_err();
     assert!(err.contains("division"), "got: {err}");
 }
+
+/// The single-node topology is the pre-topology runtime by
+/// construction: an explicit `with_topology(1, caps)` — and even the
+/// flat-stealing ablation, whose remote arm is unreachable with one
+/// node — replays the default config bit for bit: result, virtual
+/// makespan, every counter, and the merged event trace.
+#[test]
+fn single_node_topology_is_bit_identical_to_default() {
+    let base = GphConfig::ghc69_plain(4).with_work_stealing();
+    let (v1, o1) = run_with(base.clone(), 50, 80_000, 1_000);
+    for c in [
+        base.clone().with_topology(1, 4),
+        base.with_topology(1, 4).with_flat_stealing(),
+    ] {
+        let (v2, o2) = run_with(c, 50, 80_000, 1_000);
+        assert_eq!(v1, v2);
+        assert_eq!(o1.elapsed, o2.elapsed);
+        assert_eq!(o1.stats, o2.stats);
+        assert_eq!(o1.tracer.merged(), o2.tracer.merged());
+    }
+    assert_eq!(o1.stats.steal_remote, 0);
+    assert_eq!(o1.stats.remote_words, 0);
+    assert_eq!(o1.stats.steal_local, o1.stats.sparks_stolen);
+}
+
+/// A cluster topology changes spark *pricing*, never spark
+/// *semantics*: the value is unchanged, local/remote steals partition
+/// the total, and every remote steal puts envelope-bearing words on
+/// the inter-node links.
+#[test]
+fn cluster_stealing_preserves_results_and_partitions_steals() {
+    let c = GphConfig::ghc69_plain(8)
+        .with_work_stealing()
+        .with_topology(2, 4)
+        .without_trace();
+    let (v, o) = run_with(c, 96, 150_000, 500);
+    assert_eq!(v, expected(96));
+    assert_eq!(
+        o.stats.steal_local + o.stats.steal_remote,
+        o.stats.sparks_stolen,
+        "{:?}",
+        o.stats
+    );
+    assert!(o.stats.steal_remote > 0, "{:?}", o.stats);
+    assert!(o.stats.remote_words > 0, "{:?}", o.stats);
+}
+
+/// The tentpole's ablation gate at test granularity: against the same
+/// two-node machine, hierarchical stealing (local-first sweeps, batched
+/// remote steals) must need fewer remote steal operations and put
+/// fewer words on the inter-node links than flat single-spark
+/// stealing — batches amortise the per-message envelope.
+#[test]
+fn hierarchical_stealing_cuts_remote_traffic_vs_flat() {
+    let hier = GphConfig::ghc69_plain(8)
+        .with_work_stealing()
+        .with_topology(2, 4)
+        .without_trace();
+    let flat = hier.clone().with_flat_stealing();
+    let (vh, oh) = run_with(hier, 96, 150_000, 500);
+    let (vf, of_) = run_with(flat, 96, 150_000, 500);
+    assert_eq!(vh, vf);
+    assert!(of_.stats.steal_remote > 0, "flat: {:?}", of_.stats);
+    assert!(
+        oh.stats.steal_remote < of_.stats.steal_remote,
+        "hier {:?} !< flat {:?}",
+        oh.stats.steal_remote,
+        of_.stats.steal_remote
+    );
+    assert!(
+        oh.stats.remote_words < of_.stats.remote_words,
+        "hier {:?} !< flat {:?}",
+        oh.stats.remote_words,
+        of_.stats.remote_words
+    );
+}

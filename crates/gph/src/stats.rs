@@ -13,8 +13,19 @@ pub struct GphStats {
     pub sparks_overflowed: u64,
     /// Sparks converted to work on their own capability.
     pub sparks_run_local: u64,
-    /// Sparks obtained by stealing.
+    /// Sparks obtained by stealing (intra-node and cross-node
+    /// together; `steal_local + steal_remote == sparks_stolen`).
     pub sparks_stolen: u64,
+    /// Successful steal operations whose victim shared the thief's
+    /// node (shared-memory steal, one spark each).
+    pub steal_local: u64,
+    /// Successful steal operations that crossed an inter-node link
+    /// (batched: one spark to run plus extras into the thief's pool).
+    pub steal_remote: u64,
+    /// Words put on inter-node links (remote steal transfers, remote
+    /// spark pushes, remote thread migrations; payload + envelope).
+    /// Zero on a single-node topology.
+    pub remote_words: u64,
     /// Sparks pushed to idle capabilities by the push-model scheduler.
     pub sparks_pushed: u64,
     /// Sparks found already evaluated when converted (fizzled).

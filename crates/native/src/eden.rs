@@ -38,6 +38,10 @@ pub(crate) struct PeStats {
     pub msgs_sent: u64,
     pub msgs_recv: u64,
     pub words_sent: u64,
+    /// The subset of `words_sent` whose packets crossed a shard
+    /// boundary (the master counts as shard 0 — it runs on the
+    /// caller's thread). Zero on a flat (single-shard) run.
+    pub remote_words: u64,
     pub send_blocks: u64,
     pub recv_blocks: u64,
 }
@@ -47,15 +51,36 @@ pub(crate) struct PeStats {
 pub(crate) struct Endpoint {
     pub tbuf: TraceBuf,
     pub stats: PeStats,
+    /// This endpoint's PE id (`workers` for the master).
+    me: u32,
+    /// PEs per shard under the configured topology; `workers` when
+    /// the run is flat, so every packet is shard-local.
+    per_shard: u32,
+    workers: u32,
 }
 
 impl Endpoint {
-    pub fn new(cfg: &NativeConfig, clock: WallClock) -> Self {
+    pub fn new(cfg: &NativeConfig, clock: WallClock, me: u32) -> Self {
         let mut tbuf = TraceBuf::new(cfg.trace, cfg.trace_cap);
         tbuf.begin_run(clock);
+        let workers = cfg.workers.max(1);
         Endpoint {
             tbuf,
             stats: PeStats::default(),
+            me,
+            per_shard: (workers / cfg.shards.max(1)) as u32,
+            workers: workers as u32,
+        }
+    }
+
+    /// Which shard `id` lives in. The master (`id == workers`) runs on
+    /// the caller's thread and counts as shard 0, so farm traffic to
+    /// and from PEs outside shard 0 is inter-shard.
+    fn shard_of(&self, id: u32) -> u32 {
+        if id >= self.workers {
+            0
+        } else {
+            id / self.per_shard
         }
     }
 
@@ -63,6 +88,9 @@ impl Endpoint {
     pub fn note_sent(&mut self, to: u32, words: u64, tag: &'static str) {
         self.stats.msgs_sent += 1;
         self.stats.words_sent += words;
+        if self.shard_of(to) != self.shard_of(self.me) {
+            self.stats.remote_words += words;
+        }
         self.tbuf.record(NEventKind::MsgSend { to, words, tag });
     }
 
@@ -176,6 +204,7 @@ pub(crate) fn assemble<T>(
         stats.msgs_sent += rep.stats.msgs_sent;
         stats.msgs_recv += rep.stats.msgs_recv;
         stats.words_sent += rep.stats.words_sent;
+        stats.remote_words += rep.stats.remote_words;
         stats.send_blocks += rep.stats.send_blocks;
         stats.recv_blocks += rep.stats.recv_blocks;
         trace_dropped += rep.dropped;

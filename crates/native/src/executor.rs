@@ -103,6 +103,14 @@ pub struct NativeConfig {
     /// producer that runs this far ahead of its consumer blocks — the
     /// back-pressure that keeps PE memory bounded.
     pub chan_cap: usize,
+    /// Number of shards the workers are grouped into (pools-of-pools).
+    /// Must divide `workers`; worker `w` lives in shard
+    /// `w / (workers / shards)`. 1 = the flat pool, byte-identical to
+    /// the pre-topology executor. With more shards, idle thieves probe
+    /// every shard-mate before any remote shard, and cross-shard
+    /// steals are counted (and traced) separately — see
+    /// [`Self::with_topology`].
+    pub shards: usize,
 }
 
 /// Default per-worker trace buffer capacity (events). At 24 bytes per
@@ -134,6 +142,7 @@ impl NativeConfig {
             trace: false,
             trace_cap: DEFAULT_TRACE_CAP,
             chan_cap: DEFAULT_CHAN_CAP,
+            shards: 1,
         }
     }
 
@@ -196,6 +205,33 @@ impl NativeConfig {
     pub fn with_trace_cap(mut self, cap: usize) -> Self {
         self.trace_cap = cap;
         self
+    }
+
+    /// A sharded pool-of-pools: `shards` shards of `per_shard` workers
+    /// each (`workers = shards × per_shard`). Victim selection becomes
+    /// hierarchical — a seeded permutation over the thief's own shard
+    /// first, then remote shards, with cross-shard steals batch-only
+    /// (`steal_batch_and_pop`) and counted separately
+    /// ([`NativeStats::steal_remote`], [`NativeStats::remote_words`]).
+    /// `with_topology(1, n)` is exactly the flat `new(n)` pool. On the
+    /// Eden backend the shard map drives skeleton placement instead:
+    /// tasks are dealt round-robin across shards, then within a shard.
+    pub fn with_topology(mut self, shards: usize, per_shard: usize) -> Self {
+        assert!(shards >= 1 && per_shard >= 1, "topology must be non-empty");
+        self.workers = shards * per_shard;
+        self.shards = shards;
+        self
+    }
+
+    /// Workers per shard.
+    pub fn per_shard(&self) -> usize {
+        debug_assert!(self.workers.is_multiple_of(self.shards));
+        self.workers / self.shards
+    }
+
+    /// Which shard worker `w` lives in.
+    pub fn shard_of(&self, w: usize) -> usize {
+        w / self.per_shard()
     }
 }
 
@@ -280,8 +316,22 @@ pub struct NativeStats {
     pub steal_retries: u64,
     /// Steal attempts that found the victim empty.
     pub steal_empties: u64,
-    /// Successful steal operations (each may move a whole batch).
+    /// Successful steal operations (each may move a whole batch;
+    /// `steal_local + steal_remote == steal_ops`).
     pub steal_ops: u64,
+    /// The subset of `steal_ops` whose victim shared the thief's
+    /// shard. On a flat (single-shard) pool every steal is local.
+    pub steal_local: u64,
+    /// The subset of `steal_ops` that crossed a shard boundary
+    /// (hierarchical victim selection probed the whole local shard
+    /// first).
+    pub steal_remote: u64,
+    /// Deque words moved across shard boundaries: one packed
+    /// `(lo, hi)` range word per element a cross-shard steal
+    /// transferred (the stolen element plus its batch). On the Eden
+    /// backend: payload words of packets whose sender and receiver
+    /// PEs live in different shards.
+    pub remote_words: u64,
     /// Extra deque elements transferred into thief deques by batch
     /// steals, beyond the one element each steal returns. See
     /// [`Self::mean_batch`] for the mean batch size — the naive
@@ -338,6 +388,9 @@ impl NativeStats {
         self.steal_retries += other.steal_retries;
         self.steal_empties += other.steal_empties;
         self.steal_ops += other.steal_ops;
+        self.steal_local += other.steal_local;
+        self.steal_remote += other.steal_remote;
+        self.remote_words += other.remote_words;
         self.batch_moved += other.batch_moved;
         self.splits += other.splits;
         self.parks += other.parks;
@@ -462,6 +515,15 @@ mod tests {
             assert_eq!(stats.batch_moved, 0, "{cfg:?}");
             assert_eq!(stats.tasks_stolen, 0, "{cfg:?}");
         }
+        assert_eq!(
+            stats.steal_local + stats.steal_remote,
+            stats.steal_ops,
+            "local/remote must partition steal_ops: {cfg:?} {stats:?}"
+        );
+        if cfg.shards <= 1 {
+            assert_eq!(stats.steal_remote, 0, "flat pool has no shards: {cfg:?}");
+            assert_eq!(stats.remote_words, 0, "flat pool has no shards: {cfg:?}");
+        }
     }
 
     #[test]
@@ -510,6 +572,50 @@ mod tests {
             assert_eq!(out.stats.tasks_stolen, 0, "{g:?}");
             assert_eq!(out.stats.tasks_local, 100, "{g:?}");
             assert_eq!(out.stats.steal_ops, 0, "{g:?}");
+        }
+    }
+
+    /// The sharded pool-of-pools is a victim-*ordering* change, not a
+    /// semantics change: results, task conservation and the
+    /// local/remote steal partition all hold, and every steal is
+    /// classified by the shard map.
+    #[test]
+    fn sharded_pool_matches_flat_results() {
+        let flat = execute(&Squares(257), &NativeConfig::steal(4));
+        for (shards, per_shard) in [(2, 2), (4, 1)] {
+            let cfg = NativeConfig::steal(4).with_topology(shards, per_shard);
+            assert_eq!(cfg.workers, 4);
+            assert_eq!(cfg.per_shard(), per_shard);
+            let out = execute(&Squares(257), &cfg);
+            assert_eq!(out.values, flat.values, "{cfg:?}");
+            assert_invariants(&out.stats, 257, &cfg);
+            // A cross-shard steal always carries at least the popped
+            // range (1 packed word) plus its batched extras.
+            assert!(out.stats.remote_words >= out.stats.steal_remote, "{cfg:?}");
+        }
+    }
+
+    /// The paper's oversubscription axis on the steal pool: far more
+    /// workers than the (single-core CI) host has cores. The pool must
+    /// neither deadlock nor corrupt results, and idle workers must
+    /// park by episode rather than spin-looping the counters into the
+    /// sky.
+    #[test]
+    fn oversubscribed_steal_pool_completes_and_matches() {
+        let one = execute(&Squares(400), &NativeConfig::steal(1));
+        for workers in [16usize, 32, 64] {
+            let cfg = NativeConfig::steal(workers);
+            let out = execute(&Squares(400), &cfg);
+            assert_eq!(out.values, one.values, "workers={workers}");
+            assert_invariants(&out.stats, 400, &cfg);
+            // Parks are counted per contiguous idle episode, so even a
+            // heavily oversubscribed run stays within a small multiple
+            // of the worker count — not wall-time / park-timeout.
+            assert!(
+                out.stats.parks <= 100 * workers as u64,
+                "workers={workers}: parks exploded: {:?}",
+                out.stats
+            );
         }
     }
 

@@ -77,6 +77,9 @@ struct WorkerStats {
     retries: u64,
     empties: u64,
     steal_ops: u64,
+    steal_local: u64,
+    steal_remote: u64,
+    remote_words: u64,
     batch_moved: u64,
     splits: u64,
     parks: u64,
@@ -119,6 +122,11 @@ struct Shared {
     ec: EventCount,
     stealers: Vec<Stealer<Range32>>,
     workers: usize,
+    /// Workers per shard (pools-of-pools); `workers` when the pool is
+    /// flat. Worker `w` lives in shard `w / per_shard`; thieves probe
+    /// every shard-mate before any remote shard, and cross-shard
+    /// steals are counted separately.
+    per_shard: usize,
     /// Victim-selection policy and seed, fixed at pool construction.
     steal_policy: StealPolicy,
     seed: u64,
@@ -148,6 +156,11 @@ impl Pool {
     /// `cfg.deque_cap` initial slots (deques grow on demand).
     pub fn new(cfg: &NativeConfig) -> Pool {
         let workers = cfg.workers.max(1);
+        let shards = cfg.shards.max(1);
+        assert!(
+            workers.is_multiple_of(shards),
+            "shards ({shards}) must divide workers ({workers}) — use with_topology"
+        );
         let mut owners: Vec<Worker<Range32>> = Vec::with_capacity(workers);
         let mut stealers: Vec<Stealer<Range32>> = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -172,6 +185,7 @@ impl Pool {
             ec: EventCount::new(),
             stealers,
             workers,
+            per_shard: workers / shards,
             steal_policy: cfg.steal_policy,
             seed: cfg.seed,
             trace_on: cfg.trace,
@@ -391,6 +405,9 @@ fn collect_stats(per_worker: &[CachePadded<WorkerStats>]) -> NativeStats {
         out.steal_retries += s.retries;
         out.steal_empties += s.empties;
         out.steal_ops += s.steal_ops;
+        out.steal_local += s.steal_local;
+        out.steal_remote += s.steal_remote;
+        out.remote_words += s.remote_words;
         out.batch_moved += s.batch_moved;
         out.splits += s.splits;
         out.parks += s.parks;
@@ -413,7 +430,7 @@ fn worker_main(me: usize, local: Worker<Range32>, shared: Arc<Shared>) {
     // The worker's trace buffer and victim-order buffer are allocated
     // once, here, and reused across every run the pool ever executes.
     let mut tbuf = TraceBuf::new(shared.trace_on, shared.trace_cap);
-    let mut picker = VictimPicker::new(shared.steal_policy, me, shared.workers);
+    let mut picker = VictimPicker::new(shared.steal_policy, me, shared.workers, shared.per_shard);
     loop {
         // Wait for the next run (or shutdown).
         let cmd = {
@@ -536,10 +553,24 @@ impl RunCtx<'_> {
                         BatchSteal::Success { first, moved } => {
                             stats.steal_ops += 1;
                             stats.batch_moved += moved as u64;
-                            tbuf.record(NEventKind::StealOk {
-                                victim: victim as u32,
-                                moved: moved as u32,
-                            });
+                            let per_shard = self.shared.per_shard;
+                            if victim / per_shard == self.me / per_shard {
+                                stats.steal_local += 1;
+                                tbuf.record(NEventKind::StealOk {
+                                    victim: victim as u32,
+                                    moved: moved as u32,
+                                });
+                            } else {
+                                // Cross-shard transfer: the popped range
+                                // plus the batched extras, one packed
+                                // (lo, hi) word each.
+                                stats.steal_remote += 1;
+                                stats.remote_words += 1 + moved as u64;
+                                tbuf.record(NEventKind::StealOkRemote {
+                                    victim: victim as u32,
+                                    moved: moved as u32,
+                                });
+                            }
                             if moved > 0 {
                                 // The transferred tail is stealable
                                 // from our deque now — tell sleepers.

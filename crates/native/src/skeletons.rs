@@ -130,6 +130,8 @@ where
     J::Out: Wordsize,
 {
     let workers = cfg.workers.max(1);
+    let shards = cfg.shards.max(1);
+    let per_shard = workers / shards;
     let n = job.len();
     if n == 0 {
         return Ok(empty_outcome(cfg));
@@ -150,10 +152,18 @@ where
             .enumerate()
             .map(|(w, tx)| {
                 s.spawn(move || {
-                    let mut ep = Endpoint::new(cfg, clock);
-                    let mine = n.saturating_sub(w).div_ceil(workers) as u64;
+                    let mut ep = Endpoint::new(cfg, clock, w as u32);
+                    // Shard-aware static deal: task `i` lands on PE
+                    // `(i mod shards)·per_shard + (i/shards mod
+                    // per_shard)` — round-robin across shards first,
+                    // then within the shard, so a short job still
+                    // spreads over every shard. PE `w = s·per_shard+j`
+                    // therefore owns `i = shards·j + s + k·workers`.
+                    // With one shard this is exactly `i mod workers`.
+                    let first = shards * (w % per_shard) + w / per_shard;
+                    let mine = n.saturating_sub(first).div_ceil(workers) as u64;
                     ep.tbuf.record(NEventKind::RunStart { tasks: mine });
-                    for idx in (w..n).step_by(workers) {
+                    for idx in (first..n).step_by(workers) {
                         ep.tbuf.record(NEventKind::ExecStart);
                         let out = job.run(idx);
                         ep.stats.ran += 1;
@@ -171,7 +181,7 @@ where
             })
             .collect();
 
-        let mut master = Endpoint::new(cfg, clock);
+        let mut master = Endpoint::new(cfg, clock, master_id);
         master.tbuf.record(NEventKind::RunStart { tasks: n as u64 });
         let mut slots: Vec<Option<J::Out>> = (0..n).map(|_| None).collect();
         drain_results(&mut master, &ec, &rxs, |master, w, pkt| {
@@ -262,9 +272,10 @@ where
         let handles: Vec<_> = task_rxs
             .into_iter()
             .zip(res_txs)
-            .map(|(task_rx, res_tx)| {
+            .enumerate()
+            .map(|(w, (task_rx, res_tx))| {
                 s.spawn(move || {
-                    let mut ep = Endpoint::new(cfg, clock);
+                    let mut ep = Endpoint::new(cfg, clock, w as u32);
                     ep.tbuf.record(NEventKind::RunStart { tasks: 0 });
                     while let Some(pkt) = ep.recv(&task_rx, master_id, "task") {
                         let idx = pkt.idx as usize;
@@ -285,7 +296,7 @@ where
             })
             .collect();
 
-        let mut master = Endpoint::new(cfg, clock);
+        let mut master = Endpoint::new(cfg, clock, master_id);
         master.tbuf.record(NEventKind::RunStart { tasks: n as u64 });
         let mut slots: Vec<Option<J::Out>> = (0..n).map(|_| None).collect();
         let mut outstanding = vec![0usize; workers];
@@ -418,7 +429,7 @@ pub fn try_ring<R: RingJob>(
             handles.push(s.spawn(move || {
                 let (lo, hi) = block_share(n as u64, workers, w);
                 let (lo, hi) = (lo as usize, hi as usize);
-                let mut ep = Endpoint::new(cfg, clock);
+                let mut ep = Endpoint::new(cfg, clock, w as u32);
                 ep.tbuf.record(NEventKind::RunStart {
                     tasks: ((hi - lo) * n) as u64,
                 });
@@ -478,7 +489,7 @@ pub fn try_ring<R: RingJob>(
             }));
         }
 
-        let mut master = Endpoint::new(cfg, clock);
+        let mut master = Endpoint::new(cfg, clock, master_id);
         master.tbuf.record(NEventKind::RunStart { tasks: n as u64 });
         let mut slots: Vec<Option<R::Item>> = (0..n).map(|_| None).collect();
         drain_results(&mut master, &ec, &res_rxs, |master, w, pkt| {
@@ -556,6 +567,63 @@ mod tests {
                 assert_eq!(out.values, expected(101), "workers={w} prefetch={prefetch}");
                 check_farm_stats(&out, 101, w);
             }
+        }
+    }
+
+    /// Shard-aware static deal: task `i` goes to shard `i mod shards`
+    /// first, then round-robins within the shard — so the per-PE task
+    /// counts follow the interleaved formula, result packets from
+    /// shard-1 PEs to the (shard-0) master count as cross-shard words,
+    /// and a single-shard run is the classic `i mod workers` deal with
+    /// zero remote words.
+    #[test]
+    fn sharded_par_map_spreads_tasks_across_shards() {
+        let n = 257usize;
+        let flat = par_map(&Squares(n), &NativeConfig::new(4));
+        assert_eq!(flat.stats.remote_words, 0);
+        let cfg = NativeConfig::new(4).with_topology(2, 2);
+        let out = par_map(&Squares(n), &cfg);
+        assert_eq!(out.values, expected(n));
+        // PE w = s·per_shard + j owns i = shards·j + s + k·workers.
+        let want: Vec<u64> = (0..4)
+            .map(|w| {
+                let first = 2 * (w % 2) + w / 2;
+                n.saturating_sub(first).div_ceil(4) as u64
+            })
+            .collect();
+        assert_eq!(out.stats.per_worker, want);
+        // Shard 1's PEs (2 and 3) stream all their results across the
+        // shard boundary to the master.
+        assert!(out.stats.remote_words > 0);
+        assert!(out.stats.remote_words < out.stats.words_sent);
+    }
+
+    /// The oversubscription satellite: many more PEs than the
+    /// (single-core CI) host has cores. The demand-driven farm must
+    /// complete without deadlock with results bit-identical to the
+    /// 1-PE run, and its block counters must stay conservation-sane.
+    #[test]
+    fn master_worker_oversubscribed_many_pes_on_one_core() {
+        let one = master_worker(&Squares(200), &NativeConfig::new(1), 2);
+        for pes in [16usize, 32, 64] {
+            let cfg = NativeConfig::new(pes);
+            let out = master_worker(&Squares(200), &cfg, 2);
+            assert_eq!(out.values, one.values, "pes={pes}");
+            check_farm_stats(&out, 200, pes);
+            // Block episodes are bounded by message traffic plus a
+            // small per-PE slack (end-of-stream waits, and the
+            // master's 10 ms park safety timeout re-counting a long
+            // quiet period) — not by wall time.
+            assert!(
+                out.stats.recv_blocks <= out.stats.msgs_recv + 10 * pes as u64 + 100,
+                "pes={pes}: {:?}",
+                out.stats
+            );
+            assert!(
+                out.stats.send_blocks <= out.stats.msgs_sent,
+                "pes={pes}: {:?}",
+                out.stats
+            );
         }
     }
 

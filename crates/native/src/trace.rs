@@ -53,6 +53,9 @@ pub(crate) enum NEventKind {
     ExecEnd { count: u32, stolen: bool },
     /// A steal from `victim` succeeded, batch-moving `moved` extras.
     StealOk { victim: u32, moved: u32 },
+    /// A steal from `victim` in a *different shard* succeeded —
+    /// hierarchical victim selection exhausted the local shard first.
+    StealOkRemote { victim: u32, moved: u32 },
     /// A steal from `victim` lost its CAS race.
     StealRetry { victim: u32 },
     /// `victim`'s deque was empty.
@@ -180,6 +183,14 @@ pub(crate) fn map_events(tracer: &mut Tracer, cap: CapId, events: &[NEvent]) {
                     moved: moved as u64,
                 },
             ),
+            NEventKind::StealOkRemote { victim: v, moved } => tracer.record(
+                cap,
+                t,
+                EventKind::NativeStealRemote {
+                    victim: victim(v),
+                    moved: moved as u64,
+                },
+            ),
             NEventKind::StealRetry { victim: v } => {
                 tracer.record(cap, t, EventKind::NativeStealRetry { victim: victim(v) })
             }
@@ -282,6 +293,10 @@ mod tests {
             victim: 1,
             moved: 3,
         });
+        b.record(NEventKind::StealOkRemote {
+            victim: 2,
+            moved: 4,
+        });
         b.record(NEventKind::ExecStart);
         b.record(NEventKind::Split { exposed: 2 });
         b.record(NEventKind::ExecEnd {
@@ -297,8 +312,11 @@ mod tests {
         map_events(&mut tracer, CapId(0), &out);
         let c = Counters::for_cap(&tracer, CapId(0));
         assert_eq!(c.native_runs, 1);
-        assert_eq!(c.native_steals, 1);
-        assert_eq!(c.native_batch_moved, 3);
+        // The remote arm feeds the steal totals too, so reconciliation
+        // against `steal_ops` needs no topology awareness.
+        assert_eq!(c.native_steals, 2);
+        assert_eq!(c.native_remote_steals, 1);
+        assert_eq!(c.native_batch_moved, 7);
         assert_eq!(c.native_steal_empties, 1);
         assert_eq!(c.native_splits, 1);
         assert_eq!(c.native_tasks, 6);

@@ -13,7 +13,10 @@
 //! exactly this reason.
 //!
 //! [`VictimPicker`] draws a fresh random *permutation* of the other
-//! workers for every sweep from a per-worker xorshift64* generator:
+//! workers for every sweep from a per-worker xorshift64* generator,
+//! using the shared sweep contract in [`rph_sim::sweep`] (the same
+//! Fisher–Yates + Lemire-bounded loop the GpH simulator's `DetRng`
+//! sweeps use):
 //!
 //! * **Decorrelated**: distinct thieves shuffle with distinct streams,
 //!   so simultaneous sweeps spread their first probes across distinct
@@ -31,21 +34,51 @@
 //!   allocated once per worker thread and shuffled in place
 //!   (Fisher–Yates) at sweep start.
 //!
+//! Under a sharded pool (`NativeConfig::with_topology`) the
+//! permutation is **hierarchical**: every sweep probes all of the
+//! thief's own shard (shuffled) before any remote shard (shuffled
+//! separately) — an idle worker drains nearby deques, which share
+//! cache and memory controller, before it touches a remote shard's
+//! lines. With one shard the remote segment is empty and the sweep is
+//! byte-identical to the flat picker.
+//!
 //! [`StealPolicy::RoundRobin`] keeps the old fixed order as the
 //! ablation baseline.
 
 use crate::executor::StealPolicy;
+use rph_sim::sweep::{self, SweepRng};
+
+/// xorshift64* stream; state never zero. Implements the shared
+/// [`SweepRng`] contract so the sweep shuffle is the one in
+/// `rph_sim::sweep`, not a private copy.
+pub(crate) struct Xorshift(u64);
+
+impl SweepRng for Xorshift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
 
 /// One worker's victim-order generator (see module docs).
 pub(crate) struct VictimPicker {
     policy: StealPolicy,
-    /// The other workers' ids, probed front to back each sweep;
-    /// shuffled in place per sweep under [`StealPolicy::Randomized`].
+    /// The other workers' ids, probed front to back each sweep: the
+    /// thief's shard-mates in `order[..local_len]`, remote-shard
+    /// workers after. Each segment is shuffled in place per sweep
+    /// under [`StealPolicy::Randomized`].
     order: Vec<u32>,
-    /// xorshift64* state; never zero.
-    state: u64,
-    /// The per-run seed base, kept so [`Self::begin_run`] can re-seed.
+    /// How many entries of `order` are shard-local victims.
+    local_len: usize,
+    rng: Xorshift,
+    /// Kept so [`Self::begin_run`] can re-seed.
     me: u64,
+    workers: usize,
+    per_shard: usize,
 }
 
 /// SplitMix64 step — used only to turn `(seed, me)` into a
@@ -58,16 +91,40 @@ fn splitmix64(x: u64) -> u64 {
 }
 
 impl VictimPicker {
-    /// A picker for worker `me` of `workers`, probing the other
-    /// `workers - 1` deques per sweep.
-    pub fn new(policy: StealPolicy, me: usize, workers: usize) -> Self {
-        let order = (1..workers).map(|d| ((me + d) % workers) as u32).collect();
-        VictimPicker {
+    /// A picker for worker `me` of `workers`, grouped into shards of
+    /// `per_shard` workers (`per_shard == workers` is the flat,
+    /// single-shard pool). Probes the thief's `per_shard - 1`
+    /// shard-mates before the `workers - per_shard` remote workers.
+    pub fn new(policy: StealPolicy, me: usize, workers: usize, per_shard: usize) -> Self {
+        assert!(per_shard >= 1 && workers.is_multiple_of(per_shard));
+        let mut p = VictimPicker {
             policy,
-            order,
-            state: 1,
+            order: vec![0; workers - 1],
+            local_len: per_shard - 1,
+            rng: Xorshift(1),
             me: me as u64,
+            workers,
+            per_shard,
+        };
+        p.canonical_order();
+        p
+    }
+
+    /// Restore the canonical (round-robin) order: shard-mates `me+1,
+    /// me+2, …` wrapping within the shard, then remote workers in
+    /// index order starting at the next shard, wrapping.
+    fn canonical_order(&mut self) {
+        let me = self.me as usize;
+        let base = me - me % self.per_shard;
+        for d in 1..self.per_shard {
+            self.order[d - 1] = (base + (me - base + d) % self.per_shard) as u32;
         }
+        let mut k = self.local_len;
+        for w in (base + self.per_shard..self.workers).chain(0..base) {
+            self.order[k] = w as u32;
+            k += 1;
+        }
+        debug_assert_eq!(k, self.order.len());
     }
 
     /// Re-seed for a run: identical `(seed, me)` ⇒ identical shuffles.
@@ -75,42 +132,30 @@ impl VictimPicker {
         // Feed worker id through the mixer (not a plain add) so
         // adjacent workers get uncorrelated streams; xorshift needs a
         // nonzero state.
-        self.state = splitmix64(seed ^ splitmix64(self.me)) | 1;
+        self.rng = Xorshift(splitmix64(seed ^ splitmix64(self.me)) | 1);
         // The shuffle permutes `order` in place, so the buffer itself
-        // is RNG state: restore the canonical round-robin order too,
-        // or the first sweep of a run would depend on the previous
-        // run's last sweep.
-        let workers = self.order.len() + 1;
-        for (d, slot) in self.order.iter_mut().enumerate() {
-            *slot = ((self.me as usize + d + 1) % workers) as u32;
-        }
+        // is RNG state: restore the canonical order too, or the first
+        // sweep of a run would depend on the previous run's last sweep.
+        self.canonical_order();
     }
 
-    /// Next xorshift64* value.
-    fn next(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.state = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
-    }
-
-    /// Uniform index in `0..n` (multiply-shift; bias negligible at
-    /// `n` ≪ 2⁶⁴).
-    fn bounded(&mut self, n: u64) -> u64 {
-        ((self.next() as u128 * n as u128) >> 64) as u64
+    /// How many victims at the front of a sweep share the thief's
+    /// shard.
+    #[cfg(test)]
+    pub fn local_len(&self) -> usize {
+        self.local_len
     }
 
     /// Start a sweep and return the victim order to probe, front to
-    /// back. Round-robin returns the fixed `me+1, me+2, …` order;
-    /// randomized Fisher–Yates-shuffles the buffer in place first.
+    /// back. Round-robin returns the fixed canonical order; randomized
+    /// Fisher–Yates-shuffles the local and remote segments in place
+    /// first (the remote segment is empty on a single-shard pool, so
+    /// the flat picker's draw sequence is unchanged).
     pub fn sweep(&mut self) -> &[u32] {
         if self.policy == StealPolicy::Randomized {
-            for i in (1..self.order.len()).rev() {
-                let j = self.bounded(i as u64 + 1) as usize;
-                self.order.swap(i, j);
-            }
+            let (local, remote) = self.order.split_at_mut(self.local_len);
+            sweep::shuffle(&mut self.rng, local);
+            sweep::shuffle(&mut self.rng, remote);
         }
         &self.order
     }
@@ -128,7 +173,7 @@ mod tests {
 
     #[test]
     fn round_robin_keeps_the_fixed_order() {
-        let mut p = VictimPicker::new(StealPolicy::RoundRobin, 1, 4);
+        let mut p = VictimPicker::new(StealPolicy::RoundRobin, 1, 4, 4);
         p.begin_run(7);
         assert_eq!(p.sweep(), &[2, 3, 0]);
         assert_eq!(p.sweep(), &[2, 3, 0]);
@@ -137,7 +182,7 @@ mod tests {
     #[test]
     fn randomized_sweep_is_a_permutation_of_the_other_workers() {
         for me in 0..5 {
-            let mut p = VictimPicker::new(StealPolicy::Randomized, me, 5);
+            let mut p = VictimPicker::new(StealPolicy::Randomized, me, 5, 5);
             p.begin_run(42);
             for _ in 0..50 {
                 let order = sorted(p.sweep());
@@ -149,8 +194,8 @@ mod tests {
 
     #[test]
     fn same_seed_same_sequence_different_seed_different() {
-        let mut a = VictimPicker::new(StealPolicy::Randomized, 2, 8);
-        let mut b = VictimPicker::new(StealPolicy::Randomized, 2, 8);
+        let mut a = VictimPicker::new(StealPolicy::Randomized, 2, 8, 8);
+        let mut b = VictimPicker::new(StealPolicy::Randomized, 2, 8, 8);
         a.begin_run(123);
         b.begin_run(123);
         let sa: Vec<Vec<u32>> = (0..20).map(|_| a.sweep().to_vec()).collect();
@@ -164,7 +209,7 @@ mod tests {
 
     #[test]
     fn begin_run_resets_the_stream() {
-        let mut p = VictimPicker::new(StealPolicy::Randomized, 0, 6);
+        let mut p = VictimPicker::new(StealPolicy::Randomized, 0, 6, 6);
         p.begin_run(9);
         let first: Vec<Vec<u32>> = (0..10).map(|_| p.sweep().to_vec()).collect();
         p.begin_run(9);
@@ -180,7 +225,7 @@ mod tests {
         // convoy the policy exists to break.
         let mut firsts = Vec::new();
         for me in 0..8usize {
-            let mut p = VictimPicker::new(StealPolicy::Randomized, me, 8);
+            let mut p = VictimPicker::new(StealPolicy::Randomized, me, 8, 8);
             p.begin_run(0x5eed0fa11);
             // Rotate victim ids into the thief's own frame: relative
             // distance from `me`, so identical relative patterns (the
@@ -198,8 +243,87 @@ mod tests {
 
     #[test]
     fn single_worker_has_no_victims() {
-        let mut p = VictimPicker::new(StealPolicy::Randomized, 0, 1);
+        let mut p = VictimPicker::new(StealPolicy::Randomized, 0, 1, 1);
         p.begin_run(1);
         assert!(p.sweep().is_empty());
+    }
+
+    #[test]
+    fn sharded_sweep_probes_the_whole_local_shard_first() {
+        // 8 workers in 2 shards of 4; thief 1 lives in shard {0,1,2,3}.
+        let mut p = VictimPicker::new(StealPolicy::Randomized, 1, 8, 4);
+        p.begin_run(77);
+        assert_eq!(p.local_len(), 3);
+        for _ in 0..50 {
+            let order = p.sweep().to_vec();
+            assert_eq!(sorted(&order[..3]), vec![0, 2, 3], "local shard first");
+            assert_eq!(sorted(&order[3..]), vec![4, 5, 6, 7], "then remote");
+        }
+    }
+
+    #[test]
+    fn sharded_round_robin_order_is_canonical() {
+        let mut p = VictimPicker::new(StealPolicy::RoundRobin, 5, 8, 4);
+        p.begin_run(0);
+        // Shard-mates after 5 wrapping within {4,5,6,7}, then the
+        // other shard from index 0 (the wrap below worker 4's base).
+        assert_eq!(p.sweep(), &[6, 7, 4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_shard_picker_matches_the_flat_picker_bit_for_bit() {
+        // `with_topology(1, n)` must not change any probe sequence:
+        // the flat picker is the per_shard == workers special case.
+        let mut flat = VictimPicker::new(StealPolicy::Randomized, 3, 6, 6);
+        let mut sharded = VictimPicker::new(StealPolicy::Randomized, 3, 6, 6);
+        flat.begin_run(0xABCD);
+        sharded.begin_run(0xABCD);
+        for _ in 0..100 {
+            assert_eq!(flat.sweep(), sharded.sweep());
+        }
+    }
+
+    /// The dedupe cross-check (PR 9 satellite): the GpH simulator's
+    /// `DetRng`-driven sweeps and the native picker implement the same
+    /// `rph_sim::sweep` contract — from one seed, both produce
+    /// full-coverage single-probe sweeps: deterministic permutations
+    /// that visit every victim exactly once per sweep.
+    #[test]
+    fn both_sweep_implementations_honour_the_shared_contract() {
+        const SEED: u64 = 0x9E37;
+        let victims: Vec<u32> = (1..8).collect(); // thief 0 of 8
+
+        // GpH-style: DetRng shuffle of the victim buffer (what
+        // `GphRuntime::victim_sweep` does each steal sweep).
+        let mut rng = rph_sim::DetRng::new(SEED);
+        let mut gph_sweeps = Vec::new();
+        for _ in 0..20 {
+            let mut buf = victims.clone();
+            rng.shuffle(&mut buf);
+            gph_sweeps.push(buf);
+        }
+
+        // Native: VictimPicker for the same thief, seeded identically.
+        let mut p = VictimPicker::new(StealPolicy::Randomized, 0, 8, 8);
+        p.begin_run(SEED);
+        let native_sweeps: Vec<Vec<u32>> = (0..20).map(|_| p.sweep().to_vec()).collect();
+
+        for (g, n) in gph_sweeps.iter().zip(&native_sweeps) {
+            assert_eq!(sorted(g), victims, "gph sweep covers every victim once");
+            assert_eq!(sorted(n), victims, "native sweep covers every victim once");
+        }
+        // Determinism: replaying either side from the same seed
+        // reproduces the exact sweep sequence.
+        let mut rng2 = rph_sim::DetRng::new(SEED);
+        for g in &gph_sweeps {
+            let mut buf = victims.clone();
+            rng2.shuffle(&mut buf);
+            assert_eq!(&buf, g);
+        }
+        let mut p2 = VictimPicker::new(StealPolicy::Randomized, 0, 8, 8);
+        p2.begin_run(SEED);
+        for n in &native_sweeps {
+            assert_eq!(p2.sweep(), &n[..]);
+        }
     }
 }

@@ -80,6 +80,15 @@ impl ServerConfig {
         self.batch_max_units = units.max(1);
         self
     }
+
+    /// Shard the backend pool into `shards` × `per_shard` workers
+    /// (passthrough to [`NativeConfig::with_topology`]): thieves probe
+    /// their own shard first and batch cross-shard steals, surfaced in
+    /// the run stats as `steal_local`/`steal_remote`/`remote_words`.
+    pub fn with_topology(mut self, shards: usize, per_shard: usize) -> Self {
+        self.native = self.native.with_topology(shards, per_shard);
+        self
+    }
 }
 
 /// Why a submission was not accepted.
@@ -752,6 +761,28 @@ mod tests {
             assert_eq!(report.stats.done, 3, "{backend:?}");
             assert_eq!(report.stats.queued_units, 0);
         }
+    }
+
+    /// The sharded pool behind the server is a scheduling change only:
+    /// job values and resolution are unaffected by the topology.
+    #[test]
+    fn sharded_pool_serves_jobs_identically() {
+        let server = Server::start(ServerConfig::new(NativeConfig::steal(4)).with_topology(2, 2));
+        let classes = [
+            JobClass::SumEuler { n: 120, chunk: 8 },
+            JobClass::SumEuler { n: 60, chunk: 4 },
+        ];
+        let handles: Vec<JobHandle> = classes
+            .iter()
+            .map(|&c| server.submit(0, c).expect("accepted"))
+            .collect();
+        for (h, c) in handles.iter().zip(&classes) {
+            let out = h.wait();
+            assert_eq!(out.status, JobStatus::Done);
+            assert_eq!(Some(out.value), c.expected());
+        }
+        let report = server.shutdown();
+        assert_eq!(report.stats.done, 2);
     }
 
     // -------------------------------------------- admission control (reject)

@@ -7,6 +7,14 @@
 //! roughly what factor, where crossovers fall), which are robust to
 //! moderate changes in these constants — the ablation bench
 //! `ablation_costs` in `rph-bench` quantifies that robustness.
+//!
+//! Message pricing is *link-classed* ([`LinkClass`]): intra-node links
+//! keep the paper's flat shared-memory transport, inter-node links add
+//! network latency and finite bandwidth. The flat model is the
+//! Intra-everywhere special case and prices identically to the
+//! pre-topology constants.
+
+use crate::topology::LinkClass;
 
 /// All runtime-overhead constants, in work units (≈ ns).
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +92,25 @@ pub struct Costs {
     /// message plus bookkeeping.
     pub process_instantiate: u64,
 
+    // ----- inter-node links (cluster-of-multicores topology) -----
+    /// One-way latency of an inter-node (network) link. Intra-node
+    /// links use [`Self::msg_latency`].
+    pub inter_latency: u64,
+    /// Wire cost per word over an inter-node link — the finite-
+    /// bandwidth term of the two-level model. Intra-node links are
+    /// latency-only (shared memory), so this is the *only* place a
+    /// payload's size delays its delivery.
+    pub inter_per_word: u64,
+    /// Envelope words added to every inter-node transfer (message
+    /// header, routing, marshalling tables). This is what makes one
+    /// batched transfer of k items cheaper on the wire than k single
+    /// transfers.
+    pub msg_envelope_words: u64,
+    /// Modeled packed footprint of one spark closure when it crosses
+    /// an inter-node link in a remote steal (GUM-style pointer-graph
+    /// packing).
+    pub spark_pack_words: u64,
+
     // ----- OS scheduling of virtual PEs (oversubscription) -----
     /// Time slice the OS gives a virtual PE when PEs > cores.
     pub os_quantum: u64,
@@ -133,6 +160,15 @@ impl Default for Costs {
             msg_latency: 20_000,
             msg_per_word: 2,
             process_instantiate: 30_000,
+
+            // Gigabit-ethernet-era cluster link: ~200 µs one-way
+            // latency, ~16 ns per 8-byte word (~500 MB/s effective),
+            // a few-cache-line envelope per message, sparks packing
+            // to a handful of words.
+            inter_latency: 200_000,
+            inter_per_word: 16,
+            msg_envelope_words: 16,
+            spark_pack_words: 8,
 
             // Linux-era 2009: ~4 ms quantum, ~5 µs OS context switch.
             os_quantum: 4_000_000,
@@ -208,19 +244,68 @@ impl Costs {
             + self.gc_wakeup_per_cap * caps as u64
     }
 
-    /// Sender-side cost of transmitting `words`.
+    /// Sender-side cost of packing `words` — CPU work, paid on the
+    /// sender's clock whatever link the message then crosses.
     pub fn msg_send_cost(&self, words: u64) -> u64 {
         self.msg_per_word * words
     }
 
-    /// Receiver-side cost of unpacking `words`.
+    /// Receiver-side cost of unpacking `words` — likewise local CPU
+    /// work, link-independent.
     pub fn msg_recv_cost(&self, words: u64) -> u64 {
         (self.msg_per_word * words) / 2
     }
 
-    /// Delivery time of a message sent at `now` with `words` payload.
+    /// One-way latency of a link.
+    pub fn link_latency(&self, link: LinkClass) -> u64 {
+        match link {
+            LinkClass::Intra => self.msg_latency,
+            LinkClass::Inter => self.inter_latency,
+        }
+    }
+
+    /// Time `words` of payload occupy the wire: zero intra-node
+    /// (shared memory — the paper's flat transport), bandwidth-priced
+    /// plus the message envelope inter-node.
+    pub fn link_wire_cost(&self, link: LinkClass, words: u64) -> u64 {
+        match link {
+            LinkClass::Intra => 0,
+            LinkClass::Inter => self.inter_per_word * (words + self.msg_envelope_words),
+        }
+    }
+
+    /// Words a transfer of `payload_words` puts on an inter-node link
+    /// (payload + envelope). Intra-node transfers cross no link.
+    pub fn link_words(&self, link: LinkClass, payload_words: u64) -> u64 {
+        match link {
+            LinkClass::Intra => 0,
+            LinkClass::Inter => payload_words + self.msg_envelope_words,
+        }
+    }
+
+    /// Arrival time over `link` of a message whose sender finished
+    /// packing at `now`: latency plus the wire's bandwidth term.
+    pub fn msg_arrival(&self, link: LinkClass, now: u64, words: u64) -> u64 {
+        now + self.link_latency(link) + self.link_wire_cost(link, words)
+    }
+
+    /// Delivery time over `link` of a message *sent* at `now` with
+    /// `words` payload: packing, then the wire.
+    pub fn msg_delivery_on(&self, link: LinkClass, now: u64, words: u64) -> u64 {
+        self.msg_arrival(link, now + self.msg_send_cost(words), words)
+    }
+
+    /// Delivery time of a message sent at `now` with `words` payload —
+    /// the single-node alias: an intra-node link, exactly the
+    /// pre-topology `now + msg_latency + msg_send_cost(words)`.
     pub fn msg_delivery(&self, now: u64, words: u64) -> u64 {
-        now + self.msg_latency + self.msg_send_cost(words)
+        self.msg_delivery_on(LinkClass::Intra, now, words)
+    }
+
+    /// Packed wire size of a remote steal moving `sparks` spark
+    /// closures.
+    pub fn steal_pack_words(&self, sparks: u64) -> u64 {
+        self.spark_pack_words * sparks
     }
 }
 
@@ -267,5 +352,34 @@ mod tests {
         let c = Costs::default();
         assert_eq!(c.msg_delivery(100, 0), 100 + c.msg_latency);
         assert!(c.msg_recv_cost(1000) < c.msg_send_cost(1000));
+    }
+
+    #[test]
+    fn intra_link_reproduces_flat_pricing_exactly() {
+        let c = Costs::default();
+        for (now, words) in [(0, 0), (100, 0), (5_000, 1), (12_345, 999)] {
+            assert_eq!(
+                c.msg_delivery_on(LinkClass::Intra, now, words),
+                now + c.msg_latency + c.msg_send_cost(words),
+                "single-node alias must match the pre-topology formula"
+            );
+            assert_eq!(c.link_wire_cost(LinkClass::Intra, words), 0);
+            assert_eq!(c.link_words(LinkClass::Intra, words), 0);
+        }
+    }
+
+    #[test]
+    fn inter_link_is_slower_and_bandwidth_bound() {
+        let c = Costs::default();
+        assert!(c.link_latency(LinkClass::Inter) > c.link_latency(LinkClass::Intra));
+        // Payload size delays inter-node delivery but not intra-node.
+        let small = c.msg_delivery_on(LinkClass::Inter, 0, 10);
+        let large = c.msg_delivery_on(LinkClass::Inter, 0, 10_000);
+        assert!(large - small > c.msg_send_cost(10_000) - c.msg_send_cost(10));
+        // The envelope makes one batched transfer cheaper on the wire
+        // than the same payload split into k messages.
+        let batched = c.link_words(LinkClass::Inter, c.steal_pack_words(8));
+        let singles = 8 * c.link_words(LinkClass::Inter, c.steal_pack_words(1));
+        assert!(batched < singles);
     }
 }

@@ -30,11 +30,15 @@ pub mod cores;
 pub mod costs;
 pub mod events;
 pub mod rng;
+pub mod sweep;
+pub mod topology;
 
 pub use cores::CoreSet;
 pub use costs::Costs;
 pub use events::EventQueue;
 pub use rng::DetRng;
+pub use sweep::SweepRng;
+pub use topology::{LinkClass, Topology};
 
 /// Virtual time in work units (≈ nanoseconds).
 pub type Time = u64;

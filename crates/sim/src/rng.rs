@@ -30,9 +30,7 @@ impl DetRng {
     /// Uniform value in `0..n`. `n` must be positive.
     pub fn gen_range(&mut self, n: u64) -> u64 {
         assert!(n > 0, "gen_range(0)");
-        // Rejection-free multiply-shift (Lemire); bias negligible for
-        // scheduling purposes at n << 2^64.
-        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        crate::sweep::bounded(self.next_u64(), n)
     }
 
     /// A uniformly random index in `0..n` different from `exclude`
@@ -55,13 +53,17 @@ impl DetRng {
 
     /// In-place Fisher–Yates shuffle. Used to build per-sweep victim
     /// permutations so a steal sweep probes every other capability
-    /// exactly once, in seeded-random order (cf. `crates/native`'s
-    /// `VictimPicker`).
+    /// exactly once, in seeded-random order — the shared contract of
+    /// [`crate::sweep`], which `crates/native`'s `VictimPicker` also
+    /// implements.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        for i in (1..xs.len()).rev() {
-            let j = self.gen_range(i as u64 + 1) as usize;
-            xs.swap(i, j);
-        }
+        crate::sweep::shuffle(self, xs);
+    }
+}
+
+impl crate::sweep::SweepRng for DetRng {
+    fn next_u64(&mut self) -> u64 {
+        DetRng::next_u64(self)
     }
 }
 

@@ -1,0 +1,87 @@
+//! The shared seeded sweep-permutation contract.
+//!
+//! Both schedulers that steal — the GpH simulator (`crates/gph`, via
+//! [`crate::DetRng`]) and the native pool (`crates/native`'s
+//! `VictimPicker`, via an xorshift64* stream) — build their victim
+//! sweeps the same way: a Fisher–Yates shuffle whose bounded draws use
+//! Lemire's multiply-shift reduction. Until PR 9 each crate carried
+//! its own copy of that loop; this module is the single
+//! implementation, generic over the raw 64-bit stream, so the
+//! *contract* is shared even though the generators (and therefore the
+//! concrete permutations) differ:
+//!
+//! * a sweep visits every victim **exactly once** (it is a
+//!   permutation — never a multiset of independent draws, which could
+//!   revisit one victim and starve another);
+//! * the permutation is a pure function of the generator state, so
+//!   same seed ⇒ same sweep, replayable;
+//! * the draw sequence is exactly `len-1, len-2, …, 2`-bounded values,
+//!   one per swap — the property the bit-identical-trace regression
+//!   tests pin.
+//!
+//! The cross-check test for the two concrete generators lives in
+//! `crates/native/src/victim.rs`, next to the second implementor.
+
+/// A raw 64-bit pseudo-random stream. The only thing a sweep needs.
+pub trait SweepRng {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Lemire's rejection-free multiply-shift reduction of a raw draw to
+/// `0..n`. Bias is negligible for scheduling purposes at n ≪ 2⁶⁴.
+#[inline]
+pub fn bounded(raw: u64, n: u64) -> u64 {
+    debug_assert!(n > 0, "bounded(_, 0)");
+    ((raw as u128 * n as u128) >> 64) as u64
+}
+
+/// In-place Fisher–Yates shuffle drawing from `rng`. Consumes exactly
+/// `xs.len().saturating_sub(1)` draws (zero for empty or singleton
+/// slices — shuffling an empty remote segment of a hierarchical sweep
+/// leaves the generator untouched).
+pub fn shuffle<T>(rng: &mut impl SweepRng, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = bounded(rng.next_u64(), i as u64 + 1) as usize;
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u64, u64);
+    impl SweepRng for Counting {
+        fn next_u64(&mut self) -> u64 {
+            self.1 += 1;
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_with_exact_draw_count() {
+        let mut rng = Counting(42, 0);
+        let mut xs: Vec<usize> = (0..9).collect();
+        shuffle(&mut rng, &mut xs);
+        assert_eq!(rng.1, 8, "len-1 draws");
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_draw_nothing() {
+        let mut rng = Counting(7, 0);
+        shuffle::<u32>(&mut rng, &mut []);
+        shuffle(&mut rng, &mut [1u32]);
+        assert_eq!(rng.1, 0);
+    }
+
+    #[test]
+    fn bounded_stays_in_range() {
+        for raw in [0, 1, u64::MAX / 2, u64::MAX] {
+            assert!(bounded(raw, 7) < 7);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Machine topology: a cluster of multicore nodes.
+//!
+//! The paper runs everything on one shared-memory machine, where PVM's
+//! message transport is a memcpy and every steal is a cache-line
+//! transfer — one flat cost per operation. *A Model for Communication
+//! in Clusters of Multi-core Machines* (PAPERS.md) extends that to the
+//! machines the runtimes actually meet today: several multicore nodes,
+//! with two distinct link classes. Intra-node links stay the paper's
+//! shared-memory transport (latency-only, effectively infinite
+//! bandwidth). Inter-node links add network latency *and* finite
+//! bandwidth: a per-word wire cost plus a per-message envelope.
+//!
+//! [`Topology`] describes the shape — `nodes` nodes of
+//! `cores_per_node` capabilities/PEs each, unit `i` living on node
+//! `i / cores_per_node` — and classifies any pair of units into a
+//! [`LinkClass`]. The flat single-machine model is exactly
+//! [`Topology::single_node`]: every pair is [`LinkClass::Intra`], all
+//! costs collapse to the original constants, and runs are
+//! bit-identical to the pre-topology simulator (the regression tests
+//! in `rph-gph` and `rph-eden` pin this).
+
+/// Which class of link a message or steal crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkClass {
+    /// Same node: shared-memory transport (the paper's PVM-over-
+    /// shared-memory). Latency-only; no bandwidth term.
+    Intra,
+    /// Different nodes: a network link with higher latency and finite
+    /// bandwidth (per-word wire cost + per-message envelope).
+    Inter,
+}
+
+/// A cluster of `nodes` multicore nodes, `cores_per_node` scheduling
+/// units (GpH capabilities or Eden PEs) each. Unit `i` lives on node
+/// `i / cores_per_node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    nodes: usize,
+    cores_per_node: usize,
+}
+
+impl Topology {
+    /// The flat model: one shared-memory node holding all `cores`
+    /// units. Every link is [`LinkClass::Intra`]; behaviour is
+    /// bit-identical to the pre-topology simulators.
+    pub fn single_node(cores: usize) -> Self {
+        Self::cluster(1, cores)
+    }
+
+    /// `nodes` nodes of `cores_per_node` units each.
+    pub fn cluster(nodes: usize, cores_per_node: usize) -> Self {
+        assert!(nodes >= 1, "topology needs at least one node");
+        assert!(
+            cores_per_node >= 1,
+            "topology needs at least one core per node"
+        );
+        Topology {
+            nodes,
+            cores_per_node,
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Total scheduling units across the cluster.
+    pub fn total(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Which node unit `i` lives on.
+    pub fn node_of(&self, i: usize) -> usize {
+        i / self.cores_per_node
+    }
+
+    /// Whether units `a` and `b` share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The link class between units `a` and `b`.
+    pub fn link(&self, a: usize, b: usize) -> LinkClass {
+        if self.same_node(a, b) {
+            LinkClass::Intra
+        } else {
+            LinkClass::Inter
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_all_intra() {
+        let t = Topology::single_node(8);
+        assert_eq!((t.nodes(), t.cores_per_node(), t.total()), (1, 8, 8));
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(t.link(a, b), LinkClass::Intra);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_partitions_contiguously() {
+        let t = Topology::cluster(2, 4);
+        assert_eq!(t.total(), 8);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(7), 1);
+        assert_eq!(t.link(0, 3), LinkClass::Intra);
+        assert_eq!(t.link(3, 4), LinkClass::Inter);
+        assert_eq!(t.link(7, 0), LinkClass::Inter);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Topology::cluster(0, 4);
+    }
+}

@@ -111,8 +111,19 @@ pub enum EventKind {
     /// A spark from this capability's own pool was converted to work.
     SparkRunLocal,
     /// A spark was stolen from `victim`'s pool (work-pulling). Recorded
-    /// on the *thief's* row.
+    /// on the *thief's* row. Under a cluster topology this is the
+    /// intra-node (same shared-memory node) case; cross-node steals
+    /// emit [`EventKind::SparkStolenRemote`] instead.
     SparkStolen { victim: CapId },
+    /// A batched spark steal crossed an inter-node link: the thief took
+    /// one spark to run plus `moved` extras into its own pool, putting
+    /// `words` (payload + envelope) on the wire. Recorded on the
+    /// *thief's* row.
+    SparkStolenRemote {
+        victim: CapId,
+        moved: u64,
+        words: u64,
+    },
     /// A spark was pushed to the idle capability `to` (work-pushing).
     /// Recorded on the *donor's* row: the recipient may be behind in
     /// virtual time and only discovers the spark at its next poll.
@@ -179,7 +190,13 @@ pub enum EventKind {
     RunEnd,
     /// A native steal from `victim` succeeded, batch-transferring
     /// `moved` extra deque elements beyond the one the thief runs.
+    /// Under a sharded pool this is the intra-shard case; cross-shard
+    /// steals emit [`EventKind::NativeStealRemote`].
     NativeSteal { victim: CapId, moved: u64 },
+    /// A native steal crossed a shard boundary (hierarchical victim
+    /// selection probed every local victim first): batch-transferred
+    /// `moved` extras beyond the one the thief runs.
+    NativeStealRemote { victim: CapId, moved: u64 },
     /// A native steal attempt lost a CAS race against `victim`.
     NativeStealRetry { victim: CapId },
     /// A native steal attempt found `victim`'s deque empty.

@@ -10,7 +10,14 @@ use std::fmt;
 pub struct Counters {
     pub sparks_created: u64,
     pub sparks_run_local: u64,
+    /// All successful spark steals, intra-node and cross-node alike.
     pub sparks_stolen: u64,
+    /// The subset of `sparks_stolen` that crossed an inter-node link
+    /// (`SparkStolenRemote` events; batched).
+    pub sparks_stolen_remote: u64,
+    /// Words put on inter-node links by remote spark steals
+    /// (payload + envelope).
+    pub remote_steal_words: u64,
     pub sparks_pushed: u64,
     pub sparks_fizzled: u64,
     pub sparks_overflowed: u64,
@@ -34,8 +41,11 @@ pub struct Counters {
     // Native (wall-clock) executor events. These mirror the
     // `NativeStats` counters the executor maintains itself; the
     // reconciliation tests assert the two bookkeepings agree exactly.
-    /// Successful native steal operations (`NativeSteal` events).
+    /// Successful native steal operations (`NativeSteal` and
+    /// `NativeStealRemote` events).
     pub native_steals: u64,
+    /// The subset of `native_steals` that crossed a shard boundary.
+    pub native_remote_steals: u64,
     /// Extra deque elements batch-transferred by native steals.
     pub native_batch_moved: u64,
     /// Native steal attempts that lost a CAS race.
@@ -92,6 +102,11 @@ impl Counters {
                 EventKind::SparkCreated => c.sparks_created += 1,
                 EventKind::SparkRunLocal => c.sparks_run_local += 1,
                 EventKind::SparkStolen { .. } => c.sparks_stolen += 1,
+                EventKind::SparkStolenRemote { words, .. } => {
+                    c.sparks_stolen += 1;
+                    c.sparks_stolen_remote += 1;
+                    c.remote_steal_words += *words;
+                }
                 EventKind::SparkPushed { .. } => c.sparks_pushed += 1,
                 EventKind::SparkFizzled => c.sparks_fizzled += 1,
                 EventKind::SparkOverflow => c.sparks_overflowed += 1,
@@ -132,6 +147,11 @@ impl Counters {
                 EventKind::RunStart { .. } => c.native_runs += 1,
                 EventKind::NativeSteal { moved, .. } => {
                     c.native_steals += 1;
+                    c.native_batch_moved += *moved;
+                }
+                EventKind::NativeStealRemote { moved, .. } => {
+                    c.native_steals += 1;
+                    c.native_remote_steals += 1;
                     c.native_batch_moved += *moved;
                 }
                 EventKind::NativeStealRetry { .. } => c.native_steal_retries += 1,
