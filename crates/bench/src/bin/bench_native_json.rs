@@ -1,24 +1,33 @@
-//! Machine-readable native wall-clock baseline: the four workloads on
-//! real threads at 1/2/4/8 workers — on **both** native backends
-//! (Chase–Lev work stealing and Eden-style message passing) — plus a
-//! single-threaded kernel section (tiled vs untiled mat-mul, blocked
-//! vs plain Floyd–Warshall) and a **SIMD section** (each dispatched
-//! kernel vs its scalar oracle on the same algorithm) — emitted as
-//! `BENCH_native.json` under `target/paper-figures/` so perf
-//! regressions diff as JSON instead of eyeballed tables.
+//! Machine-readable native wall-clock baseline: the registry's five
+//! workloads on real threads at 1/2/4/8 workers — on **both** native
+//! backends (Chase–Lev work stealing and Eden-style message passing) —
+//! plus a single-threaded kernel section (tiled vs untiled mat-mul,
+//! blocked vs plain Floyd–Warshall) and a **SIMD section** (each
+//! dispatched kernel vs its scalar oracle on the same algorithm) —
+//! emitted as `BENCH_native.json` under `target/paper-figures/` so
+//! perf regressions diff as JSON instead of eyeballed tables.
 //!
 //! ```text
 //! cargo run -p rph-bench --release --bin bench_native_json [--quick]
 //! ```
 //!
-//! Schema (`rph-bench-native/v4`): see `EXPERIMENTS.md` §"Native
-//! wall-clock baseline". v4 adds `steal_local` / `steal_remote` /
-//! `remote_words` to the steal-backend workload rows (the sharded
-//! pool's hierarchy counters — all-local/zero on this flat sweep) and
-//! an `oversub` section sweeping the native Eden backend at 1×–16×
-//! the host's core count with the §V oversubscription gate (the 4×
-//! point must stay within 1.05× of the 1× wall clock, best-of-reps)
-//! asserted before the artifact is written. v3 added top-level `cpu_features` (runtime
+//! Schema (`rph-bench-native/v5`): see `EXPERIMENTS.md` §"Native
+//! wall-clock baseline". v5 sources the workload sweep from
+//! `rph_workloads::registry()` (no hard-coded workload table — the
+//! `workloads` / `native_eden` arrays gained `episim` rows, and the
+//! four legacy workload names are asserted to still be present before
+//! the artifact is written) and adds a dedicated `episim` section: the
+//! data-partitioned iterated workload measured on the flat steal pool,
+//! the sharded steal pool (where the hierarchy counters go live) and
+//! the native Eden exchange skeleton, with its S/E/I/R tally asserted
+//! against the oracle population. v4 added `steal_local` /
+//! `steal_remote` / `remote_words` to the steal-backend workload rows
+//! (the sharded pool's hierarchy counters — all-local/zero on this
+//! flat sweep) and an `oversub` section sweeping the native Eden
+//! backend at 1×–16× the host's core count with the §V
+//! oversubscription gate (the 4× point must stay within 1.05× of the
+//! 1× wall clock, best-of-reps) asserted before the artifact is
+//! written. v3 added top-level `cpu_features` (runtime
 //! feature detection) and `kernel_variant` (the tier SIMD dispatch
 //! resolved: `scalar` / `avx2` / `avx512`), a `simd` section with
 //! per-kernel scalar-vs-vector ratios, and min/median/max kernel
@@ -45,9 +54,10 @@
 //! hosts a miss is reported as a warning and `gates_enforced` is
 //! `false` in the artifact.
 
-use rph_bench::{oracles, quick, write_artifact};
+use rph_bench::{bench_scale, oracles, quick, sweep_registry, write_artifact, SweepPoint};
 use rph_native::{BackendKind, NativeConfig, NativeStats};
-use rph_workloads::{kernels, simd, Apsp, MatMul, NQueens, NativeWorkload, SumEuler};
+use rph_workloads::registry::episim as episim_workload;
+use rph_workloads::{kernels, simd, Apsp, NQueens, NativeWorkload, Scale};
 use std::time::Instant;
 
 /// Worker counts swept (the host caps real parallelism, not the sweep).
@@ -87,7 +97,7 @@ fn median_run<T>(mut samples: Vec<(u128, T)>) -> (u128, T) {
 }
 
 struct Point {
-    workload: &'static str,
+    workload: String,
     params: String,
     workers: usize,
     median_ns: u128,
@@ -95,26 +105,24 @@ struct Point {
     stats: NativeStats,
 }
 
-fn sweep(w: &dyn NativeWorkload, params: &str, backend: BackendKind) -> Vec<Point> {
+/// Reduce the shared sweep's raw reps to this binary's statistic:
+/// median wall time per point (counters from the same rep) and the
+/// speedup over the same workload's one-worker median.
+fn to_points(sweep: Vec<SweepPoint>) -> Vec<Point> {
     let mut points: Vec<Point> = Vec::new();
     let mut base_ns = 0u128;
-    for workers in WORKERS {
-        let cfg = NativeConfig::new(workers).with_backend(backend);
-        let samples: Vec<(u128, NativeStats)> = (0..reps())
-            .map(|_| {
-                let ctx = format!("{workers} workers, {backend:?}");
-                let m = oracles::checked_run(w, &cfg, &ctx);
-                (m.wall.as_nanos(), m.stats)
-            })
-            .collect();
-        let (median_ns, stats) = median_run(samples);
-        if workers == 1 {
+    for sp in sweep {
+        let (median_ns, stats) = {
+            let m = sp.median();
+            (m.wall.as_nanos(), m.stats.clone())
+        };
+        if sp.workers == WORKERS[0] {
             base_ns = median_ns;
         }
         points.push(Point {
-            workload: w.name(),
-            params: params.to_string(),
-            workers,
+            workload: sp.workload,
+            params: sp.params,
+            workers: sp.workers,
             median_ns,
             speedup: base_ns as f64 / median_ns as f64,
             stats,
@@ -196,6 +204,96 @@ fn oversub_section(w: &dyn NativeWorkload, host_cores: usize) -> Vec<OversubPoin
          (limit {OVERSUB_SLOP}) — blocked PEs must stay cheap"
     );
     points
+}
+
+/// One measured configuration of the episim section.
+struct EpisimPoint {
+    backend: &'static str,
+    topology: String,
+    workers: usize,
+    median_ns: u128,
+    stats: NativeStats,
+}
+
+/// The v5 `episim` section: checksum, oracle S/E/I/R tally, and the
+/// three configurations worth recording for the data-partitioned
+/// iterated workload.
+struct EpisimSection {
+    params: String,
+    checksum: i64,
+    tally: [u64; 4],
+    points: Vec<EpisimPoint>,
+}
+
+/// Number of shards for the sharded-steal episim point (two NUMA-ish
+/// nodes — the smallest topology where the hierarchy counters are
+/// live).
+const EPISIM_SHARDS: usize = 2;
+
+/// Measure episim in the three configurations the v5 schema records:
+/// flat steal pool, sharded steal pool (`steal_local` /
+/// `steal_remote` / `remote_words` go live), and the native Eden
+/// exchange skeleton — whose run also returns the S/E/I/R tally,
+/// asserted against the oracle population every rep.
+fn episim_section(scale: Scale) -> EpisimSection {
+    let w = episim_workload(scale);
+    let expected = NativeWorkload::expected_value(&w);
+    let tally = w.expected_tally();
+    let workers = *WORKERS.last().expect("sweep is non-empty");
+    let mut points = Vec::new();
+
+    let steal_cfgs = [
+        ("flat".to_string(), NativeConfig::new(workers)),
+        (
+            format!("{EPISIM_SHARDS}x{}", workers / EPISIM_SHARDS),
+            NativeConfig::new(workers).with_topology(EPISIM_SHARDS, workers / EPISIM_SHARDS),
+        ),
+    ];
+    for (topology, cfg) in steal_cfgs {
+        let ctx = format!("episim steal, topology {topology}");
+        let samples: Vec<(u128, NativeStats)> = (0..reps())
+            .map(|_| {
+                let m = oracles::checked_run(&w, &cfg, &ctx);
+                (m.wall.as_nanos(), m.stats)
+            })
+            .collect();
+        let (median_ns, stats) = median_run(samples);
+        points.push(EpisimPoint {
+            backend: "steal",
+            topology,
+            workers,
+            median_ns,
+            stats,
+        });
+    }
+
+    let cfg = NativeConfig::new(workers).with_backend(BackendKind::Eden);
+    let samples: Vec<(u128, NativeStats)> = (0..reps())
+        .map(|_| {
+            let (m, t) = w.run_eden_native(&cfg).expect("episim eden run failed");
+            oracles::assert_value("episim", "eden exchange", m.value, expected);
+            assert_eq!(
+                t, tally,
+                "episim: eden tally diverged from the oracle population"
+            );
+            (m.wall.as_nanos(), m.stats)
+        })
+        .collect();
+    let (median_ns, stats) = median_run(samples);
+    points.push(EpisimPoint {
+        backend: "eden",
+        topology: "flat".to_string(),
+        workers,
+        median_ns,
+        stats,
+    });
+
+    EpisimSection {
+        params: w.default_params(),
+        checksum: expected,
+        tally,
+        points,
+    }
 }
 
 /// min/median/max of one kernel's timed reps — v3 reports all three
@@ -424,11 +522,13 @@ fn kernel_row(k: &KernelPoint, side_names: (&str, &str), last: bool) -> String {
     )
 }
 
+#[allow(clippy::too_many_arguments)] // one positional arg per schema section
 fn render_json(
     host_cores: usize,
     steal: &[Point],
     eden: &[Point],
     oversub: &[OversubPoint],
+    epi: &EpisimSection,
     kernels: &[KernelPoint],
     simd_points: &[KernelPoint],
     gates_enforced: bool,
@@ -442,7 +542,7 @@ fn render_json(
 
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"rph-bench-native/v4\",\n");
+    j.push_str("  \"schema\": \"rph-bench-native/v5\",\n");
     j.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     j.push_str(&format!("  \"cpu_features\": [{features}],\n"));
     j.push_str(&format!("  \"kernel_variant\": \"{variant}\",\n"));
@@ -455,7 +555,7 @@ fn render_json(
              \"median_ns\": {}, \"speedup\": {:.4}, \"steals\": {}, \"steal_local\": {}, \
              \"steal_remote\": {}, \"remote_words\": {}, \"parks\": {}, \
              \"steal_probes\": {}, \"tasks_run\": {}, \"value_ok\": true}}{}\n",
-            esc(p.workload),
+            esc(&p.workload),
             esc(&p.params),
             p.workers,
             p.median_ns,
@@ -473,14 +573,14 @@ fn render_json(
     j.push_str("  ],\n");
     j.push_str("  \"native_eden\": [\n");
     for (idx, p) in eden.iter().enumerate() {
-        let vs_steal = steal_median(steal, p.workload, p.workers) as f64 / p.median_ns as f64;
+        let vs_steal = steal_median(steal, &p.workload, p.workers) as f64 / p.median_ns as f64;
         j.push_str(&format!(
             "    {{\"workload\": \"{}\", \"params\": \"{}\", \"workers\": {}, \
              \"median_ns\": {}, \"speedup\": {:.4}, \"vs_steal\": {:.4}, \
              \"msgs_sent\": {}, \"msgs_recv\": {}, \"words_sent\": {}, \
              \"send_blocks\": {}, \"recv_blocks\": {}, \"tasks_run\": {}, \
              \"value_ok\": true}}{}\n",
-            esc(p.workload),
+            esc(&p.workload),
             esc(&p.params),
             p.workers,
             p.median_ns,
@@ -514,6 +614,37 @@ fn render_json(
             p.stats.send_blocks,
             p.stats.recv_blocks,
             if idx + 1 == oversub.len() { "" } else { "," }
+        ));
+    }
+    j.push_str("    ]\n  },\n");
+    j.push_str("  \"episim\": {\n");
+    j.push_str(&format!(
+        "    \"params\": \"{}\", \"checksum\": {}, \"value_ok\": true,\n",
+        esc(&epi.params),
+        epi.checksum
+    ));
+    j.push_str(&format!(
+        "    \"tally\": {{\"s\": {}, \"e\": {}, \"i\": {}, \"r\": {}}},\n",
+        epi.tally[0], epi.tally[1], epi.tally[2], epi.tally[3]
+    ));
+    j.push_str("    \"points\": [\n");
+    for (idx, p) in epi.points.iter().enumerate() {
+        j.push_str(&format!(
+            "      {{\"backend\": \"{}\", \"topology\": \"{}\", \"workers\": {}, \
+             \"median_ns\": {}, \"steal_local\": {}, \"steal_remote\": {}, \
+             \"remote_words\": {}, \"msgs_sent\": {}, \"words_sent\": {}, \
+             \"tasks_run\": {}}}{}\n",
+            p.backend,
+            esc(&p.topology),
+            p.workers,
+            p.median_ns,
+            p.stats.steal_local,
+            p.stats.steal_remote,
+            p.stats.remote_words,
+            p.stats.msgs_sent,
+            p.stats.words_sent,
+            p.stats.tasks_run,
+            if idx + 1 == epi.points.len() { "" } else { "," }
         ));
     }
     j.push_str("    ]\n  },\n");
@@ -606,28 +737,16 @@ fn main() {
         );
     }
 
-    let n = if quick() { 1_500 } else { 6_000 };
-    let se = SumEuler::new(n);
-    let (mn, grid) = if quick() { (240, 6) } else { (480, 8) };
-    let mm = MatMul::new(mn, grid);
-    let an = if quick() { 96 } else { 256 };
-    let ap = Apsp::new(an);
-    let (qn, depth) = if quick() { (11, 3) } else { (13, 4) };
-    let nq = NQueens::new(qn).with_spawn_depth(depth);
-
-    let table: [(&dyn NativeWorkload, String); 4] = [
-        (&se, format!("n={n}")),
-        (&mm, format!("n={mn} grid={grid}")),
-        (&ap, format!("n={an}")),
-        (&nq, format!("n={qn} depth={depth}")),
-    ];
-
-    let mut steal_points = Vec::new();
-    let mut eden_points = Vec::new();
-    for (w, params) in &table {
-        steal_points.extend(sweep(*w, params, BackendKind::Steal));
-        eden_points.extend(sweep(*w, params, BackendKind::Eden));
-    }
+    // The workload list comes from the registry — the bench carries no
+    // table of its own, so a new registry entry shows up here (and in
+    // the JSON) without touching this binary.
+    let scale = bench_scale();
+    let steal_points = to_points(sweep_registry(scale, &WORKERS, reps(), |k| {
+        NativeConfig::new(k).with_backend(BackendKind::Steal)
+    }));
+    let eden_points = to_points(sweep_registry(scale, &WORKERS, reps(), |k| {
+        NativeConfig::new(k).with_backend(BackendKind::Eden)
+    }));
 
     for p in &steal_points {
         println!(
@@ -651,7 +770,7 @@ fn main() {
             p.workers,
             p.median_ns as f64 / 1e6,
             p.speedup,
-            steal_median(&steal_points, p.workload, p.workers) as f64 / p.median_ns as f64,
+            steal_median(&steal_points, &p.workload, p.workers) as f64 / p.median_ns as f64,
             p.stats.msgs_sent,
             p.stats.words_sent,
             p.stats.send_blocks,
@@ -664,8 +783,9 @@ fn main() {
     let oversub_points = oversub_section(&nq_oversub, host_cores);
     for p in &oversub_points {
         println!(
-            "sum_euler oversub pes={} ({}x) [eden] median={:.2}ms vs_1x={:.2} \
+            "{} oversub pes={} ({}x) [eden] median={:.2}ms vs_1x={:.2} \
              msgs={} blocks={}/{}",
+            nq_oversub.name(),
             p.pes,
             p.mult,
             p.median_ns as f64 / 1e6,
@@ -673,6 +793,28 @@ fn main() {
             p.stats.msgs_sent,
             p.stats.send_blocks,
             p.stats.recv_blocks
+        );
+    }
+
+    println!();
+    let epi = episim_section(scale);
+    println!(
+        "episim {} checksum={} tally s/e/i/r = {}/{}/{}/{}",
+        epi.params, epi.checksum, epi.tally[0], epi.tally[1], epi.tally[2], epi.tally[3]
+    );
+    for p in &epi.points {
+        println!(
+            "episim {:5} topology={:4} workers={} median={:.2}ms \
+             steal r/l={}/{} remote_words={} msgs={} words={}",
+            p.backend,
+            p.topology,
+            p.workers,
+            p.median_ns as f64 / 1e6,
+            p.stats.steal_remote,
+            p.stats.steal_local,
+            p.stats.remote_words,
+            p.stats.msgs_sent,
+            p.stats.words_sent
         );
     }
 
@@ -693,16 +835,24 @@ fn main() {
     }
 
     println!();
-    write_artifact(
-        "BENCH_native.json",
-        &render_json(
-            host_cores,
-            &steal_points,
-            &eden_points,
-            &oversub_points,
-            &kpoints,
-            &spoints,
-            gates_enforced,
-        ),
+    let json = render_json(
+        host_cores,
+        &steal_points,
+        &eden_points,
+        &oversub_points,
+        &epi,
+        &kpoints,
+        &spoints,
+        gates_enforced,
     );
+    // Registry-sourced sweeps must never silently drop the original
+    // four workloads (consumers diff these rows release-to-release),
+    // and the fifth must actually have joined them.
+    for name in ["sum_euler", "matmul", "apsp", "nqueens", "episim"] {
+        assert!(
+            json.contains(&format!("\"workload\": \"{name}\"")),
+            "BENCH_native.json no longer emits workload rows for {name}"
+        );
+    }
+    write_artifact("BENCH_native.json", &json);
 }

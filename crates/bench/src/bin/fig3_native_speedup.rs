@@ -16,7 +16,7 @@
 use rph_bench::*;
 use rph_core::prelude::*;
 use rph_native::{Distribution, NativeConfig};
-use rph_workloads::{Apsp, MatMul, NQueens, NativeWorkload, SumEuler};
+use rph_workloads::{registry, NativeWorkload};
 use std::time::Duration;
 
 /// Worker counts swept (the host caps real parallelism, not the sweep).
@@ -33,25 +33,26 @@ struct Point {
     push: Duration,
 }
 
-fn measure(name: &str, w: &dyn NativeWorkload) -> Vec<Point> {
-    let mut points = Vec::new();
-    for workers in worker_sweep() {
-        let mut best = [Duration::MAX; 2];
-        for (slot, mode) in [Distribution::Steal, Distribution::Push].iter().enumerate() {
-            let cfg = NativeConfig::new(workers).with_distribution(*mode);
-            for _ in 0..REPS {
-                let ctx = format!("{name}, {workers} workers, {mode:?}");
-                let m = oracles::checked_run(w, &cfg, &ctx);
-                best[slot] = best[slot].min(m.wall);
-            }
-        }
-        points.push(Point {
-            workers,
-            steal: best[0],
-            push: best[1],
-        });
-    }
-    points
+/// Both distribution policies over the shared sweep loop; best-of-REPS
+/// per point (this binary's statistic — the speedup curves want the
+/// noise floor, not the typical run).
+fn measure(w: &dyn NativeWorkload) -> Vec<Point> {
+    let sweep_with = |mode: Distribution| {
+        sweep_workload(w, &worker_sweep(), REPS, |workers| {
+            NativeConfig::new(workers).with_distribution(mode)
+        })
+    };
+    let steal = sweep_with(Distribution::Steal);
+    let push = sweep_with(Distribution::Push);
+    steal
+        .iter()
+        .zip(&push)
+        .map(|(s, p)| Point {
+            workers: s.workers,
+            steal: s.best().wall,
+            push: p.best().wall,
+        })
+        .collect()
 }
 
 fn report(name: &str, points: &[Point]) -> String {
@@ -96,25 +97,13 @@ fn main() {
 
     let mut csv = String::new();
 
-    let n = if quick() { 1_500 } else { 6_000 };
-    let se = SumEuler::new(n);
-    let points = measure(&format!("sumEuler [1..{n}] (uncached totients)"), &se);
-    csv.push_str(&report(&format!("sumEuler [1..{n}]"), &points));
-
-    let (mn, grid) = if quick() { (240, 6) } else { (480, 8) };
-    let mm = MatMul::new(mn, grid);
-    let points = measure(&format!("matmul {mn}x{mn}, {grid}x{grid} blocks"), &mm);
-    csv.push_str(&report(&format!("matmul {mn}x{mn}"), &points));
-
-    let an = if quick() { 96 } else { 256 };
-    let ap = Apsp::new(an);
-    let points = measure(&format!("apsp {an} nodes (pivot waves)"), &ap);
-    csv.push_str(&report(&format!("apsp {an} nodes"), &points));
-
-    let (qn, depth) = if quick() { (11, 3) } else { (13, 4) };
-    let nq = NQueens::new(qn).with_spawn_depth(depth);
-    let points = measure(&format!("nqueens {qn} (spawn depth {depth})"), &nq);
-    csv.push_str(&report(&format!("nqueens {qn}"), &points));
+    // Workloads and sizes come from the registry; each entry names
+    // itself, so this binary holds no workload table of its own.
+    for w in registry(bench_scale()) {
+        let name = format!("{} {}", w.name(), w.default_params());
+        let points = measure(w.as_ref());
+        csv.push_str(&report(&name, &points));
+    }
 
     // The adaptive-granularity ablation: fixed-chunk (PR 1 executor)
     // vs lazy-split sumEuler, and pooled vs respawn-per-wave APSP.

@@ -25,7 +25,7 @@ use rph_bench::*;
 use rph_core::prelude::*;
 use rph_native::{BackendKind, NativeConfig};
 use rph_trace::{render_csv, render_timeline, Counters, RenderOptions, State, Timeline};
-use rph_workloads::{Apsp, MatMul, NQueens, NativeWorkload, SumEuler};
+use rph_workloads::{registry, NativeWorkload, Scale};
 use std::time::Duration;
 
 /// Worker counts swept per workload.
@@ -50,8 +50,10 @@ fn ms(d: Duration) -> f64 {
 
 /// Run `w` traced across the worker sweep on `backend`: print the
 /// summary table, render the RENDER_WORKERS timeline, return the
-/// interval CSV.
-fn trace_workload(name: &str, w: &dyn NativeWorkload, backend: BackendKind) -> String {
+/// interval CSV. The workload names itself (`name` + `default_params`).
+fn trace_workload(w: &dyn NativeWorkload, backend: BackendKind) -> String {
+    let name = format!("{} {}", w.name(), w.default_params());
+    let name = name.as_str();
     let cols: &[&str] = match backend {
         BackendKind::Steal => &[
             "workers", "wall ms", "running%", "tasks", "steals", "splits", "parks", "dropped",
@@ -149,10 +151,13 @@ fn trace_workload(name: &str, w: &dyn NativeWorkload, backend: BackendKind) -> S
 
 /// Best-of-N traced vs untraced sumEuler at `RENDER_WORKERS` workers:
 /// the tracing layer must stay under [`OVERHEAD_BUDGET_PCT`].
-fn overhead_report(quick: bool) {
-    let n = if quick { 1_500 } else { 6_000 };
-    let se = SumEuler::new(n);
-    let expected = se.expected();
+fn overhead_report(scale: Scale) {
+    let se = registry(scale)
+        .into_iter()
+        .find(|w| w.name() == "sum_euler")
+        .expect("registry carries sum_euler");
+    let n = se.default_params();
+    let expected = se.expected_value();
     let plain_cfg = NativeConfig::steal(RENDER_WORKERS);
     let traced_cfg = plain_cfg.clone().with_trace();
     let mut plain = Duration::MAX;
@@ -172,7 +177,7 @@ fn overhead_report(quick: bool) {
         "OVER BUDGET"
     };
     println!(
-        "tracing overhead: sumEuler [1..{n}] @ {RENDER_WORKERS} workers, best of {OVERHEAD_REPS}:"
+        "tracing overhead: sum_euler {n} @ {RENDER_WORKERS} workers, best of {OVERHEAD_REPS}:"
     );
     println!(
         "  untraced {:.2} ms, traced {:.2} ms -> {:+.2}% (budget {:.1}%) [{verdict}]",
@@ -184,45 +189,33 @@ fn overhead_report(quick: bool) {
 }
 
 fn main() {
-    let q = quick();
     let eden = eden_only();
+    let scale = bench_scale();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("Native wall-clock traces on this host ({cores} cores)\n");
 
-    let n = if q { 1_500 } else { 6_000 };
-    let se = SumEuler::new(n);
-    let (mn, grid) = if q { (240, 6) } else { (480, 8) };
-    let mm = MatMul::new(mn, grid);
-    let an = if q { 64 } else { 192 };
-    let ap = Apsp::new(an);
-    let (qn, depth) = if q { (10, 3) } else { (12, 4) };
-    let nq = NQueens::new(qn).with_spawn_depth(depth);
-
-    let se_name = format!("sumEuler [1..{n}]");
-    let mm_name = format!("matmul {mn}x{mn}, {grid}x{grid} blocks");
-    let ap_name = format!("apsp {an} nodes (pivot waves)");
-    let nq_name = format!("nqueens n={qn} depth={depth}");
+    // Both backends trace every registry workload — the steal pool's
+    // steal/split/park pictures and the Eden skeletons' message
+    // pictures: par_map (sum_euler, matmul), ring (apsp),
+    // master_worker (nqueens), exchange (episim).
+    let workloads = registry(scale);
 
     let mut csv = String::new();
-
     if !eden {
-        csv.push_str(&trace_workload(&se_name, &se, BackendKind::Steal));
-        csv.push_str(&trace_workload(&mm_name, &mm, BackendKind::Steal));
-        csv.push_str(&trace_workload(&ap_name, &ap, BackendKind::Steal));
+        for w in &workloads {
+            csv.push_str(&trace_workload(w.as_ref(), BackendKind::Steal));
+        }
     }
 
-    // The Eden backend's three skeletons: par_map (sumEuler, matmul),
-    // ring (apsp), master_worker (nqueens).
     let mut eden_csv = String::new();
-    eden_csv.push_str(&trace_workload(&se_name, &se, BackendKind::Eden));
-    eden_csv.push_str(&trace_workload(&mm_name, &mm, BackendKind::Eden));
-    eden_csv.push_str(&trace_workload(&ap_name, &ap, BackendKind::Eden));
-    eden_csv.push_str(&trace_workload(&nq_name, &nq, BackendKind::Eden));
+    for w in &workloads {
+        eden_csv.push_str(&trace_workload(w.as_ref(), BackendKind::Eden));
+    }
 
     if !eden {
-        overhead_report(q);
+        overhead_report(scale);
         csv.push_str(&eden_csv);
         write_artifact("trace_native.csv", &csv);
     } else {

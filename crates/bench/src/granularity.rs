@@ -59,6 +59,21 @@ fn best_of(reps: usize, mut run: impl FnMut() -> Duration) -> Duration {
     (0..reps).map(|_| run()).min().expect("reps >= 1")
 }
 
+/// One ablation point through the shared sweep loop: `w` at the host's
+/// worker count under `cfg`, best-of-[`REPS`] — returns the whole best
+/// rep so callers can read its counters alongside its time.
+fn best_point(w: &dyn NativeWorkload, cfg: &NativeConfig) -> rph_workloads::NativeMeasured {
+    let point = crate::sweep_workload(w, &[cfg.workers], REPS, |_| cfg.clone());
+    point
+        .into_iter()
+        .next()
+        .expect("one worker count, one point")
+        .samples
+        .into_iter()
+        .min_by_key(|m| m.wall)
+        .expect("reps >= 1")
+}
+
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
@@ -86,19 +101,11 @@ pub fn sum_euler_granularity(quick: bool) -> String {
         let tasks = (n + chunk - 1) / chunk;
 
         let fixed_cfg = NativeConfig::steal(workers).with_granularity(Granularity::Fixed);
-        let fixed = best_of(REPS, || {
-            crate::oracles::checked_run(&w, &fixed_cfg, &format!("fixed chunk={chunk}")).wall
-        });
+        let fixed = best_point(&w, &fixed_cfg).wall;
 
         let lazy_cfg = NativeConfig::steal(workers);
-        let mut splits = 0u64;
-        let mut avg_batch = None;
-        let lazy = best_of(REPS, || {
-            let m = crate::oracles::checked_run(&w, &lazy_cfg, &format!("lazy chunk={chunk}"));
-            splits = m.stats.splits;
-            avg_batch = m.stats.mean_batch();
-            m.wall
-        });
+        let best = best_point(&w, &lazy_cfg);
+        let (lazy, splits, avg_batch) = (best.wall, best.stats.splits, best.stats.mean_batch());
 
         table.row(&[
             chunk.to_string(),
@@ -128,9 +135,7 @@ pub fn apsp_pool_reuse(quick: bool) -> String {
         "apsp {n} nodes pool-reuse ablation ({n} waves), {workers} workers, {REPS} reps best-of"
     );
 
-    let pooled = best_of(REPS, || {
-        crate::oracles::checked_run(&w, &cfg, "pooled").wall
-    });
+    let pooled = best_point(&w, &cfg).wall;
     let respawn = best_of(REPS, || {
         // `run_native_respawn` is not part of the `NativeWorkload`
         // surface `checked_run` covers; check its value directly.
@@ -174,12 +179,8 @@ pub fn steal_policy(quick: bool) -> String {
         ("round-robin", StealPolicy::RoundRobin),
     ] {
         let cfg = NativeConfig::steal(workers).with_steal_policy(policy);
-        let mut steals = 0u64;
-        let wall = best_of(REPS, || {
-            let m = crate::oracles::checked_run(&w, &cfg, label);
-            steals = m.stats.tasks_stolen;
-            m.wall
-        });
+        let best = best_point(&w, &cfg);
+        let (wall, steals) = (best.wall, best.stats.tasks_stolen);
         let rel = match base_ms {
             None => {
                 base_ms = Some(ms(wall));

@@ -32,7 +32,8 @@ pub mod granularity;
 pub mod oracles;
 
 use rph_core::prelude::*;
-use rph_workloads::Measured;
+use rph_native::NativeConfig;
+use rph_workloads::{registry, Measured, NativeMeasured, NativeWorkload, Scale};
 use std::path::PathBuf;
 
 /// The per-figure output directory (`target/paper-figures`).
@@ -58,6 +59,100 @@ pub fn quick() -> bool {
 /// native Eden backend sections — the CI smoke step uses this).
 pub fn eden_only() -> bool {
     std::env::args().any(|a| a == "--eden")
+}
+
+/// The registry [`Scale`] selected by the command line: `--quick`
+/// picks the quick tier, otherwise the full paper tier.
+pub fn bench_scale() -> Scale {
+    if quick() {
+        Scale::Quick
+    } else {
+        Scale::Full
+    }
+}
+
+/// One measured point of a native worker sweep: every rep of one
+/// workload at one worker count, each rep checksum-checked against the
+/// plain-Rust oracle before it was kept.
+pub struct SweepPoint {
+    /// [`NativeWorkload::name`] of the swept workload.
+    pub workload: String,
+    /// [`NativeWorkload::default_params`] of the swept workload.
+    pub params: String,
+    /// Worker (or PE) count of this point.
+    pub workers: usize,
+    /// All reps, in run order (unsorted).
+    pub samples: Vec<NativeMeasured>,
+}
+
+impl SweepPoint {
+    /// The median-wall-time rep (upper-middle for even rep counts) —
+    /// counters reported from this rep come from the same run as the
+    /// reported time.
+    pub fn median(&self) -> &NativeMeasured {
+        assert!(!self.samples.is_empty());
+        let mut order: Vec<usize> = (0..self.samples.len()).collect();
+        order.sort_by_key(|&i| self.samples[i].wall);
+        &self.samples[order[order.len() / 2]]
+    }
+
+    /// The fastest rep — the best-of statistic the wall-clock gates
+    /// use (this shared host shows ~1.5× run-to-run noise, and best-of
+    /// is the stable statistic).
+    pub fn best(&self) -> &NativeMeasured {
+        self.samples
+            .iter()
+            .min_by_key(|m| m.wall)
+            .expect("at least one rep")
+    }
+}
+
+/// Sweep one workload across `workers` on the config `make_cfg`
+/// builds, `reps` checksum-checked runs per point. This is the one
+/// rep/sweep loop every native harness shares; the per-binary policy
+/// (median vs best-of, which counters to report, which gates to
+/// enforce) stays in the binary.
+pub fn sweep_workload(
+    w: &dyn NativeWorkload,
+    workers: &[usize],
+    reps: usize,
+    mut make_cfg: impl FnMut(usize) -> NativeConfig,
+) -> Vec<SweepPoint> {
+    workers
+        .iter()
+        .map(|&k| {
+            let cfg = make_cfg(k);
+            let ctx = format!("{k} workers, {:?} backend, {:?}", cfg.backend, cfg.mode);
+            let samples = (0..reps)
+                .map(|_| oracles::checked_run(w, &cfg, &ctx))
+                .collect();
+            SweepPoint {
+                workload: w.name().to_string(),
+                params: w.default_params(),
+                workers: k,
+                samples,
+            }
+        })
+        .collect()
+}
+
+/// [`sweep_workload`] over the whole workload [`registry`] at `scale`,
+/// flattened workload-major (every worker count of workload 0, then
+/// workload 1, …). Replaces the hard-coded
+/// `[(&dyn NativeWorkload, String); 4]` tables the bench binaries used
+/// to carry — adding a workload to the registry now adds it to every
+/// harness.
+pub fn sweep_registry(
+    scale: Scale,
+    workers: &[usize],
+    reps: usize,
+    mut make_cfg: impl FnMut(usize) -> NativeConfig,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for w in registry(scale) {
+        out.extend(sweep_workload(w.as_ref(), workers, reps, &mut make_cfg));
+    }
+    out
 }
 
 /// The paper's machines: the Intel 8-core (Figs. 1, 2, 4) and the AMD

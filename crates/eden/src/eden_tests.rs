@@ -463,3 +463,44 @@ fn cluster_topology_prices_inter_node_messages() {
         flat.1
     );
 }
+
+/// Message transport is FIFO per PE pair (the PVM guarantee). On an
+/// inter-node link the bandwidth term would otherwise let a tiny
+/// stream element — or the end-of-stream marker — overtake a large
+/// element sent just before it, corrupting the stream channel.
+#[test]
+fn inter_node_streams_preserve_send_order() {
+    let f = fix();
+    let mut rt = EdenRuntime::new(
+        f.program.clone(),
+        f.support,
+        EdenConfig::new(2).with_topology(2, 1).without_trace(),
+    );
+    let (chan, stream) = rt.new_channel(0, CommMode::Stream);
+    let heap = rt.heap_mut(1);
+    let big: Vec<NodeRef> = (0..2_000).map(|i| heap.int(i)).collect();
+    let big_list = list_of(heap, &big);
+    let seven = heap.int(7);
+    let small_list = list_of(heap, &[seven]);
+    let elems = list_of(heap, &[big_list, small_list]);
+    rt.send_value_from(1, Endpoint { pe: 0, chan }, elems, CommMode::Stream);
+    // Force the whole stream: sum (map sumList stream).
+    let heap = rt.heap_mut(0);
+    let summer = heap.alloc_value(Value::Pap {
+        sc: f.sum_list,
+        args: Box::new([]),
+    });
+    let mapped = heap.alloc_thunk(f.pre.map, vec![summer, stream]);
+    let entry = heap.alloc_thunk(f.pre.sum, vec![mapped]);
+    let out = rt.run(entry).unwrap();
+    assert_eq!(
+        rt.heap(0).expect_value(out.result).expect_int(),
+        (0..2_000).sum::<i64>() + 7
+    );
+    // The first element must still be the large one.
+    let heap = rt.heap(0);
+    let Value::Cons(first, _) = heap.expect_value(stream) else {
+        panic!("stream did not materialise");
+    };
+    assert_eq!(read_int_list(heap, *first).len(), 2_000);
+}

@@ -71,6 +71,13 @@ pub struct EdenRuntime {
     rng: DetRng,
     next_tid: u64,
     next_chan: u64,
+    /// Last delivery time per ordered PE pair (`from * pes + to`).
+    /// Message transport is FIFO per pair, as PVM guarantees: a later
+    /// message never arrives before an earlier one, even when the
+    /// bandwidth term would let a small message overtake a large one.
+    /// Stream channels (and anything else relying on send order)
+    /// depend on this.
+    link_fifo: Vec<u64>,
 }
 
 impl EdenRuntime {
@@ -98,6 +105,7 @@ impl EdenRuntime {
             rng: DetRng::new(config.seed),
             next_tid: 0,
             next_chan: 0,
+            link_fifo: vec![0; config.pes * config.pes],
             config,
         }
     }
@@ -546,7 +554,12 @@ impl EdenRuntime {
                 tag: msg.tag(),
             },
         );
-        let delivery = self.config.costs.msg_arrival(link, now, words);
+        // Clamp to the pair's last delivery: point-to-point FIFO (the
+        // PVM guarantee). The event queue breaks equal-time ties in
+        // insertion order, so send order is fully preserved.
+        let fifo = &mut self.link_fifo[from * self.config.pes + to];
+        let delivery = self.config.costs.msg_arrival(link, now, words).max(*fifo);
+        *fifo = delivery;
         self.pes[to].inbox.push(delivery, msg);
     }
 

@@ -74,6 +74,18 @@ impl Wordsize for Vec<f64> {
     }
 }
 
+impl Wordsize for Vec<u64> {
+    fn words(&self) -> u64 {
+        2 + self.len() as u64
+    }
+}
+
+impl Wordsize for Vec<i64> {
+    fn words(&self) -> u64 {
+        2 + self.len() as u64
+    }
+}
+
 impl<T: Wordsize> Wordsize for Option<T> {
     fn words(&self) -> u64 {
         match self {

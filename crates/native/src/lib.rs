@@ -90,5 +90,6 @@ pub use executor::{
 };
 pub use pool::Pool;
 pub use skeletons::{
-    master_worker, par_map, ring, try_master_worker, try_par_map, try_ring, RingJob, Skeleton,
+    exchange, master_worker, par_map, par_map_reduce, ring, try_exchange, try_master_worker,
+    try_par_map, try_par_map_reduce, try_ring, ExchangeJob, RingJob, Skeleton,
 };

@@ -505,6 +505,362 @@ pub fn try_ring<R: RingJob>(
     finish_run(cfg, slots, wall, pe_reports, dead_pes, master_report)
 }
 
+/// A fold-as-you-go farm: the reduction view of [`par_map`]. Worker
+/// `w` owns the contiguous task block `block_share(len, workers, w)`,
+/// folds its results locally in ascending task order, and sends the
+/// master **one** partial packet; the master folds the partials in
+/// ascending worker order. Because the blocks are contiguous and both
+/// folds run left-to-right, the overall grouping is a re-association
+/// of the sequential left fold — any *associative* `fold` therefore
+/// reproduces the sequential result bit-for-bit, regardless of worker
+/// count. Panics if a PE dies mid-run; see [`try_par_map_reduce`].
+pub fn par_map_reduce<J, F>(job: &J, cfg: &NativeConfig, fold: F) -> NativeOutcome<J::Out>
+where
+    J: Job,
+    J::Out: Wordsize,
+    F: Fn(J::Out, J::Out) -> J::Out + Sync,
+{
+    try_par_map_reduce(job, cfg, fold).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`par_map_reduce`], reporting a dead PE as [`EdenIncomplete`]
+/// instead of panicking. On success `values` holds exactly one
+/// element — the fold of every task's output (empty for an empty job).
+pub fn try_par_map_reduce<J, F>(
+    job: &J,
+    cfg: &NativeConfig,
+    fold: F,
+) -> Result<NativeOutcome<J::Out>, EdenIncomplete>
+where
+    J: Job,
+    J::Out: Wordsize,
+    F: Fn(J::Out, J::Out) -> J::Out + Sync,
+{
+    let workers = cfg.workers.max(1);
+    let n = job.len();
+    if n == 0 {
+        return Ok(empty_outcome(cfg));
+    }
+    let fold = &fold;
+    let clock = WallClock::start();
+    let master_id = workers as u32;
+    let ec = Arc::new(EventCount::new());
+    let mut txs = Vec::with_capacity(workers);
+    let mut rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = bounded_with_notify(cfg.chan_cap, Some(Arc::clone(&ec)));
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let (partials, pe_reports, dead_pes, master_report) = std::thread::scope(|s| {
+        let handles: Vec<_> = txs
+            .into_iter()
+            .enumerate()
+            .map(|(w, tx)| {
+                s.spawn(move || {
+                    let (lo, hi) = block_share(n as u64, workers, w);
+                    let (lo, hi) = (lo as usize, hi as usize);
+                    let mut ep = Endpoint::new(cfg, clock, w as u32);
+                    ep.tbuf.record(NEventKind::RunStart {
+                        tasks: (hi - lo) as u64,
+                    });
+                    let mut acc: Option<J::Out> = None;
+                    if lo < hi {
+                        ep.tbuf.record(NEventKind::ExecStart);
+                        for idx in lo..hi {
+                            let out = job.run(idx);
+                            acc = Some(match acc {
+                                None => out,
+                                Some(a) => fold(a, out),
+                            });
+                        }
+                        ep.stats.ran += (hi - lo) as u64;
+                        ep.tbuf.record(NEventKind::ExecEnd {
+                            count: (hi - lo) as u32,
+                            stolen: false,
+                        });
+                    }
+                    if let Some(partial) = acc {
+                        ep.send(&tx, master_id, "partial", Packet::new(w as u32, partial));
+                    }
+                    ep.tbuf.record(NEventKind::RunEnd);
+                    ep.finish()
+                })
+            })
+            .collect();
+
+        let mut master = Endpoint::new(cfg, clock, master_id);
+        master.tbuf.record(NEventKind::RunStart { tasks: n as u64 });
+        let mut partials: Vec<Option<J::Out>> = (0..workers).map(|_| None).collect();
+        drain_results(&mut master, &ec, &rxs, |master, w, pkt| {
+            master.note_recv(w as u32, pkt.words, "partial");
+            let prev = partials[pkt.idx as usize].replace(pkt.payload);
+            assert!(prev.is_none(), "worker {} sent two partials", pkt.idx);
+        });
+        master.tbuf.record(NEventKind::RunEnd);
+        let (reports, dead) = try_join_all(handles);
+        (partials, reports, dead, master.finish())
+    });
+    let wall = clock.epoch().elapsed();
+
+    // A worker with a non-empty block that delivered no partial lost
+    // its whole block: report those task indices, like the farms do.
+    let mut missing = Vec::new();
+    for (w, slot) in partials.iter().enumerate() {
+        let (lo, hi) = block_share(n as u64, workers, w);
+        if slot.is_none() && lo < hi {
+            missing.extend(lo..hi);
+        }
+    }
+    if !dead_pes.is_empty() || !missing.is_empty() {
+        return Err(EdenIncomplete { dead_pes, missing });
+    }
+    let total = partials
+        .into_iter()
+        .flatten()
+        .reduce(fold)
+        .expect("non-empty job produced no partials");
+    Ok(crate::eden::assemble(
+        cfg,
+        vec![total],
+        wall,
+        pe_reports,
+        master_report,
+    ))
+}
+
+/// A bulk-synchronous, data-partitioned computation for the
+/// [`exchange`] skeleton — the shape iterated simulations (episim's
+/// visit/return rounds) need and the farms cannot express: every PE
+/// *owns* a partition of the data for the whole run, and at each step
+/// boundary the partitions exchange batches all-to-all.
+///
+/// The skeleton calls [`ExchangeJob::exchange`] `steps()` times per
+/// PE. Step `s` receives the batches emitted by step `s - 1` (one per
+/// peer, empty-`Default` batches at step 0) and returns one outgoing
+/// batch per peer — `out[p]` is delivered to PE `p`'s next step, the
+/// self-addressed `out[part]` locally without touching a channel. The
+/// batches of the final step flow into [`ExchangeJob::finish`], which
+/// folds the partition state into the PE's single result.
+pub trait ExchangeJob: Sync {
+    /// The partition state a PE owns across all steps.
+    type State: Send;
+    /// One batch crossing a partition boundary at a step barrier.
+    type Batch: Send + Default + Wordsize;
+    /// A partition's final result, streamed to the master.
+    type Out: Send + Wordsize;
+
+    /// Number of exchange steps (0 is legal: init → finish directly).
+    fn steps(&self) -> usize;
+
+    /// Partition `part` of `parts`' initial state.
+    fn init(&self, part: usize, parts: usize) -> Self::State;
+
+    /// Run step `step` on the partition: absorb `inbox` (indexed by
+    /// sending PE), update `state`, return the outgoing batch per PE
+    /// (indexed by receiving PE; must have length `parts`).
+    fn exchange(
+        &self,
+        part: usize,
+        parts: usize,
+        step: usize,
+        state: &mut Self::State,
+        inbox: Vec<Self::Batch>,
+    ) -> Vec<Self::Batch>;
+
+    /// Fold the partition into its final result, absorbing the last
+    /// step's batches.
+    fn finish(
+        &self,
+        part: usize,
+        parts: usize,
+        state: Self::State,
+        inbox: Vec<Self::Batch>,
+    ) -> Self::Out;
+}
+
+/// Round-barrier exchange skeleton: `workers` PEs each own one
+/// partition; each step runs locally and then exchanges one batch per
+/// ordered PE pair over dedicated SPSC channels (an empty batch is
+/// still framed and sent, so every step delivers exactly one packet
+/// per edge and termination is deterministic). Returns one value per
+/// partition, in partition order. Panics if a PE dies mid-run; see
+/// [`try_exchange`].
+pub fn exchange<X: ExchangeJob>(job: &X, cfg: &NativeConfig) -> NativeOutcome<X::Out> {
+    try_exchange(job, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`exchange`], reporting dead PEs as [`EdenIncomplete`] instead of
+/// panicking. Like [`try_ring`], a dying PE starves its peers' next
+/// step, so expect a cascade naming several PEs.
+pub fn try_exchange<X: ExchangeJob>(
+    job: &X,
+    cfg: &NativeConfig,
+) -> Result<NativeOutcome<X::Out>, EdenIncomplete> {
+    let workers = cfg.workers.max(1);
+    let steps = job.steps();
+    let clock = WallClock::start();
+    let master_id = workers as u32;
+    let master_ec = Arc::new(EventCount::new());
+    // Each PE parks on its own eventcount, pinged by all its inbound
+    // edges — the PE-side mirror of the master's multiplexed drain.
+    let pe_ecs: Vec<Arc<EventCount>> = (0..workers).map(|_| Arc::new(EventCount::new())).collect();
+
+    // One SPSC channel per ordered PE pair. At most two packets are
+    // ever in flight on an edge (src may run one step ahead of dst,
+    // never two: sending step s+2 requires having received dst's step
+    // s+1, which dst sent only after consuming src's step s), so
+    // capacity 2 makes every send non-blocking.
+    let cap = cfg.chan_cap.max(2);
+    // `edges[src][dst]`, `None` on the diagonal (no self-channel).
+    type EdgeMatrix<T> = Vec<Vec<Option<T>>>;
+    let mut edge_txs: EdgeMatrix<Sender<Packet<X::Batch>>> = (0..workers)
+        .map(|_| (0..workers).map(|_| None).collect())
+        .collect();
+    let mut edge_rxs: EdgeMatrix<Receiver<Packet<X::Batch>>> = (0..workers)
+        .map(|_| (0..workers).map(|_| None).collect())
+        .collect();
+    for src in 0..workers {
+        for dst in 0..workers {
+            if src == dst {
+                continue;
+            }
+            let (tx, rx) = bounded_with_notify(cap, Some(Arc::clone(&pe_ecs[dst])));
+            edge_txs[src][dst] = Some(tx);
+            edge_rxs[dst][src] = Some(rx);
+        }
+    }
+    let mut res_txs = Vec::with_capacity(workers);
+    let mut res_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = bounded_with_notify(cfg.chan_cap, Some(Arc::clone(&master_ec)));
+        res_txs.push(tx);
+        res_rxs.push(rx);
+    }
+
+    let (slots, pe_reports, dead_pes, master_report) = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, res_tx) in res_txs.into_iter().enumerate() {
+            let txs: Vec<Option<Sender<Packet<X::Batch>>>> = std::mem::take(&mut edge_txs[w]);
+            let rxs: Vec<Option<Receiver<Packet<X::Batch>>>> = std::mem::take(&mut edge_rxs[w]);
+            let ec = Arc::clone(&pe_ecs[w]);
+            handles.push(s.spawn(move || {
+                let mut ep = Endpoint::new(cfg, clock, w as u32);
+                ep.tbuf.record(NEventKind::RunStart {
+                    tasks: steps as u64 + 1,
+                });
+                let mut state = job.init(w, workers);
+                let mut inbox: Vec<X::Batch> = (0..workers).map(|_| X::Batch::default()).collect();
+                for step in 0..steps {
+                    ep.tbuf.record(NEventKind::ExecStart);
+                    let out = job.exchange(w, workers, step, &mut state, inbox);
+                    ep.stats.ran += 1;
+                    ep.tbuf.record(NEventKind::ExecEnd {
+                        count: 1,
+                        stolen: false,
+                    });
+                    assert_eq!(
+                        out.len(),
+                        workers,
+                        "exchange step {step} on PE {w}: one outgoing batch per PE required"
+                    );
+                    inbox = (0..workers).map(|_| X::Batch::default()).collect();
+                    for (dst, batch) in out.into_iter().enumerate() {
+                        if dst == w {
+                            inbox[w] = batch;
+                            continue;
+                        }
+                        let tx = txs[dst].as_ref().expect("edge exists for every peer");
+                        let sent =
+                            ep.send(tx, dst as u32, "exchange", Packet::new(step as u32, batch));
+                        assert!(sent, "exchange peer PE {dst} died (channel closed)");
+                    }
+                    recv_step(&mut ep, &ec, &rxs, w, step, &mut inbox);
+                }
+                ep.tbuf.record(NEventKind::ExecStart);
+                let out = job.finish(w, workers, state, inbox);
+                ep.stats.ran += 1;
+                ep.tbuf.record(NEventKind::ExecEnd {
+                    count: 1,
+                    stolen: false,
+                });
+                ep.send(&res_tx, master_id, "result", Packet::new(w as u32, out));
+                ep.tbuf.record(NEventKind::RunEnd);
+                ep.finish()
+            }));
+        }
+
+        let mut master = Endpoint::new(cfg, clock, master_id);
+        master.tbuf.record(NEventKind::RunStart {
+            tasks: workers as u64,
+        });
+        let mut slots: Vec<Option<X::Out>> = (0..workers).map(|_| None).collect();
+        drain_results(&mut master, &master_ec, &res_rxs, |master, w, pkt| {
+            master.note_recv(w as u32, pkt.words, "result");
+            let prev = slots[pkt.idx as usize].replace(pkt.payload);
+            assert!(prev.is_none(), "partition {} returned twice", pkt.idx);
+        });
+        master.tbuf.record(NEventKind::RunEnd);
+        let (reports, dead) = try_join_all(handles);
+        (slots, reports, dead, master.finish())
+    });
+    let wall = clock.epoch().elapsed();
+    finish_run(cfg, slots, wall, pe_reports, dead_pes, master_report)
+}
+
+/// One PE's barrier wait inside [`try_exchange`]: collect exactly one
+/// step-`step` packet from every peer, polling only the edges still
+/// pending (an edge's next packet is always the oldest step it has
+/// not delivered, so a pending edge's head packet *is* this step's)
+/// and parking on the PE's eventcount while nothing is ready.
+fn recv_step<B: Send + Wordsize>(
+    ep: &mut Endpoint,
+    ec: &EventCount,
+    rxs: &[Option<Receiver<Packet<B>>>],
+    me: usize,
+    step: usize,
+    inbox: &mut [B],
+) {
+    let mut pending: Vec<bool> = rxs.iter().map(|rx| rx.is_some()).collect();
+    loop {
+        let mut progress = false;
+        for (src, rx) in rxs.iter().enumerate() {
+            if !pending[src] {
+                continue;
+            }
+            let rx = rx.as_ref().expect("pending edge has a receiver");
+            if let Some(pkt) = rx.try_recv() {
+                assert_eq!(
+                    pkt.idx as usize, step,
+                    "PE {me}: batch from PE {src} arrived out of step order"
+                );
+                ep.note_recv(src as u32, pkt.words, "exchange");
+                inbox[src] = pkt.payload;
+                pending[src] = false;
+                progress = true;
+            } else {
+                assert!(
+                    !rx.is_closed(),
+                    "PE {me}: exchange peer PE {src} died mid-step"
+                );
+            }
+        }
+        if pending.iter().all(|p| !p) {
+            return;
+        }
+        if !progress {
+            ep.stats.recv_blocks += 1;
+            ep.tbuf.record(NEventKind::BlockRecvAny);
+            ec.park_if(|| {
+                !rxs.iter()
+                    .zip(&pending)
+                    .any(|(rx, p)| *p && rx.as_ref().is_some_and(|rx| rx.poll_ready()))
+            });
+            ep.tbuf.record(NEventKind::Unblock);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +1018,225 @@ mod tests {
         assert_eq!(out.values, vec![0]);
         let out = master_worker(&Squares(1), &cfg, 4);
         assert_eq!(out.values, vec![0]);
+    }
+
+    /// Task `i` as a 2×2 matrix; the fold is the wrapping matrix
+    /// product — associative but **not** commutative, so any
+    /// out-of-order or re-grouped-across-gaps folding is caught.
+    struct Mats(usize);
+
+    impl Job for Mats {
+        type Out = Vec<i64>;
+        fn len(&self) -> usize {
+            self.0
+        }
+        fn run(&self, idx: usize) -> Vec<i64> {
+            let i = idx as i64;
+            vec![i + 1, i * i + 3, 2 * i + 1, i + 7]
+        }
+    }
+
+    fn matmul2(a: Vec<i64>, b: Vec<i64>) -> Vec<i64> {
+        vec![
+            a[0].wrapping_mul(b[0])
+                .wrapping_add(a[1].wrapping_mul(b[2])),
+            a[0].wrapping_mul(b[1])
+                .wrapping_add(a[1].wrapping_mul(b[3])),
+            a[2].wrapping_mul(b[0])
+                .wrapping_add(a[3].wrapping_mul(b[2])),
+            a[2].wrapping_mul(b[1])
+                .wrapping_add(a[3].wrapping_mul(b[3])),
+        ]
+    }
+
+    #[test]
+    fn par_map_reduce_matches_sequential_fold_bit_for_bit() {
+        // A non-commutative (but associative) fold: contiguous blocks
+        // + in-order folding must reproduce the sequential left fold
+        // exactly, at every PE count — including more PEs than tasks.
+        let n = 97;
+        let seq = (0..n).map(|i| Mats(n).run(i)).reduce(matmul2).unwrap();
+        for w in [1, 2, 3, 4, 5, 8, 100] {
+            let cfg = NativeConfig::new(w);
+            let out = par_map_reduce(&Mats(n), &cfg, matmul2);
+            assert_eq!(out.values, vec![seq.clone()], "workers={w}");
+            assert_eq!(out.stats.tasks_run, n as u64, "workers={w}");
+            // One partial packet per non-empty block, nothing more.
+            assert!(out.stats.msgs_sent <= w as u64, "workers={w}");
+            assert_eq!(out.stats.msgs_sent, out.stats.msgs_recv, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_empty_job() {
+        let out = par_map_reduce(&Squares(0), &NativeConfig::new(4), |a, b| a + b);
+        assert!(out.values.is_empty());
+        assert_eq!(out.stats.msgs_sent, 0);
+    }
+
+    #[test]
+    fn par_map_reduce_dead_pe_is_typed_error() {
+        struct Exploding;
+        impl Job for Exploding {
+            type Out = i64;
+            fn len(&self) -> usize {
+                8
+            }
+            fn run(&self, idx: usize) -> i64 {
+                assert!(idx != 5, "boom");
+                idx as i64
+            }
+        }
+        let err = try_par_map_reduce(&Exploding, &NativeConfig::new(4), |a, b| a + b)
+            .expect_err("a dead PE must fail the run");
+        assert!(!err.dead_pes.is_empty());
+        assert!(err.missing.contains(&5), "{err:?}");
+    }
+
+    /// Toy BSP computation with genuinely order- and partner-dependent
+    /// batches: at each step every partition sends each peer the sum
+    /// of its current cells times the peer index, then adds what it
+    /// received. Any lost, duplicated or mis-stepped batch changes the
+    /// result.
+    struct ToyExchange {
+        cells: usize,
+        steps: usize,
+    }
+
+    impl ExchangeJob for ToyExchange {
+        type State = Vec<i64>;
+        type Batch = Vec<i64>;
+        type Out = Vec<i64>;
+        fn steps(&self) -> usize {
+            self.steps
+        }
+        fn init(&self, part: usize, parts: usize) -> Vec<i64> {
+            let (lo, hi) = block_share(self.cells as u64, parts, part);
+            (lo as i64..hi as i64).map(|i| i * i + 1).collect()
+        }
+        fn exchange(
+            &self,
+            part: usize,
+            parts: usize,
+            step: usize,
+            state: &mut Vec<i64>,
+            inbox: Vec<Vec<i64>>,
+        ) -> Vec<Vec<i64>> {
+            for (src, batch) in inbox.iter().enumerate() {
+                for (cell, add) in state.iter_mut().zip(batch) {
+                    *cell = cell.wrapping_add(add.wrapping_mul(1 + src as i64));
+                }
+            }
+            let sum: i64 = state.iter().sum();
+            (0..parts)
+                .map(|dst| {
+                    if dst == part {
+                        Vec::new()
+                    } else {
+                        vec![sum.wrapping_mul((dst + step) as i64); 2]
+                    }
+                })
+                .collect()
+        }
+        fn finish(
+            &self,
+            _part: usize,
+            _parts: usize,
+            mut state: Vec<i64>,
+            inbox: Vec<Vec<i64>>,
+        ) -> Vec<i64> {
+            for (src, batch) in inbox.iter().enumerate() {
+                for (cell, add) in state.iter_mut().zip(batch) {
+                    *cell = cell.wrapping_add(add.wrapping_mul(1 + src as i64));
+                }
+            }
+            state
+        }
+    }
+
+    /// Single-threaded oracle: run every partition's steps in lockstep.
+    fn exchange_oracle(job: &ToyExchange, parts: usize) -> Vec<i64> {
+        let mut states: Vec<Vec<i64>> = (0..parts).map(|p| job.init(p, parts)).collect();
+        let mut inboxes: Vec<Vec<Vec<i64>>> = (0..parts).map(|_| vec![Vec::new(); parts]).collect();
+        for step in 0..job.steps() {
+            let mut next: Vec<Vec<Vec<i64>>> =
+                (0..parts).map(|_| vec![Vec::new(); parts]).collect();
+            for p in 0..parts {
+                let out = job.exchange(
+                    p,
+                    parts,
+                    step,
+                    &mut states[p],
+                    std::mem::take(&mut inboxes[p]),
+                );
+                for (dst, batch) in out.into_iter().enumerate() {
+                    next[dst][p] = batch;
+                }
+            }
+            inboxes = next;
+        }
+        (0..parts)
+            .flat_map(|p| {
+                job.finish(
+                    p,
+                    parts,
+                    std::mem::take(&mut states[p]),
+                    std::mem::take(&mut inboxes[p]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exchange_matches_lockstep_oracle_at_all_pe_counts() {
+        for w in PES {
+            let job = ToyExchange {
+                cells: 23,
+                steps: 5,
+            };
+            let want = exchange_oracle(&job, w);
+            let out = exchange(&job, &NativeConfig::new(w));
+            let got: Vec<i64> = out.values.into_iter().flatten().collect();
+            assert_eq!(got, want, "workers={w}");
+            // One packet per ordered pair per step, plus one result
+            // packet per PE; all conserved.
+            let edges = (w * (w - 1)) as u64;
+            assert_eq!(out.stats.msgs_sent, 5 * edges + w as u64, "workers={w}");
+            assert_eq!(out.stats.msgs_sent, out.stats.msgs_recv, "workers={w}");
+            assert_eq!(out.stats.tasks_run, (5 + 1) * w as u64, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn exchange_zero_steps_and_tiny_channels() {
+        let job = ToyExchange { cells: 9, steps: 0 };
+        let out = exchange(&job, &NativeConfig::new(3));
+        let got: Vec<i64> = out.values.into_iter().flatten().collect();
+        assert_eq!(got, exchange_oracle(&job, 3));
+        // chan_cap 1 is clamped to 2 internally; must still complete.
+        let job = ToyExchange {
+            cells: 16,
+            steps: 7,
+        };
+        let out = exchange(&job, &NativeConfig::new(4).with_chan_cap(1));
+        let got: Vec<i64> = out.values.into_iter().flatten().collect();
+        assert_eq!(got, exchange_oracle(&job, 4));
+    }
+
+    #[test]
+    fn exchange_sharded_topology_counts_remote_words() {
+        let job = ToyExchange {
+            cells: 24,
+            steps: 4,
+        };
+        let flat = exchange(&job, &NativeConfig::new(4));
+        assert_eq!(flat.stats.remote_words, 0);
+        let out = exchange(&job, &NativeConfig::new(4).with_topology(2, 2));
+        let got: Vec<i64> = out.values.into_iter().flatten().collect();
+        assert_eq!(got, exchange_oracle(&job, 4));
+        // Cross-shard edges carry real batch traffic.
+        assert!(out.stats.remote_words > 0);
+        assert!(out.stats.remote_words < out.stats.words_sent);
     }
 
     /// Toy wave computation with order-dependent updates: any

@@ -26,17 +26,23 @@
 //! oracle; kernel costs are charged from the actual operation counts.
 
 pub mod apsp;
+pub mod episim;
 pub mod kernels;
 pub mod matmul;
 pub mod native;
 pub mod nqueens;
+pub mod registry;
 pub mod simd;
 pub mod sum_euler;
 
 pub use apsp::Apsp;
+pub use episim::{Episim, VisitDist};
 pub use matmul::MatMul;
-pub use native::{run_flat, FlatNative, NativeMeasured, NativeWorkload};
+pub use native::{
+    run_flat, run_iter_on, run_iter_respawn, FlatNative, IterNative, NativeMeasured, NativeWorkload,
+};
 pub use nqueens::NQueens;
+pub use registry::{registry, Scale};
 pub use sum_euler::SumEuler;
 
 /// Common result of one simulated run.

@@ -73,7 +73,7 @@ pub struct NativeMeasured {
     pub trace_dropped: u64,
 }
 
-fn measured(value: i64, out: NativeOutcome<impl Send + Sync>) -> NativeMeasured {
+pub(crate) fn measured(value: i64, out: NativeOutcome<impl Send + Sync>) -> NativeMeasured {
     NativeMeasured {
         value,
         wall: out.wall,
@@ -85,7 +85,7 @@ fn measured(value: i64, out: NativeOutcome<impl Send + Sync>) -> NativeMeasured 
 
 /// Append a wave's trace to the accumulated trace, shifted past
 /// everything recorded so far so per-worker time stays monotonic.
-fn merge_trace(acc: &mut Option<Tracer>, wave: Option<Tracer>) {
+pub(crate) fn merge_trace(acc: &mut Option<Tracer>, wave: Option<Tracer>) {
     match (acc.as_mut(), wave) {
         (Some(acc), Some(wave)) => {
             let dt = acc.end_time();
@@ -121,6 +121,13 @@ fn merge_trace(acc: &mut Option<Tracer>, wave: Option<Tracer>) {
 pub trait NativeWorkload {
     /// Stable snake_case name (used by bench JSON and trace labels).
     fn name(&self) -> &'static str;
+
+    /// Human-readable parameter string for bench JSON rows, trace CSV
+    /// labels and test-matrix messages (e.g. `"n=6000"`). Together
+    /// with [`Self::name`] this makes the registry entry the single
+    /// source of workload identity — no consumer builds its own
+    /// `(workload, params)` tuples.
+    fn default_params(&self) -> String;
 
     /// The checksum every correct run must produce (the plain-Rust
     /// oracle, same definition as the sim backends).
@@ -191,6 +198,108 @@ pub fn run_flat<W: FlatNative>(w: &W, cfg: &NativeConfig) -> Result<NativeMeasur
     })
 }
 
+/// A workload whose native form is a *sequence of barrier-separated
+/// rounds over carried state* — the iterated seam next to
+/// [`FlatNative`]'s one-shot bag. APSP's pivot waves and episim's
+/// visit/return phases both fit: each round materialises a [`Job`]
+/// borrowing the current state, the executor runs it, and `absorb`
+/// folds the round's outputs back into the state before the next
+/// round starts. The runners ([`run_iter_on`] on a persistent pool,
+/// [`run_iter_respawn`] as the spawn-per-round ablation baseline)
+/// accumulate wall time, counters and traces across rounds exactly
+/// like the former hand-rolled APSP loop did.
+pub trait IterNative: Sync {
+    /// State carried across rounds.
+    type State: Send;
+
+    /// Per-task output of a round's job (lifetime-free so `absorb`
+    /// can receive it after the job is dropped).
+    type Out: Send + Sync + 'static;
+
+    /// The job for one round, borrowing the carried state.
+    type RoundJob<'a>: Job<Out = Self::Out>
+    where
+        Self: 'a;
+
+    /// Number of rounds (barriers) in the run.
+    fn rounds(&self) -> usize;
+
+    /// Build the initial carried state.
+    fn init_state(&self) -> Self::State;
+
+    /// Materialise round `round`'s task set over the current state.
+    fn round_job<'a>(&'a self, round: usize, state: &'a Self::State) -> Self::RoundJob<'a>;
+
+    /// Fold round `round`'s outputs (in task order) into the state.
+    fn absorb(&self, round: usize, state: &mut Self::State, values: Vec<Self::Out>);
+
+    /// Fold the final state into the workload checksum.
+    fn finish(&self, state: Self::State) -> i64;
+}
+
+/// Run an iterated workload's rounds on a caller-supplied persistent
+/// pool (reusable across repetitions as well as rounds). The barrier
+/// between rounds replaces the thunk-graph synchronisation the GpH
+/// runtime does dynamically — coarser, but the same data flow, hence
+/// the same checksum. A panicking round surfaces as `Err(JobPanicked)`;
+/// the pool survives for the caller's next run.
+pub fn run_iter_on<W: IterNative>(w: &W, pool: &mut Pool) -> Result<NativeMeasured, JobPanicked> {
+    let mut state = w.init_state();
+    let mut wall = Duration::ZERO;
+    let mut stats = NativeStats::default();
+    let mut trace = None;
+    let mut trace_dropped = 0;
+    for round in 0..w.rounds() {
+        let out = {
+            let job = w.round_job(round, &state);
+            pool.try_execute(&job)?
+        };
+        wall += out.wall;
+        stats.merge(&out.stats);
+        merge_trace(&mut trace, out.trace);
+        trace_dropped += out.trace_dropped;
+        w.absorb(round, &mut state, out.values);
+    }
+    Ok(NativeMeasured {
+        value: w.finish(state),
+        wall,
+        stats,
+        trace,
+        trace_dropped,
+    })
+}
+
+/// The PR 1 shape, kept as the pool-reuse ablation baseline: a fresh
+/// thread pool is spawned and joined for every round.
+pub fn run_iter_respawn<W: IterNative>(
+    w: &W,
+    cfg: &NativeConfig,
+) -> Result<NativeMeasured, JobPanicked> {
+    let mut state = w.init_state();
+    let mut wall = Duration::ZERO;
+    let mut stats = NativeStats::default();
+    let mut trace = None;
+    let mut trace_dropped = 0;
+    for round in 0..w.rounds() {
+        let out = {
+            let job = w.round_job(round, &state);
+            try_execute(&job, cfg)?
+        };
+        wall += out.wall;
+        stats.merge(&out.stats);
+        merge_trace(&mut trace, out.trace);
+        trace_dropped += out.trace_dropped;
+        w.absorb(round, &mut state, out.values);
+    }
+    Ok(NativeMeasured {
+        value: w.finish(state),
+        wall,
+        stats,
+        trace,
+        trace_dropped,
+    })
+}
+
 // ---------------------------------------------------------------- sumEuler
 
 /// One task per GpH chunk: `sum (map phi [lo..hi])` via the segmented
@@ -236,6 +345,9 @@ impl FlatNative for SumEuler {
 impl NativeWorkload for SumEuler {
     fn name(&self) -> &'static str {
         FlatNative::name(self)
+    }
+    fn default_params(&self) -> String {
+        format!("n={}", self.n)
     }
     fn expected_value(&self) -> i64 {
         FlatNative::expected_value(self)
@@ -299,6 +411,9 @@ impl NativeWorkload for MatMul {
     fn name(&self) -> &'static str {
         FlatNative::name(self)
     }
+    fn default_params(&self) -> String {
+        format!("n={} grid={}", self.n, self.grid)
+    }
     fn expected_value(&self) -> i64 {
         FlatNative::expected_value(self)
     }
@@ -313,9 +428,9 @@ impl NativeWorkload for MatMul {
 /// row itself is unchanged at its own step, so its task is the
 /// identity — keeping one task per row keeps indices aligned with the
 /// state vector.
-struct PivotWave<'a> {
+pub struct PivotWave<'a> {
     state: &'a [Vec<f64>],
-    pivot: &'a [f64],
+    pivot: Vec<f64>,
     /// 0-based pivot index.
     k: usize,
 }
@@ -329,8 +444,37 @@ impl Job for PivotWave<'_> {
         if idx == self.k {
             self.state[idx].clone()
         } else {
-            kernels::min_plus_update(&self.state[idx], self.pivot, self.k).0
+            kernels::min_plus_update(&self.state[idx], &self.pivot, self.k).0
         }
+    }
+}
+
+/// APSP's steal-backend form through the iterated seam: the carried
+/// state is the distance matrix, round `k`'s job is the pivot-`k`
+/// wave, and `absorb` replaces the rows wholesale.
+impl IterNative for Apsp {
+    type State = Vec<Vec<f64>>;
+    type Out = Vec<f64>;
+    type RoundJob<'a> = PivotWave<'a>;
+
+    fn rounds(&self) -> usize {
+        self.n
+    }
+    fn init_state(&self) -> Vec<Vec<f64>> {
+        self.input_rows()
+    }
+    fn round_job<'a>(&'a self, round: usize, state: &'a Vec<Vec<f64>>) -> PivotWave<'a> {
+        PivotWave {
+            state,
+            pivot: state[round].clone(),
+            k: round,
+        }
+    }
+    fn absorb(&self, _round: usize, state: &mut Vec<Vec<f64>>, values: Vec<Vec<f64>>) {
+        *state = values;
+    }
+    fn finish(&self, state: Vec<Vec<f64>>) -> i64 {
+        apsp_checksum(&state)
     }
 }
 
@@ -365,6 +509,9 @@ impl NativeWorkload for Apsp {
     fn name(&self) -> &'static str {
         "apsp"
     }
+    fn default_params(&self) -> String {
+        format!("n={}", self.n)
+    }
     fn expected_value(&self) -> i64 {
         self.expected()
     }
@@ -398,63 +545,13 @@ impl Apsp {
     /// checksum. A panicking wave surfaces as `Err(JobPanicked)`; the
     /// pool survives for the caller's next run.
     pub fn run_native_on(&self, pool: &mut Pool) -> Result<NativeMeasured, JobPanicked> {
-        let mut state = self.input_rows();
-        let mut wall = Duration::ZERO;
-        let mut stats = NativeStats::default();
-        let mut trace = None;
-        let mut trace_dropped = 0;
-        for k in 0..self.n {
-            let pivot = state[k].clone();
-            let wave = PivotWave {
-                state: &state,
-                pivot: &pivot,
-                k,
-            };
-            let out = pool.try_execute(&wave)?;
-            wall += out.wall;
-            stats.merge(&out.stats);
-            merge_trace(&mut trace, out.trace);
-            trace_dropped += out.trace_dropped;
-            state = out.values;
-        }
-        Ok(NativeMeasured {
-            value: apsp_checksum(&state),
-            wall,
-            stats,
-            trace,
-            trace_dropped,
-        })
+        run_iter_on(self, pool)
     }
 
     /// The PR 1 shape, kept as the pool-reuse ablation baseline: a
     /// fresh thread pool is spawned and joined for every pivot wave.
     pub fn run_native_respawn(&self, cfg: &NativeConfig) -> Result<NativeMeasured, JobPanicked> {
-        let mut state = self.input_rows();
-        let mut wall = Duration::ZERO;
-        let mut stats = NativeStats::default();
-        let mut trace = None;
-        let mut trace_dropped = 0;
-        for k in 0..self.n {
-            let pivot = state[k].clone();
-            let wave = PivotWave {
-                state: &state,
-                pivot: &pivot,
-                k,
-            };
-            let out = try_execute(&wave, cfg)?;
-            wall += out.wall;
-            stats.merge(&out.stats);
-            merge_trace(&mut trace, out.trace);
-            trace_dropped += out.trace_dropped;
-            state = out.values;
-        }
-        Ok(NativeMeasured {
-            value: apsp_checksum(&state),
-            wall,
-            stats,
-            trace,
-            trace_dropped,
-        })
+        run_iter_respawn(self, cfg)
     }
 }
 
@@ -508,6 +605,9 @@ impl FlatNative for NQueens {
 impl NativeWorkload for NQueens {
     fn name(&self) -> &'static str {
         FlatNative::name(self)
+    }
+    fn default_params(&self) -> String {
+        format!("n={} depth={}", self.n, self.spawn_depth)
     }
     fn expected_value(&self) -> i64 {
         FlatNative::expected_value(self)
@@ -637,16 +737,10 @@ mod tests {
     #[test]
     fn run_on_replaces_the_removed_run_native_wrappers() {
         // The per-workload `run_native` wrappers (deprecated in PR 5)
-        // are gone; the unified entry point must cover every workload
-        // against its sequential oracle on the steal backend.
+        // are gone; the unified entry point must cover every registry
+        // workload against its sequential oracle on the steal backend.
         let cfg = NativeConfig::steal(2);
-        let table: [&dyn NativeWorkload; 4] = [
-            &SumEuler::new(100),
-            &MatMul::new(24, 3),
-            &Apsp::new(10),
-            &NQueens::new(6).with_spawn_depth(2),
-        ];
-        for w in table {
+        for w in crate::registry::registry(crate::registry::Scale::Test) {
             assert_eq!(
                 w.run_on(&cfg).unwrap().value,
                 w.expected_value(),
